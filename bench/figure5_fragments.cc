@@ -1,0 +1,85 @@
+// Regenerates Figure 5 ("Size of CQ-like queries with at least two
+// triples") and the Section 5.2 fragment shares: CQ, CQF, CQOF as
+// fractions of the AOF patterns, plus the 1-triple fractions.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sparqlog;
+  double scale = bench::ScaleFromEnv();
+  corpus::CorpusAnalyzer analyzer;
+  bench::RunCorpus(analyzer, scale);
+  const corpus::FragmentStats& fs = analyzer.fragments();
+
+  std::cout << "Section 5.2 fragment shares (Select/Ask with body: "
+            << util::WithThousands(static_cast<long long>(fs.select_ask))
+            << ")\n\n";
+  util::Table shares({"Fragment", "Absolute", "% of AOF", "Paper"});
+  double aof = static_cast<double>(fs.aof);
+  shares.AddRow({"AOF",
+                 util::WithThousands(static_cast<long long>(fs.aof)),
+                 "100%", "74.83% of Select/Ask"});
+  shares.AddRow({"CQ", util::WithThousands(static_cast<long long>(fs.cq)),
+                 util::Percent(static_cast<double>(fs.cq), aof), "54.58%"});
+  shares.AddRow({"CQF", util::WithThousands(static_cast<long long>(fs.cqf)),
+                 util::Percent(static_cast<double>(fs.cqf), aof), "84.08%"});
+  shares.AddRow({"well-designed",
+                 util::WithThousands(
+                     static_cast<long long>(fs.well_designed)),
+                 util::Percent(static_cast<double>(fs.well_designed), aof),
+                 "98.53%"});
+  shares.AddRow({"CQOF",
+                 util::WithThousands(static_cast<long long>(fs.cqof)),
+                 util::Percent(static_cast<double>(fs.cqof), aof),
+                 "93.87%"});
+  shares.AddRow({"interface width > 1",
+                 util::WithThousands(
+                     static_cast<long long>(fs.wide_interface)),
+                 util::Percent(static_cast<double>(fs.wide_interface), aof),
+                 "310 queries"});
+  shares.Print(std::cout);
+
+  std::cout << "\nFigure 5: size distribution of CQ-like queries with >= 2 "
+               "triples (column = % of the fragment's >=2-triple "
+               "queries)\n\n";
+  util::Table table({"Size", "CQ", "CQF", "CQOF"});
+  auto multi = [](const util::BucketHistogram& h) {
+    uint64_t total = 0;
+    for (int b = 2; b <= 10; ++b) total += h.Count(b);
+    return total + h.Overflow();
+  };
+  uint64_t cq_multi = multi(fs.cq_sizes);
+  uint64_t cqf_multi = multi(fs.cqf_sizes);
+  uint64_t cqof_multi = multi(fs.cqof_sizes);
+  for (int b = 2; b <= 10; ++b) {
+    table.AddRow({std::to_string(b),
+                  util::Percent(static_cast<double>(fs.cq_sizes.Count(b)),
+                                static_cast<double>(cq_multi)),
+                  util::Percent(static_cast<double>(fs.cqf_sizes.Count(b)),
+                                static_cast<double>(cqf_multi)),
+                  util::Percent(static_cast<double>(fs.cqof_sizes.Count(b)),
+                                static_cast<double>(cqof_multi))});
+  }
+  table.AddRow({"11+",
+                util::Percent(static_cast<double>(fs.cq_sizes.Overflow()),
+                              static_cast<double>(cq_multi)),
+                util::Percent(static_cast<double>(fs.cqf_sizes.Overflow()),
+                              static_cast<double>(cqf_multi)),
+                util::Percent(static_cast<double>(fs.cqof_sizes.Overflow()),
+                              static_cast<double>(cqof_multi))});
+  table.Print(std::cout);
+
+  auto one_share = [](const util::BucketHistogram& h) {
+    return util::Percent(static_cast<double>(h.Count(1)),
+                         static_cast<double>(h.Total()));
+  };
+  std::cout << "\n1-triple fractions: CQ " << one_share(fs.cq_sizes)
+            << " (paper 82%), CQF " << one_share(fs.cqf_sizes)
+            << " (paper 83.45%), CQOF " << one_share(fs.cqof_sizes)
+            << " (paper 75.52%)\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Microbenchmark / ablation: why the relational stand-in collapses on
+// cycles — pipelined index-nested-loop (GraphEngine) vs materializing
+// pairwise joins (RelationalEngine) on chains vs cycles of growing
+// length over the same store.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "gmark/graph_gen.h"
+#include "gmark/query_gen.h"
+#include "store/engine.h"
+
+namespace {
+
+using namespace sparqlog;
+using namespace std::chrono_literals;
+
+struct Fixture {
+  store::TripleStore store;
+  gmark::Schema schema = gmark::Schema::Bib();
+  Fixture() {
+    gmark::GraphGenOptions options;
+    options.num_nodes = 5000;
+    options.seed = 11;
+    gmark::GenerateGraph(schema, options, store);
+  }
+  static Fixture& Get() {
+    static Fixture instance;
+    return instance;
+  }
+};
+
+std::vector<store::BgpQuery> Workload(gmark::QueryShape shape, int length) {
+  Fixture& f = Fixture::Get();
+  gmark::QueryGenOptions options;
+  options.shape = shape;
+  options.length = length;
+  options.workload_size = 20;
+  options.seed = static_cast<uint64_t>(length);
+  std::vector<store::BgpQuery> out;
+  for (const auto& q : gmark::GenerateWorkload(f.schema, options)) {
+    auto bgp = gmark::CompileForEngine(q, f.store, f.schema);
+    if (bgp.has_value()) out.push_back(*bgp);
+  }
+  return out;
+}
+
+template <typename EngineT>
+void RunWorkload(benchmark::State& state, gmark::QueryShape shape) {
+  Fixture& f = Fixture::Get();
+  EngineT engine(f.store);
+  auto workload = Workload(shape, static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    const store::BgpQuery& q = workload[i++ % workload.size()];
+    benchmark::DoNotOptimize(
+        engine.Evaluate(q, store::EvalMode::kAsk, 50ms));
+  }
+}
+
+void BM_GraphEngineChain(benchmark::State& state) {
+  RunWorkload<store::GraphEngine>(state, gmark::QueryShape::kChain);
+}
+BENCHMARK(BM_GraphEngineChain)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_GraphEngineCycle(benchmark::State& state) {
+  RunWorkload<store::GraphEngine>(state, gmark::QueryShape::kCycle);
+}
+BENCHMARK(BM_GraphEngineCycle)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_RelationalEngineChain(benchmark::State& state) {
+  RunWorkload<store::RelationalEngine>(state, gmark::QueryShape::kChain);
+}
+BENCHMARK(BM_RelationalEngineChain)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_RelationalEngineCycle(benchmark::State& state) {
+  RunWorkload<store::RelationalEngine>(state, gmark::QueryShape::kCycle);
+}
+BENCHMARK(BM_RelationalEngineCycle)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_StoreMatchByPredicate(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  rdf::TermId p =
+      f.store.dict().Lookup(f.schema.namespace_iri + "cites");
+  std::vector<rdf::EncodedTriple> out;
+  for (auto _ : state) {
+    out.clear();
+    f.store.Match(0, p, 0, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_StoreMatchByPredicate);
+
+}  // namespace

@@ -1,0 +1,57 @@
+// Microbenchmark: bounded vs unbounded Levenshtein — the ablation
+// behind the streak detector's banded implementation (Section 8 calls
+// the naive approach "extremely resource-consuming").
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "util/levenshtein.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sparqlog;
+
+std::string MakeQuery(size_t length, uint64_t seed) {
+  util::Rng rng(seed);
+  std::string base = "SELECT ?x WHERE { ?x <p> ?y . ";
+  while (base.size() < length) {
+    base += "?x <p" + std::to_string(rng.Below(100)) + "> ?v" +
+            std::to_string(rng.Below(50)) + " . ";
+  }
+  base += "}";
+  return base;
+}
+
+void BM_FullLevenshtein(benchmark::State& state) {
+  std::string a = MakeQuery(static_cast<size_t>(state.range(0)), 1);
+  std::string b = MakeQuery(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Levenshtein(a, b));
+  }
+}
+BENCHMARK(BM_FullLevenshtein)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_BoundedLevenshtein(benchmark::State& state) {
+  std::string a = MakeQuery(static_cast<size_t>(state.range(0)), 1);
+  std::string b = MakeQuery(static_cast<size_t>(state.range(0)), 2);
+  size_t budget = a.size() / 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::BoundedLevenshtein(a, b, budget));
+  }
+}
+BENCHMARK(BM_BoundedLevenshtein)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_SimilarityTestDissimilar(benchmark::State& state) {
+  // The common case in a log scan: clearly dissimilar queries, where the
+  // banded cutoff exits early.
+  std::string a = MakeQuery(2048, 1);
+  std::string b = "ASK { <completely> <different> <query> }";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::SimilarByLevenshtein(a, b, 0.25));
+  }
+}
+BENCHMARK(BM_SimilarityTestDissimilar);
+
+}  // namespace

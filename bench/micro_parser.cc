@@ -1,0 +1,76 @@
+// Microbenchmark: parser and serializer throughput on representative
+// queries (the validity check is the hot loop of the Table 1 pipeline).
+
+#include <benchmark/benchmark.h>
+
+#include "corpus/generator.h"
+#include "corpus/profile.h"
+#include "sparql/parser.h"
+#include "sparql/serializer.h"
+
+namespace {
+
+using namespace sparqlog;
+
+const char* kSimple = "SELECT * WHERE { ?s ?p ?o }";
+const char* kMedium =
+    "PREFIX dbo: <http://dbpedia.org/ontology/> SELECT DISTINCT ?x ?n "
+    "WHERE { ?x a dbo:Person ; dbo:birthPlace ?bp ; foaf:name ?n . "
+    "OPTIONAL { ?x dbo:deathPlace ?dp } FILTER(LANG(?n) = \"en\") } "
+    "ORDER BY ?n LIMIT 100";
+const char* kComplex =
+    "SELECT ?item (COUNT(DISTINCT ?site) AS ?c) WHERE { "
+    "?item wdt:P31/wdt:P279* wd:Q839954 . ?item wdt:P625 ?coord . "
+    "{ SELECT ?site WHERE { ?site wdt:P17 ?country } LIMIT 50 } "
+    "FILTER NOT EXISTS { ?item wdt:P582 ?end } } GROUP BY ?item "
+    "ORDER BY DESC(?c) LIMIT 10";
+
+void BM_ParseSimple(benchmark::State& state) {
+  sparql::Parser parser;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.Parse(kSimple));
+  }
+}
+BENCHMARK(BM_ParseSimple);
+
+void BM_ParseMedium(benchmark::State& state) {
+  sparql::Parser parser;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.Parse(kMedium));
+  }
+}
+BENCHMARK(BM_ParseMedium);
+
+void BM_ParseComplex(benchmark::State& state) {
+  sparql::Parser parser;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.Parse(kComplex));
+  }
+}
+BENCHMARK(BM_ParseComplex);
+
+void BM_ParseGenerated(benchmark::State& state) {
+  auto profiles = corpus::PaperProfiles();
+  corpus::GeneratorOptions options;
+  corpus::SyntheticLogGenerator gen(profiles[0], options);
+  std::vector<std::string> queries;
+  for (int i = 0; i < 256; ++i) {
+    queries.push_back(sparql::Serialize(gen.GenerateQuery()));
+  }
+  sparql::Parser parser;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.Parse(queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_ParseGenerated);
+
+void BM_SerializeRoundTrip(benchmark::State& state) {
+  auto q = sparql::ParseQuery(kMedium);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparql::Serialize(q.value()));
+  }
+}
+BENCHMARK(BM_SerializeRoundTrip);
+
+}  // namespace

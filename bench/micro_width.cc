@@ -1,0 +1,98 @@
+// Microbenchmark: shape classification, treewidth, and generalized
+// hypertree width on query-sized graphs — the per-query cost of the
+// Table 4 pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+#include "graph/shapes.h"
+#include "width/hypertree.h"
+#include "width/treewidth.h"
+
+namespace {
+
+using namespace sparqlog;
+
+graph::Graph Flower(int petals, int petal_len, int stamens) {
+  graph::Graph g(1 + petals * (petal_len - 1) + stamens);
+  int next = 1;
+  for (int p = 0; p < petals; ++p) {
+    int prev = 0;
+    for (int i = 0; i < petal_len - 1; ++i) {
+      g.AddEdge(prev, next);
+      prev = next++;
+    }
+    g.AddEdge(prev, 0);
+  }
+  for (int s = 0; s < stamens; ++s) g.AddEdge(0, next++);
+  return g;
+}
+
+void BM_ClassifyShapeChain(benchmark::State& state) {
+  graph::Graph g(static_cast<int>(state.range(0)));
+  for (int i = 0; i + 1 < state.range(0); ++i) g.AddEdge(i, i + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::ClassifyShape(g));
+  }
+}
+BENCHMARK(BM_ClassifyShapeChain)->Arg(8)->Arg(64)->Arg(229);
+
+void BM_ClassifyShapeFlower(benchmark::State& state) {
+  graph::Graph g = Flower(static_cast<int>(state.range(0)), 4, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::ClassifyShape(g));
+  }
+}
+BENCHMARK(BM_ClassifyShapeFlower)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_TreewidthCycle(benchmark::State& state) {
+  graph::Graph g(static_cast<int>(state.range(0)));
+  for (int i = 0; i < state.range(0); ++i) {
+    g.AddEdge(i, static_cast<int>((i + 1) % state.range(0)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(width::Treewidth(g));
+  }
+}
+BENCHMARK(BM_TreewidthCycle)->Arg(8)->Arg(64)->Arg(200);
+
+void BM_TreewidthGrid4x4(benchmark::State& state) {
+  graph::Graph g(16);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      if (c + 1 < 4) g.AddEdge(r * 4 + c, r * 4 + c + 1);
+      if (r + 1 < 4) g.AddEdge(r * 4 + c, (r + 1) * 4 + c);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(width::Treewidth(g));
+  }
+}
+BENCHMARK(BM_TreewidthGrid4x4);
+
+void BM_GhwTriangleChain(benchmark::State& state) {
+  // A chain of triangles: ghw 2, several components to decompose.
+  graph::Hypergraph hg;
+  int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    hg.AddEdge({2 * i, 2 * i + 1});
+    hg.AddEdge({2 * i + 1, 2 * i + 2});
+    hg.AddEdge({2 * i, 2 * i + 2});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(width::GeneralizedHypertreeWidth(hg));
+  }
+}
+BENCHMARK(BM_GhwTriangleChain)->Arg(1)->Arg(3)->Arg(6);
+
+void BM_GhwAcyclicChain(benchmark::State& state) {
+  graph::Hypergraph hg;
+  for (int i = 0; i < state.range(0); ++i) hg.AddEdge({i, i + 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(width::GeneralizedHypertreeWidth(hg));
+  }
+}
+BENCHMARK(BM_GhwAcyclicChain)->Arg(8)->Arg(64)->Arg(229);
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Regenerates Table 5: structure of navigational property paths
+// (expression-type taxonomy), the trivial !a / ^a counts, the reverse-
+// navigation share, and the C_tract census of Section 7.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sparqlog;
+  double scale = bench::ScaleFromEnv();
+  corpus::CorpusAnalyzer analyzer;
+  bench::RunCorpus(analyzer, scale);
+  const corpus::PathStats& ps = analyzer.paths();
+
+  std::cout << "Section 7: property paths in the corpus (scale=" << scale
+            << ")\n\n";
+  std::cout << "Total property paths: "
+            << util::WithThousands(static_cast<long long>(ps.total_paths))
+            << " (paper: 247,404)\n";
+  std::cout << "Trivial !a: "
+            << util::WithThousands(
+                   static_cast<long long>(ps.trivial_negated))
+            << " (paper: 63,039), trivial ^a: "
+            << util::WithThousands(
+                   static_cast<long long>(ps.trivial_inverse))
+            << " (paper: 306)\n";
+  std::cout << "Navigational: "
+            << util::WithThousands(static_cast<long long>(ps.navigational))
+            << " (paper: 184,059), of which with reverse navigation: "
+            << util::Percent(static_cast<double>(ps.with_inverse),
+                             static_cast<double>(ps.navigational))
+            << " (paper: 36%)\n\n";
+
+  util::Table table({"Expression Type", "Absolute", "Relative", "Paper"});
+  struct PaperRow {
+    paths::PathType type;
+    const char* paper;
+  };
+  const PaperRow rows[] = {
+      {paths::PathType::kStarOfAlt, "39.12%"},
+      {paths::PathType::kStar, "26.42%"},
+      {paths::PathType::kSeq, "11.65%"},
+      {paths::PathType::kStarSeqLink, "10.39%"},
+      {paths::PathType::kAlt, "8.72%"},
+      {paths::PathType::kPlus, "2.07%"},
+      {paths::PathType::kSeqOfOpts, "1.55%"},
+      {paths::PathType::kLinkSeqAlt, "0.02%"},
+      {paths::PathType::kSeqLinkOpts, "0.02%"},
+      {paths::PathType::kAltSeqStarLink, "0.01%"},
+      {paths::PathType::kStarSeqOpt, "0.01%"},
+      {paths::PathType::kSeqSeqStar, "0.01%"},
+      {paths::PathType::kNegatedAlt, "0.01%"},
+      {paths::PathType::kPlusOfAlt, "0.01%"},
+      {paths::PathType::kAltAltSeq, "<0.01%"},
+      {paths::PathType::kOptAltLink, "<0.01%"},
+      {paths::PathType::kStarAltLink, "<0.01%"},
+      {paths::PathType::kOptOfAlt, "<0.01%"},
+      {paths::PathType::kLinkAltPlus, "<0.01%"},
+      {paths::PathType::kPlusAltPlus, "<0.01%"},
+      {paths::PathType::kStarOfSeq, "<0.01% (1 query)"},
+  };
+  double nav = static_cast<double>(ps.navigational);
+  for (const PaperRow& r : rows) {
+    auto it = ps.by_type.find(r.type);
+    uint64_t count = it == ps.by_type.end() ? 0 : it->second;
+    table.AddRow({paths::PathTypeName(r.type),
+                  util::WithThousands(static_cast<long long>(count)),
+                  util::Percent(static_cast<double>(count), nav), r.paper});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nExpressions outside C_tract: "
+            << util::WithThousands(static_cast<long long>(ps.not_ctract))
+            << " (paper: exactly one, (a/b)*)\n";
+  return 0;
+}

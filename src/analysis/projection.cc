@@ -1,0 +1,67 @@
+#include "analysis/projection.h"
+
+#include <set>
+#include <string>
+
+namespace sparqlog::analysis {
+
+using sparql::Pattern;
+using sparql::PatternKind;
+using sparql::Query;
+using sparql::QueryForm;
+
+namespace {
+
+bool ContainsBind(const Pattern& p) {
+  if (p.kind == PatternKind::kBind) return true;
+  if (p.kind == PatternKind::kSubSelect && p.subquery) {
+    for (const sparql::SelectItem& item : p.subquery->select_items) {
+      if (item.expr.has_value()) return true;
+    }
+    if (p.subquery->has_body && ContainsBind(p.subquery->where)) return true;
+  }
+  for (const Pattern& c : p.children) {
+    if (ContainsBind(c)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ProjectionUse ClassifyProjection(const Query& q) {
+  if (!q.has_body) return ProjectionUse::kNo;
+  switch (q.form) {
+    case QueryForm::kConstruct:
+    case QueryForm::kDescribe:
+      return ProjectionUse::kNo;
+    case QueryForm::kAsk: {
+      std::set<std::string> vars;
+      q.where.CollectVariables(vars);
+      return vars.empty() ? ProjectionUse::kNo : ProjectionUse::kYes;
+    }
+    case QueryForm::kSelect: {
+      if (q.select_star) return ProjectionUse::kNo;
+      bool has_as = false;
+      for (const sparql::SelectItem& item : q.select_items) {
+        if (item.expr.has_value()) has_as = true;
+      }
+      if (has_as || ContainsBind(q.where)) {
+        return ProjectionUse::kIndeterminate;
+      }
+      std::set<std::string> in_scope;
+      q.where.CollectInScopeVariables(in_scope);
+      std::set<std::string> selected;
+      for (const sparql::SelectItem& item : q.select_items) {
+        selected.insert(item.var.value);
+      }
+      // Projection iff some in-scope variable is not selected.
+      for (const std::string& v : in_scope) {
+        if (selected.find(v) == selected.end()) return ProjectionUse::kYes;
+      }
+      return ProjectionUse::kNo;
+    }
+  }
+  return ProjectionUse::kNo;
+}
+
+}  // namespace sparqlog::analysis

@@ -1,0 +1,70 @@
+#ifndef SPARQLOG_CORPUS_GENERATOR_H_
+#define SPARQLOG_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/profile.h"
+#include "sparql/ast.h"
+#include "util/rng.h"
+
+namespace sparqlog::corpus {
+
+/// Options for synthetic log generation.
+struct GeneratorOptions {
+  /// Scale factor against the paper's log sizes (Table 1); the default
+  /// keeps bench runtimes in seconds while preserving all relative
+  /// percentages.
+  double scale = 0.0005;
+  /// Never generate fewer than this many log entries per dataset.
+  uint64_t min_entries = 400;
+  uint64_t seed = 2017;
+};
+
+/// Generates synthetic query-log files whose marginal statistics are
+/// calibrated to a DatasetProfile (see DESIGN.md: substitution for the
+/// proprietary USEWOD/OpenLink logs).
+///
+/// The output is a list of log entries: `query=<urlencoded SPARQL>`
+/// lines (some malformed at 1 - valid_rate), interleaved with non-query
+/// noise lines that the ingestion step must discard, duplicated
+/// according to the profile's unique_rate.
+class SyntheticLogGenerator {
+ public:
+  SyntheticLogGenerator(const DatasetProfile& profile,
+                        const GeneratorOptions& options);
+
+  /// Generates the full (scaled) log for this dataset.
+  std::vector<std::string> GenerateLog();
+
+  /// Generates one random valid query AST per the profile's marginals.
+  /// Exposed for tests and for the streak generator.
+  sparql::Query GenerateQuery();
+
+  /// Generates a random property path according to the Table 5 mix.
+  sparql::PathExpr GeneratePath();
+
+ private:
+  const DatasetProfile& profile_;
+  GeneratorOptions options_;
+  util::Rng rng_;
+  uint64_t fresh_counter_ = 0;
+
+  std::string FreshIri(const std::string& kind);
+  sparql::Query GenerateQueryOfForm(sparql::QueryForm form);
+  std::vector<sparql::TriplePattern> GenerateTriples(int n);
+  int SampleTripleCount();
+};
+
+/// Generates a single-day log with planted query-refinement sessions for
+/// the streak analysis (Section 8): users start from a seed query and
+/// gradually modify it.
+std::vector<std::string> GenerateStreakLog(const DatasetProfile& profile,
+                                           size_t num_queries,
+                                           double session_rate,
+                                           uint64_t seed);
+
+}  // namespace sparqlog::corpus
+
+#endif  // SPARQLOG_CORPUS_GENERATOR_H_

@@ -1,0 +1,47 @@
+#include "corpus/ingest.h"
+
+#include "sparql/serializer.h"
+#include "util/strings.h"
+
+namespace sparqlog::corpus {
+
+namespace {
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+LogIngestor::LogIngestor(sparql::ParserOptions parser_options)
+    : parser_(std::move(parser_options)) {}
+
+bool LogIngestor::ProcessLine(const std::string& line) {
+  constexpr std::string_view kPrefix = "query=";
+  if (line.rfind(kPrefix, 0) != 0) return false;  // non-query noise
+  ++stats_.total;
+  std::string text = util::PercentDecode(line.substr(kPrefix.size()));
+  util::Result<sparql::Query> parsed = parser_.Parse(text);
+  if (!parsed.ok()) return true;
+  ++stats_.valid;
+  const sparql::Query& q = parsed.value();
+  if (valid_sink_) valid_sink_(q);
+  // Duplicate elimination via the canonical serialization: two queries
+  // are duplicates iff they parse to the same AST.
+  uint64_t hash = Fnv1a(sparql::Serialize(q));
+  if (!seen_hashes_.insert(hash).second) return true;
+  ++stats_.unique;
+  if (unique_sink_) unique_sink_(q);
+  return true;
+}
+
+void LogIngestor::ProcessLog(const std::vector<std::string>& lines) {
+  for (const std::string& line : lines) ProcessLine(line);
+}
+
+}  // namespace sparqlog::corpus

@@ -1,0 +1,62 @@
+#ifndef SPARQLOG_CORPUS_INGEST_H_
+#define SPARQLOG_CORPUS_INGEST_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sparql/ast.h"
+#include "sparql/parser.h"
+
+namespace sparqlog::corpus {
+
+/// The Table 1 pipeline counters: Total (query entries after cleaning),
+/// Valid (parseable), Unique (valid after duplicate elimination).
+struct CorpusStats {
+  uint64_t total = 0;
+  uint64_t valid = 0;
+  uint64_t unique = 0;
+};
+
+/// Callback invoked for every query that survives a pipeline stage.
+using QuerySink = std::function<void(const sparql::Query&)>;
+
+/// Log ingestion: cleaning, validation, and duplicate elimination
+/// (Section 2 of the paper; Jena is replaced by our parser).
+class LogIngestor {
+ public:
+  explicit LogIngestor(sparql::ParserOptions parser_options = {});
+
+  /// Processes one raw log line:
+  ///  * `query=<urlencoded>` lines are query entries;
+  ///  * any other line is non-query noise and is dropped (not counted).
+  /// Returns true iff the line was a query entry.
+  bool ProcessLine(const std::string& line);
+
+  /// Feeds a whole log.
+  void ProcessLog(const std::vector<std::string>& lines);
+
+  /// Registers a sink receiving every *unique* valid query (at its first
+  /// occurrence) — this is the paper's primary analysis corpus.
+  void set_unique_sink(QuerySink sink) { unique_sink_ = std::move(sink); }
+
+  /// Registers a sink receiving every *valid* query, duplicates
+  /// included (the appendix corpus).
+  void set_valid_sink(QuerySink sink) { valid_sink_ = std::move(sink); }
+
+  const CorpusStats& stats() const { return stats_; }
+
+ private:
+  sparql::Parser parser_;
+  CorpusStats stats_;
+  QuerySink unique_sink_;
+  QuerySink valid_sink_;
+  /// Hashes of canonical serializations seen so far.
+  std::unordered_set<uint64_t> seen_hashes_;
+};
+
+}  // namespace sparqlog::corpus
+
+#endif  // SPARQLOG_CORPUS_INGEST_H_

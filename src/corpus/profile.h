@@ -1,0 +1,103 @@
+#ifndef SPARQLOG_CORPUS_PROFILE_H_
+#define SPARQLOG_CORPUS_PROFILE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sparqlog::corpus {
+
+/// Statistical profile of one query-log source, calibrated to every
+/// per-dataset number the paper reports (Table 1, Figure 1, and the
+/// per-dataset remarks in Sections 2 and 4). The synthetic generator
+/// samples from these marginals; the analysis pipeline then recovers
+/// them — the substitution documented in DESIGN.md.
+struct DatasetProfile {
+  std::string name;
+  /// IRI namespace for generated vocabulary.
+  std::string ns;
+
+  // ---- Table 1 ----
+  uint64_t total_queries = 0;
+  double valid_rate = 1.0;   ///< Valid / Total
+  double unique_rate = 1.0;  ///< Unique / Valid (duplication factor)
+
+  // ---- Query form mix (weights; Section 4.1 per-dataset remarks) ----
+  double w_select = 0.88, w_ask = 0.05, w_describe = 0.045,
+         w_construct = 0.025;
+
+  // ---- Figure 1: triples histogram for Select/Ask queries ----
+  /// Weights for 0, 1, ..., 10, 11+ triples (the 11+ bucket samples a
+  /// heavier tail internally).
+  std::array<double, 12> triples_weights{};
+
+  // ---- Solution modifier rates ----
+  double distinct_rate = 0.2;
+  double limit_rate = 0.17;
+  double offset_rate = 0.06;
+  double order_by_rate = 0.02;
+
+  // ---- Body operator rates (drives Table 3's marginals) ----
+  double filter_rate = 0.42;
+  double optional_rate = 0.17;
+  double union_rate = 0.17;
+  /// Fraction of union queries whose body is *only* the union (the
+  /// paper's operator-set table shows pure {U} dominating {A, U}).
+  double union_standalone = 0.75;
+  double graph_rate = 0.027;
+  /// Rate of "kitchen-sink" queries using And, Opt, Union, and Filter
+  /// together (Table 3's {A, O, U, F} row: 7.82%).
+  double complex_rate = 0.075;
+
+  // ---- Aggregates / grouping ----
+  double count_rate = 0.005;
+  double group_by_rate = 0.003;
+  double other_agg_rate = 0.0002;
+
+  // ---- Other features ----
+  double subquery_rate = 0.0054;
+  double property_path_rate = 0.0044;
+  double bind_rate = 0.004;
+  double minus_rate = 0.013;
+  double not_exists_rate = 0.016;
+  double service_rate = 0.002;
+  double values_rate = 0.003;
+
+  // ---- Structure ----
+  /// Probability that a multi-triple CQ body is a chain / star / tree /
+  /// forest / cycle / flower (normalized internally; Table 4 marginals).
+  double shape_chain = 0.90, shape_star = 0.02, shape_tree = 0.05,
+         shape_forest = 0.015, shape_cycle = 0.0015, shape_flower = 0.01;
+  /// Probability that a triple uses a variable predicate (drives the
+  /// hypergraph-only population of Section 6.2).
+  double var_predicate_rate = 0.18;
+  /// Probability that an endpoint of a triple is a constant.
+  double constant_rate = 0.35;
+  /// Probability that a Select query projects away some variable.
+  double projection_rate = 0.15;
+  /// Probability that an Ask query has no variables (concrete triple).
+  double ask_concrete_rate = 0.62;
+  /// Fraction of Describe queries without a body (Section 2: 97%).
+  double describe_nobody_rate = 0.97;
+  /// OPTIONAL nesting that violates well-designedness (Section 5.2:
+  /// ~1.5% of AOF patterns are not well-designed).
+  double non_well_designed_rate = 0.015;
+  /// Interface width 2 occurrences (paper: 310 queries overall).
+  double wide_interface_rate = 0.00001;
+
+  /// Average number of triples target (Figure 1 bottom row), used by
+  /// tests to validate the calibration.
+  double avg_triples = 2.0;
+};
+
+/// The 13 dataset profiles of Table 1, calibrated to the paper.
+std::vector<DatasetProfile> PaperProfiles();
+
+/// Looks up a profile by name; aborts if absent (programming error).
+const DatasetProfile& ProfileByName(const std::vector<DatasetProfile>& all,
+                                    const std::string& name);
+
+}  // namespace sparqlog::corpus
+
+#endif  // SPARQLOG_CORPUS_PROFILE_H_

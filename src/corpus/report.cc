@@ -1,0 +1,219 @@
+#include "corpus/report.h"
+
+#include <algorithm>
+
+#include "graph/canonical.h"
+#include "graph/shapes.h"
+#include "paths/ctract.h"
+#include "width/hypertree.h"
+#include "width/treewidth.h"
+
+namespace sparqlog::corpus {
+
+using analysis::ExtractFeatures;
+using analysis::ProjectionUse;
+using analysis::QueryFeatures;
+using fragments::ClassifyFragment;
+using fragments::FragmentClass;
+using sparql::Pattern;
+using sparql::PatternKind;
+using sparql::Query;
+using sparql::QueryForm;
+
+void CorpusAnalyzer::AddQuery(const Query& q, const std::string& dataset) {
+  QueryFeatures f = ExtractFeatures(q);
+
+  // ---- Keywords (Table 2) ----
+  ++keywords_.total;
+  switch (f.form) {
+    case QueryForm::kSelect: ++keywords_.select; break;
+    case QueryForm::kAsk: ++keywords_.ask; break;
+    case QueryForm::kDescribe: ++keywords_.describe; break;
+    case QueryForm::kConstruct: ++keywords_.construct; break;
+  }
+  if (f.distinct) ++keywords_.distinct;
+  if (f.reduced) ++keywords_.reduced;
+  if (f.has_limit) ++keywords_.limit;
+  if (f.has_offset) ++keywords_.offset;
+  if (f.has_order_by) ++keywords_.order_by;
+  if (f.has_group_by) ++keywords_.group_by;
+  if (f.has_having) ++keywords_.having;
+  if (f.filter) ++keywords_.filter;
+  if (f.conj) ++keywords_.conj;
+  if (f.union_) ++keywords_.union_;
+  if (f.optional) ++keywords_.optional;
+  if (f.graph) ++keywords_.graph;
+  if (f.minus) ++keywords_.minus;
+  if (f.not_exists) ++keywords_.not_exists;
+  if (f.exists) ++keywords_.exists;
+  if (f.agg_count) ++keywords_.count;
+  if (f.agg_max) ++keywords_.max;
+  if (f.agg_min) ++keywords_.min;
+  if (f.agg_avg) ++keywords_.avg;
+  if (f.agg_sum) ++keywords_.sum;
+  if (f.service) ++keywords_.service;
+  if (f.bind) ++keywords_.bind;
+  if (f.values) ++keywords_.values;
+
+  // ---- Per-dataset triple statistics (Figure 1) ----
+  TripleStats& ts = per_dataset_[dataset];
+  ++ts.all_queries;
+  ts.triple_sum += static_cast<uint64_t>(f.num_triples);
+  ts.max_triples =
+      std::max<uint64_t>(ts.max_triples, static_cast<uint64_t>(f.num_triples));
+  bool select_ask =
+      f.form == QueryForm::kSelect || f.form == QueryForm::kAsk;
+  if (select_ask) {
+    ++ts.select_ask;
+    ts.histogram.Add(f.num_triples);
+  }
+
+  // ---- Operator sets (Table 3) ----
+  opsets_.Add(f);
+
+  // ---- Projection and subqueries (Section 4.4) ----
+  ++projection_.total;
+  if (f.subquery) ++projection_.with_subqueries;
+  switch (f.projection) {
+    case ProjectionUse::kYes:
+      ++projection_.with_projection;
+      if (f.form == QueryForm::kSelect) ++projection_.select_with_projection;
+      if (f.form == QueryForm::kAsk) ++projection_.ask_with_projection;
+      break;
+    case ProjectionUse::kIndeterminate:
+      ++projection_.indeterminate;
+      break;
+    case ProjectionUse::kNo:
+      break;
+  }
+
+  // ---- Fragments (Section 5.2, Figure 5) ----
+  if (!select_ask || !q.has_body) return;
+  ++fragments_.select_ask;
+  FragmentClass fc = ClassifyFragment(q);
+  if (fc.aof) ++fragments_.aof;
+  if (fc.cq) {
+    ++fragments_.cq;
+    if (fc.num_triples >= 1) fragments_.cq_sizes.Add(fc.num_triples);
+  }
+  if (fc.cpf) ++fragments_.cpf;
+  if (fc.cqf) {
+    ++fragments_.cqf;
+    if (fc.num_triples >= 1) fragments_.cqf_sizes.Add(fc.num_triples);
+  }
+  if (fc.well_designed) ++fragments_.well_designed;
+  if (fc.cqof) {
+    ++fragments_.cqof;
+    if (fc.num_triples >= 1) fragments_.cqof_sizes.Add(fc.num_triples);
+  }
+  if (fc.aof && fc.well_designed && fc.simple_filters &&
+      fc.interface_width > 1) {
+    ++fragments_.wide_interface;
+  }
+
+  // ---- Shapes and widths (Table 4, Section 6) ----
+  AnalyzeShapes(q, fc);
+
+  // ---- Property paths (Table 5) ----
+  AnalyzePaths(q.where);
+}
+
+void CorpusAnalyzer::AnalyzeShapes(const Query& q, const FragmentClass& fc) {
+  if (!(fc.cq || fc.cqf || fc.cqof)) return;
+
+  if (fc.var_predicate) {
+    // Only the hypergraph is meaningful (Section 6.2).
+    if (fc.cqof) {
+      std::vector<const sparql::TriplePattern*> triples;
+      std::vector<const sparql::Expr*> filters;
+      graph::CollectTriplesAndFilters(q.where, triples, filters);
+      graph::Hypergraph hg =
+          graph::BuildCanonicalHypergraph(triples, filters);
+      width::GhwResult ghw = width::GeneralizedHypertreeWidth(hg);
+      ++hypergraphs_.total;
+      switch (ghw.width) {
+        case 0:
+        case 1: ++hypergraphs_.ghw1; break;
+        case 2: ++hypergraphs_.ghw2; break;
+        case 3: ++hypergraphs_.ghw3; break;
+        default: ++hypergraphs_.ghw_more; break;
+      }
+      if (ghw.decomposition_nodes > 10) {
+        ++hypergraphs_.decompositions_gt10_nodes;
+      }
+      if (ghw.decomposition_nodes > 100) {
+        ++hypergraphs_.decompositions_gt100_nodes;
+      }
+    }
+    return;
+  }
+
+  graph::CanonicalGraph cg = graph::BuildCanonicalGraph(q.where);
+  if (!cg.valid) return;
+  graph::ShapeClass shape = graph::ClassifyShape(cg.graph);
+  width::TreewidthResult tw = width::Treewidth(cg.graph);
+
+  auto record = [&](ShapeCounts& sc) {
+    ++sc.total;
+    if (shape.single_edge) {
+      ++sc.single_edge;
+      bool has_constant = false;
+      for (const rdf::Term& t : cg.node_terms) {
+        if (t.is_constant()) has_constant = true;
+      }
+      if (has_constant) ++sc.single_edge_with_constants;
+    }
+    if (shape.chain) ++sc.chain;
+    if (shape.chain_set) ++sc.chain_set;
+    if (shape.star) ++sc.star;
+    if (shape.tree) ++sc.tree;
+    if (shape.forest) ++sc.forest;
+    if (shape.cycle) ++sc.cycle;
+    if (shape.flower) ++sc.flower;
+    if (shape.flower_set) ++sc.flower_set;
+    if (tw.width <= 2) {
+      ++sc.treewidth_le2;
+    } else if (tw.width == 3) {
+      ++sc.treewidth_3;
+    } else {
+      ++sc.treewidth_gt3;
+    }
+    if (shape.girth > 0) ++sc.girth[shape.girth];
+  };
+  if (fc.cq) record(cq_shapes_);
+  if (fc.cqf) record(cqf_shapes_);
+  if (fc.cqof) record(cqof_shapes_);
+}
+
+void CorpusAnalyzer::AnalyzePaths(const Pattern& p) {
+  if (p.kind == PatternKind::kTriple) {
+    if (!p.triple.has_path) return;
+    const sparql::PathExpr& path = p.triple.path;
+    paths::PathClassification pc = paths::ClassifyPath(path);
+    if (pc.type == paths::PathType::kPlainLink) return;
+    ++paths_.total_paths;
+    switch (pc.type) {
+      case paths::PathType::kTrivialNegated:
+        ++paths_.trivial_negated;
+        return;
+      case paths::PathType::kTrivialInverse:
+        ++paths_.trivial_inverse;
+        return;
+      default:
+        break;
+    }
+    ++paths_.navigational;
+    if (pc.uses_inverse) ++paths_.with_inverse;
+    ++paths_.by_type[pc.type];
+    if (!paths::IsCtract(path)) ++paths_.not_ctract;
+    return;
+  }
+  if (p.kind == PatternKind::kSubSelect && p.subquery &&
+      p.subquery->has_body) {
+    AnalyzePaths(p.subquery->where);
+    return;
+  }
+  for (const Pattern& c : p.children) AnalyzePaths(c);
+}
+
+}  // namespace sparqlog::corpus

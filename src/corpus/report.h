@@ -1,0 +1,146 @@
+#ifndef SPARQLOG_CORPUS_REPORT_H_
+#define SPARQLOG_CORPUS_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "analysis/features.h"
+#include "analysis/operator_set.h"
+#include "fragments/fragment.h"
+#include "paths/path_class.h"
+#include "sparql/ast.h"
+#include "util/histogram.h"
+
+namespace sparqlog::corpus {
+
+/// Keyword counters (Table 2 / Table 7).
+struct KeywordCounts {
+  uint64_t total = 0;
+  uint64_t select = 0, ask = 0, describe = 0, construct = 0;
+  uint64_t distinct = 0, limit = 0, offset = 0, order_by = 0, reduced = 0;
+  uint64_t filter = 0, conj = 0, union_ = 0, optional = 0, graph = 0;
+  uint64_t not_exists = 0, minus = 0, exists = 0;
+  uint64_t count = 0, max = 0, min = 0, avg = 0, sum = 0;
+  uint64_t group_by = 0, having = 0;
+  uint64_t service = 0, bind = 0, values = 0;
+};
+
+/// Per-dataset triple statistics (Figure 1 / Figure 8).
+struct TripleStats {
+  /// Histogram over Select/Ask queries: buckets 0..10 plus 11+.
+  util::BucketHistogram histogram{11};
+  uint64_t select_ask = 0;   ///< Select/Ask query count
+  uint64_t all_queries = 0;  ///< all queries of the dataset
+  uint64_t triple_sum = 0;   ///< summed over all queries (Avg#T)
+  uint64_t max_triples = 0;
+
+  double SelectAskShare() const {
+    return all_queries == 0
+               ? 0.0
+               : static_cast<double>(select_ask) /
+                     static_cast<double>(all_queries);
+  }
+  double AvgTriples() const {
+    return all_queries == 0
+               ? 0.0
+               : static_cast<double>(triple_sum) /
+                     static_cast<double>(all_queries);
+  }
+};
+
+/// Projection / subquery statistics (Section 4.4).
+struct ProjectionStats {
+  uint64_t total = 0;
+  uint64_t with_projection = 0;
+  uint64_t select_with_projection = 0;
+  uint64_t ask_with_projection = 0;
+  uint64_t indeterminate = 0;
+  uint64_t with_subqueries = 0;
+};
+
+/// Fragment statistics (Section 5.2 / Figure 5).
+struct FragmentStats {
+  uint64_t select_ask = 0;
+  uint64_t aof = 0, cq = 0, cpf = 0, cqf = 0, well_designed = 0, cqof = 0;
+  uint64_t wide_interface = 0;  ///< interface width > 1 (paper: 310)
+  /// Size histograms (number of triples: 1..10, 11+) per fragment.
+  util::BucketHistogram cq_sizes{11};
+  util::BucketHistogram cqf_sizes{11};
+  util::BucketHistogram cqof_sizes{11};
+};
+
+/// Shape statistics for one fragment column of Table 4 / Table 9.
+struct ShapeCounts {
+  uint64_t total = 0;
+  uint64_t single_edge = 0, chain = 0, chain_set = 0, star = 0, tree = 0,
+           forest = 0, cycle = 0, flower = 0, flower_set = 0;
+  uint64_t treewidth_le2 = 0, treewidth_3 = 0, treewidth_gt3 = 0;
+  /// Girth histogram for cyclic queries (Section 6.1: shortest cycles).
+  std::map<int, uint64_t> girth;
+  /// Single-edge queries using constants (Section 6.1: 78.70%).
+  uint64_t single_edge_with_constants = 0;
+};
+
+/// Hypergraph statistics for variable-predicate CQOF queries
+/// (Section 6.2).
+struct HypergraphStats {
+  uint64_t total = 0;
+  uint64_t ghw1 = 0, ghw2 = 0, ghw3 = 0, ghw_more = 0;
+  uint64_t decompositions_gt10_nodes = 0;
+  uint64_t decompositions_gt100_nodes = 0;
+};
+
+/// Property-path statistics (Table 5 / Figure 10).
+struct PathStats {
+  uint64_t total_paths = 0;
+  uint64_t trivial_negated = 0;  ///< !a
+  uint64_t trivial_inverse = 0;  ///< ^a
+  uint64_t navigational = 0;
+  uint64_t with_inverse = 0;  ///< reverse nested in complex expressions
+  uint64_t not_ctract = 0;
+  std::map<paths::PathType, uint64_t> by_type;
+};
+
+/// One-pass analyzer: feed unique (or valid) queries, read every table.
+class CorpusAnalyzer {
+ public:
+  CorpusAnalyzer() = default;
+
+  /// Analyzes one query, attributing it to `dataset` for the
+  /// per-dataset statistics (Figure 1).
+  void AddQuery(const sparql::Query& q, const std::string& dataset = "all");
+
+  const KeywordCounts& keywords() const { return keywords_; }
+  const analysis::OperatorSetDistribution& operator_sets() const {
+    return opsets_;
+  }
+  const ProjectionStats& projection() const { return projection_; }
+  const FragmentStats& fragments() const { return fragments_; }
+  const ShapeCounts& cq_shapes() const { return cq_shapes_; }
+  const ShapeCounts& cqf_shapes() const { return cqf_shapes_; }
+  const ShapeCounts& cqof_shapes() const { return cqof_shapes_; }
+  const HypergraphStats& hypergraphs() const { return hypergraphs_; }
+  const PathStats& paths() const { return paths_; }
+  const std::map<std::string, TripleStats>& per_dataset() const {
+    return per_dataset_;
+  }
+
+ private:
+  void AnalyzeShapes(const sparql::Query& q,
+                     const fragments::FragmentClass& fc);
+  void AnalyzePaths(const sparql::Pattern& p);
+
+  KeywordCounts keywords_;
+  analysis::OperatorSetDistribution opsets_;
+  ProjectionStats projection_;
+  FragmentStats fragments_;
+  ShapeCounts cq_shapes_, cqf_shapes_, cqof_shapes_;
+  HypergraphStats hypergraphs_;
+  PathStats paths_;
+  std::map<std::string, TripleStats> per_dataset_;
+};
+
+}  // namespace sparqlog::corpus
+
+#endif  // SPARQLOG_CORPUS_REPORT_H_

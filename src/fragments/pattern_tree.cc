@@ -1,0 +1,296 @@
+#include "fragments/pattern_tree.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+namespace sparqlog::fragments {
+
+using sparql::Expr;
+using sparql::ExprKind;
+using sparql::Pattern;
+using sparql::PatternKind;
+using sparql::TriplePattern;
+
+namespace {
+
+/// Internal SPARQL-algebra view of an AOF pattern: BGPs combined with
+/// Join, LeftJoin (OPTIONAL), and Filter, per the standard translation
+/// of group graph patterns.
+struct AlgebraNode {
+  enum class Kind { kBgp, kJoin, kLeftJoin };
+  Kind kind = Kind::kBgp;
+  std::vector<const TriplePattern*> triples;          // kBgp
+  std::vector<const Expr*> filters;                   // applied here
+  std::vector<std::unique_ptr<AlgebraNode>> children; // 2 for joins
+  std::set<std::string> vars;                         // subtree variables
+};
+
+bool ExprUsesPatterns(const Expr& e) {
+  if (e.kind == ExprKind::kExists || e.kind == ExprKind::kNotExists) {
+    return true;
+  }
+  for (const Expr& a : e.args) {
+    if (ExprUsesPatterns(a)) return true;
+  }
+  return false;
+}
+
+void ComputeVars(AlgebraNode& n) {
+  for (const TriplePattern* tp : n.triples) tp->CollectVariables(n.vars);
+  for (const Expr* f : n.filters) f->CollectVariables(n.vars);
+  for (auto& c : n.children) {
+    ComputeVars(*c);
+    n.vars.insert(c->vars.begin(), c->vars.end());
+  }
+}
+
+/// Translates an AOF group pattern into the algebra. Returns nullptr if
+/// the body is not AOF (anything besides triples without paths, groups,
+/// filters without EXISTS, and OPTIONAL).
+std::unique_ptr<AlgebraNode> Translate(const Pattern& p) {
+  if (p.kind == PatternKind::kTriple) {
+    if (p.triple.has_path) return nullptr;
+    auto node = std::make_unique<AlgebraNode>();
+    node->triples.push_back(&p.triple);
+    return node;
+  }
+  if (p.kind != PatternKind::kGroup) return nullptr;
+
+  auto acc = std::make_unique<AlgebraNode>();  // empty BGP
+  std::vector<const Expr*> filters;
+  auto join = [](std::unique_ptr<AlgebraNode> a,
+                 std::unique_ptr<AlgebraNode> b) {
+    // Merge BGPs; Join otherwise. An empty BGP is the identity.
+    if (a->kind == AlgebraNode::Kind::kBgp && a->triples.empty() &&
+        a->filters.empty() && a->children.empty()) {
+      return b;
+    }
+    if (a->kind == AlgebraNode::Kind::kBgp &&
+        b->kind == AlgebraNode::Kind::kBgp && a->filters.empty() &&
+        b->filters.empty()) {
+      a->triples.insert(a->triples.end(), b->triples.begin(),
+                        b->triples.end());
+      return a;
+    }
+    auto j = std::make_unique<AlgebraNode>();
+    j->kind = AlgebraNode::Kind::kJoin;
+    j->children.push_back(std::move(a));
+    j->children.push_back(std::move(b));
+    return j;
+  };
+
+  for (const Pattern& c : p.children) {
+    switch (c.kind) {
+      case PatternKind::kTriple: {
+        auto t = Translate(c);
+        if (t == nullptr) return nullptr;
+        acc = join(std::move(acc), std::move(t));
+        break;
+      }
+      case PatternKind::kGroup: {
+        auto g = Translate(c);
+        if (g == nullptr) return nullptr;
+        acc = join(std::move(acc), std::move(g));
+        break;
+      }
+      case PatternKind::kFilter:
+        if (ExprUsesPatterns(c.expr)) return nullptr;
+        filters.push_back(&c.expr);
+        break;
+      case PatternKind::kOptional: {
+        auto body = Translate(c.children[0]);
+        if (body == nullptr) return nullptr;
+        auto lj = std::make_unique<AlgebraNode>();
+        lj->kind = AlgebraNode::Kind::kLeftJoin;
+        lj->children.push_back(std::move(acc));
+        lj->children.push_back(std::move(body));
+        acc = std::move(lj);
+        break;
+      }
+      default:
+        return nullptr;  // not an AOF pattern
+    }
+  }
+  // Filters of a group apply to the whole group.
+  acc->filters.insert(acc->filters.end(), filters.begin(), filters.end());
+  return acc;
+}
+
+/// Linearizes the atoms (triples/filters) of the algebra tree in DFS
+/// order, recording for each LeftJoin node its subtree range. Used for
+/// the Definition 5.3 check.
+struct LeftJoinInfo {
+  size_t lo = 0, hi = 0;                 // atom index range of the subtree
+  size_t right_lo = 0, right_hi = 0;     // atom range of the right child
+  std::set<std::string> left_vars;
+  std::set<std::string> right_vars;
+};
+
+void Linearize(const AlgebraNode& n,
+               std::vector<std::set<std::string>>& atoms,
+               std::vector<LeftJoinInfo>& leftjoins) {
+  size_t lo = atoms.size();
+  size_t right_lo = 0, right_hi = 0;
+  if (n.kind == AlgebraNode::Kind::kLeftJoin) {
+    Linearize(*n.children[0], atoms, leftjoins);
+    right_lo = atoms.size();
+    Linearize(*n.children[1], atoms, leftjoins);
+    right_hi = atoms.size();
+  } else {
+    for (auto& c : n.children) Linearize(*c, atoms, leftjoins);
+  }
+  for (const TriplePattern* tp : n.triples) {
+    std::set<std::string> vars;
+    tp->CollectVariables(vars);
+    atoms.push_back(std::move(vars));
+  }
+  for (const Expr* f : n.filters) {
+    std::set<std::string> vars;
+    f->CollectVariables(vars);
+    atoms.push_back(std::move(vars));
+  }
+  if (n.kind == AlgebraNode::Kind::kLeftJoin) {
+    LeftJoinInfo info;
+    info.lo = lo;
+    info.hi = atoms.size();
+    info.right_lo = right_lo;
+    info.right_hi = right_hi;
+    info.left_vars = n.children[0]->vars;
+    info.right_vars = n.children[1]->vars;
+    leftjoins.push_back(std::move(info));
+  }
+}
+
+/// Pattern-tree construction from the algebra via OPT-normal form.
+PatternTreeNode Normalize(const AlgebraNode& n) {
+  switch (n.kind) {
+    case AlgebraNode::Kind::kBgp: {
+      PatternTreeNode t;
+      t.triples = n.triples;
+      t.filters = n.filters;
+      return t;
+    }
+    case AlgebraNode::Kind::kJoin: {
+      // (P1 OPT P2) AND P3 => (P1 AND P3) OPT P2: merge the mandatory
+      // roots, hoist all optional children as siblings.
+      PatternTreeNode a = Normalize(*n.children[0]);
+      PatternTreeNode b = Normalize(*n.children[1]);
+      PatternTreeNode t;
+      t.triples = a.triples;
+      t.triples.insert(t.triples.end(), b.triples.begin(), b.triples.end());
+      t.filters = a.filters;
+      t.filters.insert(t.filters.end(), b.filters.begin(), b.filters.end());
+      t.filters.insert(t.filters.end(), n.filters.begin(), n.filters.end());
+      t.children = std::move(a.children);
+      for (auto& c : b.children) t.children.push_back(std::move(c));
+      return t;
+    }
+    case AlgebraNode::Kind::kLeftJoin: {
+      PatternTreeNode left = Normalize(*n.children[0]);
+      PatternTreeNode right = Normalize(*n.children[1]);
+      left.filters.insert(left.filters.end(), n.filters.begin(),
+                          n.filters.end());
+      left.children.push_back(std::move(right));
+      return left;
+    }
+  }
+  return PatternTreeNode{};
+}
+
+int InterfaceWidth(const PatternTreeNode& node) {
+  int width = 0;
+  std::set<std::string> vars = node.Vars();
+  for (const PatternTreeNode& child : node.children) {
+    std::set<std::string> child_vars = child.Vars();
+    std::set<std::string> common;
+    std::set_intersection(vars.begin(), vars.end(), child_vars.begin(),
+                          child_vars.end(),
+                          std::inserter(common, common.begin()));
+    width = std::max(width, static_cast<int>(common.size()));
+    width = std::max(width, InterfaceWidth(child));
+  }
+  return width;
+}
+
+void NumberNodes(const PatternTreeNode& node, int parent, int& next,
+                 std::vector<int>& parents,
+                 std::vector<const PatternTreeNode*>& nodes) {
+  int id = next++;
+  parents.push_back(parent);
+  nodes.push_back(&node);
+  for (const PatternTreeNode& c : node.children) {
+    NumberNodes(c, id, next, parents, nodes);
+  }
+}
+
+bool ConnectedVariables(const PatternTreeNode& root) {
+  std::vector<int> parents;
+  std::vector<const PatternTreeNode*> nodes;
+  int next = 0;
+  NumberNodes(root, -1, next, parents, nodes);
+  // For every variable: the set of nodes whose CQ mentions it must form
+  // a connected subtree, i.e. every such node except the topmost has a
+  // parent chain to the topmost passing only through mention-nodes.
+  std::map<std::string, std::vector<int>> occurrences;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (const std::string& v : nodes[i]->Vars()) {
+      occurrences[v].push_back(static_cast<int>(i));
+    }
+  }
+  for (const auto& [var, occ] : occurrences) {
+    std::set<int> members(occ.begin(), occ.end());
+    // Connectivity: all members must reach the shallowest member through
+    // member-only parent chains; equivalently, each member's parent is a
+    // member, except for exactly one root-most node.
+    int roots = 0;
+    for (int m : occ) {
+      int parent = parents[static_cast<size_t>(m)];
+      if (parent < 0 || members.count(parent) == 0) ++roots;
+    }
+    if (roots != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::set<std::string> PatternTreeNode::Vars() const {
+  std::set<std::string> vars;
+  for (const TriplePattern* tp : triples) tp->CollectVariables(vars);
+  return vars;
+}
+
+bool IsWellDesigned(const Pattern& body) {
+  std::unique_ptr<AlgebraNode> algebra = Translate(body);
+  if (algebra == nullptr) return false;
+  ComputeVars(*algebra);
+  std::vector<std::set<std::string>> atoms;
+  std::vector<LeftJoinInfo> leftjoins;
+  Linearize(*algebra, atoms, leftjoins);
+  for (const LeftJoinInfo& lj : leftjoins) {
+    // W = vars(R) \ vars(L) must not occur outside [lo, hi).
+    for (const std::string& w : lj.right_vars) {
+      if (lj.left_vars.count(w) > 0) continue;
+      for (size_t i = 0; i < atoms.size(); ++i) {
+        if (i >= lj.lo && i < lj.hi) continue;
+        if (atoms[i].count(w) > 0) return false;
+      }
+    }
+  }
+  return true;
+}
+
+PatternTreeResult BuildPatternTree(const Pattern& body) {
+  PatternTreeResult result;
+  std::unique_ptr<AlgebraNode> algebra = Translate(body);
+  if (algebra == nullptr) return result;
+  ComputeVars(*algebra);
+  result.ok = true;
+  result.root = Normalize(*algebra);
+  result.interface_width = InterfaceWidth(result.root);
+  result.connected_variables = ConnectedVariables(result.root);
+  return result;
+}
+
+}  // namespace sparqlog::fragments

@@ -1,0 +1,51 @@
+#ifndef SPARQLOG_FRAGMENTS_PATTERN_TREE_H_
+#define SPARQLOG_FRAGMENTS_PATTERN_TREE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sparql/ast.h"
+
+namespace sparqlog::fragments {
+
+/// A node of a well-designed pattern tree (Example 5.4 of the paper,
+/// after Letelier et al.): every node carries a conjunctive query; a
+/// child is an OPTIONAL extension of its parent.
+struct PatternTreeNode {
+  std::vector<const sparql::TriplePattern*> triples;
+  std::vector<const sparql::Expr*> filters;
+  std::vector<PatternTreeNode> children;
+
+  /// Variables of this node's CQ (triples only).
+  std::set<std::string> Vars() const;
+};
+
+/// Result of building a pattern tree from an AOF pattern.
+struct PatternTreeResult {
+  /// Construction succeeded (body was an AOF pattern).
+  bool ok = false;
+  PatternTreeNode root;
+  /// Max number of common variables between a node and a child
+  /// (Example 5.4: both T1 and T2 have interface width one).
+  int interface_width = 0;
+  /// For each variable, the nodes containing it form a connected subtree
+  /// (Barcelo et al.'s well-designedness of pattern trees).
+  bool connected_variables = false;
+};
+
+/// Builds the pattern tree of an AOF pattern body via OPT-normal form:
+/// the rewrite rules ((P1 OPT P2) AND P3) => ((P1 AND P3) OPT P2) and
+/// (P1 AND (P2 OPT P3)) => ((P1 AND P2) OPT P3) (sound for well-designed
+/// patterns), followed by the Currying encoding.
+PatternTreeResult BuildPatternTree(const sparql::Pattern& body);
+
+/// Checks Definition 5.3 (well-designedness) directly on the SPARQL
+/// algebra tree of the AOF pattern: for every LeftJoin(L, R), the
+/// variables of vars(R) \ vars(L) occur nowhere outside that subtree.
+/// Returns false for non-AOF bodies.
+bool IsWellDesigned(const sparql::Pattern& body);
+
+}  // namespace sparqlog::fragments
+
+#endif  // SPARQLOG_FRAGMENTS_PATTERN_TREE_H_

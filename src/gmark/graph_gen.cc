@@ -1,0 +1,95 @@
+#include "gmark/graph_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace sparqlog::gmark {
+
+namespace {
+
+uint64_t SampleOutDegree(const PredicateSpec& spec, util::Rng& rng) {
+  switch (spec.out_distribution) {
+    case DegreeDistribution::kUniform: {
+      // Uniform in [0, 2*avg] (expected value = avg).
+      uint64_t hi = static_cast<uint64_t>(std::llround(
+          2.0 * spec.avg_out_degree));
+      if (hi == 0) return rng.Chance(spec.avg_out_degree) ? 1 : 0;
+      return rng.Below(hi + 1);
+    }
+    case DegreeDistribution::kZipfian: {
+      // Zipf over [1, 10*avg] with s=2.0, shifted to allow zero.
+      if (!rng.Chance(0.9)) return 0;
+      uint64_t n = std::max<uint64_t>(
+          1, static_cast<uint64_t>(10.0 * spec.avg_out_degree));
+      return rng.Zipf(n, 2.0);
+    }
+    case DegreeDistribution::kGaussian: {
+      // Approximate normal via the sum of three uniforms around avg.
+      double u = rng.NextDouble() + rng.NextDouble() + rng.NextDouble();
+      double value = spec.avg_out_degree * (u * 2.0 / 3.0);
+      return value < 0 ? 0 : static_cast<uint64_t>(std::llround(value));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+void GenerateGraph(const Schema& schema, const GraphGenOptions& options,
+                   store::TripleStore& out) {
+  util::Rng rng(options.seed);
+
+  // Partition node ids per type.
+  size_t num_types = schema.types.size();
+  std::vector<uint64_t> type_count(num_types, 0);
+  double total_prop = 0;
+  for (double p : schema.type_proportions) total_prop += p;
+  uint64_t assigned = 0;
+  for (size_t t = 0; t < num_types; ++t) {
+    type_count[t] = static_cast<uint64_t>(
+        static_cast<double>(options.num_nodes) *
+        (schema.type_proportions[t] / total_prop));
+    assigned += type_count[t];
+  }
+  if (assigned < options.num_nodes && !type_count.empty()) {
+    type_count[0] += options.num_nodes - assigned;
+  }
+
+  // Node IRIs: <ns><Type>/<i>.
+  auto node_iri = [&](size_t type, uint64_t i) {
+    return schema.namespace_iri + schema.types[type] + "/" +
+           std::to_string(i);
+  };
+  const std::string rdf_type =
+      "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+  for (size_t t = 0; t < num_types; ++t) {
+    std::string type_iri = schema.namespace_iri + schema.types[t];
+    for (uint64_t i = 0; i < type_count[t]; ++i) {
+      out.Add(node_iri(t, i), rdf_type, type_iri);
+    }
+  }
+
+  // Edges per predicate.
+  for (const PredicateSpec& spec : schema.predicates) {
+    std::string pred_iri = schema.namespace_iri + spec.name;
+    uint64_t sources = type_count[static_cast<size_t>(spec.source_type)];
+    uint64_t targets = type_count[static_cast<size_t>(spec.target_type)];
+    if (targets == 0) continue;
+    for (uint64_t i = 0; i < sources; ++i) {
+      uint64_t degree = SampleOutDegree(spec, rng);
+      for (uint64_t d = 0; d < degree; ++d) {
+        uint64_t target =
+            spec.target_skew > 0.0
+                ? rng.Zipf(targets, 1.0 + spec.target_skew) - 1
+                : rng.Below(targets);
+        out.Add(node_iri(static_cast<size_t>(spec.source_type), i), pred_iri,
+                node_iri(static_cast<size_t>(spec.target_type), target));
+      }
+    }
+  }
+  out.Build();
+}
+
+}  // namespace sparqlog::gmark

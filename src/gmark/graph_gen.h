@@ -1,0 +1,27 @@
+#ifndef SPARQLOG_GMARK_GRAPH_GEN_H_
+#define SPARQLOG_GMARK_GRAPH_GEN_H_
+
+#include <cstdint>
+
+#include "gmark/schema.h"
+#include "store/store.h"
+#include "util/rng.h"
+
+namespace sparqlog::gmark {
+
+/// Options for graph-instance generation.
+struct GraphGenOptions {
+  uint64_t num_nodes = 100000;  ///< paper: graph of size 100k nodes
+  uint64_t seed = 42;
+};
+
+/// Generates a graph instance conforming to `schema` directly into a
+/// triple store (nodes become IRIs <ns/TypeN>, predicates
+/// <ns/predicate>). Also asserts rdf:type triples per node.
+/// The store is Build()-ready on return.
+void GenerateGraph(const Schema& schema, const GraphGenOptions& options,
+                   store::TripleStore& out);
+
+}  // namespace sparqlog::gmark
+
+#endif  // SPARQLOG_GMARK_GRAPH_GEN_H_

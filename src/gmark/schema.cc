@@ -1,0 +1,52 @@
+#include "gmark/schema.h"
+
+namespace sparqlog::gmark {
+
+Schema Schema::Bib() {
+  Schema s;
+  s.namespace_iri = "http://example.org/bib/";
+  s.types = {"Researcher", "Paper", "Journal", "Conference", "University",
+             "City"};
+  s.type_proportions = {0.30, 0.50, 0.05, 0.05, 0.05, 0.05};
+  // Indices into types:
+  constexpr int kResearcher = 0, kPaper = 1, kJournal = 2, kConference = 3,
+                kUniversity = 4, kCity = 5;
+  s.predicates = {
+      {"authors", kPaper, kResearcher, 2.5, DegreeDistribution::kGaussian,
+       0.0},
+      {"cites", kPaper, kPaper, 2.0, DegreeDistribution::kZipfian, 0.0},
+      {"publishedInJournal", kPaper, kJournal, 0.5,
+       DegreeDistribution::kUniform, 0.0},
+      {"publishedInConference", kPaper, kConference, 0.5,
+       DegreeDistribution::kUniform, 0.0},
+      {"extendedTo", kPaper, kPaper, 0.2, DegreeDistribution::kUniform, 0.0},
+      {"affiliatedWith", kResearcher, kUniversity, 1.0,
+       DegreeDistribution::kUniform, 0.0},
+      {"editorOf", kResearcher, kJournal, 0.1, DegreeDistribution::kUniform,
+       0.0},
+      {"friendOf", kResearcher, kResearcher, 1.5,
+       DegreeDistribution::kZipfian, 0.0},
+      {"heldIn", kConference, kCity, 1.0, DegreeDistribution::kUniform, 0.0},
+      {"locatedIn", kUniversity, kCity, 1.0, DegreeDistribution::kUniform,
+       0.0},
+  };
+  return s;
+}
+
+std::vector<int> Schema::PredicatesFrom(int type) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (predicates[i].source_type == type) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> Schema::PredicatesInto(int type) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (predicates[i].target_type == type) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace sparqlog::gmark

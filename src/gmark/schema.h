@@ -1,0 +1,46 @@
+#ifndef SPARQLOG_GMARK_SCHEMA_H_
+#define SPARQLOG_GMARK_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+namespace sparqlog::gmark {
+
+/// Degree distribution families supported by the generator (gMark [5]
+/// supports uniform, normal/gaussian, and zipfian distributions).
+enum class DegreeDistribution { kUniform, kZipfian, kGaussian };
+
+/// One predicate (edge type) of a schema: a typed relation with in/out
+/// degree characteristics.
+struct PredicateSpec {
+  std::string name;      ///< IRI-suffix, e.g. "authors"
+  int source_type = 0;   ///< index into Schema::types
+  int target_type = 0;
+  double avg_out_degree = 2.0;
+  DegreeDistribution out_distribution = DegreeDistribution::kUniform;
+  /// Skew of the target choice (zipf exponent; 0 = uniform targets).
+  double target_skew = 0.0;
+};
+
+/// A gMark-style graph schema: node types with proportions, plus typed
+/// predicates.
+struct Schema {
+  std::string namespace_iri = "http://example.org/gmark/";
+  std::vector<std::string> types;
+  std::vector<double> type_proportions;  ///< sums to ~1
+  std::vector<PredicateSpec> predicates;
+
+  /// The "Bib" use case shipped with gMark and used in Section 5.1:
+  /// researchers, papers, journals, conferences (+ universities/cities),
+  /// with authorship, citation, publication, and affiliation edges.
+  static Schema Bib();
+
+  /// Predicates with the given source type.
+  std::vector<int> PredicatesFrom(int type) const;
+  /// Predicates with the given target type (traversable in reverse).
+  std::vector<int> PredicatesInto(int type) const;
+};
+
+}  // namespace sparqlog::gmark
+
+#endif  // SPARQLOG_GMARK_SCHEMA_H_

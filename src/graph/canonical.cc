@@ -1,0 +1,208 @@
+#include "graph/canonical.h"
+
+#include <numeric>
+#include <string>
+
+namespace sparqlog::graph {
+
+using rdf::Term;
+using sparql::Expr;
+using sparql::ExprKind;
+using sparql::Pattern;
+using sparql::PatternKind;
+using sparql::TriplePattern;
+
+namespace {
+
+/// Union-find over term keys for `?x = ?y` collapsing.
+class UnionFind {
+ public:
+  int Find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[static_cast<size_t>(Find(a))] = Find(b); }
+  int Add() {
+    parent_.push_back(static_cast<int>(parent_.size()));
+    return static_cast<int>(parent_.size()) - 1;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+/// A unique key for graph nodes: kind-tagged string.
+std::string NodeKey(const Term& t) {
+  switch (t.kind) {
+    case rdf::TermKind::kVariable: return "?" + t.value;
+    case rdf::TermKind::kBlank: return "_" + t.value;
+    case rdf::TermKind::kIri: return "<" + t.value;
+    case rdf::TermKind::kLiteral:
+      return "\"" + t.value + "^" + t.datatype + "@" + t.lang;
+  }
+  return "";
+}
+
+void CollectEqualityPairs(const Expr& e,
+                          std::vector<std::pair<std::string, std::string>>& out) {
+  if (IsVarEqualityFilter(e)) {
+    out.emplace_back("?" + e.args[0].term.value, "?" + e.args[1].term.value);
+    return;
+  }
+  // Conjunctions of simple filters distribute; other contexts (||, !)
+  // do not force equality, so we only descend through kAnd.
+  if (e.kind == ExprKind::kAnd) {
+    for (const Expr& a : e.args) CollectEqualityPairs(a, out);
+  }
+}
+
+}  // namespace
+
+bool IsVarEqualityFilter(const Expr& e) {
+  return e.kind == ExprKind::kCompare && e.op == "=" && e.args.size() == 2 &&
+         e.args[0].is_variable() && e.args[1].is_variable();
+}
+
+void CollectTriplesAndFilters(const Pattern& body,
+                              std::vector<const TriplePattern*>& triples,
+                              std::vector<const Expr*>& filters) {
+  switch (body.kind) {
+    case PatternKind::kTriple:
+      triples.push_back(&body.triple);
+      return;
+    case PatternKind::kFilter:
+      filters.push_back(&body.expr);
+      return;
+    case PatternKind::kSubSelect:
+      return;
+    default:
+      break;
+  }
+  for (const Pattern& c : body.children) {
+    CollectTriplesAndFilters(c, triples, filters);
+  }
+}
+
+CanonicalGraph BuildCanonicalGraph(
+    const std::vector<const TriplePattern*>& triples,
+    const std::vector<const Expr*>& filters, const CanonicalOptions& options) {
+  CanonicalGraph out;
+  for (const TriplePattern* tp : triples) {
+    if (tp->has_path || tp->predicate.is_variable()) {
+      out.valid = false;
+      return out;
+    }
+  }
+
+  UnionFind uf;
+  std::map<std::string, int> key_to_uf;
+  std::map<int, Term> uf_term;  // representative term per uf class
+  auto intern = [&](const Term& t) {
+    std::string key = NodeKey(t);
+    auto it = key_to_uf.find(key);
+    if (it != key_to_uf.end()) return it->second;
+    int id = uf.Add();
+    key_to_uf.emplace(std::move(key), id);
+    uf_term.emplace(id, t);
+    return id;
+  };
+
+  // Collapse ?x = ?y equality filters first (footnote 20).
+  if (options.collapse_equality_filters) {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (const Expr* f : filters) CollectEqualityPairs(*f, pairs);
+    for (const auto& [a, b] : pairs) {
+      Term ta = Term::Var(a.substr(1));
+      Term tb = Term::Var(b.substr(1));
+      uf.Union(intern(ta), intern(tb));
+    }
+  }
+
+  auto keep = [&](const Term& t) {
+    return options.include_constants || t.is_unknown();
+  };
+
+  // Map union-find classes to graph nodes lazily.
+  std::map<int, int> class_to_node;
+  auto node_of = [&](const Term& t) {
+    int cls = uf.Find(intern(t));
+    auto it = class_to_node.find(cls);
+    if (it != class_to_node.end()) return it->second;
+    int node = out.graph.AddNode();
+    out.node_terms.push_back(uf_term.at(cls));
+    class_to_node.emplace(cls, node);
+    return node;
+  };
+
+  for (const TriplePattern* tp : triples) {
+    bool ks = keep(tp->subject);
+    bool ko = keep(tp->object);
+    if (ks && ko) {
+      out.graph.AddEdge(node_of(tp->subject), node_of(tp->object));
+    } else if (ks) {
+      node_of(tp->subject);
+    } else if (ko) {
+      node_of(tp->object);
+    }
+  }
+  return out;
+}
+
+CanonicalGraph BuildCanonicalGraph(const Pattern& body,
+                                   const CanonicalOptions& options) {
+  std::vector<const TriplePattern*> triples;
+  std::vector<const Expr*> filters;
+  CollectTriplesAndFilters(body, triples, filters);
+  return BuildCanonicalGraph(triples, filters, options);
+}
+
+Hypergraph BuildCanonicalHypergraph(
+    const std::vector<const TriplePattern*>& triples,
+    const std::vector<const Expr*>& filters, const CanonicalOptions& options) {
+  UnionFind uf;
+  std::map<std::string, int> key_to_uf;
+  auto intern = [&](const Term& t) {
+    std::string key = NodeKey(t);
+    auto it = key_to_uf.find(key);
+    if (it != key_to_uf.end()) return it->second;
+    int id = uf.Add();
+    key_to_uf.emplace(std::move(key), id);
+    return id;
+  };
+
+  if (options.collapse_equality_filters) {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (const Expr* f : filters) CollectEqualityPairs(*f, pairs);
+    for (const auto& [a, b] : pairs) {
+      uf.Union(intern(Term::Var(a.substr(1))), intern(Term::Var(b.substr(1))));
+    }
+  }
+
+  std::map<int, int> class_to_node;
+  int next_node = 0;
+  auto node_of = [&](const Term& t) {
+    int cls = uf.Find(intern(t));
+    auto it = class_to_node.find(cls);
+    if (it != class_to_node.end()) return it->second;
+    class_to_node.emplace(cls, next_node);
+    return next_node++;
+  };
+
+  Hypergraph hg;
+  for (const TriplePattern* tp : triples) {
+    std::set<int> edge;
+    if (tp->subject.is_unknown()) edge.insert(node_of(tp->subject));
+    if (!tp->has_path && tp->predicate.is_unknown()) {
+      edge.insert(node_of(tp->predicate));
+    }
+    if (tp->object.is_unknown()) edge.insert(node_of(tp->object));
+    hg.AddEdge(std::move(edge));
+  }
+  return hg;
+}
+
+}  // namespace sparqlog::graph

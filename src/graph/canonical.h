@@ -1,0 +1,67 @@
+#ifndef SPARQLOG_GRAPH_CANONICAL_H_
+#define SPARQLOG_GRAPH_CANONICAL_H_
+
+#include <map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+#include "rdf/term.h"
+#include "sparql/ast.h"
+
+namespace sparqlog::graph {
+
+/// Options for canonical graph construction (Sections 5 and 6.1).
+struct CanonicalOptions {
+  /// Include constant (IRI/literal) endpoints as graph nodes. The paper
+  /// runs the shape analysis both ways.
+  bool include_constants = true;
+  /// Collapse nodes ?x and ?y when a filter `?x = ?y` is present
+  /// (footnote 20 of the paper).
+  bool collapse_equality_filters = true;
+};
+
+/// Result of building a canonical graph: the graph plus the term that
+/// each node represents (after equality collapsing, a representative).
+struct CanonicalGraph {
+  Graph graph;
+  std::vector<rdf::Term> node_terms;
+  /// False iff some triple pattern has a variable in predicate position
+  /// (then the graph is not meaningful; use the hypergraph instead).
+  bool valid = true;
+};
+
+/// Builds the canonical graph of the pattern's triples: one edge {x, y}
+/// per triple pattern (x, l, y) with constant predicate l.
+/// Equality filters are taken from `filters`.
+CanonicalGraph BuildCanonicalGraph(
+    const std::vector<const sparql::TriplePattern*>& triples,
+    const std::vector<const sparql::Expr*>& filters,
+    const CanonicalOptions& options = CanonicalOptions());
+
+/// Convenience overload over a whole query body: collects triples and
+/// filters from the pattern tree first.
+CanonicalGraph BuildCanonicalGraph(
+    const sparql::Pattern& body,
+    const CanonicalOptions& options = CanonicalOptions());
+
+/// Builds the canonical hypergraph: one hyperedge per triple pattern,
+/// containing the variables and blank nodes of that triple (constants
+/// are excluded by definition; Section 5).
+Hypergraph BuildCanonicalHypergraph(
+    const std::vector<const sparql::TriplePattern*>& triples,
+    const std::vector<const sparql::Expr*>& filters,
+    const CanonicalOptions& options = CanonicalOptions());
+
+/// Collects triples and (recursively) filter expressions of a pattern
+/// subtree, excluding subqueries and EXISTS bodies.
+void CollectTriplesAndFilters(const sparql::Pattern& body,
+                              std::vector<const sparql::TriplePattern*>& triples,
+                              std::vector<const sparql::Expr*>& filters);
+
+/// True iff `e` is an equality between two variables (`?x = ?y`).
+bool IsVarEqualityFilter(const sparql::Expr& e);
+
+}  // namespace sparqlog::graph
+
+#endif  // SPARQLOG_GRAPH_CANONICAL_H_

@@ -1,0 +1,113 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace sparqlog::graph {
+
+int Graph::AddNode() {
+  adj_.emplace_back();
+  return static_cast<int>(adj_.size()) - 1;
+}
+
+void Graph::AddEdge(int u, int v) {
+  if (u == v) {
+    if (self_loops_.insert(v).second) ++num_edges_;
+    return;
+  }
+  if (adj_[static_cast<size_t>(u)].insert(v).second) {
+    adj_[static_cast<size_t>(v)].insert(u);
+    ++num_edges_;
+  }
+}
+
+bool Graph::HasEdge(int u, int v) const {
+  if (u == v) return HasSelfLoop(v);
+  return adj_[static_cast<size_t>(u)].count(v) > 0;
+}
+
+std::vector<std::vector<int>> Graph::ConnectedComponents() const {
+  std::vector<std::vector<int>> components;
+  std::vector<bool> seen(adj_.size(), false);
+  for (int start = 0; start < num_nodes(); ++start) {
+    if (seen[static_cast<size_t>(start)]) continue;
+    std::vector<int> comp;
+    std::queue<int> frontier;
+    frontier.push(start);
+    seen[static_cast<size_t>(start)] = true;
+    while (!frontier.empty()) {
+      int v = frontier.front();
+      frontier.pop();
+      comp.push_back(v);
+      for (int w : Neighbors(v)) {
+        if (!seen[static_cast<size_t>(w)]) {
+          seen[static_cast<size_t>(w)] = true;
+          frontier.push(w);
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    components.push_back(std::move(comp));
+  }
+  return components;
+}
+
+Graph Graph::InducedSubgraph(const std::vector<int>& nodes,
+                             std::vector<int>* index_map) const {
+  std::vector<int> map(adj_.size(), -1);
+  Graph sub(static_cast<int>(nodes.size()));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    map[static_cast<size_t>(nodes[i])] = static_cast<int>(i);
+  }
+  for (int v : nodes) {
+    int nv = map[static_cast<size_t>(v)];
+    if (HasSelfLoop(v)) sub.AddEdge(nv, nv);
+    for (int w : Neighbors(v)) {
+      int nw = map[static_cast<size_t>(w)];
+      if (nw >= 0 && nv < nw) sub.AddEdge(nv, nw);
+    }
+  }
+  if (index_map != nullptr) *index_map = std::move(map);
+  return sub;
+}
+
+bool Graph::IsAcyclic(bool ignore_self_loops) const {
+  if (!ignore_self_loops && !self_loops_.empty()) return false;
+  // A graph is a forest iff every component has |E| = |V| - 1, i.e.
+  // globally |E_proper| = |V| - #components.
+  int components = static_cast<int>(ConnectedComponents().size());
+  return num_proper_edges() == num_nodes() - components;
+}
+
+int Graph::Girth() const {
+  if (!self_loops_.empty()) return 1;
+  int best = 0;
+  int n = num_nodes();
+  for (int start = 0; start < n; ++start) {
+    // BFS from `start`; a non-tree edge closing at depths d1, d2 yields a
+    // cycle of length d1 + d2 + 1 through `start`'s BFS tree.
+    std::vector<int> dist(static_cast<size_t>(n), -1);
+    std::vector<int> parent(static_cast<size_t>(n), -1);
+    std::queue<int> frontier;
+    dist[static_cast<size_t>(start)] = 0;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      int v = frontier.front();
+      frontier.pop();
+      for (int w : Neighbors(v)) {
+        if (dist[static_cast<size_t>(w)] < 0) {
+          dist[static_cast<size_t>(w)] = dist[static_cast<size_t>(v)] + 1;
+          parent[static_cast<size_t>(w)] = v;
+          frontier.push(w);
+        } else if (w != parent[static_cast<size_t>(v)]) {
+          int len = dist[static_cast<size_t>(v)] +
+                    dist[static_cast<size_t>(w)] + 1;
+          if (best == 0 || len < best) best = len;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace sparqlog::graph

@@ -1,0 +1,71 @@
+#ifndef SPARQLOG_GRAPH_GRAPH_H_
+#define SPARQLOG_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+namespace sparqlog::graph {
+
+/// A finite undirected graph with set-semantics edges (no multi-edges)
+/// and optional self-loops, matching the paper's canonical-graph
+/// definition in Section 5 (an edge is a set of one or two nodes).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int num_nodes) : adj_(static_cast<size_t>(num_nodes)) {}
+
+  /// Adds a node, returning its index.
+  int AddNode();
+
+  /// Adds the undirected edge {u, v}; u == v adds a self-loop.
+  /// Duplicate edges are ignored (set semantics).
+  void AddEdge(int u, int v);
+
+  int num_nodes() const { return static_cast<int>(adj_.size()); }
+  /// Number of edges, counting self-loops.
+  int num_edges() const { return num_edges_; }
+  /// Number of edges {u, v} with u != v.
+  int num_proper_edges() const {
+    return num_edges_ - static_cast<int>(self_loops_.size());
+  }
+
+  bool HasEdge(int u, int v) const;
+  bool HasSelfLoop(int v) const { return self_loops_.count(v) > 0; }
+  const std::set<int>& self_loops() const { return self_loops_; }
+
+  /// Neighbors of v, excluding v itself.
+  const std::set<int>& Neighbors(int v) const {
+    return adj_[static_cast<size_t>(v)];
+  }
+  /// Degree of v counting each proper incident edge once (self-loops do
+  /// not contribute; shape definitions in Section 6 speak of neighbors).
+  int Degree(int v) const {
+    return static_cast<int>(adj_[static_cast<size_t>(v)].size());
+  }
+
+  /// Connected components as lists of node indices (singletons included).
+  std::vector<std::vector<int>> ConnectedComponents() const;
+
+  /// The node-induced subgraph; `index_map` (optional out) maps original
+  /// node index -> new index (-1 if removed).
+  Graph InducedSubgraph(const std::vector<int>& nodes,
+                        std::vector<int>* index_map = nullptr) const;
+
+  /// True iff the graph has no cycle (ignoring self-loops if
+  /// `ignore_self_loops`, else a self-loop counts as a cycle).
+  bool IsAcyclic(bool ignore_self_loops = false) const;
+
+  /// Length of the shortest cycle; 0 if acyclic. A self-loop is a cycle
+  /// of length 1. Runs BFS from every node: O(V * E).
+  int Girth() const;
+
+ private:
+  std::vector<std::set<int>> adj_;
+  std::set<int> self_loops_;
+  int num_edges_ = 0;
+};
+
+}  // namespace sparqlog::graph
+
+#endif  // SPARQLOG_GRAPH_GRAPH_H_

@@ -1,0 +1,106 @@
+#include "graph/hypergraph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace sparqlog::graph {
+
+void Hypergraph::AddEdge(std::set<int> nodes) {
+  if (nodes.empty()) return;
+  num_nodes_ = std::max(num_nodes_, *nodes.rbegin() + 1);
+  edges_.push_back(std::move(nodes));
+}
+
+std::vector<int> Hypergraph::EdgesContaining(int v) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].count(v) > 0) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+bool Hypergraph::IsAlphaAcyclic() const {
+  // GYO reduction: repeatedly (1) delete nodes that occur in exactly one
+  // edge, (2) delete edges contained in another remaining edge. The
+  // hypergraph is alpha-acyclic iff this empties all edges.
+  std::vector<std::set<int>> edges = edges_;
+  std::vector<bool> alive(edges.size(), true);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Count node occurrences among live edges.
+    std::vector<int> occurrences(static_cast<size_t>(num_nodes_), 0);
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (!alive[i]) continue;
+      for (int v : edges[i]) ++occurrences[static_cast<size_t>(v)];
+    }
+    // Rule 1: remove nodes occurring in a single edge.
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (!alive[i]) continue;
+      for (auto it = edges[i].begin(); it != edges[i].end();) {
+        if (occurrences[static_cast<size_t>(*it)] == 1) {
+          it = edges[i].erase(it);
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+      if (edges[i].empty()) alive[i] = false;
+    }
+    // Rule 2: remove edges contained in another live edge.
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (!alive[i]) continue;
+      for (size_t j = 0; j < edges.size(); ++j) {
+        if (i == j || !alive[j]) continue;
+        if (std::includes(edges[j].begin(), edges[j].end(),
+                          edges[i].begin(), edges[i].end()) &&
+            // Break ties between identical edges by index.
+            (edges[i] != edges[j] || i > j)) {
+          alive[i] = false;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (alive[i]) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<int>> Hypergraph::ConnectedComponents() const {
+  std::vector<std::vector<int>> node_edges(static_cast<size_t>(num_nodes_));
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    for (int v : edges_[i]) {
+      node_edges[static_cast<size_t>(v)].push_back(static_cast<int>(i));
+    }
+  }
+  std::vector<std::vector<int>> components;
+  std::vector<bool> seen(static_cast<size_t>(num_nodes_), false);
+  for (int start = 0; start < num_nodes_; ++start) {
+    if (seen[static_cast<size_t>(start)]) continue;
+    std::vector<int> comp;
+    std::queue<int> frontier;
+    frontier.push(start);
+    seen[static_cast<size_t>(start)] = true;
+    while (!frontier.empty()) {
+      int v = frontier.front();
+      frontier.pop();
+      comp.push_back(v);
+      for (int e : node_edges[static_cast<size_t>(v)]) {
+        for (int w : edges_[static_cast<size_t>(e)]) {
+          if (!seen[static_cast<size_t>(w)]) {
+            seen[static_cast<size_t>(w)] = true;
+            frontier.push(w);
+          }
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    components.push_back(std::move(comp));
+  }
+  return components;
+}
+
+}  // namespace sparqlog::graph

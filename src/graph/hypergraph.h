@@ -1,0 +1,43 @@
+#ifndef SPARQLOG_GRAPH_HYPERGRAPH_H_
+#define SPARQLOG_GRAPH_HYPERGRAPH_H_
+
+#include <set>
+#include <vector>
+
+namespace sparqlog::graph {
+
+/// A finite hypergraph: nodes 0..n-1 and hyperedges as node sets
+/// (Section 5 of the paper: nodes are variables/blank nodes of a pattern,
+/// one hyperedge per triple pattern).
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  /// Adds a hyperedge; nodes are created implicitly. Duplicate edges are
+  /// kept (they are harmless for width computations) but empty edges are
+  /// ignored.
+  void AddEdge(std::set<int> nodes);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const std::vector<std::set<int>>& edges() const { return edges_; }
+
+  /// All edges containing node v.
+  std::vector<int> EdgesContaining(int v) const;
+
+  /// True iff the hypergraph is alpha-acyclic (GYO reduction succeeds),
+  /// which is equivalent to generalized hypertree width <= 1 for
+  /// non-trivial hypergraphs.
+  bool IsAlphaAcyclic() const;
+
+  /// Connected components of the node set (via shared edges).
+  std::vector<std::vector<int>> ConnectedComponents() const;
+
+ private:
+  std::vector<std::set<int>> edges_;
+  int num_nodes_ = 0;
+};
+
+}  // namespace sparqlog::graph
+
+#endif  // SPARQLOG_GRAPH_HYPERGRAPH_H_

@@ -1,0 +1,298 @@
+#include "graph/shapes.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <vector>
+
+namespace sparqlog::graph {
+
+namespace {
+
+/// Biconnected components (blocks) as edge lists, via Tarjan/Hopcroft.
+/// Self-loops are not part of any block here; handled separately.
+std::vector<std::vector<std::pair<int, int>>> Blocks(const Graph& g) {
+  int n = g.num_nodes();
+  std::vector<int> disc(static_cast<size_t>(n), -1),
+      low(static_cast<size_t>(n), 0);
+  std::vector<std::pair<int, int>> edge_stack;
+  std::vector<std::vector<std::pair<int, int>>> blocks;
+  int timer = 0;
+
+  std::function<void(int, int)> dfs = [&](int u, int parent) {
+    disc[static_cast<size_t>(u)] = low[static_cast<size_t>(u)] = timer++;
+    bool skipped_parent_edge = false;
+    for (int v : g.Neighbors(u)) {
+      if (v == parent && !skipped_parent_edge) {
+        // Skip exactly one copy of the tree edge back to the parent.
+        skipped_parent_edge = true;
+        continue;
+      }
+      if (disc[static_cast<size_t>(v)] < 0) {
+        edge_stack.emplace_back(u, v);
+        dfs(v, u);
+        low[static_cast<size_t>(u)] =
+            std::min(low[static_cast<size_t>(u)], low[static_cast<size_t>(v)]);
+        if (low[static_cast<size_t>(v)] >= disc[static_cast<size_t>(u)]) {
+          // u is an articulation point (or root): pop one block.
+          std::vector<std::pair<int, int>> block;
+          for (;;) {
+            auto e = edge_stack.back();
+            edge_stack.pop_back();
+            block.push_back(e);
+            if (e.first == u && e.second == v) break;
+          }
+          blocks.push_back(std::move(block));
+        }
+      } else if (disc[static_cast<size_t>(v)] < disc[static_cast<size_t>(u)]) {
+        edge_stack.emplace_back(u, v);
+        low[static_cast<size_t>(u)] =
+            std::min(low[static_cast<size_t>(u)], disc[static_cast<size_t>(v)]);
+      }
+    }
+  };
+
+  for (int u = 0; u < n; ++u) {
+    if (disc[static_cast<size_t>(u)] < 0) dfs(u, -1);
+  }
+  return blocks;
+}
+
+/// Degree table of a block given as an edge list.
+std::set<int> BlockNodes(const std::vector<std::pair<int, int>>& block) {
+  std::set<int> nodes;
+  for (const auto& [u, v] : block) {
+    nodes.insert(u);
+    nodes.insert(v);
+  }
+  return nodes;
+}
+
+/// Checks whether a cyclic block is a petal and reports its allowed
+/// attachment nodes: for a plain cycle, every node; for a generalized
+/// theta (two branch nodes of equal degree, rest degree 2), the two
+/// branch nodes; empty set if not a petal.
+std::set<int> PetalCenters(const std::vector<std::pair<int, int>>& block) {
+  std::set<int> nodes = BlockNodes(block);
+  std::vector<std::pair<int, int>> degrees;  // (node, degree in block)
+  {
+    std::vector<std::pair<int, int>> tmp;
+    for (int v : nodes) {
+      int d = 0;
+      for (const auto& [a, b] : block) {
+        if (a == v || b == v) ++d;
+      }
+      degrees.emplace_back(v, d);
+    }
+  }
+  std::set<int> branch;
+  for (const auto& [v, d] : degrees) {
+    if (d > 2) branch.insert(v);
+    if (d < 2) return {};  // cannot happen in a 2-connected block
+  }
+  if (branch.empty()) return nodes;  // a simple cycle
+  if (branch.size() != 2) return {};
+  auto it = branch.begin();
+  int u = *it++;
+  int v = *it;
+  int du = 0, dv = 0;
+  for (const auto& [a, b] : block) {
+    if (a == u || b == u) ++du;
+    if (a == v || b == v) ++dv;
+  }
+  if (du != dv) return {};
+  // Two equal-degree branch nodes, all others degree 2, 2-connected:
+  // a union of du internally node-disjoint u-v paths, i.e. a petal.
+  return branch;
+}
+
+}  // namespace
+
+bool IsPetal(const Graph& g) {
+  if (!g.self_loops().empty()) return false;
+  if (g.num_nodes() < 2 || g.IsAcyclic()) return false;
+  auto components = g.ConnectedComponents();
+  if (components.size() != 1) return false;
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < g.num_nodes(); ++u) {
+    for (int v : g.Neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  // A petal is a single 2-connected block with the branch structure above.
+  auto blocks = Blocks(g);
+  if (blocks.size() != 1) return false;
+  if (blocks[0].size() != edges.size()) return false;
+  return !PetalCenters(blocks[0]).empty();
+}
+
+bool IsFlowerWithCenter(const Graph& g, int x) {
+  // All self-loops must sit at the center.
+  for (int v : g.self_loops()) {
+    if (v != x) return false;
+  }
+  auto blocks = Blocks(g);
+  std::set<std::pair<int, int>> petal_edges;
+  for (const auto& block : blocks) {
+    if (block.size() <= 1) continue;  // a bridge, part of the acyclic part
+    std::set<int> centers = PetalCenters(block);
+    if (centers.count(x) == 0) return false;
+    for (const auto& [u, v] : block) {
+      petal_edges.insert({std::min(u, v), std::max(u, v)});
+    }
+  }
+  // Remove petal edges; every remaining nontrivial component must
+  // contain x (trees attach to the flower at the center only).
+  Graph rest(g.num_nodes());
+  for (int u = 0; u < g.num_nodes(); ++u) {
+    for (int v : g.Neighbors(u)) {
+      if (u < v && petal_edges.count({u, v}) == 0) rest.AddEdge(u, v);
+    }
+  }
+  for (const auto& comp : rest.ConnectedComponents()) {
+    if (comp.size() <= 1) continue;
+    bool has_edge = false;
+    for (int v : comp) {
+      if (rest.Degree(v) > 0) has_edge = true;
+    }
+    if (!has_edge) continue;
+    if (std::find(comp.begin(), comp.end(), x) == comp.end()) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool IsFlowerConnected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  // Acyclic connected graphs (trees) are flowers: pick any center.
+  if (g.IsAcyclic()) return true;
+  // Candidate centers: common nodes of all cyclic blocks (and self-loop
+  // nodes). Compute the intersection of per-block candidate sets.
+  auto blocks = Blocks(g);
+  bool first = true;
+  std::set<int> candidates;
+  for (const auto& block : blocks) {
+    if (block.size() <= 1) continue;
+    std::set<int> centers = PetalCenters(block);
+    if (centers.empty()) return false;
+    if (first) {
+      candidates = std::move(centers);
+      first = false;
+    } else {
+      std::set<int> merged;
+      std::set_intersection(candidates.begin(), candidates.end(),
+                            centers.begin(), centers.end(),
+                            std::inserter(merged, merged.begin()));
+      candidates = std::move(merged);
+    }
+  }
+  for (int v : g.self_loops()) {
+    if (first) {
+      candidates.insert(v);
+      // All self-loops must coincide; intersection below enforces it.
+    }
+  }
+  if (!g.self_loops().empty()) {
+    std::set<int> loop_nodes(g.self_loops().begin(), g.self_loops().end());
+    if (loop_nodes.size() > 1) return false;
+    if (first) {
+      candidates = loop_nodes;
+    } else {
+      std::set<int> merged;
+      std::set_intersection(candidates.begin(), candidates.end(),
+                            loop_nodes.begin(), loop_nodes.end(),
+                            std::inserter(merged, merged.begin()));
+      candidates = std::move(merged);
+    }
+  }
+  for (int x : candidates) {
+    if (IsFlowerWithCenter(g, x)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ShapeClass ClassifyShape(const Graph& g) {
+  ShapeClass s;
+  s.girth = g.Girth();
+  auto components = g.ConnectedComponents();
+  bool connected = components.size() <= 1;
+  bool acyclic = g.IsAcyclic();
+
+  s.forest = acyclic;
+  s.tree = acyclic && connected && g.num_nodes() > 0;
+  s.single_edge = g.num_edges() == 1 && g.num_nodes() == 2;
+
+  // Chains: connected, acyclic, max degree <= 2, at least one edge.
+  auto is_chain_component = [&](const std::vector<int>& comp) {
+    int max_degree = 0;
+    for (int v : comp) {
+      if (g.HasSelfLoop(v)) return false;
+      max_degree = std::max(max_degree, g.Degree(v));
+    }
+    // Count edges within the component.
+    int edges = 0;
+    for (int v : comp) edges += g.Degree(v);
+    edges /= 2;
+    return edges == static_cast<int>(comp.size()) - 1 && max_degree <= 2;
+  };
+  if (g.num_nodes() > 0) {
+    s.chain = connected && is_chain_component(components[0]);
+    s.chain_set = true;
+    for (const auto& comp : components) {
+      if (!is_chain_component(comp)) {
+        s.chain_set = false;
+        break;
+      }
+    }
+  } else {
+    s.chain_set = true;
+    s.forest = true;
+  }
+
+  // Star: a tree with exactly one node having more than two neighbors.
+  if (s.tree) {
+    int hubs = 0;
+    for (int v = 0; v < g.num_nodes(); ++v) {
+      if (g.Degree(v) > 2) ++hubs;
+    }
+    s.star = hubs == 1;
+  }
+
+  // Cycle: connected, all degrees exactly two, exactly one cycle.
+  if (connected && g.num_nodes() > 0 && g.self_loops().empty()) {
+    bool all_two = true;
+    for (int v = 0; v < g.num_nodes(); ++v) {
+      if (g.Degree(v) != 2) all_two = false;
+    }
+    s.cycle = all_two && g.num_proper_edges() == g.num_nodes();
+  }
+  // Degenerate cycle: one node with a self-loop only.
+  if (connected && g.num_nodes() == 1 && g.num_edges() == 1 &&
+      !g.self_loops().empty()) {
+    s.cycle = true;
+  }
+
+  // Flowers.
+  if (g.num_nodes() == 0) {
+    s.flower = true;
+    s.flower_set = true;
+  } else {
+    std::vector<Graph> comps;
+    comps.reserve(components.size());
+    s.flower_set = true;
+    for (const auto& comp : components) {
+      Graph sub = g.InducedSubgraph(comp);
+      if (!IsFlowerConnected(sub)) {
+        s.flower_set = false;
+        break;
+      }
+    }
+    s.flower = connected && s.flower_set;
+  }
+  return s;
+}
+
+}  // namespace sparqlog::graph

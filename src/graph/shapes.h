@@ -1,0 +1,41 @@
+#ifndef SPARQLOG_GRAPH_SHAPES_H_
+#define SPARQLOG_GRAPH_SHAPES_H_
+
+#include "graph/graph.h"
+
+namespace sparqlog::graph {
+
+/// Shape-membership flags for a canonical graph, matching the cumulative
+/// shape analysis of Table 4. Classes nest:
+///   single edge ⊆ chain ⊆ chain set ⊆ forest; star ⊆ tree ⊆ forest;
+///   cycle ⊆ petal-graph ⊆ flower ⊆ flower set; forest ⊆ flower set.
+struct ShapeClass {
+  bool single_edge = false;  ///< one edge, two nodes
+  bool chain = false;        ///< connected path (Section 5.1)
+  bool chain_set = false;    ///< every component a chain
+  bool star = false;         ///< tree with exactly one node of degree >= 3
+  bool tree = false;         ///< connected and acyclic
+  bool forest = false;       ///< acyclic
+  bool cycle = false;        ///< single simple cycle
+  bool flower = false;       ///< Definition 6.1
+  bool flower_set = false;   ///< every component a flower
+  int girth = 0;             ///< shortest cycle length; 0 if acyclic
+};
+
+/// Classifies a canonical graph. Empty graphs (queries with no qualifying
+/// edges) report all tree-like flags true except single_edge/chain/star.
+ShapeClass ClassifyShape(const Graph& g);
+
+/// True iff `g` (connected, with designated endpoints) is a petal: two
+/// nodes s,t joined by >= 2 internally node-disjoint paths. Exposed for
+/// tests.
+bool IsPetal(const Graph& g);
+
+/// True iff connected graph `g` is a flower with center `x`
+/// (Definition 6.1): every cyclic block is a petal attached at x, every
+/// self-loop is at x, and all acyclic parts attach to the rest at x only.
+bool IsFlowerWithCenter(const Graph& g, int x);
+
+}  // namespace sparqlog::graph
+
+#endif  // SPARQLOG_GRAPH_SHAPES_H_

@@ -1,0 +1,119 @@
+#include "paths/ctract.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace sparqlog::paths {
+
+using sparql::PathExpr;
+using sparql::PathKind;
+
+namespace {
+
+constexpr int kUnbounded = std::numeric_limits<int>::max() / 4;
+
+/// Flattens nested closure operators: (e*)* == e*, (e+)* == e*,
+/// (e?)* == e*, etc., so that (a*)* is recognized as tractable.
+PathExpr FlattenClosures(const PathExpr& p) {
+  PathExpr out = p;
+  out.children.clear();
+  for (const PathExpr& c : p.children) {
+    out.children.push_back(FlattenClosures(c));
+  }
+  bool is_closure = out.kind == PathKind::kZeroOrMore ||
+                    out.kind == PathKind::kOneOrMore ||
+                    out.kind == PathKind::kZeroOrOne;
+  if (is_closure && out.children.size() == 1) {
+    const PathExpr& child = out.children[0];
+    bool child_closure = child.kind == PathKind::kZeroOrMore ||
+                         child.kind == PathKind::kOneOrMore ||
+                         child.kind == PathKind::kZeroOrOne;
+    if (child_closure) {
+      // Combined closure: star unless both are plus.
+      PathKind combined =
+          (out.kind == PathKind::kOneOrMore &&
+           child.kind == PathKind::kOneOrMore)
+              ? PathKind::kOneOrMore
+              : PathKind::kZeroOrMore;
+      PathExpr collapsed = child.children[0];
+      PathExpr result;
+      result.kind = combined;
+      result.children.push_back(std::move(collapsed));
+      return result;
+    }
+  }
+  return out;
+}
+
+/// Longest word the expression can match (kUnbounded for infinite).
+int MaxWordLen(const PathExpr& p) {
+  switch (p.kind) {
+    case PathKind::kLink:
+    case PathKind::kNegated:
+      return 1;
+    case PathKind::kInverse:
+      return MaxWordLen(p.children[0]);
+    case PathKind::kSeq: {
+      long total = 0;
+      for (const PathExpr& c : p.children) total += MaxWordLen(c);
+      return total >= kUnbounded ? kUnbounded : static_cast<int>(total);
+    }
+    case PathKind::kAlt: {
+      int best = 0;
+      for (const PathExpr& c : p.children) {
+        best = std::max(best, MaxWordLen(c));
+      }
+      return best;
+    }
+    case PathKind::kZeroOrMore:
+    case PathKind::kOneOrMore:
+      return MaxWordLen(p.children[0]) > 0 ? kUnbounded : 0;
+    case PathKind::kZeroOrOne:
+      return MaxWordLen(p.children[0]);
+  }
+  return 0;
+}
+
+bool IsUnbounded(const PathExpr& p) { return MaxWordLen(p) >= kUnbounded; }
+
+bool Tractable(const PathExpr& p) {
+  switch (p.kind) {
+    case PathKind::kLink:
+    case PathKind::kNegated:
+      return true;
+    case PathKind::kInverse:
+      return Tractable(p.children[0]);
+    case PathKind::kZeroOrMore:
+    case PathKind::kOneOrMore:
+      // A* / A+ over letter sets only: the starred expression must not
+      // match any word of length >= 2 (else e.g. (a/b)* which is hard
+      // under simple-path semantics).
+      return MaxWordLen(p.children[0]) <= 1;
+    case PathKind::kZeroOrOne:
+      return Tractable(p.children[0]);
+    case PathKind::kAlt:
+      // Finite unions preserve tractability.
+      for (const PathExpr& c : p.children) {
+        if (!Tractable(c)) return false;
+      }
+      return true;
+    case PathKind::kSeq: {
+      // w1 A* w2: at most one unbounded factor, all factors tractable.
+      int unbounded = 0;
+      for (const PathExpr& c : p.children) {
+        if (!Tractable(c)) return false;
+        if (IsUnbounded(c)) ++unbounded;
+      }
+      return unbounded <= 1;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsCtract(const PathExpr& path) {
+  return Tractable(FlattenClosures(path));
+}
+
+}  // namespace sparqlog::paths

@@ -1,0 +1,30 @@
+#ifndef SPARQLOG_PATHS_CTRACT_H_
+#define SPARQLOG_PATHS_CTRACT_H_
+
+#include "sparql/ast.h"
+
+namespace sparqlog::paths {
+
+/// Membership test for the tractable class C_tract of Bagan, Bonifati,
+/// and Groz [6]: evaluating a property path under *simple path*
+/// semantics is in PTIME iff its language is in C_tract, and
+/// NP-complete otherwise.
+///
+/// We implement the structural test sufficient for the corpus analysis
+/// (Section 7): a language is recognized as tractable when it is a
+/// finite union of expressions of the form  w1 A* w2  (words around a
+/// "local" Kleene star over single letters). Structurally:
+///  * star/plus over an expression whose words have length <= 1
+///    (letters, alternations of letters) is tractable — this is A*;
+///  * concatenations are tractable when at most one factor is unbounded;
+///  * alternations/options of tractable parts are tractable;
+///  * a star over an expression that can match a word of length >= 2
+///    (such as `(a/b)*`) is not in C_tract.
+/// Nested-star forms like `(a*)*` are flattened first. Every expression
+/// type of Table 5 classifies exactly as the paper reports (all
+/// tractable except `(a/b)*`).
+bool IsCtract(const sparql::PathExpr& path);
+
+}  // namespace sparqlog::paths
+
+#endif  // SPARQLOG_PATHS_CTRACT_H_

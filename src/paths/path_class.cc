@@ -1,0 +1,260 @@
+#include "paths/path_class.h"
+
+namespace sparqlog::paths {
+
+using sparql::PathExpr;
+using sparql::PathKind;
+
+namespace {
+
+/// An "atom" for classification purposes: a literal, a reversed literal,
+/// or a single-negation (footnote in Section 7: `(^a)/b` and `(!a)/b`
+/// classify like `a/b`).
+bool IsAtom(const PathExpr& p) {
+  if (p.kind == PathKind::kLink) return true;
+  if (p.kind == PathKind::kInverse) return IsAtom(p.children[0]);
+  if (p.kind == PathKind::kNegated && p.children.size() == 1) return true;
+  return false;
+}
+
+bool AllAtoms(const std::vector<PathExpr>& children) {
+  for (const PathExpr& c : children) {
+    if (!IsAtom(c)) return false;
+  }
+  return true;
+}
+
+bool IsStarOfAtom(const PathExpr& p) {
+  return p.kind == PathKind::kZeroOrMore && IsAtom(p.children[0]);
+}
+bool IsPlusOfAtom(const PathExpr& p) {
+  return p.kind == PathKind::kOneOrMore && IsAtom(p.children[0]);
+}
+bool IsOptOfAtom(const PathExpr& p) {
+  return p.kind == PathKind::kZeroOrOne && IsAtom(p.children[0]);
+}
+bool IsAltOfAtoms(const PathExpr& p) {
+  return p.kind == PathKind::kAlt && AllAtoms(p.children);
+}
+
+void ScanInverse(const PathExpr& p, bool& found) {
+  if (p.kind == PathKind::kInverse) found = true;
+  for (const PathExpr& c : p.children) ScanInverse(c, found);
+}
+
+}  // namespace
+
+PathClassification ClassifyPath(const PathExpr& path) {
+  PathClassification out;
+  ScanInverse(path, out.uses_inverse);
+
+  // Trivial forms first (Section 7 sets them aside).
+  if (path.kind == PathKind::kLink) {
+    out.type = PathType::kPlainLink;
+    out.uses_inverse = false;
+    return out;
+  }
+  if (path.kind == PathKind::kNegated && path.children.size() == 1 &&
+      path.children[0].kind == PathKind::kLink) {
+    out.type = PathType::kTrivialNegated;
+    return out;
+  }
+  if (path.kind == PathKind::kInverse &&
+      path.children[0].kind == PathKind::kLink) {
+    out.type = PathType::kTrivialInverse;
+    return out;
+  }
+
+  const auto& kids = path.children;
+  switch (path.kind) {
+    case PathKind::kZeroOrMore:
+      if (IsAtom(kids[0])) {
+        out.type = PathType::kStar;
+      } else if (IsAltOfAtoms(kids[0])) {
+        out.type = PathType::kStarOfAlt;
+        out.k = static_cast<int>(kids[0].children.size());
+      } else if (kids[0].kind == PathKind::kSeq &&
+                 AllAtoms(kids[0].children)) {
+        out.type = PathType::kStarOfSeq;
+        out.k = static_cast<int>(kids[0].children.size());
+      }
+      return out;
+    case PathKind::kOneOrMore:
+      if (IsAtom(kids[0])) {
+        out.type = PathType::kPlus;
+      } else if (IsAltOfAtoms(kids[0])) {
+        out.type = PathType::kPlusOfAlt;
+        out.k = static_cast<int>(kids[0].children.size());
+      }
+      return out;
+    case PathKind::kZeroOrOne:
+      if (IsAtom(kids[0])) {
+        // A lone a? is a sequence of optionals with k = 1.
+        out.type = PathType::kSeqOfOpts;
+        out.k = 1;
+      } else if (IsAltOfAtoms(kids[0])) {
+        out.type = PathType::kOptOfAlt;
+        out.k = static_cast<int>(kids[0].children.size());
+      }
+      return out;
+    case PathKind::kNegated:
+      out.type = PathType::kNegatedAlt;
+      out.k = static_cast<int>(kids.size());
+      return out;
+    case PathKind::kSeq: {
+      out.k = static_cast<int>(kids.size());
+      if (AllAtoms(kids)) {
+        out.type = PathType::kSeq;
+        return out;
+      }
+      // a*/b and b/a* (two elements, one star-of-atom, one atom).
+      if (kids.size() == 2) {
+        if ((IsStarOfAtom(kids[0]) && IsAtom(kids[1])) ||
+            (IsAtom(kids[0]) && IsStarOfAtom(kids[1]))) {
+          out.type = PathType::kStarSeqLink;
+          return out;
+        }
+        if ((IsStarOfAtom(kids[0]) && IsOptOfAtom(kids[1])) ||
+            (IsOptOfAtom(kids[0]) && IsStarOfAtom(kids[1]))) {
+          out.type = PathType::kStarSeqOpt;
+          return out;
+        }
+        if ((IsAtom(kids[0]) && IsAltOfAtoms(kids[1])) ||
+            (IsAltOfAtoms(kids[0]) && IsAtom(kids[1]))) {
+          out.type = PathType::kLinkSeqAlt;
+          out.k = static_cast<int>(
+              (IsAltOfAtoms(kids[0]) ? kids[0] : kids[1]).children.size());
+          return out;
+        }
+        if (kids[0].kind == PathKind::kAlt && kids[1].kind == PathKind::kAlt &&
+            AllAtoms(kids[0].children) && AllAtoms(kids[1].children)) {
+          out.type = PathType::kAltAltSeq;
+          out.k = static_cast<int>(kids[0].children.size());
+          return out;
+        }
+      }
+      // a1?/.../ak? — all optional atoms.
+      {
+        bool all_opts = true;
+        for (const PathExpr& c : kids) {
+          if (!IsOptOfAtom(c)) all_opts = false;
+        }
+        if (all_opts) {
+          out.type = PathType::kSeqOfOpts;
+          return out;
+        }
+      }
+      // a1/a2?/.../ak? — one leading atom, optional tail.
+      {
+        bool tail_opts = kids.size() >= 2 && IsAtom(kids[0]);
+        for (size_t i = 1; i < kids.size() && tail_opts; ++i) {
+          if (!IsOptOfAtom(kids[i])) tail_opts = false;
+        }
+        if (tail_opts) {
+          out.type = PathType::kSeqLinkOpts;
+          out.k = static_cast<int>(kids.size()) - 1;
+          return out;
+        }
+      }
+      // a/b/c* (or c*/b/a): atoms except one trailing/leading star.
+      if (kids.size() >= 3) {
+        bool leading_star = IsStarOfAtom(kids[0]);
+        bool trailing_star = IsStarOfAtom(kids.back());
+        bool rest_atoms = true;
+        for (size_t i = 0; i < kids.size(); ++i) {
+          bool is_edge_star = (i == 0 && leading_star && !trailing_star) ||
+                              (i + 1 == kids.size() && trailing_star &&
+                               !leading_star);
+          if (is_edge_star) continue;
+          if (!IsAtom(kids[i])) rest_atoms = false;
+        }
+        if ((leading_star != trailing_star) && rest_atoms) {
+          out.type = PathType::kSeqSeqStar;
+          return out;
+        }
+      }
+      out.type = PathType::kOther;
+      return out;
+    }
+    case PathKind::kAlt: {
+      out.k = static_cast<int>(kids.size());
+      if (AllAtoms(kids)) {
+        out.type = PathType::kAlt;
+        return out;
+      }
+      if (kids.size() == 2) {
+        const PathExpr& a = kids[0];
+        const PathExpr& b = kids[1];
+        auto pair_is = [&](auto pred_a, auto pred_b) {
+          return (pred_a(a) && pred_b(b)) || (pred_a(b) && pred_b(a));
+        };
+        if (pair_is(IsOptOfAtom, IsAtom)) {
+          out.type = PathType::kOptAltLink;
+          return out;
+        }
+        if (pair_is(IsStarOfAtom, IsAtom)) {
+          out.type = PathType::kStarAltLink;
+          return out;
+        }
+        if (pair_is(IsPlusOfAtom, IsAtom)) {
+          out.type = PathType::kLinkAltPlus;
+          return out;
+        }
+        if (IsPlusOfAtom(a) && IsPlusOfAtom(b)) {
+          out.type = PathType::kPlusAltPlus;
+          return out;
+        }
+        // (a/b*)|c and symmetric forms.
+        auto is_seq_atom_star = [&](const PathExpr& p) {
+          if (p.kind != PathKind::kSeq || p.children.size() != 2) {
+            return false;
+          }
+          return (IsAtom(p.children[0]) && IsStarOfAtom(p.children[1])) ||
+                 (IsStarOfAtom(p.children[0]) && IsAtom(p.children[1]));
+        };
+        if (pair_is(is_seq_atom_star, IsAtom)) {
+          out.type = PathType::kAltSeqStarLink;
+          return out;
+        }
+      }
+      out.type = PathType::kOther;
+      return out;
+    }
+    default:
+      out.type = PathType::kOther;
+      return out;
+  }
+}
+
+std::string PathTypeName(PathType t) {
+  switch (t) {
+    case PathType::kTrivialNegated: return "!a";
+    case PathType::kTrivialInverse: return "^a";
+    case PathType::kPlainLink: return "a";
+    case PathType::kStarOfAlt: return "(a1|...|ak)*";
+    case PathType::kStar: return "a*";
+    case PathType::kSeq: return "a1/.../ak";
+    case PathType::kStarSeqLink: return "a*/b";
+    case PathType::kAlt: return "a1|...|ak";
+    case PathType::kPlus: return "a+";
+    case PathType::kSeqOfOpts: return "a1?/.../ak?";
+    case PathType::kLinkSeqAlt: return "a(b1|...|bk)";
+    case PathType::kSeqLinkOpts: return "a1/a2?/.../ak?";
+    case PathType::kAltSeqStarLink: return "(a/b*)|c";
+    case PathType::kStarSeqOpt: return "a*/b?";
+    case PathType::kSeqSeqStar: return "a/b/c*";
+    case PathType::kNegatedAlt: return "!(a|b)";
+    case PathType::kPlusOfAlt: return "(a1|...|ak)+";
+    case PathType::kAltAltSeq: return "(a1|..|ak)(a1|..|ak)";
+    case PathType::kOptAltLink: return "a?|b";
+    case PathType::kStarAltLink: return "a*|b";
+    case PathType::kOptOfAlt: return "(a|b)?";
+    case PathType::kLinkAltPlus: return "a|b+";
+    case PathType::kPlusAltPlus: return "a+|b+";
+    case PathType::kStarOfSeq: return "(a/b)*";
+    case PathType::kOther: return "other";
+  }
+  return "other";
+}
+
+}  // namespace sparqlog::paths

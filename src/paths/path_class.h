@@ -1,0 +1,61 @@
+#ifndef SPARQLOG_PATHS_PATH_CLASS_H_
+#define SPARQLOG_PATHS_PATH_CLASS_H_
+
+#include <string>
+
+#include "sparql/ast.h"
+
+namespace sparqlog::paths {
+
+/// The expression types of Table 5 (Section 7). Atoms are literals `a`,
+/// reverse steps `^a`, or single negations `!a` (the paper classifies
+/// `(^a)/b` and `(!a)/b` like `a/b`). Each type also covers its
+/// symmetric form (e.g. `a*/b` covers `b/a*`).
+enum class PathType {
+  kTrivialNegated,   ///< !a — excluded from the navigational analysis
+  kTrivialInverse,   ///< ^a — excluded from the navigational analysis
+  kPlainLink,        ///< bare IRI: not a navigational property path
+  kStarOfAlt,        ///< (a1|...|ak)*
+  kStar,             ///< a*
+  kSeq,              ///< a1/.../ak
+  kStarSeqLink,      ///< a*/b (or b/a*)
+  kAlt,              ///< a1|...|ak
+  kPlus,             ///< a+
+  kSeqOfOpts,        ///< a1?/.../ak?
+  kLinkSeqAlt,       ///< a(b1|...|bk) — i.e. a/(b1|...|bk)
+  kSeqLinkOpts,      ///< a1/a2?/.../ak?
+  kAltSeqStarLink,   ///< (a/b*)|c
+  kStarSeqOpt,       ///< a*/b?
+  kSeqSeqStar,       ///< a/b/c*
+  kNegatedAlt,       ///< !(a|b)
+  kPlusOfAlt,        ///< (a1|...|ak)+
+  kAltAltSeq,        ///< (a1|...|ak)(a1|...|ak)
+  kOptAltLink,       ///< a?|b
+  kStarAltLink,      ///< a*|b
+  kOptOfAlt,         ///< (a|b)?
+  kLinkAltPlus,      ///< a|b+
+  kPlusAltPlus,      ///< a+|b+
+  kStarOfSeq,        ///< (a/b)* — the one non-Ctract expression found
+  kOther,            ///< anything else
+};
+
+/// Result of classifying a property path.
+struct PathClassification {
+  PathType type = PathType::kOther;
+  /// The arity parameter k of the type, where applicable (e.g. sequence
+  /// or alternation length); 0 otherwise.
+  int k = 0;
+  /// Uses reverse navigation `^` nested inside a complex expression
+  /// (36% of the navigational paths in the paper's corpus).
+  bool uses_inverse = false;
+};
+
+/// Classifies `path` into the Table 5 taxonomy.
+PathClassification ClassifyPath(const sparql::PathExpr& path);
+
+/// Human-readable name of a path type, matching the paper's notation.
+std::string PathTypeName(PathType t);
+
+}  // namespace sparqlog::paths
+
+#endif  // SPARQLOG_PATHS_PATH_CLASS_H_

@@ -1,0 +1,300 @@
+#include "paths/path_eval.h"
+
+#include <deque>
+#include <map>
+
+namespace sparqlog::paths {
+
+using rdf::TermId;
+using sparql::PathExpr;
+using sparql::PathKind;
+using util::Result;
+using util::Status;
+
+int PathEvaluator::NewState() {
+  eps_.emplace_back();
+  out_trans_.emplace_back();
+  return static_cast<int>(eps_.size()) - 1;
+}
+
+PathEvaluator::PathEvaluator(const store::TripleStore& store,
+                             const PathExpr& path)
+    : store_(store) {
+  auto [s, a] = Build(path);
+  start_ = s;
+  accept_ = a;
+}
+
+/// Thompson construction; returns (start, accept).
+std::pair<int, int> PathEvaluator::Build(const PathExpr& p) {
+  switch (p.kind) {
+    case PathKind::kLink: {
+      int s = NewState(), a = NewState();
+      Transition t;
+      t.from = s;
+      t.to = a;
+      t.predicate = store_.dict().Lookup(p.iri);
+      transitions_.push_back(t);
+      out_trans_[static_cast<size_t>(s)].push_back(
+          static_cast<int>(transitions_.size()) - 1);
+      return {s, a};
+    }
+    case PathKind::kInverse: {
+      // Inverse distributes to the leaves: build the child and flip
+      // every transition created for it. For composite children the
+      // sequence order must also flip; handle the common leaf cases
+      // directly and general children by wrapping.
+      if (p.children[0].kind == PathKind::kLink) {
+        int s = NewState(), a = NewState();
+        Transition t;
+        t.from = s;
+        t.to = a;
+        t.predicate = store_.dict().Lookup(p.children[0].iri);
+        t.inverse = true;
+        transitions_.push_back(t);
+        out_trans_[static_cast<size_t>(s)].push_back(
+            static_cast<int>(transitions_.size()) - 1);
+        return {s, a};
+      }
+      // ^(complex): reverse the child's automaton — flip its consuming
+      // transitions (direction + inverse flag) and its epsilon edges,
+      // then swap start and accept. Thompson children are contiguous
+      // and self-contained, so only states/transitions created during
+      // the child build are touched.
+      size_t first_transition = transitions_.size();
+      size_t first_state = eps_.size();
+      auto [cs, ca] = Build(p.children[0]);
+      for (size_t i = first_transition; i < transitions_.size(); ++i) {
+        Transition& t = transitions_[i];
+        std::swap(t.from, t.to);
+        t.inverse = !t.inverse;
+      }
+      std::vector<std::vector<int>> reversed(eps_.size() - first_state);
+      for (size_t u = first_state; u < eps_.size(); ++u) {
+        for (int v : eps_[u]) {
+          reversed[static_cast<size_t>(v) - first_state].push_back(
+              static_cast<int>(u));
+        }
+        eps_[u].clear();
+      }
+      for (size_t u = first_state; u < eps_.size(); ++u) {
+        eps_[u] = std::move(reversed[u - first_state]);
+      }
+      for (auto& list : out_trans_) list.clear();
+      for (size_t i = 0; i < transitions_.size(); ++i) {
+        out_trans_[static_cast<size_t>(transitions_[i].from)].push_back(
+            static_cast<int>(i));
+      }
+      return {ca, cs};
+    }
+    case PathKind::kNegated: {
+      int s = NewState(), a = NewState();
+      Transition t;
+      t.from = s;
+      t.to = a;
+      t.is_negated = true;
+      for (const PathExpr& member : p.children) {
+        if (member.kind == PathKind::kLink) {
+          t.negated.emplace_back(store_.dict().Lookup(member.iri), false);
+        } else if (member.kind == PathKind::kInverse &&
+                   member.children[0].kind == PathKind::kLink) {
+          t.negated.emplace_back(
+              store_.dict().Lookup(member.children[0].iri), true);
+        }
+      }
+      transitions_.push_back(t);
+      out_trans_[static_cast<size_t>(s)].push_back(
+          static_cast<int>(transitions_.size()) - 1);
+      return {s, a};
+    }
+    case PathKind::kSeq: {
+      int s = -1, a = -1;
+      for (const PathExpr& c : p.children) {
+        auto [cs, ca] = Build(c);
+        if (s < 0) {
+          s = cs;
+        } else {
+          eps_[static_cast<size_t>(a)].push_back(cs);
+        }
+        a = ca;
+      }
+      return {s, a};
+    }
+    case PathKind::kAlt: {
+      int s = NewState(), a = NewState();
+      for (const PathExpr& c : p.children) {
+        auto [cs, ca] = Build(c);
+        eps_[static_cast<size_t>(s)].push_back(cs);
+        eps_[static_cast<size_t>(ca)].push_back(a);
+      }
+      return {s, a};
+    }
+    case PathKind::kZeroOrMore: {
+      int s = NewState(), a = NewState();
+      auto [cs, ca] = Build(p.children[0]);
+      eps_[static_cast<size_t>(s)].push_back(cs);
+      eps_[static_cast<size_t>(s)].push_back(a);
+      eps_[static_cast<size_t>(ca)].push_back(cs);
+      eps_[static_cast<size_t>(ca)].push_back(a);
+      return {s, a};
+    }
+    case PathKind::kOneOrMore: {
+      int s = NewState(), a = NewState();
+      auto [cs, ca] = Build(p.children[0]);
+      eps_[static_cast<size_t>(s)].push_back(cs);
+      eps_[static_cast<size_t>(ca)].push_back(cs);
+      eps_[static_cast<size_t>(ca)].push_back(a);
+      return {s, a};
+    }
+    case PathKind::kZeroOrOne: {
+      int s = NewState(), a = NewState();
+      auto [cs, ca] = Build(p.children[0]);
+      eps_[static_cast<size_t>(s)].push_back(cs);
+      eps_[static_cast<size_t>(s)].push_back(a);
+      eps_[static_cast<size_t>(ca)].push_back(a);
+      return {s, a};
+    }
+  }
+  int s = NewState();
+  return {s, s};
+}
+
+void PathEvaluator::EpsilonClose(std::set<int>& states) const {
+  std::deque<int> frontier(states.begin(), states.end());
+  while (!frontier.empty()) {
+    int s = frontier.front();
+    frontier.pop_front();
+    for (int t : eps_[static_cast<size_t>(s)]) {
+      if (states.insert(t).second) frontier.push_back(t);
+    }
+  }
+}
+
+void PathEvaluator::Step(const std::set<int>& states, TermId node,
+                         std::vector<std::pair<int, TermId>>& out) const {
+  std::vector<rdf::EncodedTriple> matches;
+  for (int s : states) {
+    for (int ti : out_trans_[static_cast<size_t>(s)]) {
+      const Transition& t = transitions_[static_cast<size_t>(ti)];
+      matches.clear();
+      if (t.is_negated) {
+        // Forward edges whose predicate is not negated-forward.
+        store_.Match(node, 0, 0, matches);
+        for (const auto& m : matches) {
+          bool excluded = false;
+          for (const auto& [pred, inv] : t.negated) {
+            if (!inv && pred == m.p) excluded = true;
+          }
+          if (!excluded) out.emplace_back(t.to, m.o);
+        }
+        // Reverse edges whose predicate is not negated-inverse.
+        bool any_inverse_member = false;
+        for (const auto& [pred, inv] : t.negated) {
+          if (inv) any_inverse_member = true;
+        }
+        if (any_inverse_member) {
+          matches.clear();
+          store_.Match(0, 0, node, matches);
+          for (const auto& m : matches) {
+            bool excluded = false;
+            for (const auto& [pred, inv] : t.negated) {
+              if (inv && pred == m.p) excluded = true;
+            }
+            if (!excluded) out.emplace_back(t.to, m.s);
+          }
+        }
+        continue;
+      }
+      if (t.predicate == 0) continue;  // unknown IRI: never matches
+      if (t.inverse) {
+        store_.Match(0, t.predicate, node, matches);
+        for (const auto& m : matches) out.emplace_back(t.to, m.s);
+      } else {
+        store_.Match(node, t.predicate, 0, matches);
+        for (const auto& m : matches) out.emplace_back(t.to, m.o);
+      }
+    }
+  }
+}
+
+std::set<TermId> PathEvaluator::ReachableFrom(TermId source) const {
+  // BFS over (node, state) pairs.
+  std::set<std::pair<TermId, int>> seen;
+  std::set<TermId> reachable;
+  std::set<int> init{start_};
+  EpsilonClose(init);
+  std::deque<std::pair<TermId, int>> frontier;
+  for (int s : init) {
+    if (seen.insert({source, s}).second) frontier.push_back({source, s});
+    if (s == accept_) reachable.insert(source);
+  }
+  while (!frontier.empty()) {
+    auto [node, state] = frontier.front();
+    frontier.pop_front();
+    std::vector<std::pair<int, TermId>> next;
+    Step({state}, node, next);
+    for (auto [nstate, nnode] : next) {
+      std::set<int> closure{nstate};
+      EpsilonClose(closure);
+      for (int s : closure) {
+        if (s == accept_) reachable.insert(nnode);
+        if (seen.insert({nnode, s}).second) frontier.push_back({nnode, s});
+      }
+    }
+  }
+  return reachable;
+}
+
+bool PathEvaluator::Matches(TermId source, TermId target) const {
+  std::set<TermId> reachable = ReachableFrom(source);
+  return reachable.count(target) > 0;
+}
+
+bool PathEvaluator::SimplePathDfs(TermId node, const std::set<int>& states,
+                                  TermId target,
+                                  std::set<TermId>& on_path,
+                                  uint64_t& steps, uint64_t max_steps,
+                                  bool& found) const {
+  if (++steps > max_steps) return false;  // budget exhausted
+  if (states.count(accept_) > 0 && node == target) {
+    found = true;
+    return true;
+  }
+  std::vector<std::pair<int, TermId>> next;
+  Step(states, node, next);
+  // Group next states by node (a simple path may revisit NFA states but
+  // not graph nodes).
+  std::map<TermId, std::set<int>> by_node;
+  for (auto [state, nnode] : next) {
+    if (on_path.count(nnode) > 0) continue;
+    by_node[nnode].insert(state);
+  }
+  for (auto& [nnode, nstates] : by_node) {
+    EpsilonClose(nstates);
+    on_path.insert(nnode);
+    bool done = SimplePathDfs(nnode, nstates, target, on_path, steps,
+                              max_steps, found);
+    on_path.erase(nnode);
+    if (done && found) return true;
+    if (steps > max_steps) return false;
+  }
+  return steps <= max_steps;
+}
+
+Result<bool> PathEvaluator::MatchesSimplePath(TermId source, TermId target,
+                                              uint64_t max_steps) const {
+  std::set<int> init{start_};
+  EpsilonClose(init);
+  std::set<TermId> on_path{source};
+  uint64_t steps = 0;
+  bool found = false;
+  bool completed = SimplePathDfs(source, init, target, on_path, steps,
+                                 max_steps, found);
+  if (found) return true;
+  if (!completed) {
+    return Status::Timeout("simple-path search exceeded step budget");
+  }
+  return false;
+}
+
+}  // namespace sparqlog::paths

@@ -1,0 +1,78 @@
+#ifndef SPARQLOG_PATHS_PATH_EVAL_H_
+#define SPARQLOG_PATHS_PATH_EVAL_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sparql/ast.h"
+#include "store/store.h"
+#include "util/result.h"
+
+namespace sparqlog::paths {
+
+/// Property-path evaluation over a TripleStore — the experimental
+/// companion to the Section 7 analysis. Two semantics:
+///
+///  * **Walk semantics** (SPARQL 1.1): a path matches any walk in the
+///    graph. Evaluated via BFS on the product of the graph and a
+///    Thompson NFA of the expression — always polynomial.
+///  * **Simple-path semantics** (Bagan et al. [6]): nodes may not
+///    repeat. NP-complete in general; for C_tract expressions it is in
+///    PTIME, and outside C_tract the search degrades to exponential
+///    enumeration — which this evaluator exposes via its step budget.
+class PathEvaluator {
+ public:
+  /// Compiles `path` against a built store. Predicates not present in
+  /// the dictionary simply never match.
+  PathEvaluator(const store::TripleStore& store, const sparql::PathExpr& path);
+
+  /// All nodes reachable from `source` by a walk matching the path.
+  std::set<rdf::TermId> ReachableFrom(rdf::TermId source) const;
+
+  /// Walk-semantics existence test: some matching walk source -> target?
+  bool Matches(rdf::TermId source, rdf::TermId target) const;
+
+  /// Simple-path-semantics existence test with a step budget. Returns
+  /// kTimeout when the budget is exhausted before an answer is known
+  /// (the practical signature of a non-C_tract expression).
+  util::Result<bool> MatchesSimplePath(rdf::TermId source,
+                                       rdf::TermId target,
+                                       uint64_t max_steps = 1000000) const;
+
+  int num_states() const { return static_cast<int>(eps_.size()); }
+
+ private:
+  /// One NFA edge transition: consume a graph edge.
+  struct Transition {
+    int from = 0;
+    int to = 0;
+    rdf::TermId predicate = 0;  ///< 0 for negated sets
+    bool inverse = false;
+    /// Negated property set: matches any edge whose (predicate,
+    /// direction) is NOT in this list. Empty unless negated.
+    std::vector<std::pair<rdf::TermId, bool>> negated;
+    bool is_negated = false;
+  };
+
+  std::pair<int, int> Build(const sparql::PathExpr& p);
+  int NewState();
+  void EpsilonClose(std::set<int>& states) const;
+  void Step(const std::set<int>& states, rdf::TermId node,
+            std::vector<std::pair<int, rdf::TermId>>& out) const;
+
+  bool SimplePathDfs(rdf::TermId node, const std::set<int>& states,
+                     rdf::TermId target, std::set<rdf::TermId>& on_path,
+                     uint64_t& steps, uint64_t max_steps, bool& found) const;
+
+  const store::TripleStore& store_;
+  std::vector<std::vector<int>> eps_;       ///< epsilon edges per state
+  std::vector<Transition> transitions_;     ///< consuming edges
+  std::vector<std::vector<int>> out_trans_; ///< transition ids per state
+  int start_ = 0;
+  int accept_ = 0;
+};
+
+}  // namespace sparqlog::paths
+
+#endif  // SPARQLOG_PATHS_PATH_EVAL_H_

@@ -1,0 +1,82 @@
+#include "rdf/term.h"
+
+#include <tuple>
+
+namespace sparqlog::rdf {
+
+Term Term::Iri(std::string v) {
+  Term t;
+  t.kind = TermKind::kIri;
+  t.value = std::move(v);
+  return t;
+}
+
+Term Term::Literal(std::string lexical, std::string datatype,
+                   std::string lang) {
+  Term t;
+  t.kind = TermKind::kLiteral;
+  t.value = std::move(lexical);
+  t.datatype = std::move(datatype);
+  t.lang = std::move(lang);
+  return t;
+}
+
+Term Term::Blank(std::string label) {
+  Term t;
+  t.kind = TermKind::kBlank;
+  t.value = std::move(label);
+  return t;
+}
+
+Term Term::Var(std::string name) {
+  Term t;
+  t.kind = TermKind::kVariable;
+  t.value = std::move(name);
+  return t;
+}
+
+bool Term::operator<(const Term& o) const {
+  return std::tie(kind, value, datatype, lang) <
+         std::tie(o.kind, o.value, o.datatype, o.lang);
+}
+
+namespace {
+std::string EscapeLiteral(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case TermKind::kIri:
+      return "<" + value + ">";
+    case TermKind::kLiteral: {
+      std::string out = "\"" + EscapeLiteral(value) + "\"";
+      if (!lang.empty()) {
+        out += "@" + lang;
+      } else if (!datatype.empty()) {
+        out += "^^<" + datatype + ">";
+      }
+      return out;
+    }
+    case TermKind::kBlank:
+      return "_:" + value;
+    case TermKind::kVariable:
+      return "?" + value;
+  }
+  return "";
+}
+
+}  // namespace sparqlog::rdf

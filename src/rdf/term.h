@@ -1,0 +1,63 @@
+#ifndef SPARQLOG_RDF_TERM_H_
+#define SPARQLOG_RDF_TERM_H_
+
+#include <string>
+
+namespace sparqlog::rdf {
+
+/// The kind of an RDF/SPARQL term.
+///
+/// Per the paper's preliminaries, RDF triples are <s, p, o> with
+/// s in I ∪ B, p in I, o in I ∪ B ∪ L; SPARQL adds variables V.
+enum class TermKind {
+  kIri,       ///< An IRI (element of I).
+  kLiteral,   ///< A literal (element of L), with optional datatype/lang.
+  kBlank,     ///< A blank node (element of B).
+  kVariable,  ///< A query variable (element of V), e.g. "?x".
+};
+
+/// A single RDF/SPARQL term. Value type; cheap to copy for typical
+/// query-sized strings.
+struct Term {
+  TermKind kind = TermKind::kIri;
+  /// IRI string, literal lexical form, blank node label, or variable name
+  /// (without the leading '?').
+  std::string value;
+  /// For literals only: datatype IRI ("" if none).
+  std::string datatype;
+  /// For literals only: language tag ("" if none).
+  std::string lang;
+
+  static Term Iri(std::string v);
+  static Term Literal(std::string lexical, std::string datatype = "",
+                      std::string lang = "");
+  static Term Blank(std::string label);
+  static Term Var(std::string name);
+
+  bool is_iri() const { return kind == TermKind::kIri; }
+  bool is_literal() const { return kind == TermKind::kLiteral; }
+  bool is_blank() const { return kind == TermKind::kBlank; }
+  bool is_variable() const { return kind == TermKind::kVariable; }
+
+  /// True for variables and blank nodes: the positions that form nodes of
+  /// the canonical hypergraph (Section 5 of the paper).
+  bool is_unknown() const { return is_variable() || is_blank(); }
+
+  /// True for IRIs and literals (constants of the query).
+  bool is_constant() const { return is_iri() || is_literal(); }
+
+  bool operator==(const Term& o) const {
+    return kind == o.kind && value == o.value && datatype == o.datatype &&
+           lang == o.lang;
+  }
+  bool operator!=(const Term& o) const { return !(*this == o); }
+  bool operator<(const Term& o) const;
+
+  /// SPARQL surface syntax for this term (IRIs in <>, literals quoted,
+  /// variables with '?', blank nodes with '_:').
+  std::string ToString() const;
+};
+
+}  // namespace sparqlog::rdf
+
+#endif  // SPARQLOG_RDF_TERM_H_

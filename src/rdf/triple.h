@@ -1,0 +1,28 @@
+#ifndef SPARQLOG_RDF_TRIPLE_H_
+#define SPARQLOG_RDF_TRIPLE_H_
+
+#include <cstdint>
+#include <tuple>
+
+namespace sparqlog::rdf {
+
+/// Dictionary-encoded term identifier used by the triple store.
+using TermId = uint32_t;
+
+/// A dictionary-encoded RDF triple (data, not a pattern).
+struct EncodedTriple {
+  TermId s = 0;
+  TermId p = 0;
+  TermId o = 0;
+
+  bool operator==(const EncodedTriple& t) const {
+    return s == t.s && p == t.p && o == t.o;
+  }
+  bool operator<(const EncodedTriple& t) const {
+    return std::tie(s, p, o) < std::tie(t.s, t.p, t.o);
+  }
+};
+
+}  // namespace sparqlog::rdf
+
+#endif  // SPARQLOG_RDF_TRIPLE_H_

@@ -1,0 +1,310 @@
+#include "sparql/ast.h"
+
+namespace sparqlog::sparql {
+
+// ---------------------------------------------------------------------------
+// PathExpr
+// ---------------------------------------------------------------------------
+
+PathExpr PathExpr::Link(std::string iri) {
+  PathExpr p;
+  p.kind = PathKind::kLink;
+  p.iri = std::move(iri);
+  return p;
+}
+
+PathExpr PathExpr::Unary(PathKind k, PathExpr child) {
+  PathExpr p;
+  p.kind = k;
+  p.children.push_back(std::move(child));
+  return p;
+}
+
+PathExpr PathExpr::Nary(PathKind k, std::vector<PathExpr> children) {
+  PathExpr p;
+  p.kind = k;
+  p.children = std::move(children);
+  return p;
+}
+
+bool PathExpr::operator==(const PathExpr& o) const {
+  return kind == o.kind && iri == o.iri && children == o.children;
+}
+
+namespace {
+// Precedence for printing: alt < seq < unary/primary.
+int PathPrec(PathKind k) {
+  switch (k) {
+    case PathKind::kAlt: return 0;
+    case PathKind::kSeq: return 1;
+    default: return 2;
+  }
+}
+
+std::string PathChildString(const PathExpr& parent, const PathExpr& child) {
+  std::string s = child.ToString();
+  bool parent_unary = parent.kind == PathKind::kZeroOrMore ||
+                      parent.kind == PathKind::kOneOrMore ||
+                      parent.kind == PathKind::kZeroOrOne ||
+                      parent.kind == PathKind::kInverse;
+  // Unary path operators apply to a PathPrimary (a link or a negated
+  // set); anything else must be bracketed. In particular `(^a)*` must
+  // not print as `^a*`, which parses as `^(a*)`.
+  bool child_primary =
+      child.kind == PathKind::kLink || child.kind == PathKind::kNegated;
+  if (PathPrec(child.kind) < PathPrec(parent.kind) ||
+      (parent_unary && !child_primary)) {
+    return "(" + s + ")";
+  }
+  return s;
+}
+}  // namespace
+
+std::string PathExpr::ToString() const {
+  switch (kind) {
+    case PathKind::kLink:
+      return "<" + iri + ">";
+    case PathKind::kInverse:
+      return "^" + PathChildString(*this, children[0]);
+    case PathKind::kNegated: {
+      std::string out = "!(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += "|";
+        out += children[i].ToString();
+      }
+      return out + ")";
+    }
+    case PathKind::kSeq:
+    case PathKind::kAlt: {
+      std::string out;
+      const char* sep = kind == PathKind::kSeq ? "/" : "|";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += PathChildString(*this, children[i]);
+      }
+      return out;
+    }
+    case PathKind::kZeroOrMore:
+      return PathChildString(*this, children[0]) + "*";
+    case PathKind::kOneOrMore:
+      return PathChildString(*this, children[0]) + "+";
+    case PathKind::kZeroOrOne:
+      return PathChildString(*this, children[0]) + "?";
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Expr
+// ---------------------------------------------------------------------------
+
+Expr Expr::MakeTerm(Term t) {
+  Expr e;
+  e.kind = ExprKind::kTerm;
+  e.term = std::move(t);
+  return e;
+}
+
+Expr Expr::MakeVar(const std::string& name) {
+  return MakeTerm(Term::Var(name));
+}
+
+Expr Expr::Call(std::string name, std::vector<Expr> args) {
+  Expr e;
+  e.kind = ExprKind::kFunction;
+  e.op = std::move(name);
+  e.args = std::move(args);
+  return e;
+}
+
+Expr Expr::Binary(ExprKind k, std::string op, Expr lhs, Expr rhs) {
+  Expr e;
+  e.kind = k;
+  e.op = std::move(op);
+  e.args.push_back(std::move(lhs));
+  e.args.push_back(std::move(rhs));
+  return e;
+}
+
+void Expr::CollectVariables(std::set<std::string>& out) const {
+  if (kind == ExprKind::kTerm) {
+    if (term.is_variable()) out.insert(term.value);
+    return;
+  }
+  for (const Expr& a : args) a.CollectVariables(out);
+  if (pattern) pattern->CollectVariables(out);
+}
+
+// ---------------------------------------------------------------------------
+// TriplePattern
+// ---------------------------------------------------------------------------
+
+TriplePattern TriplePattern::Make(Term s, Term p, Term o) {
+  TriplePattern tp;
+  tp.subject = std::move(s);
+  tp.predicate = std::move(p);
+  tp.object = std::move(o);
+  return tp;
+}
+
+TriplePattern TriplePattern::MakePath(Term s, PathExpr path, Term o) {
+  TriplePattern tp;
+  tp.subject = std::move(s);
+  tp.has_path = true;
+  tp.path = std::move(path);
+  tp.object = std::move(o);
+  return tp;
+}
+
+void TriplePattern::CollectVariables(std::set<std::string>& out) const {
+  if (subject.is_variable()) out.insert(subject.value);
+  if (!has_path && predicate.is_variable()) out.insert(predicate.value);
+  if (object.is_variable()) out.insert(object.value);
+}
+
+// ---------------------------------------------------------------------------
+// Pattern
+// ---------------------------------------------------------------------------
+
+Pattern Pattern::Group(std::vector<Pattern> children) {
+  Pattern p;
+  p.kind = PatternKind::kGroup;
+  p.children = std::move(children);
+  return p;
+}
+
+Pattern Pattern::Triple(TriplePattern tp) {
+  Pattern p;
+  p.kind = PatternKind::kTriple;
+  p.triple = std::move(tp);
+  return p;
+}
+
+Pattern Pattern::Filter(Expr e) {
+  Pattern p;
+  p.kind = PatternKind::kFilter;
+  p.expr = std::move(e);
+  return p;
+}
+
+Pattern Pattern::Union(std::vector<Pattern> branches) {
+  Pattern p;
+  p.kind = PatternKind::kUnion;
+  p.children = std::move(branches);
+  return p;
+}
+
+Pattern Pattern::Optional(Pattern body) {
+  Pattern p;
+  p.kind = PatternKind::kOptional;
+  p.children.push_back(std::move(body));
+  return p;
+}
+
+Pattern Pattern::Minus(Pattern body) {
+  Pattern p;
+  p.kind = PatternKind::kMinus;
+  p.children.push_back(std::move(body));
+  return p;
+}
+
+Pattern Pattern::Graph(Term iv, Pattern body) {
+  Pattern p;
+  p.kind = PatternKind::kGraph;
+  p.graph = std::move(iv);
+  p.children.push_back(std::move(body));
+  return p;
+}
+
+void Pattern::CollectVariables(std::set<std::string>& out) const {
+  switch (kind) {
+    case PatternKind::kTriple:
+      triple.CollectVariables(out);
+      return;
+    case PatternKind::kFilter:
+      expr.CollectVariables(out);
+      return;
+    case PatternKind::kBind:
+      expr.CollectVariables(out);
+      if (var.is_variable()) out.insert(var.value);
+      return;
+    case PatternKind::kValues:
+      for (const Term& v : values_vars) {
+        if (v.is_variable()) out.insert(v.value);
+      }
+      return;
+    case PatternKind::kGraph:
+    case PatternKind::kService:
+      if (graph.is_variable()) out.insert(graph.value);
+      break;
+    case PatternKind::kSubSelect:
+      if (subquery && subquery->has_body) {
+        subquery->where.CollectVariables(out);
+      }
+      return;
+    default:
+      break;
+  }
+  for (const Pattern& c : children) c.CollectVariables(out);
+}
+
+void Pattern::CollectTriples(std::vector<const TriplePattern*>& out) const {
+  if (kind == PatternKind::kTriple) {
+    out.push_back(&triple);
+    return;
+  }
+  if (kind == PatternKind::kSubSelect || kind == PatternKind::kFilter) {
+    return;  // Subquery bodies and EXISTS patterns are counted separately.
+  }
+  for (const Pattern& c : children) c.CollectTriples(out);
+}
+
+void Pattern::CollectInScopeVariables(std::set<std::string>& out) const {
+  switch (kind) {
+    case PatternKind::kTriple:
+      triple.CollectVariables(out);
+      return;
+    case PatternKind::kFilter:
+      return;  // FILTER does not bind variables.
+    case PatternKind::kBind:
+      if (var.is_variable()) out.insert(var.value);
+      return;
+    case PatternKind::kValues:
+      for (const Term& v : values_vars) {
+        if (v.is_variable()) out.insert(v.value);
+      }
+      return;
+    case PatternKind::kMinus:
+      return;  // MINUS does not expose bindings.
+    case PatternKind::kGraph:
+    case PatternKind::kService:
+      if (graph.is_variable()) out.insert(graph.value);
+      break;
+    case PatternKind::kSubSelect:
+      if (subquery) {
+        if (subquery->select_star && subquery->has_body) {
+          subquery->where.CollectInScopeVariables(out);
+        } else {
+          for (const SelectItem& item : subquery->select_items) {
+            out.insert(item.var.value);
+          }
+        }
+      }
+      return;
+    default:
+      break;
+  }
+  for (const Pattern& c : children) c.CollectInScopeVariables(out);
+}
+
+// ---------------------------------------------------------------------------
+// Query
+// ---------------------------------------------------------------------------
+
+std::set<std::string> Query::BodyVariables() const {
+  std::set<std::string> out;
+  if (has_body) where.CollectVariables(out);
+  return out;
+}
+
+}  // namespace sparqlog::sparql

@@ -1,0 +1,270 @@
+#ifndef SPARQLOG_SPARQL_AST_H_
+#define SPARQLOG_SPARQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace sparqlog::sparql {
+
+using rdf::Term;
+
+// ---------------------------------------------------------------------------
+// Property paths (SPARQL 1.1). A property path is a regular expression over
+// the alphabet of IRIs (Section 3 of the paper).
+// ---------------------------------------------------------------------------
+
+enum class PathKind {
+  kLink,        ///< A single IRI step `a`.
+  kInverse,     ///< `^p` — traverse an edge in reverse.
+  kNegated,     ///< `!(a|^b|...)` — any edge not in the set.
+  kSeq,         ///< `p1/p2/...` — concatenation.
+  kAlt,         ///< `p1|p2|...` — alternation.
+  kZeroOrMore,  ///< `p*`.
+  kOneOrMore,   ///< `p+`.
+  kZeroOrOne,   ///< `p?`.
+};
+
+/// AST of a property path expression.
+struct PathExpr {
+  PathKind kind = PathKind::kLink;
+  /// IRI for kLink nodes.
+  std::string iri;
+  /// Sub-expressions: 1 for unary kinds, >= 2 for kSeq/kAlt, and the
+  /// (kLink/kInverse) members of a kNegated set.
+  std::vector<PathExpr> children;
+
+  static PathExpr Link(std::string iri);
+  static PathExpr Unary(PathKind k, PathExpr child);
+  static PathExpr Nary(PathKind k, std::vector<PathExpr> children);
+
+  /// True iff the path is a bare IRI (then the triple pattern it occurs in
+  /// is an ordinary triple).
+  bool IsSimpleLink() const { return kind == PathKind::kLink; }
+
+  bool operator==(const PathExpr& o) const;
+
+  /// Surface syntax, fully parenthesized where needed.
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Expressions: filter constraints, projection expressions, HAVING, ORDER BY.
+// ---------------------------------------------------------------------------
+
+struct Pattern;  // forward declaration; Expr can hold EXISTS { Pattern }
+
+enum class ExprKind {
+  kTerm,        ///< A variable or RDF term.
+  kOr,          ///< `a || b` (n-ary).
+  kAnd,         ///< `a && b` (n-ary).
+  kNot,         ///< `!a`.
+  kCompare,     ///< `a OP b`, OP in {=, !=, <, >, <=, >=}.
+  kIn,          ///< `a IN (b, c, ...)`.
+  kNotIn,       ///< `a NOT IN (b, c, ...)`.
+  kArith,       ///< `a OP b`, OP in {+, -, *, /}.
+  kUnaryMinus,  ///< `-a`.
+  kUnaryPlus,   ///< `+a`.
+  kFunction,    ///< Builtin or extension function call `f(args...)`.
+  kAggregate,   ///< COUNT/SUM/MIN/MAX/AVG/SAMPLE/GROUP_CONCAT.
+  kExists,      ///< `EXISTS { P }`.
+  kNotExists,   ///< `NOT EXISTS { P }`.
+};
+
+/// A SPARQL expression tree.
+struct Expr {
+  ExprKind kind = ExprKind::kTerm;
+  /// For kTerm: the term.
+  Term term;
+  /// Operator symbol (kCompare/kArith) or (upper-cased) function or
+  /// aggregate name (kFunction/kAggregate).
+  std::string op;
+  /// DISTINCT inside an aggregate, e.g. COUNT(DISTINCT ?x).
+  bool distinct = false;
+  /// COUNT(*).
+  bool star = false;
+  /// SEPARATOR for GROUP_CONCAT ("" if absent).
+  std::string separator;
+  std::vector<Expr> args;
+  /// Pattern argument of kExists/kNotExists. shared_ptr keeps Expr
+  /// copyable despite the recursive type.
+  std::shared_ptr<Pattern> pattern;
+
+  static Expr MakeTerm(Term t);
+  static Expr MakeVar(const std::string& name);
+  static Expr Call(std::string name, std::vector<Expr> args);
+  static Expr Binary(ExprKind k, std::string op, Expr lhs, Expr rhs);
+
+  bool is_variable() const {
+    return kind == ExprKind::kTerm && term.is_variable();
+  }
+
+  /// Appends all variables occurring in the expression (including inside
+  /// EXISTS patterns) to `out`.
+  void CollectVariables(std::set<std::string>& out) const;
+};
+
+// ---------------------------------------------------------------------------
+// Graph patterns.
+// ---------------------------------------------------------------------------
+
+/// A triple pattern or property-path pattern.
+struct TriplePattern {
+  Term subject;
+  /// When false, `predicate` holds the predicate term (IRI or variable).
+  bool has_path = false;
+  Term predicate;
+  PathExpr path;  ///< Valid iff has_path.
+  Term object;
+
+  static TriplePattern Make(Term s, Term p, Term o);
+  static TriplePattern MakePath(Term s, PathExpr path, Term o);
+
+  /// True iff the predicate position holds a variable (these queries have
+  /// no meaningful canonical *graph*; Section 5 of the paper).
+  bool has_variable_predicate() const {
+    return !has_path && predicate.is_variable();
+  }
+
+  void CollectVariables(std::set<std::string>& out) const;
+};
+
+struct Query;  // forward declaration (subqueries)
+
+enum class PatternKind {
+  kGroup,      ///< Conjunction (And) of children, in syntactic order.
+  kTriple,     ///< A single triple/path pattern.
+  kFilter,     ///< FILTER constraint (scoped to the enclosing group).
+  kUnion,      ///< Union of >= 2 children.
+  kOptional,   ///< OPTIONAL { child } — binds to the preceding group part.
+  kMinus,      ///< MINUS { child }.
+  kGraph,      ///< GRAPH iv { child }.
+  kService,    ///< SERVICE [SILENT] iv { child }.
+  kBind,       ///< BIND(expr AS var).
+  kValues,     ///< Inline data.
+  kSubSelect,  ///< A nested SELECT query.
+};
+
+/// A node of a SPARQL graph-pattern tree. One fat value-type node keeps
+/// the AST copyable and easy to traverse; queries are small in practice
+/// (the paper's corpus: > 55% have one triple, max 229).
+struct Pattern {
+  PatternKind kind = PatternKind::kGroup;
+  /// kTriple payload.
+  TriplePattern triple;
+  /// Children: group members, union branches, or the single body of
+  /// optional/minus/graph/service.
+  std::vector<Pattern> children;
+  /// kFilter constraint or kBind source expression.
+  Expr expr;
+  /// kBind target variable.
+  Term var;
+  /// kGraph / kService: the IRI or variable `iv`.
+  Term graph;
+  bool silent = false;  ///< SERVICE SILENT.
+  /// kValues payload.
+  std::vector<Term> values_vars;
+  std::vector<std::vector<std::optional<Term>>> values_rows;
+  /// kSubSelect payload; shared_ptr keeps Pattern copyable.
+  std::shared_ptr<Query> subquery;
+
+  static Pattern Group(std::vector<Pattern> children);
+  static Pattern Triple(TriplePattern tp);
+  static Pattern Filter(Expr e);
+  static Pattern Union(std::vector<Pattern> branches);
+  static Pattern Optional(Pattern body);
+  static Pattern Minus(Pattern body);
+  static Pattern Graph(Term iv, Pattern body);
+
+  /// Appends all variables in the pattern (not descending into
+  /// subqueries' SELECT clauses, but into their bodies) to `out`.
+  void CollectVariables(std::set<std::string>& out) const;
+
+  /// Appends every triple pattern in this subtree (not descending into
+  /// subqueries or EXISTS filters) to `out`.
+  void CollectTriples(std::vector<const TriplePattern*>& out) const;
+
+  /// In-scope variables per SPARQL 1.1 Section 18.2.1: variables visible
+  /// to the enclosing projection (excludes MINUS bodies and variables
+  /// only mentioned in FILTER constraints).
+  void CollectInScopeVariables(std::set<std::string>& out) const;
+};
+
+// ---------------------------------------------------------------------------
+// Queries.
+// ---------------------------------------------------------------------------
+
+/// The four SPARQL query forms (Section 3 of the paper).
+enum class QueryForm { kSelect, kAsk, kConstruct, kDescribe };
+
+/// One ORDER BY condition.
+struct OrderCondition {
+  bool descending = false;
+  Expr expr;
+};
+
+/// One SELECT projection item: a plain variable or `(expr AS ?var)`.
+struct SelectItem {
+  Term var;
+  std::optional<Expr> expr;
+};
+
+/// One GROUP BY condition: an expression, optionally bound `AS ?var`.
+struct GroupCondition {
+  Expr expr;
+  std::optional<Term> as_var;
+};
+
+/// One FROM / FROM NAMED dataset clause.
+struct DatasetClause {
+  bool named = false;
+  std::string iri;
+};
+
+/// A parsed SPARQL query: (query-type, pattern, solution-modifier) as in
+/// Section 3 of the paper, plus the prologue.
+struct Query {
+  QueryForm form = QueryForm::kSelect;
+
+  // Prologue.
+  std::string base;
+  std::vector<std::pair<std::string, std::string>> prefixes;
+
+  // Projection (Select) / template (Construct) / targets (Describe).
+  bool distinct = false;
+  bool reduced = false;
+  bool select_star = false;
+  std::vector<SelectItem> select_items;
+  std::vector<TriplePattern> construct_template;
+  std::vector<Term> describe_targets;  ///< empty with describe_all for `*`.
+  bool describe_all = false;
+
+  std::vector<DatasetClause> dataset;
+
+  /// Whether the query has a WHERE clause (Describe queries may not; the
+  /// paper: 4.47% of the corpus has no body).
+  bool has_body = false;
+  Pattern where;  ///< Root group; valid iff has_body.
+
+  // Solution modifiers.
+  std::vector<GroupCondition> group_by;
+  std::vector<Expr> having;
+  std::vector<OrderCondition> order_by;
+  std::optional<uint64_t> limit;
+  std::optional<uint64_t> offset;
+
+  /// Trailing VALUES clause, if any.
+  std::optional<Pattern> trailing_values;
+
+  /// All variables appearing in the body.
+  std::set<std::string> BodyVariables() const;
+};
+
+}  // namespace sparqlog::sparql
+
+#endif  // SPARQLOG_SPARQL_AST_H_

@@ -1,0 +1,405 @@
+#include "sparql/lexer.h"
+
+#include <cctype>
+
+namespace sparqlog::sparql {
+
+using util::Result;
+using util::Status;
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kEof: return "end of input";
+    case TokenType::kIriRef: return "IRI";
+    case TokenType::kPName: return "prefixed name";
+    case TokenType::kBlankLabel: return "blank node label";
+    case TokenType::kVar: return "variable";
+    case TokenType::kString: return "string literal";
+    case TokenType::kLangTag: return "language tag";
+    case TokenType::kInteger: return "integer";
+    case TokenType::kDecimal: return "decimal";
+    case TokenType::kDouble: return "double";
+    case TokenType::kIdent: return "identifier";
+    case TokenType::kLBrace: return "'{'";
+    case TokenType::kRBrace: return "'}'";
+    case TokenType::kLParen: return "'('";
+    case TokenType::kRParen: return "')'";
+    case TokenType::kLBracket: return "'['";
+    case TokenType::kRBracket: return "']'";
+    case TokenType::kDot: return "'.'";
+    case TokenType::kSemicolon: return "';'";
+    case TokenType::kComma: return "','";
+    case TokenType::kEq: return "'='";
+    case TokenType::kNe: return "'!='";
+    case TokenType::kLt: return "'<'";
+    case TokenType::kGt: return "'>'";
+    case TokenType::kLe: return "'<='";
+    case TokenType::kGe: return "'>='";
+    case TokenType::kAndAnd: return "'&&'";
+    case TokenType::kOrOr: return "'||'";
+    case TokenType::kBang: return "'!'";
+    case TokenType::kPlus: return "'+'";
+    case TokenType::kMinus: return "'-'";
+    case TokenType::kStar: return "'*'";
+    case TokenType::kSlash: return "'/'";
+    case TokenType::kPipe: return "'|'";
+    case TokenType::kCaret: return "'^'";
+    case TokenType::kCaretCaret: return "'^^'";
+    case TokenType::kQuestion: return "'?'";
+  }
+  return "token";
+}
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-';
+}
+
+// Characters legal inside an IRIREF (everything except control chars and
+// <>"{}|^`\ and space).
+bool IsIriChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  if (u <= 0x20) return false;
+  switch (c) {
+    case '<': case '>': case '"': case '{': case '}':
+    case '|': case '^': case '`': case '\\':
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string_view input) : input_(input) {}
+
+char Lexer::Advance() {
+  char c = input_[pos_++];
+  if (c == '\n') ++line_;
+  return c;
+}
+
+Token Lexer::Make(TokenType t, std::string value) const {
+  Token tok;
+  tok.type = t;
+  tok.value = std::move(value);
+  tok.pos = token_start_;
+  tok.line = token_line_;
+  return tok;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '#') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+    } else {
+      break;
+    }
+  }
+}
+
+Result<Token> Lexer::Next() {
+  SkipWhitespaceAndComments();
+  token_start_ = pos_;
+  token_line_ = line_;
+  if (AtEnd()) return Make(TokenType::kEof);
+
+  char c = Peek();
+  switch (c) {
+    case '{': Advance(); return Make(TokenType::kLBrace);
+    case '}': Advance(); return Make(TokenType::kRBrace);
+    case '(': Advance(); return Make(TokenType::kLParen);
+    case ')': Advance(); return Make(TokenType::kRParen);
+    case '[': Advance(); return Make(TokenType::kLBracket);
+    case ']': Advance(); return Make(TokenType::kRBracket);
+    case ';': Advance(); return Make(TokenType::kSemicolon);
+    case ',': Advance(); return Make(TokenType::kComma);
+    case '=': Advance(); return Make(TokenType::kEq);
+    case '*': Advance(); return Make(TokenType::kStar);
+    case '/': Advance(); return Make(TokenType::kSlash);
+    case '|':
+      Advance();
+      if (Peek() == '|') { Advance(); return Make(TokenType::kOrOr); }
+      return Make(TokenType::kPipe);
+    case '&':
+      Advance();
+      if (Peek() == '&') { Advance(); return Make(TokenType::kAndAnd); }
+      return Status::InvalidArgument("lex: lone '&' at line " +
+                                     std::to_string(token_line_));
+    case '^':
+      Advance();
+      if (Peek() == '^') { Advance(); return Make(TokenType::kCaretCaret); }
+      return Make(TokenType::kCaret);
+    case '!':
+      Advance();
+      if (Peek() == '=') { Advance(); return Make(TokenType::kNe); }
+      return Make(TokenType::kBang);
+    case '>':
+      Advance();
+      if (Peek() == '=') { Advance(); return Make(TokenType::kGe); }
+      return Make(TokenType::kGt);
+    case '<':
+      return LexIriOrComparison();
+    case '+':
+      Advance();
+      return Make(TokenType::kPlus);
+    case '-':
+      Advance();
+      return Make(TokenType::kMinus);
+    case '"':
+    case '\'':
+      return LexString(c);
+    case '@':
+      return LexLangTag();
+    case '?':
+    case '$':
+      return LexVar();
+    case '_':
+      return LexBlankOrName();
+    case ':':
+      // Default-namespace prefixed name, e.g. ":local".
+      return LexIdentOrPName();
+    case '.':
+      if (std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+        return LexNumber();
+      }
+      Advance();
+      return Make(TokenType::kDot);
+    default:
+      if (std::isdigit(static_cast<unsigned char>(c))) return LexNumber();
+      if (IsNameStartChar(c)) return LexIdentOrPName();
+      return Status::InvalidArgument(
+          std::string("lex: unexpected character '") + c + "' at line " +
+          std::to_string(token_line_));
+  }
+}
+
+Result<Token> Lexer::LexIriOrComparison() {
+  // Decide IRIREF vs '<' / '<=': scan ahead for a '>' over legal IRI chars.
+  size_t look = pos_ + 1;
+  while (look < input_.size() && IsIriChar(input_[look])) ++look;
+  if (look < input_.size() && input_[look] == '>') {
+    std::string iri(input_.substr(pos_ + 1, look - pos_ - 1));
+    pos_ = look + 1;
+    return Make(TokenType::kIriRef, std::move(iri));
+  }
+  Advance();  // consume '<'
+  if (Peek() == '=') {
+    Advance();
+    return Make(TokenType::kLe);
+  }
+  return Make(TokenType::kLt);
+}
+
+Result<Token> Lexer::LexString(char quote) {
+  bool long_quote = false;
+  Advance();  // first quote
+  if (Peek() == quote && Peek(1) == quote) {
+    long_quote = true;
+    Advance();
+    Advance();
+  } else if (Peek() == quote) {
+    // Empty short string.
+    Advance();
+    return Make(TokenType::kString, "");
+  }
+  std::string value;
+  while (!AtEnd()) {
+    char c = Peek();
+    if (c == '\\') {
+      Advance();
+      if (AtEnd()) break;
+      char esc = Advance();
+      switch (esc) {
+        case 't': value.push_back('\t'); break;
+        case 'b': value.push_back('\b'); break;
+        case 'n': value.push_back('\n'); break;
+        case 'r': value.push_back('\r'); break;
+        case 'f': value.push_back('\f'); break;
+        case '"': value.push_back('"'); break;
+        case '\'': value.push_back('\''); break;
+        case '\\': value.push_back('\\'); break;
+        case 'u':
+        case 'U': {
+          // Keep the escape verbatim; code-point decoding is not needed
+          // for log analytics.
+          value.push_back('\\');
+          value.push_back(esc);
+          break;
+        }
+        default:
+          return Status::InvalidArgument(
+              std::string("lex: bad string escape '\\") + esc +
+              "' at line " + std::to_string(line_));
+      }
+      continue;
+    }
+    if (long_quote) {
+      if (c == quote && Peek(1) == quote && Peek(2) == quote) {
+        Advance(); Advance(); Advance();
+        return Make(TokenType::kString, std::move(value));
+      }
+      value.push_back(Advance());
+    } else {
+      if (c == quote) {
+        Advance();
+        return Make(TokenType::kString, std::move(value));
+      }
+      if (c == '\n') {
+        return Status::InvalidArgument("lex: newline in string at line " +
+                                       std::to_string(line_));
+      }
+      value.push_back(Advance());
+    }
+  }
+  return Status::InvalidArgument("lex: unterminated string at line " +
+                                 std::to_string(token_line_));
+}
+
+Result<Token> Lexer::LexNumber() {
+  std::string value;
+  bool has_dot = false, has_exp = false;
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      value.push_back(Advance());
+    } else if (c == '.' && !has_dot && !has_exp &&
+               std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      has_dot = true;
+      value.push_back(Advance());
+    } else if ((c == 'e' || c == 'E') && !has_exp) {
+      char next = Peek(1);
+      char next2 = Peek(2);
+      bool exp_ok = std::isdigit(static_cast<unsigned char>(next)) ||
+                    ((next == '+' || next == '-') &&
+                     std::isdigit(static_cast<unsigned char>(next2)));
+      if (!exp_ok) break;
+      has_exp = true;
+      value.push_back(Advance());
+      if (Peek() == '+' || Peek() == '-') value.push_back(Advance());
+    } else {
+      break;
+    }
+  }
+  TokenType t = has_exp ? TokenType::kDouble
+                        : (has_dot ? TokenType::kDecimal
+                                   : TokenType::kInteger);
+  return Make(t, std::move(value));
+}
+
+Result<Token> Lexer::LexVar() {
+  Advance();  // '?' or '$'
+  if (!IsNameChar(Peek()) ||
+      (!IsNameStartChar(Peek()) &&
+       !std::isdigit(static_cast<unsigned char>(Peek())))) {
+    // A bare '?' is the zero-or-one path modifier.
+    return Make(TokenType::kQuestion);
+  }
+  std::string name;
+  while (!AtEnd() && (IsNameChar(Peek()) ||
+                      std::isdigit(static_cast<unsigned char>(Peek())))) {
+    if (Peek() == '-') break;  // '-' not allowed in variable names
+    name.push_back(Advance());
+  }
+  if (name.empty()) return Make(TokenType::kQuestion);
+  return Make(TokenType::kVar, std::move(name));
+}
+
+Result<Token> Lexer::LexBlankOrName() {
+  if (Peek(1) == ':') {
+    Advance();  // '_'
+    Advance();  // ':'
+    std::string label;
+    while (!AtEnd() && (IsNameChar(Peek()) || Peek() == '.')) {
+      label.push_back(Advance());
+    }
+    // A trailing '.' belongs to the triple, not the label.
+    while (!label.empty() && label.back() == '.') {
+      label.pop_back();
+      --pos_;
+    }
+    if (label.empty()) {
+      return Status::InvalidArgument("lex: empty blank node label at line " +
+                                     std::to_string(token_line_));
+    }
+    return Make(TokenType::kBlankLabel, std::move(label));
+  }
+  return LexIdentOrPName();
+}
+
+Result<Token> Lexer::LexIdentOrPName() {
+  std::string name;
+  while (!AtEnd() && IsNameChar(Peek())) name.push_back(Advance());
+  if (Peek() != ':') {
+    if (name.empty()) {
+      return Status::InvalidArgument("lex: bad name at line " +
+                                     std::to_string(token_line_));
+    }
+    return Make(TokenType::kIdent, std::move(name));
+  }
+  // Prefixed name: prefix ':' local. The local part may contain dots
+  // (not trailing), %-escapes, and backslash escapes.
+  name.push_back(Advance());  // ':'
+  while (!AtEnd()) {
+    char c = Peek();
+    if (IsNameChar(c) || c == ':') {
+      name.push_back(Advance());
+    } else if (c == '.') {
+      name.push_back(Advance());
+    } else if (c == '%' &&
+               std::isxdigit(static_cast<unsigned char>(Peek(1))) &&
+               std::isxdigit(static_cast<unsigned char>(Peek(2)))) {
+      name.push_back(Advance());
+      name.push_back(Advance());
+      name.push_back(Advance());
+    } else if (c == '\\' && Peek(1) != '\0') {
+      Advance();  // drop the escaping backslash
+      name.push_back(Advance());
+    } else {
+      break;
+    }
+  }
+  while (!name.empty() && name.back() == '.') {
+    name.pop_back();
+    --pos_;
+  }
+  return Make(TokenType::kPName, std::move(name));
+}
+
+Result<Token> Lexer::LexLangTag() {
+  Advance();  // '@'
+  std::string tag;
+  while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                      Peek() == '-')) {
+    tag.push_back(Advance());
+  }
+  if (tag.empty()) {
+    return Status::InvalidArgument("lex: empty language tag at line " +
+                                   std::to_string(token_line_));
+  }
+  return Make(TokenType::kLangTag, std::move(tag));
+}
+
+Result<std::vector<Token>> Lexer::Tokenize(std::string_view input) {
+  Lexer lexer(input);
+  std::vector<Token> out;
+  for (;;) {
+    Result<Token> tok = lexer.Next();
+    if (!tok.ok()) return tok.status();
+    bool eof = tok.value().Is(TokenType::kEof);
+    out.push_back(std::move(tok).value());
+    if (eof) return out;
+  }
+}
+
+}  // namespace sparqlog::sparql

@@ -1,0 +1,55 @@
+#ifndef SPARQLOG_SPARQL_LEXER_H_
+#define SPARQLOG_SPARQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sparql/token.h"
+#include "util/result.h"
+
+namespace sparqlog::sparql {
+
+/// Hand-written lexer for SPARQL 1.1 query text.
+///
+/// Handles comments, all literal forms (single/double/long quotes,
+/// numeric, boolean as idents), IRIs vs. comparison operators, prefixed
+/// names with dot/%-escape rules, variables, blank node labels, and the
+/// multi-character operators (&&, ||, ^^, !=, <=, >=).
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input);
+
+  /// Lexes the next token, advancing the cursor.
+  util::Result<Token> Next();
+
+  /// Lexes the entire input. Fails on the first lexical error.
+  static util::Result<std::vector<Token>> Tokenize(std::string_view input);
+
+ private:
+  void SkipWhitespaceAndComments();
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  char Advance();
+  Token Make(TokenType t, std::string value = "") const;
+
+  util::Result<Token> LexIriOrComparison();
+  util::Result<Token> LexString(char quote);
+  util::Result<Token> LexNumber();
+  util::Result<Token> LexVar();
+  util::Result<Token> LexBlankOrName();
+  util::Result<Token> LexIdentOrPName();
+  util::Result<Token> LexLangTag();
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t token_start_ = 0;
+  size_t token_line_ = 1;
+};
+
+}  // namespace sparqlog::sparql
+
+#endif  // SPARQLOG_SPARQL_LEXER_H_

@@ -1,0 +1,60 @@
+#ifndef SPARQLOG_SPARQL_PARSER_H_
+#define SPARQLOG_SPARQL_PARSER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sparql/ast.h"
+#include "sparql/token.h"
+#include "util/result.h"
+
+namespace sparqlog::sparql {
+
+/// Parser configuration.
+struct ParserOptions {
+  /// Prefixes assumed to be pre-declared by the endpoint (most public
+  /// endpoints, e.g. DBpedia's Virtuoso, inject a default set). Queries in
+  /// logs routinely rely on them.
+  std::map<std::string, std::string> default_prefixes = DefaultPrefixes();
+
+  /// When true, an undeclared prefix `foo:bar` is expanded to the
+  /// placeholder IRI `urn:prefix:foo:bar` instead of failing the parse.
+  bool allow_unknown_prefixes = false;
+
+  /// The built-in default prefix set (rdf, rdfs, owl, xsd, foaf, dc, ...).
+  static std::map<std::string, std::string> DefaultPrefixes();
+};
+
+/// Recursive-descent parser for SPARQL 1.1 queries.
+///
+/// Covers the query subset of the SPARQL 1.1 grammar: the four query
+/// forms, dataset clauses, group graph patterns with triples blocks
+/// (including `;`/`,` abbreviations, blank-node property lists, and RDF
+/// collections), FILTER/OPTIONAL/UNION/MINUS/GRAPH/SERVICE/BIND/VALUES,
+/// subqueries, property paths, expressions with aggregates, and all
+/// solution modifiers. Update operations are rejected with
+/// `StatusCode::kUnsupported` (the paper's log-cleaning step drops them).
+class Parser {
+ public:
+  explicit Parser(ParserOptions options = ParserOptions());
+
+  /// Parses a complete query. Returns InvalidArgument on syntax errors,
+  /// Unsupported for SPARQL Update requests.
+  util::Result<Query> Parse(std::string_view text) const;
+
+  /// True iff `text` parses (the paper's "Valid" criterion, standing in
+  /// for Apache Jena 3.0.1).
+  bool IsValid(std::string_view text) const;
+
+ private:
+  ParserOptions options_;
+};
+
+/// Convenience one-shot parse with default options.
+util::Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace sparqlog::sparql
+
+#endif  // SPARQLOG_SPARQL_PARSER_H_

@@ -1,0 +1,332 @@
+#include "sparql/serializer.h"
+
+#include <string>
+
+namespace sparqlog::sparql {
+
+namespace {
+
+std::string Indent(int n) { return std::string(static_cast<size_t>(n) * 2, ' '); }
+
+void AppendExpr(const Expr& e, std::string& out);
+
+void AppendArgsInfix(const Expr& e, const char* op, std::string& out) {
+  out += "(";
+  for (size_t i = 0; i < e.args.size(); ++i) {
+    if (i > 0) {
+      out += " ";
+      out += op;
+      out += " ";
+    }
+    AppendExpr(e.args[i], out);
+  }
+  out += ")";
+}
+
+void AppendExpr(const Expr& e, std::string& out) {
+  switch (e.kind) {
+    case ExprKind::kTerm:
+      out += e.term.ToString();
+      return;
+    case ExprKind::kOr:
+      AppendArgsInfix(e, "||", out);
+      return;
+    case ExprKind::kAnd:
+      AppendArgsInfix(e, "&&", out);
+      return;
+    case ExprKind::kNot:
+      out += "(! ";
+      AppendExpr(e.args[0], out);
+      out += ")";
+      return;
+    case ExprKind::kCompare:
+    case ExprKind::kArith:
+      AppendArgsInfix(e, e.op.c_str(), out);
+      return;
+    case ExprKind::kIn:
+    case ExprKind::kNotIn: {
+      out += "(";
+      AppendExpr(e.args[0], out);
+      out += e.kind == ExprKind::kIn ? " IN (" : " NOT IN (";
+      for (size_t i = 1; i < e.args.size(); ++i) {
+        if (i > 1) out += ", ";
+        AppendExpr(e.args[i], out);
+      }
+      out += "))";
+      return;
+    }
+    case ExprKind::kUnaryMinus:
+      out += "(- ";
+      AppendExpr(e.args[0], out);
+      out += ")";
+      return;
+    case ExprKind::kUnaryPlus:
+      out += "(+ ";
+      AppendExpr(e.args[0], out);
+      out += ")";
+      return;
+    case ExprKind::kFunction: {
+      bool iri_function = e.op.find(':') != std::string::npos;
+      if (iri_function) {
+        out += "<" + e.op + ">";
+      } else {
+        out += e.op;
+      }
+      out += "(";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        AppendExpr(e.args[i], out);
+      }
+      out += ")";
+      return;
+    }
+    case ExprKind::kAggregate: {
+      out += e.op + "(";
+      if (e.distinct) out += "DISTINCT ";
+      if (e.star) {
+        out += "*";
+      } else if (!e.args.empty()) {
+        AppendExpr(e.args[0], out);
+      }
+      if (!e.separator.empty()) {
+        out += "; SEPARATOR=\"" + e.separator + "\"";
+      }
+      out += ")";
+      return;
+    }
+    case ExprKind::kExists:
+    case ExprKind::kNotExists:
+      out += e.kind == ExprKind::kExists ? "EXISTS " : "NOT EXISTS ";
+      if (e.pattern) out += SerializePattern(*e.pattern, 0);
+      return;
+  }
+}
+
+void AppendSolutionModifier(const Query& q, std::string& out);
+
+void AppendPattern(const Pattern& p, int indent, std::string& out) {
+  switch (p.kind) {
+    case PatternKind::kGroup: {
+      out += "{\n";
+      for (const Pattern& c : p.children) {
+        AppendPattern(c, indent + 1, out);
+      }
+      out += Indent(indent) + "}";
+      return;
+    }
+    case PatternKind::kTriple:
+      out += Indent(indent) + SerializeTriple(p.triple) + " .\n";
+      return;
+    case PatternKind::kFilter:
+      out += Indent(indent) + "FILTER " + SerializeExpr(p.expr) + "\n";
+      return;
+    case PatternKind::kUnion: {
+      out += Indent(indent);
+      for (size_t i = 0; i < p.children.size(); ++i) {
+        if (i > 0) out += " UNION ";
+        AppendPattern(p.children[i], indent, out);
+      }
+      out += "\n";
+      return;
+    }
+    case PatternKind::kOptional:
+      out += Indent(indent) + "OPTIONAL ";
+      AppendPattern(p.children[0], indent, out);
+      out += "\n";
+      return;
+    case PatternKind::kMinus:
+      out += Indent(indent) + "MINUS ";
+      AppendPattern(p.children[0], indent, out);
+      out += "\n";
+      return;
+    case PatternKind::kGraph:
+      out += Indent(indent) + "GRAPH " + p.graph.ToString() + " ";
+      AppendPattern(p.children[0], indent, out);
+      out += "\n";
+      return;
+    case PatternKind::kService:
+      out += Indent(indent) + "SERVICE " +
+             std::string(p.silent ? "SILENT " : "") + p.graph.ToString() +
+             " ";
+      AppendPattern(p.children[0], indent, out);
+      out += "\n";
+      return;
+    case PatternKind::kBind:
+      out += Indent(indent) + "BIND(" + SerializeExpr(p.expr) + " AS " +
+             p.var.ToString() + ")\n";
+      return;
+    case PatternKind::kValues: {
+      out += Indent(indent) + "VALUES (";
+      for (size_t i = 0; i < p.values_vars.size(); ++i) {
+        if (i > 0) out += " ";
+        out += p.values_vars[i].ToString();
+      }
+      out += ") {\n";
+      for (const auto& row : p.values_rows) {
+        out += Indent(indent + 1) + "(";
+        for (size_t i = 0; i < row.size(); ++i) {
+          if (i > 0) out += " ";
+          out += row[i].has_value() ? row[i]->ToString() : "UNDEF";
+        }
+        out += ")\n";
+      }
+      out += Indent(indent) + "}\n";
+      return;
+    }
+    case PatternKind::kSubSelect: {
+      out += Indent(indent) + "{\n" + Indent(indent + 1);
+      if (p.subquery) {
+        // Serialize the subquery without a prologue.
+        const Query& sub = *p.subquery;
+        out += "SELECT ";
+        if (sub.distinct) out += "DISTINCT ";
+        if (sub.reduced) out += "REDUCED ";
+        if (sub.select_star) {
+          out += "*";
+        } else {
+          for (size_t i = 0; i < sub.select_items.size(); ++i) {
+            if (i > 0) out += " ";
+            const SelectItem& item = sub.select_items[i];
+            if (item.expr.has_value()) {
+              out += "(" + SerializeExpr(*item.expr) + " AS " +
+                     item.var.ToString() + ")";
+            } else {
+              out += item.var.ToString();
+            }
+          }
+        }
+        out += " WHERE ";
+        if (sub.has_body) AppendPattern(sub.where, indent + 1, out);
+        AppendSolutionModifier(sub, out);
+      }
+      out += "\n" + Indent(indent) + "}\n";
+      return;
+    }
+  }
+}
+
+void AppendSolutionModifier(const Query& q, std::string& out) {
+  if (!q.group_by.empty()) {
+    out += "\nGROUP BY";
+    for (const GroupCondition& gc : q.group_by) {
+      if (gc.as_var.has_value()) {
+        out += " (" + SerializeExpr(gc.expr) + " AS " +
+               gc.as_var->ToString() + ")";
+      } else if (gc.expr.is_variable()) {
+        out += " " + gc.expr.term.ToString();
+      } else {
+        out += " (" + SerializeExpr(gc.expr) + ")";
+      }
+    }
+  }
+  if (!q.having.empty()) {
+    out += "\nHAVING";
+    for (const Expr& e : q.having) {
+      std::string s = SerializeExpr(e);
+      if (s.empty() || s[0] != '(') s = "(" + s + ")";
+      out += " " + s;
+    }
+  }
+  if (!q.order_by.empty()) {
+    out += "\nORDER BY";
+    for (const OrderCondition& oc : q.order_by) {
+      if (oc.descending) {
+        out += " DESC(" + SerializeExpr(oc.expr) + ")";
+      } else if (oc.expr.is_variable()) {
+        out += " " + oc.expr.term.ToString();
+      } else {
+        out += " ASC(" + SerializeExpr(oc.expr) + ")";
+      }
+    }
+  }
+  if (q.limit.has_value()) out += "\nLIMIT " + std::to_string(*q.limit);
+  if (q.offset.has_value()) out += "\nOFFSET " + std::to_string(*q.offset);
+}
+
+}  // namespace
+
+std::string SerializeTriple(const TriplePattern& tp) {
+  std::string out = tp.subject.ToString() + " ";
+  if (tp.has_path) {
+    out += tp.path.ToString();
+  } else {
+    out += tp.predicate.ToString();
+  }
+  out += " " + tp.object.ToString();
+  return out;
+}
+
+std::string SerializeExpr(const Expr& e) {
+  std::string out;
+  AppendExpr(e, out);
+  return out;
+}
+
+std::string SerializePattern(const Pattern& p, int indent) {
+  std::string out;
+  AppendPattern(p, indent, out);
+  return out;
+}
+
+std::string Serialize(const Query& q) {
+  std::string out;
+  switch (q.form) {
+    case QueryForm::kSelect: {
+      out += "SELECT ";
+      if (q.distinct) out += "DISTINCT ";
+      if (q.reduced) out += "REDUCED ";
+      if (q.select_star) {
+        out += "*";
+      } else {
+        for (size_t i = 0; i < q.select_items.size(); ++i) {
+          if (i > 0) out += " ";
+          const SelectItem& item = q.select_items[i];
+          if (item.expr.has_value()) {
+            out += "(" + SerializeExpr(*item.expr) + " AS " +
+                   item.var.ToString() + ")";
+          } else {
+            out += item.var.ToString();
+          }
+        }
+      }
+      break;
+    }
+    case QueryForm::kAsk:
+      out += "ASK";
+      break;
+    case QueryForm::kConstruct: {
+      out += "CONSTRUCT {\n";
+      for (const TriplePattern& tp : q.construct_template) {
+        out += "  " + SerializeTriple(tp) + " .\n";
+      }
+      out += "}";
+      break;
+    }
+    case QueryForm::kDescribe: {
+      out += "DESCRIBE";
+      if (q.describe_all) {
+        out += " *";
+      } else {
+        for (const Term& t : q.describe_targets) out += " " + t.ToString();
+      }
+      break;
+    }
+  }
+  for (const DatasetClause& dc : q.dataset) {
+    out += std::string("\nFROM ") + (dc.named ? "NAMED " : "") + "<" +
+           dc.iri + ">";
+  }
+  if (q.has_body) {
+    out += q.form == QueryForm::kAsk ? " " : "\nWHERE ";
+    AppendPattern(q.where, 0, out);
+  }
+  AppendSolutionModifier(q, out);
+  if (q.trailing_values.has_value()) {
+    out += "\n";
+    std::string values = SerializePattern(*q.trailing_values, 0);
+    out += values;
+  }
+  return out;
+}
+
+}  // namespace sparqlog::sparql

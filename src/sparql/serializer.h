@@ -1,0 +1,30 @@
+#ifndef SPARQLOG_SPARQL_SERIALIZER_H_
+#define SPARQLOG_SPARQL_SERIALIZER_H_
+
+#include <string>
+
+#include "sparql/ast.h"
+
+namespace sparqlog::sparql {
+
+/// Renders an AST back to SPARQL surface syntax.
+///
+/// The output is canonical (deterministic formatting, full IRIs, one
+/// pattern element per line), so serialized text doubles as a
+/// duplicate-detection key: two queries that parse to the same AST
+/// serialize identically. Round-trips: Parse(Serialize(q)) == q
+/// structurally, which the test suite checks property-style.
+std::string Serialize(const Query& q);
+
+/// Renders a pattern subtree (used in examples and debugging output).
+std::string SerializePattern(const Pattern& p, int indent = 0);
+
+/// Renders a single expression.
+std::string SerializeExpr(const Expr& e);
+
+/// Renders a triple pattern (subject predicate object, no trailing dot).
+std::string SerializeTriple(const TriplePattern& tp);
+
+}  // namespace sparqlog::sparql
+
+#endif  // SPARQLOG_SPARQL_SERIALIZER_H_

@@ -1,0 +1,46 @@
+#ifndef SPARQLOG_SPARQL_TOKEN_H_
+#define SPARQLOG_SPARQL_TOKEN_H_
+
+#include <cstddef>
+#include <string>
+
+namespace sparqlog::sparql {
+
+/// Lexical token categories of the SPARQL 1.1 grammar.
+enum class TokenType {
+  kEof,
+  kIriRef,      ///< <http://...>  (value: the IRI without brackets)
+  kPName,       ///< prefix:local or prefix:  (value: the whole name)
+  kBlankLabel,  ///< _:b1         (value: the label without "_:")
+  kVar,         ///< ?x or $x     (value: the name without the sigil)
+  kString,      ///< any quoted string (value: the unescaped content)
+  kLangTag,     ///< @en          (value: "en")
+  kInteger,     ///< 42
+  kDecimal,     ///< 4.2
+  kDouble,      ///< 4e2, 4.2e-1
+  kIdent,       ///< keyword / builtin / 'a' / true / false
+  // Punctuation and operators.
+  kLBrace, kRBrace, kLParen, kRParen, kLBracket, kRBracket,
+  kDot, kSemicolon, kComma,
+  kEq, kNe, kLt, kGt, kLe, kGe,
+  kAndAnd, kOrOr, kBang,
+  kPlus, kMinus, kStar, kSlash,
+  kPipe, kCaret, kCaretCaret, kQuestion,
+};
+
+/// A single lexed token with source position (for error messages).
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string value;
+  size_t pos = 0;   ///< byte offset in the input
+  size_t line = 1;  ///< 1-based line number
+
+  bool Is(TokenType t) const { return type == t; }
+};
+
+/// Human-readable token-type name (used in parser diagnostics).
+const char* TokenTypeName(TokenType t);
+
+}  // namespace sparqlog::sparql
+
+#endif  // SPARQLOG_SPARQL_TOKEN_H_

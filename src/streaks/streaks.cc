@@ -1,0 +1,100 @@
+#include "streaks/streaks.h"
+
+#include <algorithm>
+
+#include "util/levenshtein.h"
+#include "util/strings.h"
+
+namespace sparqlog::streaks {
+
+void StreakReport::AddStreakLength(uint64_t length) {
+  ++total_streaks;
+  longest = std::max(longest, length);
+  size_t bucket = (length == 0) ? 0 : (length - 1) / 10;
+  if (bucket > 10) bucket = 10;
+  ++counts[bucket];
+}
+
+std::string StripPrologue(const std::string& query) {
+  static const char* kForms[] = {"SELECT", "ASK", "CONSTRUCT", "DESCRIBE"};
+  size_t best = std::string::npos;
+  for (const char* form : kForms) {
+    size_t len = std::string(form).size();
+    for (size_t i = 0; i + len <= query.size(); ++i) {
+      if (util::EqualsIgnoreCase(std::string_view(query).substr(i, len),
+                                 form)) {
+        // Keyword boundary check: not inside an IRI or a longer word.
+        bool left_ok =
+            i == 0 || !(std::isalnum(static_cast<unsigned char>(
+                            query[i - 1])) ||
+                        query[i - 1] == ':' || query[i - 1] == '/' ||
+                        query[i - 1] == '#' || query[i - 1] == '_');
+        bool right_ok =
+            i + len == query.size() ||
+            !std::isalnum(static_cast<unsigned char>(query[i + len]));
+        if (left_ok && right_ok) {
+          best = std::min(best, i);
+          break;
+        }
+      }
+    }
+  }
+  if (best == std::string::npos) return query;
+  return query.substr(best);
+}
+
+StreakDetector::StreakDetector(StreakOptions options)
+    : options_(std::move(options)) {}
+
+void StreakDetector::EvictExpired() {
+  while (!window_.empty() &&
+         next_index_ - window_.front().index > options_.window) {
+    const Entry& old = window_.front();
+    if (!old.extended) {
+      // No later query extended this streak: it is final.
+      report_.AddStreakLength(old.streak_length);
+    }
+    window_.pop_front();
+  }
+}
+
+void StreakDetector::Add(const std::string& raw_query) {
+  Entry entry;
+  entry.text = options_.strip_prologue ? StripPrologue(raw_query) : raw_query;
+  entry.index = next_index_++;
+  ++report_.queries_processed;
+  EvictExpired();
+
+  // Scan the window from the most recent to the oldest. A predecessor
+  // q_i matches iff similar(q_i, q_j) and no query between them was
+  // similar to q_i — the latter is tracked by has_later_similar.
+  bool matched_any = false;
+  for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+    bool similar = util::SimilarByLevenshtein(it->text, entry.text,
+                                              options_.similarity_threshold);
+    if (!similar) continue;
+    if (!it->has_later_similar) {
+      // q_j extends the streak ending at q_i.
+      if (!matched_any || it->streak_length + 1 > entry.streak_length) {
+        entry.streak_length = it->streak_length + 1;
+      }
+      it->extended = true;
+      matched_any = true;
+    }
+    it->has_later_similar = true;
+  }
+  window_.push_back(std::move(entry));
+}
+
+StreakReport StreakDetector::Finish() {
+  for (const Entry& e : window_) {
+    if (!e.extended) report_.AddStreakLength(e.streak_length);
+  }
+  window_.clear();
+  StreakReport out = report_;
+  report_ = StreakReport();
+  next_index_ = 0;
+  return out;
+}
+
+}  // namespace sparqlog::streaks

@@ -1,0 +1,80 @@
+#ifndef SPARQLOG_STREAKS_STREAKS_H_
+#define SPARQLOG_STREAKS_STREAKS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace sparqlog::streaks {
+
+/// Parameters of the streak analysis (Section 8 of the paper).
+struct StreakOptions {
+  /// Two queries are similar iff their normalized Levenshtein distance
+  /// (divided by the longer length) is at most this threshold.
+  double similarity_threshold = 0.25;
+  /// Maximum index gap between consecutive queries of a streak.
+  size_t window = 30;
+  /// Strip namespace prefixes (everything before the first
+  /// SELECT/ASK/CONSTRUCT/DESCRIBE) before comparing, as the paper does.
+  bool strip_prologue = true;
+};
+
+/// Aggregated results of a streak detection run.
+struct StreakReport {
+  /// counts[i] = number of streaks with length in [10i+1, 10i+10] for
+  /// i = 0..9; counts[10] = streaks longer than 100 (Table 6 buckets).
+  uint64_t counts[11] = {0};
+  uint64_t total_streaks = 0;
+  uint64_t longest = 0;
+  uint64_t queries_processed = 0;
+
+  void AddStreakLength(uint64_t length);
+};
+
+/// Removes the prologue (prefix/base declarations): returns the suffix
+/// of `query` starting at the first SELECT, ASK, CONSTRUCT, or DESCRIBE
+/// keyword (case-insensitive). Namespace prefixes "introduce superficial
+/// similarity" (Section 8).
+std::string StripPrologue(const std::string& query);
+
+/// Online streak detector over an ordered query log.
+///
+/// Implements the paper's definition: queries q_i and q_j (i < j) match
+/// iff they are similar and no intermediate query is similar to q_i; a
+/// streak chains matches with gaps <= window. A query that matches no
+/// predecessor starts a new streak of length 1.
+class StreakDetector {
+ public:
+  explicit StreakDetector(StreakOptions options = StreakOptions());
+
+  /// Feeds the next query of the log (in log order).
+  void Add(const std::string& query);
+
+  /// Flushes all open streaks and returns the report.
+  StreakReport Finish();
+
+ private:
+  struct Entry {
+    std::string text;
+    size_t index;
+    /// Some later query within the window was similar to this one
+    /// (then earlier entries cannot match across it).
+    bool has_later_similar = false;
+    /// Length of the longest streak ending at this entry.
+    uint64_t streak_length = 1;
+    /// Whether some later query extended this entry's streak.
+    bool extended = false;
+  };
+
+  void EvictExpired();
+
+  StreakOptions options_;
+  std::deque<Entry> window_;
+  size_t next_index_ = 0;
+  StreakReport report_;
+};
+
+}  // namespace sparqlog::streaks
+
+#endif  // SPARQLOG_STREAKS_STREAKS_H_

@@ -1,0 +1,47 @@
+#ifndef SPARQLOG_UTIL_HISTOGRAM_H_
+#define SPARQLOG_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sparqlog::util {
+
+/// Integer histogram with a fixed number of direct buckets and an
+/// overflow bucket, matching the paper's "0, 1, ..., 10, 11+" plots.
+class BucketHistogram {
+ public:
+  /// Buckets 0..max_direct map one-to-one; larger values land in the
+  /// overflow bucket.
+  explicit BucketHistogram(int max_direct)
+      : counts_(static_cast<size_t>(max_direct) + 2, 0),
+        max_direct_(max_direct) {}
+
+  void Add(int64_t value, uint64_t weight = 1) {
+    if (value < 0) value = 0;
+    size_t idx = value > max_direct_ ? counts_.size() - 1
+                                     : static_cast<size_t>(value);
+    counts_[idx] += weight;
+  }
+
+  /// Count of the direct bucket `v` (0 <= v <= max_direct).
+  uint64_t Count(int v) const { return counts_[static_cast<size_t>(v)]; }
+
+  /// Count of the overflow ("11+") bucket.
+  uint64_t Overflow() const { return counts_.back(); }
+
+  uint64_t Total() const {
+    uint64_t t = 0;
+    for (uint64_t c : counts_) t += c;
+    return t;
+  }
+
+  int max_direct() const { return max_direct_; }
+
+ private:
+  std::vector<uint64_t> counts_;
+  int max_direct_;
+};
+
+}  // namespace sparqlog::util
+
+#endif  // SPARQLOG_UTIL_HISTOGRAM_H_

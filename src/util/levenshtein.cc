@@ -1,0 +1,79 @@
+#include "util/levenshtein.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sparqlog::util {
+
+size_t Levenshtein(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);
+  // b is the shorter string; keep one row of the DP matrix.
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      size_t next = std::min({row[j] + 1, row[j - 1] + 1, diag + cost});
+      diag = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
+}
+
+size_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                          size_t max_dist) {
+  if (a.size() < b.size()) std::swap(a, b);
+  size_t n = a.size(), m = b.size();
+  if (n - m > max_dist) return max_dist + 1;
+  if (max_dist == 0) return a == b ? 0 : 1;
+
+  const size_t kInf = max_dist + 1;
+  // Band of width 2*max_dist+1 around the diagonal.
+  std::vector<size_t> row(m + 1, kInf), next(m + 1, kInf);
+  size_t lo0 = 0, hi0 = std::min(m, max_dist);
+  for (size_t j = lo0; j <= hi0; ++j) row[j] = j;
+
+  for (size_t i = 1; i <= n; ++i) {
+    size_t lo = (i > max_dist) ? i - max_dist : 0;
+    size_t hi = std::min(m, i + max_dist);
+    if (lo > hi) return kInf;
+    std::fill(next.begin() + static_cast<long>(lo),
+              next.begin() + static_cast<long>(hi) + 1, kInf);
+    // The cell just left of the band belongs to a previous row's band;
+    // it must read as "infinite" for this row.
+    if (lo >= 1) next[lo - 1] = kInf;
+    size_t best = kInf;
+    for (size_t j = lo; j <= hi; ++j) {
+      size_t v = kInf;
+      if (j == 0) {
+        v = i;
+      } else {
+        size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+        size_t diag = row[j - 1];
+        v = std::min(v, diag == kInf ? kInf : diag + cost);
+        if (row[j] != kInf) v = std::min(v, row[j] + 1);
+        if (next[j - 1] != kInf) v = std::min(v, next[j - 1] + 1);
+      }
+      if (v > kInf) v = kInf;
+      next[j] = v;
+      best = std::min(best, v);
+    }
+    if (best > max_dist) return kInf;
+    std::swap(row, next);
+  }
+  return std::min(row[m], kInf);
+}
+
+bool SimilarByLevenshtein(std::string_view a, std::string_view b,
+                          double threshold) {
+  size_t longer = std::max(a.size(), b.size());
+  if (longer == 0) return true;
+  size_t budget = static_cast<size_t>(std::floor(threshold * longer));
+  return BoundedLevenshtein(a, b, budget) <= budget;
+}
+
+}  // namespace sparqlog::util

@@ -1,0 +1,29 @@
+#ifndef SPARQLOG_UTIL_LEVENSHTEIN_H_
+#define SPARQLOG_UTIL_LEVENSHTEIN_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace sparqlog::util {
+
+/// Classic Levenshtein edit distance, O(|a|*|b|) time, O(min) space.
+size_t Levenshtein(std::string_view a, std::string_view b);
+
+/// Banded Levenshtein with early exit.
+///
+/// Returns the edit distance if it is <= `max_dist`, otherwise returns
+/// `max_dist + 1`. Runs in O(max(|a|,|b|) * max_dist) time, which is what
+/// makes streak detection over large logs feasible (Section 8 of the
+/// paper calls the naive approach "extremely resource-consuming").
+size_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                          size_t max_dist);
+
+/// Normalized similarity test used by the paper's streak analysis:
+/// true iff Levenshtein(a, b) / max(|a|, |b|) <= `threshold`
+/// (the paper uses threshold = 0.25).
+bool SimilarByLevenshtein(std::string_view a, std::string_view b,
+                          double threshold);
+
+}  // namespace sparqlog::util
+
+#endif  // SPARQLOG_UTIL_LEVENSHTEIN_H_

@@ -1,0 +1,56 @@
+#ifndef SPARQLOG_UTIL_RESULT_H_
+#define SPARQLOG_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace sparqlog::util {
+
+/// A value-or-error sum type (Arrow's `Result<T>` idiom).
+///
+/// A `Result<T>` is either OK and holds a `T`, or holds a non-OK `Status`.
+/// Accessing the value of a failed result is a programming error (asserts
+/// in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (OK result).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when the result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sparqlog::util
+
+#endif  // SPARQLOG_UTIL_RESULT_H_

@@ -1,0 +1,99 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace sparqlog::util {
+
+namespace {
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+uint64_t Rng::Next() {
+  uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Below(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::Range(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  Below(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+size_t Rng::Weighted(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    if (w > 0) total += w;
+  }
+  if (total <= 0) return 0;
+  double pick = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0) continue;
+    if (pick < weights[i]) return i;
+    pick -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  // Rejection-inversion sampling (Hörmann & Derflinger).
+  if (n <= 1) return 1;
+  auto h = [s](double x) {
+    return s == 1.0 ? std::log(x) : std::pow(x, 1.0 - s) / (1.0 - s);
+  };
+  auto h_inv = [s](double x) {
+    return s == 1.0 ? std::exp(x)
+                    : std::pow(x * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  double nd = static_cast<double>(n);
+  double big_h = h(nd + 0.5) - h(0.5);
+  for (int attempts = 0; attempts < 1000; ++attempts) {
+    double u = h(0.5) + NextDouble() * big_h;
+    double x = h_inv(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    double kd = static_cast<double>(k);
+    if (u >= h(kd + 0.5) - std::pow(kd, -s) || attempts == 999) return k;
+  }
+  return 1;
+}
+
+}  // namespace sparqlog::util

@@ -1,0 +1,47 @@
+#ifndef SPARQLOG_UTIL_RNG_H_
+#define SPARQLOG_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sparqlog::util {
+
+/// Deterministic, seedable PRNG (xoshiro256**).
+///
+/// All generators and experiments in this library are seeded explicitly so
+/// that every table and figure is exactly reproducible from the command
+/// line. Not cryptographically secure.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability `p`.
+  bool Chance(double p);
+
+  /// Samples an index according to `weights` (need not be normalized).
+  /// Returns 0 if all weights are <= 0.
+  size_t Weighted(const std::vector<double>& weights);
+
+  /// Zipf-distributed value in [1, n] with exponent `s`.
+  uint64_t Zipf(uint64_t n, double s);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace sparqlog::util
+
+#endif  // SPARQLOG_UTIL_RNG_H_

@@ -1,0 +1,83 @@
+#ifndef SPARQLOG_UTIL_STATUS_H_
+#define SPARQLOG_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace sparqlog::util {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (e.g. a SPARQL syntax error).
+  kNotFound,          ///< A referenced entity does not exist.
+  kOutOfRange,        ///< A numeric argument is outside its domain.
+  kUnsupported,       ///< The input is recognized but not handled.
+  kTimeout,           ///< An operation exceeded its deadline.
+  kInternal,          ///< An invariant was violated (library bug).
+};
+
+/// Outcome of a fallible operation, in the Arrow/RocksDB idiom:
+/// no exceptions cross public API boundaries.
+///
+/// Cheap to copy on the OK path (empty message); carries a code and a
+/// human-readable message on failure.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test output.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kUnsupported: return "Unsupported";
+      case StatusCode::kTimeout: return "Timeout";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace sparqlog::util
+
+#endif  // SPARQLOG_UTIL_STATUS_H_

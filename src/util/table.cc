@@ -1,0 +1,64 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sparqlog::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddSeparator() { rows_.emplace_back(); }
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  auto rule = [&] {
+    for (size_t i = 0; i < width.size(); ++i) {
+      os << std::string(width[i] + 2, '-');
+      if (i + 1 < width.size()) os << '+';
+    }
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << ' ' << row[i] << std::string(width[i] - row[i].size() + 1, ' ');
+      if (i + 1 < row.size()) os << '|';
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      rule();
+    } else {
+      print_row(row);
+    }
+  }
+}
+
+void Table::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) print_row(row);
+  }
+}
+
+}  // namespace sparqlog::util

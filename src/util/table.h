@@ -1,0 +1,40 @@
+#ifndef SPARQLOG_UTIL_TABLE_H_
+#define SPARQLOG_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sparqlog::util {
+
+/// Fixed-width, right-padded text table used by every bench binary to
+/// print paper-style tables.
+///
+/// Usage:
+///   Table t({"Shape", "#Queries", "Relative %"});
+///   t.AddRow({"chain", "15,561,944", "98.87%"});
+///   t.Print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a data row; must have as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Adds a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table with column alignment and a header rule.
+  void Print(std::ostream& os) const;
+
+  /// Renders as comma-separated values (no alignment), for machine use.
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace sparqlog::util
+
+#endif  // SPARQLOG_UTIL_TABLE_H_

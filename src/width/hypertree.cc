@@ -1,0 +1,196 @@
+#include "width/hypertree.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace sparqlog::width {
+
+using graph::Hypergraph;
+
+namespace {
+
+/// Exact decider for "this component has a generalized hypertree
+/// decomposition of width <= k", following the recursive scheme of
+/// det-k-decomp: pick a separator of <= k hyperedges covering the
+/// connector, recurse on the remaining connected pieces.
+class DetKDecomp {
+ public:
+  DetKDecomp(const Hypergraph& hg, int k) : hg_(hg), k_(k) {}
+
+  /// Tries to decompose the sub-hypergraph induced by `edge_ids`; the
+  /// top-level call uses an empty connector. Returns the number of
+  /// decomposition nodes on success.
+  std::optional<int> Decompose(const std::vector<int>& edge_ids,
+                               const std::set<int>& connector) {
+    auto key = std::make_pair(edge_ids, connector);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    std::optional<int> result = DecomposeUncached(edge_ids, connector);
+    memo_.emplace(std::move(key), result);
+    return result;
+  }
+
+ private:
+  std::set<int> VerticesOf(const std::vector<int>& edge_ids) const {
+    std::set<int> out;
+    for (int e : edge_ids) {
+      const auto& edge = hg_.edges()[static_cast<size_t>(e)];
+      out.insert(edge.begin(), edge.end());
+    }
+    return out;
+  }
+
+  std::optional<int> DecomposeUncached(const std::vector<int>& edge_ids,
+                                       const std::set<int>& connector) {
+    std::set<int> comp_vertices = VerticesOf(edge_ids);
+    // Candidate separator edges: any edge of the hypergraph that touches
+    // the component or helps cover the connector.
+    std::vector<int> candidates;
+    for (int e = 0; e < hg_.num_edges(); ++e) {
+      const auto& edge = hg_.edges()[static_cast<size_t>(e)];
+      bool touches = false;
+      for (int v : edge) {
+        if (comp_vertices.count(v) > 0 || connector.count(v) > 0) {
+          touches = true;
+          break;
+        }
+      }
+      if (touches) candidates.push_back(e);
+    }
+
+    std::vector<int> chosen;
+    return TrySeparators(edge_ids, connector, comp_vertices, candidates, 0,
+                         chosen);
+  }
+
+  std::optional<int> TrySeparators(const std::vector<int>& edge_ids,
+                                   const std::set<int>& connector,
+                                   const std::set<int>& comp_vertices,
+                                   const std::vector<int>& candidates,
+                                   size_t start, std::vector<int>& chosen) {
+    if (!chosen.empty()) {
+      std::optional<int> nodes =
+          CheckSeparator(edge_ids, connector, comp_vertices, chosen);
+      if (nodes.has_value()) return nodes;
+    }
+    if (chosen.size() == static_cast<size_t>(k_)) return std::nullopt;
+    for (size_t i = start; i < candidates.size(); ++i) {
+      chosen.push_back(candidates[i]);
+      std::optional<int> nodes = TrySeparators(
+          edge_ids, connector, comp_vertices, candidates, i + 1, chosen);
+      chosen.pop_back();
+      if (nodes.has_value()) return nodes;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<int> CheckSeparator(const std::vector<int>& edge_ids,
+                                    const std::set<int>& connector,
+                                    const std::set<int>& comp_vertices,
+                                    const std::vector<int>& separator) {
+    std::set<int> bag;
+    for (int e : separator) {
+      const auto& edge = hg_.edges()[static_cast<size_t>(e)];
+      bag.insert(edge.begin(), edge.end());
+    }
+    // The bag must cover the connector.
+    for (int v : connector) {
+      if (bag.count(v) == 0) return std::nullopt;
+    }
+    // Progress condition: the bag must cover at least one component
+    // vertex outside the connector, so every child subproblem is
+    // strictly smaller and the recursion terminates.
+    bool covers_new = false;
+    for (int v : comp_vertices) {
+      if (connector.count(v) == 0 && bag.count(v) > 0) {
+        covers_new = true;
+        break;
+      }
+    }
+    if (!covers_new) return std::nullopt;
+    // Split the remaining vertices into connected sub-components
+    // (connectivity via the component's edges minus bag vertices).
+    std::set<int> remaining;
+    for (int v : comp_vertices) {
+      if (bag.count(v) == 0) remaining.insert(v);
+    }
+    int total_nodes = 1;
+    std::set<int> assigned;
+    for (int seed : remaining) {
+      if (assigned.count(seed) > 0) continue;
+      // Flood-fill one sub-component.
+      std::set<int> comp{seed};
+      std::vector<int> frontier{seed};
+      std::set<int> comp_edges;
+      while (!frontier.empty()) {
+        int v = frontier.back();
+        frontier.pop_back();
+        for (int e : edge_ids) {
+          const auto& edge = hg_.edges()[static_cast<size_t>(e)];
+          if (edge.count(v) == 0) continue;
+          comp_edges.insert(e);
+          for (int w : edge) {
+            if (bag.count(w) > 0 || comp.count(w) > 0) continue;
+            comp.insert(w);
+            frontier.push_back(w);
+          }
+        }
+      }
+      assigned.insert(comp.begin(), comp.end());
+      // Sub-connector: bag vertices sharing an edge with the component.
+      std::set<int> sub_connector;
+      for (int e : comp_edges) {
+        const auto& edge = hg_.edges()[static_cast<size_t>(e)];
+        for (int w : edge) {
+          if (bag.count(w) > 0) sub_connector.insert(w);
+        }
+      }
+      std::vector<int> sub_edges(comp_edges.begin(), comp_edges.end());
+      std::optional<int> sub_nodes = Decompose(sub_edges, sub_connector);
+      if (!sub_nodes.has_value()) return std::nullopt;
+      total_nodes += *sub_nodes;
+    }
+    // Edges fully inside the bag are covered by this node.
+    return total_nodes;
+  }
+
+  const Hypergraph& hg_;
+  int k_;
+  std::map<std::pair<std::vector<int>, std::set<int>>, std::optional<int>>
+      memo_;
+};
+
+}  // namespace
+
+GhwResult GeneralizedHypertreeWidth(const Hypergraph& hg, int max_k) {
+  GhwResult result;
+  if (hg.num_edges() == 0) return result;
+
+  if (hg.IsAlphaAcyclic()) {
+    result.width = 1;
+    result.decomposition_nodes = hg.num_edges();
+    return result;
+  }
+
+  std::vector<int> all_edges(static_cast<size_t>(hg.num_edges()));
+  for (int e = 0; e < hg.num_edges(); ++e) {
+    all_edges[static_cast<size_t>(e)] = e;
+  }
+  for (int k = 2; k <= max_k; ++k) {
+    DetKDecomp solver(hg, k);
+    std::optional<int> nodes = solver.Decompose(all_edges, {});
+    if (nodes.has_value()) {
+      result.width = k;
+      result.decomposition_nodes = *nodes;
+      return result;
+    }
+  }
+  result.width = max_k + 1;
+  result.exact = false;
+  return result;
+}
+
+}  // namespace sparqlog::width

@@ -1,0 +1,30 @@
+#ifndef SPARQLOG_WIDTH_HYPERTREE_H_
+#define SPARQLOG_WIDTH_HYPERTREE_H_
+
+#include "graph/hypergraph.h"
+
+namespace sparqlog::width {
+
+/// Result of a generalized hypertree width computation.
+struct GhwResult {
+  /// The smallest k <= max_k admitting a generalized hypertree
+  /// decomposition of width k, or max_k + 1 if none was found.
+  int width = 0;
+  /// Number of nodes in the decomposition found (Section 6.2 uses this
+  /// as a proxy for how well caching can be exploited [18]). For
+  /// width-1 components this equals the number of hyperedges.
+  int decomposition_nodes = 0;
+  /// False if the search was truncated (never for query-sized inputs).
+  bool exact = true;
+};
+
+/// Computes the generalized hypertree width of `hg`, trying k = 1 (GYO
+/// reduction / alpha-acyclicity) and then a det-k-decomp-style exact
+/// search over <= k-edge separators for k = 2..max_k, in the spirit of
+/// the detkdecomp tool the paper uses [10].
+GhwResult GeneralizedHypertreeWidth(const graph::Hypergraph& hg,
+                                    int max_k = 4);
+
+}  // namespace sparqlog::width
+
+#endif  // SPARQLOG_WIDTH_HYPERTREE_H_

@@ -1,0 +1,230 @@
+#include "width/treewidth.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace sparqlog::width {
+
+using graph::Graph;
+
+namespace {
+
+/// Series-parallel reduction on an adjacency-set copy: returns true iff
+/// the graph reduces to nothing (treewidth <= 2).
+bool ReducesToEmpty(std::vector<std::set<int>> adj) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t v = 0; v < adj.size(); ++v) {
+      size_t deg = adj[v].size();
+      if (deg == 0) continue;
+      if (deg == 1) {
+        int u = *adj[v].begin();
+        adj[static_cast<size_t>(u)].erase(static_cast<int>(v));
+        adj[v].clear();
+        changed = true;
+      } else if (deg == 2) {
+        auto it = adj[v].begin();
+        int a = *it++;
+        int b = *it;
+        adj[static_cast<size_t>(a)].erase(static_cast<int>(v));
+        adj[static_cast<size_t>(b)].erase(static_cast<int>(v));
+        adj[v].clear();
+        adj[static_cast<size_t>(a)].insert(b);
+        adj[static_cast<size_t>(b)].insert(a);
+        changed = true;
+      }
+    }
+  }
+  for (const auto& neighbors : adj) {
+    if (!neighbors.empty()) return false;
+  }
+  return true;
+}
+
+/// Treewidth-preserving kernelization for graphs of treewidth >= 2:
+/// repeatedly delete degree-<=1 vertices and suppress degree-2 vertices.
+/// Returns the kernel's adjacency sets over surviving vertices only.
+std::vector<std::set<int>> Kernelize(const Graph& g) {
+  std::vector<std::set<int>> adj(static_cast<size_t>(g.num_nodes()));
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    adj[static_cast<size_t>(v)] = g.Neighbors(v);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t v = 0; v < adj.size(); ++v) {
+      size_t deg = adj[v].size();
+      if (deg == 1) {
+        int u = *adj[v].begin();
+        adj[static_cast<size_t>(u)].erase(static_cast<int>(v));
+        adj[v].clear();
+        changed = true;
+      } else if (deg == 2) {
+        auto it = adj[v].begin();
+        int a = *it++;
+        int b = *it;
+        adj[static_cast<size_t>(a)].erase(static_cast<int>(v));
+        adj[static_cast<size_t>(b)].erase(static_cast<int>(v));
+        adj[v].clear();
+        adj[static_cast<size_t>(a)].insert(b);
+        adj[static_cast<size_t>(b)].insert(a);
+        changed = true;
+      }
+    }
+  }
+  // Compact to surviving vertices.
+  std::vector<int> remap(adj.size(), -1);
+  int next = 0;
+  for (size_t v = 0; v < adj.size(); ++v) {
+    if (!adj[v].empty()) remap[v] = next++;
+  }
+  std::vector<std::set<int>> kernel(static_cast<size_t>(next));
+  for (size_t v = 0; v < adj.size(); ++v) {
+    if (remap[v] < 0) continue;
+    for (int w : adj[v]) {
+      kernel[static_cast<size_t>(remap[v])].insert(
+          remap[static_cast<size_t>(w)]);
+    }
+  }
+  return kernel;
+}
+
+/// Exact treewidth by branch-and-bound over elimination orderings with
+/// memoization (the fill-in after eliminating a vertex set is independent
+/// of the order, so memoizing on the eliminated set is sound).
+/// Operates on bitset adjacency; n <= 64.
+class EliminationSolver {
+ public:
+  explicit EliminationSolver(std::vector<uint64_t> adj)
+      : n_(static_cast<int>(adj.size())), adj_(std::move(adj)) {}
+
+  int Solve() {
+    uint64_t all = n_ == 64 ? ~0ULL : ((1ULL << n_) - 1);
+    int upper = MinFillUpperBound();
+    best_ = upper;
+    Search(adj_, all, 0);
+    return best_;
+  }
+
+ private:
+  int MinFillUpperBound() {
+    std::vector<uint64_t> adj = adj_;
+    uint64_t alive = n_ == 64 ? ~0ULL : ((1ULL << n_) - 1);
+    int width = 0;
+    while (alive != 0) {
+      int best_v = -1;
+      long best_fill = -1;
+      for (int v = 0; v < n_; ++v) {
+        if (((alive >> v) & 1) == 0) continue;
+        uint64_t nb = adj[static_cast<size_t>(v)] & alive;
+        long fill = 0;
+        for (int a = 0; a < n_; ++a) {
+          if (((nb >> a) & 1) == 0) continue;
+          uint64_t missing = nb & ~adj[static_cast<size_t>(a)];
+          missing &= ~(1ULL << a);
+          fill += std::popcount(missing);
+        }
+        if (best_fill < 0 || fill < best_fill) {
+          best_fill = fill;
+          best_v = v;
+        }
+      }
+      uint64_t nb = adj[static_cast<size_t>(best_v)] & alive;
+      width = std::max(width, std::popcount(nb));
+      Eliminate(adj, best_v, nb);
+      alive &= ~(1ULL << best_v);
+    }
+    return width;
+  }
+
+  static void Eliminate(std::vector<uint64_t>& adj, int v, uint64_t nb) {
+    for (int a = 0; a < 64; ++a) {
+      if (((nb >> a) & 1) == 0) continue;
+      adj[static_cast<size_t>(a)] |= nb;
+      adj[static_cast<size_t>(a)] &= ~(1ULL << a);
+      adj[static_cast<size_t>(a)] &= ~(1ULL << v);
+    }
+  }
+
+  void Search(const std::vector<uint64_t>& adj, uint64_t alive,
+              int width_so_far) {
+    if (alive == 0) {
+      best_ = std::min(best_, width_so_far);
+      return;
+    }
+    if (width_so_far >= best_) return;
+    auto it = memo_.find(alive);
+    if (it != memo_.end() && it->second <= width_so_far) return;
+    memo_[alive] = width_so_far;
+
+    // Order candidates by current degree (cheapest first).
+    std::vector<std::pair<int, int>> candidates;
+    for (int v = 0; v < n_; ++v) {
+      if (((alive >> v) & 1) == 0) continue;
+      int deg = std::popcount(adj[static_cast<size_t>(v)] & alive);
+      // Simplicial vertices can always be eliminated first; detect the
+      // easy case degree <= 1.
+      candidates.emplace_back(deg, v);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    for (const auto& [deg, v] : candidates) {
+      int width = std::max(width_so_far, deg);
+      if (width >= best_) continue;
+      std::vector<uint64_t> next = adj;
+      Eliminate(next, v, adj[static_cast<size_t>(v)] & alive);
+      Search(next, alive & ~(1ULL << v), width);
+    }
+  }
+
+  int n_;
+  std::vector<uint64_t> adj_;
+  int best_ = 0;
+  std::unordered_map<uint64_t, int> memo_;
+};
+
+}  // namespace
+
+bool TreewidthAtMost2(const Graph& g) {
+  std::vector<std::set<int>> adj(static_cast<size_t>(g.num_nodes()));
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    adj[static_cast<size_t>(v)] = g.Neighbors(v);
+  }
+  return ReducesToEmpty(std::move(adj));
+}
+
+TreewidthResult Treewidth(const Graph& g) {
+  TreewidthResult result;
+  if (g.num_nodes() == 0 || g.num_proper_edges() == 0) {
+    result.width = 0;
+    return result;
+  }
+  if (g.IsAcyclic(/*ignore_self_loops=*/true)) {
+    result.width = 1;
+    return result;
+  }
+  if (TreewidthAtMost2(g)) {
+    result.width = 2;
+    return result;
+  }
+  // Kernelize; kernel width >= 3, min degree >= 3.
+  std::vector<std::set<int>> kernel = Kernelize(g);
+  if (kernel.size() > 64) {
+    // Fall back to the heuristic bound. Query graphs never get here.
+    result.exact = false;
+    result.width = static_cast<int>(kernel.size());
+    return result;
+  }
+  std::vector<uint64_t> adj(kernel.size(), 0);
+  for (size_t v = 0; v < kernel.size(); ++v) {
+    for (int w : kernel[v]) adj[v] |= 1ULL << w;
+  }
+  EliminationSolver solver(std::move(adj));
+  result.width = solver.Solve();
+  return result;
+}
+
+}  // namespace sparqlog::width

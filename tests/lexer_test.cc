@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "sparql/lexer.h"
+
+namespace sparqlog::sparql {
+namespace {
+
+std::vector<Token> MustLex(std::string_view s) {
+  auto r = Lexer::Tokenize(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto tokens = MustLex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].Is(TokenType::kEof));
+}
+
+TEST(LexerTest, IriRef) {
+  auto tokens = MustLex("<http://example.org/a#b>");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].Is(TokenType::kIriRef));
+  EXPECT_EQ(tokens[0].value, "http://example.org/a#b");
+}
+
+TEST(LexerTest, IriVsComparison) {
+  auto tokens = MustLex("?x < 3");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_TRUE(tokens[0].Is(TokenType::kVar));
+  EXPECT_TRUE(tokens[1].Is(TokenType::kLt));
+  EXPECT_TRUE(tokens[2].Is(TokenType::kInteger));
+}
+
+TEST(LexerTest, LessOrEqual) {
+  auto tokens = MustLex("?x <= ?y");
+  EXPECT_TRUE(tokens[1].Is(TokenType::kLe));
+}
+
+TEST(LexerTest, Variables) {
+  auto tokens = MustLex("?abc $d1 ?x_y");
+  EXPECT_EQ(tokens[0].value, "abc");
+  EXPECT_EQ(tokens[1].value, "d1");
+  EXPECT_EQ(tokens[2].value, "x_y");
+}
+
+TEST(LexerTest, BareQuestionMarkIsPathModifier) {
+  auto tokens = MustLex("a? ");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].Is(TokenType::kIdent));
+  EXPECT_TRUE(tokens[1].Is(TokenType::kQuestion));
+}
+
+TEST(LexerTest, PrefixedNames) {
+  auto tokens = MustLex("rdf:type dbo:birthPlace :local");
+  EXPECT_TRUE(tokens[0].Is(TokenType::kPName));
+  EXPECT_EQ(tokens[0].value, "rdf:type");
+  EXPECT_EQ(tokens[1].value, "dbo:birthPlace");
+  EXPECT_EQ(tokens[2].value, ":local");
+}
+
+TEST(LexerTest, PNameWithDotsKeepsTrailingDotAsToken) {
+  auto tokens = MustLex("ex:a.b. ");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].value, "ex:a.b");
+  EXPECT_TRUE(tokens[1].Is(TokenType::kDot));
+}
+
+TEST(LexerTest, BlankNodeLabels) {
+  auto tokens = MustLex("_:b1 _:x");
+  EXPECT_TRUE(tokens[0].Is(TokenType::kBlankLabel));
+  EXPECT_EQ(tokens[0].value, "b1");
+  EXPECT_EQ(tokens[1].value, "x");
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = MustLex(R"("hello" 'world' "with \"esc\"" """long
+string""")");
+  EXPECT_EQ(tokens[0].value, "hello");
+  EXPECT_EQ(tokens[1].value, "world");
+  EXPECT_EQ(tokens[2].value, "with \"esc\"");
+  EXPECT_EQ(tokens[3].value, "long\nstring");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto r = Lexer::Tokenize("\"abc");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(LexerTest, NewlineInShortStringFails) {
+  auto r = Lexer::Tokenize("\"ab\nc\"");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = MustLex("42 4.5 .5 1e6 2.5E-3");
+  EXPECT_TRUE(tokens[0].Is(TokenType::kInteger));
+  EXPECT_TRUE(tokens[1].Is(TokenType::kDecimal));
+  EXPECT_TRUE(tokens[2].Is(TokenType::kDecimal));
+  EXPECT_EQ(tokens[2].value, ".5");
+  EXPECT_TRUE(tokens[3].Is(TokenType::kDouble));
+  EXPECT_TRUE(tokens[4].Is(TokenType::kDouble));
+}
+
+TEST(LexerTest, DotAfterIntegerIsTripleTerminator) {
+  auto tokens = MustLex("42 . ?x");
+  EXPECT_TRUE(tokens[0].Is(TokenType::kInteger));
+  EXPECT_TRUE(tokens[1].Is(TokenType::kDot));
+}
+
+TEST(LexerTest, LangTagsAndDatatypes) {
+  auto tokens = MustLex("\"chat\"@fr \"1\"^^xsd:int");
+  EXPECT_TRUE(tokens[1].Is(TokenType::kLangTag));
+  EXPECT_EQ(tokens[1].value, "fr");
+  EXPECT_TRUE(tokens[3].Is(TokenType::kCaretCaret));
+  EXPECT_TRUE(tokens[4].Is(TokenType::kPName));
+}
+
+TEST(LexerTest, Comments) {
+  auto tokens = MustLex("?x # a comment <not-an-iri>\n?y");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].value, "x");
+  EXPECT_EQ(tokens[1].value, "y");
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = MustLex("&& || ! != = ^ ^^ | / * + -");
+  TokenType expected[] = {
+      TokenType::kAndAnd, TokenType::kOrOr, TokenType::kBang,
+      TokenType::kNe,     TokenType::kEq,   TokenType::kCaret,
+      TokenType::kCaretCaret, TokenType::kPipe, TokenType::kSlash,
+      TokenType::kStar,   TokenType::kPlus, TokenType::kMinus};
+  for (size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, LoneAmpersandFails) {
+  EXPECT_FALSE(Lexer::Tokenize("a & b").ok());
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto tokens = MustLex("?a\n?b\n\n?c");
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[1].line, 2u);
+  EXPECT_EQ(tokens[2].line, 4u);
+}
+
+TEST(LexerTest, PunctuationSuite) {
+  auto tokens = MustLex("{ } ( ) [ ] ; ,");
+  TokenType expected[] = {TokenType::kLBrace,   TokenType::kRBrace,
+                          TokenType::kLParen,   TokenType::kRParen,
+                          TokenType::kLBracket, TokenType::kRBracket,
+                          TokenType::kSemicolon, TokenType::kComma};
+  for (size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, KeywordsLexAsIdents) {
+  auto tokens = MustLex("SELECT select Construct a TRUE");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(tokens[static_cast<size_t>(i)].Is(TokenType::kIdent)) << i;
+  }
+}
+
+TEST(LexerTest, PNameWithPercentEscape) {
+  auto tokens = MustLex("ex:a%20b");
+  EXPECT_EQ(tokens[0].value, "ex:a%20b");
+}
+
+TEST(LexerTest, WikidataStyleQuery) {
+  auto tokens = MustLex(
+      "SELECT ?item WHERE { ?item wdt:P31/wdt:P279* wd:Q839954 . }");
+  bool has_star = false;
+  for (const Token& t : tokens) {
+    if (t.Is(TokenType::kStar)) has_star = true;
+  }
+  EXPECT_TRUE(has_star);
+}
+
+}  // namespace
+}  // namespace sparqlog::sparql

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "streaks/streaks.h"
+
+namespace sparqlog::streaks {
+namespace {
+
+StreakReport Detect(const std::vector<std::string>& log,
+                 StreakOptions options = StreakOptions()) {
+  StreakDetector detector(options);
+  for (const std::string& q : log) detector.Add(q);
+  return detector.Finish();
+}
+
+TEST(StripPrologueTest, RemovesPrefixDeclarations) {
+  std::string q =
+      "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+      "PREFIX rdf: <http://rdf/>\nSELECT ?x WHERE { ?x a foaf:Person }";
+  std::string stripped = StripPrologue(q);
+  EXPECT_EQ(stripped.rfind("SELECT", 0), 0u);
+}
+
+TEST(StripPrologueTest, KeepsQueryWithoutPrologue) {
+  EXPECT_EQ(StripPrologue("ASK { <a> <b> <c> }"),
+            "ASK { <a> <b> <c> }");
+}
+
+TEST(StripPrologueTest, CaseInsensitive) {
+  EXPECT_EQ(StripPrologue("prefix x: <u> select * where {}").rfind(
+                "select", 0),
+            0u);
+}
+
+TEST(StripPrologueTest, DoesNotCutInsideIris) {
+  // "describe" appears inside an IRI before the real keyword.
+  std::string q =
+      "PREFIX a: <http://x/describe/y>\nCONSTRUCT WHERE { ?s ?p ?o }";
+  EXPECT_EQ(StripPrologue(q).rfind("CONSTRUCT", 0), 0u);
+}
+
+TEST(StreakTest, IdenticalQueriesFormOneStreak) {
+  std::string q = "SELECT ?x WHERE { ?x <p> ?y }";
+  StreakReport r = Detect({q, q, q, q});
+  EXPECT_EQ(r.total_streaks, 1u);
+  EXPECT_EQ(r.longest, 4u);
+  EXPECT_EQ(r.counts[0], 1u);  // bucket 1-10
+}
+
+TEST(StreakTest, DissimilarQueriesAreSingletons) {
+  StreakReport r = Detect({
+      "SELECT ?x WHERE { ?x <aaaaaaaaaa> ?y }",
+      "ASK { <completely> <different> <thing> }",
+      "DESCRIBE <http://yet.another/thing/entirely>",
+  });
+  EXPECT_EQ(r.total_streaks, 3u);
+  EXPECT_EQ(r.longest, 1u);
+}
+
+TEST(StreakTest, GradualRefinementChains) {
+  // Each query differs slightly from the previous; Levenshtein
+  // similarity chains them into one streak.
+  std::vector<std::string> log;
+  std::string base = "SELECT ?x WHERE { ?x <birthPlace> <Paris> }";
+  for (int i = 0; i < 6; ++i) {
+    log.push_back(base + std::string(static_cast<size_t>(i), '#'));
+  }
+  StreakReport r = Detect(log);
+  EXPECT_EQ(r.longest, 6u);
+}
+
+TEST(StreakTest, WindowLimitsMatching) {
+  StreakOptions options;
+  options.window = 2;
+  std::string q = "SELECT ?x WHERE { ?x <p> ?y }";
+  std::string far1 = "ASK { <aaaa> <bbbb> <cccc> }";
+  std::string far2 = "DESCRIBE <http://unrelated/e>";
+  std::string far3 = "CONSTRUCT WHERE { ?a <zz> ?b }";
+  // q ... 3 dissimilar queries ... q: gap of 4 > window 2.
+  StreakReport r = Detect({q, far1, far2, far3, q}, options);
+  EXPECT_EQ(r.longest, 1u);
+  EXPECT_EQ(r.total_streaks, 5u);
+}
+
+TEST(StreakTest, IntermediateSimilarBlocksMatch) {
+  // Definition (2): q_i and q_j do not match if some query between them
+  // is similar to q_i — the streak goes through the intermediate.
+  std::string a = "SELECT ?x WHERE { ?x <p> ?y } #a";
+  std::string b = "SELECT ?x WHERE { ?x <p> ?y } #b";  // similar to a
+  std::string c = "SELECT ?x WHERE { ?x <p> ?y } #c";  // similar to both
+  StreakReport r = Detect({a, b, c});
+  // One streak a -> b -> c of length 3 (c matches b, not a).
+  EXPECT_EQ(r.total_streaks, 1u);
+  EXPECT_EQ(r.longest, 3u);
+}
+
+TEST(StreakTest, PrologueDifferencesIgnored) {
+  // Identical after prefix stripping: should chain despite different
+  // (long) prologues.
+  std::string q1 =
+      "PREFIX a: <http://very.long.namespace.example.org/alpha#>\n"
+      "SELECT ?x WHERE { ?x <p> ?y }";
+  std::string q2 =
+      "PREFIX zz: <http://other.namespace.example.com/beta#>\n"
+      "SELECT ?x WHERE { ?x <p> ?y }";
+  StreakReport r = Detect({q1, q2});
+  EXPECT_EQ(r.longest, 2u);
+}
+
+TEST(StreakTest, BucketBoundaries) {
+  StreakReport r;
+  r.AddStreakLength(1);
+  r.AddStreakLength(10);
+  r.AddStreakLength(11);
+  r.AddStreakLength(100);
+  r.AddStreakLength(101);
+  r.AddStreakLength(169);  // the paper's longest
+  EXPECT_EQ(r.counts[0], 2u);   // 1-10
+  EXPECT_EQ(r.counts[1], 1u);   // 11-20
+  EXPECT_EQ(r.counts[9], 1u);   // 91-100
+  EXPECT_EQ(r.counts[10], 2u);  // >100
+  EXPECT_EQ(r.longest, 169u);
+}
+
+TEST(StreakTest, QueriesProcessedCounted) {
+  StreakReport r = Detect({"SELECT ?x WHERE { ?x <p> ?y }",
+                        "ASK { <aa> <bb> <cc> }"});
+  EXPECT_EQ(r.queries_processed, 2u);
+}
+
+TEST(StreakTest, InterleavedSessions) {
+  // Two interleaved refinement sessions stay separate streaks.
+  std::string a = "SELECT ?x WHERE { ?x <birthPlace> ?place } ";
+  std::string b = "ASK { <someone> <wrote> <something-entirely-else> } ";
+  std::vector<std::string> log;
+  for (int i = 0; i < 4; ++i) {
+    log.push_back(a + std::string(static_cast<size_t>(i), 'a'));
+    log.push_back(b + std::string(static_cast<size_t>(i), 'b'));
+  }
+  StreakReport r = Detect(log);
+  EXPECT_EQ(r.total_streaks, 2u);
+  EXPECT_EQ(r.longest, 4u);
+}
+
+TEST(StreakTest, FinishResetsState) {
+  StreakDetector detector;
+  detector.Add("SELECT ?x WHERE { ?x <p> ?y }");
+  StreakReport first = detector.Finish();
+  EXPECT_EQ(first.total_streaks, 1u);
+  StreakReport second = detector.Finish();
+  EXPECT_EQ(second.total_streaks, 0u);
+  EXPECT_EQ(second.queries_processed, 0u);
+}
+
+}  // namespace
+}  // namespace sparqlog::streaks

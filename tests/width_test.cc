@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "graph/canonical.h"
+#include "sparql/parser.h"
+#include "width/hypertree.h"
+#include "width/treewidth.h"
+
+namespace sparqlog::width {
+namespace {
+
+using graph::Graph;
+using graph::Hypergraph;
+
+Graph Path(int n) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+Graph CycleGraph(int n) {
+  Graph g = Path(n);
+  g.AddEdge(n - 1, 0);
+  return g;
+}
+
+Graph Complete(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+Graph GridGraph(int rows, int cols) {
+  Graph g(rows * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      int v = r * cols + c;
+      if (c + 1 < cols) g.AddEdge(v, v + 1);
+      if (r + 1 < rows) g.AddEdge(v, v + cols);
+    }
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Treewidth
+// ---------------------------------------------------------------------------
+
+TEST(TreewidthTest, TrivialGraphs) {
+  EXPECT_EQ(Treewidth(Graph(0)).width, 0);
+  EXPECT_EQ(Treewidth(Graph(3)).width, 0);  // isolated nodes
+  EXPECT_EQ(Treewidth(Path(2)).width, 1);
+}
+
+TEST(TreewidthTest, ForestsHaveWidthOne) {
+  EXPECT_EQ(Treewidth(Path(10)).width, 1);
+  Graph forest(7);
+  forest.AddEdge(0, 1);
+  forest.AddEdge(1, 2);
+  forest.AddEdge(3, 4);
+  forest.AddEdge(4, 5);
+  forest.AddEdge(4, 6);
+  EXPECT_EQ(Treewidth(forest).width, 1);
+}
+
+class CycleWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CycleWidthTest, CyclesHaveWidthTwo) {
+  EXPECT_EQ(Treewidth(CycleGraph(GetParam())).width, 2);
+  EXPECT_TRUE(TreewidthAtMost2(CycleGraph(GetParam())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, CycleWidthTest,
+                         ::testing::Values(3, 4, 5, 6, 10, 25));
+
+TEST(TreewidthTest, CompleteGraphs) {
+  // tw(K_n) = n - 1.
+  EXPECT_EQ(Treewidth(Complete(4)).width, 3);
+  EXPECT_EQ(Treewidth(Complete(5)).width, 4);
+  EXPECT_EQ(Treewidth(Complete(6)).width, 5);
+  EXPECT_FALSE(TreewidthAtMost2(Complete(4)));
+}
+
+TEST(TreewidthTest, Grids) {
+  // tw(n x m grid) = min(n, m) for grids (n, m >= 2).
+  EXPECT_EQ(Treewidth(GridGraph(2, 5)).width, 2);
+  EXPECT_EQ(Treewidth(GridGraph(3, 3)).width, 3);
+  EXPECT_EQ(Treewidth(GridGraph(3, 4)).width, 3);
+  EXPECT_EQ(Treewidth(GridGraph(4, 4)).width, 4);
+}
+
+TEST(TreewidthTest, SeriesParallelIsTwo) {
+  // Theta graph: two branch nodes, three parallel paths.
+  Graph g(5);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 1);
+  g.AddEdge(0, 3);
+  g.AddEdge(3, 1);
+  g.AddEdge(0, 4);
+  g.AddEdge(4, 1);
+  EXPECT_EQ(Treewidth(g).width, 2);
+}
+
+TEST(TreewidthTest, PaperFigure7StyleQuery) {
+  // The Figure 7 DBpedia query joins ?subject and ?object through three
+  // shared variables (K_{2,3} plus chords). The pure K_{2,3}-plus-edge
+  // variant has width 2; adding one chord between the shared variables
+  // creates a K4 minor and pushes it to 3 — this checks both sides of
+  // the boundary the paper's one width-3 query sits on.
+  auto r = sparql::ParseQuery(
+      "SELECT * WHERE { ?subject <nationality> ?n . ?subject <birthPlace> "
+      "?b . ?subject <genre> ?g . ?object <nationality> ?n . "
+      "?object <birthPlace> ?b . ?object <genre> ?g . "
+      "?subject <x> ?object }");
+  ASSERT_TRUE(r.ok());
+  graph::CanonicalGraph cg = graph::BuildCanonicalGraph(r.value().where);
+  ASSERT_TRUE(cg.valid);
+  EXPECT_EQ(Treewidth(cg.graph).width, 2);
+
+  auto r3 = sparql::ParseQuery(
+      "SELECT * WHERE { ?subject <nationality> ?n . ?subject <birthPlace> "
+      "?b . ?subject <genre> ?g . ?object <nationality> ?n . "
+      "?object <birthPlace> ?b . ?object <genre> ?g . "
+      "?subject <x> ?object . ?n <y> ?b }");
+  ASSERT_TRUE(r3.ok());
+  graph::CanonicalGraph cg3 = graph::BuildCanonicalGraph(r3.value().where);
+  ASSERT_TRUE(cg3.valid);
+  EXPECT_EQ(Treewidth(cg3.graph).width, 3);
+}
+
+TEST(TreewidthTest, SelfLoopsIgnored) {
+  Graph g = Path(3);
+  g.AddEdge(1, 1);
+  EXPECT_EQ(Treewidth(g).width, 1);
+}
+
+TEST(TreewidthTest, DisconnectedMax) {
+  Graph g(8);
+  // K4 plus a path.
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) g.AddEdge(i, j);
+  }
+  g.AddEdge(4, 5);
+  g.AddEdge(5, 6);
+  g.AddEdge(6, 7);
+  EXPECT_EQ(Treewidth(g).width, 3);
+}
+
+TEST(TreewidthTest, PetersenGraph) {
+  // The Petersen graph has treewidth 4.
+  Graph g(10);
+  for (int i = 0; i < 5; ++i) {
+    g.AddEdge(i, (i + 1) % 5);        // outer cycle
+    g.AddEdge(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    g.AddEdge(i, 5 + i);              // spokes
+  }
+  EXPECT_EQ(Treewidth(g).width, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Generalized hypertree width
+// ---------------------------------------------------------------------------
+
+TEST(GhwTest, EmptyAndSingleEdge) {
+  Hypergraph hg;
+  EXPECT_EQ(GeneralizedHypertreeWidth(hg).width, 0);
+  hg.AddEdge({0, 1});
+  GhwResult r = GeneralizedHypertreeWidth(hg);
+  EXPECT_EQ(r.width, 1);
+  EXPECT_EQ(r.decomposition_nodes, 1);
+}
+
+TEST(GhwTest, ChainIsWidthOneWithEdgeCountNodes) {
+  Hypergraph hg;
+  hg.AddEdge({0, 1});
+  hg.AddEdge({1, 2});
+  hg.AddEdge({2, 3});
+  GhwResult r = GeneralizedHypertreeWidth(hg);
+  EXPECT_EQ(r.width, 1);
+  // Section 6.2: for width-1 queries the number of decomposition nodes
+  // corresponds to the number of edges.
+  EXPECT_EQ(r.decomposition_nodes, 3);
+}
+
+TEST(GhwTest, TriangleIsWidthTwo) {
+  Hypergraph hg;
+  hg.AddEdge({0, 1});
+  hg.AddEdge({1, 2});
+  hg.AddEdge({0, 2});
+  GhwResult r = GeneralizedHypertreeWidth(hg);
+  EXPECT_EQ(r.width, 2);
+  EXPECT_TRUE(r.exact);
+}
+
+class CycleGhwTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CycleGhwTest, CyclesHaveGhwTwo) {
+  int n = GetParam();
+  Hypergraph hg;
+  for (int i = 0; i < n; ++i) hg.AddEdge({i, (i + 1) % n});
+  EXPECT_EQ(GeneralizedHypertreeWidth(hg).width, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, CycleGhwTest,
+                         ::testing::Values(3, 4, 5, 6, 8));
+
+TEST(GhwTest, GuardedTriangleIsWidthOne) {
+  Hypergraph hg;
+  hg.AddEdge({0, 1});
+  hg.AddEdge({1, 2});
+  hg.AddEdge({0, 2});
+  hg.AddEdge({0, 1, 2});
+  EXPECT_EQ(GeneralizedHypertreeWidth(hg).width, 1);
+}
+
+TEST(GhwTest, TwoDisjointTrianglesWidthTwo) {
+  Hypergraph hg;
+  hg.AddEdge({0, 1});
+  hg.AddEdge({1, 2});
+  hg.AddEdge({0, 2});
+  hg.AddEdge({3, 4});
+  hg.AddEdge({4, 5});
+  hg.AddEdge({3, 5});
+  EXPECT_EQ(GeneralizedHypertreeWidth(hg).width, 2);
+}
+
+TEST(GhwTest, GhwAtMostTreewidthBoundOnCliques) {
+  // K5 as a graph hypergraph: every edge binary. ghw(K5) = ceil(5/2)...
+  // at least 2; our solver should find a small width <= 3.
+  Hypergraph hg;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) hg.AddEdge({i, j});
+  }
+  GhwResult r = GeneralizedHypertreeWidth(hg);
+  EXPECT_GE(r.width, 2);
+  EXPECT_LE(r.width, 3);
+}
+
+TEST(GhwTest, TriplePatternHypergraphFromQuery) {
+  // Example 5.1 second query: hypergraph cyclic, ghw 2.
+  auto r = sparql::ParseQuery(
+      "ASK WHERE {?x1 ?x2 ?x3 . ?x3 <a> ?x4 . ?x4 ?x2 ?x5}");
+  ASSERT_TRUE(r.ok());
+  std::vector<const sparql::TriplePattern*> triples;
+  std::vector<const sparql::Expr*> filters;
+  graph::CollectTriplesAndFilters(r.value().where, triples, filters);
+  Hypergraph hg = graph::BuildCanonicalHypergraph(triples, filters);
+  EXPECT_EQ(GeneralizedHypertreeWidth(hg).width, 2);
+}
+
+TEST(GhwTest, GhwNeverExceedsTreewidthPlusOneOnGraphs) {
+  // Sanity property: for binary hypergraphs, ghw <= tw + 1 (bags of a
+  // tree decomposition can be covered by that many edges... we check the
+  // weaker ghw <= tw + 1 empirically on small cases).
+  for (int n : {3, 4, 5}) {
+    Graph g = Complete(n);
+    Hypergraph hg;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) hg.AddEdge({i, j});
+    }
+    int tw = Treewidth(g).width;
+    int ghw = GeneralizedHypertreeWidth(hg, /*max_k=*/4).width;
+    EXPECT_LE(ghw, tw + 1);
+  }
+}
+
+}  // namespace
+}  // namespace sparqlog::width
