@@ -1,0 +1,176 @@
+// Parallel log analysis: streams a query log through the sharded
+// multi-threaded pipeline (src/pipeline/) and prints the Table 1
+// counters, keyword mix, and throughput. With --verify, the same input
+// is re-run through the serial LogIngestor/CorpusAnalyzer path and the
+// merged statistics are checked for exact equality.
+//
+// Usage: parallel_runner [options] [logfile]
+//   --generate <Dataset|all>  synthesize a log instead of reading a file
+//   --entries <n>             min entries per generated dataset (default 5000)
+//   --threads <n>             worker/shard threads (default: hardware)
+//   --chunk-size <n>          lines per work chunk (default 512)
+//   --verify                  compare against the serial path
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "corpus/ingest.h"
+#include "corpus/profile.h"
+#include "corpus/report.h"
+#include "pipeline/merge.h"
+#include "pipeline/pipeline.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sparqlog;
+
+  std::string generate;
+  std::string logfile;
+  uint64_t entries = 5000;
+  bool verify = false;
+  pipeline::PipelineOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--generate") {
+      generate = next("--generate");
+    } else if (arg == "--entries") {
+      entries = std::stoull(next("--entries"));
+    } else if (arg == "--threads") {
+      options.threads = std::stoi(next("--threads"));
+    } else if (arg == "--chunk-size") {
+      options.chunk_size = std::stoull(next("--chunk-size"));
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      logfile = arg;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (generate.empty() && logfile.empty()) generate = "DBpedia15";
+
+  // ---- Assemble the input (files are streamed, never slurped) ----
+  std::vector<std::string> lines;
+  std::string source;
+  if (!generate.empty()) {
+    auto profiles = corpus::PaperProfiles();
+    uint64_t seed = 2017;
+    for (const auto& profile : profiles) {
+      if (generate != "all" && profile.name != generate) continue;
+      corpus::GeneratorOptions gen_options;
+      gen_options.scale = 0;
+      gen_options.min_entries = entries;
+      gen_options.seed = seed++;
+      corpus::SyntheticLogGenerator gen(profile, gen_options);
+      auto log = gen.GenerateLog();
+      lines.insert(lines.end(), log.begin(), log.end());
+    }
+    if (lines.empty()) {
+      std::cerr << "unknown dataset: " << generate << "\n";
+      return 2;
+    }
+    source = "synthetic:" + generate;
+  } else {
+    source = logfile;
+  }
+
+  // ---- Run the pipeline ----
+  pipeline::ParallelLogPipeline pl(options);
+  pipeline::PipelineResult result;
+  auto start = std::chrono::steady_clock::now();
+  if (!logfile.empty()) {
+    std::ifstream in(logfile);
+    if (!in) {
+      std::cerr << "cannot open " << logfile << "\n";
+      return 2;
+    }
+    pipeline::IstreamLineSource file_source(in);
+    result = pl.Run(file_source);
+  } else {
+    result = pl.Run(lines);
+  }
+  double elapsed = Seconds(start);
+
+  std::cout << "Parallel pipeline over " << source << " ("
+            << util::WithThousands(static_cast<long long>(result.lines))
+            << " lines, " << pl.threads() << " threads, chunk size "
+            << options.chunk_size << ")\n\n";
+
+  util::Table table({"Stage", "Queries", "Share"});
+  table.AddRow({"Total", util::WithThousands(result.stats.total), ""});
+  table.AddRow({"Valid", util::WithThousands(result.stats.valid),
+                util::Percent(result.stats.valid, result.stats.total)});
+  table.AddRow({"Unique", util::WithThousands(result.stats.unique),
+                util::Percent(result.stats.unique, result.stats.valid)});
+  table.Print(std::cout);
+
+  const corpus::KeywordCounts& kw = result.analysis.keywords();
+  std::cout << "\nForms: Select "
+            << util::Percent(kw.select, kw.total) << ", Ask "
+            << util::Percent(kw.ask, kw.total) << ", Describe "
+            << util::Percent(kw.describe, kw.total) << ", Construct "
+            << util::Percent(kw.construct, kw.total) << "\n";
+  std::cout << "Throughput: "
+            << util::WithThousands(static_cast<long long>(
+                   elapsed > 0 ? result.stats.total / elapsed : 0))
+            << " queries/sec (" << elapsed << " s)\n";
+
+  // ---- Optional serial verification ----
+  if (verify) {
+    corpus::LogIngestor ingestor;
+    corpus::CorpusAnalyzer serial;
+    ingestor.set_unique_sink(
+        [&serial](const sparql::Query& q) { serial.AddQuery(q, "all"); });
+    start = std::chrono::steady_clock::now();
+    if (!logfile.empty()) {
+      std::ifstream in(logfile);  // second pass over the file
+      std::string line;
+      while (std::getline(in, line)) ingestor.ProcessLine(line);
+    } else {
+      ingestor.ProcessLog(lines);
+    }
+    double serial_elapsed = Seconds(start);
+
+    // Exact equality over every aggregate, not just the Table 1 counts.
+    bool ok = ingestor.stats().total == result.stats.total &&
+              ingestor.stats().valid == result.stats.valid &&
+              ingestor.stats().unique == result.stats.unique &&
+              pipeline::StatisticsDigest(serial) ==
+                  pipeline::StatisticsDigest(result.analysis);
+    std::cout << "\nSerial path: " << serial_elapsed << " s; statistics "
+              << (ok ? "MATCH" : "DIFFER") << "\n";
+    if (!ok) {
+      std::cerr << "serial/parallel divergence: total "
+                << ingestor.stats().total << " vs " << result.stats.total
+                << ", valid " << ingestor.stats().valid << " vs "
+                << result.stats.valid << ", unique "
+                << ingestor.stats().unique << " vs " << result.stats.unique
+                << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -22,6 +22,9 @@ struct OperatorSetDistribution {
 
   void Add(const QueryFeatures& f);
 
+  /// Adds another partition's counters (pipeline shard merging).
+  void Merge(const OperatorSetDistribution& o);
+
   /// Count of queries whose operator set is exactly `mask`.
   uint64_t Exact(uint8_t mask) const { return exact[mask & 31]; }
 

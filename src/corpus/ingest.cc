@@ -5,9 +5,7 @@
 
 namespace sparqlog::corpus {
 
-namespace {
-
-uint64_t Fnv1a(const std::string& s) {
+uint64_t HashBytes(std::string_view s) {
   uint64_t h = 1469598103934665603ULL;
   for (unsigned char c : s) {
     h ^= c;
@@ -16,28 +14,52 @@ uint64_t Fnv1a(const std::string& s) {
   return h;
 }
 
-}  // namespace
+ParsedLine ParseLogLine(sparql::Parser& parser, const std::string& line) {
+  ParsedLine out;
+  constexpr std::string_view kPrefix = "query=";
+  if (line.rfind(kPrefix, 0) != 0) return out;  // non-query noise
+  out.is_query = true;
+  // The query value runs to the first raw '&' (an encoded '&' inside the
+  // query text is "%26", so this only strips trailing CGI parameters
+  // such as "&format=json").
+  std::string_view value = std::string_view(line).substr(kPrefix.size());
+  size_t amp = value.find('&');
+  if (amp != std::string_view::npos) value = value.substr(0, amp);
+  std::string text = util::PercentDecode(value);
+  util::Result<sparql::Query> parsed = parser.Parse(text);
+  if (!parsed.ok()) {
+    // Malformed: Total but not Valid. Only these entries route by raw
+    // line (valid ones route by canonical hash), so hash lazily here.
+    out.line_hash = HashBytes(line);
+    return out;
+  }
+  out.valid = true;
+  // Duplicate elimination via the canonical serialization: two queries
+  // are duplicates iff they parse to the same AST.
+  out.canonical_hash = HashBytes(sparql::Serialize(parsed.value()));
+  out.query = std::move(parsed).value();
+  return out;
+}
 
 LogIngestor::LogIngestor(sparql::ParserOptions parser_options)
     : parser_(std::move(parser_options)) {}
 
 bool LogIngestor::ProcessLine(const std::string& line) {
-  constexpr std::string_view kPrefix = "query=";
-  if (line.rfind(kPrefix, 0) != 0) return false;  // non-query noise
+  ParsedLine parsed = ParseLogLine(parser_, line);
+  Ingest(parsed);
+  return parsed.is_query;
+}
+
+void LogIngestor::Ingest(const ParsedLine& parsed) {
+  if (!parsed.is_query) return;
   ++stats_.total;
-  std::string text = util::PercentDecode(line.substr(kPrefix.size()));
-  util::Result<sparql::Query> parsed = parser_.Parse(text);
-  if (!parsed.ok()) return true;
+  if (!parsed.valid) return;
   ++stats_.valid;
-  const sparql::Query& q = parsed.value();
+  const sparql::Query& q = *parsed.query;
   if (valid_sink_) valid_sink_(q);
-  // Duplicate elimination via the canonical serialization: two queries
-  // are duplicates iff they parse to the same AST.
-  uint64_t hash = Fnv1a(sparql::Serialize(q));
-  if (!seen_hashes_.insert(hash).second) return true;
+  if (!seen_hashes_.insert(parsed.canonical_hash).second) return;
   ++stats_.unique;
   if (unique_sink_) unique_sink_(q);
-  return true;
 }
 
 void LogIngestor::ProcessLog(const std::vector<std::string>& lines) {

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -18,7 +20,46 @@ struct CorpusStats {
   uint64_t total = 0;
   uint64_t valid = 0;
   uint64_t unique = 0;
+
+  /// Adds another partition's counters. Exact when the partitions saw
+  /// disjoint slices of the canonical-hash space (see pipeline/shard.h).
+  void Merge(const CorpusStats& other) {
+    total += other.total;
+    valid += other.valid;
+    unique += other.unique;
+  }
 };
+
+/// FNV-1a — the hash used for duplicate elimination and shard routing.
+uint64_t HashBytes(std::string_view s);
+
+/// One log line after the parse stage: cleaned, URL-decoded, parsed, and
+/// canonically hashed. This is the unit of work routed between pipeline
+/// stages; `LogIngestor::Ingest` consumes it.
+struct ParsedLine {
+  /// The line was a query entry (counts toward Total).
+  bool is_query = false;
+  /// The query text parsed (counts toward Valid).
+  bool valid = false;
+  /// FNV-1a of the canonical serialization; meaningful iff `valid`.
+  /// Equal hashes identify duplicates (same canonical AST).
+  uint64_t canonical_hash = 0;
+  /// FNV-1a of the raw line, for deterministic routing of entries that
+  /// have no canonical form; only set for malformed query entries.
+  uint64_t line_hash = 0;
+  /// The AST; engaged iff `valid`.
+  std::optional<sparql::Query> query;
+};
+
+/// Runs the cleaning + validation stages on one raw log line:
+///  * `query=<urlencoded>` lines are query entries; the value ends at
+///    the first raw `&` (further CGI parameters are not query text);
+///  * any other line is non-query noise (`is_query` false).
+/// The decoded text is parsed with `parser`; entries whose value does
+/// not decode to valid SPARQL come back with `valid == false` so the
+/// ingestor can count them as Total-but-not-Valid. Thread-safe when
+/// each thread uses its own parser.
+ParsedLine ParseLogLine(sparql::Parser& parser, const std::string& line);
 
 /// Callback invoked for every query that survives a pipeline stage.
 using QuerySink = std::function<void(const sparql::Query&)>;
@@ -29,11 +70,15 @@ class LogIngestor {
  public:
   explicit LogIngestor(sparql::ParserOptions parser_options = {});
 
-  /// Processes one raw log line:
-  ///  * `query=<urlencoded>` lines are query entries;
-  ///  * any other line is non-query noise and is dropped (not counted).
-  /// Returns true iff the line was a query entry.
+  /// Processes one raw log line — equivalent to `ParseLogLine` followed
+  /// by `Ingest`. Returns true iff the line was a query entry.
   bool ProcessLine(const std::string& line);
+
+  /// Runs the counting + duplicate-elimination stages on an
+  /// already-parsed line. This is the shard-local half of `ProcessLine`:
+  /// the parallel pipeline parses on worker threads and feeds each
+  /// shard's ingestor through here.
+  void Ingest(const ParsedLine& parsed);
 
   /// Feeds a whole log.
   void ProcessLog(const std::vector<std::string>& lines);

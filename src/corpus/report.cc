@@ -20,6 +20,126 @@ using sparql::PatternKind;
 using sparql::Query;
 using sparql::QueryForm;
 
+// ---- Merge() support (pipeline shard merging) ----
+// Every aggregate is an order-independent sum (counters, maps of
+// counters, histograms) plus one max, so merging disjoint partitions
+// reproduces the serial statistics exactly.
+
+void KeywordCounts::Merge(const KeywordCounts& o) {
+  total += o.total;
+  select += o.select;
+  ask += o.ask;
+  describe += o.describe;
+  construct += o.construct;
+  distinct += o.distinct;
+  limit += o.limit;
+  offset += o.offset;
+  order_by += o.order_by;
+  reduced += o.reduced;
+  filter += o.filter;
+  conj += o.conj;
+  union_ += o.union_;
+  optional += o.optional;
+  graph += o.graph;
+  not_exists += o.not_exists;
+  minus += o.minus;
+  exists += o.exists;
+  count += o.count;
+  max += o.max;
+  min += o.min;
+  avg += o.avg;
+  sum += o.sum;
+  group_by += o.group_by;
+  having += o.having;
+  service += o.service;
+  bind += o.bind;
+  values += o.values;
+}
+
+void TripleStats::Merge(const TripleStats& o) {
+  histogram.Merge(o.histogram);
+  select_ask += o.select_ask;
+  all_queries += o.all_queries;
+  triple_sum += o.triple_sum;
+  max_triples = std::max(max_triples, o.max_triples);
+}
+
+void ProjectionStats::Merge(const ProjectionStats& o) {
+  total += o.total;
+  with_projection += o.with_projection;
+  select_with_projection += o.select_with_projection;
+  ask_with_projection += o.ask_with_projection;
+  indeterminate += o.indeterminate;
+  with_subqueries += o.with_subqueries;
+}
+
+void FragmentStats::Merge(const FragmentStats& o) {
+  select_ask += o.select_ask;
+  aof += o.aof;
+  cq += o.cq;
+  cpf += o.cpf;
+  cqf += o.cqf;
+  well_designed += o.well_designed;
+  cqof += o.cqof;
+  wide_interface += o.wide_interface;
+  cq_sizes.Merge(o.cq_sizes);
+  cqf_sizes.Merge(o.cqf_sizes);
+  cqof_sizes.Merge(o.cqof_sizes);
+}
+
+void ShapeCounts::Merge(const ShapeCounts& o) {
+  total += o.total;
+  single_edge += o.single_edge;
+  chain += o.chain;
+  chain_set += o.chain_set;
+  star += o.star;
+  tree += o.tree;
+  forest += o.forest;
+  cycle += o.cycle;
+  flower += o.flower;
+  flower_set += o.flower_set;
+  treewidth_le2 += o.treewidth_le2;
+  treewidth_3 += o.treewidth_3;
+  treewidth_gt3 += o.treewidth_gt3;
+  for (const auto& [g, n] : o.girth) girth[g] += n;
+  single_edge_with_constants += o.single_edge_with_constants;
+}
+
+void HypergraphStats::Merge(const HypergraphStats& o) {
+  total += o.total;
+  ghw1 += o.ghw1;
+  ghw2 += o.ghw2;
+  ghw3 += o.ghw3;
+  ghw_more += o.ghw_more;
+  decompositions_gt10_nodes += o.decompositions_gt10_nodes;
+  decompositions_gt100_nodes += o.decompositions_gt100_nodes;
+}
+
+void PathStats::Merge(const PathStats& o) {
+  total_paths += o.total_paths;
+  trivial_negated += o.trivial_negated;
+  trivial_inverse += o.trivial_inverse;
+  navigational += o.navigational;
+  with_inverse += o.with_inverse;
+  not_ctract += o.not_ctract;
+  for (const auto& [type, n] : o.by_type) by_type[type] += n;
+}
+
+void CorpusAnalyzer::MergeFrom(const CorpusAnalyzer& other) {
+  keywords_.Merge(other.keywords_);
+  opsets_.Merge(other.opsets_);
+  projection_.Merge(other.projection_);
+  fragments_.Merge(other.fragments_);
+  cq_shapes_.Merge(other.cq_shapes_);
+  cqf_shapes_.Merge(other.cqf_shapes_);
+  cqof_shapes_.Merge(other.cqof_shapes_);
+  hypergraphs_.Merge(other.hypergraphs_);
+  paths_.Merge(other.paths_);
+  for (const auto& [dataset, ts] : other.per_dataset_) {
+    per_dataset_[dataset].Merge(ts);
+  }
+}
+
 void CorpusAnalyzer::AddQuery(const Query& q, const std::string& dataset) {
   QueryFeatures f = ExtractFeatures(q);
 

@@ -24,6 +24,9 @@ struct KeywordCounts {
   uint64_t count = 0, max = 0, min = 0, avg = 0, sum = 0;
   uint64_t group_by = 0, having = 0;
   uint64_t service = 0, bind = 0, values = 0;
+
+  /// Adds another partition's counters (pipeline shard merging).
+  void Merge(const KeywordCounts& other);
 };
 
 /// Per-dataset triple statistics (Figure 1 / Figure 8).
@@ -34,6 +37,9 @@ struct TripleStats {
   uint64_t all_queries = 0;  ///< all queries of the dataset
   uint64_t triple_sum = 0;   ///< summed over all queries (Avg#T)
   uint64_t max_triples = 0;
+
+  /// Adds another partition's counters (pipeline shard merging).
+  void Merge(const TripleStats& other);
 
   double SelectAskShare() const {
     return all_queries == 0
@@ -57,6 +63,9 @@ struct ProjectionStats {
   uint64_t ask_with_projection = 0;
   uint64_t indeterminate = 0;
   uint64_t with_subqueries = 0;
+
+  /// Adds another partition's counters (pipeline shard merging).
+  void Merge(const ProjectionStats& other);
 };
 
 /// Fragment statistics (Section 5.2 / Figure 5).
@@ -68,6 +77,9 @@ struct FragmentStats {
   util::BucketHistogram cq_sizes{11};
   util::BucketHistogram cqf_sizes{11};
   util::BucketHistogram cqof_sizes{11};
+
+  /// Adds another partition's counters (pipeline shard merging).
+  void Merge(const FragmentStats& other);
 };
 
 /// Shape statistics for one fragment column of Table 4 / Table 9.
@@ -80,6 +92,9 @@ struct ShapeCounts {
   std::map<int, uint64_t> girth;
   /// Single-edge queries using constants (Section 6.1: 78.70%).
   uint64_t single_edge_with_constants = 0;
+
+  /// Adds another partition's counters (pipeline shard merging).
+  void Merge(const ShapeCounts& other);
 };
 
 /// Hypergraph statistics for variable-predicate CQOF queries
@@ -89,6 +104,9 @@ struct HypergraphStats {
   uint64_t ghw1 = 0, ghw2 = 0, ghw3 = 0, ghw_more = 0;
   uint64_t decompositions_gt10_nodes = 0;
   uint64_t decompositions_gt100_nodes = 0;
+
+  /// Adds another partition's counters (pipeline shard merging).
+  void Merge(const HypergraphStats& other);
 };
 
 /// Property-path statistics (Table 5 / Figure 10).
@@ -100,6 +118,9 @@ struct PathStats {
   uint64_t with_inverse = 0;  ///< reverse nested in complex expressions
   uint64_t not_ctract = 0;
   std::map<paths::PathType, uint64_t> by_type;
+
+  /// Adds another partition's counters (pipeline shard merging).
+  void Merge(const PathStats& other);
 };
 
 /// One-pass analyzer: feed unique (or valid) queries, read every table.
@@ -110,6 +131,12 @@ class CorpusAnalyzer {
   /// Analyzes one query, attributing it to `dataset` for the
   /// per-dataset statistics (Figure 1).
   void AddQuery(const sparql::Query& q, const std::string& dataset = "all");
+
+  /// Folds another analyzer's aggregates into this one. When each query
+  /// was analyzed by exactly one analyzer (the pipeline's shard
+  /// invariant), the merged state is identical to analyzing all queries
+  /// serially: every statistic is an order-independent sum.
+  void MergeFrom(const CorpusAnalyzer& other);
 
   const KeywordCounts& keywords() const { return keywords_; }
   const analysis::OperatorSetDistribution& operator_sets() const {

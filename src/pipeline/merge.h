@@ -1,0 +1,34 @@
+#ifndef SPARQLOG_PIPELINE_MERGE_H_
+#define SPARQLOG_PIPELINE_MERGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pipeline/pipeline.h"
+#include "pipeline/shard.h"
+
+namespace sparqlog::pipeline {
+
+/// Folds per-shard results into one PipelineResult. Because shards
+/// partition the canonical-hash space, their Total/Valid/Unique counts
+/// and analyzer aggregates are disjoint and every statistic merges by
+/// plain summation — the merged result equals the serial path's output
+/// exactly. The per-aggregate Merge() methods live with their classes
+/// (CorpusStats, KeywordCounts, TripleStats, ProjectionStats,
+/// FragmentStats, ShapeCounts, HypergraphStats, PathStats,
+/// OperatorSetDistribution, util::BucketHistogram).
+PipelineResult MergeShards(const std::vector<std::unique_ptr<Shard>>& shards);
+
+/// Flattens every aggregate of an analyzer — keyword counters, operator
+/// sets, projection, fragments (histograms included), shapes (girth
+/// maps included), hypergraphs, paths (type maps included), and the
+/// per-dataset triple statistics — into one deterministic counter
+/// vector. Two analyzers hold identical statistics iff their digests
+/// are equal; drivers use this to verify serial/parallel equivalence
+/// without field-by-field plumbing.
+std::vector<uint64_t> StatisticsDigest(const corpus::CorpusAnalyzer& a);
+
+}  // namespace sparqlog::pipeline
+
+#endif  // SPARQLOG_PIPELINE_MERGE_H_

@@ -1,0 +1,131 @@
+#include "pipeline/pipeline.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "pipeline/merge.h"
+#include "sparql/parser.h"
+
+namespace sparqlog::pipeline {
+
+bool IstreamLineSource::NextChunk(size_t max_lines,
+                                  std::vector<std::string>& out) {
+  out.clear();
+  std::string line;
+  while (out.size() < max_lines && std::getline(in_, line)) {
+    out.push_back(std::move(line));
+  }
+  return !out.empty();
+}
+
+bool VectorLineSource::NextChunk(size_t max_lines,
+                                 std::vector<std::string>& out) {
+  out.clear();
+  while (out.size() < max_lines && next_ < lines_.size()) {
+    out.push_back(lines_[next_++]);
+  }
+  return !out.empty();
+}
+
+ParallelLogPipeline::ParallelLogPipeline(PipelineOptions options)
+    : options_(std::move(options)) {
+  threads_ = options_.threads > 0
+                 ? options_.threads
+                 : static_cast<int>(std::thread::hardware_concurrency());
+  if (threads_ < 1) threads_ = 1;
+}
+
+PipelineResult ParallelLogPipeline::Run(LineSource& source) {
+  const size_t num_shards = static_cast<size_t>(threads_);
+  const size_t chunk_size = options_.chunk_size > 0 ? options_.chunk_size : 1;
+  const size_t capacity =
+      options_.queue_capacity > 0 ? options_.queue_capacity : 1;
+
+  ShardOptions shard_options;
+  shard_options.dataset = options_.dataset;
+  shard_options.use_valid_corpus = options_.use_valid_corpus;
+  shard_options.parser_options = options_.parser_options;
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards.push_back(std::make_unique<Shard>(shard_options));
+  }
+
+  using Chunk = std::vector<std::string>;
+  using Batch = std::vector<corpus::ParsedLine>;
+  BoundedQueue<Chunk> chunk_queue(capacity);
+  std::vector<std::unique_ptr<BoundedQueue<Batch>>> shard_queues;
+  shard_queues.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shard_queues.push_back(std::make_unique<BoundedQueue<Batch>>(capacity));
+  }
+
+  std::atomic<uint64_t> lines_consumed{0};
+
+  // Shard consumers: single reader per shard, so Shard needs no locks.
+  std::vector<std::thread> shard_threads;
+  shard_threads.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shard_threads.emplace_back([&, i] {
+      while (std::optional<Batch> batch = shard_queues[i]->Pop()) {
+        for (const corpus::ParsedLine& entry : *batch) {
+          shards[i]->Consume(entry);
+        }
+      }
+    });
+  }
+
+  // Parse workers: decode + parse + canonicalize in parallel, then
+  // route every query entry to the shard owning its hash.
+  std::vector<std::thread> workers;
+  workers.reserve(num_shards);
+  for (size_t w = 0; w < num_shards; ++w) {
+    workers.emplace_back([&] {
+      sparql::Parser parser(options_.parser_options);
+      uint64_t local_lines = 0;
+      std::vector<Batch> buckets(num_shards);
+      while (std::optional<Chunk> chunk = chunk_queue.Pop()) {
+        local_lines += chunk->size();
+        for (Batch& b : buckets) b.clear();
+        for (const std::string& line : *chunk) {
+          corpus::ParsedLine parsed = corpus::ParseLogLine(parser, line);
+          if (!parsed.is_query) continue;  // noise: dropped, not routed
+          size_t idx = ShardIndexFor(parsed, num_shards);
+          buckets[idx].push_back(std::move(parsed));
+        }
+        for (size_t i = 0; i < num_shards; ++i) {
+          if (buckets[i].empty()) continue;
+          shard_queues[i]->Push(std::move(buckets[i]));
+          buckets[i] = Batch();
+        }
+      }
+      lines_consumed.fetch_add(local_lines, std::memory_order_relaxed);
+    });
+  }
+
+  // Reader (this thread): stream chunks in; Push blocks when the
+  // parsers fall behind, bounding memory.
+  Chunk chunk;
+  while (source.NextChunk(chunk_size, chunk)) {
+    chunk_queue.Push(std::move(chunk));
+    chunk = Chunk();
+  }
+  chunk_queue.Close();
+  for (std::thread& t : workers) t.join();
+  for (auto& q : shard_queues) q->Close();
+  for (std::thread& t : shard_threads) t.join();
+
+  PipelineResult result = MergeShards(shards);
+  result.lines = lines_consumed.load(std::memory_order_relaxed);
+  return result;
+}
+
+PipelineResult ParallelLogPipeline::Run(const std::vector<std::string>& lines) {
+  VectorLineSource source(lines);
+  return Run(source);
+}
+
+}  // namespace sparqlog::pipeline

@@ -1,0 +1,155 @@
+#ifndef SPARQLOG_PIPELINE_PIPELINE_H_
+#define SPARQLOG_PIPELINE_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <istream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "corpus/ingest.h"
+#include "corpus/report.h"
+#include "pipeline/shard.h"
+
+namespace sparqlog::pipeline {
+
+/// Bounded multi-producer multi-consumer queue. `Push` blocks while the
+/// queue is full — this is the pipeline's backpressure: a fast reader
+/// cannot run ahead of slow parsers by more than `capacity` chunks, so
+/// memory stays bounded no matter how large the log is.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Blocks until there is room. Returns false iff the queue was closed
+  /// (the item is dropped).
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available. Returns nullopt once the queue
+  /// is closed *and* drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Wakes all waiters; pending items remain poppable.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<T> items_;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+/// Streaming source of raw log lines, consumed chunk by chunk so a log
+/// never has to fit in memory.
+class LineSource {
+ public:
+  virtual ~LineSource() = default;
+
+  /// Replaces `out` with up to `max_lines` lines. Returns false when
+  /// the source is exhausted and `out` is empty.
+  virtual bool NextChunk(size_t max_lines, std::vector<std::string>& out) = 0;
+};
+
+/// Streams lines from an istream (file, pipe, socket).
+class IstreamLineSource : public LineSource {
+ public:
+  explicit IstreamLineSource(std::istream& in) : in_(in) {}
+  bool NextChunk(size_t max_lines, std::vector<std::string>& out) override;
+
+ private:
+  std::istream& in_;
+};
+
+/// Serves an in-memory log (tests, synthetic corpora).
+class VectorLineSource : public LineSource {
+ public:
+  explicit VectorLineSource(const std::vector<std::string>& lines)
+      : lines_(lines) {}
+  bool NextChunk(size_t max_lines, std::vector<std::string>& out) override;
+
+ private:
+  const std::vector<std::string>& lines_;
+  size_t next_ = 0;
+};
+
+struct PipelineOptions {
+  /// Worker threads (and shards). 0 means hardware concurrency.
+  int threads = 0;
+  /// Raw lines per work chunk.
+  size_t chunk_size = 512;
+  /// Chunks (and routed batches, per shard) buffered before
+  /// backpressure kicks in.
+  size_t queue_capacity = 16;
+  std::string dataset = "all";
+  /// Analyze the valid corpus instead of the unique corpus.
+  bool use_valid_corpus = false;
+  sparql::ParserOptions parser_options;
+};
+
+/// Merged output of a pipeline run — the same numbers the serial
+/// LogIngestor + CorpusAnalyzer pair produces for the same input.
+struct PipelineResult {
+  corpus::CorpusStats stats;
+  corpus::CorpusAnalyzer analysis;
+  /// Raw lines consumed, non-query noise included.
+  uint64_t lines = 0;
+};
+
+/// Multi-threaded sharded corpus pipeline:
+///
+///   reader -> [chunk queue] -> N parse workers -> [shard queues] -> N shards
+///
+/// Parse workers do the expensive work (URL decode, parse, canonical
+/// serialization) in parallel, then route each entry to the shard that
+/// owns its canonical hash (see ShardIndexFor). Each shard dedups and
+/// analyzes its disjoint slice; Run merges the shards into one result
+/// that is bit-identical to the serial path, independent of thread
+/// count and scheduling.
+class ParallelLogPipeline {
+ public:
+  explicit ParallelLogPipeline(PipelineOptions options = {});
+
+  /// Streams `source` through the pipeline and merges shard results.
+  PipelineResult Run(LineSource& source);
+
+  /// Convenience overload for in-memory logs.
+  PipelineResult Run(const std::vector<std::string>& lines);
+
+  /// The resolved worker/shard count.
+  int threads() const { return threads_; }
+
+ private:
+  PipelineOptions options_;
+  int threads_;
+};
+
+}  // namespace sparqlog::pipeline
+
+#endif  // SPARQLOG_PIPELINE_PIPELINE_H_

@@ -1,0 +1,25 @@
+#include "pipeline/shard.h"
+
+namespace sparqlog::pipeline {
+
+Shard::Shard(const ShardOptions& options)
+    : ingestor_(options.parser_options) {
+  // The analyzer consumes whichever corpus the run targets. Capturing
+  // `this` is safe: Shard is pinned (non-copyable, non-movable).
+  auto sink = [this, dataset = options.dataset](const sparql::Query& q) {
+    analyzer_.AddQuery(q, dataset);
+  };
+  if (options.use_valid_corpus) {
+    ingestor_.set_valid_sink(std::move(sink));
+  } else {
+    ingestor_.set_unique_sink(std::move(sink));
+  }
+}
+
+size_t ShardIndexFor(const corpus::ParsedLine& entry, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  uint64_t key = entry.valid ? entry.canonical_hash : entry.line_hash;
+  return static_cast<size_t>(key % num_shards);
+}
+
+}  // namespace sparqlog::pipeline

@@ -1,0 +1,58 @@
+#ifndef SPARQLOG_PIPELINE_SHARD_H_
+#define SPARQLOG_PIPELINE_SHARD_H_
+
+#include <cstddef>
+#include <string>
+
+#include "corpus/ingest.h"
+#include "corpus/report.h"
+#include "sparql/parser.h"
+
+namespace sparqlog::pipeline {
+
+/// Configuration shared by every shard of one pipeline run.
+struct ShardOptions {
+  /// Dataset label for the per-dataset statistics (Figure 1).
+  std::string dataset = "all";
+  /// Analyze the valid corpus (duplicates included, the appendix
+  /// tables) instead of the unique corpus.
+  bool use_valid_corpus = false;
+  sparql::ParserOptions parser_options;
+};
+
+/// One worker shard: a LogIngestor (Table 1 accounting + duplicate
+/// elimination) wired to its own CorpusAnalyzer. A shard owns the slice
+/// of canonical-hash space `hash % num_shards == index`, so every
+/// duplicate of a query lands on the same shard and global dedup stays
+/// exact without any cross-shard coordination.
+class Shard {
+ public:
+  explicit Shard(const ShardOptions& options);
+
+  Shard(const Shard&) = delete;  // the ingestor sink captures `this`
+  Shard& operator=(const Shard&) = delete;
+
+  /// Ingests one parsed entry: Total/Valid/Unique accounting, then
+  /// analysis of the surviving corpus. Not thread-safe; each shard is
+  /// driven by a single consumer thread.
+  void Consume(const corpus::ParsedLine& entry) { ingestor_.Ingest(entry); }
+
+  const corpus::CorpusStats& stats() const { return ingestor_.stats(); }
+  const corpus::CorpusAnalyzer& analyzer() const { return analyzer_; }
+
+ private:
+  corpus::LogIngestor ingestor_;
+  corpus::CorpusAnalyzer analyzer_;
+};
+
+/// Deterministic entry→shard routing. Valid entries route by their
+/// canonical-query hash (the dedup key, so duplicates — including
+/// formatting variants of the same query — always share a shard);
+/// malformed entries have no canonical form and route by raw-line hash,
+/// which only spreads their Total counts. The result depends solely on
+/// the entry and `num_shards`, never on thread timing.
+size_t ShardIndexFor(const corpus::ParsedLine& entry, size_t num_shards);
+
+}  // namespace sparqlog::pipeline
+
+#endif  // SPARQLOG_PIPELINE_SHARD_H_

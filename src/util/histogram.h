@@ -1,6 +1,7 @@
 #ifndef SPARQLOG_UTIL_HISTOGRAM_H_
 #define SPARQLOG_UTIL_HISTOGRAM_H_
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -21,6 +22,17 @@ class BucketHistogram {
     size_t idx = value > max_direct_ ? counts_.size() - 1
                                      : static_cast<size_t>(value);
     counts_[idx] += weight;
+  }
+
+  /// Adds all of `other`'s buckets into this histogram. Both histograms
+  /// must use the same bucket layout (equal max_direct); a mismatch is
+  /// rejected (no-op) rather than cross-contaminating buckets when the
+  /// assert is compiled out.
+  void Merge(const BucketHistogram& other) {
+    assert(max_direct_ == other.max_direct_ &&
+           "cannot merge histograms with different bucket layouts");
+    if (max_direct_ != other.max_direct_) return;
+    for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
   }
 
   /// Count of the direct bucket `v` (0 <= v <= max_direct).

@@ -128,6 +128,67 @@ TEST(IngestTest, SinksReceiveQueries) {
   EXPECT_EQ(valid_count, 2);
 }
 
+TEST(IngestTest, PlusDecodesAsSpace) {
+  LogIngestor ingestor;
+  // '+' is the form-encoding of space; an encoded "%2B" stays a plus.
+  ingestor.ProcessLine("query=SELECT+*+WHERE+%7B+%3Fs+%3Fp+%3Fo+%7D");
+  EXPECT_EQ(ingestor.stats().total, 1u);
+  EXPECT_EQ(ingestor.stats().valid, 1u);
+}
+
+TEST(IngestTest, TruncatedEscapesCountAsMalformed) {
+  LogIngestor ingestor;
+  // Truncated '%' escapes pass through verbatim; the garbled text fails
+  // the parser and must be counted as Total-but-not-Valid, not dropped.
+  ingestor.ProcessLine("query=SELECT%20%7");
+  ingestor.ProcessLine("query=SELECT%20%");
+  EXPECT_EQ(ingestor.stats().total, 2u);
+  EXPECT_EQ(ingestor.stats().valid, 0u);
+}
+
+TEST(IngestTest, EmptyQueryValueIsMalformed) {
+  LogIngestor ingestor;
+  ingestor.ProcessLine("query=");
+  EXPECT_EQ(ingestor.stats().total, 1u);
+  EXPECT_EQ(ingestor.stats().valid, 0u);
+}
+
+TEST(IngestTest, TrailingCgiParametersAreStripped) {
+  LogIngestor ingestor;
+  ingestor.ProcessLine(
+      "query=" + util::PercentEncode("SELECT * WHERE { ?s ?p ?o }") +
+      "&format=json&timeout=30");
+  EXPECT_EQ(ingestor.stats().total, 1u);
+  EXPECT_EQ(ingestor.stats().valid, 1u);
+  // An *encoded* '&' (%26) is query text, not a parameter separator:
+  // here it garbles the query, which must still count toward Total.
+  ingestor.ProcessLine("query=SELECT%20%26%20nonsense");
+  EXPECT_EQ(ingestor.stats().total, 2u);
+  EXPECT_EQ(ingestor.stats().valid, 1u);
+}
+
+TEST(IngestTest, ParsedLineMatchesProcessLine) {
+  // The parse/ingest split used by the parallel pipeline must agree
+  // with the one-shot serial entry point.
+  sparql::Parser parser;
+  LogIngestor split, serial;
+  std::vector<std::string> lines = {
+      "GET /noise HTTP/1.1",
+      "query=" + util::PercentEncode("SELECT * WHERE { ?s ?p ?o }"),
+      "query=" + util::PercentEncode("SELECT * WHERE { ?s ?p ?o }"),
+      "query=NOT%20SPARQL",
+  };
+  for (const std::string& line : lines) {
+    ParsedLine parsed = ParseLogLine(parser, line);
+    split.Ingest(parsed);
+    serial.ProcessLine(line);
+    EXPECT_EQ(parsed.is_query, line.rfind("query=", 0) == 0);
+  }
+  EXPECT_EQ(split.stats().total, serial.stats().total);
+  EXPECT_EQ(split.stats().valid, serial.stats().valid);
+  EXPECT_EQ(split.stats().unique, serial.stats().unique);
+}
+
 TEST(IngestTest, WhitespaceVariantsAreDuplicates) {
   // Dedup works on the canonical AST serialization, so formatting
   // variants of the same query collapse.

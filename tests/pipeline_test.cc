@@ -1,0 +1,572 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "corpus/generator.h"
+#include "corpus/ingest.h"
+#include "corpus/profile.h"
+#include "corpus/report.h"
+#include "pipeline/merge.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/shard.h"
+#include "util/strings.h"
+
+namespace sparqlog::pipeline {
+namespace {
+
+using corpus::CorpusAnalyzer;
+using corpus::CorpusStats;
+using corpus::FragmentStats;
+using corpus::HypergraphStats;
+using corpus::KeywordCounts;
+using corpus::PathStats;
+using corpus::ProjectionStats;
+using corpus::ShapeCounts;
+using corpus::TripleStats;
+
+// ---------------------------------------------------------------------------
+// Equality helpers: every aggregate, field by field.
+// ---------------------------------------------------------------------------
+
+void ExpectHistogramsEqual(const util::BucketHistogram& a,
+                           const util::BucketHistogram& b) {
+  ASSERT_EQ(a.max_direct(), b.max_direct());
+  for (int v = 0; v <= a.max_direct(); ++v) EXPECT_EQ(a.Count(v), b.Count(v));
+  EXPECT_EQ(a.Overflow(), b.Overflow());
+}
+
+void ExpectShapesEqual(const ShapeCounts& a, const ShapeCounts& b) {
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.single_edge, b.single_edge);
+  EXPECT_EQ(a.chain, b.chain);
+  EXPECT_EQ(a.chain_set, b.chain_set);
+  EXPECT_EQ(a.star, b.star);
+  EXPECT_EQ(a.tree, b.tree);
+  EXPECT_EQ(a.forest, b.forest);
+  EXPECT_EQ(a.cycle, b.cycle);
+  EXPECT_EQ(a.flower, b.flower);
+  EXPECT_EQ(a.flower_set, b.flower_set);
+  EXPECT_EQ(a.treewidth_le2, b.treewidth_le2);
+  EXPECT_EQ(a.treewidth_3, b.treewidth_3);
+  EXPECT_EQ(a.treewidth_gt3, b.treewidth_gt3);
+  EXPECT_EQ(a.girth, b.girth);
+  EXPECT_EQ(a.single_edge_with_constants, b.single_edge_with_constants);
+}
+
+void ExpectAnalyzersEqual(const CorpusAnalyzer& a, const CorpusAnalyzer& b) {
+  const KeywordCounts& ka = a.keywords();
+  const KeywordCounts& kb = b.keywords();
+  EXPECT_EQ(ka.total, kb.total);
+  EXPECT_EQ(ka.select, kb.select);
+  EXPECT_EQ(ka.ask, kb.ask);
+  EXPECT_EQ(ka.describe, kb.describe);
+  EXPECT_EQ(ka.construct, kb.construct);
+  EXPECT_EQ(ka.distinct, kb.distinct);
+  EXPECT_EQ(ka.limit, kb.limit);
+  EXPECT_EQ(ka.offset, kb.offset);
+  EXPECT_EQ(ka.order_by, kb.order_by);
+  EXPECT_EQ(ka.reduced, kb.reduced);
+  EXPECT_EQ(ka.filter, kb.filter);
+  EXPECT_EQ(ka.conj, kb.conj);
+  EXPECT_EQ(ka.union_, kb.union_);
+  EXPECT_EQ(ka.optional, kb.optional);
+  EXPECT_EQ(ka.graph, kb.graph);
+  EXPECT_EQ(ka.not_exists, kb.not_exists);
+  EXPECT_EQ(ka.minus, kb.minus);
+  EXPECT_EQ(ka.exists, kb.exists);
+  EXPECT_EQ(ka.count, kb.count);
+  EXPECT_EQ(ka.max, kb.max);
+  EXPECT_EQ(ka.min, kb.min);
+  EXPECT_EQ(ka.avg, kb.avg);
+  EXPECT_EQ(ka.sum, kb.sum);
+  EXPECT_EQ(ka.group_by, kb.group_by);
+  EXPECT_EQ(ka.having, kb.having);
+  EXPECT_EQ(ka.service, kb.service);
+  EXPECT_EQ(ka.bind, kb.bind);
+  EXPECT_EQ(ka.values, kb.values);
+
+  const auto& oa = a.operator_sets();
+  const auto& ob = b.operator_sets();
+  for (uint8_t mask = 0; mask < 32; ++mask) {
+    EXPECT_EQ(oa.Exact(mask), ob.Exact(mask)) << "mask " << int(mask);
+  }
+  EXPECT_EQ(oa.other, ob.other);
+  EXPECT_EQ(oa.total, ob.total);
+
+  const ProjectionStats& pa = a.projection();
+  const ProjectionStats& pb = b.projection();
+  EXPECT_EQ(pa.total, pb.total);
+  EXPECT_EQ(pa.with_projection, pb.with_projection);
+  EXPECT_EQ(pa.select_with_projection, pb.select_with_projection);
+  EXPECT_EQ(pa.ask_with_projection, pb.ask_with_projection);
+  EXPECT_EQ(pa.indeterminate, pb.indeterminate);
+  EXPECT_EQ(pa.with_subqueries, pb.with_subqueries);
+
+  const FragmentStats& fa = a.fragments();
+  const FragmentStats& fb = b.fragments();
+  EXPECT_EQ(fa.select_ask, fb.select_ask);
+  EXPECT_EQ(fa.aof, fb.aof);
+  EXPECT_EQ(fa.cq, fb.cq);
+  EXPECT_EQ(fa.cpf, fb.cpf);
+  EXPECT_EQ(fa.cqf, fb.cqf);
+  EXPECT_EQ(fa.well_designed, fb.well_designed);
+  EXPECT_EQ(fa.cqof, fb.cqof);
+  EXPECT_EQ(fa.wide_interface, fb.wide_interface);
+  ExpectHistogramsEqual(fa.cq_sizes, fb.cq_sizes);
+  ExpectHistogramsEqual(fa.cqf_sizes, fb.cqf_sizes);
+  ExpectHistogramsEqual(fa.cqof_sizes, fb.cqof_sizes);
+
+  ExpectShapesEqual(a.cq_shapes(), b.cq_shapes());
+  ExpectShapesEqual(a.cqf_shapes(), b.cqf_shapes());
+  ExpectShapesEqual(a.cqof_shapes(), b.cqof_shapes());
+
+  const HypergraphStats& ha = a.hypergraphs();
+  const HypergraphStats& hb = b.hypergraphs();
+  EXPECT_EQ(ha.total, hb.total);
+  EXPECT_EQ(ha.ghw1, hb.ghw1);
+  EXPECT_EQ(ha.ghw2, hb.ghw2);
+  EXPECT_EQ(ha.ghw3, hb.ghw3);
+  EXPECT_EQ(ha.ghw_more, hb.ghw_more);
+  EXPECT_EQ(ha.decompositions_gt10_nodes, hb.decompositions_gt10_nodes);
+  EXPECT_EQ(ha.decompositions_gt100_nodes, hb.decompositions_gt100_nodes);
+
+  const PathStats& qa = a.paths();
+  const PathStats& qb = b.paths();
+  EXPECT_EQ(qa.total_paths, qb.total_paths);
+  EXPECT_EQ(qa.trivial_negated, qb.trivial_negated);
+  EXPECT_EQ(qa.trivial_inverse, qb.trivial_inverse);
+  EXPECT_EQ(qa.navigational, qb.navigational);
+  EXPECT_EQ(qa.with_inverse, qb.with_inverse);
+  EXPECT_EQ(qa.not_ctract, qb.not_ctract);
+  EXPECT_EQ(qa.by_type, qb.by_type);
+
+  ASSERT_EQ(a.per_dataset().size(), b.per_dataset().size());
+  for (const auto& [name, ta] : a.per_dataset()) {
+    ASSERT_TRUE(b.per_dataset().count(name)) << name;
+    const TripleStats& tb = b.per_dataset().at(name);
+    EXPECT_EQ(ta.select_ask, tb.select_ask) << name;
+    EXPECT_EQ(ta.all_queries, tb.all_queries) << name;
+    EXPECT_EQ(ta.triple_sum, tb.triple_sum) << name;
+    EXPECT_EQ(ta.max_triples, tb.max_triples) << name;
+    ExpectHistogramsEqual(ta.histogram, tb.histogram);
+  }
+}
+
+/// A mixed synthetic log drawn from several dataset profiles so the
+/// pipeline sees diverse query forms, paths, and malformed entries.
+std::vector<std::string> BuildMixedLog(uint64_t min_entries_per_dataset) {
+  auto profiles = corpus::PaperProfiles();
+  std::vector<std::string> lines;
+  uint64_t seed = 71;
+  for (const char* name :
+       {"DBpedia15", "WikiData17", "BioMed13", "SWDF13"}) {
+    corpus::GeneratorOptions options;
+    options.scale = 0;
+    options.min_entries = min_entries_per_dataset;
+    options.seed = seed++;
+    corpus::SyntheticLogGenerator gen(corpus::ProfileByName(profiles, name),
+                                      options);
+    auto log = gen.GenerateLog();
+    lines.insert(lines.end(), log.begin(), log.end());
+  }
+  return lines;
+}
+
+struct SerialResult {
+  CorpusStats stats;
+  CorpusAnalyzer analysis;
+};
+
+SerialResult RunSerial(const std::vector<std::string>& lines,
+                       bool use_valid_corpus = false) {
+  SerialResult result;
+  corpus::LogIngestor ingestor;
+  auto sink = [&result](const sparql::Query& q) {
+    result.analysis.AddQuery(q, "all");
+  };
+  if (use_valid_corpus) {
+    ingestor.set_valid_sink(sink);
+  } else {
+    ingestor.set_unique_sink(sink);
+  }
+  ingestor.ProcessLog(lines);
+  result.stats = ingestor.stats();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Serial vs parallel determinism (the tentpole invariant).
+// ---------------------------------------------------------------------------
+
+TEST(PipelineDeterminismTest, MatchesSerialAtOneTwoAndEightThreads) {
+  std::vector<std::string> lines = BuildMixedLog(1200);
+  SerialResult serial = RunSerial(lines);
+
+  for (int threads : {1, 2, 8}) {
+    PipelineOptions options;
+    options.threads = threads;
+    options.chunk_size = 64;
+    ParallelLogPipeline pipeline(options);
+    PipelineResult result = pipeline.Run(lines);
+
+    EXPECT_EQ(result.lines, lines.size()) << threads << " threads";
+    EXPECT_EQ(result.stats.total, serial.stats.total) << threads;
+    EXPECT_EQ(result.stats.valid, serial.stats.valid) << threads;
+    EXPECT_EQ(result.stats.unique, serial.stats.unique) << threads;
+    ExpectAnalyzersEqual(serial.analysis, result.analysis);
+  }
+}
+
+TEST(PipelineDeterminismTest, ValidCorpusModeMatchesSerial) {
+  std::vector<std::string> lines = BuildMixedLog(600);
+  SerialResult serial = RunSerial(lines, /*use_valid_corpus=*/true);
+
+  PipelineOptions options;
+  options.threads = 4;
+  options.chunk_size = 32;
+  options.use_valid_corpus = true;
+  ParallelLogPipeline pipeline(options);
+  PipelineResult result = pipeline.Run(lines);
+
+  EXPECT_EQ(result.stats.valid, serial.stats.valid);
+  ExpectAnalyzersEqual(serial.analysis, result.analysis);
+}
+
+TEST(PipelineDeterminismTest, RepeatedRunsAreIdentical) {
+  std::vector<std::string> lines = BuildMixedLog(400);
+  PipelineOptions options;
+  options.threads = 3;
+  options.chunk_size = 17;  // odd size: chunks straddle entries unevenly
+  PipelineResult a = ParallelLogPipeline(options).Run(lines);
+  PipelineResult b = ParallelLogPipeline(options).Run(lines);
+  EXPECT_EQ(a.stats.total, b.stats.total);
+  EXPECT_EQ(a.stats.valid, b.stats.valid);
+  EXPECT_EQ(a.stats.unique, b.stats.unique);
+  ExpectAnalyzersEqual(a.analysis, b.analysis);
+}
+
+// ---------------------------------------------------------------------------
+// Shard routing
+// ---------------------------------------------------------------------------
+
+TEST(ShardTest, FormattingVariantsRouteToSameShard) {
+  sparql::Parser parser;
+  corpus::ParsedLine a = corpus::ParseLogLine(
+      parser, "query=" + util::PercentEncode("SELECT * WHERE { ?s ?p ?o }"));
+  corpus::ParsedLine b = corpus::ParseLogLine(
+      parser,
+      "query=" + util::PercentEncode("SELECT *\nWHERE {\n ?s ?p ?o .\n}"));
+  ASSERT_TRUE(a.valid);
+  ASSERT_TRUE(b.valid);
+  EXPECT_EQ(a.canonical_hash, b.canonical_hash);
+  for (size_t shards : {2u, 3u, 8u}) {
+    EXPECT_EQ(ShardIndexFor(a, shards), ShardIndexFor(b, shards));
+  }
+}
+
+TEST(ShardTest, MalformedEntriesRouteByLineHash) {
+  sparql::Parser parser;
+  corpus::ParsedLine p =
+      corpus::ParseLogLine(parser, "query=NOT%20SPARQL");
+  ASSERT_TRUE(p.is_query);
+  ASSERT_FALSE(p.valid);
+  for (size_t shards : {1u, 2u, 8u}) {
+    size_t idx = ShardIndexFor(p, shards);
+    EXPECT_LT(idx, shards);
+    EXPECT_EQ(idx, ShardIndexFor(p, shards));  // deterministic
+  }
+}
+
+TEST(ShardTest, ShardCountsTableOneSemantics) {
+  ShardOptions options;
+  Shard shard(options);
+  sparql::Parser parser;
+  auto feed = [&](const std::string& line) {
+    shard.Consume(corpus::ParseLogLine(parser, line));
+  };
+  feed("GET /nonsense HTTP/1.1");
+  feed("query=" + util::PercentEncode("SELECT * WHERE { ?s ?p ?o }"));
+  feed("query=" + util::PercentEncode("SELECT * WHERE { ?s ?p ?o }"));
+  feed("query=NOT%20SPARQL");
+  EXPECT_EQ(shard.stats().total, 3u);
+  EXPECT_EQ(shard.stats().valid, 2u);
+  EXPECT_EQ(shard.stats().unique, 1u);
+  EXPECT_EQ(shard.analyzer().keywords().total, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+// ---------------------------------------------------------------------------
+
+TEST(BoundedQueueTest, FifoAndCloseSemantics) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  q.Close();
+  EXPECT_FALSE(q.Push(3));  // closed: rejected
+  EXPECT_EQ(q.Pop(), 1);    // pending items still drain
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.Pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, BackpressureDeliversEverything) {
+  BoundedQueue<int> q(2);  // tiny capacity: producer must block
+  constexpr int kItems = 500;
+  std::thread producer([&q] {
+    for (int i = 0; i < kItems; ++i) q.Push(i);
+    q.Close();
+  });
+  int64_t sum = 0, received = 0;
+  while (std::optional<int> v = q.Pop()) {
+    sum += *v;
+    ++received;
+  }
+  producer.join();
+  EXPECT_EQ(received, kItems);
+  EXPECT_EQ(sum, static_cast<int64_t>(kItems) * (kItems - 1) / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Line sources
+// ---------------------------------------------------------------------------
+
+TEST(LineSourceTest, IstreamSourceStreamsInChunks) {
+  std::stringstream ss("a\nb\nc\nd\ne\n");
+  IstreamLineSource source(ss);
+  std::vector<std::string> chunk;
+  ASSERT_TRUE(source.NextChunk(2, chunk));
+  EXPECT_EQ(chunk, (std::vector<std::string>{"a", "b"}));
+  ASSERT_TRUE(source.NextChunk(2, chunk));
+  EXPECT_EQ(chunk, (std::vector<std::string>{"c", "d"}));
+  ASSERT_TRUE(source.NextChunk(2, chunk));
+  EXPECT_EQ(chunk, (std::vector<std::string>{"e"}));
+  EXPECT_FALSE(source.NextChunk(2, chunk));
+}
+
+TEST(LineSourceTest, PipelineRunsFromIstream) {
+  std::stringstream ss;
+  ss << "query=" << util::PercentEncode("SELECT * WHERE { ?s ?p ?o }") << "\n"
+     << "noise line\n"
+     << "query=" << util::PercentEncode("ASK { <a> <b> <c> }") << "\n";
+  PipelineOptions options;
+  options.threads = 2;
+  ParallelLogPipeline pipeline(options);
+  IstreamLineSource source(ss);
+  PipelineResult result = pipeline.Run(source);
+  EXPECT_EQ(result.lines, 3u);
+  EXPECT_EQ(result.stats.total, 2u);
+  EXPECT_EQ(result.stats.valid, 2u);
+  EXPECT_EQ(result.stats.unique, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Merge() unit tests, one per aggregate.
+// ---------------------------------------------------------------------------
+
+TEST(MergeTest, CorpusStats) {
+  CorpusStats a{10, 8, 5}, b{3, 2, 1};
+  a.Merge(b);
+  EXPECT_EQ(a.total, 13u);
+  EXPECT_EQ(a.valid, 10u);
+  EXPECT_EQ(a.unique, 6u);
+}
+
+TEST(MergeTest, BucketHistogram) {
+  util::BucketHistogram a{11}, b{11};
+  a.Add(0);
+  a.Add(3, 2);
+  a.Add(40);
+  b.Add(3);
+  b.Add(99);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(0), 1u);
+  EXPECT_EQ(a.Count(3), 3u);
+  EXPECT_EQ(a.Overflow(), 2u);
+  EXPECT_EQ(a.Total(), 6u);
+}
+
+TEST(MergeTest, KeywordCounts) {
+  KeywordCounts a, b;
+  a.total = 5;
+  a.select = 4;
+  a.filter = 2;
+  b.total = 3;
+  b.select = 1;
+  b.union_ = 3;
+  a.Merge(b);
+  EXPECT_EQ(a.total, 8u);
+  EXPECT_EQ(a.select, 5u);
+  EXPECT_EQ(a.filter, 2u);
+  EXPECT_EQ(a.union_, 3u);
+}
+
+TEST(MergeTest, TripleStatsTakesMaxOfMaxima) {
+  TripleStats a, b;
+  a.all_queries = 4;
+  a.triple_sum = 9;
+  a.max_triples = 3;
+  a.select_ask = 4;
+  a.histogram.Add(2);
+  b.all_queries = 2;
+  b.triple_sum = 14;
+  b.max_triples = 12;
+  b.select_ask = 1;
+  b.histogram.Add(12);
+  a.Merge(b);
+  EXPECT_EQ(a.all_queries, 6u);
+  EXPECT_EQ(a.triple_sum, 23u);
+  EXPECT_EQ(a.max_triples, 12u);
+  EXPECT_EQ(a.select_ask, 5u);
+  EXPECT_EQ(a.histogram.Count(2), 1u);
+  EXPECT_EQ(a.histogram.Overflow(), 1u);
+}
+
+TEST(MergeTest, ProjectionStats) {
+  ProjectionStats a, b;
+  a.total = 7;
+  a.with_projection = 2;
+  b.total = 3;
+  b.with_projection = 1;
+  b.indeterminate = 2;
+  a.Merge(b);
+  EXPECT_EQ(a.total, 10u);
+  EXPECT_EQ(a.with_projection, 3u);
+  EXPECT_EQ(a.indeterminate, 2u);
+}
+
+TEST(MergeTest, FragmentStats) {
+  FragmentStats a, b;
+  a.select_ask = 6;
+  a.cq = 4;
+  a.cq_sizes.Add(1);
+  b.select_ask = 2;
+  b.cq = 1;
+  b.aof = 2;
+  b.cq_sizes.Add(1);
+  a.Merge(b);
+  EXPECT_EQ(a.select_ask, 8u);
+  EXPECT_EQ(a.cq, 5u);
+  EXPECT_EQ(a.aof, 2u);
+  EXPECT_EQ(a.cq_sizes.Count(1), 2u);
+}
+
+TEST(MergeTest, ShapeCountsMergesGirthMaps) {
+  ShapeCounts a, b;
+  a.total = 3;
+  a.cycle = 1;
+  a.girth[3] = 1;
+  b.total = 2;
+  b.cycle = 2;
+  b.girth[3] = 2;
+  b.girth[5] = 1;
+  a.Merge(b);
+  EXPECT_EQ(a.total, 5u);
+  EXPECT_EQ(a.cycle, 3u);
+  EXPECT_EQ(a.girth[3], 3u);
+  EXPECT_EQ(a.girth[5], 1u);
+}
+
+TEST(MergeTest, HypergraphStats) {
+  HypergraphStats a, b;
+  a.total = 2;
+  a.ghw1 = 2;
+  b.total = 3;
+  b.ghw2 = 3;
+  b.decompositions_gt10_nodes = 1;
+  a.Merge(b);
+  EXPECT_EQ(a.total, 5u);
+  EXPECT_EQ(a.ghw1, 2u);
+  EXPECT_EQ(a.ghw2, 3u);
+  EXPECT_EQ(a.decompositions_gt10_nodes, 1u);
+}
+
+TEST(MergeTest, PathStatsMergesTypeMaps) {
+  PathStats a, b;
+  a.total_paths = 4;
+  a.navigational = 2;
+  a.by_type[paths::PathType::kStar] = 2;
+  b.total_paths = 1;
+  b.navigational = 1;
+  b.by_type[paths::PathType::kStar] = 1;
+  b.by_type[paths::PathType::kStarOfAlt] = 1;
+  a.Merge(b);
+  EXPECT_EQ(a.total_paths, 5u);
+  EXPECT_EQ(a.navigational, 3u);
+  EXPECT_EQ(a.by_type[paths::PathType::kStar], 3u);
+  EXPECT_EQ(a.by_type[paths::PathType::kStarOfAlt], 1u);
+}
+
+TEST(MergeTest, OperatorSetDistribution) {
+  analysis::OperatorSetDistribution a, b;
+  a.exact[0] = 5;
+  a.exact[3] = 2;
+  a.total = 7;
+  b.exact[3] = 1;
+  b.other = 4;
+  b.total = 5;
+  a.Merge(b);
+  EXPECT_EQ(a.Exact(0), 5u);
+  EXPECT_EQ(a.Exact(3), 3u);
+  EXPECT_EQ(a.other, 4u);
+  EXPECT_EQ(a.total, 12u);
+}
+
+TEST(MergeTest, AnalyzerMergeEqualsCombinedAnalysis) {
+  auto profiles = corpus::PaperProfiles();
+  corpus::GeneratorOptions options;
+  options.seed = 23;
+  corpus::SyntheticLogGenerator gen(
+      corpus::ProfileByName(profiles, "DBpedia15"), options);
+  std::vector<sparql::Query> queries;
+  for (int i = 0; i < 300; ++i) queries.push_back(gen.GenerateQuery());
+
+  CorpusAnalyzer combined;
+  for (const auto& q : queries) combined.AddQuery(q, "all");
+
+  CorpusAnalyzer left, right;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    (i % 2 == 0 ? left : right).AddQuery(queries[i], "all");
+  }
+  left.MergeFrom(right);
+  ExpectAnalyzersEqual(combined, left);
+}
+
+TEST(MergeTest, StatisticsDigestDetectsAnyDivergence) {
+  auto profiles = corpus::PaperProfiles();
+  corpus::GeneratorOptions options;
+  options.seed = 41;
+  corpus::SyntheticLogGenerator gen(
+      corpus::ProfileByName(profiles, "WikiData17"), options);
+  CorpusAnalyzer a, b;
+  for (int i = 0; i < 200; ++i) {
+    sparql::Query q = gen.GenerateQuery();
+    a.AddQuery(q, "all");
+    b.AddQuery(q, "all");
+  }
+  EXPECT_EQ(StatisticsDigest(a), StatisticsDigest(b));
+  // One extra query must perturb the digest.
+  b.AddQuery(gen.GenerateQuery(), "all");
+  EXPECT_NE(StatisticsDigest(a), StatisticsDigest(b));
+}
+
+TEST(MergeTest, MergeShardsFoldsStatsAndAnalysis) {
+  ShardOptions options;
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.push_back(std::make_unique<Shard>(options));
+  shards.push_back(std::make_unique<Shard>(options));
+  sparql::Parser parser;
+  shards[0]->Consume(corpus::ParseLogLine(
+      parser, "query=" + util::PercentEncode("SELECT * WHERE { ?s ?p ?o }")));
+  shards[1]->Consume(corpus::ParseLogLine(
+      parser, "query=" + util::PercentEncode("ASK { <a> <b> <c> }")));
+  PipelineResult merged = MergeShards(shards);
+  EXPECT_EQ(merged.stats.total, 2u);
+  EXPECT_EQ(merged.stats.unique, 2u);
+  EXPECT_EQ(merged.analysis.keywords().total, 2u);
+  EXPECT_EQ(merged.analysis.keywords().select, 1u);
+  EXPECT_EQ(merged.analysis.keywords().ask, 1u);
+}
+
+}  // namespace
+}  // namespace sparqlog::pipeline
