@@ -1,0 +1,252 @@
+// Ingest hot-path bench: measures lines/sec and bytes allocated for the
+// three nested stages of the Table 1 pipeline's dominant cost — lex
+// only, parse only (lex + parse), and full ParseLogLine (parse +
+// streaming canonical hash) — plus the complete serial ingest with
+// dedup. Results go to BENCH_ingest.json (override the path with
+// SPARQLOG_BENCH_JSON) so the perf trajectory is recorded run over run.
+//
+// The run doubles as a divergence check and exits non-zero if either
+//  * the stats accumulated through the scratch-buffer ParseLogLine path
+//    differ from LogIngestor's serial reference, or
+//  * any query's streaming CanonicalHash() differs from FNV-1a of the
+//    materialized Serialize() string (hash-sink vs string-sink).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <new>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "corpus/ingest.h"
+#include "corpus/profile.h"
+#include "sparql/lexer.h"
+#include "sparql/parser.h"
+#include "sparql/serializer.h"
+#include "util/strings.h"
+
+// --------------------------------------------------------------------------
+// Global allocation counters. Overriding the usual new/delete pairs in
+// the bench binary makes "bytes allocated per line" a first-class,
+// regression-checkable metric without any external tooling.
+// --------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_alloc_bytes{0};
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace sparqlog;
+
+struct PhaseResult {
+  std::string name;
+  double seconds = 0;
+  uint64_t bytes_allocated = 0;
+  uint64_t allocations = 0;
+};
+
+PhaseResult RunPhase(const std::string& name,
+                     const std::function<void()>& fn) {
+  PhaseResult r;
+  r.name = name;
+  uint64_t bytes0 = g_alloc_bytes.load(std::memory_order_relaxed);
+  uint64_t count0 = g_alloc_count.load(std::memory_order_relaxed);
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  r.seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  r.bytes_allocated =
+      g_alloc_bytes.load(std::memory_order_relaxed) - bytes0;
+  r.allocations = g_alloc_count.load(std::memory_order_relaxed) - count0;
+  return r;
+}
+
+// The lex/parse-only phases clean lines with corpus::ExtractQueryText —
+// the same helper ParseLogLine uses — so they measure exactly the
+// production input.
+using corpus::ExtractQueryText;
+
+}  // namespace
+
+int main() {
+  uint64_t entries_per_dataset = 2000;
+  if (const char* env = std::getenv("SPARQLOG_BENCH_ENTRIES")) {
+    uint64_t v = std::strtoull(env, nullptr, 10);
+    if (v > 0) entries_per_dataset = v;
+  }
+  const char* json_path_env = std::getenv("SPARQLOG_BENCH_JSON");
+  const std::string json_path =
+      json_path_env != nullptr ? json_path_env : "BENCH_ingest.json";
+
+  std::printf("Generating corpus (%llu entries/dataset x 13 datasets)...\n",
+              static_cast<unsigned long long>(entries_per_dataset));
+  std::vector<std::string> lines;
+  {
+    auto profiles = corpus::PaperProfiles();
+    uint64_t seed = 2017;
+    for (const auto& profile : profiles) {
+      corpus::GeneratorOptions options;
+      options.scale = 0;
+      options.min_entries = entries_per_dataset;
+      options.seed = seed++;
+      corpus::SyntheticLogGenerator gen(profile, options);
+      auto log = gen.GenerateLog();
+      lines.insert(lines.end(), log.begin(), log.end());
+    }
+  }
+  std::printf("%zu log lines\n\n", lines.size());
+
+  sparql::Parser parser;
+  std::string scratch;
+  std::vector<PhaseResult> phases;
+
+  // Phase 1: cleaning + lexing only.
+  uint64_t tokens_seen = 0;
+  phases.push_back(RunPhase("lex", [&] {
+    for (const std::string& line : lines) {
+      auto text = ExtractQueryText(line, scratch);
+      if (!text.has_value()) continue;
+      auto stream = sparql::Lexer::Tokenize(*text);
+      if (stream.ok()) tokens_seen += stream.value().size();
+    }
+  }));
+
+  // Phase 2: cleaning + full parse (subsumes lexing).
+  uint64_t parsed_ok = 0;
+  phases.push_back(RunPhase("parse", [&] {
+    for (const std::string& line : lines) {
+      auto text = ExtractQueryText(line, scratch);
+      if (!text.has_value()) continue;
+      if (parser.Parse(*text).ok()) ++parsed_ok;
+    }
+  }));
+
+  // Phase 3: full ParseLogLine (parse + streaming canonical hash),
+  // accumulating the Table 1 counters for the divergence check.
+  corpus::CorpusStats hot_stats;
+  std::unordered_set<uint64_t> seen;
+  uint64_t hash_checked = 0, hash_mismatches = 0;
+  phases.push_back(RunPhase("parse_log_line", [&] {
+    for (const std::string& line : lines) {
+      corpus::ParsedLine parsed =
+          corpus::ParseLogLine(parser, std::string_view(line), scratch);
+      if (!parsed.is_query) continue;
+      ++hot_stats.total;
+      if (!parsed.valid) continue;
+      ++hot_stats.valid;
+      if (seen.insert(parsed.canonical_hash).second) ++hot_stats.unique;
+    }
+  }));
+
+  // Phase 4: the reference serial ingest (LogIngestor end to end).
+  corpus::CorpusStats reference;
+  phases.push_back(RunPhase("log_ingestor", [&] {
+    corpus::LogIngestor ingestor;
+    ingestor.ProcessLog(lines);
+    reference = ingestor.stats();
+  }));
+
+  // Hash-sink vs string-sink identity over every valid query (off the
+  // clock: Serialize() deliberately materializes the canonical string).
+  for (const std::string& line : lines) {
+    corpus::ParsedLine parsed =
+        corpus::ParseLogLine(parser, std::string_view(line), scratch);
+    if (!parsed.valid) continue;
+    ++hash_checked;
+    if (parsed.canonical_hash !=
+        corpus::HashBytes(sparql::Serialize(*parsed.query))) {
+      ++hash_mismatches;
+    }
+  }
+
+  std::printf("%-16s %10s %14s %16s %12s\n", "phase", "time (s)",
+              "lines/sec", "bytes/line", "allocs/line");
+  for (const PhaseResult& p : phases) {
+    double lps = p.seconds > 0 ? lines.size() / p.seconds : 0;
+    std::printf("%-16s %10.3f %14s %16.1f %12.2f\n", p.name.c_str(),
+                p.seconds,
+                util::WithThousands(static_cast<long long>(lps)).c_str(),
+                static_cast<double>(p.bytes_allocated) / lines.size(),
+                static_cast<double>(p.allocations) / lines.size());
+  }
+  std::printf("\nTotal %llu, Valid %llu, Unique %llu (tokens %llu, parsed %llu)\n",
+              static_cast<unsigned long long>(reference.total),
+              static_cast<unsigned long long>(reference.valid),
+              static_cast<unsigned long long>(reference.unique),
+              static_cast<unsigned long long>(tokens_seen),
+              static_cast<unsigned long long>(parsed_ok));
+
+  bool stats_match = hot_stats.total == reference.total &&
+                     hot_stats.valid == reference.valid &&
+                     hot_stats.unique == reference.unique;
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"bench\": \"ingest_hotpath\",\n"
+       << "  \"entries_per_dataset\": " << entries_per_dataset << ",\n"
+       << "  \"lines\": " << lines.size() << ",\n"
+       << "  \"phases\": [\n";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseResult& p = phases[i];
+    double lps = p.seconds > 0 ? lines.size() / p.seconds : 0;
+    json << "    {\"name\": \"" << p.name << "\", \"seconds\": " << p.seconds
+         << ", \"lines_per_sec\": " << static_cast<uint64_t>(lps)
+         << ", \"bytes_allocated\": " << p.bytes_allocated
+         << ", \"allocations\": " << p.allocations << "}"
+         << (i + 1 < phases.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"stats\": {\"total\": " << reference.total
+       << ", \"valid\": " << reference.valid
+       << ", \"unique\": " << reference.unique << "},\n"
+       << "  \"hash_check\": {\"queries\": " << hash_checked
+       << ", \"mismatches\": " << hash_mismatches << "},\n"
+       << "  \"stats_match\": " << (stats_match ? "true" : "false") << "\n"
+       << "}\n";
+  json.close();
+  std::printf("Wrote %s\n", json_path.c_str());
+
+  if (!stats_match) {
+    std::fprintf(stderr,
+                 "FAIL: ParseLogLine stats diverged from LogIngestor "
+                 "(total %llu/%llu valid %llu/%llu unique %llu/%llu)\n",
+                 static_cast<unsigned long long>(hot_stats.total),
+                 static_cast<unsigned long long>(reference.total),
+                 static_cast<unsigned long long>(hot_stats.valid),
+                 static_cast<unsigned long long>(reference.valid),
+                 static_cast<unsigned long long>(hot_stats.unique),
+                 static_cast<unsigned long long>(reference.unique));
+    return 1;
+  }
+  if (hash_mismatches != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu/%llu canonical hashes diverged between the "
+                 "hashing sink and the string sink\n",
+                 static_cast<unsigned long long>(hash_mismatches),
+                 static_cast<unsigned long long>(hash_checked));
+    return 1;
+  }
+  return 0;
+}

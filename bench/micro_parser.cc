@@ -4,7 +4,9 @@
 #include <benchmark/benchmark.h>
 
 #include "corpus/generator.h"
+#include "corpus/ingest.h"
 #include "corpus/profile.h"
+#include "sparql/lexer.h"
 #include "sparql/parser.h"
 #include "sparql/serializer.h"
 
@@ -72,5 +74,33 @@ void BM_SerializeRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SerializeRoundTrip);
+
+void BM_LexMedium(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparql::Lexer::Tokenize(kMedium));
+  }
+}
+BENCHMARK(BM_LexMedium);
+
+// The dedup key computed the old way: materialize the canonical string,
+// then hash it. Baseline for BM_CanonicalHash.
+void BM_SerializeThenHash(benchmark::State& state) {
+  auto q = sparql::ParseQuery(kMedium);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        corpus::HashBytes(sparql::Serialize(q.value())));
+  }
+}
+BENCHMARK(BM_SerializeThenHash);
+
+// The dedup key streamed through the hashing sink — no canonical
+// string is ever built.
+void BM_CanonicalHash(benchmark::State& state) {
+  auto q = sparql::ParseQuery(kMedium);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparql::CanonicalHash(q.value()));
+  }
+}
+BENCHMARK(BM_CanonicalHash);
 
 }  // namespace

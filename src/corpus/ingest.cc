@@ -1,32 +1,42 @@
 #include "corpus/ingest.h"
 
 #include "sparql/serializer.h"
+#include "util/fnv.h"
 #include "util/strings.h"
 
 namespace sparqlog::corpus {
 
-uint64_t HashBytes(std::string_view s) {
-  uint64_t h = 1469598103934665603ULL;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
+uint64_t HashBytes(std::string_view s) { return util::Fnv1aHash(s); }
 
-ParsedLine ParseLogLine(sparql::Parser& parser, const std::string& line) {
-  ParsedLine out;
+std::optional<std::string_view> ExtractQueryText(std::string_view line,
+                                                 std::string& decode_buf) {
   constexpr std::string_view kPrefix = "query=";
-  if (line.rfind(kPrefix, 0) != 0) return out;  // non-query noise
-  out.is_query = true;
+  if (line.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
   // The query value runs to the first raw '&' (an encoded '&' inside the
   // query text is "%26", so this only strips trailing CGI parameters
   // such as "&format=json").
-  std::string_view value = std::string_view(line).substr(kPrefix.size());
+  std::string_view value = line.substr(kPrefix.size());
   size_t amp = value.find('&');
   if (amp != std::string_view::npos) value = value.substr(0, amp);
-  std::string text = util::PercentDecode(value);
-  util::Result<sparql::Query> parsed = parser.Parse(text);
+  // Fast path: no '%'/'+' escapes means the value IS the query text —
+  // parse the slice in place, no decode copy at all. Otherwise decode
+  // into the caller's scratch buffer (reused across lines).
+  if (value.find('%') == std::string_view::npos &&
+      value.find('+') == std::string_view::npos) {
+    return value;
+  }
+  decode_buf.clear();
+  util::PercentDecodeTo(value, decode_buf);
+  return std::string_view(decode_buf);
+}
+
+ParsedLine ParseLogLine(sparql::Parser& parser, std::string_view line,
+                        std::string& decode_buf) {
+  ParsedLine out;
+  std::optional<std::string_view> text = ExtractQueryText(line, decode_buf);
+  if (!text.has_value()) return out;  // non-query noise
+  out.is_query = true;
+  util::Result<sparql::Query> parsed = parser.Parse(*text);
   if (!parsed.ok()) {
     // Malformed: Total but not Valid. Only these entries route by raw
     // line (valid ones route by canonical hash), so hash lazily here.
@@ -35,17 +45,24 @@ ParsedLine ParseLogLine(sparql::Parser& parser, const std::string& line) {
   }
   out.valid = true;
   // Duplicate elimination via the canonical serialization: two queries
-  // are duplicates iff they parse to the same AST.
-  out.canonical_hash = HashBytes(sparql::Serialize(parsed.value()));
+  // are duplicates iff they parse to the same AST. The hash streams the
+  // serialization through an FNV-1a sink — bit-identical to hashing the
+  // materialized canonical string, without building it.
+  out.canonical_hash = sparql::CanonicalHash(parsed.value());
   out.query = std::move(parsed).value();
   return out;
+}
+
+ParsedLine ParseLogLine(sparql::Parser& parser, const std::string& line) {
+  std::string decode_buf;
+  return ParseLogLine(parser, std::string_view(line), decode_buf);
 }
 
 LogIngestor::LogIngestor(sparql::ParserOptions parser_options)
     : parser_(std::move(parser_options)) {}
 
 bool LogIngestor::ProcessLine(const std::string& line) {
-  ParsedLine parsed = ParseLogLine(parser_, line);
+  ParsedLine parsed = ParseLogLine(parser_, std::string_view(line), decode_buf_);
   Ingest(parsed);
   return parsed.is_query;
 }

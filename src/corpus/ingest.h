@@ -51,6 +51,15 @@ struct ParsedLine {
   std::optional<sparql::Query> query;
 };
 
+/// The cleaning stage of `ParseLogLine`, shared with the benches so
+/// they measure exactly the production input: strips the "query="
+/// prefix and trailing CGI parameters (first raw '&'), URL-decoding
+/// into `decode_buf` only when `%`/`+` escapes are present (otherwise
+/// the returned view slices `line` directly). Returns nullopt for
+/// non-query noise lines. The view dies with `line`/`decode_buf`.
+std::optional<std::string_view> ExtractQueryText(std::string_view line,
+                                                 std::string& decode_buf);
+
 /// Runs the cleaning + validation stages on one raw log line:
 ///  * `query=<urlencoded>` lines are query entries; the value ends at
 ///    the first raw `&` (further CGI parameters are not query text);
@@ -59,6 +68,17 @@ struct ParsedLine {
 /// not decode to valid SPARQL come back with `valid == false` so the
 /// ingestor can count them as Total-but-not-Valid. Thread-safe when
 /// each thread uses its own parser.
+///
+/// `decode_buf` is caller-provided scratch for URL-decoding, reused
+/// across lines so the steady state allocates nothing (values without
+/// any `%`/`+` escape are parsed in place and skip even the decode
+/// write). The canonical hash is streamed off the AST (`CanonicalHash`)
+/// — the canonical string is never materialized.
+ParsedLine ParseLogLine(sparql::Parser& parser, std::string_view line,
+                        std::string& decode_buf);
+
+/// Convenience overload with private scratch (one allocation per
+/// escaped line); hot loops should hoist the buffer.
 ParsedLine ParseLogLine(sparql::Parser& parser, const std::string& line);
 
 /// Callback invoked for every query that survives a pipeline stage.
@@ -100,6 +120,8 @@ class LogIngestor {
   QuerySink valid_sink_;
   /// Hashes of canonical serializations seen so far.
   std::unordered_set<uint64_t> seen_hashes_;
+  /// Reused URL-decode scratch for ProcessLine/ProcessLog.
+  std::string decode_buf_;
 };
 
 }  // namespace sparqlog::corpus

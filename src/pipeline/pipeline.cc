@@ -87,11 +87,13 @@ PipelineResult ParallelLogPipeline::Run(LineSource& source) {
       sparql::Parser parser(options_.parser_options);
       uint64_t local_lines = 0;
       std::vector<Batch> buckets(num_shards);
+      std::string decode_buf;  // per-worker URL-decode scratch
       while (std::optional<Chunk> chunk = chunk_queue.Pop()) {
         local_lines += chunk->size();
         for (Batch& b : buckets) b.clear();
         for (const std::string& line : *chunk) {
-          corpus::ParsedLine parsed = corpus::ParseLogLine(parser, line);
+          corpus::ParsedLine parsed =
+              corpus::ParseLogLine(parser, line, decode_buf);
           if (!parsed.is_query) continue;  // noise: dropped, not routed
           size_t idx = ShardIndexFor(parsed, num_shards);
           buckets[idx].push_back(std::move(parsed));

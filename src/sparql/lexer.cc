@@ -1,6 +1,7 @@
 #include "sparql/lexer.h"
 
 #include <cctype>
+#include <string>
 
 namespace sparqlog::sparql {
 
@@ -76,23 +77,49 @@ bool IsIriChar(char c) {
   }
 }
 
+Status ErrorAt(std::string_view what, size_t line, size_t col) {
+  std::string msg;
+  msg.reserve(what.size() + 48);
+  msg.append("lex: ")
+      .append(what)
+      .append(" at line ")
+      .append(std::to_string(line))
+      .append(", column ")
+      .append(std::to_string(col));
+  return Status::InvalidArgument(std::move(msg));
+}
+
 }  // namespace
 
 Lexer::Lexer(std::string_view input) : input_(input) {}
 
 char Lexer::Advance() {
   char c = input_[pos_++];
-  if (c == '\n') ++line_;
+  if (c == '\n') {
+    ++line_;
+    line_start_ = pos_;
+  }
   return c;
 }
 
-Token Lexer::Make(TokenType t, std::string value) const {
+Token Lexer::Make(TokenType t, std::string_view value) const {
   Token tok;
   tok.type = t;
-  tok.value = std::move(value);
+  tok.value = value;
   tok.pos = token_start_;
   tok.line = token_line_;
+  tok.col = token_col_;
   return tok;
+}
+
+Token Lexer::MakeOwned(TokenType t, std::string&& value) {
+  if (!owned_) owned_ = std::make_unique<std::deque<std::string>>();
+  owned_->push_back(std::move(value));
+  return Make(t, owned_->back());
+}
+
+Status Lexer::Error(std::string_view what) const {
+  return ErrorAt(what, token_line_, token_col_);
 }
 
 void Lexer::SkipWhitespaceAndComments() {
@@ -112,6 +139,7 @@ Result<Token> Lexer::Next() {
   SkipWhitespaceAndComments();
   token_start_ = pos_;
   token_line_ = line_;
+  token_col_ = pos_ - line_start_ + 1;
   if (AtEnd()) return Make(TokenType::kEof);
 
   char c = Peek();
@@ -134,8 +162,7 @@ Result<Token> Lexer::Next() {
     case '&':
       Advance();
       if (Peek() == '&') { Advance(); return Make(TokenType::kAndAnd); }
-      return Status::InvalidArgument("lex: lone '&' at line " +
-                                     std::to_string(token_line_));
+      return Error("lone '&'");
     case '^':
       Advance();
       if (Peek() == '^') { Advance(); return Make(TokenType::kCaretCaret); }
@@ -178,9 +205,10 @@ Result<Token> Lexer::Next() {
     default:
       if (std::isdigit(static_cast<unsigned char>(c))) return LexNumber();
       if (IsNameStartChar(c)) return LexIdentOrPName();
-      return Status::InvalidArgument(
-          std::string("lex: unexpected character '") + c + "' at line " +
-          std::to_string(token_line_));
+      std::string what("unexpected character '");
+      what.push_back(c);
+      what.push_back('\'');
+      return Error(what);
   }
 }
 
@@ -189,9 +217,10 @@ Result<Token> Lexer::LexIriOrComparison() {
   size_t look = pos_ + 1;
   while (look < input_.size() && IsIriChar(input_[look])) ++look;
   if (look < input_.size() && input_[look] == '>') {
-    std::string iri(input_.substr(pos_ + 1, look - pos_ - 1));
+    // IRI chars exclude newlines, so the jump cannot cross a line.
+    std::string_view iri = input_.substr(pos_ + 1, look - pos_ - 1);
     pos_ = look + 1;
-    return Make(TokenType::kIriRef, std::move(iri));
+    return Make(TokenType::kIriRef, iri);
   }
   Advance();  // consume '<'
   if (Peek() == '=') {
@@ -211,8 +240,58 @@ Result<Token> Lexer::LexString(char quote) {
   } else if (Peek() == quote) {
     // Empty short string.
     Advance();
-    return Make(TokenType::kString, "");
+    return Make(TokenType::kString, std::string_view());
   }
+
+  // Fast path: scan for the closing quote; if no escape intervenes the
+  // value is the raw slice and nothing is copied.
+  const size_t content_start = pos_;
+  size_t i = content_start;
+  bool clean = true;
+  size_t content_end = std::string_view::npos;
+  while (i < input_.size()) {
+    char c = input_[i];
+    if (c == '\\') {
+      clean = false;
+      break;
+    }
+    if (long_quote) {
+      if (c == quote && i + 2 < input_.size() &&
+          input_[i + 1] == quote && input_[i + 2] == quote) {
+        content_end = i;
+        break;
+      }
+    } else {
+      if (c == '\n') {
+        clean = false;  // slow loop reports the error position
+        break;
+      }
+      if (c == quote) {
+        content_end = i;
+        break;
+      }
+    }
+    ++i;
+  }
+  if (clean && content_end != std::string_view::npos) {
+    std::string_view value =
+        input_.substr(content_start, content_end - content_start);
+    // Long strings may span lines; keep the line/column bookkeeping
+    // exact without per-character Advance().
+    for (char ch : value) {
+      if (ch == '\n') {
+        ++line_;
+      }
+    }
+    size_t last_nl = value.rfind('\n');
+    if (last_nl != std::string_view::npos) {
+      line_start_ = content_start + last_nl + 1;
+    }
+    pos_ = content_end + (long_quote ? 3 : 1);
+    return Make(TokenType::kString, value);
+  }
+
+  // Slow path: the string contains escapes (or an error); materialize.
   std::string value;
   while (!AtEnd()) {
     char c = Peek();
@@ -237,46 +316,46 @@ Result<Token> Lexer::LexString(char quote) {
           value.push_back(esc);
           break;
         }
-        default:
-          return Status::InvalidArgument(
-              std::string("lex: bad string escape '\\") + esc +
-              "' at line " + std::to_string(line_));
+        default: {
+          std::string what("bad string escape '\\");
+          what.push_back(esc);
+          what.push_back('\'');
+          return ErrorAt(what, line_, pos_ - line_start_ + 1);
+        }
       }
       continue;
     }
     if (long_quote) {
       if (c == quote && Peek(1) == quote && Peek(2) == quote) {
         Advance(); Advance(); Advance();
-        return Make(TokenType::kString, std::move(value));
+        return MakeOwned(TokenType::kString, std::move(value));
       }
       value.push_back(Advance());
     } else {
       if (c == quote) {
         Advance();
-        return Make(TokenType::kString, std::move(value));
+        return MakeOwned(TokenType::kString, std::move(value));
       }
       if (c == '\n') {
-        return Status::InvalidArgument("lex: newline in string at line " +
-                                       std::to_string(line_));
+        return ErrorAt("newline in string", line_, pos_ - line_start_ + 1);
       }
       value.push_back(Advance());
     }
   }
-  return Status::InvalidArgument("lex: unterminated string at line " +
-                                 std::to_string(token_line_));
+  return Error("unterminated string");
 }
 
 Result<Token> Lexer::LexNumber() {
-  std::string value;
+  const size_t start = pos_;
   bool has_dot = false, has_exp = false;
   while (!AtEnd()) {
     char c = Peek();
     if (std::isdigit(static_cast<unsigned char>(c))) {
-      value.push_back(Advance());
+      Advance();
     } else if (c == '.' && !has_dot && !has_exp &&
                std::isdigit(static_cast<unsigned char>(Peek(1)))) {
       has_dot = true;
-      value.push_back(Advance());
+      Advance();
     } else if ((c == 'e' || c == 'E') && !has_exp) {
       char next = Peek(1);
       char next2 = Peek(2);
@@ -285,8 +364,8 @@ Result<Token> Lexer::LexNumber() {
                      std::isdigit(static_cast<unsigned char>(next2)));
       if (!exp_ok) break;
       has_exp = true;
-      value.push_back(Advance());
-      if (Peek() == '+' || Peek() == '-') value.push_back(Advance());
+      Advance();
+      if (Peek() == '+' || Peek() == '-') Advance();
     } else {
       break;
     }
@@ -294,7 +373,7 @@ Result<Token> Lexer::LexNumber() {
   TokenType t = has_exp ? TokenType::kDouble
                         : (has_dot ? TokenType::kDecimal
                                    : TokenType::kInteger);
-  return Make(t, std::move(value));
+  return Make(t, Slice(start));
 }
 
 Result<Token> Lexer::LexVar() {
@@ -305,101 +384,120 @@ Result<Token> Lexer::LexVar() {
     // A bare '?' is the zero-or-one path modifier.
     return Make(TokenType::kQuestion);
   }
-  std::string name;
+  const size_t start = pos_;
   while (!AtEnd() && (IsNameChar(Peek()) ||
                       std::isdigit(static_cast<unsigned char>(Peek())))) {
     if (Peek() == '-') break;  // '-' not allowed in variable names
-    name.push_back(Advance());
+    Advance();
   }
-  if (name.empty()) return Make(TokenType::kQuestion);
-  return Make(TokenType::kVar, std::move(name));
+  if (pos_ == start) return Make(TokenType::kQuestion);
+  return Make(TokenType::kVar, Slice(start));
 }
 
 Result<Token> Lexer::LexBlankOrName() {
   if (Peek(1) == ':') {
     Advance();  // '_'
     Advance();  // ':'
-    std::string label;
+    const size_t start = pos_;
     while (!AtEnd() && (IsNameChar(Peek()) || Peek() == '.')) {
-      label.push_back(Advance());
+      Advance();
     }
     // A trailing '.' belongs to the triple, not the label.
-    while (!label.empty() && label.back() == '.') {
-      label.pop_back();
+    while (pos_ > start && input_[pos_ - 1] == '.') {
       --pos_;
     }
-    if (label.empty()) {
-      return Status::InvalidArgument("lex: empty blank node label at line " +
-                                     std::to_string(token_line_));
+    if (pos_ == start) {
+      return Error("empty blank node label");
     }
-    return Make(TokenType::kBlankLabel, std::move(label));
+    return Make(TokenType::kBlankLabel, Slice(start));
   }
   return LexIdentOrPName();
 }
 
 Result<Token> Lexer::LexIdentOrPName() {
-  std::string name;
-  while (!AtEnd() && IsNameChar(Peek())) name.push_back(Advance());
+  const size_t start = pos_;
+  while (!AtEnd() && IsNameChar(Peek())) Advance();
   if (Peek() != ':') {
-    if (name.empty()) {
-      return Status::InvalidArgument("lex: bad name at line " +
-                                     std::to_string(token_line_));
+    if (pos_ == start) {
+      return Error("bad name");
     }
-    return Make(TokenType::kIdent, std::move(name));
+    return Make(TokenType::kIdent, Slice(start));
   }
   // Prefixed name: prefix ':' local. The local part may contain dots
-  // (not trailing), %-escapes, and backslash escapes.
-  name.push_back(Advance());  // ':'
+  // (not trailing), %-escapes, and backslash escapes. Backslash escapes
+  // drop a character, so only they force a copy; everything else is the
+  // raw slice.
+  Advance();  // ':'
+  std::string owned;  // engaged after the first backslash escape
+  bool materialized = false;
   while (!AtEnd()) {
     char c = Peek();
-    if (IsNameChar(c) || c == ':') {
-      name.push_back(Advance());
-    } else if (c == '.') {
-      name.push_back(Advance());
+    if (IsNameChar(c) || c == ':' || c == '.') {
+      if (materialized) owned.push_back(c);
+      Advance();
     } else if (c == '%' &&
                std::isxdigit(static_cast<unsigned char>(Peek(1))) &&
                std::isxdigit(static_cast<unsigned char>(Peek(2)))) {
-      name.push_back(Advance());
-      name.push_back(Advance());
-      name.push_back(Advance());
+      if (materialized) {
+        owned.push_back(c);
+        owned.push_back(Peek(1));
+        owned.push_back(Peek(2));
+      }
+      Advance();
+      Advance();
+      Advance();
     } else if (c == '\\' && Peek(1) != '\0') {
+      if (!materialized) {
+        materialized = true;
+        owned.assign(Slice(start));
+      }
       Advance();  // drop the escaping backslash
-      name.push_back(Advance());
+      owned.push_back(Advance());
     } else {
       break;
     }
   }
-  while (!name.empty() && name.back() == '.') {
-    name.pop_back();
+  if (!materialized) {
+    while (pos_ > start && input_[pos_ - 1] == '.') --pos_;
+    return Make(TokenType::kPName, Slice(start));
+  }
+  while (!owned.empty() && owned.back() == '.') {
+    owned.pop_back();
     --pos_;
   }
-  return Make(TokenType::kPName, std::move(name));
+  return MakeOwned(TokenType::kPName, std::move(owned));
 }
 
 Result<Token> Lexer::LexLangTag() {
   Advance();  // '@'
-  std::string tag;
+  const size_t start = pos_;
   while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
                       Peek() == '-')) {
-    tag.push_back(Advance());
+    Advance();
   }
-  if (tag.empty()) {
-    return Status::InvalidArgument("lex: empty language tag at line " +
-                                   std::to_string(token_line_));
+  if (pos_ == start) {
+    return Error("empty language tag");
   }
-  return Make(TokenType::kLangTag, std::move(tag));
+  return Make(TokenType::kLangTag, Slice(start));
 }
 
-Result<std::vector<Token>> Lexer::Tokenize(std::string_view input) {
+Result<TokenStream> Lexer::Tokenize(std::string_view input) {
   Lexer lexer(input);
-  std::vector<Token> out;
+  TokenStream out;
+  // ~6 bytes/token on typical query text; one growth step at most for
+  // the common case instead of log2(n) doublings.
+  out.tokens_.reserve(input.size() / 6 + 2);
   for (;;) {
     Result<Token> tok = lexer.Next();
     if (!tok.ok()) return tok.status();
     bool eof = tok.value().Is(TokenType::kEof);
-    out.push_back(std::move(tok).value());
-    if (eof) return out;
+    out.tokens_.push_back(tok.value());
+    if (eof) break;
   }
+  // Moving a deque transfers its buffers, so token views into `owned_`
+  // stay valid inside the returned stream.
+  out.owned_ = std::move(lexer.owned_);
+  return out;
 }
 
 }  // namespace sparqlog::sparql

@@ -1,6 +1,8 @@
 #ifndef SPARQLOG_SPARQL_LEXER_H_
 #define SPARQLOG_SPARQL_LEXER_H_
 
+#include <deque>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -10,21 +12,57 @@
 
 namespace sparqlog::sparql {
 
+/// The result of lexing a whole input: the tokens plus the backing
+/// storage for the few values that had to be materialized (strings with
+/// escapes, prefixed names with backslash escapes). Everything else is
+/// a view into the caller's input, so the input must outlive the
+/// stream. Move-only semantics are safe: moving the side buffer (a
+/// deque) never relocates its strings, so token views stay valid.
+class TokenStream {
+ public:
+  TokenStream() = default;
+  TokenStream(TokenStream&&) = default;
+  TokenStream& operator=(TokenStream&&) = default;
+  TokenStream(const TokenStream&) = delete;
+  TokenStream& operator=(const TokenStream&) = delete;
+
+  const std::vector<Token>& tokens() const { return tokens_; }
+  size_t size() const { return tokens_.size(); }
+  const Token& operator[](size_t i) const { return tokens_[i]; }
+  std::vector<Token>::const_iterator begin() const { return tokens_.begin(); }
+  std::vector<Token>::const_iterator end() const { return tokens_.end(); }
+
+ private:
+  friend class Lexer;
+  std::vector<Token> tokens_;
+  /// Owns materialized token values; deque for address stability.
+  /// Allocated lazily — the common all-views case never touches it
+  /// (a default-constructed deque would eagerly allocate its map).
+  std::unique_ptr<std::deque<std::string>> owned_;
+};
+
 /// Hand-written lexer for SPARQL 1.1 query text.
 ///
 /// Handles comments, all literal forms (single/double/long quotes,
 /// numeric, boolean as idents), IRIs vs. comparison operators, prefixed
 /// names with dot/%-escape rules, variables, blank node labels, and the
 /// multi-character operators (&&, ||, ^^, !=, <=, >=).
+///
+/// Token values are zero-copy slices of the input wherever the value
+/// equals its spelling; only escaped strings and escaped prefixed names
+/// allocate (into a side buffer owned by the lexer / token stream).
 class Lexer {
  public:
   explicit Lexer(std::string_view input);
 
-  /// Lexes the next token, advancing the cursor.
+  /// Lexes the next token, advancing the cursor. The returned token's
+  /// value stays valid while both the input and this lexer are alive.
   util::Result<Token> Next();
 
-  /// Lexes the entire input. Fails on the first lexical error.
-  static util::Result<std::vector<Token>> Tokenize(std::string_view input);
+  /// Lexes the entire input. Fails on the first lexical error. Token
+  /// values view into `input` (which must outlive the stream) or into
+  /// the stream's own side buffer.
+  static util::Result<TokenStream> Tokenize(std::string_view input);
 
  private:
   void SkipWhitespaceAndComments();
@@ -33,7 +71,16 @@ class Lexer {
     return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
   }
   char Advance();
-  Token Make(TokenType t, std::string value = "") const;
+  /// Input slice [begin, pos_).
+  std::string_view Slice(size_t begin) const {
+    return input_.substr(begin, pos_ - begin);
+  }
+  Token Make(TokenType t, std::string_view value = {}) const;
+  /// Makes a token whose value needed unescaping: parks the string in
+  /// the side buffer and views it.
+  Token MakeOwned(TokenType t, std::string&& value);
+  /// Builds "lex: <what> at line L, column C" with a single allocation.
+  util::Status Error(std::string_view what) const;
 
   util::Result<Token> LexIriOrComparison();
   util::Result<Token> LexString(char quote);
@@ -46,8 +93,12 @@ class Lexer {
   std::string_view input_;
   size_t pos_ = 0;
   size_t line_ = 1;
+  size_t line_start_ = 0;  ///< byte offset where the current line begins
   size_t token_start_ = 0;
   size_t token_line_ = 1;
+  size_t token_col_ = 1;
+  /// Lazily allocated: only escaped strings / prefixed names park here.
+  std::unique_ptr<std::deque<std::string>> owned_;
 };
 
 }  // namespace sparqlog::sparql

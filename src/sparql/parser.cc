@@ -1,6 +1,6 @@
 #include "sparql/parser.h"
 
-#include <cstdlib>
+#include <charconv>
 
 #include "sparql/lexer.h"
 #include "util/strings.h"
@@ -23,11 +23,14 @@ constexpr char kXsdDecimal[] = "http://www.w3.org/2001/XMLSchema#decimal";
 constexpr char kXsdDouble[] = "http://www.w3.org/2001/XMLSchema#double";
 constexpr char kXsdBoolean[] = "http://www.w3.org/2001/XMLSchema#boolean";
 
-/// The stateful single-pass parser over a token stream.
+/// The stateful single-pass parser over a token stream. Token values
+/// are views into the input text / token stream, both of which outlive
+/// the parse; the parser materializes them into owned strings exactly
+/// once, at AST-construction sites.
 class Impl {
  public:
-  Impl(std::vector<Token> tokens, const ParserOptions& options)
-      : tokens_(std::move(tokens)), options_(options) {}
+  Impl(const TokenStream& tokens, const ParserOptions& options)
+      : tokens_(tokens.tokens()), options_(options) {}
 
   Result<Query> ParseQueryUnit() {
     Query q;
@@ -52,7 +55,10 @@ class Impl {
                IsKeyword("WITH")) {
       return Status::Unsupported("SPARQL Update request, not a query");
     } else {
-      return Err("unknown query form '" + t.value + "'");
+      std::string msg("unknown query form '");
+      msg.append(t.value);
+      msg.push_back('\'');
+      return Err(std::move(msg));
     }
     if (!s.ok()) return s;
     // Trailing VALUES clause.
@@ -120,6 +126,17 @@ class Impl {
 
   std::string FreshBlank() { return "gen" + std::to_string(blank_counter_++); }
 
+  /// Integer-token value -> uint64_t (the lexer guarantees digits only,
+  /// matching the old strtoull semantics including overflow clamping).
+  static uint64_t ParseUnsigned(std::string_view digits) {
+    uint64_t v = 0;
+    auto [ptr, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), v);
+    if (ec == std::errc::result_out_of_range) v = UINT64_MAX;
+    (void)ptr;
+    return v;
+  }
+
   // --- Prologue -----------------------------------------------------------
 
   Status ParsePrologue(Query& q) {
@@ -132,7 +149,7 @@ class Impl {
         if (!Is(TokenType::kPName)) {
           return Err("expected prefix name after PREFIX");
         }
-        std::string pname = Cur().value;
+        std::string pname(Cur().value);
         Bump();
         if (pname.empty() || pname.back() != ':') {
           return Err("bad prefix declaration '" + pname + "'");
@@ -150,16 +167,31 @@ class Impl {
     }
   }
 
-  Result<std::string> ExpandPName(const std::string& pname) const {
+  Result<std::string> ExpandPName(std::string_view pname) const {
     size_t colon = pname.find(':');
-    std::string prefix = pname.substr(0, colon);
-    std::string local = pname.substr(colon + 1);
-    auto it = prefixes_.find(prefix);
-    if (it != prefixes_.end()) return it->second + local;
-    auto dit = options_.default_prefixes.find(prefix);
-    if (dit != options_.default_prefixes.end()) return dit->second + local;
-    if (options_.allow_unknown_prefixes) return "urn:prefix:" + pname;
-    return Status::InvalidArgument("undeclared prefix '" + prefix + ":'");
+    std::string_view prefix = pname.substr(0, colon);
+    std::string_view local = pname.substr(colon + 1);
+    const std::string* base = nullptr;
+    if (auto it = prefixes_.find(prefix); it != prefixes_.end()) {
+      base = &it->second;
+    } else if (auto dit = options_.default_prefixes.find(prefix);
+               dit != options_.default_prefixes.end()) {
+      base = &dit->second;
+    }
+    if (base != nullptr) {
+      std::string full;
+      full.reserve(base->size() + local.size());
+      full.append(*base).append(local);
+      return full;
+    }
+    if (options_.allow_unknown_prefixes) {
+      std::string placeholder("urn:prefix:");
+      placeholder.append(pname);
+      return placeholder;
+    }
+    std::string msg("undeclared prefix '");
+    msg.append(prefix).append(":'");
+    return Status::InvalidArgument(std::move(msg));
   }
 
   // --- Query forms ----------------------------------------------------------
@@ -187,7 +219,7 @@ class Impl {
     for (;;) {
       if (Is(TokenType::kVar)) {
         SelectItem item;
-        item.var = Term::Var(Cur().value);
+        item.var = Term::Var(Cur().str());
         Bump();
         q.select_items.push_back(std::move(item));
         any = true;
@@ -198,7 +230,7 @@ class Impl {
         if (!AcceptKeyword("AS")) return Err("expected AS in SELECT (... )");
         if (!Is(TokenType::kVar)) return Err("expected variable after AS");
         SelectItem item;
-        item.var = Term::Var(Cur().value);
+        item.var = Term::Var(Cur().str());
         item.expr = std::move(e).value();
         Bump();
         if (auto s = Expect(TokenType::kRParen, "SELECT item"); !s.ok()) {
@@ -270,7 +302,7 @@ class Impl {
       bool any = false;
       for (;;) {
         if (Is(TokenType::kVar)) {
-          q.describe_targets.push_back(Term::Var(Cur().value));
+          q.describe_targets.push_back(Term::Var(Cur().str()));
           Bump();
           any = true;
         } else if (Is(TokenType::kIriRef) || Is(TokenType::kPName)) {
@@ -321,7 +353,7 @@ class Impl {
       for (;;) {
         GroupCondition gc;
         if (Is(TokenType::kVar)) {
-          gc.expr = Expr::MakeVar(Cur().value);
+          gc.expr = Expr::MakeVar(Cur().str());
           Bump();
         } else if (Is(TokenType::kLParen)) {
           Bump();
@@ -330,7 +362,7 @@ class Impl {
           gc.expr = std::move(e).value();
           if (AcceptKeyword("AS")) {
             if (!Is(TokenType::kVar)) return Err("expected variable after AS");
-            gc.as_var = Term::Var(Cur().value);
+            gc.as_var = Term::Var(Cur().str());
             Bump();
           }
           if (auto s = Expect(TokenType::kRParen, "GROUP BY"); !s.ok()) {
@@ -381,7 +413,7 @@ class Impl {
             return s;
           }
         } else if (Is(TokenType::kVar)) {
-          oc.expr = Expr::MakeVar(Cur().value);
+          oc.expr = Expr::MakeVar(Cur().str());
           Bump();
         } else if (Is(TokenType::kLParen) ||
                    (Is(TokenType::kIdent) && !AtModifierKeyword() &&
@@ -401,11 +433,11 @@ class Impl {
     for (int i = 0; i < 2; ++i) {
       if (AcceptKeyword("LIMIT")) {
         if (!Is(TokenType::kInteger)) return Err("expected integer LIMIT");
-        q.limit = std::strtoull(Cur().value.c_str(), nullptr, 10);
+        q.limit = ParseUnsigned(Cur().value);
         Bump();
       } else if (AcceptKeyword("OFFSET")) {
         if (!Is(TokenType::kInteger)) return Err("expected integer OFFSET");
-        q.offset = std::strtoull(Cur().value.c_str(), nullptr, 10);
+        q.offset = ParseUnsigned(Cur().value);
         Bump();
       }
     }
@@ -476,7 +508,7 @@ class Impl {
         Pattern p;
         p.kind = PatternKind::kBind;
         p.expr = std::move(e).value();
-        p.var = Term::Var(Cur().value);
+        p.var = Term::Var(Cur().str());
         Bump();
         if (auto s = Expect(TokenType::kRParen, "BIND"); !s.ok()) return s;
         children.push_back(std::move(p));
@@ -537,12 +569,12 @@ class Impl {
     p.kind = PatternKind::kValues;
     bool multi = false;
     if (Is(TokenType::kVar)) {
-      p.values_vars.push_back(Term::Var(Cur().value));
+      p.values_vars.push_back(Term::Var(Cur().str()));
       Bump();
     } else if (Accept(TokenType::kLParen)) {
       multi = true;
       while (Is(TokenType::kVar)) {
-        p.values_vars.push_back(Term::Var(Cur().value));
+        p.values_vars.push_back(Term::Var(Cur().str()));
         Bump();
       }
       if (auto s = Expect(TokenType::kRParen, "VALUES vars"); !s.ok()) {
@@ -664,7 +696,7 @@ class Impl {
       Term var_verb;
       PathExpr path;
       if (is_var_verb) {
-        var_verb = Term::Var(Cur().value);
+        var_verb = Term::Var(Cur().str());
         Bump();
       } else {
         Result<PathExpr> p = ParsePath();
@@ -701,7 +733,7 @@ class Impl {
   Result<Term> ParseVarOrTermOrNode(std::vector<Pattern>& out) {
     last_node_had_props_ = false;
     if (Is(TokenType::kVar)) {
-      Term t = Term::Var(Cur().value);
+      Term t = Term::Var(Cur().str());
       Bump();
       return t;
     }
@@ -754,7 +786,7 @@ class Impl {
       case TokenType::kPName:
         return ParseIri();
       case TokenType::kBlankLabel: {
-        Term t = Term::Blank(Cur().value);
+        Term t = Term::Blank(Cur().str());
         Bump();
         return t;
       }
@@ -773,7 +805,11 @@ class Impl {
           Bump();
           return t;
         }
-        return Err("unexpected identifier '" + Cur().value + "'");
+        {
+          std::string msg("unexpected identifier '");
+          msg.append(Cur().value).append("'");
+          return Err(std::move(msg));
+        }
       default:
         return Err(std::string("expected RDF term, found ") +
                    TokenTypeName(Cur().type));
@@ -781,10 +817,10 @@ class Impl {
   }
 
   Result<Term> ParseRdfLiteral() {
-    std::string lexical = Cur().value;
+    std::string lexical(Cur().value);
     Bump();
     if (Is(TokenType::kLangTag)) {
-      Term t = Term::Literal(std::move(lexical), "", Cur().value);
+      Term t = Term::Literal(std::move(lexical), "", Cur().str());
       Bump();
       return t;
     }
@@ -797,11 +833,11 @@ class Impl {
   }
 
   Result<Term> ParseNumericLiteral() {
-    std::string sign;
+    bool negative = false;
     if (Accept(TokenType::kPlus)) {
-      sign = "";
+      negative = false;
     } else if (Accept(TokenType::kMinus)) {
-      sign = "-";
+      negative = true;
     }
     const char* datatype = nullptr;
     switch (Cur().type) {
@@ -811,14 +847,18 @@ class Impl {
       default:
         return Err("expected numeric literal");
     }
-    Term t = Term::Literal(sign + Cur().value, datatype);
+    std::string lexical;
+    lexical.reserve(Cur().value.size() + 1);
+    if (negative) lexical.push_back('-');
+    lexical.append(Cur().value);
+    Term t = Term::Literal(std::move(lexical), datatype);
     Bump();
     return t;
   }
 
   Result<Term> ParseIri() {
     if (Is(TokenType::kIriRef)) {
-      std::string iri = Cur().value;
+      std::string iri(Cur().value);
       Bump();
       // Resolve against BASE if relative; a pragmatic check suffices here.
       return Term::Iri(std::move(iri));
@@ -839,7 +879,7 @@ class Impl {
 
   Result<Term> ParseVarOrIri() {
     if (Is(TokenType::kVar)) {
-      Term t = Term::Var(Cur().value);
+      Term t = Term::Var(Cur().str());
       Bump();
       return t;
     }
@@ -1111,7 +1151,7 @@ class Impl {
     return ParsePrimaryExpression();
   }
 
-  bool IsAggregateName(const std::string& name) const {
+  bool IsAggregateName(std::string_view name) const {
     return EqualsIgnoreCase(name, "COUNT") || EqualsIgnoreCase(name, "SUM") ||
            EqualsIgnoreCase(name, "MIN") || EqualsIgnoreCase(name, "MAX") ||
            EqualsIgnoreCase(name, "AVG") ||
@@ -1131,7 +1171,7 @@ class Impl {
       return e;
     }
     if (Is(TokenType::kVar)) {
-      Expr e = Expr::MakeVar(Cur().value);
+      Expr e = Expr::MakeVar(Cur().str());
       Bump();
       return e;
     }
@@ -1147,7 +1187,8 @@ class Impl {
       return Expr::MakeTerm(std::move(t).value());
     }
     if (Is(TokenType::kIdent)) {
-      const std::string name = Cur().value;
+      // A view is enough: token storage outlives every use below.
+      const std::string_view name = Cur().value;
       if (EqualsIgnoreCase(name, "true") || EqualsIgnoreCase(name, "false")) {
         Bump();
         return Expr::MakeTerm(
@@ -1175,7 +1216,9 @@ class Impl {
       }
       if (IsAggregateName(name)) return ParseAggregate();
       if (Ahead(1).Is(TokenType::kLParen)) return ParseFunctionCall();
-      return Err("unexpected identifier '" + name + "' in expression");
+      std::string msg("unexpected identifier '");
+      msg.append(name).append("' in expression");
+      return Err(std::move(msg));
     }
     if (Is(TokenType::kIriRef) || Is(TokenType::kPName)) {
       Result<Term> iri = ParseIri();
@@ -1249,17 +1292,17 @@ class Impl {
     return args;
   }
 
-  std::vector<Token> tokens_;
+  const std::vector<Token>& tokens_;
   size_t idx_ = 0;
   const ParserOptions& options_;
-  std::map<std::string, std::string> prefixes_;
+  ParserOptions::PrefixMap prefixes_;
   int blank_counter_ = 0;
   bool last_node_had_props_ = false;
 };
 
 }  // namespace
 
-std::map<std::string, std::string> ParserOptions::DefaultPrefixes() {
+ParserOptions::PrefixMap ParserOptions::DefaultPrefixes() {
   return {
       {"rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#"},
       {"rdfs", "http://www.w3.org/2000/01/rdf-schema#"},
@@ -1293,9 +1336,11 @@ std::map<std::string, std::string> ParserOptions::DefaultPrefixes() {
 Parser::Parser(ParserOptions options) : options_(std::move(options)) {}
 
 Result<Query> Parser::Parse(std::string_view text) const {
-  Result<std::vector<Token>> tokens = Lexer::Tokenize(text);
+  // The token stream (and `text`, which its views point into) must stay
+  // alive for the whole parse; the AST copies what it keeps.
+  Result<TokenStream> tokens = Lexer::Tokenize(text);
   if (!tokens.ok()) return tokens.status();
-  Impl impl(std::move(tokens).value(), options_);
+  Impl impl(tokens.value(), options_);
   return impl.ParseQueryUnit();
 }
 

@@ -1,6 +1,7 @@
 #ifndef SPARQLOG_SPARQL_PARSER_H_
 #define SPARQLOG_SPARQL_PARSER_H_
 
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -14,17 +15,21 @@ namespace sparqlog::sparql {
 
 /// Parser configuration.
 struct ParserOptions {
+  /// Prefix table with a transparent comparator so the parser can look
+  /// up `string_view` prefixes sliced out of tokens without allocating.
+  using PrefixMap = std::map<std::string, std::string, std::less<>>;
+
   /// Prefixes assumed to be pre-declared by the endpoint (most public
   /// endpoints, e.g. DBpedia's Virtuoso, inject a default set). Queries in
   /// logs routinely rely on them.
-  std::map<std::string, std::string> default_prefixes = DefaultPrefixes();
+  PrefixMap default_prefixes = DefaultPrefixes();
 
   /// When true, an undeclared prefix `foo:bar` is expanded to the
   /// placeholder IRI `urn:prefix:foo:bar` instead of failing the parse.
   bool allow_unknown_prefixes = false;
 
   /// The built-in default prefix set (rdf, rdfs, owl, xsd, foaf, dc, ...).
-  static std::map<std::string, std::string> DefaultPrefixes();
+  static PrefixMap DefaultPrefixes();
 };
 
 /// Recursive-descent parser for SPARQL 1.1 queries.

@@ -1,20 +1,77 @@
 #ifndef SPARQLOG_SPARQL_SERIALIZER_H_
 #define SPARQLOG_SPARQL_SERIALIZER_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
 
 #include "sparql/ast.h"
+#include "util/fnv.h"
 
 namespace sparqlog::sparql {
 
-/// Renders an AST back to SPARQL surface syntax.
+/// Byte sink for the canonical serializer. `SerializeTo` streams the
+/// canonical text through `Write` in small chunks; sinks decide what to
+/// do with the bytes (accumulate, hash, count) without the serializer
+/// ever materializing the whole string.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void Write(std::string_view chunk) = 0;
+};
+
+/// Accumulates the serialization into a string. `Serialize(q)` is
+/// exactly this sink run over `SerializeTo`.
+class StringSink final : public Sink {
+ public:
+  StringSink() { out_.reserve(256); }
+  void Write(std::string_view chunk) override { out_.append(chunk); }
+  const std::string& str() const& { return out_; }
+  std::string str() && { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Streams the serialization through incremental FNV-1a. The digest is
+/// bit-identical to `corpus::HashBytes(Serialize(q))` — the dedup key —
+/// with zero allocation.
+class HashingSink final : public Sink {
+ public:
+  void Write(std::string_view chunk) override { hash_.Update(chunk); }
+  uint64_t hash() const { return hash_.digest(); }
+
+ private:
+  util::Fnv1a hash_;
+};
+
+/// Byte counter (e.g. canonical size statistics) — no storage at all.
+class CountingSink final : public Sink {
+ public:
+  void Write(std::string_view chunk) override { bytes_ += chunk.size(); }
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  uint64_t bytes_ = 0;
+};
+
+/// Streams the canonical serialization of `q` into `sink`.
 ///
 /// The output is canonical (deterministic formatting, full IRIs, one
-/// pattern element per line), so serialized text doubles as a
+/// pattern element per line), so the serialized text doubles as a
 /// duplicate-detection key: two queries that parse to the same AST
 /// serialize identically. Round-trips: Parse(Serialize(q)) == q
 /// structurally, which the test suite checks property-style.
+void SerializeTo(const Query& q, Sink& sink);
+
+/// Renders an AST back to SPARQL surface syntax — the `StringSink`
+/// instantiation of `SerializeTo`.
 std::string Serialize(const Query& q);
+
+/// FNV-1a of the canonical serialization, computed without building the
+/// canonical string. Equals `corpus::HashBytes(Serialize(q))` exactly.
+uint64_t CanonicalHash(const Query& q);
 
 /// Renders a pattern subtree (used in examples and debugging output).
 std::string SerializePattern(const Pattern& p, int indent = 0);

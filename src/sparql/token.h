@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 
 namespace sparqlog::sparql {
 
@@ -29,13 +30,24 @@ enum class TokenType {
 };
 
 /// A single lexed token with source position (for error messages).
+///
+/// `value` is a zero-copy slice: it points either into the lexer input
+/// or, for the few tokens whose value differs from their spelling
+/// (escaped strings, prefixed names with backslash escapes), into the
+/// owning `TokenStream`'s side buffer. Either way the view dies with
+/// the input line / token stream — consumers that outlive them (the
+/// AST) must materialize via `str()`.
 struct Token {
   TokenType type = TokenType::kEof;
-  std::string value;
+  std::string_view value;
   size_t pos = 0;   ///< byte offset in the input
   size_t line = 1;  ///< 1-based line number
+  size_t col = 1;   ///< 1-based column (byte offset within the line)
 
   bool Is(TokenType t) const { return type == t; }
+
+  /// Materializes the value (the single owned copy an AST term keeps).
+  std::string str() const { return std::string(value); }
 };
 
 /// Human-readable token-type name (used in parser diagnostics).

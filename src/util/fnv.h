@@ -1,0 +1,46 @@
+#ifndef SPARQLOG_UTIL_FNV_H_
+#define SPARQLOG_UTIL_FNV_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace sparqlog::util {
+
+/// FNV-1a constants (64-bit). One definition shared by the one-shot
+/// hash (`corpus::HashBytes`) and the incremental hasher below so that
+/// streaming a serialization through `Fnv1a` is bit-identical to
+/// hashing the materialized string.
+inline constexpr uint64_t kFnv1aOffsetBasis = 1469598103934665603ULL;
+inline constexpr uint64_t kFnv1aPrime = 1099511628211ULL;
+
+/// Incremental FNV-1a. Feeding chunks in any split produces the same
+/// digest as hashing their concatenation; this is what lets the
+/// canonical-hash sink replace "serialize, then hash the string" on the
+/// ingest hot path without changing a single hash value.
+class Fnv1a {
+ public:
+  void Update(std::string_view chunk) {
+    uint64_t h = h_;
+    for (unsigned char c : chunk) {
+      h ^= c;
+      h *= kFnv1aPrime;
+    }
+    h_ = h;
+  }
+
+  uint64_t digest() const { return h_; }
+
+ private:
+  uint64_t h_ = kFnv1aOffsetBasis;
+};
+
+/// One-shot FNV-1a of a byte string.
+inline uint64_t Fnv1aHash(std::string_view s) {
+  Fnv1a h;
+  h.Update(s);
+  return h.digest();
+}
+
+}  // namespace sparqlog::util
+
+#endif  // SPARQLOG_UTIL_FNV_H_

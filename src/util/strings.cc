@@ -1,5 +1,6 @@
 #include "util/strings.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 
@@ -46,6 +47,7 @@ std::string_view StripWhitespace(std::string_view s) {
 
 std::vector<std::string> Split(std::string_view s, char sep) {
   std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(std::count(s.begin(), s.end(), sep)) + 1);
   size_t start = 0;
   for (size_t i = 0; i <= s.size(); ++i) {
     if (i == s.size() || s[i] == sep) {
@@ -58,6 +60,11 @@ std::vector<std::string> Split(std::string_view s, char sep) {
 
 std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
   std::string out;
+  if (!parts.empty()) {
+    size_t total = sep.size() * (parts.size() - 1);
+    for (const std::string& p : parts) total += p.size();
+    out.reserve(total);
+  }
   for (size_t i = 0; i < parts.size(); ++i) {
     if (i > 0) out.append(sep);
     out.append(parts[i]);
@@ -74,9 +81,8 @@ int HexValue(char c) {
 }
 }  // namespace
 
-std::string PercentDecode(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
+void PercentDecodeTo(std::string_view s, std::string& out) {
+  out.reserve(out.size() + s.size());
   for (size_t i = 0; i < s.size(); ++i) {
     if (s[i] == '%' && i + 2 < s.size()) {
       int hi = HexValue(s[i + 1]), lo = HexValue(s[i + 2]);
@@ -88,6 +94,11 @@ std::string PercentDecode(std::string_view s) {
     }
     out.push_back(s[i] == '+' ? ' ' : s[i]);
   }
+}
+
+std::string PercentDecode(std::string_view s) {
+  std::string out;
+  PercentDecodeTo(s, out);
   return out;
 }
 

@@ -32,6 +32,10 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 /// Invalid escapes are passed through verbatim.
 std::string PercentDecode(std::string_view s);
 
+/// Appends the percent-decoding of `s` to `out` (no clear). Lets hot
+/// loops reuse one scratch buffer instead of allocating per call.
+void PercentDecodeTo(std::string_view s, std::string& out);
+
 /// Percent-encodes a string for use as a URL query parameter value.
 std::string PercentEncode(std::string_view s);
 

@@ -1,0 +1,127 @@
+// Property tests for the streaming canonical-hash path: for every query
+// we can produce, the hashing sink must equal FNV-1a of the string-sink
+// serialization byte for byte. These pin down exactly the cases where
+// view-vs-copy lexing and streaming-vs-materialized serialization could
+// diverge: escaped literals, long strings, prefixed names, paths,
+// numeric signs, aggregates, and subqueries.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "corpus/ingest.h"
+#include "corpus/profile.h"
+#include "sparql/parser.h"
+#include "sparql/serializer.h"
+#include "util/strings.h"
+
+namespace sparqlog {
+namespace {
+
+using corpus::HashBytes;
+using sparql::CanonicalHash;
+using sparql::ParseQuery;
+using sparql::Serialize;
+
+void ExpectSinksAgree(const std::string& text) {
+  auto parsed = ParseQuery(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+  const sparql::Query& q = parsed.value();
+  std::string canonical = Serialize(q);
+  EXPECT_EQ(CanonicalHash(q), HashBytes(canonical)) << text;
+
+  // SerializeTo through the virtual Sink interface must emit the same
+  // bytes as the devirtualized Serialize instantiation.
+  sparql::StringSink str_sink;
+  sparql::SerializeTo(q, str_sink);
+  EXPECT_EQ(str_sink.str(), canonical) << text;
+
+  sparql::HashingSink hash_sink;
+  sparql::SerializeTo(q, hash_sink);
+  EXPECT_EQ(hash_sink.hash(), HashBytes(canonical)) << text;
+
+  sparql::CountingSink count_sink;
+  sparql::SerializeTo(q, count_sink);
+  EXPECT_EQ(count_sink.bytes(), canonical.size()) << text;
+}
+
+TEST(IngestHashTest, FixtureQueries) {
+  const std::vector<std::string> fixtures = {
+      // Plain, escaped, long, and language/datatype literals.
+      "SELECT * WHERE { ?s ?p \"plain\" }",
+      "SELECT * WHERE { ?x <p> \"a\\\"b\\\\c\\nd\\te\" }",
+      "SELECT * WHERE { ?x <p> \"\"\"long\nstring\nliteral\"\"\" }",
+      "SELECT * WHERE { ?x <p> '''it''s long''' }",
+      "SELECT * WHERE { ?x <p> \"\" }",
+      "SELECT * WHERE { ?x <p> \"chat\"@fr ; <q> \"1\"^^xsd:int }",
+      // Prefixed names, incl. dots, percent escapes, default namespace.
+      "PREFIX ex: <http://e/> SELECT * WHERE { ex:a.b ex:p%20q ?o }",
+      "SELECT ?x WHERE { ?x rdf:type dbo:Person }",
+      "PREFIX : <http://d/> SELECT * WHERE { :s :p :o }",
+      // Numeric literals with signs and exponents.
+      "SELECT * WHERE { ?x <p> -4.5 ; <q> +2 ; <r> 1e6 ; <s> .5 }",
+      // Property paths.
+      "SELECT * WHERE { ?a <p>/<q>* ?b }",
+      "SELECT * WHERE { ?a !(<p>|^<q>) ?b }",
+      "SELECT * WHERE { ?a (^<p>)+ ?b }",
+      // Blank nodes, collections, IRIs.
+      "SELECT * WHERE { _:b1 <p> [ <q> ?v ] . ?l <r> (1 2 3) }",
+      "ASK { <http://example.org/a#b> a <http://t/> }",
+      // Aggregates, HAVING, subqueries, VALUES, FILTER.
+      "SELECT (GROUP_CONCAT(DISTINCT ?n; SEPARATOR=\", \") AS ?ns) "
+      "WHERE { ?x <name> ?n } GROUP BY ?x HAVING (COUNT(*) > 2)",
+      "SELECT ?x WHERE { ?x <p> ?y { SELECT ?y WHERE { ?y <q> ?z } "
+      "LIMIT 3 } } ORDER BY DESC(?x) LIMIT 10 OFFSET 5",
+      "SELECT * WHERE { VALUES (?v) { (<x>) (UNDEF) } "
+      "FILTER(?v IN (<x>, <y>) && !BOUND(?u) || STRLEN(STR(?v)) >= 3) }",
+      "SELECT * WHERE { ?x <p> ?y FILTER NOT EXISTS { ?x <q> ?y } }",
+  };
+  for (const std::string& text : fixtures) ExpectSinksAgree(text);
+}
+
+TEST(IngestHashTest, GeneratedCorpusSinksAgree) {
+  auto profiles = corpus::PaperProfiles();
+  for (size_t pi = 0; pi < profiles.size(); ++pi) {
+    corpus::GeneratorOptions options;
+    options.seed = 7000 + pi;
+    corpus::SyntheticLogGenerator gen(profiles[pi], options);
+    for (int i = 0; i < 50; ++i) {
+      sparql::Query q = gen.GenerateQuery();
+      EXPECT_EQ(CanonicalHash(q), HashBytes(Serialize(q)))
+          << "profile " << profiles[pi].name << " query " << i;
+    }
+  }
+}
+
+TEST(IngestHashTest, ParseLogLineScratchOverloadMatches) {
+  sparql::Parser parser;
+  std::string scratch;
+  const std::vector<std::string> lines = {
+      "query=" + util::PercentEncode(
+                     "SELECT * WHERE { ?s ?p \"esc\\\"aped\" }") +
+          "&format=json",
+      "query=SELECT ?x WHERE { ?x rdf:type dbo:City }",  // fast path: no %/+
+      "query=" + util::PercentEncode("ASK { <a> <b> \"x y\"@en }"),
+      "query=NOT%20SPARQL",
+      "noise line",
+  };
+  for (const std::string& line : lines) {
+    corpus::ParsedLine with_scratch =
+        corpus::ParseLogLine(parser, std::string_view(line), scratch);
+    corpus::ParsedLine simple = corpus::ParseLogLine(parser, line);
+    EXPECT_EQ(with_scratch.is_query, simple.is_query) << line;
+    EXPECT_EQ(with_scratch.valid, simple.valid) << line;
+    EXPECT_EQ(with_scratch.canonical_hash, simple.canonical_hash) << line;
+    EXPECT_EQ(with_scratch.line_hash, simple.line_hash) << line;
+    if (with_scratch.valid) {
+      EXPECT_EQ(with_scratch.canonical_hash,
+                HashBytes(Serialize(*with_scratch.query)))
+          << line;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sparqlog

@@ -5,10 +5,13 @@
 namespace sparqlog::sparql {
 namespace {
 
-std::vector<Token> MustLex(std::string_view s) {
+// Note: token values are views into the (static-storage) literals the
+// tests pass, or into the returned stream's own side buffer — both
+// outlive the checks below.
+TokenStream MustLex(std::string_view s) {
   auto r = Lexer::Tokenize(s);
   EXPECT_TRUE(r.ok()) << r.status().ToString();
-  return r.ok() ? r.value() : std::vector<Token>{};
+  return r.ok() ? std::move(r).value() : TokenStream{};
 }
 
 TEST(LexerTest, EmptyInput) {
@@ -167,6 +170,63 @@ TEST(LexerTest, KeywordsLexAsIdents) {
 TEST(LexerTest, PNameWithPercentEscape) {
   auto tokens = MustLex("ex:a%20b");
   EXPECT_EQ(tokens[0].value, "ex:a%20b");
+}
+
+TEST(LexerTest, ColumnsTracked) {
+  auto tokens = MustLex("?a ?bb\n  ?c");
+  EXPECT_EQ(tokens[0].col, 1u);
+  EXPECT_EQ(tokens[1].col, 4u);
+  EXPECT_EQ(tokens[2].line, 2u);
+  EXPECT_EQ(tokens[2].col, 3u);
+}
+
+TEST(LexerTest, ColumnsTrackedAfterLongString) {
+  auto tokens = MustLex("\"\"\"a\nbc\"\"\" ?x");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].Is(TokenType::kString));
+  EXPECT_TRUE(tokens[1].Is(TokenType::kVar));
+  EXPECT_EQ(tokens[1].line, 2u);
+  EXPECT_EQ(tokens[1].col, 7u);  // after `bc""" `
+}
+
+TEST(LexerTest, ErrorsReportLineAndColumn) {
+  auto r = Lexer::Tokenize("?x\n  ~");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("column 3"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(LexerTest, UnescapedValuesAreViewsIntoTheInput) {
+  static constexpr std::string_view kInput =
+      "SELECT ?x <http://e/> \"plain\" ex:loc%20al 42.5";
+  auto tokens = MustLex(kInput);
+  // Every value here needs no unescaping, so it must be a slice of the
+  // input buffer itself (zero copies on this path).
+  auto within_input = [&](std::string_view v) {
+    return v.data() >= kInput.data() &&
+           v.data() + v.size() <= kInput.data() + kInput.size();
+  };
+  for (const Token& t : tokens) {
+    if (t.value.empty()) continue;
+    EXPECT_TRUE(within_input(t.value)) << "copied value: " << t.value;
+  }
+}
+
+TEST(LexerTest, EscapedValuesAreOwnedByTheStream) {
+  static constexpr std::string_view kInput = R"("a\tb" ex:esc\,cape)";
+  auto tokens = MustLex(kInput);
+  EXPECT_EQ(tokens[0].value, "a\tb");
+  EXPECT_EQ(tokens[1].value, "ex:esc,cape");
+  // Unescaped values differ from their spelling, so they cannot alias
+  // the input; the stream's side buffer owns them.
+  auto within_input = [&](std::string_view v) {
+    return v.data() >= kInput.data() &&
+           v.data() + v.size() <= kInput.data() + kInput.size();
+  };
+  EXPECT_FALSE(within_input(tokens[0].value));
+  EXPECT_FALSE(within_input(tokens[1].value));
 }
 
 TEST(LexerTest, WikidataStyleQuery) {
