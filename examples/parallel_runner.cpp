@@ -7,7 +7,8 @@
 // Usage: parallel_runner [options] [logfile]
 //   --generate <Dataset|all>  synthesize a log instead of reading a file
 //   --entries <n>             min entries per generated dataset (default 5000)
-//   --threads <n>             worker/shard threads (default: hardware)
+//   --threads <n>             parse worker threads (default: hardware)
+//   --shards <n>              dedup/analysis shards (default: threads)
 //   --chunk-size <n>          lines per work chunk (default 512)
 //   --verify                  compare against the serial path
 
@@ -59,6 +60,8 @@ int main(int argc, char** argv) {
       entries = std::stoull(next("--entries"));
     } else if (arg == "--threads") {
       options.threads = std::stoi(next("--threads"));
+    } else if (arg == "--shards") {
+      options.shards = std::stoull(next("--shards"));
     } else if (arg == "--chunk-size") {
       options.chunk_size = std::stoull(next("--chunk-size"));
     } else if (arg == "--verify") {
@@ -116,8 +119,8 @@ int main(int argc, char** argv) {
 
   std::cout << "Parallel pipeline over " << source << " ("
             << util::WithThousands(static_cast<long long>(result.lines))
-            << " lines, " << pl.threads() << " threads, chunk size "
-            << options.chunk_size << ")\n\n";
+            << " lines, " << pl.threads() << " threads, " << pl.shards()
+            << " shards, chunk size " << options.chunk_size << ")\n\n";
 
   util::Table table({"Stage", "Queries", "Share"});
   table.AddRow({"Total", util::WithThousands(result.stats.total), ""});

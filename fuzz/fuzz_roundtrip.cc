@@ -1,0 +1,279 @@
+// fuzz_roundtrip — the standing differential-verification driver.
+//
+// From one fixed seed it (1) generates queries with the property-based
+// fuzzer and checks the round-trip / streaming-hash invariants,
+// (2) mutates log lines and checks the ingest invariants, and
+// (3) replays randomized serial-vs-parallel digest equivalence rounds.
+// Any violation is greedily shrunk to a minimal reproducer, printed as
+// a ready-to-paste unit test, appended to --out, and fails the run.
+//
+// Usage:
+//   fuzz_roundtrip [--seed N] [--queries N] [--lines N]
+//                  [--pipeline-rounds N] [--pipeline-lines N] [--out PATH]
+// Environment overrides (for CI): SPARQLOG_FUZZ_SEED, SPARQLOG_FUZZ_QUERIES,
+// SPARQLOG_FUZZ_LINES, SPARQLOG_FUZZ_PIPELINE_ROUNDS.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sparql/parser.h"
+#include "sparql/serializer.h"
+#include "testing/invariants.h"
+#include "testing/log_mutator.h"
+#include "testing/query_fuzzer.h"
+#include "testing/shrink.h"
+#include "util/rng.h"
+
+namespace {
+
+using sparqlog::testing::CheckLogLine;
+using sparqlog::testing::CheckQuery;
+using sparqlog::testing::CheckQueryText;
+using sparqlog::testing::CheckSerialParallelEquivalence;
+using sparqlog::testing::Violation;
+
+struct Config {
+  uint64_t seed = 20260726;
+  long queries = 10000;
+  long lines = 10000;
+  long pipeline_rounds = 4;
+  long pipeline_lines = 1500;
+  std::string out_path = "fuzz_reproducers.txt";
+};
+
+long EnvOrDefault(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atol(value) : fallback;
+}
+
+Config ParseArgs(int argc, char** argv) {
+  Config config;
+  config.seed = static_cast<uint64_t>(
+      EnvOrDefault("SPARQLOG_FUZZ_SEED", static_cast<long>(config.seed)));
+  config.queries = EnvOrDefault("SPARQLOG_FUZZ_QUERIES", config.queries);
+  config.lines = EnvOrDefault("SPARQLOG_FUZZ_LINES", config.lines);
+  config.pipeline_rounds =
+      EnvOrDefault("SPARQLOG_FUZZ_PIPELINE_ROUNDS", config.pipeline_rounds);
+  for (int i = 1; i < argc; ++i) {
+    auto arg = [&](const char* flag) {
+      return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+    };
+    if (arg("--seed")) {
+      config.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg("--queries")) {
+      config.queries = std::atol(argv[++i]);
+    } else if (arg("--lines")) {
+      config.lines = std::atol(argv[++i]);
+    } else if (arg("--pipeline-rounds")) {
+      config.pipeline_rounds = std::atol(argv[++i]);
+    } else if (arg("--pipeline-lines")) {
+      config.pipeline_lines = std::atol(argv[++i]);
+    } else if (arg("--out")) {
+      config.out_path = argv[++i];
+    }
+  }
+  return config;
+}
+
+/// Shrinks and reports one violation; returns the reproducer text.
+std::string Report(const Config& config, const Violation& violation,
+                   std::string_view kind, int index,
+                   const sparqlog::testing::FailPredicate& fails) {
+  std::string minimal = violation.input;
+  if (!violation.input.empty() && fails(violation.input)) {
+    sparqlog::testing::ShrinkOutcome shrunk =
+        sparqlog::testing::ShrinkText(violation.input, fails);
+    minimal = shrunk.text;
+    std::fprintf(stderr,
+                 "  shrink: %zu -> %zu bytes (%d evals, %d reductions)\n",
+                 violation.input.size(), minimal.size(), shrunk.evals,
+                 shrunk.accepted);
+  }
+  std::string name =
+      std::string(kind == "log_line" ? "LogLine" : "Query") + "Seed" +
+      std::to_string(config.seed) + "Case" + std::to_string(index);
+  std::string reproducer = sparqlog::testing::FormatReproducer(
+      name, kind, minimal, config.seed);
+  std::fprintf(stderr, "VIOLATION [%s] %s\n%s\n", violation.invariant.c_str(),
+               violation.detail.c_str(), reproducer.c_str());
+  std::ofstream out(std::string(config.out_path), std::ios::app);
+  out << "// [" << violation.invariant << "] " << violation.detail << "\n"
+      << reproducer << "\n";
+  return reproducer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config = ParseArgs(argc, argv);
+  std::fprintf(stderr,
+               "fuzz_roundtrip: seed=%llu queries=%ld lines=%ld "
+               "pipeline_rounds=%ld\n",
+               static_cast<unsigned long long>(config.seed), config.queries,
+               config.lines, config.pipeline_rounds);
+
+  sparqlog::sparql::Parser parser;
+  int violations = 0;
+
+  // Phase 1: generated queries — round-trip + streaming-hash invariants.
+  {
+    sparqlog::testing::QueryFuzzOptions fuzz_options;
+    fuzz_options.seed = config.seed;
+    sparqlog::testing::QueryFuzzer fuzzer(fuzz_options);
+    for (long i = 0; i < config.queries; ++i) {
+      sparqlog::sparql::Query q = fuzzer.Next();
+      if (auto v = CheckQuery(parser, q)) {
+        ++violations;
+        // Shrink structurally first (a closure violation has no
+        // parseable text to shrink), pinned to the same invariant so
+        // the reducer cannot wander to a different bug.
+        std::string invariant = v->invariant;
+        sparqlog::testing::AstShrinkOutcome shrunk =
+            sparqlog::testing::ShrinkQueryAst(
+                q, [&parser, &invariant](const sparqlog::sparql::Query& cand) {
+                  auto cv = CheckQuery(parser, cand);
+                  return cv.has_value() && cv->invariant == invariant;
+                });
+        std::string minimal = sparqlog::sparql::Serialize(shrunk.query);
+        std::fprintf(stderr,
+                     "  ast-shrink: %zu -> %zu bytes (%d evals, %d "
+                     "reductions)\n",
+                     v->input.size(), minimal.size(), shrunk.evals,
+                     shrunk.accepted);
+        std::string name = "QuerySeed" + std::to_string(config.seed) +
+                           "Case" + std::to_string(i);
+        std::string reproducer;
+        auto text_violation = CheckQueryText(parser, minimal);
+        if (text_violation.has_value() &&
+            text_violation->invariant == invariant) {
+          // The minimal canonical form still parses and still violates:
+          // a plain text reproducer works and can shrink further.
+          sparqlog::testing::ShrinkOutcome text_shrunk =
+              sparqlog::testing::ShrinkText(
+                  minimal, [&parser, &invariant](const std::string& text) {
+                    auto cv = CheckQueryText(parser, text);
+                    return cv.has_value() && cv->invariant == invariant;
+                  });
+          reproducer = sparqlog::testing::FormatReproducer(
+              name, "query", text_shrunk.text, config.seed);
+        } else {
+          reproducer = sparqlog::testing::FormatSeedReplayReproducer(
+              name, config.seed, i, invariant, minimal);
+        }
+        std::fprintf(stderr, "VIOLATION [%s] %s\n%s\n", v->invariant.c_str(),
+                     v->detail.c_str(), reproducer.c_str());
+        std::ofstream out(config.out_path, std::ios::app);
+        out << "// [" << v->invariant << "] " << v->detail << "\n"
+            << reproducer << "\n";
+      }
+    }
+    const sparqlog::testing::FuzzCoverage& cov = fuzzer.coverage();
+    std::fprintf(stderr,
+                 "  queries: %llu checked (%llu from gmark skeletons, "
+                 "%llu escaped literals)\n",
+                 static_cast<unsigned long long>(cov.queries),
+                 static_cast<unsigned long long>(cov.gmark_skeletons),
+                 static_cast<unsigned long long>(cov.escaped_literals));
+  }
+
+  // Phase 2: mutated log lines — ingest invariants.
+  {
+    sparqlog::testing::QueryFuzzOptions fuzz_options;
+    fuzz_options.seed = config.seed ^ 0x9E3779B97F4A7C15ULL;
+    sparqlog::testing::QueryFuzzer fuzzer(fuzz_options);
+    sparqlog::testing::LogMutatorOptions mutator_options;
+    mutator_options.seed = config.seed;
+    sparqlog::testing::LogLineMutator mutator(mutator_options);
+    // A small rotating pool of query texts keeps generation cheap and
+    // produces duplicate-after-mutation collisions on purpose. The
+    // handwritten entries carry escape forms the serializer might
+    // mishandle — they must NOT come from Serialize itself, or a
+    // serializer escaping bug could never reach the parser intact.
+    std::vector<std::string> pool = {
+        "ASK { ?s ?p \"quo\\\"te\" }",
+        "ASK { ?s ?p \"back\\\\slash\\n\\ttab\" }",
+        "SELECT * WHERE { ?s ?p \"uni\\u0041code\" }",
+        "ASK { ?s ?p '''long\n\"string\"''' }",
+        "SELECT ?x WHERE { ?x <p:p> \"l\"@en-us . FILTER(?x != \"\\r\") }",
+        "PREFIX ex: <http://e.org/> ASK { ex:s ex:p ex:o }",
+        "ASK { ?s <http://e.org/%20sp> \"100%\" }",
+        "SELECT (GROUP_CONCAT(?x; SEPARATOR=\"\\\"\") AS ?c) WHERE { ?s ?p ?x }",
+    };
+    const size_t handwritten = pool.size();
+    for (int i = 0; i < 56; ++i) {
+      pool.push_back(sparqlog::sparql::Serialize(fuzzer.Next()));
+    }
+    for (long i = 0; i < config.lines; ++i) {
+      if (i > 0 && i % 97 == 0) {
+        // Refresh only fuzzer-generated slots; the handwritten escape
+        // fixtures must survive the whole run.
+        pool[handwritten +
+             static_cast<size_t>(i / 97) % (pool.size() - handwritten)] =
+            sparqlog::sparql::Serialize(fuzzer.Next());
+      }
+      const std::string& text = pool[static_cast<size_t>(i) % pool.size()];
+      std::string line = mutator.NextLine(text);
+      if (auto v = CheckLogLine(parser, line)) {
+        ++violations;
+        // Pin the shrink to the observed invariant so byte deletion
+        // cannot morph the witness into a different bug.
+        std::string invariant = v->invariant;
+        Report(config, *v, "log_line", static_cast<int>(i),
+               [&parser, invariant](const std::string& candidate) {
+                 auto cv = CheckLogLine(parser, candidate);
+                 return cv.has_value() && cv->invariant == invariant;
+               });
+      }
+    }
+    std::fprintf(stderr, "  log lines: %ld checked\n", config.lines);
+  }
+
+  // Phase 3: randomized serial-vs-parallel digest equivalence.
+  {
+    sparqlog::util::Rng rng(config.seed ^ 0xA5A5A5A5A5A5A5A5ULL);
+    sparqlog::testing::QueryFuzzOptions fuzz_options;
+    fuzz_options.seed = config.seed + 1;
+    sparqlog::testing::QueryFuzzer fuzzer(fuzz_options);
+    sparqlog::testing::LogMutatorOptions mutator_options;
+    mutator_options.seed = config.seed + 1;
+    sparqlog::testing::LogLineMutator mutator(mutator_options);
+    std::vector<std::string> texts;
+    for (int i = 0; i < 48; ++i) {
+      texts.push_back(sparqlog::sparql::Serialize(fuzzer.Next()));
+    }
+    for (long round = 0; round < config.pipeline_rounds; ++round) {
+      std::vector<std::string> log;
+      log.reserve(static_cast<size_t>(config.pipeline_lines));
+      for (long i = 0; i < config.pipeline_lines; ++i) {
+        // Duplicates on purpose: dedup correctness is the point.
+        log.push_back(
+            mutator.NextLine(texts[rng.Below(texts.size())]));
+      }
+      sparqlog::testing::EquivalenceConfig equiv =
+          sparqlog::testing::RandomEquivalenceConfig(rng);
+      if (auto v = CheckSerialParallelEquivalence(log, equiv)) {
+        ++violations;
+        std::fprintf(stderr, "VIOLATION [%s] %s (round %ld)\n",
+                     v->invariant.c_str(), v->detail.c_str(), round);
+        std::ofstream out(config.out_path, std::ios::app);
+        out << "// [" << v->invariant << "] " << v->detail << " (round "
+            << round << ", seed " << config.seed << ")\n";
+      }
+    }
+    std::fprintf(stderr, "  pipeline rounds: %ld x %ld lines checked\n",
+                 config.pipeline_rounds, config.pipeline_lines);
+  }
+
+  if (violations > 0) {
+    std::fprintf(stderr, "fuzz_roundtrip: %d violation(s); reproducers in %s\n",
+                 violations, config.out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "fuzz_roundtrip: all invariants held\n");
+  return 0;
+}

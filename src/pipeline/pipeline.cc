@@ -38,7 +38,7 @@ ParallelLogPipeline::ParallelLogPipeline(PipelineOptions options)
 }
 
 PipelineResult ParallelLogPipeline::Run(LineSource& source) {
-  const size_t num_shards = static_cast<size_t>(threads_);
+  const size_t num_shards = shards();
   const size_t chunk_size = options_.chunk_size > 0 ? options_.chunk_size : 1;
   const size_t capacity =
       options_.queue_capacity > 0 ? options_.queue_capacity : 1;
@@ -81,8 +81,8 @@ PipelineResult ParallelLogPipeline::Run(LineSource& source) {
   // Parse workers: decode + parse + canonicalize in parallel, then
   // route every query entry to the shard owning its hash.
   std::vector<std::thread> workers;
-  workers.reserve(num_shards);
-  for (size_t w = 0; w < num_shards; ++w) {
+  workers.reserve(static_cast<size_t>(threads_));
+  for (int w = 0; w < threads_; ++w) {
     workers.emplace_back([&] {
       sparql::Parser parser(options_.parser_options);
       uint64_t local_lines = 0;

@@ -100,8 +100,13 @@ class VectorLineSource : public LineSource {
 };
 
 struct PipelineOptions {
-  /// Worker threads (and shards). 0 means hardware concurrency.
+  /// Parse worker threads. 0 means hardware concurrency.
   int threads = 0;
+  /// Shards (dedup/analysis partitions). 0 means one per worker. The
+  /// count is part of the routing function (ShardIndexFor), so the
+  /// merged result is identical for every value; the verification
+  /// subsystem randomizes it to prove that.
+  size_t shards = 0;
   /// Raw lines per work chunk.
   size_t chunk_size = 512;
   /// Chunks (and routed batches, per shard) buffered before
@@ -142,8 +147,14 @@ class ParallelLogPipeline {
   /// Convenience overload for in-memory logs.
   PipelineResult Run(const std::vector<std::string>& lines);
 
-  /// The resolved worker/shard count.
+  /// The resolved worker count.
   int threads() const { return threads_; }
+
+  /// The resolved shard count.
+  size_t shards() const {
+    return options_.shards > 0 ? options_.shards
+                               : static_cast<size_t>(threads_);
+  }
 
  private:
   PipelineOptions options_;

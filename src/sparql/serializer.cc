@@ -17,6 +17,33 @@ int PathPrec(PathKind k) {
   }
 }
 
+/// True iff a kFunction op can be rendered as a bare `NAME(args)` call
+/// and survive a reparse unchanged: it must lex as one identifier,
+/// already be in the parser's canonical (upper) case, and not collide
+/// with a name the expression grammar routes elsewhere. Everything else
+/// — extension IRIs, but also colon-free relative IRIs like `<abc>` or
+/// the empty `<>` (fuzzer-found) — uses the `<iri>(args)` form.
+bool BareFunctionName(const std::string& op) {
+  if (op.empty()) return false;
+  char first = op[0];
+  if (!((first >= 'A' && first <= 'Z') || first == '_')) return false;
+  for (char c : op) {
+    bool ok = (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_' ||
+              c == '-';
+    if (!ok) return false;  // lower case, ':', '/', non-ASCII, ...
+  }
+  // Parsed specially, never as a plain function call. DISTINCT is here
+  // because argument lists and aggregates consume a leading DISTINCT as
+  // the modifier keyword: SUM(DISTINCT(?x)) reparses as SUM(DISTINCT ?x).
+  static constexpr std::string_view kReserved[] = {
+      "TRUE", "FALSE", "EXISTS", "NOT",    "COUNT",        "SUM",
+      "MIN",  "MAX",   "AVG",    "SAMPLE", "GROUP_CONCAT", "DISTINCT"};
+  for (std::string_view r : kReserved) {
+    if (op == r) return false;
+  }
+  return true;
+}
+
 /// True iff serializing `e` emits a leading '(' — the kinds rendered
 /// through the infix/unary "(...)" forms. Lets the HAVING writer decide
 /// whether to add wrapping parentheses without materializing the
@@ -248,13 +275,12 @@ class Writer {
         Put(")");
         return;
       case ExprKind::kFunction: {
-        bool iri_function = e.op.find(':') != std::string::npos;
-        if (iri_function) {
+        if (BareFunctionName(e.op)) {
+          Put(e.op);
+        } else {
           Put("<");
           Put(e.op);
           Put(">");
-        } else {
-          Put(e.op);
         }
         Put("(");
         for (size_t i = 0; i < e.args.size(); ++i) {
@@ -274,8 +300,10 @@ class Writer {
           WriteExpr(e.args[0]);
         }
         if (!e.separator.empty()) {
+          // Escaped like any literal body: a separator containing a
+          // quote or newline must still reparse (fuzzer-found).
           Put("; SEPARATOR=\"");
-          Put(e.separator);
+          PutEscaped(e.separator);
           Put("\"");
         }
         Put(")");

@@ -1,0 +1,154 @@
+#include "sparql/termgen.h"
+
+#include <array>
+#include <cstddef>
+
+namespace sparqlog::sparql::termgen {
+
+namespace {
+
+constexpr std::string_view kIriBases[] = {
+    "http://example.org/",
+    "http://dbpedia.org/resource/",
+    "http://dbpedia.org/ontology/",
+    "http://www.wikidata.org/entity/",
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+    "http://www.w3.org/2000/01/rdf-schema#",
+    "http://xmlns.com/foaf/0.1/",
+    "urn:uuid:",
+    "",  // relative / empty IRIs are legal IRIREFs
+};
+
+constexpr std::string_view kXsdDatatypes[] = {
+    "http://www.w3.org/2001/XMLSchema#integer",
+    "http://www.w3.org/2001/XMLSchema#decimal",
+    "http://www.w3.org/2001/XMLSchema#double",
+    "http://www.w3.org/2001/XMLSchema#boolean",
+    "http://www.w3.org/2001/XMLSchema#string",
+    "http://www.w3.org/2001/XMLSchema#dateTime",
+};
+
+// Characters legal inside an IRIREF beyond alphanumerics: everything
+// above 0x20 except <>"{}|^`\ (mirrors the lexer's IsIriChar).
+constexpr std::string_view kIriPunct = "/#?:@!$&'()*+,;=-._~%[]";
+
+constexpr std::string_view kAlnum =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+constexpr std::string_view kNameChars =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789__";
+
+// Adversarial literal alphabet: the serializer's escape set, the
+// pass-through control characters, a raw DEL, and high bytes that form
+// invalid UTF-8 sequences when combined.
+constexpr char kAdversarial[] = {'"',    '\\',   '\n',   '\r',   '\t',
+                                 '\b',   '\f',   '\x7f', '\x80', '\xc0',
+                                 '\xc3', '\xe2', '\xf0', '\xff', ' '};
+
+char Pick(util::Rng& rng, std::string_view alphabet) {
+  return alphabet[rng.Below(alphabet.size())];
+}
+
+}  // namespace
+
+std::string_view EscapedLiteralChars() { return "\"\\\n\r\t"; }
+
+std::string IriString(util::Rng& rng) {
+  std::string out(kIriBases[rng.Below(std::size(kIriBases))]);
+  size_t len = rng.Below(12);
+  for (size_t i = 0; i < len; ++i) {
+    uint64_t roll = rng.Below(10);
+    if (roll < 7) {
+      out.push_back(Pick(rng, kAlnum));
+    } else if (roll < 9) {
+      out.push_back(Pick(rng, kIriPunct));
+    } else {
+      // Raw non-ASCII byte; the lexer accepts any byte above 0x20
+      // inside <...>, valid UTF-8 or not.
+      out.push_back(static_cast<char>(0x80 + rng.Below(0x80)));
+    }
+  }
+  return out;
+}
+
+std::string LiteralBody(util::Rng& rng, double escape_density) {
+  size_t len = rng.Below(16);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    if (rng.Chance(escape_density)) {
+      out.push_back(kAdversarial[rng.Below(std::size(kAdversarial))]);
+    } else {
+      out.push_back(Pick(rng, kAlnum));
+    }
+  }
+  return out;
+}
+
+std::string VariableName(util::Rng& rng) {
+  size_t len = 1 + rng.Below(8);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) out.push_back(Pick(rng, kNameChars));
+  return out;
+}
+
+std::string BlankLabel(util::Rng& rng) {
+  std::string out;
+  out.push_back(Pick(rng, std::string_view(kAlnum.data(), 52)));  // letter
+  size_t len = rng.Below(6);
+  for (size_t i = 0; i < len; ++i) out.push_back(Pick(rng, kNameChars));
+  return out;
+}
+
+std::string LanguageTag(util::Rng& rng) {
+  constexpr std::string_view kLower = "abcdefghijklmnopqrstuvwxyz";
+  std::string out;
+  out.push_back(Pick(rng, kLower));
+  out.push_back(Pick(rng, kLower));
+  if (rng.Chance(0.3)) {
+    out.push_back('-');
+    size_t len = 1 + rng.Below(3);
+    for (size_t i = 0; i < len; ++i) {
+      out.push_back(Pick(rng, std::string_view(kAlnum.data() + 26, 36)));
+    }
+  }
+  return out;
+}
+
+rdf::Term RandomTerm(util::Rng& rng, const TermGenOptions& options) {
+  for (;;) {
+    switch (rng.Below(8)) {
+      case 0:
+      case 1:
+      case 2:
+        if (!options.allow_variables) continue;
+        return rdf::Term::Var(VariableName(rng));
+      case 3:
+      case 4:
+        return rdf::Term::Iri(IriString(rng));
+      case 5:
+        if (!options.allow_blanks) continue;
+        return rdf::Term::Blank(BlankLabel(rng));
+      default: {
+        if (!options.allow_literals) continue;
+        std::string body = LiteralBody(rng, options.escape_density);
+        switch (rng.Below(3)) {
+          case 0:
+            return rdf::Term::Literal(std::move(body));
+          case 1:
+            return rdf::Term::Literal(std::move(body), "", LanguageTag(rng));
+          default:
+            return rdf::Term::Literal(
+                std::move(body),
+                rng.Chance(0.5)
+                    ? std::string(kXsdDatatypes[rng.Below(
+                          std::size(kXsdDatatypes))])
+                    : IriString(rng));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sparqlog::sparql::termgen

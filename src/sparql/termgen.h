@@ -1,0 +1,66 @@
+#ifndef SPARQLOG_SPARQL_TERMGEN_H_
+#define SPARQLOG_SPARQL_TERMGEN_H_
+
+#include <string>
+#include <string_view>
+
+#include "rdf/term.h"
+#include "util/rng.h"
+
+namespace sparqlog::sparql::termgen {
+
+/// Seedable generation hooks for the syntactic building blocks of a
+/// SPARQL query: IRIs, literal bodies (including every escape form the
+/// canonical serializer knows), variable names, blank node labels, and
+/// language tags. The property-based fuzzer (src/testing) composes
+/// these into whole queries; keeping the alphabet knowledge here, next
+/// to the lexer/serializer it mirrors, means a lexer alphabet change
+/// and its fuzz coverage evolve in the same review.
+///
+/// Every function is a pure function of the Rng state, so a fixed seed
+/// reproduces the exact generation sequence.
+
+/// Options for RandomTerm.
+struct TermGenOptions {
+  bool allow_variables = true;
+  bool allow_blanks = true;
+  bool allow_literals = true;
+  /// Probability that a literal body draws from the adversarial
+  /// alphabet (escape-needing characters, raw control bytes, invalid
+  /// UTF-8) instead of plain ASCII.
+  double escape_density = 0.4;
+};
+
+/// Characters a literal body can contain only via serializer escapes
+/// ("\\ \" \n \r \t"). Exposed so tests can assert the fuzz alphabet
+/// covers exactly the serializer's escape set.
+std::string_view EscapedLiteralChars();
+
+/// A random IRI string over the IRIREF alphabet (never contains a
+/// character the lexer rejects inside <...>): a realistic base from a
+/// small pool plus a random path suffix, occasionally with %-escapes
+/// and raw non-ASCII bytes.
+std::string IriString(util::Rng& rng);
+
+/// A random literal body. With probability `escape_density` per
+/// character the body draws from the adversarial alphabet: characters
+/// the serializer must escape, pass-through control characters, and
+/// invalid UTF-8 byte sequences.
+std::string LiteralBody(util::Rng& rng, double escape_density);
+
+/// A random variable name ([A-Za-z0-9_]+, no '-', digit start allowed).
+std::string VariableName(util::Rng& rng);
+
+/// A random blank node label ([A-Za-z][A-Za-z0-9_]*).
+std::string BlankLabel(util::Rng& rng);
+
+/// A random language tag ("en", "de-at", ...).
+std::string LanguageTag(util::Rng& rng);
+
+/// A random RDF/SPARQL term: IRI, literal (plain, @lang, or ^^typed),
+/// blank node, or variable, weighted toward the forms real logs use.
+rdf::Term RandomTerm(util::Rng& rng, const TermGenOptions& options = {});
+
+}  // namespace sparqlog::sparql::termgen
+
+#endif  // SPARQLOG_SPARQL_TERMGEN_H_

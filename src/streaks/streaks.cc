@@ -1,6 +1,7 @@
 #include "streaks/streaks.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "util/levenshtein.h"
 #include "util/strings.h"
@@ -13,6 +14,13 @@ void StreakReport::AddStreakLength(uint64_t length) {
   size_t bucket = (length == 0) ? 0 : (length - 1) / 10;
   if (bucket > 10) bucket = 10;
   ++counts[bucket];
+}
+
+void StreakReport::Merge(const StreakReport& other) {
+  for (size_t i = 0; i < std::size(counts); ++i) counts[i] += other.counts[i];
+  total_streaks += other.total_streaks;
+  longest = std::max(longest, other.longest);
+  queries_processed += other.queries_processed;
 }
 
 std::string StripPrologue(const std::string& query) {

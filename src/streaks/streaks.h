@@ -30,6 +30,11 @@ struct StreakReport {
   uint64_t queries_processed = 0;
 
   void AddStreakLength(uint64_t length);
+
+  /// Adds another partition's report (sums counters, max of `longest`).
+  /// Exact when the partitions processed disjoint slices of the log;
+  /// Merge with a default-constructed report is the identity.
+  void Merge(const StreakReport& other);
 };
 
 /// Removes the prologue (prefix/base declarations): returns the suffix

@@ -1,0 +1,214 @@
+#include "testing/invariants.h"
+
+#include <utility>
+
+#include "corpus/ingest.h"
+#include "corpus/report.h"
+#include "pipeline/merge.h"
+#include "pipeline/pipeline.h"
+#include "sparql/serializer.h"
+
+namespace sparqlog::testing {
+
+namespace {
+
+std::optional<Violation> Violate(std::string invariant, std::string detail,
+                                 std::string_view input) {
+  Violation v;
+  v.invariant = std::move(invariant);
+  v.detail = std::move(detail);
+  v.input = std::string(input);
+  return v;
+}
+
+/// Field-for-field comparison of two ParsedLine results; returns a
+/// description of the first difference, or empty.
+std::string DiffParsedLines(const corpus::ParsedLine& a,
+                            const corpus::ParsedLine& b) {
+  if (a.is_query != b.is_query) return "is_query differs";
+  if (a.valid != b.valid) return "valid differs";
+  if (a.canonical_hash != b.canonical_hash) return "canonical_hash differs";
+  if (a.line_hash != b.line_hash) return "line_hash differs";
+  if (a.query.has_value() != b.query.has_value()) return "query engagement differs";
+  if (a.query.has_value() &&
+      sparql::Serialize(*a.query) != sparql::Serialize(*b.query)) {
+    return "canonical serialization differs";
+  }
+  return {};
+}
+
+}  // namespace
+
+std::optional<Violation> CheckQuery(const sparql::Parser& parser,
+                                    const sparql::Query& q) {
+  std::string s0 = sparql::Serialize(q);
+  if (sparql::CanonicalHash(q) != corpus::HashBytes(s0)) {
+    return Violate("canonical-hash",
+                   "CanonicalHash(q) != FNV(Serialize(q)) on the input AST",
+                   s0);
+  }
+  util::Result<sparql::Query> reparsed = parser.Parse(s0);
+  if (!reparsed.ok()) {
+    return Violate("serializer-closure",
+                   "canonical form does not re-parse: " +
+                       reparsed.status().message(),
+                   s0);
+  }
+  std::string s1 = sparql::Serialize(reparsed.value());
+  if (s1 != s0) {
+    size_t i = 0;
+    while (i < s0.size() && i < s1.size() && s0[i] == s1[i]) ++i;
+    return Violate("roundtrip-idempotence",
+                   "Serialize(Parse(s)) != s, first difference at byte " +
+                       std::to_string(i),
+                   s0);
+  }
+  if (sparql::CanonicalHash(reparsed.value()) != corpus::HashBytes(s1)) {
+    return Violate("canonical-hash",
+                   "CanonicalHash(q) != FNV(Serialize(q)) on the reparsed AST",
+                   s0);
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> CheckQueryText(const sparql::Parser& parser,
+                                        std::string_view text) {
+  util::Result<sparql::Query> parsed = parser.Parse(text);
+  if (!parsed.ok()) return std::nullopt;
+  return CheckQuery(parser, parsed.value());
+}
+
+std::optional<Violation> CheckLogLine(sparql::Parser& parser,
+                                      std::string_view line) {
+  std::string decode_buf;
+  corpus::ParsedLine scratch = corpus::ParseLogLine(parser, line, decode_buf);
+  corpus::ParsedLine owned =
+      corpus::ParseLogLine(parser, std::string(line));
+  if (std::string diff = DiffParsedLines(scratch, owned); !diff.empty()) {
+    return Violate("logline-overload-agreement",
+                   "scratch-buffer and convenience overloads disagree: " +
+                       diff,
+                   line);
+  }
+  std::string decode_buf2;
+  corpus::ParsedLine again = corpus::ParseLogLine(parser, line, decode_buf2);
+  if (std::string diff = DiffParsedLines(scratch, again); !diff.empty()) {
+    return Violate("logline-determinism",
+                   "same line parsed twice differs: " + diff, line);
+  }
+  std::string extract_buf;
+  bool extracted =
+      corpus::ExtractQueryText(line, extract_buf).has_value();
+  if (extracted != scratch.is_query) {
+    return Violate("logline-classification",
+                   "ExtractQueryText and ParseLogLine disagree on is_query",
+                   line);
+  }
+  if (scratch.valid) {
+    if (!scratch.query.has_value()) {
+      return Violate("logline-engagement", "valid entry without a query AST",
+                     line);
+    }
+    if (scratch.canonical_hash !=
+        corpus::HashBytes(sparql::Serialize(*scratch.query))) {
+      return Violate("logline-canonical-hash",
+                     "canonical_hash != FNV of the canonical serialization",
+                     line);
+    }
+    if (auto v = CheckQuery(parser, *scratch.query)) {
+      v->input = std::string(line);
+      return v;
+    }
+  } else if (scratch.is_query) {
+    if (scratch.line_hash != corpus::HashBytes(line)) {
+      return Violate("logline-route-hash",
+                     "malformed entry's line_hash != FNV of the raw line",
+                     line);
+    }
+  }
+  return std::nullopt;
+}
+
+EquivalenceConfig RandomEquivalenceConfig(util::Rng& rng) {
+  EquivalenceConfig config;
+  config.threads = static_cast<int>(1 + rng.Below(5));
+  // Tiny chunks move every chunk boundary; large ones test batching.
+  config.chunk_size = 1 + rng.Below(64);
+  config.queue_capacity = 1 + rng.Below(8);
+  config.shards =
+      rng.Chance(0.5) ? 0 : static_cast<size_t>(1 + rng.Below(7));
+  config.use_valid_corpus = rng.Chance(0.25);
+  return config;
+}
+
+std::optional<Violation> CheckSerialParallelEquivalence(
+    const std::vector<std::string>& log, const EquivalenceConfig& config) {
+  auto describe = [&config] {
+    return "threads=" + std::to_string(config.threads) +
+           " chunk=" + std::to_string(config.chunk_size) +
+           " queue=" + std::to_string(config.queue_capacity) +
+           " shards=" + std::to_string(config.shards) +
+           " corpus=" + (config.use_valid_corpus ? "valid" : "unique");
+  };
+
+  // Serial reference: the same wiring a Shard uses, single-threaded.
+  corpus::LogIngestor ingestor;
+  corpus::CorpusAnalyzer analyzer;
+  auto sink = [&analyzer](const sparql::Query& q) {
+    analyzer.AddQuery(q, "all");
+  };
+  if (config.use_valid_corpus) {
+    ingestor.set_valid_sink(sink);
+  } else {
+    ingestor.set_unique_sink(sink);
+  }
+  ingestor.ProcessLog(log);
+
+  pipeline::PipelineOptions options;
+  options.threads = config.threads;
+  options.chunk_size = config.chunk_size;
+  options.queue_capacity = config.queue_capacity;
+  options.shards = config.shards;
+  options.use_valid_corpus = config.use_valid_corpus;
+  pipeline::ParallelLogPipeline parallel(options);
+  pipeline::PipelineResult result = parallel.Run(log);
+
+  const corpus::CorpusStats& serial = ingestor.stats();
+  if (result.stats.total != serial.total ||
+      result.stats.valid != serial.valid ||
+      result.stats.unique != serial.unique) {
+    return Violate(
+        "serial-parallel-stats",
+        "Total/Valid/Unique diverge (" + describe() + "): serial " +
+            std::to_string(serial.total) + "/" + std::to_string(serial.valid) +
+            "/" + std::to_string(serial.unique) + " vs parallel " +
+            std::to_string(result.stats.total) + "/" +
+            std::to_string(result.stats.valid) + "/" +
+            std::to_string(result.stats.unique),
+        "");
+  }
+  if (result.lines != log.size()) {
+    return Violate("serial-parallel-lines",
+                   "pipeline consumed " + std::to_string(result.lines) +
+                       " of " + std::to_string(log.size()) + " lines (" +
+                       describe() + ")",
+                   "");
+  }
+  std::vector<uint64_t> serial_digest = pipeline::StatisticsDigest(analyzer);
+  std::vector<uint64_t> parallel_digest =
+      pipeline::StatisticsDigest(result.analysis);
+  if (serial_digest != parallel_digest) {
+    size_t i = 0;
+    while (i < serial_digest.size() && i < parallel_digest.size() &&
+           serial_digest[i] == parallel_digest[i]) {
+      ++i;
+    }
+    return Violate("serial-parallel-digest",
+                   "StatisticsDigest diverges at index " + std::to_string(i) +
+                       " (" + describe() + ")",
+                   "");
+  }
+  return std::nullopt;
+}
+
+}  // namespace sparqlog::testing

@@ -1,0 +1,75 @@
+#ifndef SPARQLOG_TESTING_INVARIANTS_H_
+#define SPARQLOG_TESTING_INVARIANTS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sparql/ast.h"
+#include "sparql/parser.h"
+#include "util/rng.h"
+
+namespace sparqlog::testing {
+
+/// One invariant violation: which invariant broke, how, and the exact
+/// input that triggers it (query text or raw log line — feed it back
+/// through the matching Check* function to reproduce).
+struct Violation {
+  std::string invariant;
+  std::string detail;
+  std::string input;
+};
+
+/// Checks the serializer/parser invariants on an AST:
+///  * serializer closure — Serialize(q) must re-parse;
+///  * round-trip idempotence — Serialize(Parse(Serialize(q))) == Serialize(q);
+///  * streaming hash — CanonicalHash(x) == HashBytes(Serialize(x)) for
+///    both the original and the reparsed AST.
+std::optional<Violation> CheckQuery(const sparql::Parser& parser,
+                                    const sparql::Query& q);
+
+/// Text-level variant: parses `text` and, when it parses, runs
+/// CheckQuery on the result. Unparseable text is not a violation (the
+/// corpus is full of invalid queries); this is the entry point printed
+/// reproducers use.
+std::optional<Violation> CheckQueryText(const sparql::Parser& parser,
+                                        std::string_view text);
+
+/// Checks the log-ingest invariants on one raw line:
+///  * both ParseLogLine overloads agree field for field;
+///  * parsing the same line twice is deterministic;
+///  * classification matches ExtractQueryText;
+///  * valid entries: canonical_hash equals the FNV of the canonical
+///    serialization, and the parsed query passes CheckQuery;
+///  * malformed entries: line_hash equals the FNV of the raw line.
+std::optional<Violation> CheckLogLine(sparql::Parser& parser,
+                                      std::string_view line);
+
+/// One randomized pipeline configuration for the serial-vs-parallel
+/// equivalence check.
+struct EquivalenceConfig {
+  int threads = 2;
+  size_t chunk_size = 512;
+  size_t queue_capacity = 16;
+  /// Shard count decoupled from the worker count (0 = same as threads).
+  size_t shards = 0;
+  bool use_valid_corpus = false;
+};
+
+/// Samples thread/chunk/queue/shard counts from the ranges that shook
+/// out races during development (1..5 threads, tiny chunks included so
+/// chunk boundaries move, shards != threads half the time).
+EquivalenceConfig RandomEquivalenceConfig(util::Rng& rng);
+
+/// Runs `log` through the serial path (LogIngestor + CorpusAnalyzer)
+/// and through ParallelLogPipeline under `config`, then compares
+/// Total/Valid/Unique, the line count, and the full StatisticsDigest.
+/// Any difference is a violation.
+std::optional<Violation> CheckSerialParallelEquivalence(
+    const std::vector<std::string>& log, const EquivalenceConfig& config);
+
+}  // namespace sparqlog::testing
+
+#endif  // SPARQLOG_TESTING_INVARIANTS_H_

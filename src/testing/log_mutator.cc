@@ -1,0 +1,138 @@
+#include "testing/log_mutator.h"
+
+#include <cstddef>
+
+namespace sparqlog::testing {
+
+namespace {
+
+constexpr char kHexUpper[] = "0123456789ABCDEF";
+constexpr char kHexLower[] = "0123456789abcdef";
+
+void AppendPercent(std::string& out, unsigned char byte, bool lower) {
+  const char* hex = lower ? kHexLower : kHexUpper;
+  out.push_back('%');
+  out.push_back(hex[byte >> 4]);
+  out.push_back(hex[byte & 0xF]);
+}
+
+/// Bytes that must be %-encoded for the decode to be faithful: '%' and
+/// '+' (decoder metacharacters) and '&' (value terminator).
+bool MustEncode(char c) { return c == '%' || c == '+' || c == '&'; }
+
+constexpr std::string_view kNoiseParams[] = {
+    "&format=json",
+    "&timeout=30000",
+    "&default-graph-uri=http%3A%2F%2Fdbpedia.org",
+    "&output=text%2Fhtml",
+    "&run=+Run+Query+",
+    "&debug=on&soft-limit=",
+};
+
+constexpr std::string_view kBadBytes[] = {
+    "\xff",          // lone invalid byte
+    "\xc0\x80",      // overlong encoding
+    "\xc3\x28",      // invalid continuation
+    "\x80",          // stray continuation byte
+    "\xf0\x9f",      // truncated 4-byte sequence
+};
+
+}  // namespace
+
+LogLineMutator::LogLineMutator(const LogMutatorOptions& options)
+    : options_(options), rng_(options.seed) {}
+
+std::string LogLineMutator::EncodeLine(std::string_view query_text) {
+  std::string out = "query=";
+  out.reserve(query_text.size() + 16);
+  for (char c : query_text) {
+    unsigned char byte = static_cast<unsigned char>(c);
+    if (c == ' ' && rng_.Chance(0.5)) {
+      out.push_back('+');
+    } else if (MustEncode(c) || byte < 0x21 || byte >= 0x7f ||
+               rng_.Chance(0.15)) {
+      // Mandatory escapes, non-printables, and a gratuitous sprinkle
+      // over safe bytes — real CGI clients escape inconsistently.
+      AppendPercent(out, byte, rng_.Chance(0.5));
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string LogLineMutator::Mutate(std::string_view line) {
+  std::string out(line);
+  size_t pos = out.empty() ? 0 : rng_.Below(out.size() + 1);
+  switch (rng_.Below(11)) {
+    case 0:  // truncation
+      out.resize(pos);
+      break;
+    case 1: {  // broken %-escape: bare '%', "%Z", or trailing "%4"
+      switch (rng_.Below(3)) {
+        case 0: out.insert(pos, "%"); break;
+        case 1: out.insert(pos, "%Z5"); break;
+        default: out.insert(pos, "%4"); break;
+      }
+      break;
+    }
+    case 2:  // gratuitous '+' (decodes to a space mid-token)
+      out.insert(pos, "+");
+      break;
+    case 3:  // raw '&' split: everything after becomes CGI noise
+      out.insert(pos, "&x=1");
+      break;
+    case 4:  // trailing CGI parameter noise
+      out.append(kNoiseParams[rng_.Below(std::size(kNoiseParams))]);
+      break;
+    case 5: {  // invalid UTF-8 injection
+      std::string_view bad = kBadBytes[rng_.Below(std::size(kBadBytes))];
+      out.insert(pos, bad.data(), bad.size());
+      break;
+    }
+    case 6:  // byte flip
+      if (!out.empty()) {
+        size_t i = rng_.Below(out.size());
+        out[i] = static_cast<char>(rng_.Below(256));
+      }
+      break;
+    case 7: {  // delete a span
+      if (!out.empty()) {
+        size_t i = rng_.Below(out.size());
+        size_t len = 1 + rng_.Below(8);
+        out.erase(i, len);
+      }
+      break;
+    }
+    case 8: {  // duplicate a span
+      if (!out.empty()) {
+        size_t i = rng_.Below(out.size());
+        size_t len = 1 + rng_.Below(8);
+        std::string span = out.substr(i, len);
+        out.insert(i, span);
+      }
+      break;
+    }
+    case 9:  // damage the query= prefix: the line becomes noise
+      if (rng_.Chance(0.5)) {
+        out.erase(0, out.size() < 3 ? out.size() : 3);
+      } else {
+        out.insert(0, "q=");
+      }
+      break;
+    default:  // leading/embedded whitespace or %09
+      out.insert(pos, rng_.Chance(0.5) ? " " : "%09");
+      break;
+  }
+  return out;
+}
+
+std::string LogLineMutator::NextLine(std::string_view query_text) {
+  std::string line = EncodeLine(query_text);
+  while (rng_.Chance(options_.mutation_probability)) {
+    line = Mutate(line);
+  }
+  return line;
+}
+
+}  // namespace sparqlog::testing

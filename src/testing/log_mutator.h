@@ -1,0 +1,52 @@
+#ifndef SPARQLOG_TESTING_LOG_MUTATOR_H_
+#define SPARQLOG_TESTING_LOG_MUTATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace sparqlog::testing {
+
+/// Mutator configuration; the sequence is a deterministic function of
+/// `seed`.
+struct LogMutatorOptions {
+  uint64_t seed = 42;
+  /// Probability that NextLine applies at least one destructive
+  /// mutation (more follow geometrically).
+  double mutation_probability = 0.6;
+};
+
+/// Generates adversarial endpoint log lines to harden `ParseLogLine`:
+/// valid `query=<urlencoded>` entries with randomized encoding choices,
+/// then destructive mutations — escape injection (broken and gratuitous
+/// %-sequences), truncation, CGI parameter noise, raw '&' splits,
+/// invalid UTF-8, byte flips, and prefix damage that turns an entry
+/// into noise. Every emitted line is a legal *input* (ParseLogLine
+/// accepts arbitrary bytes); mutations attack the cleaning and
+/// validation stages, not the process.
+class LogLineMutator {
+ public:
+  explicit LogLineMutator(const LogMutatorOptions& options = {});
+
+  /// URL-encodes `query_text` into a `query=...` log line. Encoding
+  /// choices (hex case, '+' vs "%20", gratuitous escaping of safe
+  /// bytes) are randomized, but the line always decodes back to
+  /// exactly `query_text`.
+  std::string EncodeLine(std::string_view query_text);
+
+  /// Applies one random destructive mutation.
+  std::string Mutate(std::string_view line);
+
+  /// EncodeLine plus a geometric number of mutations (possibly none).
+  std::string NextLine(std::string_view query_text);
+
+ private:
+  LogMutatorOptions options_;
+  util::Rng rng_;
+};
+
+}  // namespace sparqlog::testing
+
+#endif  // SPARQLOG_TESTING_LOG_MUTATOR_H_

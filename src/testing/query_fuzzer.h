@@ -1,0 +1,93 @@
+#ifndef SPARQLOG_TESTING_QUERY_FUZZER_H_
+#define SPARQLOG_TESTING_QUERY_FUZZER_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "gmark/query_gen.h"
+#include "sparql/ast.h"
+#include "sparql/termgen.h"
+#include "util/rng.h"
+
+namespace sparqlog::testing {
+
+/// What the fuzzer has emitted so far, indexed by the AST enums. The
+/// coverage test asserts every slot is non-zero after a few thousand
+/// queries, so a new operator added to the AST without fuzzer support
+/// fails loudly instead of silently shrinking coverage.
+struct FuzzCoverage {
+  std::array<uint64_t, 4> forms{};      ///< sparql::QueryForm
+  std::array<uint64_t, 11> patterns{};  ///< sparql::PatternKind
+  std::array<uint64_t, 8> paths{};      ///< sparql::PathKind
+  std::array<uint64_t, 14> exprs{};     ///< sparql::ExprKind
+  std::array<uint64_t, 4> terms{};      ///< rdf::TermKind
+  std::array<uint64_t, 4> shapes{};     ///< gmark::QueryShape skeletons used
+  uint64_t escaped_literals = 0;  ///< literal bodies needing serializer escapes
+  uint64_t gmark_skeletons = 0;   ///< queries grown from a gmark BGP
+  uint64_t queries = 0;
+};
+
+/// Fuzzer configuration. Everything derives deterministically from
+/// `seed`; two fuzzers with equal options emit identical sequences.
+struct QueryFuzzOptions {
+  uint64_t seed = 42;
+  /// Maximum nesting of group graph patterns (OPTIONAL in UNION in ...).
+  int max_pattern_depth = 3;
+  /// Maximum nesting of expressions.
+  int max_expr_depth = 3;
+  /// Probability that a query grows from a gmark-generated BGP skeleton
+  /// (chain / star / cycle / chain-star over the Bib schema) instead of
+  /// free-form triples.
+  double gmark_skeleton_probability = 0.5;
+};
+
+/// Deterministic property-based SPARQL query generator.
+///
+/// Layered on src/gmark/query_gen: half of the emitted queries start
+/// from a gMark workload BGP (the paper's four shapes), the rest from
+/// free-form triples; both are then decorated with the full operator
+/// surface the canonical serializer knows — every PatternKind, every
+/// PathKind, every ExprKind, all four query forms, all solution
+/// modifiers, and literal/escape forms from sparql::termgen.
+///
+/// Generated queries satisfy the serializer-closure constraints (e.g.
+/// ASK always has a body, n-ary operators have >= 2 operands, CONSTRUCT
+/// templates carry no property paths), so `Serialize(Next())` is always
+/// expected to re-parse; a parse failure is a genuine bug in the
+/// serializer or parser, not fuzzer noise.
+class QueryFuzzer {
+ public:
+  explicit QueryFuzzer(const QueryFuzzOptions& options = {});
+
+  /// The next query of the deterministic sequence.
+  sparql::Query Next();
+
+  const FuzzCoverage& coverage() const { return coverage_; }
+  const QueryFuzzOptions& options() const { return options_; }
+
+ private:
+  sparql::Pattern GenGroup(int depth);
+  sparql::Pattern GenGroupChild(int depth);
+  sparql::Pattern GenTriple();
+  sparql::Pattern GenValues();
+  sparql::Pattern GenSubSelect(int depth);
+  sparql::PathExpr GenPath(int depth);
+  sparql::Expr GenExpr(int depth, bool allow_aggregate);
+  sparql::Expr GenAggregate(int depth);
+  rdf::Term GenTerm(const sparql::termgen::TermGenOptions& options);
+  rdf::Term GenVarOrIri();
+  void GenSolutionModifiers(sparql::Query& q);
+  /// Root WHERE children: a gmark skeleton BGP or free-form triples.
+  std::vector<sparql::Pattern> GenBaseTriples();
+
+  QueryFuzzOptions options_;
+  util::Rng rng_;
+  FuzzCoverage coverage_;
+  /// Pre-generated gmark skeletons, all four shapes.
+  std::vector<gmark::GeneratedQuery> skeletons_;
+};
+
+}  // namespace sparqlog::testing
+
+#endif  // SPARQLOG_TESTING_QUERY_FUZZER_H_

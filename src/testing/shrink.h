@@ -1,0 +1,84 @@
+#ifndef SPARQLOG_TESTING_SHRINK_H_
+#define SPARQLOG_TESTING_SHRINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "sparql/ast.h"
+
+namespace sparqlog::testing {
+
+/// Returns true iff `candidate` still exhibits the failure being
+/// shrunk. The predicate must be deterministic.
+using FailPredicate = std::function<bool(const std::string&)>;
+
+struct ShrinkOptions {
+  /// Upper bound on predicate evaluations; greedy shrinking converges
+  /// far below this on query-sized inputs, the bound guards
+  /// pathological ones.
+  int max_evals = 50000;
+};
+
+struct ShrinkOutcome {
+  std::string text;  ///< smallest failing input found
+  int evals = 0;     ///< predicate evaluations spent
+  int accepted = 0;  ///< accepted reductions
+};
+
+/// Greedy textual shrinking: alternates chunk-deletion passes (spans of
+/// len/2, len/4, ..., 1 bytes, delta-debugging style) with a
+/// byte-simplification pass (replace each byte with 'a'), repeating
+/// until a fixpoint. `failing` must satisfy `fails`; the result also
+/// does, and every intermediate candidate that was accepted did too.
+/// Termination: every accepted step strictly reduces
+/// (length, #bytes != 'a') lexicographically.
+ShrinkOutcome ShrinkText(std::string_view failing, const FailPredicate& fails,
+                         const ShrinkOptions& options = {});
+
+/// Returns true iff the candidate AST still exhibits the failure.
+using QueryFailPredicate = std::function<bool(const sparql::Query&)>;
+
+struct AstShrinkOutcome {
+  sparql::Query query;
+  int evals = 0;
+  int accepted = 0;
+};
+
+/// Greedy structural shrinking of a failing query AST, for failures
+/// textual shrinking cannot reach (a serializer-closure bug leaves no
+/// parseable witness to shrink). Tries, to a fixpoint: clearing
+/// prologue/modifiers, collapsing the form to ASK, deleting pattern
+/// children and expression arguments, hoisting single-child nodes,
+/// replacing subtrees with trivial leaves, and byte-minimizing term
+/// values — accepting any candidate `fails` still rejects. Works on a
+/// deep copy, so shared subquery/EXISTS nodes are never aliased.
+AstShrinkOutcome ShrinkQueryAst(const sparql::Query& failing,
+                                const QueryFailPredicate& fails,
+                                const ShrinkOptions& options = {});
+
+/// Escapes `s` as a C++ string literal (octal escapes for anything
+/// non-printable, so invalid UTF-8 reproduces byte-exactly).
+std::string CppStringLiteral(std::string_view s);
+
+/// Renders a ready-to-paste GTest unit test that replays a shrunk
+/// failing input through the matching invariant check. `kind` is
+/// "query" (CheckQueryText) or "log_line" (CheckLogLine).
+std::string FormatReproducer(std::string_view test_name,
+                             std::string_view kind, std::string_view input,
+                             uint64_t seed);
+
+/// Reproducer for AST-phase failures whose canonical form does not
+/// re-parse (so no text can replay them): regenerates the failing query
+/// from the fuzzer seed and index — the fuzzer sequence is a pure
+/// function of its options, independent of serializer fixes — and
+/// quotes the shrunk canonical form for the human reader.
+std::string FormatSeedReplayReproducer(std::string_view test_name,
+                                       uint64_t seed, long index,
+                                       std::string_view invariant,
+                                       std::string_view minimal_canonical);
+
+}  // namespace sparqlog::testing
+
+#endif  // SPARQLOG_TESTING_SHRINK_H_

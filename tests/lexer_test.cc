@@ -189,6 +189,65 @@ TEST(LexerTest, ColumnsTrackedAfterLongString) {
   EXPECT_EQ(tokens[1].col, 7u);  // after `bc""" `
 }
 
+// --- Side-buffer path positions (PR 2 regression) --------------------------
+// Escaped strings and escaped prefixed names take the materializing
+// slow path into the token stream's side buffer; the value no longer
+// equals its spelling, so line/column bookkeeping cannot be recovered
+// from the value and must be tracked independently.
+
+TEST(LexerTest, ColumnsTrackedAfterEscapedShortString) {
+  // "a\"b" is 6 bytes wide in the source; ?x starts at byte column 8.
+  auto tokens = MustLex("\"a\\\"b\" ?x");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].Is(TokenType::kString));
+  EXPECT_EQ(tokens[0].value, "a\"b");
+  EXPECT_EQ(tokens[1].line, 1u);
+  EXPECT_EQ(tokens[1].col, 8u);
+  EXPECT_EQ(tokens[1].pos, 7u);
+}
+
+TEST(LexerTest, ColumnsTrackedAfterEscapedMultilineLongString) {
+  // The escaped long string spans a newline via the slow path; the
+  // following token's column counts from the new line's start.
+  auto tokens = MustLex("'''a\\tb\ncd''' ?y");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].value, "a\tb\ncd");
+  EXPECT_EQ(tokens[1].line, 2u);
+  EXPECT_EQ(tokens[1].col, 7u);  // after `cd''' `
+}
+
+TEST(LexerTest, ColumnsTrackedAfterEscapedPName) {
+  // ex:a\~b spells 7 bytes but its value is 6 ("ex:a~b"); the column of
+  // the next token must follow the spelling, not the value.
+  auto tokens = MustLex("ex:a\\~b ?w");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].Is(TokenType::kPName));
+  EXPECT_EQ(tokens[0].value, "ex:a~b");
+  EXPECT_EQ(tokens[1].col, 9u);
+  EXPECT_EQ(tokens[1].pos, 8u);
+}
+
+TEST(LexerTest, ColumnsTrackedAfterUnicodeEscapeKeptVerbatim) {
+  // \u escapes are kept verbatim (2 source bytes -> 2 value bytes), the
+  // remaining hex digits pass through; width bookkeeping must still be
+  // positional.
+  auto tokens = MustLex("\"x\\u0041y\" ?v");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].value, "x\\u0041y");
+  EXPECT_EQ(tokens[1].col, 12u);
+}
+
+TEST(LexerTest, ErrorColumnAfterEscapedValueOnSameLine) {
+  // The escaped string forces the side-buffer path; the error position
+  // of the stray byte after it must still be exact.
+  auto r = Lexer::Tokenize("\"a\\\"b\" ~");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("column 8"), std::string::npos)
+      << r.status().ToString();
+}
+
 TEST(LexerTest, ErrorsReportLineAndColumn) {
   auto r = Lexer::Tokenize("?x\n  ~");
   ASSERT_FALSE(r.ok());

@@ -568,5 +568,174 @@ TEST(MergeTest, MergeShardsFoldsStatsAndAnalysis) {
   EXPECT_EQ(merged.analysis.keywords().ask, 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Merge() algebra: identity on empty, order independence (the two
+// properties MergeShards relies on for exactness).
+// ---------------------------------------------------------------------------
+
+/// Feeds a handful of syntactically diverse queries into an analyzer.
+CorpusAnalyzer PopulatedAnalyzer(std::initializer_list<const char*> texts) {
+  CorpusAnalyzer analyzer;
+  sparql::Parser parser;
+  for (const char* text : texts) {
+    auto q = parser.Parse(text);
+    EXPECT_TRUE(q.ok()) << text;
+    if (q.ok()) analyzer.AddQuery(q.value(), "all");
+  }
+  return analyzer;
+}
+
+const std::initializer_list<const char*> kCorpusA = {
+    "SELECT DISTINCT ?x WHERE { ?x <p:a> ?y . ?y <p:b> ?z } LIMIT 5",
+    "ASK { <a:a> <p:c>+ ?x }",
+    "SELECT * WHERE { { ?a <p:d> ?b } UNION { ?a <p:e> ?b } }",
+};
+
+const std::initializer_list<const char*> kCorpusB = {
+    "CONSTRUCT { ?s <p:f> ?o } WHERE { ?s <p:f> ?o . FILTER(?o > 3) }",
+    "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s",
+    "DESCRIBE <x:y>",
+    "ASK { ?x !(<p:g>|^<p:h>) ?y . OPTIONAL { ?x <p:i> ?z } }",
+};
+
+TEST(MergeAlgebraTest, MergeFromEmptyAnalyzerIsIdentity) {
+  CorpusAnalyzer populated = PopulatedAnalyzer(kCorpusA);
+  std::vector<uint64_t> before = StatisticsDigest(populated);
+  CorpusAnalyzer empty;
+  populated.MergeFrom(empty);
+  EXPECT_EQ(StatisticsDigest(populated), before);
+  // And merging INTO an empty analyzer reproduces the populated state.
+  CorpusAnalyzer other;
+  other.MergeFrom(PopulatedAnalyzer(kCorpusA));
+  EXPECT_EQ(StatisticsDigest(other), before);
+}
+
+TEST(MergeAlgebraTest, MergeFromIsOrderIndependent) {
+  CorpusAnalyzer ab = PopulatedAnalyzer(kCorpusA);
+  ab.MergeFrom(PopulatedAnalyzer(kCorpusB));
+  CorpusAnalyzer ba = PopulatedAnalyzer(kCorpusB);
+  ba.MergeFrom(PopulatedAnalyzer(kCorpusA));
+  EXPECT_EQ(StatisticsDigest(ab), StatisticsDigest(ba));
+  ExpectAnalyzersEqual(ab, ba);
+}
+
+TEST(MergeAlgebraTest, AsymmetricMergePreservesEverySum) {
+  // A sees 3 queries, B sees 4; the merged digest must equal the digest
+  // of one analyzer that saw all 7 (the pipeline's shard invariant).
+  CorpusAnalyzer merged = PopulatedAnalyzer(kCorpusA);
+  merged.MergeFrom(PopulatedAnalyzer(kCorpusB));
+  std::vector<const char*> all;
+  all.insert(all.end(), kCorpusA.begin(), kCorpusA.end());
+  all.insert(all.end(), kCorpusB.begin(), kCorpusB.end());
+  CorpusAnalyzer reference;
+  sparql::Parser parser;
+  for (const char* text : all) {
+    auto q = parser.Parse(text);
+    ASSERT_TRUE(q.ok());
+    reference.AddQuery(q.value(), "all");
+  }
+  EXPECT_EQ(StatisticsDigest(merged), StatisticsDigest(reference));
+}
+
+TEST(MergeAlgebraTest, CorpusStatsMergeIdentityAndSums) {
+  CorpusStats a;
+  a.total = 10;
+  a.valid = 7;
+  a.unique = 5;
+  CorpusStats copy = a;
+  a.Merge(CorpusStats{});
+  EXPECT_EQ(a.total, copy.total);
+  EXPECT_EQ(a.valid, copy.valid);
+  EXPECT_EQ(a.unique, copy.unique);
+  CorpusStats b;
+  b.total = 1;
+  b.valid = 1;
+  b.unique = 0;
+  a.Merge(b);
+  EXPECT_EQ(a.total, 11u);
+  EXPECT_EQ(a.valid, 8u);
+  EXPECT_EQ(a.unique, 5u);
+}
+
+TEST(MergeAlgebraTest, PerStructMergeWithDefaultIsIdentity) {
+  // Every aggregate struct must treat a default-constructed instance as
+  // the neutral element — MergeShards merges shards that may have seen
+  // zero entries.
+  CorpusAnalyzer populated = PopulatedAnalyzer(kCorpusB);
+  KeywordCounts k = populated.keywords();
+  KeywordCounts k0 = k;
+  k.Merge(KeywordCounts{});
+  EXPECT_EQ(k.total, k0.total);
+  EXPECT_EQ(k.select, k0.select);
+  EXPECT_EQ(k.construct, k0.construct);
+  EXPECT_EQ(k.optional, k0.optional);
+
+  ShapeCounts s = populated.cq_shapes();
+  ShapeCounts s0 = s;
+  s.Merge(ShapeCounts{});
+  ExpectShapesEqual(s, s0);
+
+  PathStats p = populated.paths();
+  PathStats p0 = p;
+  p.Merge(PathStats{});
+  EXPECT_EQ(p.total_paths, p0.total_paths);
+  EXPECT_EQ(p.trivial_negated, p0.trivial_negated);
+  EXPECT_EQ(p.by_type, p0.by_type);
+
+  ProjectionStats pr = populated.projection();
+  ProjectionStats pr0 = pr;
+  pr.Merge(ProjectionStats{});
+  EXPECT_EQ(pr.total, pr0.total);
+  EXPECT_EQ(pr.with_projection, pr0.with_projection);
+
+  FragmentStats f;
+  f.cq = 3;
+  f.cq_sizes.Add(2);
+  f.Merge(FragmentStats{});
+  EXPECT_EQ(f.cq, 3u);
+  EXPECT_EQ(f.cq_sizes.Count(2), 1u);
+
+  HypergraphStats hg;
+  hg.total = 2;
+  hg.ghw1 = 1;
+  hg.Merge(HypergraphStats{});
+  EXPECT_EQ(hg.total, 2u);
+  EXPECT_EQ(hg.ghw1, 1u);
+
+  TripleStats ts;
+  ts.all_queries = 4;
+  ts.histogram.Add(3);
+  ts.Merge(TripleStats{});
+  EXPECT_EQ(ts.all_queries, 4u);
+  EXPECT_EQ(ts.histogram.Count(3), 1u);
+}
+
+TEST(PipelineTest, ShardCountDecoupledFromThreadCount) {
+  std::vector<std::string> log;
+  sparql::Parser parser;
+  for (int i = 0; i < 40; ++i) {
+    log.push_back("query=SELECT%20%2A%20WHERE%20%7B%20%3Fs%20%3Cp%3A" +
+                  std::to_string(i % 7) + "%3E%20%3Fo%20%7D");
+  }
+  PipelineOptions reference_options;
+  reference_options.threads = 1;
+  ParallelLogPipeline reference(reference_options);
+  PipelineResult expected = reference.Run(log);
+  for (size_t shards : {1u, 2u, 5u, 9u}) {
+    PipelineOptions options;
+    options.threads = 3;
+    options.shards = shards;
+    options.chunk_size = 4;
+    ParallelLogPipeline pipeline(options);
+    EXPECT_EQ(pipeline.shards(), shards);
+    PipelineResult result = pipeline.Run(log);
+    EXPECT_EQ(result.stats.total, expected.stats.total) << shards;
+    EXPECT_EQ(result.stats.unique, expected.stats.unique) << shards;
+    EXPECT_EQ(StatisticsDigest(result.analysis),
+              StatisticsDigest(expected.analysis))
+        << shards;
+  }
+}
+
 }  // namespace
 }  // namespace sparqlog::pipeline

@@ -80,6 +80,25 @@ TEST(SerializerTest, EscapesInLiterals) {
   ExpectStableRoundTrip(s);
 }
 
+TEST(SerializerTest, FunctionCallSyntaxSurvivesReparse) {
+  // Bare `NAME(args)` form only for parser-canonical identifiers;
+  // everything else — colon-free relative IRIs, empty IRIs, lower-case
+  // or keyword-colliding names — must keep the <iri>(args) form
+  // (fuzzer-found: `<>(?a)` used to re-serialize as `(?a)`).
+  ExpectStableRoundTrip("SELECT * WHERE { ?s ?p ?o . FILTER (<>(?a)) }");
+  ExpectStableRoundTrip("SELECT * WHERE { ?s ?p ?o . FILTER (<abc>(?a)) }");
+  ExpectStableRoundTrip(
+      "SELECT * WHERE { ?s ?p ?o . FILTER (<http://e.org/f>(?a, 1)) }");
+  // <DISTINCT>(?x) must not serialize bare: SUM(DISTINCT(?x)) reparses
+  // as the aggregate's DISTINCT modifier (review-found).
+  ExpectStableRoundTrip(
+      "SELECT (SUM(<DISTINCT>(?x)) AS ?s) WHERE { ?a ?b ?x } GROUP BY ?a");
+  Expr call = Expr::Call("DISTINCT", {Expr::MakeVar("x")});
+  EXPECT_EQ(SerializeExpr(call), "<DISTINCT>(?x)");
+  EXPECT_EQ(SerializeExpr(Expr::Call("REGEX", {Expr::MakeVar("x")})),
+            "REGEX(?x)");
+}
+
 TEST(SerializerTest, TripleToString) {
   TriplePattern tp = TriplePattern::Make(
       rdf::Term::Var("s"), rdf::Term::Iri("http://p"),

@@ -124,6 +124,57 @@ TEST(StreakTest, BucketBoundaries) {
   EXPECT_EQ(r.longest, 169u);
 }
 
+TEST(StreakTest, BoundaryValues10And100LandInTheLowerBucket) {
+  // The Table 6 buckets are [10i+1, 10i+10]: a streak of exactly 10
+  // belongs to bucket 0 and exactly 100 to bucket 9 — the two spots an
+  // off-by-one in (length - 1) / 10 would move.
+  StreakReport ten;
+  ten.AddStreakLength(10);
+  EXPECT_EQ(ten.counts[0], 1u);
+  EXPECT_EQ(ten.counts[1], 0u);
+  StreakReport hundred;
+  hundred.AddStreakLength(100);
+  EXPECT_EQ(hundred.counts[9], 1u);
+  EXPECT_EQ(hundred.counts[10], 0u);
+}
+
+TEST(StreakTest, MergeWithEmptyIsIdentity) {
+  StreakReport r;
+  r.AddStreakLength(3);
+  r.AddStreakLength(42);
+  r.queries_processed = 7;
+  StreakReport copy = r;
+  r.Merge(StreakReport{});
+  EXPECT_EQ(r.counts[0], copy.counts[0]);
+  EXPECT_EQ(r.counts[4], copy.counts[4]);
+  EXPECT_EQ(r.total_streaks, copy.total_streaks);
+  EXPECT_EQ(r.longest, copy.longest);
+  EXPECT_EQ(r.queries_processed, copy.queries_processed);
+}
+
+TEST(StreakTest, MergeIsOrderIndependent) {
+  StreakReport a;
+  a.AddStreakLength(5);
+  a.AddStreakLength(101);
+  a.queries_processed = 10;
+  StreakReport b;
+  b.AddStreakLength(10);
+  b.AddStreakLength(55);
+  b.queries_processed = 3;
+
+  StreakReport ab = a;
+  ab.Merge(b);
+  StreakReport ba = b;
+  ba.Merge(a);
+  for (size_t i = 0; i < 11; ++i) EXPECT_EQ(ab.counts[i], ba.counts[i]);
+  EXPECT_EQ(ab.total_streaks, ba.total_streaks);
+  EXPECT_EQ(ab.longest, ba.longest);
+  EXPECT_EQ(ab.queries_processed, ba.queries_processed);
+  EXPECT_EQ(ab.total_streaks, 4u);
+  EXPECT_EQ(ab.longest, 101u);
+  EXPECT_EQ(ab.queries_processed, 13u);
+}
+
 TEST(StreakTest, QueriesProcessedCounted) {
   StreakReport r = Detect({"SELECT ?x WHERE { ?x <p> ?y }",
                         "ASK { <aa> <bb> <cc> }"});

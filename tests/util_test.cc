@@ -286,5 +286,51 @@ TEST(HistogramTest, NegativeClampsToZero) {
   EXPECT_EQ(h.Count(0), 1u);
 }
 
+TEST(HistogramTest, ValuesExactlyOnBucketLimits) {
+  // The edge buckets are where an off-by-one would hide: the last
+  // direct value must not spill into overflow, and the first value
+  // past it must not land in a direct bucket.
+  BucketHistogram h(10);
+  h.Add(9);
+  h.Add(10);  // == max_direct: last direct bucket
+  h.Add(11);  // first overflow value
+  EXPECT_EQ(h.Count(9), 1u);
+  EXPECT_EQ(h.Count(10), 1u);
+  EXPECT_EQ(h.Overflow(), 1u);
+  EXPECT_EQ(h.Total(), 3u);
+
+  BucketHistogram one(1);
+  one.Add(0);
+  one.Add(1);
+  one.Add(2);
+  EXPECT_EQ(one.Count(0), 1u);
+  EXPECT_EQ(one.Count(1), 1u);
+  EXPECT_EQ(one.Overflow(), 1u);
+}
+
+TEST(HistogramTest, WeightedAddOnBoundary) {
+  BucketHistogram h(11);
+  h.Add(11, 5);
+  h.Add(12, 7);
+  EXPECT_EQ(h.Count(11), 5u);
+  EXPECT_EQ(h.Overflow(), 7u);
+}
+
+TEST(HistogramTest, MergeAddsBucketwiseAndRejectsLayoutMismatch) {
+  BucketHistogram a(5), b(5);
+  a.Add(5);
+  b.Add(5);
+  b.Add(6);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(5), 2u);
+  EXPECT_EQ(a.Overflow(), 1u);
+
+  BucketHistogram empty(5);
+  a.Merge(empty);  // identity
+  EXPECT_EQ(a.Count(5), 2u);
+  EXPECT_EQ(a.Overflow(), 1u);
+  EXPECT_EQ(a.Total(), 3u);
+}
+
 }  // namespace
 }  // namespace sparqlog::util
