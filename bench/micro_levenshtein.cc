@@ -4,8 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <string>
 
+#include "streaks/streaks.h"
 #include "util/levenshtein.h"
 #include "util/rng.h"
 
@@ -53,5 +55,71 @@ void BM_SimilarityTestDissimilar(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimilarityTestDissimilar);
+
+void BM_MyersLevenshtein(benchmark::State& state) {
+  // The bit-parallel exact distance at the same sizes as the classic
+  // DP above; <= 64 runs entirely in registers, larger sizes blocked.
+  std::string a = MakeQuery(static_cast<size_t>(state.range(0)), 1);
+  std::string b = MakeQuery(static_cast<size_t>(state.range(0)), 2);
+  util::LevenshteinScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::MyersLevenshtein(a, b, scratch));
+  }
+}
+BENCHMARK(BM_MyersLevenshtein)->Arg(64)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_MyersBounded(benchmark::State& state) {
+  // The streak hot path's DP: bit-parallel with the 25% budget cutoff,
+  // on a near-miss pair (the kind the prefilters cannot reject).
+  std::string a = MakeQuery(static_cast<size_t>(state.range(0)), 1);
+  std::string b = a;
+  for (size_t i = 10; i < b.size(); i += 37) b[i] = '#';
+  size_t budget = a.size() / 4;
+  util::LevenshteinScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        util::MyersBoundedLevenshtein(a, b, budget, scratch));
+  }
+}
+BENCHMARK(BM_MyersBounded)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_BoundedScratchVsAllocating(benchmark::State& state) {
+  // The banded DP with caller scratch — isolates the allocation cost
+  // against BM_BoundedLevenshtein above.
+  std::string a = MakeQuery(static_cast<size_t>(state.range(0)), 1);
+  std::string b = MakeQuery(static_cast<size_t>(state.range(0)), 2);
+  size_t budget = a.size() / 4;
+  util::LevenshteinScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        util::BoundedLevenshtein(a, b, budget, scratch));
+  }
+}
+BENCHMARK(BM_BoundedScratchVsAllocating)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_PrefilterCascade(benchmark::State& state) {
+  // Fingerprint bounds on a dissimilar pair: what the streak detector
+  // pays per window pair *instead of* a Levenshtein call.
+  std::string a = MakeQuery(512, 1);
+  std::string b = "ASK { <completely> <different> <query> }";
+  streaks::QueryFingerprint fa = streaks::FingerprintOf(a);
+  streaks::QueryFingerprint fb = streaks::FingerprintOf(b);
+  for (auto _ : state) {
+    size_t bound = std::max(streaks::CharmapLowerBound(fa, fb),
+                            streaks::HistogramLowerBound(fa, fb));
+    benchmark::DoNotOptimize(bound);
+  }
+}
+BENCHMARK(BM_PrefilterCascade);
+
+void BM_Fingerprint(benchmark::State& state) {
+  // The once-per-query fingerprint pass the cascade amortizes over up
+  // to `window` pair comparisons.
+  std::string a = MakeQuery(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(streaks::FingerprintOf(a));
+  }
+}
+BENCHMARK(BM_Fingerprint)->Arg(128)->Arg(512);
 
 }  // namespace

@@ -2,14 +2,207 @@
 // DBpedia logs (window 30, normalized Levenshtein <= 25% after prefix
 // removal). The paper's day logs (273MiB / 803MiB / 1004MiB) are
 // simulated by planted refinement sessions of proportional sizes.
+//
+// The run is also the streak fast-path benchmark and divergence gate:
+// each day log goes through (1) the pre-change reference detector
+// (per-pair banded DP, no prefilters, per-query string copies),
+// (2) the optimized serial StreakDetector, and (3) the sharded
+// StreakStage — timing each, counting allocations per query, and
+// recording how many Levenshtein calls every prefilter tier avoided.
+// Results land in BENCH_streaks.json (override with SPARQLOG_BENCH_JSON)
+// and the process exits non-zero if any path's StreakReport differs
+// from the reference in any field.
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
 #include <iostream>
+#include <new>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "corpus/generator.h"
 #include "corpus/profile.h"
+#include "pipeline/streak_stage.h"
 #include "streaks/streaks.h"
+#include "util/levenshtein.h"
 #include "util/strings.h"
 #include "util/table.h"
+
+// --------------------------------------------------------------------------
+// Global allocation counters (same pattern as bench_ingest_hotpath):
+// operator new/delete overridden so allocs/query is a first-class,
+// regression-checkable metric.
+// --------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_alloc_bytes{0};
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace sparqlog;
+
+// --------------------------------------------------------------------------
+// The pre-change detector, kept verbatim as the timing baseline and the
+// report oracle: per-pair SimilarByLevenshtein through the allocating
+// banded DP, no fingerprints, no prefilters, a std::string per query.
+// --------------------------------------------------------------------------
+namespace reference {
+
+/// The pre-change banded DP, verbatim: two fresh heap rows per call.
+size_t BoundedLevenshteinAlloc(std::string_view a, std::string_view b,
+                               size_t max_dist) {
+  if (a.size() < b.size()) std::swap(a, b);
+  size_t n = a.size(), m = b.size();
+  if (n - m > max_dist) return max_dist + 1;
+  if (max_dist == 0) return a == b ? 0 : 1;
+
+  const size_t kInf = max_dist + 1;
+  std::vector<size_t> row(m + 1, kInf), next(m + 1, kInf);
+  size_t lo0 = 0, hi0 = std::min(m, max_dist);
+  for (size_t j = lo0; j <= hi0; ++j) row[j] = j;
+
+  for (size_t i = 1; i <= n; ++i) {
+    size_t lo = (i > max_dist) ? i - max_dist : 0;
+    size_t hi = std::min(m, i + max_dist);
+    if (lo > hi) return kInf;
+    std::fill(next.begin() + static_cast<long>(lo),
+              next.begin() + static_cast<long>(hi) + 1, kInf);
+    if (lo >= 1) next[lo - 1] = kInf;
+    size_t best = kInf;
+    for (size_t j = lo; j <= hi; ++j) {
+      size_t v = kInf;
+      if (j == 0) {
+        v = i;
+      } else {
+        size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+        size_t diag = row[j - 1];
+        v = std::min(v, diag == kInf ? kInf : diag + cost);
+        if (row[j] != kInf) v = std::min(v, row[j] + 1);
+        if (next[j - 1] != kInf) v = std::min(v, next[j - 1] + 1);
+      }
+      if (v > kInf) v = kInf;
+      next[j] = v;
+      best = std::min(best, v);
+    }
+    if (best > max_dist) return kInf;
+    std::swap(row, next);
+  }
+  return std::min(row[m], kInf);
+}
+
+class StreakDetector {
+ public:
+  explicit StreakDetector(streaks::StreakOptions options)
+      : options_(options) {}
+
+  void Add(const std::string& raw_query) {
+    Entry entry;
+    entry.text = options_.strip_prologue ? streaks::StripPrologue(raw_query)
+                                         : raw_query;
+    entry.index = next_index_++;
+    ++report_.queries_processed;
+    while (!window_.empty() &&
+           next_index_ - window_.front().index > options_.window) {
+      const Entry& old = window_.front();
+      if (!old.extended) report_.AddStreakLength(old.streak_length);
+      window_.pop_front();
+    }
+    bool matched_any = false;
+    for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+      size_t longer = std::max(it->text.size(), entry.text.size());
+      bool similar;
+      if (longer == 0) {
+        similar = true;
+      } else {
+        size_t budget = static_cast<size_t>(std::floor(
+            options_.similarity_threshold * static_cast<double>(longer)));
+        similar =
+            BoundedLevenshteinAlloc(it->text, entry.text, budget) <= budget;
+      }
+      if (!similar) continue;
+      if (!it->has_later_similar) {
+        if (!matched_any || it->streak_length + 1 > entry.streak_length) {
+          entry.streak_length = it->streak_length + 1;
+        }
+        it->extended = true;
+        matched_any = true;
+      }
+      it->has_later_similar = true;
+    }
+    window_.push_back(std::move(entry));
+  }
+
+  streaks::StreakReport Finish() {
+    for (const Entry& e : window_) {
+      if (!e.extended) report_.AddStreakLength(e.streak_length);
+    }
+    window_.clear();
+    streaks::StreakReport out = report_;
+    report_ = streaks::StreakReport();
+    next_index_ = 0;
+    return out;
+  }
+
+ private:
+  struct Entry {
+    std::string text;
+    size_t index;
+    bool has_later_similar = false;
+    uint64_t streak_length = 1;
+    bool extended = false;
+  };
+  streaks::StreakOptions options_;
+  std::deque<Entry> window_;
+  size_t next_index_ = 0;
+  streaks::StreakReport report_;
+};
+
+}  // namespace reference
+
+struct PathResult {
+  double seconds = 0;
+  uint64_t allocations = 0;
+  uint64_t bytes_allocated = 0;
+  streaks::StreakReport report;
+};
+
+template <typename Fn>
+PathResult TimePath(Fn&& fn) {
+  PathResult r;
+  uint64_t bytes0 = g_alloc_bytes.load(std::memory_order_relaxed);
+  uint64_t count0 = g_alloc_count.load(std::memory_order_relaxed);
+  auto start = std::chrono::steady_clock::now();
+  r.report = fn();
+  r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  r.bytes_allocated = g_alloc_bytes.load(std::memory_order_relaxed) - bytes0;
+  r.allocations = g_alloc_count.load(std::memory_order_relaxed) - count0;
+  return r;
+}
+
+}  // namespace
 
 int main() {
   using namespace sparqlog;
@@ -18,6 +211,10 @@ int main() {
   if (const char* env = std::getenv("SPARQLOG_STREAK_QUERIES")) {
     base = std::strtoull(env, nullptr, 10);
   }
+  const char* json_path_env = std::getenv("SPARQLOG_BENCH_JSON");
+  const std::string json_path =
+      json_path_env != nullptr ? json_path_env : "BENCH_streaks.json";
+
   // Day-log sizes proportional to the paper's 273 / 803 / 1004 MiB.
   struct Day {
     const char* dataset;
@@ -33,6 +230,11 @@ int main() {
   std::cout << "Table 6: streak lengths in three single-day logs "
                "(window 30, Levenshtein <= 25%)\n\n";
   streaks::StreakReport reports[3];
+  PathResult reference_results[3], fast_results[3], sharded_results[3];
+  streaks::PrefilterStats fast_stats[3];
+  pipeline::StreakStageResult stage_results[3];
+  size_t day_queries[3] = {0, 0, 0};
+  bool diverged = false;
   auto profiles = corpus::PaperProfiles();
   for (int d = 0; d < 3; ++d) {
     const corpus::DatasetProfile& profile =
@@ -40,9 +242,45 @@ int main() {
     auto log = corpus::GenerateStreakLog(profile, days[d].queries,
                                          days[d].session_rate,
                                          static_cast<uint64_t>(77 + d));
-    streaks::StreakDetector detector;
-    for (const std::string& q : log) detector.Add(q);
-    reports[d] = detector.Finish();
+    day_queries[d] = log.size();
+
+    streaks::StreakOptions options;
+    reference_results[d] = TimePath([&] {
+      reference::StreakDetector detector(options);
+      for (const std::string& q : log) detector.Add(q);
+      return detector.Finish();
+    });
+    streaks::PrefilterStats day_stats;
+    fast_results[d] = TimePath([&] {
+      streaks::StreakDetector detector(options);
+      for (const std::string& q : log) detector.Add(q);
+      streaks::StreakReport report = detector.Finish();
+      day_stats = detector.prefilter_stats();
+      return report;
+    });
+    fast_stats[d] = day_stats;
+    sharded_results[d] = TimePath([&] {
+      pipeline::StreakStageOptions stage_options;
+      stage_options.streak = options;
+      stage_results[d] = pipeline::StreakStage(stage_options).Run(log);
+      return stage_results[d].report;
+    });
+
+    reports[d] = fast_results[d].report;
+    if (!(reference_results[d].report == fast_results[d].report)) {
+      std::fprintf(stderr,
+                   "FAIL: fast serial report diverges from the reference "
+                   "detector on %s\n",
+                   days[d].dataset);
+      diverged = true;
+    }
+    if (!(reference_results[d].report == sharded_results[d].report)) {
+      std::fprintf(stderr,
+                   "FAIL: sharded report diverges from the reference "
+                   "detector on %s\n",
+                   days[d].dataset);
+      diverged = true;
+    }
   }
 
   util::Table table({"Streak length", "#DBP'14", "#DBP'15", "#DBP'16",
@@ -67,5 +305,113 @@ int main() {
   std::cout << "\nLongest streaks: " << reports[0].longest << " / "
             << reports[1].longest << " / " << reports[2].longest
             << " (paper: longest 169, in the 2016 log)\n";
+
+  // ---- Fast-path scoreboard ----
+  std::cout << "\nStreak throughput (queries/sec) and allocations/query:\n";
+  util::Table perf({"Day", "Queries", "Reference q/s", "Fast q/s",
+                    "Sharded q/s", "Speedup", "Ref allocs/q",
+                    "Fast allocs/q"});
+  for (int d = 0; d < 3; ++d) {
+    double n = static_cast<double>(day_queries[d]);
+    double ref_qps =
+        reference_results[d].seconds > 0 ? n / reference_results[d].seconds : 0;
+    double fast_qps =
+        fast_results[d].seconds > 0 ? n / fast_results[d].seconds : 0;
+    double sharded_qps =
+        sharded_results[d].seconds > 0 ? n / sharded_results[d].seconds : 0;
+    double speedup = reference_results[d].seconds > 0 && fast_results[d].seconds > 0
+                         ? reference_results[d].seconds / fast_results[d].seconds
+                         : 0;
+    char speedup_buf[32];
+    std::snprintf(speedup_buf, sizeof(speedup_buf), "%.1fx", speedup);
+    perf.AddRow(
+        {days[d].dataset, util::WithThousands(static_cast<long long>(n)),
+         util::WithThousands(static_cast<long long>(ref_qps)),
+         util::WithThousands(static_cast<long long>(fast_qps)),
+         util::WithThousands(static_cast<long long>(sharded_qps)), speedup_buf,
+         std::to_string(reference_results[d].allocations /
+                        std::max<uint64_t>(1, day_queries[d])),
+         std::to_string(fast_results[d].allocations /
+                        std::max<uint64_t>(1, day_queries[d]))});
+  }
+  perf.Print(std::cout);
+
+  std::cout << "\nPrefilter cascade (DBP'16 day): ";
+  {
+    const streaks::PrefilterStats& s = fast_stats[2];
+    std::cout << util::WithThousands(static_cast<long long>(s.pairs))
+              << " pairs -> "
+              << util::WithThousands(
+                     static_cast<long long>(s.exact_hash_hits))
+              << " exact-hash, "
+              << util::WithThousands(static_cast<long long>(s.length_rejects))
+              << " length, "
+              << util::WithThousands(
+                     static_cast<long long>(s.charmap_rejects))
+              << " charmap, "
+              << util::WithThousands(
+                     static_cast<long long>(s.histogram_rejects))
+              << " histogram, "
+              << util::WithThousands(
+                     static_cast<long long>(s.levenshtein_calls))
+              << " reached the DP\n";
+  }
+
+  // ---- BENCH_streaks.json ----
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"bench\": \"table6_streaks\",\n"
+       << "  \"base_queries\": " << base << ",\n"
+       << "  \"days\": [\n";
+  for (int d = 0; d < 3; ++d) {
+    double n = static_cast<double>(day_queries[d]);
+    auto qps = [n](const PathResult& r) {
+      return r.seconds > 0 ? static_cast<uint64_t>(n / r.seconds) : 0;
+    };
+    const streaks::PrefilterStats& s = fast_stats[d];
+    json << "    {\n"
+         << "      \"dataset\": \"" << days[d].dataset << "\",\n"
+         << "      \"queries\": " << day_queries[d] << ",\n"
+         << "      \"reference\": {\"seconds\": "
+         << reference_results[d].seconds
+         << ", \"lines_per_sec\": " << qps(reference_results[d])
+         << ", \"allocations\": " << reference_results[d].allocations
+         << ", \"bytes_allocated\": " << reference_results[d].bytes_allocated
+         << "},\n"
+         << "      \"fast_serial\": {\"seconds\": " << fast_results[d].seconds
+         << ", \"lines_per_sec\": " << qps(fast_results[d])
+         << ", \"allocations\": " << fast_results[d].allocations
+         << ", \"bytes_allocated\": " << fast_results[d].bytes_allocated
+         << "},\n"
+         << "      \"sharded\": {\"seconds\": " << sharded_results[d].seconds
+         << ", \"lines_per_sec\": " << qps(sharded_results[d])
+         << ", \"threads\": " << stage_results[d].threads
+         << ", \"chunks\": " << stage_results[d].chunks << "},\n"
+         << "      \"speedup_fast_vs_reference\": "
+         << (fast_results[d].seconds > 0
+                 ? reference_results[d].seconds / fast_results[d].seconds
+                 : 0)
+         << ",\n"
+         << "      \"prefilter\": {\"pairs\": " << s.pairs
+         << ", \"exact_hash_hits\": " << s.exact_hash_hits
+         << ", \"length_rejects\": " << s.length_rejects
+         << ", \"charmap_rejects\": " << s.charmap_rejects
+         << ", \"histogram_rejects\": " << s.histogram_rejects
+         << ", \"levenshtein_calls\": " << s.levenshtein_calls << "},\n"
+         << "      \"longest\": " << reports[d].longest << "\n"
+         << "    }" << (d < 2 ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"reports_match\": " << (diverged ? "false" : "true") << "\n"
+       << "}\n";
+  json.close();
+  std::cout << "\nWrote " << json_path << "\n";
+
+  if (diverged) {
+    std::fprintf(stderr,
+                 "FAIL: fast-path StreakReport diverged from the reference "
+                 "detector\n");
+    return 1;
+  }
   return 0;
 }

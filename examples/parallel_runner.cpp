@@ -11,6 +11,11 @@
 //   --shards <n>              dedup/analysis shards (default: threads)
 //   --chunk-size <n>          lines per work chunk (default 512)
 //   --verify                  compare against the serial path
+//   --streaks                 run the sharded Section 8 streak stage
+//                             instead of the corpus pipeline (a logfile
+//                             is read as one query per line; --generate
+//                             plants refinement sessions; --chunk-size
+//                             becomes queries per streak chunk)
 
 #include <chrono>
 #include <fstream>
@@ -24,6 +29,8 @@
 #include "corpus/report.h"
 #include "pipeline/merge.h"
 #include "pipeline/pipeline.h"
+#include "pipeline/streak_stage.h"
+#include "streaks/streaks.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -35,6 +42,86 @@ double Seconds(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// --streaks mode: the sharded streak stage end to end, with optional
+/// bit-exact verification against the serial detector.
+int RunStreakStage(const std::vector<std::string>& queries,
+                   const std::string& source, int threads, size_t chunk_size,
+                   bool verify) {
+  using namespace sparqlog;
+  pipeline::StreakStageOptions options;
+  options.threads = threads;
+  options.chunk_size = chunk_size;
+  pipeline::StreakStage stage(options);
+
+  auto start = std::chrono::steady_clock::now();
+  pipeline::StreakStageResult result = stage.Run(queries);
+  double elapsed = Seconds(start);
+
+  std::cout << "Streak stage over " << source << " ("
+            << util::WithThousands(
+                   static_cast<long long>(result.report.queries_processed))
+            << " queries, " << result.threads << " threads, "
+            << result.chunks << " chunks)\n\n";
+
+  util::Table table({"Streak length", "Count"});
+  for (int b = 0; b < 11; ++b) {
+    std::string label = b < 10 ? std::to_string(b * 10 + 1) + "-" +
+                                     std::to_string(b * 10 + 10)
+                               : ">100";
+    table.AddRow({label, util::WithThousands(static_cast<long long>(
+                             result.report.counts[b]))});
+  }
+  table.Print(std::cout);
+  std::cout << "\nStreaks: "
+            << util::WithThousands(
+                   static_cast<long long>(result.report.total_streaks))
+            << ", longest " << result.report.longest << "\n";
+  const streaks::PrefilterStats& pf = result.prefilter;
+  std::cout << "Prefilter cascade: "
+            << util::WithThousands(static_cast<long long>(pf.pairs))
+            << " pairs, Levenshtein calls avoided: "
+            << util::WithThousands(static_cast<long long>(
+                   pf.exact_hash_hits + pf.length_rejects +
+                   pf.charmap_rejects + pf.histogram_rejects))
+            << " (exact-hash "
+            << util::WithThousands(static_cast<long long>(pf.exact_hash_hits))
+            << ", length "
+            << util::WithThousands(static_cast<long long>(pf.length_rejects))
+            << ", charmap "
+            << util::WithThousands(static_cast<long long>(pf.charmap_rejects))
+            << ", histogram "
+            << util::WithThousands(
+                   static_cast<long long>(pf.histogram_rejects))
+            << "), reached DP "
+            << util::WithThousands(
+                   static_cast<long long>(pf.levenshtein_calls))
+            << "\n";
+  std::cout << "Throughput: "
+            << util::WithThousands(static_cast<long long>(
+                   elapsed > 0 ? static_cast<double>(queries.size()) / elapsed
+                               : 0))
+            << " queries/sec (" << elapsed << " s)\n";
+
+  if (verify) {
+    streaks::StreakDetector detector;
+    start = std::chrono::steady_clock::now();
+    for (const std::string& q : queries) detector.Add(q);
+    streaks::StreakReport serial = detector.Finish();
+    double serial_elapsed = Seconds(start);
+    bool ok = serial == result.report;
+    std::cout << "\nSerial detector: " << serial_elapsed << " s; reports "
+              << (ok ? "MATCH" : "DIFFER") << "\n";
+    if (!ok) {
+      std::cerr << "serial/sharded streak divergence: streaks "
+                << serial.total_streaks << " vs "
+                << result.report.total_streaks << ", longest "
+                << serial.longest << " vs " << result.report.longest << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -44,6 +131,8 @@ int main(int argc, char** argv) {
   std::string logfile;
   uint64_t entries = 5000;
   bool verify = false;
+  bool streaks_mode = false;
+  bool chunk_size_set = false;
   pipeline::PipelineOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -64,8 +153,11 @@ int main(int argc, char** argv) {
       options.shards = std::stoull(next("--shards"));
     } else if (arg == "--chunk-size") {
       options.chunk_size = std::stoull(next("--chunk-size"));
+      chunk_size_set = true;
     } else if (arg == "--verify") {
       verify = true;
+    } else if (arg == "--streaks") {
+      streaks_mode = true;
     } else if (!arg.empty() && arg[0] != '-') {
       logfile = arg;
     } else {
@@ -73,7 +165,36 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (generate.empty() && logfile.empty()) generate = "DBpedia15";
+  if (generate.empty() && logfile.empty()) {
+    generate = streaks_mode ? "DBpedia16" : "DBpedia15";
+  }
+
+  // ---- Streak mode: ordered queries through the sharded streak stage ----
+  if (streaks_mode) {
+    std::vector<std::string> queries;
+    std::string source;
+    if (!logfile.empty()) {
+      std::ifstream in(logfile);
+      if (!in) {
+        std::cerr << "cannot open " << logfile << "\n";
+        return 2;
+      }
+      std::string line;
+      while (std::getline(in, line)) queries.push_back(std::move(line));
+      source = logfile;
+    } else {
+      auto profiles = corpus::PaperProfiles();
+      std::string dataset = generate == "all" ? "DBpedia16" : generate;
+      const corpus::DatasetProfile& profile =
+          corpus::ProfileByName(profiles, dataset);
+      queries = corpus::GenerateStreakLog(profile, entries, 0.3, 2026);
+      source = "synthetic:" + dataset;
+    }
+    // Unless the user pinned a chunk size, let the stage derive one
+    // chunk per worker.
+    return RunStreakStage(queries, source, options.threads,
+                          chunk_size_set ? options.chunk_size : 0, verify);
+  }
 
   // ---- Assemble the input (files are streamed, never slurped) ----
   std::vector<std::string> lines;

@@ -2,16 +2,20 @@
 //
 // From one fixed seed it (1) generates queries with the property-based
 // fuzzer and checks the round-trip / streaming-hash invariants,
-// (2) mutates log lines and checks the ingest invariants, and
-// (3) replays randomized serial-vs-parallel digest equivalence rounds.
+// (2) mutates log lines and checks the ingest invariants, (3) replays
+// randomized serial-vs-parallel digest equivalence rounds, and
+// (4) replays randomized serial-vs-sharded streak-report equivalence
+// rounds on fuzzed refinement-session logs.
 // Any violation is greedily shrunk to a minimal reproducer, printed as
 // a ready-to-paste unit test, appended to --out, and fails the run.
 //
 // Usage:
 //   fuzz_roundtrip [--seed N] [--queries N] [--lines N]
-//                  [--pipeline-rounds N] [--pipeline-lines N] [--out PATH]
+//                  [--pipeline-rounds N] [--pipeline-lines N]
+//                  [--streak-rounds N] [--streak-queries N] [--out PATH]
 // Environment overrides (for CI): SPARQLOG_FUZZ_SEED, SPARQLOG_FUZZ_QUERIES,
-// SPARQLOG_FUZZ_LINES, SPARQLOG_FUZZ_PIPELINE_ROUNDS.
+// SPARQLOG_FUZZ_LINES, SPARQLOG_FUZZ_PIPELINE_ROUNDS,
+// SPARQLOG_FUZZ_STREAK_ROUNDS.
 
 #include <cstdint>
 #include <cstdio>
@@ -43,6 +47,8 @@ struct Config {
   long lines = 10000;
   long pipeline_rounds = 4;
   long pipeline_lines = 1500;
+  long streak_rounds = 6;
+  long streak_queries = 400;
   std::string out_path = "fuzz_reproducers.txt";
 };
 
@@ -59,6 +65,8 @@ Config ParseArgs(int argc, char** argv) {
   config.lines = EnvOrDefault("SPARQLOG_FUZZ_LINES", config.lines);
   config.pipeline_rounds =
       EnvOrDefault("SPARQLOG_FUZZ_PIPELINE_ROUNDS", config.pipeline_rounds);
+  config.streak_rounds =
+      EnvOrDefault("SPARQLOG_FUZZ_STREAK_ROUNDS", config.streak_rounds);
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* flag) {
       return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
@@ -73,6 +81,10 @@ Config ParseArgs(int argc, char** argv) {
       config.pipeline_rounds = std::atol(argv[++i]);
     } else if (arg("--pipeline-lines")) {
       config.pipeline_lines = std::atol(argv[++i]);
+    } else if (arg("--streak-rounds")) {
+      config.streak_rounds = std::atol(argv[++i]);
+    } else if (arg("--streak-queries")) {
+      config.streak_queries = std::atol(argv[++i]);
     } else if (arg("--out")) {
       config.out_path = argv[++i];
     }
@@ -267,6 +279,60 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "  pipeline rounds: %ld x %ld lines checked\n",
                  config.pipeline_rounds, config.pipeline_lines);
+  }
+
+  // Phase 4: randomized serial-vs-sharded streak-report equivalence on
+  // fuzzed refinement-session logs (duplicates, small edits, topic
+  // switches — the Section 8 workload shape).
+  {
+    sparqlog::util::Rng rng(config.seed ^ 0x5157EA4B00F5ULL);
+    sparqlog::testing::QueryFuzzOptions fuzz_options;
+    fuzz_options.seed = config.seed + 2;
+    sparqlog::testing::QueryFuzzer fuzzer(fuzz_options);
+    std::vector<std::string> bases;
+    for (int i = 0; i < 24; ++i) {
+      bases.push_back(sparqlog::sparql::Serialize(fuzzer.Next()));
+    }
+    for (long round = 0; round < config.streak_rounds; ++round) {
+      std::vector<std::string> log;
+      log.reserve(static_cast<size_t>(config.streak_queries));
+      std::string current = bases[rng.Below(bases.size())];
+      for (long i = 0; i < config.streak_queries; ++i) {
+        double roll = rng.NextDouble();
+        if (roll < 0.25) {
+          current = bases[rng.Below(bases.size())];
+        } else if (roll < 0.75 && !current.empty()) {
+          // Refinement-session edit: insert, delete, or flip one byte.
+          size_t pos = rng.Below(current.size());
+          switch (rng.Below(3)) {
+            case 0:
+              current.insert(pos, 1,
+                             static_cast<char>('a' + rng.Below(26)));
+              break;
+            case 1:
+              current.erase(pos, 1);
+              break;
+            default:
+              current[pos] = static_cast<char>('a' + rng.Below(26));
+              break;
+          }
+        }
+        log.push_back(current);
+      }
+      sparqlog::testing::StreakEquivalenceConfig streak_config =
+          sparqlog::testing::RandomStreakConfig(rng);
+      if (auto v = sparqlog::testing::CheckStreakEquivalence(log,
+                                                             streak_config)) {
+        ++violations;
+        std::fprintf(stderr, "VIOLATION [%s] %s (round %ld)\n",
+                     v->invariant.c_str(), v->detail.c_str(), round);
+        std::ofstream out(config.out_path, std::ios::app);
+        out << "// [" << v->invariant << "] " << v->detail << " (round "
+            << round << ", seed " << config.seed << ")\n";
+      }
+    }
+    std::fprintf(stderr, "  streak rounds: %ld x %ld queries checked\n",
+                 config.streak_rounds, config.streak_queries);
   }
 
   if (violations > 0) {

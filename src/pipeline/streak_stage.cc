@@ -1,0 +1,113 @@
+#include "pipeline/streak_stage.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace sparqlog::pipeline {
+
+namespace {
+
+/// Match edges of one chunk in CSR form: query j of the chunk matched
+/// the predecessors at gaps gaps[offsets[j] .. offsets[j+1]).
+struct ChunkEdges {
+  std::vector<uint32_t> gaps;
+  std::vector<uint32_t> offsets;
+};
+
+}  // namespace
+
+StreakStage::StreakStage(StreakStageOptions options)
+    : options_(std::move(options)) {
+  threads_ = options_.threads > 0
+                 ? options_.threads
+                 : static_cast<int>(std::thread::hardware_concurrency());
+  if (threads_ < 1) threads_ = 1;
+}
+
+StreakStageResult StreakStage::Run(
+    const std::vector<std::string>& queries) const {
+  StreakStageResult result;
+  result.threads = threads_;
+  const size_t n = queries.size();
+  const size_t window = options_.streak.window;
+  if (n == 0) {
+    result.chunks = 0;
+    return result;
+  }
+
+  size_t chunk_size = options_.chunk_size;
+  if (chunk_size == 0) {
+    chunk_size = (n + static_cast<size_t>(threads_) - 1) /
+                 static_cast<size_t>(threads_);
+    // A chunk narrower than the overlap pays more warmup than work.
+    chunk_size = std::max(chunk_size, window + 1);
+  }
+  chunk_size = std::max<size_t>(chunk_size, 1);
+  const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  result.chunks = num_chunks;
+
+  // ---- Parallel phase: per-chunk match edges. Workers claim chunks
+  // dynamically; every chunk is independent given its warmup overlap.
+  const size_t worker_count =
+      std::min<size_t>(static_cast<size_t>(threads_), num_chunks);
+  std::vector<ChunkEdges> edges(num_chunks);
+  std::vector<streaks::PrefilterStats> worker_stats(worker_count);
+  std::atomic<size_t> next_chunk{0};
+  auto worker = [&](size_t worker_index) {
+    // One window per worker: Reset() between chunks keeps the recycled
+    // text buffers and the Levenshtein scratch across the whole run.
+    streaks::SimilarityWindow win(options_.streak);
+    std::vector<uint32_t> gaps;
+    for (size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+         c < num_chunks;
+         c = next_chunk.fetch_add(1, std::memory_order_relaxed)) {
+      const size_t start = c * chunk_size;
+      const size_t end = std::min(n, start + chunk_size);
+      const size_t warm = start > window ? start - window : 0;
+      win.Reset();
+      for (size_t j = warm; j < start; ++j) {
+        win.Add(queries[j], gaps);  // state only; edges discarded
+      }
+      ChunkEdges& out = edges[c];
+      out.offsets.reserve(end - start + 1);
+      out.offsets.push_back(0);
+      for (size_t j = start; j < end; ++j) {
+        win.Add(queries[j], gaps);
+        out.gaps.insert(out.gaps.end(), gaps.begin(), gaps.end());
+        out.offsets.push_back(static_cast<uint32_t>(out.gaps.size()));
+      }
+    }
+    worker_stats[worker_index] = win.stats();
+  };
+
+  if (worker_count <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(worker_count);
+    for (size_t t = 0; t < worker_count; ++t) {
+      threads.emplace_back(worker, t);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (const streaks::PrefilterStats& stats : worker_stats) {
+    result.prefilter.Merge(stats);
+  }
+
+  // ---- Serial stitch: fold the edges, in log order, into streak
+  // lengths. Chains crossing a chunk boundary resolve here because the
+  // tracker's window carries over; per-chunk partials Merge exactly.
+  streaks::StreakChainTracker tracker(window);
+  for (const ChunkEdges& chunk : edges) {
+    for (size_t j = 0; j + 1 < chunk.offsets.size(); ++j) {
+      tracker.Add(chunk.gaps.data() + chunk.offsets[j],
+                  chunk.offsets[j + 1] - chunk.offsets[j]);
+    }
+    result.report.Merge(tracker.DrainFinalized());
+  }
+  result.report.Merge(tracker.Finish());
+  return result;
+}
+
+}  // namespace sparqlog::pipeline

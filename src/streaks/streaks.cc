@@ -1,10 +1,13 @@
 #include "streaks/streaks.h"
 
 #include <algorithm>
+#include <bit>
+#include <cctype>
+#include <cmath>
 #include <iterator>
+#include <utility>
 
-#include "util/levenshtein.h"
-#include "util/strings.h"
+#include "util/fnv.h"
 
 namespace sparqlog::streaks {
 
@@ -23,86 +26,237 @@ void StreakReport::Merge(const StreakReport& other) {
   queries_processed += other.queries_processed;
 }
 
-std::string StripPrologue(const std::string& query) {
-  static const char* kForms[] = {"SELECT", "ASK", "CONSTRUCT", "DESCRIBE"};
-  size_t best = std::string::npos;
-  for (const char* form : kForms) {
-    size_t len = std::string(form).size();
-    for (size_t i = 0; i + len <= query.size(); ++i) {
-      if (util::EqualsIgnoreCase(std::string_view(query).substr(i, len),
-                                 form)) {
-        // Keyword boundary check: not inside an IRI or a longer word.
-        bool left_ok =
-            i == 0 || !(std::isalnum(static_cast<unsigned char>(
-                            query[i - 1])) ||
-                        query[i - 1] == ':' || query[i - 1] == '/' ||
-                        query[i - 1] == '#' || query[i - 1] == '_');
-        bool right_ok =
-            i + len == query.size() ||
-            !std::isalnum(static_cast<unsigned char>(query[i + len]));
-        if (left_ok && right_ok) {
-          best = std::min(best, i);
-          break;
-        }
+std::string_view StripPrologueView(std::string_view query) {
+  // One left-to-right scan; the first position where any of the four
+  // form keywords starts on a word boundary wins. Keyword dispatch is
+  // by first letter (the four forms start with distinct letters), and
+  // `c | 0x20` maps exactly {lower, upper} of an ASCII letter onto its
+  // lowercase form, so the comparison below equals EqualsIgnoreCase.
+  for (size_t i = 0; i < query.size(); ++i) {
+    std::string_view keyword;
+    switch (query[i] | 0x20) {
+      case 's': keyword = "select"; break;
+      case 'a': keyword = "ask"; break;
+      case 'c': keyword = "construct"; break;
+      case 'd': keyword = "describe"; break;
+      default: continue;
+    }
+    if (i + keyword.size() > query.size()) continue;
+    if (i > 0) {
+      // Keyword boundary check: not inside an IRI or a longer word.
+      unsigned char prev = static_cast<unsigned char>(query[i - 1]);
+      if (std::isalnum(prev) || prev == ':' || prev == '/' || prev == '#' ||
+          prev == '_') {
+        continue;
       }
     }
+    bool match = true;
+    for (size_t k = 1; k < keyword.size(); ++k) {
+      if ((query[i + k] | 0x20) != keyword[k]) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    if (i + keyword.size() < query.size() &&
+        std::isalnum(
+            static_cast<unsigned char>(query[i + keyword.size()]))) {
+      continue;
+    }
+    return query.substr(i);
   }
-  if (best == std::string::npos) return query;
-  return query.substr(best);
+  return query;
 }
 
-StreakDetector::StreakDetector(StreakOptions options)
+std::string StripPrologue(const std::string& query) {
+  return std::string(StripPrologueView(query));
+}
+
+QueryFingerprint FingerprintOf(std::string_view text) {
+  QueryFingerprint fp;
+  fp.length = static_cast<uint32_t>(text.size());
+  fp.hash = util::Fnv1aHash(text);
+  for (unsigned char c : text) {
+    fp.charmap[c >> 6] |= 1ULL << (c & 63);
+    if (fp.hist[c] != 255) ++fp.hist[c];
+  }
+  return fp;
+}
+
+size_t CharmapLowerBound(const QueryFingerprint& a,
+                         const QueryFingerprint& b) {
+  size_t only_a = 0, only_b = 0;
+  for (int w = 0; w < 4; ++w) {
+    only_a += static_cast<size_t>(std::popcount(a.charmap[w] & ~b.charmap[w]));
+    only_b += static_cast<size_t>(std::popcount(b.charmap[w] & ~a.charmap[w]));
+  }
+  return std::max(only_a, only_b);
+}
+
+size_t HistogramLowerBound(const QueryFingerprint& a,
+                           const QueryFingerprint& b) {
+  size_t positive = 0, negative = 0;
+  for (int c = 0; c < 256; ++c) {
+    int diff = static_cast<int>(a.hist[c]) - static_cast<int>(b.hist[c]);
+    if (diff > 0) {
+      positive += static_cast<size_t>(diff);
+    } else {
+      negative += static_cast<size_t>(-diff);
+    }
+  }
+  return std::max(positive, negative);
+}
+
+void PrefilterStats::Merge(const PrefilterStats& other) {
+  pairs += other.pairs;
+  exact_hash_hits += other.exact_hash_hits;
+  length_rejects += other.length_rejects;
+  charmap_rejects += other.charmap_rejects;
+  histogram_rejects += other.histogram_rejects;
+  levenshtein_calls += other.levenshtein_calls;
+}
+
+// ---------------------------------------------------------------------------
+// SimilarityWindow
+// ---------------------------------------------------------------------------
+
+SimilarityWindow::SimilarityWindow(StreakOptions options)
     : options_(std::move(options)) {}
 
-void StreakDetector::EvictExpired() {
-  while (!window_.empty() &&
-         next_index_ - window_.front().index > options_.window) {
-    const Entry& old = window_.front();
-    if (!old.extended) {
-      // No later query extended this streak: it is final.
-      report_.AddStreakLength(old.streak_length);
-    }
-    window_.pop_front();
+bool SimilarityWindow::Similar(const Slot& prev, const Slot& cand) {
+  ++stats_.pairs;
+  // The exact predicate (SimilarByLevenshtein): distance at most
+  // floor(threshold * longer). Every tier below either decides exactly
+  // or rejects on an admissible lower bound, so the cascade accepts a
+  // pair iff the exact predicate does.
+  size_t longer = std::max(prev.fp.length, cand.fp.length);
+  if (prev.fp.hash == cand.fp.hash && prev.fp.length == cand.fp.length &&
+      prev.text == cand.text) {
+    // Distance 0 <= any budget; the duplicate-heavy real-log case.
+    ++stats_.exact_hash_hits;
+    return true;
   }
+  size_t budget = static_cast<size_t>(
+      std::floor(options_.similarity_threshold * longer));
+  size_t length_gap = longer - std::min(prev.fp.length, cand.fp.length);
+  if (length_gap > budget) {
+    ++stats_.length_rejects;
+    return false;
+  }
+  if (CharmapLowerBound(prev.fp, cand.fp) > budget) {
+    ++stats_.charmap_rejects;
+    return false;
+  }
+  if (HistogramLowerBound(prev.fp, cand.fp) > budget) {
+    ++stats_.histogram_rejects;
+    return false;
+  }
+  ++stats_.levenshtein_calls;
+  return util::MyersBoundedLevenshtein(prev.text, cand.text, budget,
+                                       scratch_) <= budget;
 }
 
-void StreakDetector::Add(const std::string& raw_query) {
-  Entry entry;
-  entry.text = options_.strip_prologue ? StripPrologue(raw_query) : raw_query;
-  entry.index = next_index_++;
-  ++report_.queries_processed;
-  EvictExpired();
+void SimilarityWindow::Add(std::string_view raw_query,
+                           std::vector<uint32_t>& matched_gaps) {
+  matched_gaps.clear();
+  std::string_view text =
+      options_.strip_prologue ? StripPrologueView(raw_query) : raw_query;
+
+  size_t index = next_index_++;
+  while (!window_.empty() &&
+         next_index_ - window_.front().index > options_.window) {
+    spare_.push_back(std::move(window_.front().text));
+    window_.pop_front();
+  }
+
+  Slot slot;
+  if (!spare_.empty()) {
+    slot.text = std::move(spare_.back());
+    spare_.pop_back();
+  }
+  slot.text.assign(text.data(), text.size());
+  slot.fp = FingerprintOf(slot.text);
+  slot.index = index;
 
   // Scan the window from the most recent to the oldest. A predecessor
   // q_i matches iff similar(q_i, q_j) and no query between them was
   // similar to q_i — the latter is tracked by has_later_similar.
-  bool matched_any = false;
   for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
-    bool similar = util::SimilarByLevenshtein(it->text, entry.text,
-                                              options_.similarity_threshold);
-    if (!similar) continue;
+    if (!Similar(*it, slot)) continue;
     if (!it->has_later_similar) {
-      // q_j extends the streak ending at q_i.
-      if (!matched_any || it->streak_length + 1 > entry.streak_length) {
-        entry.streak_length = it->streak_length + 1;
-      }
-      it->extended = true;
-      matched_any = true;
+      matched_gaps.push_back(static_cast<uint32_t>(index - it->index));
     }
     it->has_later_similar = true;
   }
-  window_.push_back(std::move(entry));
+  window_.push_back(std::move(slot));
 }
 
-StreakReport StreakDetector::Finish() {
-  for (const Entry& e : window_) {
-    if (!e.extended) report_.AddStreakLength(e.streak_length);
+void SimilarityWindow::Reset() {
+  while (!window_.empty()) {
+    spare_.push_back(std::move(window_.front().text));
+    window_.pop_front();
   }
-  window_.clear();
+  next_index_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// StreakChainTracker
+// ---------------------------------------------------------------------------
+
+StreakChainTracker::StreakChainTracker(size_t window) : window_(window) {}
+
+void StreakChainTracker::Add(const uint32_t* gaps, size_t count) {
+  size_t index = next_index_++;
+  ++report_.queries_processed;
+  while (!nodes_.empty() && next_index_ - nodes_.front().index > window_) {
+    if (!nodes_.front().extended) {
+      // No later query extended this streak: it is final.
+      report_.AddStreakLength(nodes_.front().length);
+    }
+    nodes_.pop_front();
+  }
+  Node node;
+  node.index = index;
+  for (size_t k = 0; k < count; ++k) {
+    Node& matched = nodes_[index - gaps[k] - nodes_.front().index];
+    matched.extended = true;
+    node.length = std::max(node.length, matched.length + 1);
+  }
+  nodes_.push_back(node);
+}
+
+StreakReport StreakChainTracker::DrainFinalized() {
+  StreakReport out = report_;
+  report_ = StreakReport();
+  return out;
+}
+
+StreakReport StreakChainTracker::Finish() {
+  for (const Node& node : nodes_) {
+    if (!node.extended) report_.AddStreakLength(node.length);
+  }
+  nodes_.clear();
   StreakReport out = report_;
   report_ = StreakReport();
   next_index_ = 0;
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// StreakDetector
+// ---------------------------------------------------------------------------
+
+StreakDetector::StreakDetector(StreakOptions options)
+    : window_(options), tracker_(options.window) {}
+
+void StreakDetector::Add(std::string_view query) {
+  window_.Add(query, gaps_);
+  tracker_.Add(gaps_.data(), gaps_.size());
+}
+
+StreakReport StreakDetector::Finish() {
+  window_.Reset();
+  return tracker_.Finish();
 }
 
 }  // namespace sparqlog::streaks

@@ -4,7 +4,10 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "util/levenshtein.h"
 
 namespace sparqlog::streaks {
 
@@ -35,13 +38,142 @@ struct StreakReport {
   /// Exact when the partitions processed disjoint slices of the log;
   /// Merge with a default-constructed report is the identity.
   void Merge(const StreakReport& other);
+
+  /// Field-for-field equality — the divergence gates compare whole
+  /// reports with this, so a new field can never be silently skipped.
+  bool operator==(const StreakReport& other) const = default;
 };
 
 /// Removes the prologue (prefix/base declarations): returns the suffix
 /// of `query` starting at the first SELECT, ASK, CONSTRUCT, or DESCRIBE
 /// keyword (case-insensitive). Namespace prefixes "introduce superficial
-/// similarity" (Section 8).
+/// similarity" (Section 8). Zero-copy: the result views into `query`.
+std::string_view StripPrologueView(std::string_view query);
+
+/// Materializing convenience wrapper around StripPrologueView.
 std::string StripPrologue(const std::string& query);
+
+/// Per-query similarity fingerprint: everything the prefilter cascade
+/// needs to lower-bound the edit distance of a pair without reading the
+/// texts. Computed once per query in one O(length) pass.
+struct QueryFingerprint {
+  /// FNV-1a of the compared text — exact-duplicate short circuit.
+  uint64_t hash = 0;
+  uint32_t length = 0;
+  /// 256-bit character-occurrence bitmap (bit c set iff byte c occurs).
+  uint64_t charmap[4] = {0};
+  /// Saturating byte histogram (counts clamp at 255; clamping only
+  /// weakens the bound, never breaks admissibility).
+  uint8_t hist[256] = {0};
+};
+
+QueryFingerprint FingerprintOf(std::string_view text);
+
+/// Admissible lower bound from the occurrence bitmaps: every byte value
+/// present in one string but absent from the other needs at least one
+/// edit of its own. Eight word ops per pair.
+size_t CharmapLowerBound(const QueryFingerprint& a, const QueryFingerprint& b);
+
+/// Admissible bag-of-characters lower bound: with P (N) the total
+/// positive (negative) histogram excess, every edit reduces P by at
+/// most one and N by at most one, so distance >= max(P, N). Dominates
+/// CharmapLowerBound but costs a 256-entry scan.
+size_t HistogramLowerBound(const QueryFingerprint& a,
+                           const QueryFingerprint& b);
+
+/// Where each candidate pair of a streak run was decided. The cascade
+/// tiers are ordered cheapest first; a pair is counted against the
+/// first tier that settles it, and `levenshtein_calls` counts only the
+/// pairs that survived every prefilter and reached the DP.
+struct PrefilterStats {
+  uint64_t pairs = 0;
+  uint64_t exact_hash_hits = 0;
+  uint64_t length_rejects = 0;
+  uint64_t charmap_rejects = 0;
+  uint64_t histogram_rejects = 0;
+  uint64_t levenshtein_calls = 0;
+
+  void Merge(const PrefilterStats& other);
+};
+
+/// The streak hot path: a sliding window of fingerprinted queries that,
+/// for each new query, yields the index gaps of every predecessor it
+/// *matches* under the paper's definition — similar, within the window,
+/// and with no intermediate query similar to the predecessor. Window
+/// text lives in a per-window arena of recycled buffers, so steady-state
+/// operation allocates nothing per query.
+///
+/// Both the serial StreakDetector and the sharded pipeline stage are
+/// built on this one implementation, which is what makes their reports
+/// bit-identical by construction.
+class SimilarityWindow {
+ public:
+  explicit SimilarityWindow(StreakOptions options = StreakOptions());
+
+  /// Feeds the next query (in log order). Clears `matched_gaps` and
+  /// fills it with (current index - predecessor index) for every
+  /// matched predecessor, most recent first.
+  void Add(std::string_view raw_query, std::vector<uint32_t>& matched_gaps);
+
+  /// Forgets all window state (the recycled buffers are kept).
+  void Reset();
+
+  /// Cumulative cascade counters (not cleared by Reset).
+  const PrefilterStats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    std::string text;  // recycled through spare_, not reallocated
+    QueryFingerprint fp;
+    size_t index = 0;
+    /// Some later query within the window was similar to this one
+    /// (then earlier entries cannot match across it).
+    bool has_later_similar = false;
+  };
+
+  bool Similar(const Slot& prev, const Slot& cand);
+
+  StreakOptions options_;
+  std::deque<Slot> window_;
+  std::vector<std::string> spare_;  // evicted buffers awaiting reuse
+  size_t next_index_ = 0;
+  PrefilterStats stats_;
+  util::LevenshteinScratch scratch_;
+};
+
+/// Folds per-query match gaps into streak lengths and the Table 6
+/// report: length(q) = 1 + max length over matched predecessors, and a
+/// query nobody matched ends its streak. Shared by the serial detector
+/// and the sharded stage's stitch pass.
+class StreakChainTracker {
+ public:
+  explicit StreakChainTracker(size_t window);
+
+  /// Consumes the matched gaps of the next query (in log order).
+  void Add(const uint32_t* gaps, size_t count);
+
+  /// Moves out everything finalized so far (streaks that can no longer
+  /// be extended, plus the queries-processed count); chains still open
+  /// in the window stay pending. Lets the sharded stage produce
+  /// per-chunk partial reports that Merge into the exact total.
+  StreakReport DrainFinalized();
+
+  /// Flushes all open streaks, returns the report, and resets.
+  StreakReport Finish();
+
+ private:
+  struct Node {
+    uint64_t length = 1;
+    size_t index = 0;
+    /// Whether some later query extended this node's streak.
+    bool extended = false;
+  };
+
+  size_t window_;
+  size_t next_index_ = 0;
+  std::deque<Node> nodes_;
+  StreakReport report_;
+};
 
 /// Online streak detector over an ordered query log.
 ///
@@ -54,30 +186,18 @@ class StreakDetector {
   explicit StreakDetector(StreakOptions options = StreakOptions());
 
   /// Feeds the next query of the log (in log order).
-  void Add(const std::string& query);
+  void Add(std::string_view query);
 
   /// Flushes all open streaks and returns the report.
   StreakReport Finish();
 
+  /// Cascade counters for the whole lifetime of this detector.
+  const PrefilterStats& prefilter_stats() const { return window_.stats(); }
+
  private:
-  struct Entry {
-    std::string text;
-    size_t index;
-    /// Some later query within the window was similar to this one
-    /// (then earlier entries cannot match across it).
-    bool has_later_similar = false;
-    /// Length of the longest streak ending at this entry.
-    uint64_t streak_length = 1;
-    /// Whether some later query extended this entry's streak.
-    bool extended = false;
-  };
-
-  void EvictExpired();
-
-  StreakOptions options_;
-  std::deque<Entry> window_;
-  size_t next_index_ = 0;
-  StreakReport report_;
+  SimilarityWindow window_;
+  StreakChainTracker tracker_;
+  std::vector<uint32_t> gaps_;  // per-Add scratch
 };
 
 }  // namespace sparqlog::streaks

@@ -6,7 +6,9 @@
 #include "corpus/report.h"
 #include "pipeline/merge.h"
 #include "pipeline/pipeline.h"
+#include "pipeline/streak_stage.h"
 #include "sparql/serializer.h"
+#include "streaks/streaks.h"
 
 namespace sparqlog::testing {
 
@@ -209,6 +211,76 @@ std::optional<Violation> CheckSerialParallelEquivalence(
                    "");
   }
   return std::nullopt;
+}
+
+StreakEquivalenceConfig RandomStreakConfig(util::Rng& rng) {
+  StreakEquivalenceConfig config;
+  config.threads = static_cast<int>(1 + rng.Below(5));
+  // Tiny chunks force every streak across a stitch boundary; large ones
+  // test the fully-local case.
+  config.chunk_size = 1 + rng.Below(96);
+  config.window = 1 + rng.Below(40);
+  const double thresholds[] = {0.1, 0.25, 0.4};
+  config.similarity_threshold = thresholds[rng.Below(3)];
+  config.strip_prologue = rng.Chance(0.7);
+  return config;
+}
+
+std::optional<Violation> CheckStreakEquivalence(
+    const std::vector<std::string>& queries,
+    const StreakEquivalenceConfig& config) {
+  streaks::StreakOptions streak;
+  streak.window = config.window;
+  streak.similarity_threshold = config.similarity_threshold;
+  streak.strip_prologue = config.strip_prologue;
+
+  streaks::StreakDetector detector(streak);
+  for (const std::string& q : queries) detector.Add(q);
+  streaks::StreakReport serial = detector.Finish();
+
+  pipeline::StreakStageOptions options;
+  options.streak = streak;
+  options.threads = config.threads;
+  options.chunk_size = config.chunk_size;
+  streaks::StreakReport sharded =
+      pipeline::StreakStage(options).Run(queries).report;
+  if (serial == sharded) return std::nullopt;
+
+  // Diverged: name the first differing field for the report.
+  auto describe = [&config] {
+    return "threads=" + std::to_string(config.threads) +
+           " chunk=" + std::to_string(config.chunk_size) +
+           " window=" + std::to_string(config.window) + " threshold=" +
+           std::to_string(config.similarity_threshold) +
+           (config.strip_prologue ? " strip" : " nostrip");
+  };
+  auto mismatch = [&](const std::string& field, uint64_t a, uint64_t b) {
+    return Violate("streak-serial-sharded",
+                   "StreakReport." + field + " diverges (" + describe() +
+                       "): serial " + std::to_string(a) + " vs sharded " +
+                       std::to_string(b),
+                   "");
+  };
+  for (size_t i = 0; i < 11; ++i) {
+    if (serial.counts[i] != sharded.counts[i]) {
+      return mismatch("counts[" + std::to_string(i) + "]", serial.counts[i],
+                      sharded.counts[i]);
+    }
+  }
+  if (serial.total_streaks != sharded.total_streaks) {
+    return mismatch("total_streaks", serial.total_streaks,
+                    sharded.total_streaks);
+  }
+  if (serial.longest != sharded.longest) {
+    return mismatch("longest", serial.longest, sharded.longest);
+  }
+  if (serial.queries_processed != sharded.queries_processed) {
+    return mismatch("queries_processed", serial.queries_processed,
+                    sharded.queries_processed);
+  }
+  // operator== said unequal but no named field differs: a field was
+  // added to StreakReport without extending this diagnosis.
+  return mismatch("operator==", 0, 1);
 }
 
 }  // namespace sparqlog::testing

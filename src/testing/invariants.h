@@ -70,6 +70,27 @@ EquivalenceConfig RandomEquivalenceConfig(util::Rng& rng);
 std::optional<Violation> CheckSerialParallelEquivalence(
     const std::vector<std::string>& log, const EquivalenceConfig& config);
 
+/// One randomized configuration for the serial-vs-sharded streak check.
+struct StreakEquivalenceConfig {
+  int threads = 2;
+  size_t chunk_size = 64;
+  size_t window = 30;
+  double similarity_threshold = 0.25;
+  bool strip_prologue = true;
+};
+
+/// Samples thread/chunk/window/threshold combinations, biased toward
+/// the stress cases: chunks narrower than the window (every streak
+/// crosses a stitch boundary) and tiny windows (eviction edges move).
+StreakEquivalenceConfig RandomStreakConfig(util::Rng& rng);
+
+/// Runs `queries` through the serial StreakDetector and through the
+/// sharded StreakStage under `config`, then compares every field of the
+/// two StreakReports. Any difference is a violation.
+std::optional<Violation> CheckStreakEquivalence(
+    const std::vector<std::string>& queries,
+    const StreakEquivalenceConfig& config);
+
 }  // namespace sparqlog::testing
 
 #endif  // SPARQLOG_TESTING_INVARIANTS_H_

@@ -2,9 +2,139 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 namespace sparqlog::util {
+
+namespace {
+
+constexpr uint64_t kTopBit = 1ULL << 63;
+
+/// One column of the single-word Myers recurrence (Hyyro's formulation).
+/// `peq` is the pattern bitmask of the current text byte, `last` the bit
+/// of the pattern's final row. Returns the score delta (-1, 0, +1).
+inline int MyersStep(uint64_t peq, uint64_t last, uint64_t& vp,
+                     uint64_t& vn) {
+  uint64_t xv = peq | vn;
+  uint64_t xh = (((peq & vp) + vp) ^ vp) | peq;
+  uint64_t ph = vn | ~(xh | vp);
+  uint64_t mh = vp & xh;
+  int delta = 0;
+  if (ph & last) delta = 1;
+  if (mh & last) delta = -1;
+  ph = (ph << 1) | 1;
+  vn = ph & xv;
+  vp = (mh << 1) | ~(xv | ph);
+  return delta;
+}
+
+/// Single-word Myers: pattern `p` (|p| <= 64) against text `t`. When
+/// `max_dist` < SIZE_MAX, applies the lower-bound cutoff: the final
+/// score is at least score - (columns remaining), so once that exceeds
+/// the budget the distance cannot come back under it.
+size_t MyersSingleWord(std::string_view p, std::string_view t,
+                       size_t max_dist) {
+  uint64_t peq[256] = {0};
+  for (size_t i = 0; i < p.size(); ++i) {
+    peq[static_cast<unsigned char>(p[i])] |= 1ULL << i;
+  }
+  uint64_t vp = ~0ULL, vn = 0;
+  uint64_t last = 1ULL << (p.size() - 1);
+  size_t score = p.size();
+  for (size_t j = 0; j < t.size(); ++j) {
+    score = static_cast<size_t>(
+        static_cast<long long>(score) +
+        MyersStep(peq[static_cast<unsigned char>(t[j])], last, vp, vn));
+    size_t remaining = t.size() - j - 1;
+    if (score > max_dist && score - std::min(score, remaining) > max_dist) {
+      return max_dist + 1;
+    }
+  }
+  return score;
+}
+
+/// One column step of one 64-row block. `hin` in {-1, 0, +1} is the
+/// horizontal delta entering the block from below; returns the delta
+/// leaving its top row.
+inline int MyersBlockStep(uint64_t peq, uint64_t& vp, uint64_t& vn,
+                          int hin) {
+  uint64_t xv = peq | vn;
+  uint64_t eq = hin < 0 ? peq | 1 : peq;
+  uint64_t xh = (((eq & vp) + vp) ^ vp) | eq;
+  uint64_t ph = vn | ~(xh | vp);
+  uint64_t mh = vp & xh;
+  int hout = 0;
+  if (ph & kTopBit) hout = 1;
+  if (mh & kTopBit) hout = -1;
+  ph <<= 1;
+  mh <<= 1;
+  if (hin > 0) ph |= 1;
+  if (hin < 0) mh |= 1;
+  vn = ph & xv;
+  vp = mh | ~(xv | ph);
+  return hout;
+}
+
+/// Block-based Myers for patterns longer than 64 bytes. Exact distance
+/// with the same lower-bound cutoff as the single-word version.
+size_t MyersBlocked(std::string_view p, std::string_view t, size_t max_dist,
+                    LevenshteinScratch& scratch) {
+  const size_t blocks = (p.size() + 63) / 64;
+  scratch.peq.assign(blocks * 256, 0);
+  for (size_t i = 0; i < p.size(); ++i) {
+    scratch.peq[static_cast<unsigned char>(p[i]) * blocks + i / 64] |=
+        1ULL << (i % 64);
+  }
+  scratch.vp.assign(blocks, ~0ULL);
+  scratch.vn.assign(blocks, 0);
+  uint64_t last = 1ULL << ((p.size() - 1) % 64);
+  size_t score = p.size();
+  for (size_t j = 0; j < t.size(); ++j) {
+    const uint64_t* peq =
+        scratch.peq.data() + static_cast<unsigned char>(t[j]) * blocks;
+    int carry = 1;  // row 0 of the imaginary boundary grows by one per column
+    for (size_t b = 0; b + 1 < blocks; ++b) {
+      carry = MyersBlockStep(peq[b], scratch.vp[b], scratch.vn[b], carry);
+    }
+    // The final block carries the score bit on the pattern's last row.
+    {
+      size_t b = blocks - 1;
+      uint64_t xv = peq[b] | scratch.vn[b];
+      uint64_t eq = carry < 0 ? peq[b] | 1 : peq[b];
+      uint64_t xh =
+          (((eq & scratch.vp[b]) + scratch.vp[b]) ^ scratch.vp[b]) | eq;
+      uint64_t ph = scratch.vn[b] | ~(xh | scratch.vp[b]);
+      uint64_t mh = scratch.vp[b] & xh;
+      if (ph & last) ++score;
+      if (mh & last) --score;
+      ph <<= 1;
+      mh <<= 1;
+      if (carry > 0) ph |= 1;
+      if (carry < 0) mh |= 1;
+      scratch.vn[b] = ph & xv;
+      scratch.vp[b] = mh | ~(xv | ph);
+    }
+    size_t remaining = t.size() - j - 1;
+    if (score > max_dist && score - std::min(score, remaining) > max_dist) {
+      return max_dist + 1;
+    }
+  }
+  return score;
+}
+
+size_t MyersDispatch(std::string_view a, std::string_view b, size_t max_dist,
+                     LevenshteinScratch& scratch) {
+  if (a.size() < b.size()) std::swap(a, b);
+  // b is the (possibly empty) pattern; a is the text.
+  if (a.size() - b.size() > max_dist) return max_dist + 1;
+  if (b.empty()) return a.size();
+  size_t d = b.size() <= 64 ? MyersSingleWord(b, a, max_dist)
+                            : MyersBlocked(b, a, max_dist, scratch);
+  return d <= max_dist ? d : max_dist + 1;
+}
+
+}  // namespace
 
 size_t Levenshtein(std::string_view a, std::string_view b) {
   if (a.size() < b.size()) std::swap(a, b);
@@ -24,8 +154,19 @@ size_t Levenshtein(std::string_view a, std::string_view b) {
   return row[b.size()];
 }
 
+size_t MyersLevenshtein(std::string_view a, std::string_view b,
+                        LevenshteinScratch& scratch) {
+  constexpr size_t kUnbounded = static_cast<size_t>(-2);
+  return MyersDispatch(a, b, kUnbounded, scratch);
+}
+
+size_t MyersLevenshtein(std::string_view a, std::string_view b) {
+  LevenshteinScratch scratch;
+  return MyersLevenshtein(a, b, scratch);
+}
+
 size_t BoundedLevenshtein(std::string_view a, std::string_view b,
-                          size_t max_dist) {
+                          size_t max_dist, LevenshteinScratch& scratch) {
   if (a.size() < b.size()) std::swap(a, b);
   size_t n = a.size(), m = b.size();
   if (n - m > max_dist) return max_dist + 1;
@@ -33,7 +174,10 @@ size_t BoundedLevenshtein(std::string_view a, std::string_view b,
 
   const size_t kInf = max_dist + 1;
   // Band of width 2*max_dist+1 around the diagonal.
-  std::vector<size_t> row(m + 1, kInf), next(m + 1, kInf);
+  std::vector<size_t>& row = scratch.row;
+  std::vector<size_t>& next = scratch.next;
+  row.assign(m + 1, kInf);
+  next.assign(m + 1, kInf);
   size_t lo0 = 0, hi0 = std::min(m, max_dist);
   for (size_t j = lo0; j <= hi0; ++j) row[j] = j;
 
@@ -68,12 +212,30 @@ size_t BoundedLevenshtein(std::string_view a, std::string_view b,
   return std::min(row[m], kInf);
 }
 
+size_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                          size_t max_dist) {
+  thread_local LevenshteinScratch scratch;
+  return BoundedLevenshtein(a, b, max_dist, scratch);
+}
+
+size_t MyersBoundedLevenshtein(std::string_view a, std::string_view b,
+                               size_t max_dist,
+                               LevenshteinScratch& scratch) {
+  return MyersDispatch(a, b, max_dist, scratch);
+}
+
 bool SimilarByLevenshtein(std::string_view a, std::string_view b,
-                          double threshold) {
+                          double threshold, LevenshteinScratch& scratch) {
   size_t longer = std::max(a.size(), b.size());
   if (longer == 0) return true;
   size_t budget = static_cast<size_t>(std::floor(threshold * longer));
-  return BoundedLevenshtein(a, b, budget) <= budget;
+  return MyersBoundedLevenshtein(a, b, budget, scratch) <= budget;
+}
+
+bool SimilarByLevenshtein(std::string_view a, std::string_view b,
+                          double threshold) {
+  thread_local LevenshteinScratch scratch;
+  return SimilarByLevenshtein(a, b, threshold, scratch);
 }
 
 }  // namespace sparqlog::util

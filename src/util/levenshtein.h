@@ -2,12 +2,41 @@
 #define SPARQLOG_UTIL_LEVENSHTEIN_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string_view>
+#include <vector>
 
 namespace sparqlog::util {
 
+/// Reusable scratch space for the allocation-free distance variants.
+/// A default-constructed scratch works for any input; the vectors grow
+/// on first use and are reused (never shrunk) afterwards, so a caller
+/// that keeps one scratch per thread pays zero allocations on the hot
+/// path after warmup.
+struct LevenshteinScratch {
+  /// Banded-DP rows (BoundedLevenshtein).
+  std::vector<size_t> row, next;
+  /// Blocked Myers state: per-byte pattern bitmasks (256 x words) and
+  /// the vertical positive/negative delta words.
+  std::vector<uint64_t> peq;
+  std::vector<uint64_t> vp, vn;
+};
+
 /// Classic Levenshtein edit distance, O(|a|*|b|) time, O(min) space.
+/// Kept as the plain DP reference implementation; the bit-parallel
+/// variants below are property-tested against it.
 size_t Levenshtein(std::string_view a, std::string_view b);
+
+/// Myers (1999) bit-parallel Levenshtein distance: exact, O(ceil(m/64)*n)
+/// where m is the shorter length. For m <= 64 the whole DP lives in two
+/// machine words and never touches the heap; longer patterns use the
+/// block-based formulation with `scratch`-backed state.
+size_t MyersLevenshtein(std::string_view a, std::string_view b,
+                        LevenshteinScratch& scratch);
+
+/// Convenience overload that owns its scratch (allocates only when the
+/// shorter input exceeds 64 bytes).
+size_t MyersLevenshtein(std::string_view a, std::string_view b);
 
 /// Banded Levenshtein with early exit.
 ///
@@ -18,11 +47,28 @@ size_t Levenshtein(std::string_view a, std::string_view b);
 size_t BoundedLevenshtein(std::string_view a, std::string_view b,
                           size_t max_dist);
 
+/// Allocation-free banded variant: identical results, caller-provided
+/// scratch rows instead of per-call heap allocation.
+size_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                          size_t max_dist, LevenshteinScratch& scratch);
+
+/// Bit-parallel bounded distance: same contract as BoundedLevenshtein
+/// (exact distance if <= `max_dist`, else `max_dist + 1`) computed with
+/// the Myers recurrence plus a per-column lower-bound cutoff — the
+/// running score minus the columns still to process can only shrink by
+/// one per column, so once it exceeds `max_dist` the tail is skipped.
+size_t MyersBoundedLevenshtein(std::string_view a, std::string_view b,
+                               size_t max_dist, LevenshteinScratch& scratch);
+
 /// Normalized similarity test used by the paper's streak analysis:
 /// true iff Levenshtein(a, b) / max(|a|, |b|) <= `threshold`
 /// (the paper uses threshold = 0.25).
 bool SimilarByLevenshtein(std::string_view a, std::string_view b,
                           double threshold);
+
+/// Hot-path overload: same predicate, scratch-backed bit-parallel DP.
+bool SimilarByLevenshtein(std::string_view a, std::string_view b,
+                          double threshold, LevenshteinScratch& scratch);
 
 }  // namespace sparqlog::util
 

@@ -1,0 +1,179 @@
+// Property tests for the bit-parallel Levenshtein fast path: the Myers
+// single-word/blocked variants and the scratch-based bounded variant
+// must agree with the classic DP on arbitrary byte strings — including
+// invalid UTF-8, embedded NULs, and lengths that cross the 64-char
+// block boundary.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "util/levenshtein.h"
+#include "util/rng.h"
+
+namespace sparqlog::util {
+namespace {
+
+std::string RandomBytes(Rng& rng, size_t max_len) {
+  size_t len = rng.Below(max_len + 1);
+  std::string s(len, '\0');
+  for (char& c : s) {
+    if (rng.Chance(0.5)) {
+      // Small alphabet: forces many equal characters (the interesting
+      // DP paths) and frequent near-misses.
+      c = static_cast<char>('a' + rng.Below(4));
+    } else {
+      // Raw bytes: NULs, invalid UTF-8, high bit set — all of it.
+      c = static_cast<char>(rng.Below(256));
+    }
+  }
+  return s;
+}
+
+/// A mutated copy of `s`: a few random edits, so pairs cover the whole
+/// distance range from 0 to far apart.
+std::string Mutate(Rng& rng, std::string s) {
+  size_t edits = rng.Below(8);
+  for (size_t e = 0; e < edits; ++e) {
+    size_t pos = s.empty() ? 0 : rng.Below(s.size() + 1);
+    switch (rng.Below(3)) {
+      case 0:
+        s.insert(pos, 1, static_cast<char>(rng.Below(256)));
+        break;
+      case 1:
+        if (!s.empty() && pos < s.size()) s.erase(pos, 1);
+        break;
+      default:
+        if (!s.empty() && pos < s.size()) {
+          s[pos] = static_cast<char>(rng.Below(256));
+        }
+        break;
+    }
+  }
+  return s;
+}
+
+TEST(MyersLevenshteinTest, KnownDistances) {
+  EXPECT_EQ(MyersLevenshtein("", ""), 0u);
+  EXPECT_EQ(MyersLevenshtein("abc", "abc"), 0u);
+  EXPECT_EQ(MyersLevenshtein("kitten", "sitting"), 3u);
+  EXPECT_EQ(MyersLevenshtein("flaw", "lawn"), 2u);
+  EXPECT_EQ(MyersLevenshtein("", "abc"), 3u);
+  EXPECT_EQ(MyersLevenshtein("abc", ""), 3u);
+}
+
+TEST(MyersLevenshteinTest, ExactlyAtTheWordBoundary) {
+  // Patterns of length 63, 64, 65 exercise the single-word mask edge
+  // and the switch to the blocked form.
+  for (size_t len : {63u, 64u, 65u, 128u, 129u}) {
+    std::string a(len, 'x');
+    std::string b = a;
+    b.back() = 'y';
+    EXPECT_EQ(MyersLevenshtein(a, a), 0u) << "len=" << len;
+    EXPECT_EQ(MyersLevenshtein(a, b), 1u) << "len=" << len;
+    EXPECT_EQ(MyersLevenshtein(a, b + "zz"), 3u) << "len=" << len;
+  }
+}
+
+TEST(MyersLevenshteinTest, AgreesWithClassicOnRandomByteStrings) {
+  Rng rng(20260726);
+  LevenshteinScratch scratch;
+  for (int i = 0; i < 400; ++i) {
+    // Lengths 0..300: both sides of the 64-char single-word limit and
+    // several block counts.
+    std::string a = RandomBytes(rng, 300);
+    std::string b = rng.Chance(0.5) ? Mutate(rng, a) : RandomBytes(rng, 300);
+    size_t expected = Levenshtein(a, b);
+    EXPECT_EQ(MyersLevenshtein(a, b), expected)
+        << "case " << i << " |a|=" << a.size() << " |b|=" << b.size();
+    EXPECT_EQ(MyersLevenshtein(a, b, scratch), expected)
+        << "scratch overload, case " << i;
+  }
+}
+
+TEST(BoundedLevenshteinTest, ScratchOverloadMatchesAllocating) {
+  Rng rng(99);
+  LevenshteinScratch scratch;
+  for (int i = 0; i < 300; ++i) {
+    std::string a = RandomBytes(rng, 200);
+    std::string b = rng.Chance(0.5) ? Mutate(rng, a) : RandomBytes(rng, 200);
+    size_t max_dist = rng.Below(64);
+    EXPECT_EQ(BoundedLevenshtein(a, b, max_dist, scratch),
+              BoundedLevenshtein(a, b, max_dist))
+        << "case " << i << " k=" << max_dist;
+  }
+}
+
+TEST(BoundedLevenshteinTest, AllVariantsHonorTheContract) {
+  // Contract: exact distance when it is <= k, k + 1 otherwise — for the
+  // banded DP (both overloads) and the bit-parallel bounded variant.
+  Rng rng(4242);
+  LevenshteinScratch scratch;
+  for (int i = 0; i < 300; ++i) {
+    std::string a = RandomBytes(rng, 180);
+    std::string b = rng.Chance(0.6) ? Mutate(rng, a) : RandomBytes(rng, 180);
+    size_t exact = Levenshtein(a, b);
+    for (size_t k : {size_t{0}, exact / 2, exact, exact + 1, exact + 10}) {
+      size_t expected = std::min(exact, k + 1);
+      EXPECT_EQ(BoundedLevenshtein(a, b, k), expected)
+          << "banded, case " << i << " k=" << k;
+      EXPECT_EQ(BoundedLevenshtein(a, b, k, scratch), expected)
+          << "banded scratch, case " << i << " k=" << k;
+      EXPECT_EQ(MyersBoundedLevenshtein(a, b, k, scratch), expected)
+          << "myers bounded, case " << i << " k=" << k;
+    }
+  }
+}
+
+TEST(SimilarByLevenshteinTest, OverloadsAgree) {
+  Rng rng(777);
+  LevenshteinScratch scratch;
+  for (int i = 0; i < 300; ++i) {
+    std::string a = RandomBytes(rng, 150);
+    std::string b = rng.Chance(0.7) ? Mutate(rng, a) : RandomBytes(rng, 150);
+    for (double threshold : {0.0, 0.1, 0.25, 0.5, 1.0}) {
+      bool expected = SimilarByLevenshtein(a, b, threshold);
+      EXPECT_EQ(SimilarByLevenshtein(a, b, threshold, scratch), expected)
+          << "case " << i << " t=" << threshold;
+      // Cross-check against the definition itself.
+      size_t longer = std::max(a.size(), b.size());
+      bool by_definition =
+          longer == 0 ||
+          Levenshtein(a, b) <=
+              static_cast<size_t>(threshold * static_cast<double>(longer));
+      EXPECT_EQ(expected, by_definition) << "case " << i << " t=" << threshold;
+    }
+  }
+}
+
+TEST(SimilarByLevenshteinTest, EmptyStringsAreSimilar) {
+  LevenshteinScratch scratch;
+  EXPECT_TRUE(SimilarByLevenshtein("", "", 0.0));
+  EXPECT_TRUE(SimilarByLevenshtein("", "", 0.25, scratch));
+}
+
+TEST(MyersLevenshteinTest, EmbeddedNulsAreOrdinaryBytes) {
+  std::string a("a\0b\0c", 5);
+  std::string b("a\0b\0d", 5);
+  std::string c("abc", 3);
+  EXPECT_EQ(MyersLevenshtein(a, a), 0u);
+  EXPECT_EQ(MyersLevenshtein(a, b), 1u);
+  EXPECT_EQ(MyersLevenshtein(a, c), Levenshtein(a, c));
+}
+
+TEST(MyersLevenshteinTest, ScratchIsReusableAcrossSizes) {
+  // A scratch that served a large blocked call must still be valid for
+  // smaller and single-word calls (state is re-initialized per call).
+  LevenshteinScratch scratch;
+  std::string big(300, 'q');
+  std::string big2(280, 'q');
+  EXPECT_EQ(MyersLevenshtein(big, big2, scratch), 20u);
+  EXPECT_EQ(MyersLevenshtein("kitten", "sitting", scratch), 3u);
+  std::string mid(70, 'z');
+  EXPECT_EQ(MyersLevenshtein(mid, big, scratch), 300u);
+  EXPECT_EQ(MyersLevenshtein("", "x", scratch), 1u);
+}
+
+}  // namespace
+}  // namespace sparqlog::util

@@ -1,9 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
+#include <deque>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "streaks/streaks.h"
+#include "util/levenshtein.h"
+#include "util/rng.h"
+#include "util/strings.h"
 
 namespace sparqlog::streaks {
 namespace {
@@ -13,6 +20,147 @@ StreakReport Detect(const std::vector<std::string>& log,
   StreakDetector detector(options);
   for (const std::string& q : log) detector.Add(q);
   return detector.Finish();
+}
+
+// -----------------------------------------------------------------------
+// Pre-fast-path reference implementations, kept verbatim so the
+// optimized code is regression-tested for byte-identical behavior.
+// -----------------------------------------------------------------------
+
+std::string OldStripPrologue(const std::string& query) {
+  static const char* kForms[] = {"SELECT", "ASK", "CONSTRUCT", "DESCRIBE"};
+  size_t best = std::string::npos;
+  for (const char* form : kForms) {
+    size_t len = std::string(form).size();
+    for (size_t i = 0; i + len <= query.size(); ++i) {
+      if (util::EqualsIgnoreCase(std::string_view(query).substr(i, len),
+                                 form)) {
+        bool left_ok =
+            i == 0 || !(std::isalnum(static_cast<unsigned char>(
+                            query[i - 1])) ||
+                        query[i - 1] == ':' || query[i - 1] == '/' ||
+                        query[i - 1] == '#' || query[i - 1] == '_');
+        bool right_ok =
+            i + len == query.size() ||
+            !std::isalnum(static_cast<unsigned char>(query[i + len]));
+        if (left_ok && right_ok) {
+          best = std::min(best, i);
+          break;
+        }
+      }
+    }
+  }
+  if (best == std::string::npos) return query;
+  return query.substr(best);
+}
+
+/// The pre-fast-path detector: per-pair SimilarByLevenshtein with no
+/// prefilters, per-query std::string copies — the exact algorithm the
+/// optimized SimilarityWindow + StreakChainTracker pair must reproduce.
+class ReferenceDetector {
+ public:
+  explicit ReferenceDetector(StreakOptions options) : options_(options) {}
+
+  void Add(const std::string& raw_query) {
+    Entry entry;
+    entry.text =
+        options_.strip_prologue ? OldStripPrologue(raw_query) : raw_query;
+    entry.index = next_index_++;
+    ++report_.queries_processed;
+    while (!window_.empty() &&
+           next_index_ - window_.front().index > options_.window) {
+      const Entry& old = window_.front();
+      if (!old.extended) report_.AddStreakLength(old.streak_length);
+      window_.pop_front();
+    }
+    bool matched_any = false;
+    for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+      bool similar = util::SimilarByLevenshtein(
+          it->text, entry.text, options_.similarity_threshold);
+      if (!similar) continue;
+      if (!it->has_later_similar) {
+        if (!matched_any || it->streak_length + 1 > entry.streak_length) {
+          entry.streak_length = it->streak_length + 1;
+        }
+        it->extended = true;
+        matched_any = true;
+      }
+      it->has_later_similar = true;
+    }
+    window_.push_back(std::move(entry));
+  }
+
+  StreakReport Finish() {
+    for (const Entry& e : window_) {
+      if (!e.extended) report_.AddStreakLength(e.streak_length);
+    }
+    window_.clear();
+    StreakReport out = report_;
+    report_ = StreakReport();
+    next_index_ = 0;
+    return out;
+  }
+
+ private:
+  struct Entry {
+    std::string text;
+    size_t index;
+    bool has_later_similar = false;
+    uint64_t streak_length = 1;
+    bool extended = false;
+  };
+  StreakOptions options_;
+  std::deque<Entry> window_;
+  size_t next_index_ = 0;
+  StreakReport report_;
+};
+
+void ExpectReportsEqual(const StreakReport& a, const StreakReport& b,
+                        const std::string& context) {
+  for (size_t i = 0; i < 11; ++i) {
+    EXPECT_EQ(a.counts[i], b.counts[i]) << context << " bucket " << i;
+  }
+  EXPECT_EQ(a.total_streaks, b.total_streaks) << context;
+  EXPECT_EQ(a.longest, b.longest) << context;
+  EXPECT_EQ(a.queries_processed, b.queries_processed) << context;
+}
+
+/// A log with planted refinement sessions: bases with random suffixed
+/// edits, interleaved with noise, heavy on duplicates — the shape the
+/// prefilter cascade and dedup short-circuit must get exactly right.
+std::vector<std::string> FuzzedLog(util::Rng& rng, size_t n) {
+  std::vector<std::string> bases = {
+      "SELECT ?x WHERE { ?x <birthPlace> <Paris> }",
+      "PREFIX foaf: <http://xmlns.com/foaf/0.1/> SELECT ?p WHERE { ?p a "
+      "foaf:Person }",
+      "ASK { <a> <b> <c> }",
+      "DESCRIBE <http://dbpedia.org/resource/Berlin>",
+      "CONSTRUCT WHERE { ?s ?p ?o }",
+  };
+  std::vector<std::string> log;
+  std::string current = bases[0];
+  for (size_t i = 0; i < n; ++i) {
+    double roll = rng.NextDouble();
+    if (roll < 0.3) {
+      current = bases[rng.Below(bases.size())];
+    } else if (roll < 0.7) {
+      // Small edit of the running query: refinement-session shape.
+      std::string mutated = current;
+      size_t edits = 1 + rng.Below(4);
+      for (size_t e = 0; e < edits; ++e) {
+        size_t pos = rng.Below(mutated.size() + 1);
+        if (rng.Chance(0.5)) {
+          mutated.insert(pos, 1, static_cast<char>('a' + rng.Below(26)));
+        } else if (pos < mutated.size()) {
+          mutated[pos] = static_cast<char>('a' + rng.Below(26));
+        }
+      }
+      current = mutated;
+    }
+    // else: exact duplicate of the running query.
+    log.push_back(current);
+  }
+  return log;
 }
 
 TEST(StripPrologueTest, RemovesPrefixDeclarations) {
@@ -203,6 +351,282 @@ TEST(StreakTest, FinishResetsState) {
   StreakReport second = detector.Finish();
   EXPECT_EQ(second.total_streaks, 0u);
   EXPECT_EQ(second.queries_processed, 0u);
+}
+
+// -----------------------------------------------------------------------
+// StripPrologue fast path vs the old implementation
+// -----------------------------------------------------------------------
+
+TEST(StripPrologueTest, MatchesOldImplementationOnFuzzedQueries) {
+  util::Rng rng(20260726);
+  const std::string pieces[] = {
+      "PREFIX ", "foaf:", "<http://x/describe/y>", "<http://ask.example/>",
+      "select",  "ASK",   "ConStRuCt",             "describe",
+      "_select", "a",     ":",                     "/select",
+      "#ask",    " ",     "\n",                    "9select",
+      "asking",  "x",     "constructs",            "{ ?s ?p ?o }",
+      "BASE",    "\t",    "d",                     "sel",
+  };
+  for (int i = 0; i < 2000; ++i) {
+    std::string q;
+    size_t parts = rng.Below(12);
+    for (size_t p = 0; p < parts; ++p) {
+      if (rng.Chance(0.8)) {
+        q += pieces[rng.Below(std::size(pieces))];
+      } else {
+        q += static_cast<char>(rng.Below(256));
+      }
+    }
+    EXPECT_EQ(StripPrologue(q), OldStripPrologue(q)) << "query: " << q;
+    // The view variant must agree and view into the input.
+    std::string_view v = StripPrologueView(q);
+    EXPECT_EQ(std::string(v), OldStripPrologue(q));
+    if (!q.empty() && !v.empty()) {
+      EXPECT_GE(v.data(), q.data());
+      EXPECT_LE(v.data() + v.size(), q.data() + q.size());
+    }
+  }
+}
+
+TEST(StripPrologueTest, KeywordsEmbeddedInIrisAndWords) {
+  // Inside an IRI path, after '_', inside longer words: all skipped.
+  EXPECT_EQ(StripPrologue("<http://x/select/y> foo"),
+            "<http://x/select/y> foo");
+  EXPECT_EQ(StripPrologue("my_select ASK {}"), "ASK {}");
+  EXPECT_EQ(StripPrologue("selects construct {}"), "construct {}");
+  EXPECT_EQ(StripPrologue("#describe\nSELECT *"), "SELECT *");
+  // Keyword at the very start and at the very end.
+  EXPECT_EQ(StripPrologue("ask {}"), "ask {}");
+  EXPECT_EQ(StripPrologue("prefix p: <u> ask"), "ask");
+}
+
+// -----------------------------------------------------------------------
+// Fast path vs the reference detector: bit-identical reports
+// -----------------------------------------------------------------------
+
+TEST(StreakTest, FastPathMatchesReferenceOnFuzzedLogs) {
+  util::Rng rng(7);
+  for (int round = 0; round < 8; ++round) {
+    StreakOptions options;
+    options.window = 1 + rng.Below(40);
+    options.similarity_threshold =
+        (round % 3 == 0) ? 0.1 : (round % 3 == 1 ? 0.25 : 0.5);
+    options.strip_prologue = rng.Chance(0.7);
+    std::vector<std::string> log = FuzzedLog(rng, 300);
+
+    ReferenceDetector reference(options);
+    for (const std::string& q : log) reference.Add(q);
+    StreakReport fast = Detect(log, options);
+    ExpectReportsEqual(fast, reference.Finish(),
+                       "round " + std::to_string(round) + " window " +
+                           std::to_string(options.window));
+  }
+}
+
+TEST(StreakTest, PrefilterStatsAccountForEveryPair) {
+  util::Rng rng(11);
+  std::vector<std::string> log = FuzzedLog(rng, 400);
+  StreakDetector detector;
+  for (const std::string& q : log) detector.Add(q);
+  detector.Finish();
+  const PrefilterStats& stats = detector.prefilter_stats();
+  EXPECT_GT(stats.pairs, 0u);
+  // Duplicate-heavy log: the exact-hash tier must fire.
+  EXPECT_GT(stats.exact_hash_hits, 0u);
+  // Every pair is settled by exactly one tier or reaches the DP.
+  EXPECT_EQ(stats.pairs, stats.exact_hash_hits + stats.length_rejects +
+                             stats.charmap_rejects +
+                             stats.histogram_rejects +
+                             stats.levenshtein_calls);
+  // The cascade must actually avoid work on this workload.
+  EXPECT_LT(stats.levenshtein_calls, stats.pairs);
+}
+
+TEST(StreakTest, PrefilterStatsMerge) {
+  PrefilterStats a{10, 1, 2, 3, 1, 3};
+  PrefilterStats b{5, 0, 1, 1, 1, 2};
+  a.Merge(b);
+  EXPECT_EQ(a.pairs, 15u);
+  EXPECT_EQ(a.exact_hash_hits, 1u);
+  EXPECT_EQ(a.length_rejects, 3u);
+  EXPECT_EQ(a.charmap_rejects, 4u);
+  EXPECT_EQ(a.histogram_rejects, 2u);
+  EXPECT_EQ(a.levenshtein_calls, 5u);
+}
+
+// -----------------------------------------------------------------------
+// Prefilter admissibility: no tier may reject a truly similar pair
+// -----------------------------------------------------------------------
+
+TEST(PrefilterTest, LowerBoundsNeverExceedTrueDistance) {
+  util::Rng rng(31337);
+  for (int i = 0; i < 500; ++i) {
+    size_t len_a = rng.Below(120);
+    size_t len_b = rng.Below(120);
+    std::string a(len_a, '\0'), b(len_b, '\0');
+    for (char& c : a) c = static_cast<char>(rng.Below(256));
+    // Half the time, b is a small edit of a (near-miss pairs are where
+    // an inadmissible bound would bite).
+    if (rng.Chance(0.5) && !a.empty()) {
+      b = a;
+      size_t edits = 1 + rng.Below(6);
+      for (size_t e = 0; e < edits && !b.empty(); ++e) {
+        b[rng.Below(b.size())] = static_cast<char>(rng.Below(256));
+      }
+    } else {
+      for (char& c : b) c = static_cast<char>(rng.Below(256));
+    }
+    size_t dist = util::Levenshtein(a, b);
+    QueryFingerprint fa = FingerprintOf(a);
+    QueryFingerprint fb = FingerprintOf(b);
+    size_t longer = std::max(a.size(), b.size());
+    size_t shorter = std::min(a.size(), b.size());
+    EXPECT_LE(longer - shorter, dist) << "length bound, case " << i;
+    EXPECT_LE(CharmapLowerBound(fa, fb), dist) << "charmap bound, case " << i;
+    EXPECT_LE(HistogramLowerBound(fa, fb), dist)
+        << "histogram bound, case " << i;
+  }
+}
+
+TEST(PrefilterTest, HistogramSaturationStaysAdmissible) {
+  // 300 'a's vs 300 'a's plus noise: counts clamp at 255 on both sides,
+  // which must only weaken the bound.
+  std::string a(300, 'a');
+  std::string b = a + std::string(40, 'b');
+  size_t dist = util::Levenshtein(a, b);  // 40
+  QueryFingerprint fa = FingerprintOf(a);
+  QueryFingerprint fb = FingerprintOf(b);
+  EXPECT_EQ(fa.hist[static_cast<unsigned char>('a')], 255);
+  EXPECT_LE(HistogramLowerBound(fa, fb), dist);
+  EXPECT_LE(CharmapLowerBound(fa, fb), dist);
+}
+
+TEST(PrefilterTest, FingerprintBasics) {
+  QueryFingerprint fp = FingerprintOf("ab\xff");
+  EXPECT_EQ(fp.length, 3u);
+  EXPECT_TRUE(fp.charmap[1] & (1ULL << ('a' - 64)));
+  EXPECT_TRUE(fp.charmap[3] & (1ULL << (0xff - 192)));
+  EXPECT_FALSE(fp.charmap[0] & 1ULL);  // NUL absent
+  EXPECT_EQ(fp.hist[static_cast<unsigned char>('a')], 1);
+  EXPECT_EQ(fp.hist[static_cast<unsigned char>('z')], 0);
+  EXPECT_NE(fp.hash, FingerprintOf("ab").hash);
+}
+
+// -----------------------------------------------------------------------
+// Window boundary semantics (EvictExpired timing)
+// -----------------------------------------------------------------------
+
+/// Builds a log of two identical queries separated by `gap - 1` pairwise
+/// very dissimilar fillers, so the only possible chain is the pair.
+std::vector<std::string> GapLog(size_t gap) {
+  std::string q = "SELECT ?x WHERE { ?x <p> ?y }";
+  std::vector<std::string> log = {q};
+  for (size_t i = 1; i < gap; ++i) {
+    // Each filler is dominated by a run of a per-position letter, so any
+    // two fillers are ~20 edits apart (far over the 25% budget) and none
+    // resembles q.
+    log.push_back("ASK { <" +
+                  std::string(20, static_cast<char>('a' + (i % 26))) +
+                  "> <p> <o> }");
+  }
+  log.push_back(q);
+  return log;
+}
+
+TEST(StreakTest, GapJustInsideTheWindowChains) {
+  StreakOptions options;
+  options.window = 5;
+  StreakReport r = Detect(GapLog(4), options);  // gap == window - 1
+  EXPECT_EQ(r.longest, 2u);
+}
+
+TEST(StreakTest, GapEqualToWindowDoesNotChain) {
+  // Eviction runs after the index advances, so a predecessor exactly
+  // `window` positions back is already gone when the scan happens —
+  // the boundary the fast path must not move.
+  StreakOptions options;
+  options.window = 5;
+  StreakReport r = Detect(GapLog(5), options);  // gap == window
+  EXPECT_EQ(r.longest, 1u);
+}
+
+TEST(StreakTest, GapOnePastTheWindowDoesNotChain) {
+  StreakOptions options;
+  options.window = 5;
+  StreakReport r = Detect(GapLog(6), options);  // gap == window + 1
+  EXPECT_EQ(r.longest, 1u);
+}
+
+TEST(StreakTest, ZeroWindowMakesEveryQueryASingleton) {
+  StreakOptions options;
+  options.window = 0;
+  std::string q = "SELECT ?x WHERE { ?x <p> ?y }";
+  StreakReport r = Detect({q, q, q}, options);
+  EXPECT_EQ(r.total_streaks, 3u);
+  EXPECT_EQ(r.longest, 1u);
+}
+
+TEST(StreakTest, EmptyLogYieldsEmptyReport) {
+  StreakReport r = Detect({});
+  EXPECT_EQ(r.total_streaks, 0u);
+  EXPECT_EQ(r.longest, 0u);
+  EXPECT_EQ(r.queries_processed, 0u);
+}
+
+// -----------------------------------------------------------------------
+// Report bucket edges around 10/11 and 100/101
+// -----------------------------------------------------------------------
+
+TEST(StreakTest, BucketEdgesElevenAndOneHundredOne) {
+  StreakReport r;
+  r.AddStreakLength(11);
+  EXPECT_EQ(r.counts[0], 0u);
+  EXPECT_EQ(r.counts[1], 1u);  // 11 opens the 11-20 bucket
+  StreakReport s;
+  s.AddStreakLength(101);
+  EXPECT_EQ(s.counts[9], 0u);
+  EXPECT_EQ(s.counts[10], 1u);  // 101 is the first >100 value
+}
+
+// -----------------------------------------------------------------------
+// SimilarityWindow + StreakChainTracker building blocks
+// -----------------------------------------------------------------------
+
+TEST(SimilarityWindowTest, EmitsGapsOfMatchedPredecessors) {
+  StreakOptions options;
+  SimilarityWindow window(options);
+  std::vector<uint32_t> gaps;
+  std::string q = "SELECT ?x WHERE { ?x <p> ?y }";
+  window.Add(q, gaps);
+  EXPECT_TRUE(gaps.empty());
+  window.Add(q, gaps);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], 1u);
+  // The second duplicate blocks the first (has_later_similar): only the
+  // most recent predecessor matches.
+  window.Add(q, gaps);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], 1u);
+}
+
+TEST(StreakChainTrackerTest, DrainPlusFinishEqualsFinish) {
+  // Feeding identical gap streams, a tracker drained mid-run and merged
+  // must equal one finished in a single sweep.
+  std::vector<std::vector<uint32_t>> stream = {
+      {}, {1}, {1}, {}, {2}, {}, {}, {1}};
+  StreakChainTracker one(3);
+  for (const auto& gaps : stream) one.Add(gaps.data(), gaps.size());
+  StreakReport whole = one.Finish();
+
+  StreakChainTracker two(3);
+  StreakReport merged;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    two.Add(stream[i].data(), stream[i].size());
+    if (i == 3) merged.Merge(two.DrainFinalized());
+  }
+  merged.Merge(two.DrainFinalized());
+  merged.Merge(two.Finish());
+  ExpectReportsEqual(merged, whole, "drain vs finish");
 }
 
 }  // namespace
