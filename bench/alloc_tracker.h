@@ -1,0 +1,75 @@
+#ifndef SPARQLOG_BENCH_ALLOC_TRACKER_H_
+#define SPARQLOG_BENCH_ALLOC_TRACKER_H_
+
+// Global allocation counters for the hot-path benches: overriding the
+// usual new/delete pairs in the bench binary makes "bytes allocated per
+// query/line" a first-class, regression-checkable metric without any
+// external tooling.
+//
+// Include this header from exactly ONE translation unit per bench
+// binary (the replacement operator new/delete definitions are
+// deliberately non-inline, as the standard requires).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+namespace sparqlog::bench {
+
+namespace alloc_internal {
+inline std::atomic<uint64_t> g_alloc_bytes{0};
+inline std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace alloc_internal
+
+inline uint64_t AllocatedBytes() {
+  return alloc_internal::g_alloc_bytes.load(std::memory_order_relaxed);
+}
+inline uint64_t AllocationCount() {
+  return alloc_internal::g_alloc_count.load(std::memory_order_relaxed);
+}
+
+/// One timed + allocation-counted section of a bench run.
+struct PhaseResult {
+  std::string name;
+  double seconds = 0;
+  uint64_t bytes_allocated = 0;
+  uint64_t allocations = 0;
+};
+
+/// Times `fn` and charges it with the allocations it performed.
+template <typename Fn>
+PhaseResult RunPhase(std::string name, Fn&& fn) {
+  PhaseResult r;
+  r.name = std::move(name);
+  uint64_t bytes0 = AllocatedBytes();
+  uint64_t count0 = AllocationCount();
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  r.bytes_allocated = AllocatedBytes() - bytes0;
+  r.allocations = AllocationCount() - count0;
+  return r;
+}
+
+}  // namespace sparqlog::bench
+
+void* operator new(std::size_t n) {
+  sparqlog::bench::alloc_internal::g_alloc_bytes.fetch_add(
+      n, std::memory_order_relaxed);
+  sparqlog::bench::alloc_internal::g_alloc_count.fetch_add(
+      1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#endif  // SPARQLOG_BENCH_ALLOC_TRACKER_H_

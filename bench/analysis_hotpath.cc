@@ -1,0 +1,655 @@
+// Structural-analysis hot-path bench: measures queries/sec and
+// allocations/query for the per-unique-query stages behind Table 4 /
+// Figure 3 (shapes), Figure 5 (fragments), and Section 6 (widths) —
+// canonical-graph build, shape classification, treewidth, and GHW —
+// through the pre-change implementations (testing/reference_analysis,
+// kept verbatim: NodeKey strings + std::map interning, std::set
+// adjacency, set-copying kernelization, set-based det-k-decomp) and
+// through the allocation-lean scratch path (term-interned flat graphs,
+// worklist kernelization, bitset GHW).
+//
+// The run is also the divergence gate and exits non-zero if
+//  * any per-query result differs between the two paths (shape flags,
+//    girth, treewidth, GHW width or decomposition size),
+//  * the aggregated ShapeCounts / FragmentStats / HypergraphStats /
+//    girth maps differ from the reference-built tables, or
+//  * the serial StatisticsDigest differs from the parallel pipeline's
+//    under any of the exercised thread/shard configurations.
+// Results land in BENCH_analysis.json (override with
+// SPARQLOG_BENCH_JSON).
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "alloc_tracker.h"
+#include "bench_common.h"
+#include "analysis/features.h"
+#include "corpus/analysis_scratch.h"
+#include "corpus/generator.h"
+#include "corpus/ingest.h"
+#include "corpus/profile.h"
+#include "corpus/report.h"
+#include "fragments/fragment.h"
+#include "graph/canonical.h"
+#include "graph/shapes.h"
+#include "pipeline/merge.h"
+#include "pipeline/pipeline.h"
+#include "testing/reference_analysis.h"
+#include "util/strings.h"
+#include "width/hypertree.h"
+#include "width/treewidth.h"
+
+namespace {
+
+using namespace sparqlog;
+using bench::PhaseResult;
+using bench::RunPhase;
+namespace reference = testing::reference;
+
+struct QueryCase {
+  sparql::Query query;
+  fragments::FragmentClass fc;
+  bool graph_case = false;  // canonical graph meaningful (no var predicate)
+  bool hyper_case = false;  // var-predicate CQOF: hypergraph analysis
+};
+
+struct GraphVerdict {
+  bool valid = false;
+  int nodes = 0;
+  int edges = 0;
+  graph::ShapeClass shape;
+  int tw = 0;
+};
+
+struct HyperVerdict {
+  int width = 0;
+  int decomposition_nodes = 0;
+};
+
+int g_failures = 0;
+
+void Check(const char* what, uint64_t ref, uint64_t got) {
+  if (ref == got) return;
+  ++g_failures;
+  if (g_failures <= 20) {
+    std::fprintf(stderr, "FAIL: %s diverges: reference %llu vs new %llu\n",
+                 what, static_cast<unsigned long long>(ref),
+                 static_cast<unsigned long long>(got));
+  }
+}
+
+void CheckHistogram(const char* what, const util::BucketHistogram& ref,
+                    const util::BucketHistogram& got) {
+  for (int v = 0; v <= ref.max_direct(); ++v) {
+    Check(what, ref.Count(v), got.Count(v));
+  }
+  Check(what, ref.Overflow(), got.Overflow());
+}
+
+void CheckShapeCounts(const char* what, const corpus::ShapeCounts& ref,
+                      const corpus::ShapeCounts& got) {
+  Check(what, ref.total, got.total);
+  Check(what, ref.single_edge, got.single_edge);
+  Check(what, ref.chain, got.chain);
+  Check(what, ref.chain_set, got.chain_set);
+  Check(what, ref.star, got.star);
+  Check(what, ref.tree, got.tree);
+  Check(what, ref.forest, got.forest);
+  Check(what, ref.cycle, got.cycle);
+  Check(what, ref.flower, got.flower);
+  Check(what, ref.flower_set, got.flower_set);
+  Check(what, ref.treewidth_le2, got.treewidth_le2);
+  Check(what, ref.treewidth_3, got.treewidth_3);
+  Check(what, ref.treewidth_gt3, got.treewidth_gt3);
+  Check(what, ref.single_edge_with_constants, got.single_edge_with_constants);
+  // The girth map: same keys, same counts.
+  Check(what, ref.girth.size(), got.girth.size());
+  if (ref.girth == got.girth) return;
+  ++g_failures;
+  std::fprintf(stderr, "FAIL: %s girth map diverges\n", what);
+}
+
+bool SameShape(const graph::ShapeClass& a, const graph::ShapeClass& b) {
+  return a.single_edge == b.single_edge && a.chain == b.chain &&
+         a.chain_set == b.chain_set && a.star == b.star && a.tree == b.tree &&
+         a.forest == b.forest && a.cycle == b.cycle && a.flower == b.flower &&
+         a.flower_set == b.flower_set && a.girth == b.girth;
+}
+
+/// The pre-change CorpusAnalyzer::AnalyzeShapes, replicated over the
+/// reference implementations, so the Table 4 / Section 6 tables can be
+/// rebuilt the old way and compared cell by cell.
+void ReferenceAnalyzeShapes(const QueryCase& qc, corpus::ShapeCounts& cq,
+                            corpus::ShapeCounts& cqf,
+                            corpus::ShapeCounts& cqof,
+                            corpus::HypergraphStats& hgs) {
+  const fragments::FragmentClass& fc = qc.fc;
+  if (!(fc.cq || fc.cqf || fc.cqof)) return;
+  if (fc.var_predicate) {
+    if (fc.cqof) {
+      std::vector<const sparql::TriplePattern*> triples;
+      std::vector<const sparql::Expr*> filters;
+      graph::CollectTriplesAndFilters(qc.query.where, triples, filters);
+      reference::ReferenceHypergraph hg =
+          reference::BuildCanonicalHypergraph(triples, filters);
+      width::GhwResult ghw = reference::GeneralizedHypertreeWidth(hg);
+      ++hgs.total;
+      switch (ghw.width) {
+        case 0:
+        case 1: ++hgs.ghw1; break;
+        case 2: ++hgs.ghw2; break;
+        case 3: ++hgs.ghw3; break;
+        default: ++hgs.ghw_more; break;
+      }
+      if (ghw.decomposition_nodes > 10) ++hgs.decompositions_gt10_nodes;
+      if (ghw.decomposition_nodes > 100) ++hgs.decompositions_gt100_nodes;
+    }
+    return;
+  }
+  std::vector<const sparql::TriplePattern*> triples;
+  std::vector<const sparql::Expr*> filters;
+  graph::CollectTriplesAndFilters(qc.query.where, triples, filters);
+  reference::ReferenceCanonicalGraph cg =
+      reference::BuildCanonicalGraph(triples, filters);
+  if (!cg.valid) return;
+  graph::ShapeClass shape = reference::ClassifyShape(cg.graph);
+  width::TreewidthResult tw = reference::Treewidth(cg.graph);
+  auto record = [&](corpus::ShapeCounts& sc) {
+    ++sc.total;
+    if (shape.single_edge) {
+      ++sc.single_edge;
+      bool has_constant = false;
+      for (const rdf::Term& t : cg.node_terms) {
+        if (t.is_constant()) has_constant = true;
+      }
+      if (has_constant) ++sc.single_edge_with_constants;
+    }
+    if (shape.chain) ++sc.chain;
+    if (shape.chain_set) ++sc.chain_set;
+    if (shape.star) ++sc.star;
+    if (shape.tree) ++sc.tree;
+    if (shape.forest) ++sc.forest;
+    if (shape.cycle) ++sc.cycle;
+    if (shape.flower) ++sc.flower;
+    if (shape.flower_set) ++sc.flower_set;
+    if (tw.width <= 2) {
+      ++sc.treewidth_le2;
+    } else if (tw.width == 3) {
+      ++sc.treewidth_3;
+    } else {
+      ++sc.treewidth_gt3;
+    }
+    if (shape.girth > 0) ++sc.girth[shape.girth];
+  };
+  if (fc.cq) record(cq);
+  if (fc.cqf) record(cqf);
+  if (fc.cqof) record(cqof);
+}
+
+}  // namespace
+
+int main() {
+  uint64_t entries_per_dataset = bench::EnvCount("SPARQLOG_BENCH_ENTRIES", 2000);
+  const std::string json_path = bench::BenchJsonPath("BENCH_analysis.json");
+
+  std::printf("Generating corpus (%llu entries/dataset x 13 datasets)...\n",
+              static_cast<unsigned long long>(entries_per_dataset));
+  std::vector<std::string> lines;
+  {
+    auto profiles = corpus::PaperProfiles();
+    uint64_t seed = 2017;
+    for (const auto& profile : profiles) {
+      corpus::GeneratorOptions options;
+      options.scale = 0;
+      options.min_entries = entries_per_dataset;
+      options.seed = seed++;
+      corpus::SyntheticLogGenerator gen(profile, options);
+      auto log = gen.GenerateLog();
+      lines.insert(lines.end(), log.begin(), log.end());
+    }
+  }
+
+  // The unique Select/Ask corpus, exactly as StatsReport sees it.
+  sparql::Parser parser;
+  std::string decode_buf;
+  std::unordered_set<uint64_t> seen;
+  std::vector<QueryCase> cases;
+  for (const std::string& line : lines) {
+    corpus::ParsedLine parsed =
+        corpus::ParseLogLine(parser, std::string_view(line), decode_buf);
+    if (!parsed.valid || !seen.insert(parsed.canonical_hash).second) continue;
+    QueryCase qc;
+    qc.query = std::move(*parsed.query);
+    cases.push_back(std::move(qc));
+  }
+  std::vector<size_t> graph_idx, hyper_idx;
+  for (size_t i = 0; i < cases.size(); ++i) {
+    QueryCase& qc = cases[i];
+    bool select_ask = qc.query.form == sparql::QueryForm::kSelect ||
+                      qc.query.form == sparql::QueryForm::kAsk;
+    if (!select_ask || !qc.query.has_body) continue;
+    qc.fc = fragments::ClassifyFragment(qc.query);
+    if (!(qc.fc.cq || qc.fc.cqf || qc.fc.cqof)) continue;
+    if (qc.fc.var_predicate) {
+      if (qc.fc.cqof) {
+        qc.hyper_case = true;
+        hyper_idx.push_back(i);
+      }
+    } else {
+      qc.graph_case = true;
+      graph_idx.push_back(i);
+    }
+  }
+  const uint64_t analyzed = graph_idx.size() + hyper_idx.size();
+  std::printf("%zu lines -> %zu unique queries, %llu analyzed "
+              "(%zu canonical-graph, %zu hypergraph)\n\n",
+              lines.size(), cases.size(),
+              static_cast<unsigned long long>(analyzed), graph_idx.size(),
+              hyper_idx.size());
+
+  std::vector<PhaseResult> phases;
+  corpus::AnalysisScratch scratch;
+
+  // ---- Stage: canonical-graph build ----
+  std::vector<reference::ReferenceCanonicalGraph> ref_graphs;
+  ref_graphs.reserve(graph_idx.size());
+  phases.push_back(RunPhase("canonical_ref", [&] {
+    for (size_t i : graph_idx) {
+      std::vector<const sparql::TriplePattern*> triples;
+      std::vector<const sparql::Expr*> filters;
+      graph::CollectTriplesAndFilters(cases[i].query.where, triples, filters);
+      ref_graphs.push_back(reference::BuildCanonicalGraph(triples, filters));
+    }
+  }));
+  phases.push_back(RunPhase("canonical_new", [&] {
+    for (size_t i : graph_idx) {
+      scratch.triples.clear();
+      scratch.filters.clear();
+      graph::CollectTriplesAndFilters(cases[i].query.where, scratch.triples,
+                                      scratch.filters);
+      graph::BuildCanonicalGraph(scratch.triples, scratch.filters,
+                                 graph::CanonicalOptions(), scratch.canonical,
+                                 scratch.graph);
+    }
+  }));
+  // Off the clock: value copies of the new canonical graphs so the
+  // shape/treewidth stages can be timed in isolation on both paths.
+  std::vector<graph::CanonicalGraph> new_graphs;
+  new_graphs.reserve(graph_idx.size());
+  for (size_t i : graph_idx) {
+    scratch.triples.clear();
+    scratch.filters.clear();
+    graph::CollectTriplesAndFilters(cases[i].query.where, scratch.triples,
+                                    scratch.filters);
+    graph::BuildCanonicalGraph(scratch.triples, scratch.filters,
+                               graph::CanonicalOptions(), scratch.canonical,
+                               scratch.graph);
+    new_graphs.push_back(scratch.graph);
+  }
+
+  // ---- Stage: shape classification ----
+  std::vector<graph::ShapeClass> shapes_ref(ref_graphs.size());
+  std::vector<graph::ShapeClass> shapes_new(new_graphs.size());
+  phases.push_back(RunPhase("shape_ref", [&] {
+    for (size_t j = 0; j < ref_graphs.size(); ++j) {
+      if (ref_graphs[j].valid) {
+        shapes_ref[j] = reference::ClassifyShape(ref_graphs[j].graph);
+      }
+    }
+  }));
+  phases.push_back(RunPhase("shape_new", [&] {
+    for (size_t j = 0; j < new_graphs.size(); ++j) {
+      if (new_graphs[j].valid) {
+        shapes_new[j] = graph::ClassifyShape(new_graphs[j].graph, scratch.shape);
+      }
+    }
+  }));
+
+  // ---- Stage: treewidth ----
+  std::vector<int> tw_ref(ref_graphs.size(), 0), tw_new(new_graphs.size(), 0);
+  phases.push_back(RunPhase("treewidth_ref", [&] {
+    for (size_t j = 0; j < ref_graphs.size(); ++j) {
+      if (ref_graphs[j].valid) {
+        tw_ref[j] = reference::Treewidth(ref_graphs[j].graph).width;
+      }
+    }
+  }));
+  phases.push_back(RunPhase("treewidth_new", [&] {
+    for (size_t j = 0; j < new_graphs.size(); ++j) {
+      if (new_graphs[j].valid) {
+        tw_new[j] =
+            width::Treewidth(new_graphs[j].graph, scratch.treewidth).width;
+      }
+    }
+  }));
+
+  // ---- Stage: generalized hypertree width (build + search) ----
+  std::vector<HyperVerdict> ghw_ref(hyper_idx.size()), ghw_new(hyper_idx.size());
+  phases.push_back(RunPhase("ghw_ref", [&] {
+    for (size_t j = 0; j < hyper_idx.size(); ++j) {
+      std::vector<const sparql::TriplePattern*> triples;
+      std::vector<const sparql::Expr*> filters;
+      graph::CollectTriplesAndFilters(cases[hyper_idx[j]].query.where, triples,
+                                      filters);
+      reference::ReferenceHypergraph hg =
+          reference::BuildCanonicalHypergraph(triples, filters);
+      width::GhwResult r = reference::GeneralizedHypertreeWidth(hg);
+      ghw_ref[j] = {r.width, r.decomposition_nodes};
+    }
+  }));
+  phases.push_back(RunPhase("ghw_new", [&] {
+    for (size_t j = 0; j < hyper_idx.size(); ++j) {
+      scratch.triples.clear();
+      scratch.filters.clear();
+      graph::CollectTriplesAndFilters(cases[hyper_idx[j]].query.where,
+                                      scratch.triples, scratch.filters);
+      graph::BuildCanonicalHypergraph(scratch.triples, scratch.filters,
+                                      graph::CanonicalOptions(),
+                                      scratch.canonical, scratch.hypergraph);
+      width::GhwResult r =
+          width::GeneralizedHypertreeWidth(scratch.hypergraph, scratch.ghw);
+      ghw_new[j] = {r.width, r.decomposition_nodes};
+    }
+  }));
+
+  // ---- Stage: the whole analysis, end to end (the headline number) ----
+  corpus::ShapeCounts cq_ref, cqf_ref, cqof_ref;
+  corpus::HypergraphStats hgs_ref;
+  phases.push_back(RunPhase("analyze_ref", [&] {
+    for (const QueryCase& qc : cases) {
+      if (!qc.graph_case && !qc.hyper_case) continue;
+      ReferenceAnalyzeShapes(qc, cq_ref, cqf_ref, cqof_ref, hgs_ref);
+    }
+  }));
+  // The scratch-path twin of ReferenceAnalyzeShapes: same per-query
+  // work (collect, build, classify, widths, table counting), new
+  // implementations.
+  corpus::ShapeCounts cq_new, cqf_new, cqof_new;
+  corpus::HypergraphStats hgs_new;
+  phases.push_back(RunPhase("analyze_new", [&] {
+    for (const QueryCase& qc : cases) {
+      if (!qc.graph_case && !qc.hyper_case) continue;
+      scratch.triples.clear();
+      scratch.filters.clear();
+      graph::CollectTriplesAndFilters(qc.query.where, scratch.triples,
+                                      scratch.filters);
+      if (qc.hyper_case) {
+        graph::BuildCanonicalHypergraph(scratch.triples, scratch.filters,
+                                        graph::CanonicalOptions(),
+                                        scratch.canonical, scratch.hypergraph);
+        width::GhwResult ghw =
+            width::GeneralizedHypertreeWidth(scratch.hypergraph, scratch.ghw);
+        ++hgs_new.total;
+        switch (ghw.width) {
+          case 0:
+          case 1: ++hgs_new.ghw1; break;
+          case 2: ++hgs_new.ghw2; break;
+          case 3: ++hgs_new.ghw3; break;
+          default: ++hgs_new.ghw_more; break;
+        }
+        if (ghw.decomposition_nodes > 10) ++hgs_new.decompositions_gt10_nodes;
+        if (ghw.decomposition_nodes > 100) ++hgs_new.decompositions_gt100_nodes;
+        continue;
+      }
+      graph::BuildCanonicalGraph(scratch.triples, scratch.filters,
+                                 graph::CanonicalOptions(), scratch.canonical,
+                                 scratch.graph);
+      const graph::CanonicalGraph& cg = scratch.graph;
+      if (!cg.valid) continue;
+      graph::ShapeClass shape = graph::ClassifyShape(cg.graph, scratch.shape);
+      width::TreewidthResult tw = width::Treewidth(cg.graph, scratch.treewidth);
+      auto record = [&](corpus::ShapeCounts& sc) {
+        ++sc.total;
+        if (shape.single_edge) {
+          ++sc.single_edge;
+          bool has_constant = false;
+          for (const rdf::Term* t : cg.node_terms) {
+            if (t->is_constant()) has_constant = true;
+          }
+          if (has_constant) ++sc.single_edge_with_constants;
+        }
+        if (shape.chain) ++sc.chain;
+        if (shape.chain_set) ++sc.chain_set;
+        if (shape.star) ++sc.star;
+        if (shape.tree) ++sc.tree;
+        if (shape.forest) ++sc.forest;
+        if (shape.cycle) ++sc.cycle;
+        if (shape.flower) ++sc.flower;
+        if (shape.flower_set) ++sc.flower_set;
+        if (tw.width <= 2) {
+          ++sc.treewidth_le2;
+        } else if (tw.width == 3) {
+          ++sc.treewidth_3;
+        } else {
+          ++sc.treewidth_gt3;
+        }
+        if (shape.girth > 0) ++sc.girth[shape.girth];
+      };
+      if (qc.fc.cq) record(cq_new);
+      if (qc.fc.cqf) record(cqf_new);
+      if (qc.fc.cqof) record(cqof_new);
+    }
+  }));
+  // The production analyzer, off the clock: its tables must match the
+  // reference tables too (guards the CorpusAnalyzer plumbing).
+  corpus::CorpusAnalyzer analyzer;
+  for (const QueryCase& qc : cases) {
+    analyzer.AddQuery(qc.query, "all");
+  }
+
+  // ---- Oracle: per-query equivalence ----
+  for (size_t j = 0; j < graph_idx.size(); ++j) {
+    Check("canonical.valid", ref_graphs[j].valid ? 1 : 0,
+          new_graphs[j].valid ? 1 : 0);
+    if (!ref_graphs[j].valid || !new_graphs[j].valid) continue;
+    Check("canonical.nodes",
+          static_cast<uint64_t>(ref_graphs[j].graph.num_nodes()),
+          static_cast<uint64_t>(new_graphs[j].graph.num_nodes()));
+    Check("canonical.edges",
+          static_cast<uint64_t>(ref_graphs[j].graph.num_edges()),
+          static_cast<uint64_t>(new_graphs[j].graph.num_edges()));
+    if (!SameShape(shapes_ref[j], shapes_new[j])) {
+      ++g_failures;
+      std::fprintf(stderr, "FAIL: shape flags diverge on graph case %zu\n", j);
+    }
+    Check("treewidth", static_cast<uint64_t>(tw_ref[j]),
+          static_cast<uint64_t>(tw_new[j]));
+  }
+  for (size_t j = 0; j < hyper_idx.size(); ++j) {
+    Check("ghw.width", static_cast<uint64_t>(ghw_ref[j].width),
+          static_cast<uint64_t>(ghw_new[j].width));
+    Check("ghw.nodes", static_cast<uint64_t>(ghw_ref[j].decomposition_nodes),
+          static_cast<uint64_t>(ghw_new[j].decomposition_nodes));
+  }
+
+  // ---- Oracle: aggregated tables vs the reference-built tables ----
+  CheckShapeCounts("ShapeCounts[cq]", cq_ref, cq_new);
+  CheckShapeCounts("ShapeCounts[cqf]", cqf_ref, cqf_new);
+  CheckShapeCounts("ShapeCounts[cqof]", cqof_ref, cqof_new);
+  Check("HypergraphStats.total(stage)", hgs_ref.total, hgs_new.total);
+  Check("HypergraphStats.ghw1(stage)", hgs_ref.ghw1, hgs_new.ghw1);
+  Check("HypergraphStats.ghw2(stage)", hgs_ref.ghw2, hgs_new.ghw2);
+  Check("HypergraphStats.ghw3(stage)", hgs_ref.ghw3, hgs_new.ghw3);
+  CheckShapeCounts("ShapeCounts[cq](analyzer)", cq_ref, analyzer.cq_shapes());
+  CheckShapeCounts("ShapeCounts[cqf](analyzer)", cqf_ref,
+                   analyzer.cqf_shapes());
+  CheckShapeCounts("ShapeCounts[cqof](analyzer)", cqof_ref,
+                   analyzer.cqof_shapes());
+  Check("HypergraphStats.total", hgs_ref.total, analyzer.hypergraphs().total);
+  Check("HypergraphStats.ghw1", hgs_ref.ghw1, analyzer.hypergraphs().ghw1);
+  Check("HypergraphStats.ghw2", hgs_ref.ghw2, analyzer.hypergraphs().ghw2);
+  Check("HypergraphStats.ghw3", hgs_ref.ghw3, analyzer.hypergraphs().ghw3);
+  Check("HypergraphStats.ghw_more", hgs_ref.ghw_more,
+        analyzer.hypergraphs().ghw_more);
+  Check("HypergraphStats.gt10", hgs_ref.decompositions_gt10_nodes,
+        analyzer.hypergraphs().decompositions_gt10_nodes);
+  Check("HypergraphStats.gt100", hgs_ref.decompositions_gt100_nodes,
+        analyzer.hypergraphs().decompositions_gt100_nodes);
+  {
+    // FragmentStats: replicate the pre-change counting (ClassifyFragment
+    // is untouched by the rewrite, so this guards the plumbing).
+    corpus::FragmentStats fs_ref;
+    for (const QueryCase& qc : cases) {
+      bool select_ask = qc.query.form == sparql::QueryForm::kSelect ||
+                        qc.query.form == sparql::QueryForm::kAsk;
+      if (!select_ask || !qc.query.has_body) continue;
+      fragments::FragmentClass fc = fragments::ClassifyFragment(qc.query);
+      ++fs_ref.select_ask;
+      if (fc.aof) ++fs_ref.aof;
+      if (fc.cq) {
+        ++fs_ref.cq;
+        if (fc.num_triples >= 1) fs_ref.cq_sizes.Add(fc.num_triples);
+      }
+      if (fc.cpf) ++fs_ref.cpf;
+      if (fc.cqf) {
+        ++fs_ref.cqf;
+        if (fc.num_triples >= 1) fs_ref.cqf_sizes.Add(fc.num_triples);
+      }
+      if (fc.well_designed) ++fs_ref.well_designed;
+      if (fc.cqof) {
+        ++fs_ref.cqof;
+        if (fc.num_triples >= 1) fs_ref.cqof_sizes.Add(fc.num_triples);
+      }
+      if (fc.aof && fc.well_designed && fc.simple_filters &&
+          fc.interface_width > 1) {
+        ++fs_ref.wide_interface;
+      }
+    }
+    const corpus::FragmentStats& got = analyzer.fragments();
+    Check("FragmentStats.select_ask", fs_ref.select_ask, got.select_ask);
+    Check("FragmentStats.aof", fs_ref.aof, got.aof);
+    Check("FragmentStats.cq", fs_ref.cq, got.cq);
+    Check("FragmentStats.cpf", fs_ref.cpf, got.cpf);
+    Check("FragmentStats.cqf", fs_ref.cqf, got.cqf);
+    Check("FragmentStats.well_designed", fs_ref.well_designed,
+          got.well_designed);
+    Check("FragmentStats.cqof", fs_ref.cqof, got.cqof);
+    Check("FragmentStats.wide_interface", fs_ref.wide_interface,
+          got.wide_interface);
+    CheckHistogram("FragmentStats.cq_sizes", fs_ref.cq_sizes, got.cq_sizes);
+    CheckHistogram("FragmentStats.cqf_sizes", fs_ref.cqf_sizes, got.cqf_sizes);
+    CheckHistogram("FragmentStats.cqof_sizes", fs_ref.cqof_sizes,
+                   got.cqof_sizes);
+  }
+
+  // ---- Oracle: serial vs parallel StatisticsDigest ----
+  bool digest_match = true;
+  {
+    corpus::LogIngestor ingestor;
+    corpus::CorpusAnalyzer serial;
+    ingestor.set_unique_sink(
+        [&serial](const sparql::Query& q) { serial.AddQuery(q, "all"); });
+    ingestor.ProcessLog(lines);
+    std::vector<uint64_t> serial_digest = pipeline::StatisticsDigest(serial);
+    struct Config {
+      int threads;
+      size_t shards;
+      size_t chunk;
+    };
+    const Config configs[] = {{3, 5, 64}, {4, 2, 7}, {2, 0, 512}};
+    for (const Config& c : configs) {
+      pipeline::PipelineOptions options;
+      options.threads = c.threads;
+      options.shards = c.shards;
+      options.chunk_size = c.chunk;
+      pipeline::ParallelLogPipeline pl(options);
+      pipeline::PipelineResult result = pl.Run(lines);
+      if (pipeline::StatisticsDigest(result.analysis) != serial_digest ||
+          result.stats.total != ingestor.stats().total ||
+          result.stats.valid != ingestor.stats().valid ||
+          result.stats.unique != ingestor.stats().unique) {
+        digest_match = false;
+        ++g_failures;
+        std::fprintf(stderr,
+                     "FAIL: serial/parallel digest diverges (threads=%d "
+                     "shards=%zu chunk=%zu)\n",
+                     c.threads, c.shards, c.chunk);
+      }
+    }
+  }
+
+  // ---- Scoreboard ----
+  std::printf("%-16s %10s %14s %16s %12s\n", "stage", "time (s)",
+              "queries/sec", "bytes/query", "allocs/query");
+  auto denom_of = [&](const std::string& name) -> uint64_t {
+    if (name.rfind("ghw", 0) == 0) {
+      return hyper_idx.empty() ? 1 : hyper_idx.size();
+    }
+    if (name.rfind("analyze", 0) == 0) return analyzed > 0 ? analyzed : 1;
+    return graph_idx.empty() ? 1 : graph_idx.size();
+  };
+  for (const PhaseResult& p : phases) {
+    double denom = static_cast<double>(denom_of(p.name));
+    double qps = p.seconds > 0 ? denom / p.seconds : 0;
+    std::printf("%-16s %10.3f %14s %16.1f %12.2f\n", p.name.c_str(), p.seconds,
+                util::WithThousands(static_cast<long long>(qps)).c_str(),
+                static_cast<double>(p.bytes_allocated) / denom,
+                static_cast<double>(p.allocations) / denom);
+  }
+
+  const PhaseResult& ref_total = phases[phases.size() - 2];
+  const PhaseResult& new_total = phases[phases.size() - 1];
+  double speedup =
+      new_total.seconds > 0 ? ref_total.seconds / new_total.seconds : 0;
+  double alloc_ratio =
+      new_total.allocations > 0
+          ? static_cast<double>(ref_total.allocations) /
+                static_cast<double>(new_total.allocations)
+          : static_cast<double>(ref_total.allocations);
+  std::printf("\nAnalysis stage: %.1fx queries/sec, %.1fx fewer allocations "
+              "(%llu -> %llu over %llu queries)\n",
+              speedup, alloc_ratio,
+              static_cast<unsigned long long>(ref_total.allocations),
+              static_cast<unsigned long long>(new_total.allocations),
+              static_cast<unsigned long long>(analyzed));
+
+  // ---- BENCH_analysis.json ----
+  {
+    std::ofstream out(json_path);
+    bench::JsonWriter json(out);
+    json.BeginObject();
+    json.KV("bench", "analysis_hotpath");
+    json.KV("entries_per_dataset", entries_per_dataset);
+    json.KV("lines", static_cast<uint64_t>(lines.size()));
+    json.KV("unique_queries", static_cast<uint64_t>(cases.size()));
+    json.KV("analyzed_queries", analyzed);
+    json.KV("graph_queries", static_cast<uint64_t>(graph_idx.size()));
+    json.KV("hypergraph_queries", static_cast<uint64_t>(hyper_idx.size()));
+    json.Key("phases").BeginArray();
+    for (const PhaseResult& p : phases) {
+      double denom = static_cast<double>(denom_of(p.name));
+      double qps = p.seconds > 0 ? denom / p.seconds : 0;
+      json.BeginObject();
+      json.KV("name", p.name);
+      json.KV("seconds", p.seconds);
+      json.KV("queries_per_sec", static_cast<uint64_t>(qps));
+      json.KV("bytes_allocated", p.bytes_allocated);
+      json.KV("allocations", p.allocations);
+      json.KV("allocs_per_query",
+              static_cast<double>(p.allocations) / denom);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.KV("speedup_analyze", speedup);
+    json.KV("alloc_ratio_analyze", alloc_ratio);
+    json.KV("digest_match", digest_match);
+    json.KV("mismatches", static_cast<uint64_t>(g_failures));
+    json.KV("tables_match", g_failures == 0);
+    json.EndObject();
+    json.Finish();
+  }
+  std::printf("Wrote %s\n", json_path.c_str());
+
+  if (g_failures > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d divergence(s) between the reference and the "
+                 "allocation-lean analysis path\n",
+                 g_failures);
+    return 1;
+  }
+  return 0;
+}

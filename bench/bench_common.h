@@ -1,9 +1,14 @@
 #ifndef SPARQLOG_BENCH_BENCH_COMMON_H_
 #define SPARQLOG_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <ostream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "corpus/generator.h"
 #include "corpus/ingest.h"
@@ -11,6 +16,136 @@
 #include "corpus/report.h"
 
 namespace sparqlog::bench {
+
+/// Path for a bench's JSON artifact: SPARQLOG_BENCH_JSON overrides the
+/// per-bench default so CI runs can redirect without editing code.
+inline std::string BenchJsonPath(const char* fallback) {
+  const char* env = std::getenv("SPARQLOG_BENCH_JSON");
+  return env != nullptr ? env : fallback;
+}
+
+/// Positive integer knob from the environment (bench sizing).
+inline uint64_t EnvCount(const char* name, uint64_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    uint64_t v = std::strtoull(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// Minimal streaming JSON writer shared by the BENCH_*.json emitters
+/// (ingest, streaks, analysis): tracks nesting and emits commas and
+/// two-space indentation, so bench code states keys and values only.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& Key(std::string_view k) {
+    NextItem();
+    Escaped(k);
+    out_ << ": ";
+    have_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Value(std::string_view v) {
+    Prefix();
+    Escaped(v);
+    return *this;
+  }
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(uint64_t v) {
+    Prefix();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& Value(int v) {
+    Prefix();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& Value(double v) {
+    Prefix();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& Value(bool v) {
+    Prefix();
+    out_ << (v ? "true" : "false");
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& KV(std::string_view k, T v) {
+    Key(k);
+    return Value(v);
+  }
+
+  void Finish() { out_ << "\n"; }
+
+ private:
+  JsonWriter& Open(char c) {
+    Prefix();
+    out_ << c;
+    frames_.push_back(true);
+    return *this;
+  }
+  JsonWriter& Close(char c) {
+    bool empty = frames_.back();
+    frames_.pop_back();
+    if (!empty) Newline();
+    out_ << c;
+    return *this;
+  }
+  void NextItem() {
+    if (frames_.empty()) return;
+    if (!frames_.back()) out_ << ',';
+    frames_.back() = false;
+    Newline();
+  }
+  void Prefix() {
+    if (have_key_) {
+      have_key_ = false;
+      return;
+    }
+    NextItem();
+  }
+  void Newline() {
+    out_ << '\n';
+    for (size_t i = 0; i < frames_.size(); ++i) out_ << "  ";
+  }
+  void Escaped(std::string_view s) {
+    out_ << '"';
+    for (char c : s) {
+      unsigned char u = static_cast<unsigned char>(c);
+      if (c == '"' || c == '\\') {
+        out_ << '\\' << c;
+      } else if (c == '\n') {
+        out_ << "\\n";
+      } else if (c == '\t') {
+        out_ << "\\t";
+      } else if (c == '\r') {
+        out_ << "\\r";
+      } else if (u < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+        out_ << buf;
+      } else {
+        out_ << c;
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  std::vector<bool> frames_;  // true = frame has no children yet
+  bool have_key_ = false;
+};
 
 /// Scale factor for the synthetic corpus, overridable via the
 /// SPARQLOG_SCALE environment variable (fraction of the paper's log

@@ -11,19 +11,15 @@
 //  * any query's streaming CanonicalHash() differs from FNV-1a of the
 //    materialized Serialize() string (hash-sink vs string-sink).
 
-#include <atomic>
-#include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <functional>
-#include <new>
-#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_set>
 #include <vector>
 
+#include "alloc_tracker.h"
+#include "bench_common.h"
 #include "corpus/generator.h"
 #include "corpus/ingest.h"
 #include "corpus/profile.h"
@@ -32,56 +28,11 @@
 #include "sparql/serializer.h"
 #include "util/strings.h"
 
-// --------------------------------------------------------------------------
-// Global allocation counters. Overriding the usual new/delete pairs in
-// the bench binary makes "bytes allocated per line" a first-class,
-// regression-checkable metric without any external tooling.
-// --------------------------------------------------------------------------
-
-namespace {
-std::atomic<uint64_t> g_alloc_bytes{0};
-std::atomic<uint64_t> g_alloc_count{0};
-}  // namespace
-
-void* operator new(std::size_t n) {
-  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(n ? n : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t n) { return ::operator new(n); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-
 namespace {
 
 using namespace sparqlog;
-
-struct PhaseResult {
-  std::string name;
-  double seconds = 0;
-  uint64_t bytes_allocated = 0;
-  uint64_t allocations = 0;
-};
-
-PhaseResult RunPhase(const std::string& name,
-                     const std::function<void()>& fn) {
-  PhaseResult r;
-  r.name = name;
-  uint64_t bytes0 = g_alloc_bytes.load(std::memory_order_relaxed);
-  uint64_t count0 = g_alloc_count.load(std::memory_order_relaxed);
-  auto start = std::chrono::steady_clock::now();
-  fn();
-  r.seconds = std::chrono::duration<double>(
-                  std::chrono::steady_clock::now() - start)
-                  .count();
-  r.bytes_allocated =
-      g_alloc_bytes.load(std::memory_order_relaxed) - bytes0;
-  r.allocations = g_alloc_count.load(std::memory_order_relaxed) - count0;
-  return r;
-}
+using bench::PhaseResult;
+using bench::RunPhase;
 
 // The lex/parse-only phases clean lines with corpus::ExtractQueryText —
 // the same helper ParseLogLine uses — so they measure exactly the
@@ -91,14 +42,8 @@ using corpus::ExtractQueryText;
 }  // namespace
 
 int main() {
-  uint64_t entries_per_dataset = 2000;
-  if (const char* env = std::getenv("SPARQLOG_BENCH_ENTRIES")) {
-    uint64_t v = std::strtoull(env, nullptr, 10);
-    if (v > 0) entries_per_dataset = v;
-  }
-  const char* json_path_env = std::getenv("SPARQLOG_BENCH_JSON");
-  const std::string json_path =
-      json_path_env != nullptr ? json_path_env : "BENCH_ingest.json";
+  uint64_t entries_per_dataset = bench::EnvCount("SPARQLOG_BENCH_ENTRIES", 2000);
+  const std::string json_path = bench::BenchJsonPath("BENCH_ingest.json");
 
   std::printf("Generating corpus (%llu entries/dataset x 13 datasets)...\n",
               static_cast<unsigned long long>(entries_per_dataset));
@@ -202,30 +147,38 @@ int main() {
                      hot_stats.valid == reference.valid &&
                      hot_stats.unique == reference.unique;
 
-  std::ofstream json(json_path);
-  json << "{\n"
-       << "  \"bench\": \"ingest_hotpath\",\n"
-       << "  \"entries_per_dataset\": " << entries_per_dataset << ",\n"
-       << "  \"lines\": " << lines.size() << ",\n"
-       << "  \"phases\": [\n";
-  for (size_t i = 0; i < phases.size(); ++i) {
-    const PhaseResult& p = phases[i];
-    double lps = p.seconds > 0 ? lines.size() / p.seconds : 0;
-    json << "    {\"name\": \"" << p.name << "\", \"seconds\": " << p.seconds
-         << ", \"lines_per_sec\": " << static_cast<uint64_t>(lps)
-         << ", \"bytes_allocated\": " << p.bytes_allocated
-         << ", \"allocations\": " << p.allocations << "}"
-         << (i + 1 < phases.size() ? "," : "") << "\n";
+  {
+    std::ofstream out(json_path);
+    bench::JsonWriter json(out);
+    json.BeginObject();
+    json.KV("bench", "ingest_hotpath");
+    json.KV("entries_per_dataset", entries_per_dataset);
+    json.KV("lines", static_cast<uint64_t>(lines.size()));
+    json.Key("phases").BeginArray();
+    for (const PhaseResult& p : phases) {
+      double lps = p.seconds > 0 ? lines.size() / p.seconds : 0;
+      json.BeginObject();
+      json.KV("name", p.name);
+      json.KV("seconds", p.seconds);
+      json.KV("lines_per_sec", static_cast<uint64_t>(lps));
+      json.KV("bytes_allocated", p.bytes_allocated);
+      json.KV("allocations", p.allocations);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("stats").BeginObject();
+    json.KV("total", reference.total);
+    json.KV("valid", reference.valid);
+    json.KV("unique", reference.unique);
+    json.EndObject();
+    json.Key("hash_check").BeginObject();
+    json.KV("queries", hash_checked);
+    json.KV("mismatches", hash_mismatches);
+    json.EndObject();
+    json.KV("stats_match", stats_match);
+    json.EndObject();
+    json.Finish();
   }
-  json << "  ],\n"
-       << "  \"stats\": {\"total\": " << reference.total
-       << ", \"valid\": " << reference.valid
-       << ", \"unique\": " << reference.unique << "},\n"
-       << "  \"hash_check\": {\"queries\": " << hash_checked
-       << ", \"mismatches\": " << hash_mismatches << "},\n"
-       << "  \"stats_match\": " << (stats_match ? "true" : "false") << "\n"
-       << "}\n";
-  json.close();
   std::printf("Wrote %s\n", json_path.c_str());
 
   if (!stats_match) {

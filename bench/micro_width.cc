@@ -38,6 +38,43 @@ void BM_ClassifyShapeChain(benchmark::State& state) {
 }
 BENCHMARK(BM_ClassifyShapeChain)->Arg(8)->Arg(64)->Arg(229);
 
+void BM_ClassifyShapeChainScratch(benchmark::State& state) {
+  graph::Graph g(static_cast<int>(state.range(0)));
+  for (int i = 0; i + 1 < state.range(0); ++i) g.AddEdge(i, i + 1);
+  graph::ShapeScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::ClassifyShape(g, scratch));
+  }
+}
+BENCHMARK(BM_ClassifyShapeChainScratch)->Arg(8)->Arg(64)->Arg(229);
+
+void BM_TreewidthCycleScratch(benchmark::State& state) {
+  graph::Graph g(static_cast<int>(state.range(0)));
+  for (int i = 0; i < state.range(0); ++i) {
+    g.AddEdge(i, static_cast<int>((i + 1) % state.range(0)));
+  }
+  width::TreewidthScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(width::Treewidth(g, scratch));
+  }
+}
+BENCHMARK(BM_TreewidthCycleScratch)->Arg(8)->Arg(64)->Arg(200);
+
+void BM_GhwTriangleChainScratch(benchmark::State& state) {
+  graph::Hypergraph hg;
+  int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    hg.AddEdge({2 * i, 2 * i + 1});
+    hg.AddEdge({2 * i + 1, 2 * i + 2});
+    hg.AddEdge({2 * i, 2 * i + 2});
+  }
+  width::GhwScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(width::GeneralizedHypertreeWidth(hg, scratch));
+  }
+}
+BENCHMARK(BM_GhwTriangleChainScratch)->Arg(1)->Arg(3)->Arg(6);
+
 void BM_ClassifyShapeFlower(benchmark::State& state) {
   graph::Graph g = Flower(static_cast<int>(state.range(0)), 4, 6);
   for (auto _ : state) {

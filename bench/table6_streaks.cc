@@ -14,19 +14,18 @@
 // from the reference in any field.
 
 #include <algorithm>
-#include <atomic>
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <fstream>
 #include <iostream>
-#include <new>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "alloc_tracker.h"
+#include "bench_common.h"
 #include "corpus/generator.h"
 #include "corpus/profile.h"
 #include "pipeline/streak_stage.h"
@@ -34,29 +33,6 @@
 #include "util/levenshtein.h"
 #include "util/strings.h"
 #include "util/table.h"
-
-// --------------------------------------------------------------------------
-// Global allocation counters (same pattern as bench_ingest_hotpath):
-// operator new/delete overridden so allocs/query is a first-class,
-// regression-checkable metric.
-// --------------------------------------------------------------------------
-
-namespace {
-std::atomic<uint64_t> g_alloc_bytes{0};
-std::atomic<uint64_t> g_alloc_count{0};
-}  // namespace
-
-void* operator new(std::size_t n) {
-  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(n ? n : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t n) { return ::operator new(n); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -190,15 +166,13 @@ struct PathResult {
 template <typename Fn>
 PathResult TimePath(Fn&& fn) {
   PathResult r;
-  uint64_t bytes0 = g_alloc_bytes.load(std::memory_order_relaxed);
-  uint64_t count0 = g_alloc_count.load(std::memory_order_relaxed);
-  auto start = std::chrono::steady_clock::now();
-  r.report = fn();
-  r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                            start)
-                  .count();
-  r.bytes_allocated = g_alloc_bytes.load(std::memory_order_relaxed) - bytes0;
-  r.allocations = g_alloc_count.load(std::memory_order_relaxed) - count0;
+  streaks::StreakReport report;
+  bench::PhaseResult phase =
+      bench::RunPhase("", [&report, &fn] { report = fn(); });
+  r.seconds = phase.seconds;
+  r.bytes_allocated = phase.bytes_allocated;
+  r.allocations = phase.allocations;
+  r.report = std::move(report);
   return r;
 }
 
@@ -207,13 +181,8 @@ PathResult TimePath(Fn&& fn) {
 int main() {
   using namespace sparqlog;
 
-  size_t base = 4000;
-  if (const char* env = std::getenv("SPARQLOG_STREAK_QUERIES")) {
-    base = std::strtoull(env, nullptr, 10);
-  }
-  const char* json_path_env = std::getenv("SPARQLOG_BENCH_JSON");
-  const std::string json_path =
-      json_path_env != nullptr ? json_path_env : "BENCH_streaks.json";
+  size_t base = bench::EnvCount("SPARQLOG_STREAK_QUERIES", 4000);
+  const std::string json_path = bench::BenchJsonPath("BENCH_streaks.json");
 
   // Day-log sizes proportional to the paper's 273 / 803 / 1004 MiB.
   struct Day {
@@ -358,53 +327,58 @@ int main() {
   }
 
   // ---- BENCH_streaks.json ----
-  std::ofstream json(json_path);
-  json << "{\n"
-       << "  \"bench\": \"table6_streaks\",\n"
-       << "  \"base_queries\": " << base << ",\n"
-       << "  \"days\": [\n";
-  for (int d = 0; d < 3; ++d) {
-    double n = static_cast<double>(day_queries[d]);
-    auto qps = [n](const PathResult& r) {
-      return r.seconds > 0 ? static_cast<uint64_t>(n / r.seconds) : 0;
-    };
-    const streaks::PrefilterStats& s = fast_stats[d];
-    json << "    {\n"
-         << "      \"dataset\": \"" << days[d].dataset << "\",\n"
-         << "      \"queries\": " << day_queries[d] << ",\n"
-         << "      \"reference\": {\"seconds\": "
-         << reference_results[d].seconds
-         << ", \"lines_per_sec\": " << qps(reference_results[d])
-         << ", \"allocations\": " << reference_results[d].allocations
-         << ", \"bytes_allocated\": " << reference_results[d].bytes_allocated
-         << "},\n"
-         << "      \"fast_serial\": {\"seconds\": " << fast_results[d].seconds
-         << ", \"lines_per_sec\": " << qps(fast_results[d])
-         << ", \"allocations\": " << fast_results[d].allocations
-         << ", \"bytes_allocated\": " << fast_results[d].bytes_allocated
-         << "},\n"
-         << "      \"sharded\": {\"seconds\": " << sharded_results[d].seconds
-         << ", \"lines_per_sec\": " << qps(sharded_results[d])
-         << ", \"threads\": " << stage_results[d].threads
-         << ", \"chunks\": " << stage_results[d].chunks << "},\n"
-         << "      \"speedup_fast_vs_reference\": "
-         << (fast_results[d].seconds > 0
-                 ? reference_results[d].seconds / fast_results[d].seconds
-                 : 0)
-         << ",\n"
-         << "      \"prefilter\": {\"pairs\": " << s.pairs
-         << ", \"exact_hash_hits\": " << s.exact_hash_hits
-         << ", \"length_rejects\": " << s.length_rejects
-         << ", \"charmap_rejects\": " << s.charmap_rejects
-         << ", \"histogram_rejects\": " << s.histogram_rejects
-         << ", \"levenshtein_calls\": " << s.levenshtein_calls << "},\n"
-         << "      \"longest\": " << reports[d].longest << "\n"
-         << "    }" << (d < 2 ? "," : "") << "\n";
+  {
+    std::ofstream out(json_path);
+    bench::JsonWriter json(out);
+    json.BeginObject();
+    json.KV("bench", "table6_streaks");
+    json.KV("base_queries", static_cast<uint64_t>(base));
+    json.Key("days").BeginArray();
+    for (int d = 0; d < 3; ++d) {
+      double n = static_cast<double>(day_queries[d]);
+      auto qps = [n](const PathResult& r) {
+        return r.seconds > 0 ? static_cast<uint64_t>(n / r.seconds) : 0;
+      };
+      auto path = [&json, &qps](const char* name, const PathResult& r) {
+        json.Key(name).BeginObject();
+        json.KV("seconds", r.seconds);
+        json.KV("lines_per_sec", qps(r));
+        json.KV("allocations", r.allocations);
+        json.KV("bytes_allocated", r.bytes_allocated);
+        json.EndObject();
+      };
+      const streaks::PrefilterStats& s = fast_stats[d];
+      json.BeginObject();
+      json.KV("dataset", days[d].dataset);
+      json.KV("queries", static_cast<uint64_t>(day_queries[d]));
+      path("reference", reference_results[d]);
+      path("fast_serial", fast_results[d]);
+      json.Key("sharded").BeginObject();
+      json.KV("seconds", sharded_results[d].seconds);
+      json.KV("lines_per_sec", qps(sharded_results[d]));
+      json.KV("threads", stage_results[d].threads);
+      json.KV("chunks", static_cast<uint64_t>(stage_results[d].chunks));
+      json.EndObject();
+      json.KV("speedup_fast_vs_reference",
+              fast_results[d].seconds > 0
+                  ? reference_results[d].seconds / fast_results[d].seconds
+                  : 0.0);
+      json.Key("prefilter").BeginObject();
+      json.KV("pairs", s.pairs);
+      json.KV("exact_hash_hits", s.exact_hash_hits);
+      json.KV("length_rejects", s.length_rejects);
+      json.KV("charmap_rejects", s.charmap_rejects);
+      json.KV("histogram_rejects", s.histogram_rejects);
+      json.KV("levenshtein_calls", s.levenshtein_calls);
+      json.EndObject();
+      json.KV("longest", reports[d].longest);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.KV("reports_match", !diverged);
+    json.EndObject();
+    json.Finish();
   }
-  json << "  ],\n"
-       << "  \"reports_match\": " << (diverged ? "false" : "true") << "\n"
-       << "}\n";
-  json.close();
   std::cout << "\nWrote " << json_path << "\n";
 
   if (diverged) {

@@ -5,17 +5,21 @@
 // (2) mutates log lines and checks the ingest invariants, (3) replays
 // randomized serial-vs-parallel digest equivalence rounds, and
 // (4) replays randomized serial-vs-sharded streak-report equivalence
-// rounds on fuzzed refinement-session logs.
+// rounds on fuzzed refinement-session logs, and (5) replays fuzzed
+// queries through the pre-change vs allocation-lean structural-analysis
+// paths (shape/girth/treewidth/GHW, the bench oracle) plus
+// serial-vs-parallel StatsReport digests over analysis-heavy logs.
 // Any violation is greedily shrunk to a minimal reproducer, printed as
 // a ready-to-paste unit test, appended to --out, and fails the run.
 //
 // Usage:
 //   fuzz_roundtrip [--seed N] [--queries N] [--lines N]
 //                  [--pipeline-rounds N] [--pipeline-lines N]
-//                  [--streak-rounds N] [--streak-queries N] [--out PATH]
+//                  [--streak-rounds N] [--streak-queries N]
+//                  [--analysis-rounds N] [--analysis-queries N] [--out PATH]
 // Environment overrides (for CI): SPARQLOG_FUZZ_SEED, SPARQLOG_FUZZ_QUERIES,
 // SPARQLOG_FUZZ_LINES, SPARQLOG_FUZZ_PIPELINE_ROUNDS,
-// SPARQLOG_FUZZ_STREAK_ROUNDS.
+// SPARQLOG_FUZZ_STREAK_ROUNDS, SPARQLOG_FUZZ_ANALYSIS_ROUNDS.
 
 #include <cstdint>
 #include <cstdio>
@@ -49,6 +53,8 @@ struct Config {
   long pipeline_lines = 1500;
   long streak_rounds = 6;
   long streak_queries = 400;
+  long analysis_rounds = 4;
+  long analysis_queries = 300;
   std::string out_path = "fuzz_reproducers.txt";
 };
 
@@ -67,6 +73,8 @@ Config ParseArgs(int argc, char** argv) {
       EnvOrDefault("SPARQLOG_FUZZ_PIPELINE_ROUNDS", config.pipeline_rounds);
   config.streak_rounds =
       EnvOrDefault("SPARQLOG_FUZZ_STREAK_ROUNDS", config.streak_rounds);
+  config.analysis_rounds =
+      EnvOrDefault("SPARQLOG_FUZZ_ANALYSIS_ROUNDS", config.analysis_rounds);
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* flag) {
       return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
@@ -85,6 +93,10 @@ Config ParseArgs(int argc, char** argv) {
       config.streak_rounds = std::atol(argv[++i]);
     } else if (arg("--streak-queries")) {
       config.streak_queries = std::atol(argv[++i]);
+    } else if (arg("--analysis-rounds")) {
+      config.analysis_rounds = std::atol(argv[++i]);
+    } else if (arg("--analysis-queries")) {
+      config.analysis_queries = std::atol(argv[++i]);
     } else if (arg("--out")) {
       config.out_path = argv[++i];
     }
@@ -333,6 +345,75 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "  streak rounds: %ld x %ld queries checked\n",
                  config.streak_rounds, config.streak_queries);
+  }
+
+  // Phase 5: structural-analysis equivalence — every fuzzed query runs
+  // through the pre-change (reference) and allocation-lean
+  // shape/treewidth/GHW paths with a long-lived scratch (so recycled-
+  // buffer state leaks surface), then each round's queries form a log
+  // (duplicates included) replayed through randomized serial-vs-parallel
+  // StatsReport digest equivalence.
+  {
+    sparqlog::util::Rng rng(config.seed ^ 0xA11A1F5EEDULL);
+    sparqlog::testing::QueryFuzzOptions fuzz_options;
+    fuzz_options.seed = config.seed + 3;
+    sparqlog::testing::QueryFuzzer fuzzer(fuzz_options);
+    sparqlog::corpus::AnalysisScratch scratch;
+    long checked = 0;
+    for (long round = 0; round < config.analysis_rounds; ++round) {
+      std::vector<std::string> log;
+      log.reserve(static_cast<size_t>(config.analysis_queries));
+      for (long i = 0; i < config.analysis_queries; ++i) {
+        sparqlog::sparql::Query q = fuzzer.Next();
+        ++checked;
+        if (auto v = sparqlog::testing::CheckAnalysisEquivalence(q, scratch)) {
+          ++violations;
+          // Shrink structurally, pinned to analysis divergence (a fresh
+          // scratch per candidate keeps the reducer deterministic).
+          sparqlog::testing::AstShrinkOutcome shrunk =
+              sparqlog::testing::ShrinkQueryAst(
+                  q, [](const sparqlog::sparql::Query& cand) {
+                    sparqlog::corpus::AnalysisScratch fresh;
+                    return sparqlog::testing::CheckAnalysisEquivalence(cand,
+                                                                       fresh)
+                        .has_value();
+                  });
+          std::string minimal = sparqlog::sparql::Serialize(shrunk.query);
+          std::fprintf(stderr,
+                       "  ast-shrink: %zu -> %zu bytes (%d evals, %d "
+                       "reductions)\n",
+                       v->input.size(), minimal.size(), shrunk.evals,
+                       shrunk.accepted);
+          std::fprintf(stderr, "VIOLATION [%s] %s\n  minimal: %s\n",
+                       v->invariant.c_str(), v->detail.c_str(),
+                       minimal.c_str());
+          std::ofstream out(config.out_path, std::ios::app);
+          out << "// [" << v->invariant << "] " << v->detail << " (round "
+              << round << ", seed " << config.seed << ")\n// minimal: "
+              << minimal << "\n";
+        }
+        // Duplicates on purpose: the analysis stage runs per *unique*
+        // query, so repeated texts exercise dedup + analysis together.
+        std::string text = sparqlog::sparql::Serialize(q);
+        log.push_back(text);
+        if (rng.Chance(0.3)) log.push_back(std::move(text));
+      }
+      sparqlog::testing::EquivalenceConfig equiv =
+          sparqlog::testing::RandomEquivalenceConfig(rng);
+      if (auto v = sparqlog::testing::CheckSerialParallelEquivalence(log,
+                                                                     equiv)) {
+        ++violations;
+        std::fprintf(stderr, "VIOLATION [%s] %s (analysis round %ld)\n",
+                     v->invariant.c_str(), v->detail.c_str(), round);
+        std::ofstream out(config.out_path, std::ios::app);
+        out << "// [" << v->invariant << "] " << v->detail
+            << " (analysis round " << round << ", seed " << config.seed
+            << ")\n";
+      }
+    }
+    std::fprintf(stderr,
+                 "  analysis rounds: %ld x %ld queries checked (%ld total)\n",
+                 config.analysis_rounds, config.analysis_queries, checked);
   }
 
   if (violations > 0) {

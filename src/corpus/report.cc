@@ -241,15 +241,22 @@ void CorpusAnalyzer::AddQuery(const Query& q, const std::string& dataset) {
 void CorpusAnalyzer::AnalyzeShapes(const Query& q, const FragmentClass& fc) {
   if (!(fc.cq || fc.cqf || fc.cqof)) return;
 
+  // All structural analysis runs on the analyzer's recycled scratch:
+  // one interner/union-find/graph buffer set per analyzer (one analyzer
+  // per pipeline worker), so the per-query cost is compute, not malloc.
+  AnalysisScratch& s = scratch_;
+  s.triples.clear();
+  s.filters.clear();
+  graph::CollectTriplesAndFilters(q.where, s.triples, s.filters);
+
   if (fc.var_predicate) {
     // Only the hypergraph is meaningful (Section 6.2).
     if (fc.cqof) {
-      std::vector<const sparql::TriplePattern*> triples;
-      std::vector<const sparql::Expr*> filters;
-      graph::CollectTriplesAndFilters(q.where, triples, filters);
-      graph::Hypergraph hg =
-          graph::BuildCanonicalHypergraph(triples, filters);
-      width::GhwResult ghw = width::GeneralizedHypertreeWidth(hg);
+      graph::BuildCanonicalHypergraph(s.triples, s.filters,
+                                      graph::CanonicalOptions(), s.canonical,
+                                      s.hypergraph);
+      width::GhwResult ghw =
+          width::GeneralizedHypertreeWidth(s.hypergraph, s.ghw);
       ++hypergraphs_.total;
       switch (ghw.width) {
         case 0:
@@ -268,18 +275,20 @@ void CorpusAnalyzer::AnalyzeShapes(const Query& q, const FragmentClass& fc) {
     return;
   }
 
-  graph::CanonicalGraph cg = graph::BuildCanonicalGraph(q.where);
+  graph::BuildCanonicalGraph(s.triples, s.filters, graph::CanonicalOptions(),
+                             s.canonical, s.graph);
+  const graph::CanonicalGraph& cg = s.graph;
   if (!cg.valid) return;
-  graph::ShapeClass shape = graph::ClassifyShape(cg.graph);
-  width::TreewidthResult tw = width::Treewidth(cg.graph);
+  graph::ShapeClass shape = graph::ClassifyShape(cg.graph, s.shape);
+  width::TreewidthResult tw = width::Treewidth(cg.graph, s.treewidth);
 
   auto record = [&](ShapeCounts& sc) {
     ++sc.total;
     if (shape.single_edge) {
       ++sc.single_edge;
       bool has_constant = false;
-      for (const rdf::Term& t : cg.node_terms) {
-        if (t.is_constant()) has_constant = true;
+      for (const rdf::Term* t : cg.node_terms) {
+        if (t->is_constant()) has_constant = true;
       }
       if (has_constant) ++sc.single_edge_with_constants;
     }

@@ -7,6 +7,7 @@
 
 #include "analysis/features.h"
 #include "analysis/operator_set.h"
+#include "corpus/analysis_scratch.h"
 #include "fragments/fragment.h"
 #include "paths/path_class.h"
 #include "sparql/ast.h"
@@ -166,6 +167,9 @@ class CorpusAnalyzer {
   HypergraphStats hypergraphs_;
   PathStats paths_;
   std::map<std::string, TripleStats> per_dataset_;
+  /// Recycled structural-analysis buffers (term interner, graph/width
+  /// scratch); not part of the statistics — Merge/digests ignore it.
+  AnalysisScratch scratch_;
 };
 
 }  // namespace sparqlog::corpus

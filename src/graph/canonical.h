@@ -1,7 +1,8 @@
 #ifndef SPARQLOG_GRAPH_CANONICAL_H_
 #define SPARQLOG_GRAPH_CANONICAL_H_
 
-#include <map>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
@@ -21,19 +22,107 @@ struct CanonicalOptions {
   bool collapse_equality_filters = true;
 };
 
-/// Result of building a canonical graph: the graph plus the term that
-/// each node represents (after equality collapsing, a representative).
-struct CanonicalGraph {
-  Graph graph;
-  std::vector<rdf::Term> node_terms;
-  /// False iff some triple pattern has a variable in predicate position
-  /// (then the graph is not meaningful; use the hypergraph instead).
-  bool valid = true;
+/// Interns terms for canonical-graph construction, assigning dense ids
+/// in first-seen order. The key is the pre-change NodeKey string
+/// (kind-tag char + value, literals extended with "^datatype@lang") —
+/// but hashed and compared as a virtual byte stream, so no key string
+/// is ever materialized. Open addressing over a recycled slot table:
+/// steady-state interning allocates nothing.
+class TermInterner {
+ public:
+  TermInterner() = default;
+
+  /// Returns the id of `t`, inserting it if unseen. The term pointer is
+  /// retained; it must outlive the interner's current epoch (terms live
+  /// in the query AST being analyzed).
+  int Intern(const rdf::Term& t);
+
+  int size() const { return static_cast<int>(terms_.size()); }
+  const rdf::Term* term(int id) const {
+    return terms_[static_cast<size_t>(id)];
+  }
+
+  /// Forgets all terms but keeps table capacity.
+  void Clear();
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t epoch = 0;  // occupied iff == current interner epoch
+    int id = 0;
+  };
+  void Grow();
+
+  std::vector<Slot> slots_;               // power-of-two open addressing
+  std::vector<const rdf::Term*> terms_;   // id -> first-seen term
+  uint32_t epoch_ = 1;                    // slots start at 0 = never used
 };
 
-/// Builds the canonical graph of the pattern's triples: one edge {x, y}
-/// per triple pattern (x, l, y) with constant predicate l.
-/// Equality filters are taken from `filters`.
+/// Recycled working state for canonical graph/hypergraph construction:
+/// the term interner, the union-find over term ids (`?x = ?y`
+/// collapsing), and the class->node id table. One instance per analyzer
+/// (one analyzer per pipeline worker); every container is cleared, not
+/// reallocated, between queries.
+class CanonicalScratch {
+ public:
+  void Clear();
+
+  TermInterner interner;
+  std::vector<int> uf_parent;
+  std::vector<int> class_to_node;  // uf class id -> graph node, -1 unset
+  std::vector<std::pair<const rdf::Term*, const rdf::Term*>> eq_pairs;
+
+  int UfAdd();
+  int UfFind(int x);
+  void UfUnion(int a, int b) { uf_parent[static_cast<size_t>(UfFind(a))] = UfFind(b); }
+};
+
+/// Result of building a canonical graph: the graph plus the term that
+/// each node represents (after equality collapsing, a representative).
+/// `node_terms` point into the analyzed query's AST (or, for the
+/// value-returning convenience builders, element-for-element into
+/// `owned_terms` — that invariant is what the copy operations rely on
+/// to re-point the borrowed pointers at the copy's own backing store).
+struct CanonicalGraph {
+  Graph graph;
+  std::vector<const rdf::Term*> node_terms;
+  std::vector<rdf::Term> owned_terms;  // backing copies (wrappers only)
+  bool valid = true;
+
+  CanonicalGraph() = default;
+  CanonicalGraph(CanonicalGraph&&) = default;
+  CanonicalGraph& operator=(CanonicalGraph&&) = default;
+  CanonicalGraph(const CanonicalGraph& o) { *this = o; }
+  CanonicalGraph& operator=(const CanonicalGraph& o) {
+    graph = o.graph;
+    node_terms = o.node_terms;
+    owned_terms = o.owned_terms;
+    valid = o.valid;
+    if (!owned_terms.empty()) {
+      // Owned mode: node_terms[i] aliased o.owned_terms[i]; re-point at
+      // this copy's storage so the copy is self-contained.
+      for (size_t i = 0; i < node_terms.size(); ++i) {
+        node_terms[i] = &owned_terms[i];
+      }
+    }
+    return *this;
+  }
+};
+
+/// Builds the canonical graph of the pattern's triples into `out`,
+/// reusing `out`'s and `scratch`'s buffers: one edge {x, y} per triple
+/// pattern (x, l, y) with constant predicate l. Equality filters are
+/// taken from `filters`. `out.node_terms` borrow from the triples'
+/// terms and are valid only while the query AST lives.
+void BuildCanonicalGraph(
+    const std::vector<const sparql::TriplePattern*>& triples,
+    const std::vector<const sparql::Expr*>& filters,
+    const CanonicalOptions& options, CanonicalScratch& scratch,
+    CanonicalGraph& out);
+
+/// Value-returning convenience form (tests, examples): same graph, with
+/// `node_terms` re-pointed at owned copies so the result outlives the
+/// query.
 CanonicalGraph BuildCanonicalGraph(
     const std::vector<const sparql::TriplePattern*>& triples,
     const std::vector<const sparql::Expr*>& filters,
@@ -45,9 +134,17 @@ CanonicalGraph BuildCanonicalGraph(
     const sparql::Pattern& body,
     const CanonicalOptions& options = CanonicalOptions());
 
-/// Builds the canonical hypergraph: one hyperedge per triple pattern,
-/// containing the variables and blank nodes of that triple (constants
-/// are excluded by definition; Section 5).
+/// Builds the canonical hypergraph into `out` (scratch-reusing): one
+/// hyperedge per triple pattern, containing the variables and blank
+/// nodes of that triple (constants are excluded by definition;
+/// Section 5).
+void BuildCanonicalHypergraph(
+    const std::vector<const sparql::TriplePattern*>& triples,
+    const std::vector<const sparql::Expr*>& filters,
+    const CanonicalOptions& options, CanonicalScratch& scratch,
+    Hypergraph& out);
+
+/// Value-returning convenience form.
 Hypergraph BuildCanonicalHypergraph(
     const std::vector<const sparql::TriplePattern*>& triples,
     const std::vector<const sparql::Expr*>& filters,

@@ -1,29 +1,42 @@
 #include "graph/hypergraph.h"
 
 #include <algorithm>
-#include <queue>
+#include <set>
 
 namespace sparqlog::graph {
 
-void Hypergraph::AddEdge(std::set<int> nodes) {
-  if (nodes.empty()) return;
-  num_nodes_ = std::max(num_nodes_, *nodes.rbegin() + 1);
-  edges_.push_back(std::move(nodes));
+void Hypergraph::Reset() {
+  pool_.clear();
+  offsets_.resize(1);
+  offsets_[0] = 0;
+  num_nodes_ = 0;
 }
 
-std::vector<int> Hypergraph::EdgesContaining(int v) const {
-  std::vector<int> out;
-  for (size_t i = 0; i < edges_.size(); ++i) {
-    if (edges_[i].count(v) > 0) out.push_back(static_cast<int>(i));
-  }
-  return out;
+void Hypergraph::AddEdge(std::vector<int> nodes) {
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  if (nodes.empty()) return;
+  AddEdgeSorted(nodes.data(), nodes.data() + nodes.size());
+}
+
+void Hypergraph::AddEdgeSorted(const int* begin, const int* end) {
+  if (begin == end) return;
+  num_nodes_ = std::max(num_nodes_, *(end - 1) + 1);
+  pool_.insert(pool_.end(), begin, end);
+  offsets_.push_back(static_cast<int>(pool_.size()));
 }
 
 bool Hypergraph::IsAlphaAcyclic() const {
   // GYO reduction: repeatedly (1) delete nodes that occur in exactly one
   // edge, (2) delete edges contained in another remaining edge. The
-  // hypergraph is alpha-acyclic iff this empties all edges.
-  std::vector<std::set<int>> edges = edges_;
+  // hypergraph is alpha-acyclic iff this empties all edges. Generic
+  // (allocating) form — the hot path runs the bitset GYO inside
+  // width::GeneralizedHypertreeWidth instead.
+  std::vector<std::set<int>> edges(static_cast<size_t>(num_edges()));
+  for (int e = 0; e < num_edges(); ++e) {
+    auto span = edge(e);
+    edges[static_cast<size_t>(e)].insert(span.begin(), span.end());
+  }
   std::vector<bool> alive(edges.size(), true);
   bool changed = true;
   while (changed) {
@@ -71,28 +84,29 @@ bool Hypergraph::IsAlphaAcyclic() const {
 
 std::vector<std::vector<int>> Hypergraph::ConnectedComponents() const {
   std::vector<std::vector<int>> node_edges(static_cast<size_t>(num_nodes_));
-  for (size_t i = 0; i < edges_.size(); ++i) {
-    for (int v : edges_[i]) {
-      node_edges[static_cast<size_t>(v)].push_back(static_cast<int>(i));
+  for (int e = 0; e < num_edges(); ++e) {
+    for (int v : edge(e)) {
+      node_edges[static_cast<size_t>(v)].push_back(e);
     }
   }
   std::vector<std::vector<int>> components;
   std::vector<bool> seen(static_cast<size_t>(num_nodes_), false);
+  std::vector<int> frontier;
   for (int start = 0; start < num_nodes_; ++start) {
     if (seen[static_cast<size_t>(start)]) continue;
     std::vector<int> comp;
-    std::queue<int> frontier;
-    frontier.push(start);
+    frontier.clear();
+    frontier.push_back(start);
     seen[static_cast<size_t>(start)] = true;
     while (!frontier.empty()) {
-      int v = frontier.front();
-      frontier.pop();
+      int v = frontier.back();
+      frontier.pop_back();
       comp.push_back(v);
       for (int e : node_edges[static_cast<size_t>(v)]) {
-        for (int w : edges_[static_cast<size_t>(e)]) {
+        for (int w : edge(e)) {
           if (!seen[static_cast<size_t>(w)]) {
             seen[static_cast<size_t>(w)] = true;
-            frontier.push(w);
+            frontier.push_back(w);
           }
         }
       }

@@ -1,6 +1,10 @@
 #ifndef SPARQLOG_GRAPH_SHAPES_H_
 #define SPARQLOG_GRAPH_SHAPES_H_
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "graph/graph.h"
 
 namespace sparqlog::graph {
@@ -22,8 +26,51 @@ struct ShapeClass {
   int girth = 0;             ///< shortest cycle length; 0 if acyclic
 };
 
+/// Recycled working state for ClassifyShape: a CSR adjacency snapshot,
+/// component labels with per-component aggregates, girth BFS buffers,
+/// an iterative block (biconnected-component) DFS, and the per-component
+/// flower-candidate sets. One instance per analyzer; cleared, not
+/// reallocated, between queries.
+struct ShapeScratch {
+  // CSR adjacency snapshot of the graph under classification.
+  std::vector<int> csr_off, csr_adj;
+  // Component labeling and per-component aggregates.
+  std::vector<int> comp_id;
+  std::vector<int> stack;
+  std::vector<int> comp_size, comp_edges2, comp_maxdeg;
+  std::vector<int> comp_loop_nodes, comp_loop_first;
+  // Girth BFS buffers.
+  Graph::GirthScratch girth;
+  // Iterative Tarjan block decomposition.
+  struct Frame {
+    int v;
+    int parent;
+    int it;
+    bool skipped;
+  };
+  std::vector<int> disc, low;
+  std::vector<std::pair<int, int>> edge_stack;
+  std::vector<Frame> frames;
+  std::vector<std::pair<int, int>> block;
+  std::vector<int> block_nodes, block_deg;
+  std::vector<int> centers_tmp, intersect_tmp;
+  // Per-component flower-candidate state.
+  std::vector<unsigned char> comp_flower_bad, comp_cand_init;
+  std::vector<uint64_t> comp_cand_bits;          // graphs of <= 64 nodes
+  std::vector<std::vector<int>> comp_cand_list;  // larger graphs (sorted)
+  // Bridge edges (blocks of one edge) and their union-find components:
+  // the "rest" graph of the flower definition once petal edges are gone.
+  std::vector<std::pair<int, int>> bridge_edges;
+  std::vector<int> bridge_parent;
+  std::vector<int> bcomp_size;
+  std::vector<int> comp_nontrivial_bcomp;  // -1 none, -2 several, else root
+};
+
 /// Classifies a canonical graph. Empty graphs (queries with no qualifying
 /// edges) report all tree-like flags true except single_edge/chain/star.
+/// The scratch overload performs no heap allocation after warmup; the
+/// plain overload allocates a scratch per call (tests, examples).
+ShapeClass ClassifyShape(const Graph& g, ShapeScratch& scratch);
 ShapeClass ClassifyShape(const Graph& g);
 
 /// True iff `g` (connected, with designated endpoints) is a petal: two

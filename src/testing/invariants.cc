@@ -4,11 +4,16 @@
 
 #include "corpus/ingest.h"
 #include "corpus/report.h"
+#include "graph/canonical.h"
+#include "graph/shapes.h"
 #include "pipeline/merge.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/streak_stage.h"
 #include "sparql/serializer.h"
 #include "streaks/streaks.h"
+#include "testing/reference_analysis.h"
+#include "width/hypertree.h"
+#include "width/treewidth.h"
 
 namespace sparqlog::testing {
 
@@ -281,6 +286,122 @@ std::optional<Violation> CheckStreakEquivalence(
   // operator== said unequal but no named field differs: a field was
   // added to StreakReport without extending this diagnosis.
   return mismatch("operator==", 0, 1);
+}
+
+std::optional<Violation> CheckAnalysisEquivalence(
+    const sparql::Query& q, corpus::AnalysisScratch& scratch) {
+  if (!q.has_body) return std::nullopt;
+  std::string text = sparql::Serialize(q);
+  auto fail = [&text](const std::string& detail) {
+    return Violate("analysis-old-vs-new", detail, text);
+  };
+
+  scratch.triples.clear();
+  scratch.filters.clear();
+  graph::CollectTriplesAndFilters(q.where, scratch.triples, scratch.filters);
+
+  // ---- Canonical graph: build, shape, girth, treewidth ----
+  reference::ReferenceCanonicalGraph ref =
+      reference::BuildCanonicalGraph(scratch.triples, scratch.filters);
+  graph::BuildCanonicalGraph(scratch.triples, scratch.filters,
+                             graph::CanonicalOptions(), scratch.canonical,
+                             scratch.graph);
+  const graph::CanonicalGraph& got = scratch.graph;
+  if (ref.valid != got.valid) return fail("canonical validity differs");
+  if (ref.valid) {
+    if (ref.graph.num_nodes() != got.graph.num_nodes()) {
+      return fail("canonical node count differs");
+    }
+    if (ref.graph.num_edges() != got.graph.num_edges()) {
+      return fail("canonical edge count differs");
+    }
+    for (size_t i = 0; i < ref.node_terms.size(); ++i) {
+      if (ref.node_terms[i] != *got.node_terms[i]) {
+        return fail("canonical node term " + std::to_string(i) + " differs");
+      }
+    }
+    for (int u = 0; u < ref.graph.num_nodes(); ++u) {
+      if (ref.graph.HasSelfLoop(u) != got.graph.HasSelfLoop(u)) {
+        return fail("self-loop set differs at node " + std::to_string(u));
+      }
+      for (int v : ref.graph.Neighbors(u)) {
+        if (!got.graph.HasEdge(u, v)) {
+          return fail("edge " + std::to_string(u) + "-" + std::to_string(v) +
+                      " missing from the flat graph");
+        }
+      }
+    }
+    graph::ShapeClass ref_shape = reference::ClassifyShape(ref.graph);
+    graph::ShapeClass new_shape =
+        graph::ClassifyShape(got.graph, scratch.shape);
+    auto flag = [&](const char* name, bool a, bool b)
+        -> std::optional<Violation> {
+      if (a == b) return std::nullopt;
+      return fail(std::string("ShapeClass.") + name + " differs (old " +
+                  (a ? "true" : "false") + ")");
+    };
+    if (auto v = flag("single_edge", ref_shape.single_edge,
+                      new_shape.single_edge)) {
+      return v;
+    }
+    if (auto v = flag("chain", ref_shape.chain, new_shape.chain)) return v;
+    if (auto v = flag("chain_set", ref_shape.chain_set, new_shape.chain_set)) {
+      return v;
+    }
+    if (auto v = flag("star", ref_shape.star, new_shape.star)) return v;
+    if (auto v = flag("tree", ref_shape.tree, new_shape.tree)) return v;
+    if (auto v = flag("forest", ref_shape.forest, new_shape.forest)) return v;
+    if (auto v = flag("cycle", ref_shape.cycle, new_shape.cycle)) return v;
+    if (auto v = flag("flower", ref_shape.flower, new_shape.flower)) return v;
+    if (auto v = flag("flower_set", ref_shape.flower_set,
+                      new_shape.flower_set)) {
+      return v;
+    }
+    if (ref_shape.girth != new_shape.girth) {
+      return fail("girth differs: old " + std::to_string(ref_shape.girth) +
+                  " vs new " + std::to_string(new_shape.girth));
+    }
+    width::TreewidthResult ref_tw = reference::Treewidth(ref.graph);
+    width::TreewidthResult new_tw =
+        width::Treewidth(got.graph, scratch.treewidth);
+    if (ref_tw.width != new_tw.width || ref_tw.exact != new_tw.exact) {
+      return fail("treewidth differs: old " + std::to_string(ref_tw.width) +
+                  " vs new " + std::to_string(new_tw.width));
+    }
+  }
+
+  // ---- Canonical hypergraph: build + GHW ----
+  reference::ReferenceHypergraph ref_hg =
+      reference::BuildCanonicalHypergraph(scratch.triples, scratch.filters);
+  graph::BuildCanonicalHypergraph(scratch.triples, scratch.filters,
+                                  graph::CanonicalOptions(), scratch.canonical,
+                                  scratch.hypergraph);
+  if (ref_hg.num_edges() != scratch.hypergraph.num_edges()) {
+    return fail("hyperedge count differs");
+  }
+  if (ref_hg.num_nodes() != scratch.hypergraph.num_nodes()) {
+    return fail("hypergraph node count differs");
+  }
+  if (ref_hg.IsAlphaAcyclic() != scratch.hypergraph.IsAlphaAcyclic()) {
+    return fail("alpha-acyclicity differs");
+  }
+  // The exact GHW search is exponential in the worst case; bound the
+  // differential run to query-sized hypergraphs (the production gate —
+  // bench_analysis_hotpath — replays the full corpus distribution).
+  if (ref_hg.num_edges() <= 24) {
+    width::GhwResult ref_ghw = reference::GeneralizedHypertreeWidth(ref_hg);
+    width::GhwResult new_ghw =
+        width::GeneralizedHypertreeWidth(scratch.hypergraph, scratch.ghw);
+    if (ref_ghw.width != new_ghw.width ||
+        ref_ghw.decomposition_nodes != new_ghw.decomposition_nodes ||
+        ref_ghw.exact != new_ghw.exact) {
+      return fail("GHW differs: old " + std::to_string(ref_ghw.width) + "/" +
+                  std::to_string(ref_ghw.decomposition_nodes) + " vs new " +
+                  std::to_string(new_ghw.width) + "/" +
+                  std::to_string(new_ghw.decomposition_nodes));
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace sparqlog::testing

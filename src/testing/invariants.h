@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "corpus/analysis_scratch.h"
 #include "sparql/ast.h"
 #include "sparql/parser.h"
 #include "util/rng.h"
@@ -90,6 +91,18 @@ StreakEquivalenceConfig RandomStreakConfig(util::Rng& rng);
 std::optional<Violation> CheckStreakEquivalence(
     const std::vector<std::string>& queries,
     const StreakEquivalenceConfig& config);
+
+/// Replays one query's structural analysis through the pre-change
+/// implementations (testing/reference_analysis: NodeKey-string interning,
+/// std::set graphs, restart kernelization, set-based det-k-decomp) and
+/// the allocation-lean scratch path, comparing canonical graph size,
+/// node terms, every ShapeClass flag, girth, treewidth, and — for
+/// hypergraphs small enough for the exact search — GHW width and
+/// decomposition size. `scratch` is deliberately long-lived so cross-
+/// query state leaks in the recycled buffers would surface as
+/// divergence.
+std::optional<Violation> CheckAnalysisEquivalence(
+    const sparql::Query& q, corpus::AnalysisScratch& scratch);
 
 }  // namespace sparqlog::testing
 

@@ -1,9 +1,13 @@
 #include "width/hypertree.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace sparqlog::width {
@@ -12,17 +16,206 @@ using graph::Hypergraph;
 
 namespace {
 
-/// Exact decider for "this component has a generalized hypertree
-/// decomposition of width <= k", following the recursive scheme of
-/// det-k-decomp: pick a separator of <= k hyperedges covering the
-/// connector, recurse on the remaining connected pieces.
-class DetKDecomp {
- public:
-  DetKDecomp(const Hypergraph& hg, int k) : hg_(hg), k_(k) {}
+// ---------------------------------------------------------------------------
+// Bitset path: vertices and edge ids both fit in one 64-bit word, so
+// components, bags, connectors, separators, and the memo key are all
+// plain masks. Candidate and sub-component enumeration is ascending by
+// id — the same order as the pre-change set-based search — so the
+// separator found first (and with it decomposition_nodes) is identical.
+// ---------------------------------------------------------------------------
 
-  /// Tries to decompose the sub-hypergraph induced by `edge_ids`; the
-  /// top-level call uses an empty connector. Returns the number of
-  /// decomposition nodes on success.
+/// GYO reduction over vertex masks: alpha-acyclic iff all edges empty.
+bool IsAlphaAcyclicBits(std::vector<uint64_t>& masks) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Nodes occurring in exactly one live edge.
+    uint64_t seen_once = 0, seen_twice = 0;
+    for (uint64_t m : masks) {
+      seen_twice |= seen_once & m;
+      seen_once |= m;
+    }
+    uint64_t singles = seen_once & ~seen_twice;
+    if (singles != 0) {
+      for (uint64_t& m : masks) {
+        uint64_t next = m & ~singles;
+        if (next != m) {
+          m = next;
+          changed = true;
+        }
+      }
+    }
+    // Edges contained in another live edge (ties broken by index).
+    for (size_t i = 0; i < masks.size(); ++i) {
+      if (masks[i] == 0) continue;
+      for (size_t j = 0; j < masks.size(); ++j) {
+        if (i == j || masks[j] == 0) continue;
+        if ((masks[i] & ~masks[j]) == 0 &&
+            (masks[i] != masks[j] || i > j)) {
+          masks[i] = 0;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  for (uint64_t m : masks) {
+    if (m != 0) return false;
+  }
+  return true;
+}
+
+struct MaskPairHash {
+  size_t operator()(const std::pair<uint64_t, uint64_t>& p) const {
+    uint64_t h = p.first * 0x9E3779B97F4A7C15ULL;
+    h ^= p.second + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Exact decider for "this component has a generalized hypertree
+/// decomposition of width <= k" over bitsets, following the recursive
+/// det-k-decomp scheme: pick a separator of <= k hyperedges covering
+/// the connector, recurse on the remaining connected pieces.
+class BitDetKDecomp {
+ public:
+  BitDetKDecomp(const std::vector<uint64_t>& edge_masks, int k)
+      : edges_(edge_masks), m_(static_cast<int>(edge_masks.size())), k_(k) {}
+
+  std::optional<int> Decompose(uint64_t edge_ids, uint64_t connector) {
+    auto key = std::make_pair(edge_ids, connector);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    std::optional<int> result = DecomposeUncached(edge_ids, connector);
+    memo_.emplace(key, result);
+    return result;
+  }
+
+ private:
+  uint64_t VerticesOf(uint64_t edge_ids) const {
+    uint64_t out = 0;
+    while (edge_ids != 0) {
+      out |= edges_[static_cast<size_t>(std::countr_zero(edge_ids))];
+      edge_ids &= edge_ids - 1;
+    }
+    return out;
+  }
+
+  std::optional<int> DecomposeUncached(uint64_t edge_ids,
+                                       uint64_t connector) {
+    uint64_t comp_vertices = VerticesOf(edge_ids);
+    // Candidate separator edges: any edge of the hypergraph that touches
+    // the component or helps cover the connector.
+    uint64_t candidates = 0;
+    for (int e = 0; e < m_; ++e) {
+      if ((edges_[static_cast<size_t>(e)] & (comp_vertices | connector)) !=
+          0) {
+        candidates |= 1ULL << e;
+      }
+    }
+    return TrySeparators(edge_ids, connector, comp_vertices, candidates,
+                         /*start=*/0, /*depth=*/0, /*bag=*/0);
+  }
+
+  std::optional<int> TrySeparators(uint64_t edge_ids, uint64_t connector,
+                                   uint64_t comp_vertices,
+                                   uint64_t candidates, int start, int depth,
+                                   uint64_t bag) {
+    if (depth > 0) {
+      std::optional<int> nodes =
+          CheckSeparator(edge_ids, connector, comp_vertices, bag);
+      if (nodes.has_value()) return nodes;
+    }
+    if (depth == k_) return std::nullopt;
+    // Enumerate remaining candidates ascending from `start`, exactly
+    // like the set-based search's index loop.
+    uint64_t below = start >= 64 ? ~0ULL : ((1ULL << start) - 1);
+    uint64_t rest = candidates & ~below;
+    while (rest != 0) {
+      int e = std::countr_zero(rest);
+      rest &= rest - 1;
+      std::optional<int> nodes = TrySeparators(
+          edge_ids, connector, comp_vertices, candidates, e + 1, depth + 1,
+          bag | edges_[static_cast<size_t>(e)]);
+      if (nodes.has_value()) return nodes;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<int> CheckSeparator(uint64_t edge_ids, uint64_t connector,
+                                    uint64_t comp_vertices, uint64_t bag) {
+    // The bag must cover the connector.
+    if ((connector & ~bag) != 0) return std::nullopt;
+    // Progress condition: the bag must cover at least one component
+    // vertex outside the connector, so every child subproblem is
+    // strictly smaller and the recursion terminates.
+    if ((comp_vertices & ~connector & bag) == 0) return std::nullopt;
+    // Split the remaining vertices into connected sub-components
+    // (connectivity via the component's edges minus bag vertices).
+    uint64_t remaining = comp_vertices & ~bag;
+    int total_nodes = 1;
+    uint64_t assigned = 0;
+    uint64_t seeds = remaining;
+    while (seeds != 0) {
+      int seed = std::countr_zero(seeds);
+      seeds &= seeds - 1;
+      if ((assigned >> seed) & 1) continue;
+      // Flood-fill one sub-component.
+      uint64_t comp = 1ULL << seed;
+      uint64_t frontier = comp;
+      while (frontier != 0) {
+        uint64_t next = 0;
+        uint64_t ids = edge_ids;
+        while (ids != 0) {
+          int e = std::countr_zero(ids);
+          ids &= ids - 1;
+          if ((edges_[static_cast<size_t>(e)] & frontier) != 0) {
+            next |= edges_[static_cast<size_t>(e)];
+          }
+        }
+        frontier = next & ~bag & ~comp;
+        comp |= frontier;
+      }
+      assigned |= comp;
+      // Edges and sub-connector of this component.
+      uint64_t comp_edges = 0;
+      uint64_t sub_connector = 0;
+      uint64_t ids = edge_ids;
+      while (ids != 0) {
+        int e = std::countr_zero(ids);
+        ids &= ids - 1;
+        if ((edges_[static_cast<size_t>(e)] & comp) != 0) {
+          comp_edges |= 1ULL << e;
+          sub_connector |= edges_[static_cast<size_t>(e)] & bag;
+        }
+      }
+      std::optional<int> sub_nodes = Decompose(comp_edges, sub_connector);
+      if (!sub_nodes.has_value()) return std::nullopt;
+      total_nodes += *sub_nodes;
+    }
+    // Edges fully inside the bag are covered by this node.
+    return total_nodes;
+  }
+
+  const std::vector<uint64_t>& edges_;
+  int m_;
+  int k_;
+  std::unordered_map<std::pair<uint64_t, uint64_t>, std::optional<int>,
+                     MaskPairHash>
+      memo_;
+};
+
+// ---------------------------------------------------------------------------
+// Generic fallback (> 64 nodes or > 64 edges; never query-sized
+// inputs): the pre-change set-based det-k-decomp, fed from the CSR
+// hypergraph.
+// ---------------------------------------------------------------------------
+
+class SetDetKDecomp {
+ public:
+  SetDetKDecomp(const std::vector<std::set<int>>& edges, int k)
+      : edges_(edges), k_(k) {}
+
   std::optional<int> Decompose(const std::vector<int>& edge_ids,
                                const std::set<int>& connector) {
     auto key = std::make_pair(edge_ids, connector);
@@ -37,7 +230,7 @@ class DetKDecomp {
   std::set<int> VerticesOf(const std::vector<int>& edge_ids) const {
     std::set<int> out;
     for (int e : edge_ids) {
-      const auto& edge = hg_.edges()[static_cast<size_t>(e)];
+      const auto& edge = edges_[static_cast<size_t>(e)];
       out.insert(edge.begin(), edge.end());
     }
     return out;
@@ -46,11 +239,9 @@ class DetKDecomp {
   std::optional<int> DecomposeUncached(const std::vector<int>& edge_ids,
                                        const std::set<int>& connector) {
     std::set<int> comp_vertices = VerticesOf(edge_ids);
-    // Candidate separator edges: any edge of the hypergraph that touches
-    // the component or helps cover the connector.
     std::vector<int> candidates;
-    for (int e = 0; e < hg_.num_edges(); ++e) {
-      const auto& edge = hg_.edges()[static_cast<size_t>(e)];
+    for (int e = 0; e < static_cast<int>(edges_.size()); ++e) {
+      const auto& edge = edges_[static_cast<size_t>(e)];
       bool touches = false;
       for (int v : edge) {
         if (comp_vertices.count(v) > 0 || connector.count(v) > 0) {
@@ -93,16 +284,12 @@ class DetKDecomp {
                                     const std::vector<int>& separator) {
     std::set<int> bag;
     for (int e : separator) {
-      const auto& edge = hg_.edges()[static_cast<size_t>(e)];
+      const auto& edge = edges_[static_cast<size_t>(e)];
       bag.insert(edge.begin(), edge.end());
     }
-    // The bag must cover the connector.
     for (int v : connector) {
       if (bag.count(v) == 0) return std::nullopt;
     }
-    // Progress condition: the bag must cover at least one component
-    // vertex outside the connector, so every child subproblem is
-    // strictly smaller and the recursion terminates.
     bool covers_new = false;
     for (int v : comp_vertices) {
       if (connector.count(v) == 0 && bag.count(v) > 0) {
@@ -111,8 +298,6 @@ class DetKDecomp {
       }
     }
     if (!covers_new) return std::nullopt;
-    // Split the remaining vertices into connected sub-components
-    // (connectivity via the component's edges minus bag vertices).
     std::set<int> remaining;
     for (int v : comp_vertices) {
       if (bag.count(v) == 0) remaining.insert(v);
@@ -121,7 +306,6 @@ class DetKDecomp {
     std::set<int> assigned;
     for (int seed : remaining) {
       if (assigned.count(seed) > 0) continue;
-      // Flood-fill one sub-component.
       std::set<int> comp{seed};
       std::vector<int> frontier{seed};
       std::set<int> comp_edges;
@@ -129,7 +313,7 @@ class DetKDecomp {
         int v = frontier.back();
         frontier.pop_back();
         for (int e : edge_ids) {
-          const auto& edge = hg_.edges()[static_cast<size_t>(e)];
+          const auto& edge = edges_[static_cast<size_t>(e)];
           if (edge.count(v) == 0) continue;
           comp_edges.insert(e);
           for (int w : edge) {
@@ -140,10 +324,9 @@ class DetKDecomp {
         }
       }
       assigned.insert(comp.begin(), comp.end());
-      // Sub-connector: bag vertices sharing an edge with the component.
       std::set<int> sub_connector;
       for (int e : comp_edges) {
-        const auto& edge = hg_.edges()[static_cast<size_t>(e)];
+        const auto& edge = edges_[static_cast<size_t>(e)];
         for (int w : edge) {
           if (bag.count(w) > 0) sub_connector.insert(w);
         }
@@ -153,34 +336,33 @@ class DetKDecomp {
       if (!sub_nodes.has_value()) return std::nullopt;
       total_nodes += *sub_nodes;
     }
-    // Edges fully inside the bag are covered by this node.
     return total_nodes;
   }
 
-  const Hypergraph& hg_;
+  const std::vector<std::set<int>>& edges_;
   int k_;
   std::map<std::pair<std::vector<int>, std::set<int>>, std::optional<int>>
       memo_;
 };
 
-}  // namespace
-
-GhwResult GeneralizedHypertreeWidth(const Hypergraph& hg, int max_k) {
+GhwResult GenericGhw(const Hypergraph& hg, int max_k) {
   GhwResult result;
-  if (hg.num_edges() == 0) return result;
-
   if (hg.IsAlphaAcyclic()) {
     result.width = 1;
     result.decomposition_nodes = hg.num_edges();
     return result;
   }
-
+  std::vector<std::set<int>> edges(static_cast<size_t>(hg.num_edges()));
+  for (int e = 0; e < hg.num_edges(); ++e) {
+    auto span = hg.edge(e);
+    edges[static_cast<size_t>(e)].insert(span.begin(), span.end());
+  }
   std::vector<int> all_edges(static_cast<size_t>(hg.num_edges()));
   for (int e = 0; e < hg.num_edges(); ++e) {
     all_edges[static_cast<size_t>(e)] = e;
   }
   for (int k = 2; k <= max_k; ++k) {
-    DetKDecomp solver(hg, k);
+    SetDetKDecomp solver(edges, k);
     std::optional<int> nodes = solver.Decompose(all_edges, {});
     if (nodes.has_value()) {
       result.width = k;
@@ -191,6 +373,49 @@ GhwResult GeneralizedHypertreeWidth(const Hypergraph& hg, int max_k) {
   result.width = max_k + 1;
   result.exact = false;
   return result;
+}
+
+}  // namespace
+
+GhwResult GeneralizedHypertreeWidth(const Hypergraph& hg, GhwScratch& scratch,
+                                    int max_k) {
+  GhwResult result;
+  int m = hg.num_edges();
+  if (m == 0) return result;
+  if (hg.num_nodes() > 64 || m > 64) return GenericGhw(hg, max_k);
+
+  scratch.edge_masks.assign(static_cast<size_t>(m), 0);
+  for (int e = 0; e < m; ++e) {
+    for (int v : hg.edge(e)) {
+      scratch.edge_masks[static_cast<size_t>(e)] |= 1ULL << v;
+    }
+  }
+
+  scratch.gyo_masks = scratch.edge_masks;
+  if (IsAlphaAcyclicBits(scratch.gyo_masks)) {
+    result.width = 1;
+    result.decomposition_nodes = m;
+    return result;
+  }
+
+  uint64_t all_edges = m == 64 ? ~0ULL : ((1ULL << m) - 1);
+  for (int k = 2; k <= max_k; ++k) {
+    BitDetKDecomp solver(scratch.edge_masks, k);
+    std::optional<int> nodes = solver.Decompose(all_edges, 0);
+    if (nodes.has_value()) {
+      result.width = k;
+      result.decomposition_nodes = *nodes;
+      return result;
+    }
+  }
+  result.width = max_k + 1;
+  result.exact = false;
+  return result;
+}
+
+GhwResult GeneralizedHypertreeWidth(const Hypergraph& hg, int max_k) {
+  GhwScratch scratch;
+  return GeneralizedHypertreeWidth(hg, scratch, max_k);
 }
 
 }  // namespace sparqlog::width

@@ -1,6 +1,9 @@
 #ifndef SPARQLOG_WIDTH_HYPERTREE_H_
 #define SPARQLOG_WIDTH_HYPERTREE_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "graph/hypergraph.h"
 
 namespace sparqlog::width {
@@ -18,10 +21,23 @@ struct GhwResult {
   bool exact = true;
 };
 
+/// Recycled working state for the bitset GHW path (hypergraphs of
+/// <= 64 nodes and <= 64 edges — every query hypergraph the paper
+/// measures). Larger inputs use the generic set-based search.
+struct GhwScratch {
+  std::vector<uint64_t> edge_masks;  // vertex mask per hyperedge
+  std::vector<uint64_t> gyo_masks;   // GYO working copy
+};
+
 /// Computes the generalized hypertree width of `hg`, trying k = 1 (GYO
 /// reduction / alpha-acyclicity) and then a det-k-decomp-style exact
 /// search over <= k-edge separators for k = 2..max_k, in the spirit of
-/// the detkdecomp tool the paper uses [10].
+/// the detkdecomp tool the paper uses [10]. Hypergraphs with <= 64
+/// nodes and <= 64 edges run entirely on vertex/edge bitsets (masked
+/// GYO, mask-pruned separator covers, mask-keyed memo); the scratch
+/// overload reuses the mask buffers across queries.
+GhwResult GeneralizedHypertreeWidth(const graph::Hypergraph& hg,
+                                    GhwScratch& scratch, int max_k = 4);
 GhwResult GeneralizedHypertreeWidth(const graph::Hypergraph& hg,
                                     int max_k = 4);
 

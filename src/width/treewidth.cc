@@ -12,85 +12,123 @@ using graph::Graph;
 
 namespace {
 
-/// Series-parallel reduction on an adjacency-set copy: returns true iff
-/// the graph reduces to nothing (treewidth <= 2).
-bool ReducesToEmpty(std::vector<std::set<int>> adj) {
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (size_t v = 0; v < adj.size(); ++v) {
-      size_t deg = adj[v].size();
-      if (deg == 0) continue;
-      if (deg == 1) {
-        int u = *adj[v].begin();
-        adj[static_cast<size_t>(u)].erase(static_cast<int>(v));
-        adj[v].clear();
-        changed = true;
-      } else if (deg == 2) {
-        auto it = adj[v].begin();
-        int a = *it++;
-        int b = *it;
-        adj[static_cast<size_t>(a)].erase(static_cast<int>(v));
-        adj[static_cast<size_t>(b)].erase(static_cast<int>(v));
-        adj[v].clear();
-        adj[static_cast<size_t>(a)].insert(b);
-        adj[static_cast<size_t>(b)].insert(a);
-        changed = true;
-      }
+// ---------------------------------------------------------------------------
+// Series-parallel reduction (remove degree-<=1, suppress degree-2),
+// driven by a restart-free worklist: a vertex enters the worklist when
+// its degree drops into {1, 2}; stale entries are re-checked on pop.
+// Degrees never increase under either rule, so every vertex is reduced
+// at most once and total work is linear in edges touched — unlike the
+// pre-change implementation, which re-scanned all n vertices after
+// every change (quadratic on long chains of enabling reductions).
+// The reduction is confluent for both uses: emptiness (treewidth <= 2)
+// and, when the input has treewidth >= 3, the kernel's exact treewidth.
+// ---------------------------------------------------------------------------
+
+/// Reduces `masks` (adjacency bitsets over < 64 nodes, self-loops
+/// excluded) in place; a removed/suppressed vertex ends with mask 0.
+void ReduceSmall(std::vector<uint64_t>& masks, int n,
+                 std::vector<int>& worklist) {
+  worklist.clear();
+  for (int v = 0; v < n; ++v) {
+    int d = std::popcount(masks[static_cast<size_t>(v)]);
+    if (d == 1 || d == 2) worklist.push_back(v);
+  }
+  auto maybe_push = [&](int u) {
+    int d = std::popcount(masks[static_cast<size_t>(u)]);
+    if (d == 1 || d == 2) worklist.push_back(u);
+  };
+  while (!worklist.empty()) {
+    int v = worklist.back();
+    worklist.pop_back();
+    uint64_t m = masks[static_cast<size_t>(v)];
+    int d = std::popcount(m);
+    if (d == 1) {
+      int u = std::countr_zero(m);
+      masks[static_cast<size_t>(u)] &= ~(1ULL << v);
+      masks[static_cast<size_t>(v)] = 0;
+      maybe_push(u);
+    } else if (d == 2) {
+      int a = std::countr_zero(m);
+      int b = std::countr_zero(m & (m - 1));
+      masks[static_cast<size_t>(a)] &= ~(1ULL << v);
+      masks[static_cast<size_t>(b)] &= ~(1ULL << v);
+      masks[static_cast<size_t>(v)] = 0;
+      masks[static_cast<size_t>(a)] |= 1ULL << b;
+      masks[static_cast<size_t>(b)] |= 1ULL << a;
+      maybe_push(a);
+      maybe_push(b);
     }
+    // d == 0 (already gone) or d > 2 (stale entry): nothing to do.
   }
-  for (const auto& neighbors : adj) {
-    if (!neighbors.empty()) return false;
-  }
-  return true;
 }
 
-/// Treewidth-preserving kernelization for graphs of treewidth >= 2:
-/// repeatedly delete degree-<=1 vertices and suppress degree-2 vertices.
-/// Returns the kernel's adjacency sets over surviving vertices only.
-std::vector<std::set<int>> Kernelize(const Graph& g) {
-  std::vector<std::set<int>> adj(static_cast<size_t>(g.num_nodes()));
-  for (int v = 0; v < g.num_nodes(); ++v) {
-    adj[static_cast<size_t>(v)] = g.Neighbors(v);
+/// Large-graph twin of ReduceSmall over sorted adjacency vectors.
+void ReduceLarge(std::vector<std::vector<int>>& adj,
+                 std::vector<int>& worklist) {
+  int n = static_cast<int>(adj.size());
+  worklist.clear();
+  for (int v = 0; v < n; ++v) {
+    size_t d = adj[static_cast<size_t>(v)].size();
+    if (d == 1 || d == 2) worklist.push_back(v);
   }
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (size_t v = 0; v < adj.size(); ++v) {
-      size_t deg = adj[v].size();
-      if (deg == 1) {
-        int u = *adj[v].begin();
-        adj[static_cast<size_t>(u)].erase(static_cast<int>(v));
-        adj[v].clear();
-        changed = true;
-      } else if (deg == 2) {
-        auto it = adj[v].begin();
-        int a = *it++;
-        int b = *it;
-        adj[static_cast<size_t>(a)].erase(static_cast<int>(v));
-        adj[static_cast<size_t>(b)].erase(static_cast<int>(v));
-        adj[v].clear();
-        adj[static_cast<size_t>(a)].insert(b);
-        adj[static_cast<size_t>(b)].insert(a);
-        changed = true;
+  auto erase_from = [&adj](int u, int v) {
+    auto& a = adj[static_cast<size_t>(u)];
+    a.erase(std::lower_bound(a.begin(), a.end(), v));
+  };
+  auto insert_into = [&adj](int u, int v) {
+    auto& a = adj[static_cast<size_t>(u)];
+    auto it = std::lower_bound(a.begin(), a.end(), v);
+    if (it == a.end() || *it != v) a.insert(it, v);
+  };
+  auto maybe_push = [&](int u) {
+    size_t d = adj[static_cast<size_t>(u)].size();
+    if (d == 1 || d == 2) worklist.push_back(u);
+  };
+  while (!worklist.empty()) {
+    int v = worklist.back();
+    worklist.pop_back();
+    auto& av = adj[static_cast<size_t>(v)];
+    size_t d = av.size();
+    if (d == 1) {
+      int u = av[0];
+      erase_from(u, v);
+      av.clear();
+      maybe_push(u);
+    } else if (d == 2) {
+      int a = av[0];
+      int b = av[1];
+      erase_from(a, v);
+      erase_from(b, v);
+      av.clear();
+      insert_into(a, b);
+      insert_into(b, a);
+      maybe_push(a);
+      maybe_push(b);
+    }
+  }
+}
+
+/// Number of connected components over bitset adjacency (n <= 64).
+int CountComponentsSmall(const std::vector<uint64_t>& masks, int n) {
+  uint64_t unseen = n == 64 ? ~0ULL : ((1ULL << n) - 1);
+  int comps = 0;
+  while (unseen != 0) {
+    ++comps;
+    uint64_t comp = unseen & (~unseen + 1);  // lowest unseen bit
+    uint64_t frontier = comp;
+    while (frontier != 0) {
+      uint64_t next = 0;
+      uint64_t f = frontier;
+      while (f != 0) {
+        next |= masks[static_cast<size_t>(std::countr_zero(f))];
+        f &= f - 1;
       }
+      frontier = next & ~comp;
+      comp |= frontier;
     }
+    unseen &= ~comp;
   }
-  // Compact to surviving vertices.
-  std::vector<int> remap(adj.size(), -1);
-  int next = 0;
-  for (size_t v = 0; v < adj.size(); ++v) {
-    if (!adj[v].empty()) remap[v] = next++;
-  }
-  std::vector<std::set<int>> kernel(static_cast<size_t>(next));
-  for (size_t v = 0; v < adj.size(); ++v) {
-    if (remap[v] < 0) continue;
-    for (int w : adj[v]) {
-      kernel[static_cast<size_t>(remap[v])].insert(
-          remap[static_cast<size_t>(w)]);
-    }
-  }
-  return kernel;
+  return comps;
 }
 
 /// Exact treewidth by branch-and-bound over elimination orderings with
@@ -99,8 +137,10 @@ std::vector<std::set<int>> Kernelize(const Graph& g) {
 /// Operates on bitset adjacency; n <= 64.
 class EliminationSolver {
  public:
-  explicit EliminationSolver(std::vector<uint64_t> adj)
-      : n_(static_cast<int>(adj.size())), adj_(std::move(adj)) {}
+  /// Borrows `adj` (the kernel masks in the caller's scratch); mutation
+  /// happens on per-step local copies only.
+  explicit EliminationSolver(const std::vector<uint64_t>& adj)
+      : n_(static_cast<int>(adj.size())), adj_(adj) {}
 
   int Solve() {
     uint64_t all = n_ == 64 ? ~0ULL : ((1ULL << n_) - 1);
@@ -166,8 +206,6 @@ class EliminationSolver {
     for (int v = 0; v < n_; ++v) {
       if (((alive >> v) & 1) == 0) continue;
       int deg = std::popcount(adj[static_cast<size_t>(v)] & alive);
-      // Simplicial vertices can always be eliminated first; detect the
-      // easy case degree <= 1.
       candidates.emplace_back(deg, v);
     }
     std::sort(candidates.begin(), candidates.end());
@@ -181,50 +219,142 @@ class EliminationSolver {
   }
 
   int n_;
-  std::vector<uint64_t> adj_;
+  const std::vector<uint64_t>& adj_;
   int best_ = 0;
   std::unordered_map<uint64_t, int> memo_;
 };
 
-}  // namespace
-
-bool TreewidthAtMost2(const Graph& g) {
-  std::vector<std::set<int>> adj(static_cast<size_t>(g.num_nodes()));
-  for (int v = 0; v < g.num_nodes(); ++v) {
-    adj[static_cast<size_t>(v)] = g.Neighbors(v);
+void CopyMasks(const Graph& g, std::vector<uint64_t>& masks) {
+  int n = g.num_nodes();
+  masks.resize(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    masks[static_cast<size_t>(v)] = g.AdjacencyBits(v);
   }
-  return ReducesToEmpty(std::move(adj));
 }
 
-TreewidthResult Treewidth(const Graph& g) {
+void CopyAdj(const Graph& g, std::vector<std::vector<int>>& adj) {
+  size_t n = static_cast<size_t>(g.num_nodes());
+  if (adj.size() < n) adj.resize(n);
+  for (size_t v = 0; v < n; ++v) {
+    adj[v].clear();
+    for (int w : g.Neighbors(static_cast<int>(v))) adj[v].push_back(w);
+  }
+  adj.resize(n);
+}
+
+}  // namespace
+
+bool TreewidthAtMost2(const Graph& g, TreewidthScratch& s) {
+  if (g.small()) {
+    CopyMasks(g, s.masks);
+    ReduceSmall(s.masks, g.num_nodes(), s.worklist);
+    for (uint64_t m : s.masks) {
+      if (m != 0) return false;
+    }
+    return true;
+  }
+  CopyAdj(g, s.adj);
+  ReduceLarge(s.adj, s.worklist);
+  for (const auto& a : s.adj) {
+    if (!a.empty()) return false;
+  }
+  return true;
+}
+
+bool TreewidthAtMost2(const Graph& g) {
+  TreewidthScratch scratch;
+  return TreewidthAtMost2(g, scratch);
+}
+
+TreewidthResult Treewidth(const Graph& g, TreewidthScratch& s) {
   TreewidthResult result;
-  if (g.num_nodes() == 0 || g.num_proper_edges() == 0) {
+  int n = g.num_nodes();
+  if (n == 0 || g.num_proper_edges() == 0) {
     result.width = 0;
     return result;
   }
+
+  if (g.small()) {
+    CopyMasks(g, s.masks);
+    // Forest test without allocation: |E_proper| = |V| - #components.
+    if (g.num_proper_edges() == n - CountComponentsSmall(s.masks, n)) {
+      result.width = 1;
+      return result;
+    }
+    // One reduction decides width <= 2 *and* produces the kernel:
+    // surviving vertices have degree >= 3 and the reduction preserves
+    // treewidth once it is known to be >= 2.
+    ReduceSmall(s.masks, n, s.worklist);
+    s.remap.assign(static_cast<size_t>(n), -1);
+    int kernel_size = 0;
+    for (int v = 0; v < n; ++v) {
+      if (s.masks[static_cast<size_t>(v)] != 0) {
+        s.remap[static_cast<size_t>(v)] = kernel_size++;
+      }
+    }
+    if (kernel_size == 0) {
+      result.width = 2;
+      return result;
+    }
+    s.kernel_masks.assign(static_cast<size_t>(kernel_size), 0);
+    for (int v = 0; v < n; ++v) {
+      int nv = s.remap[static_cast<size_t>(v)];
+      if (nv < 0) continue;
+      uint64_t m = s.masks[static_cast<size_t>(v)];
+      while (m != 0) {
+        int w = std::countr_zero(m);
+        m &= m - 1;
+        s.kernel_masks[static_cast<size_t>(nv)] |=
+            1ULL << s.remap[static_cast<size_t>(w)];
+      }
+    }
+    EliminationSolver solver(s.kernel_masks);
+    result.width = solver.Solve();
+    return result;
+  }
+
+  // Large graphs (> 64 nodes): vector-based reduction, then the bitset
+  // solver if the kernel shrank below 64 nodes.
   if (g.IsAcyclic(/*ignore_self_loops=*/true)) {
     result.width = 1;
     return result;
   }
-  if (TreewidthAtMost2(g)) {
+  CopyAdj(g, s.adj);
+  ReduceLarge(s.adj, s.worklist);
+  s.remap.assign(static_cast<size_t>(n), -1);
+  int kernel_size = 0;
+  for (int v = 0; v < n; ++v) {
+    if (!s.adj[static_cast<size_t>(v)].empty()) {
+      s.remap[static_cast<size_t>(v)] = kernel_size++;
+    }
+  }
+  if (kernel_size == 0) {
     result.width = 2;
     return result;
   }
-  // Kernelize; kernel width >= 3, min degree >= 3.
-  std::vector<std::set<int>> kernel = Kernelize(g);
-  if (kernel.size() > 64) {
+  if (kernel_size > 64) {
     // Fall back to the heuristic bound. Query graphs never get here.
     result.exact = false;
-    result.width = static_cast<int>(kernel.size());
+    result.width = kernel_size;
     return result;
   }
-  std::vector<uint64_t> adj(kernel.size(), 0);
-  for (size_t v = 0; v < kernel.size(); ++v) {
-    for (int w : kernel[v]) adj[v] |= 1ULL << w;
+  s.kernel_masks.assign(static_cast<size_t>(kernel_size), 0);
+  for (int v = 0; v < n; ++v) {
+    int nv = s.remap[static_cast<size_t>(v)];
+    if (nv < 0) continue;
+    for (int w : s.adj[static_cast<size_t>(v)]) {
+      s.kernel_masks[static_cast<size_t>(nv)] |=
+          1ULL << s.remap[static_cast<size_t>(w)];
+    }
   }
-  EliminationSolver solver(std::move(adj));
+  EliminationSolver solver(s.kernel_masks);
   result.width = solver.Solve();
   return result;
+}
+
+TreewidthResult Treewidth(const Graph& g) {
+  TreewidthScratch scratch;
+  return Treewidth(g, scratch);
 }
 
 }  // namespace sparqlog::width

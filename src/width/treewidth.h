@@ -1,6 +1,9 @@
 #ifndef SPARQLOG_WIDTH_TREEWIDTH_H_
 #define SPARQLOG_WIDTH_TREEWIDTH_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "graph/graph.h"
 
 namespace sparqlog::width {
@@ -14,21 +17,36 @@ struct TreewidthResult {
   bool exact = true;
 };
 
+/// Recycled working state for Treewidth/TreewidthAtMost2. Graphs of
+/// <= 64 nodes (every query graph) kernelize entirely inside the mask
+/// buffer — zero heap traffic after warmup; larger graphs use the
+/// sorted-vector buffers.
+struct TreewidthScratch {
+  std::vector<uint64_t> masks;           // small path: adjacency copies
+  std::vector<int> worklist;             // restart-free reduction worklist
+  std::vector<std::vector<int>> adj;     // large path: adjacency copies
+  std::vector<uint64_t> kernel_masks;    // compacted kernel for the solver
+  std::vector<int> remap;
+};
+
 /// Exact treewidth of `g` (self-loops ignored; they do not affect
 /// treewidth).
 ///
 /// Pipeline (Section 6.2 of the paper needs to separate width 1 / 2 / 3):
 ///  1. forests have width <= 1;
-///  2. the series-parallel reduction (remove degree-<=1, contract
-///     degree-2) decides width <= 2;
-///  3. otherwise the reduction kernel (treewidth-preserving for width
-///     >= 2) is solved exactly by branch-and-bound over elimination
-///     orderings with memoization, min-fill upper bound and degeneracy
-///     lower bound (QuickBB-style).
+///  2. the series-parallel reduction (remove degree-<=1, suppress
+///     degree-2) decides width <= 2 — driven by a restart-free worklist,
+///     so a long chain reduces in linear time;
+///  3. otherwise the reduction's kernel (treewidth-preserving for width
+///     >= 2, min degree >= 3) is solved exactly by branch-and-bound over
+///     elimination orderings with memoization, min-fill upper bound and
+///     degeneracy lower bound (QuickBB-style).
+TreewidthResult Treewidth(const graph::Graph& g, TreewidthScratch& scratch);
 TreewidthResult Treewidth(const graph::Graph& g);
 
 /// Decides treewidth <= 2 via the series-parallel reduction alone
-/// (linear-ish; used by the shape pipeline before full computation).
+/// (linear; used by the shape pipeline before full computation).
+bool TreewidthAtMost2(const graph::Graph& g, TreewidthScratch& scratch);
 bool TreewidthAtMost2(const graph::Graph& g);
 
 }  // namespace sparqlog::width

@@ -1,0 +1,308 @@
+// Differential tests for the allocation-lean structural-analysis path:
+// the new flat-graph ClassifyShape / Treewidth / girth (and the bitset
+// GHW) must agree with the retained pre-change implementations in
+// testing/reference_analysis on random graphs — including self-loops,
+// disconnected forests, K4 (treewidth 3), and the 64/65-node boundary
+// where Graph switches from bitset masks to sorted-vector adjacency.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "corpus/analysis_scratch.h"
+#include "graph/canonical.h"
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+#include "graph/shapes.h"
+#include "sparql/parser.h"
+#include "testing/invariants.h"
+#include "testing/reference_analysis.h"
+#include "util/rng.h"
+#include "width/hypertree.h"
+#include "width/treewidth.h"
+
+namespace sparqlog {
+namespace {
+
+namespace reference = testing::reference;
+using graph::Graph;
+using graph::ShapeClass;
+
+void ExpectSameShape(const ShapeClass& ref, const ShapeClass& got,
+                     const std::string& what) {
+  EXPECT_EQ(ref.single_edge, got.single_edge) << what;
+  EXPECT_EQ(ref.chain, got.chain) << what;
+  EXPECT_EQ(ref.chain_set, got.chain_set) << what;
+  EXPECT_EQ(ref.star, got.star) << what;
+  EXPECT_EQ(ref.tree, got.tree) << what;
+  EXPECT_EQ(ref.forest, got.forest) << what;
+  EXPECT_EQ(ref.cycle, got.cycle) << what;
+  EXPECT_EQ(ref.flower, got.flower) << what;
+  EXPECT_EQ(ref.flower_set, got.flower_set) << what;
+  EXPECT_EQ(ref.girth, got.girth) << what;
+}
+
+/// Runs both classifiers and both treewidth pipelines on `g`, sharing
+/// one long-lived scratch so cross-call state leaks would surface.
+void CheckGraph(const Graph& g, graph::ShapeScratch& shape_scratch,
+                width::TreewidthScratch& tw_scratch, const std::string& what) {
+  reference::ReferenceGraph ref = reference::FromGraph(g);
+  ExpectSameShape(reference::ClassifyShape(ref),
+                  graph::ClassifyShape(g, shape_scratch), what);
+  width::TreewidthResult ref_tw = reference::Treewidth(ref);
+  width::TreewidthResult new_tw = width::Treewidth(g, tw_scratch);
+  if (ref_tw.exact && new_tw.exact) {
+    EXPECT_EQ(ref_tw.width, new_tw.width) << what;
+  }
+  EXPECT_EQ(reference::TreewidthAtMost2(ref), width::TreewidthAtMost2(g))
+      << what;
+  EXPECT_EQ(ref.Girth(), g.Girth()) << what;
+}
+
+Graph RandomGraph(util::Rng& rng, int n, double edge_prob,
+                  double loop_prob) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    if (rng.NextDouble() < loop_prob) g.AddEdge(u, u);
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.NextDouble() < edge_prob) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+TEST(AnalysisEquivalenceTest, RandomSmallGraphs) {
+  util::Rng rng(20260726);
+  graph::ShapeScratch shape_scratch;
+  width::TreewidthScratch tw_scratch;
+  const double densities[] = {0.05, 0.15, 0.3, 0.6};
+  for (int iter = 0; iter < 400; ++iter) {
+    int n = static_cast<int>(rng.Below(13));
+    double p = densities[rng.Below(4)];
+    double loops = rng.Chance(0.3) ? 0.15 : 0.0;
+    Graph g = RandomGraph(rng, n, p, loops);
+    CheckGraph(g, shape_scratch, tw_scratch,
+               "iter " + std::to_string(iter) + " n=" + std::to_string(n));
+  }
+}
+
+TEST(AnalysisEquivalenceTest, RandomSparseGraphsAtBitsetBoundary) {
+  util::Rng rng(64656466);
+  graph::ShapeScratch shape_scratch;
+  width::TreewidthScratch tw_scratch;
+  for (int iter = 0; iter < 40; ++iter) {
+    // 60..70 nodes crosses the 64-node mask/vector switch; subcritical
+    // density keeps components small so the exact solvers stay fast on
+    // both paths.
+    int n = 60 + static_cast<int>(rng.Below(11));
+    Graph g = RandomGraph(rng, n, 1.2 / n, rng.Chance(0.25) ? 0.05 : 0.0);
+    CheckGraph(g, shape_scratch, tw_scratch,
+               "boundary iter " + std::to_string(iter) +
+                   " n=" + std::to_string(n));
+  }
+}
+
+TEST(AnalysisEquivalenceTest, NamedShapesAcrossTheBoundary) {
+  graph::ShapeScratch shape_scratch;
+  width::TreewidthScratch tw_scratch;
+  for (int n : {63, 64, 65, 66}) {
+    Graph path(n);
+    for (int i = 0; i + 1 < n; ++i) path.AddEdge(i, i + 1);
+    CheckGraph(path, shape_scratch, tw_scratch, "path " + std::to_string(n));
+
+    Graph cycle(n);
+    for (int i = 0; i < n; ++i) cycle.AddEdge(i, (i + 1) % n);
+    CheckGraph(cycle, shape_scratch, tw_scratch, "cycle " + std::to_string(n));
+
+    Graph star(n);
+    for (int i = 1; i < n; ++i) star.AddEdge(0, i);
+    CheckGraph(star, shape_scratch, tw_scratch, "star " + std::to_string(n));
+  }
+}
+
+TEST(AnalysisEquivalenceTest, GrowingAcrossTheBoundaryPreservesEdges) {
+  // Build edge set while the graph spills from masks to vectors.
+  Graph g(0);
+  for (int i = 0; i < 70; ++i) {
+    EXPECT_EQ(g.AddNode(), i);
+    if (i > 0) g.AddEdge(i - 1, i);
+    if (i >= 10) g.AddEdge(i - 10, i);
+  }
+  EXPECT_FALSE(g.small());
+  EXPECT_EQ(g.num_nodes(), 70);
+  for (int i = 1; i < 70; ++i) EXPECT_TRUE(g.HasEdge(i - 1, i));
+  for (int i = 10; i < 70; ++i) EXPECT_TRUE(g.HasEdge(i - 10, i));
+  // Neighbor iteration stays ascending after the spill.
+  int prev = -1;
+  for (int w : g.Neighbors(35)) {
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+  graph::ShapeScratch shape_scratch;
+  width::TreewidthScratch tw_scratch;
+  CheckGraph(g, shape_scratch, tw_scratch, "spilled ladder");
+}
+
+TEST(AnalysisEquivalenceTest, DisconnectedForestsAndLoops) {
+  graph::ShapeScratch shape_scratch;
+  width::TreewidthScratch tw_scratch;
+  // Disconnected forest: three trees of different shapes.
+  Graph forest(12);
+  forest.AddEdge(0, 1);
+  forest.AddEdge(1, 2);
+  forest.AddEdge(3, 4);
+  forest.AddEdge(3, 5);
+  forest.AddEdge(3, 6);
+  forest.AddEdge(7, 8);
+  CheckGraph(forest, shape_scratch, tw_scratch, "forest");
+
+  // Self-loops: at a tree node, at a cycle node, and at two nodes.
+  Graph looped = forest;
+  looped.AddEdge(1, 1);
+  CheckGraph(looped, shape_scratch, tw_scratch, "forest+loop");
+  looped.AddEdge(7, 7);
+  CheckGraph(looped, shape_scratch, tw_scratch, "forest+2loops");
+
+  Graph cycle_loop(5);
+  for (int i = 0; i < 4; ++i) cycle_loop.AddEdge(i, (i + 1) % 4);
+  cycle_loop.AddEdge(0, 0);
+  CheckGraph(cycle_loop, shape_scratch, tw_scratch, "cycle+loop");
+}
+
+TEST(AnalysisEquivalenceTest, K4HasTreewidthThreeAndIsNoFlower) {
+  Graph k4(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) k4.AddEdge(i, j);
+  }
+  graph::ShapeScratch shape_scratch;
+  width::TreewidthScratch tw_scratch;
+  CheckGraph(k4, shape_scratch, tw_scratch, "K4");
+  EXPECT_EQ(width::Treewidth(k4).width, 3);
+  EXPECT_FALSE(graph::ClassifyShape(k4).flower_set);
+}
+
+TEST(AnalysisEquivalenceTest, ScratchReuseIsStateless) {
+  // The same scratch must classify a pathological sequence (big, small,
+  // cyclic, empty, looped) exactly like fresh scratch each time.
+  util::Rng rng(977);
+  graph::ShapeScratch reused;
+  width::TreewidthScratch reused_tw;
+  for (int iter = 0; iter < 60; ++iter) {
+    int n = iter % 2 == 0 ? static_cast<int>(rng.Below(70))
+                          : static_cast<int>(rng.Below(8));
+    Graph g = RandomGraph(rng, n, n > 20 ? 1.3 / n : 0.3,
+                          rng.Chance(0.2) ? 0.1 : 0.0);
+    graph::ShapeScratch fresh;
+    width::TreewidthScratch fresh_tw;
+    ExpectSameShape(graph::ClassifyShape(g, fresh),
+                    graph::ClassifyShape(g, reused),
+                    "reuse iter " + std::to_string(iter));
+    EXPECT_EQ(width::Treewidth(g, fresh_tw).width,
+              width::Treewidth(g, reused_tw).width)
+        << iter;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical builders and GHW, old vs new, on parsed queries.
+// ---------------------------------------------------------------------------
+
+TEST(AnalysisEquivalenceTest, CanonicalBuildersMatchOnHandwrittenQueries) {
+  const char* queries[] = {
+      "ASK WHERE {?x1 <a> ?x2 . ?x2 <b> ?x3 . ?x3 <c> ?x4}",
+      "ASK WHERE { ?x <p> <c> . ?y <q> <c> }",
+      "ASK WHERE { ?x <p> ?y . ?z <q> ?w FILTER(?y = ?z) }",
+      "ASK WHERE { ?a <p> ?b . ?b <q> ?c . ?c <r> ?d FILTER(?a = ?d) }",
+      "ASK WHERE { ?x <p> ?x }",
+      "ASK WHERE {?x1 ?x2 ?x3 . ?x3 <a> ?x4 . ?x4 ?x2 ?x5}",
+      "ASK { ?s <p> \"lit\"^^<http://dt> . ?s <q> \"lit\"@en . ?s <r> \"lit\" }",
+      "SELECT * WHERE { ?a ?p ?b . ?b ?p ?c . ?c ?p ?a }",
+      "ASK { <s> <p> <o> }",
+  };
+  corpus::AnalysisScratch scratch;
+  sparql::Parser parser;
+  for (const char* text : queries) {
+    auto r = parser.Parse(text);
+    ASSERT_TRUE(r.ok()) << text;
+    auto v = testing::CheckAnalysisEquivalence(r.value(), scratch);
+    EXPECT_FALSE(v.has_value())
+        << text << ": " << (v ? v->detail : std::string());
+  }
+}
+
+TEST(AnalysisEquivalenceTest, RandomHypergraphsAgreeOnGhw) {
+  util::Rng rng(4242);
+  for (int iter = 0; iter < 120; ++iter) {
+    int n = 2 + static_cast<int>(rng.Below(7));
+    int m = 1 + static_cast<int>(rng.Below(8));
+    graph::Hypergraph hg;
+    reference::ReferenceHypergraph ref;
+    for (int e = 0; e < m; ++e) {
+      std::set<int> edge;
+      int arity = 1 + static_cast<int>(rng.Below(3));
+      for (int k = 0; k < arity; ++k) {
+        edge.insert(static_cast<int>(rng.Below(static_cast<size_t>(n))));
+      }
+      ref.AddEdge(edge);
+      hg.AddEdge(std::vector<int>(edge.begin(), edge.end()));
+    }
+    EXPECT_EQ(ref.IsAlphaAcyclic(), hg.IsAlphaAcyclic()) << iter;
+    width::GhwResult ref_ghw = reference::GeneralizedHypertreeWidth(ref);
+    width::GhwResult new_ghw = width::GeneralizedHypertreeWidth(hg);
+    EXPECT_EQ(ref_ghw.width, new_ghw.width) << iter;
+    EXPECT_EQ(ref_ghw.decomposition_nodes, new_ghw.decomposition_nodes)
+        << iter;
+    EXPECT_EQ(ref_ghw.exact, new_ghw.exact) << iter;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernelization linearity: the restart-free worklist must suppress a
+// long degree-2 chain (here closed into a cycle so the series-parallel
+// rule, not leaf pruning, does the work) in linear time. The pre-change
+// implementation re-scanned every vertex per pass; at this size a
+// quadratic pass structure would take minutes, the worklist milliseconds.
+// ---------------------------------------------------------------------------
+
+TEST(KernelizationWorklistTest, LongCycleReducesInLinearTime) {
+  const int n = 300000;
+  Graph cycle(n);
+  for (int i = 0; i < n; ++i) cycle.AddEdge(i, (i + 1) % n);
+  width::TreewidthScratch scratch;
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(width::TreewidthAtMost2(cycle, scratch));
+  width::TreewidthResult tw = width::Treewidth(cycle, scratch);
+  double seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  EXPECT_EQ(tw.width, 2);
+  EXPECT_TRUE(tw.exact);
+  // Generous even for sanitizer builds; a quadratic reduction cannot
+  // come close at 300k nodes.
+  EXPECT_LT(seconds, 20.0);
+}
+
+TEST(KernelizationWorklistTest, LollipopKernelizesToTheClique) {
+  // K5 with a 100k-node tail: the tail must be eaten by the worklist
+  // and the kernel solved exactly (treewidth 4).
+  const int tail = 100000;
+  Graph g(5 + tail);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) g.AddEdge(i, j);
+  }
+  g.AddEdge(4, 5);
+  for (int i = 5; i + 1 < 5 + tail; ++i) g.AddEdge(i, i + 1);
+  width::TreewidthScratch scratch;
+  auto start = std::chrono::steady_clock::now();
+  width::TreewidthResult tw = width::Treewidth(g, scratch);
+  double seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  EXPECT_EQ(tw.width, 4);
+  EXPECT_TRUE(tw.exact);
+  EXPECT_LT(seconds, 20.0);
+}
+
+}  // namespace
+}  // namespace sparqlog
