@@ -25,7 +25,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "alloc_tracker.h"
+#include "obs/alloc_hooks.h"
 #include "bench_common.h"
 #include "analysis/features.h"
 #include "corpus/analysis_scratch.h"

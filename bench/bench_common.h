@@ -2,20 +2,30 @@
 #define SPARQLOG_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <cstdlib>
 #include <iostream>
-#include <ostream>
 #include <string>
-#include <string_view>
 #include <vector>
 
 #include "corpus/generator.h"
 #include "corpus/ingest.h"
 #include "corpus/profile.h"
 #include "corpus/report.h"
+#include "obs/alloc_tracker.h"
+#include "obs/json_writer.h"
 
 namespace sparqlog::bench {
+
+/// The streaming JSON writer behind every BENCH_*.json emitter and the
+/// allocation-phase helpers now live in src/obs/ (the telemetry
+/// subsystem shares them); these aliases keep bench code reading
+/// naturally. A bench that wants live allocation counts must still
+/// include obs/alloc_hooks.h from exactly one translation unit.
+using JsonWriter = obs::JsonWriter;
+using PhaseResult = obs::PhaseResult;
+using obs::AllocatedBytes;
+using obs::AllocationCount;
+using obs::RunPhase;
 
 /// Path for a bench's JSON artifact: SPARQLOG_BENCH_JSON overrides the
 /// per-bench default so CI runs can redirect without editing code.
@@ -32,120 +42,6 @@ inline uint64_t EnvCount(const char* name, uint64_t fallback) {
   }
   return fallback;
 }
-
-/// Minimal streaming JSON writer shared by the BENCH_*.json emitters
-/// (ingest, streaks, analysis): tracks nesting and emits commas and
-/// two-space indentation, so bench code states keys and values only.
-class JsonWriter {
- public:
-  explicit JsonWriter(std::ostream& out) : out_(out) {}
-
-  JsonWriter& Key(std::string_view k) {
-    NextItem();
-    Escaped(k);
-    out_ << ": ";
-    have_key_ = true;
-    return *this;
-  }
-
-  JsonWriter& BeginObject() { return Open('{'); }
-  JsonWriter& EndObject() { return Close('}'); }
-  JsonWriter& BeginArray() { return Open('['); }
-  JsonWriter& EndArray() { return Close(']'); }
-
-  JsonWriter& Value(std::string_view v) {
-    Prefix();
-    Escaped(v);
-    return *this;
-  }
-  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
-  JsonWriter& Value(uint64_t v) {
-    Prefix();
-    out_ << v;
-    return *this;
-  }
-  JsonWriter& Value(int v) {
-    Prefix();
-    out_ << v;
-    return *this;
-  }
-  JsonWriter& Value(double v) {
-    Prefix();
-    out_ << v;
-    return *this;
-  }
-  JsonWriter& Value(bool v) {
-    Prefix();
-    out_ << (v ? "true" : "false");
-    return *this;
-  }
-
-  template <typename T>
-  JsonWriter& KV(std::string_view k, T v) {
-    Key(k);
-    return Value(v);
-  }
-
-  void Finish() { out_ << "\n"; }
-
- private:
-  JsonWriter& Open(char c) {
-    Prefix();
-    out_ << c;
-    frames_.push_back(true);
-    return *this;
-  }
-  JsonWriter& Close(char c) {
-    bool empty = frames_.back();
-    frames_.pop_back();
-    if (!empty) Newline();
-    out_ << c;
-    return *this;
-  }
-  void NextItem() {
-    if (frames_.empty()) return;
-    if (!frames_.back()) out_ << ',';
-    frames_.back() = false;
-    Newline();
-  }
-  void Prefix() {
-    if (have_key_) {
-      have_key_ = false;
-      return;
-    }
-    NextItem();
-  }
-  void Newline() {
-    out_ << '\n';
-    for (size_t i = 0; i < frames_.size(); ++i) out_ << "  ";
-  }
-  void Escaped(std::string_view s) {
-    out_ << '"';
-    for (char c : s) {
-      unsigned char u = static_cast<unsigned char>(c);
-      if (c == '"' || c == '\\') {
-        out_ << '\\' << c;
-      } else if (c == '\n') {
-        out_ << "\\n";
-      } else if (c == '\t') {
-        out_ << "\\t";
-      } else if (c == '\r') {
-        out_ << "\\r";
-      } else if (u < 0x20) {
-        char buf[8];
-        std::snprintf(buf, sizeof(buf), "\\u%04x", u);
-        out_ << buf;
-      } else {
-        out_ << c;
-      }
-    }
-    out_ << '"';
-  }
-
-  std::ostream& out_;
-  std::vector<bool> frames_;  // true = frame has no children yet
-  bool have_key_ = false;
-};
 
 /// Scale factor for the synthetic corpus, overridable via the
 /// SPARQLOG_SCALE environment variable (fraction of the paper's log

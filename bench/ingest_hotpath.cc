@@ -18,7 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "alloc_tracker.h"
+#include "obs/alloc_hooks.h"
 #include "bench_common.h"
 #include "corpus/generator.h"
 #include "corpus/ingest.h"

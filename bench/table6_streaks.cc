@@ -24,7 +24,7 @@
 #include <string_view>
 #include <vector>
 
-#include "alloc_tracker.h"
+#include "obs/alloc_hooks.h"
 #include "bench_common.h"
 #include "corpus/generator.h"
 #include "corpus/profile.h"

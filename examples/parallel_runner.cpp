@@ -21,10 +21,20 @@
 //                             detection / structural analysis of the
 //                             unique corpus) so end-to-end hot-path
 //                             wins are visible from the CLI
+//   --metrics                 collect per-stage telemetry and print the
+//                             stall/skew summary after the run
+//   --metrics-json[=PATH]     write the telemetry registry as JSON
+//                             (default metrics.json); implies --metrics
+//   --metrics-prom[=PATH]     write Prometheus text exposition
+//                             (default metrics.prom); implies --metrics
+//   --trace[=PATH]            record per-worker spans and write Chrome
+//                             trace-event JSON (default trace.json,
+//                             load via chrome://tracing)
 
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_set>
@@ -34,6 +44,9 @@
 #include "corpus/ingest.h"
 #include "corpus/profile.h"
 #include "corpus/report.h"
+#include "obs/alloc_hooks.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "pipeline/merge.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/streak_stage.h"
@@ -50,15 +63,62 @@ double Seconds(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Where the telemetry of a run should go. Empty path == exporter off.
+struct TelemetryOutputs {
+  bool print_summary = false;
+  std::string json_path;
+  std::string prom_path;
+  std::string trace_path;
+};
+
+/// Emits every requested exporter for one run's telemetry/trace pair.
+/// Returns false (after a message on stderr) if an output file failed.
+bool ExportTelemetry(const TelemetryOutputs& outputs,
+                     const std::optional<sparqlog::obs::RunTelemetry>& telemetry,
+                     const std::optional<sparqlog::obs::TraceData>& trace) {
+  using namespace sparqlog;
+  auto open = [](const std::string& path, std::ofstream& out) {
+    out.open(path);
+    if (!out) std::cerr << "cannot write " << path << "\n";
+    return static_cast<bool>(out);
+  };
+  if (telemetry.has_value()) {
+    if (outputs.print_summary) {
+      std::cout << "\n";
+      obs::PrintSummary(std::cout, *telemetry);
+    }
+    if (!outputs.json_path.empty()) {
+      std::ofstream out;
+      if (!open(outputs.json_path, out)) return false;
+      obs::WriteTelemetryJson(out, *telemetry);
+    }
+    if (!outputs.prom_path.empty()) {
+      std::ofstream out;
+      if (!open(outputs.prom_path, out)) return false;
+      out << obs::PrometheusText(*telemetry);
+    }
+  }
+  if (trace.has_value() && !outputs.trace_path.empty()) {
+    std::ofstream out;
+    if (!open(outputs.trace_path, out)) return false;
+    obs::WriteChromeTrace(out, *trace);
+    std::cout << "Trace written to " << outputs.trace_path
+              << " (load via chrome://tracing)\n";
+  }
+  return true;
+}
+
 /// --streaks mode: the sharded streak stage end to end, with optional
 /// bit-exact verification against the serial detector.
 int RunStreakStage(const std::vector<std::string>& queries,
                    const std::string& source, int threads, size_t chunk_size,
-                   bool verify) {
+                   bool verify, const sparqlog::obs::TelemetryOptions& telemetry,
+                   const TelemetryOutputs& outputs) {
   using namespace sparqlog;
   pipeline::StreakStageOptions options;
   options.threads = threads;
   options.chunk_size = chunk_size;
+  options.telemetry = telemetry;
   pipeline::StreakStage stage(options);
 
   auto start = std::chrono::steady_clock::now();
@@ -110,6 +170,8 @@ int RunStreakStage(const std::vector<std::string>& queries,
                                : 0))
             << " queries/sec (" << elapsed << " s)\n";
 
+  if (!ExportTelemetry(outputs, result.telemetry, result.trace)) return 2;
+
   if (verify) {
     streaks::StreakDetector detector;
     start = std::chrono::steady_clock::now();
@@ -119,6 +181,9 @@ int RunStreakStage(const std::vector<std::string>& queries,
     bool ok = serial == result.report;
     std::cout << "\nSerial detector: " << serial_elapsed << " s; reports "
               << (ok ? "MATCH" : "DIFFER") << "\n";
+    if (result.telemetry.has_value()) {
+      std::cout << obs::OneLineSummary(*result.telemetry) << "\n";
+    }
     if (!ok) {
       std::cerr << "serial/sharded streak divergence: streaks "
                 << serial.total_streaks << " vs "
@@ -215,6 +280,7 @@ int main(int argc, char** argv) {
   bool streaks_mode = false;
   bool analysis_bench = false;
   bool chunk_size_set = false;
+  TelemetryOutputs outputs;
   pipeline::PipelineOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -225,7 +291,35 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--generate") {
+    // "--flag=PATH" or bare "--flag" (falling back to `fallback`), for
+    // the exporters whose value is an optional output path.
+    auto path_flag = [&](const char* flag, const char* fallback,
+                         std::string& out) {
+      std::string prefix = std::string(flag) + "=";
+      if (arg == flag) {
+        out = fallback;
+        return true;
+      }
+      if (arg.rfind(prefix, 0) == 0) {
+        out = arg.substr(prefix.size());
+        if (out.empty()) {
+          std::cerr << flag << "= needs a path\n";
+          std::exit(2);
+        }
+        return true;
+      }
+      return false;
+    };
+    if (arg == "--metrics") {
+      options.telemetry.metrics = true;
+      outputs.print_summary = true;
+    } else if (path_flag("--metrics-json", "metrics.json", outputs.json_path)) {
+      options.telemetry.metrics = true;
+    } else if (path_flag("--metrics-prom", "metrics.prom", outputs.prom_path)) {
+      options.telemetry.metrics = true;
+    } else if (path_flag("--trace", "trace.json", outputs.trace_path)) {
+      options.telemetry.trace = true;
+    } else if (arg == "--generate") {
       generate = next("--generate");
     } else if (arg == "--entries") {
       entries = std::stoull(next("--entries"));
@@ -277,7 +371,8 @@ int main(int argc, char** argv) {
     // Unless the user pinned a chunk size, let the stage derive one
     // chunk per worker.
     return RunStreakStage(queries, source, options.threads,
-                          chunk_size_set ? options.chunk_size : 0, verify);
+                          chunk_size_set ? options.chunk_size : 0, verify,
+                          options.telemetry, outputs);
   }
 
   // ---- Assemble the input (files are streamed, never slurped) ----
@@ -320,6 +415,9 @@ int main(int argc, char** argv) {
   }
 
   // ---- Run the pipeline ----
+  // --verify reports the one-line telemetry digest (stall/skew/allocs)
+  // alongside the equivalence verdict, so collection rides along.
+  if (verify) options.telemetry.metrics = true;
   pipeline::ParallelLogPipeline pl(options);
   pipeline::PipelineResult result;
   auto start = std::chrono::steady_clock::now();
@@ -360,6 +458,8 @@ int main(int argc, char** argv) {
                    elapsed > 0 ? result.stats.total / elapsed : 0))
             << " queries/sec (" << elapsed << " s)\n";
 
+  if (!ExportTelemetry(outputs, result.telemetry, result.trace)) return 2;
+
   // ---- Optional serial verification ----
   if (verify) {
     corpus::LogIngestor ingestor;
@@ -384,6 +484,9 @@ int main(int argc, char** argv) {
                   pipeline::StatisticsDigest(result.analysis);
     std::cout << "\nSerial path: " << serial_elapsed << " s; statistics "
               << (ok ? "MATCH" : "DIFFER") << "\n";
+    if (result.telemetry.has_value()) {
+      std::cout << obs::OneLineSummary(*result.telemetry) << "\n";
+    }
     if (!ok) {
       std::cerr << "serial/parallel divergence: total "
                 << ingestor.stats().total << " vs " << result.stats.total

@@ -1,5 +1,6 @@
 #include "corpus/ingest.h"
 
+#include "obs/metrics.h"
 #include "sparql/serializer.h"
 #include "util/fnv.h"
 #include "util/strings.h"
@@ -70,13 +71,41 @@ bool LogIngestor::ProcessLine(const std::string& line) {
 void LogIngestor::Ingest(const ParsedLine& parsed) {
   if (!parsed.is_query) return;
   ++stats_.total;
-  if (!parsed.valid) return;
+  // Shard-stage accounting: every query entry is an item in; valid ones
+  // survive. These are pure counter increments (no clock), shared by
+  // the serial path and every pipeline shard.
+  obs::StageMetrics* shard_metrics = nullptr;
+  if constexpr (obs::kTelemetryEnabled) {
+    if (telemetry_) {
+      shard_metrics = &telemetry_->stage(obs::kStageShard);
+      ++shard_metrics->items_in;
+    }
+  }
+  if (!parsed.valid) {
+    if constexpr (obs::kTelemetryEnabled) {
+      if (shard_metrics) ++shard_metrics->malformed;
+    }
+    return;
+  }
   ++stats_.valid;
+  if constexpr (obs::kTelemetryEnabled) {
+    if (shard_metrics) ++shard_metrics->items_out;
+  }
   const sparql::Query& q = *parsed.query;
-  if (valid_sink_) valid_sink_(q);
+  if (valid_sink_) {
+    if constexpr (obs::kTelemetryEnabled) {
+      if (telemetry_) ++telemetry_->stage(obs::kStageAnalysis).items_in;
+    }
+    valid_sink_(q);
+  }
   if (!seen_hashes_.insert(parsed.canonical_hash).second) return;
   ++stats_.unique;
-  if (unique_sink_) unique_sink_(q);
+  if (unique_sink_) {
+    if constexpr (obs::kTelemetryEnabled) {
+      if (telemetry_) ++telemetry_->stage(obs::kStageAnalysis).items_in;
+    }
+    unique_sink_(q);
+  }
 }
 
 void LogIngestor::ProcessLog(const std::vector<std::string>& lines) {

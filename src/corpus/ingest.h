@@ -12,6 +12,10 @@
 #include "sparql/ast.h"
 #include "sparql/parser.h"
 
+namespace sparqlog::obs {
+struct RunTelemetry;
+}
+
 namespace sparqlog::corpus {
 
 /// The Table 1 pipeline counters: Total (query entries after cleaning),
@@ -111,6 +115,15 @@ class LogIngestor {
   /// included (the appendix corpus).
   void set_valid_sink(QuerySink sink) { valid_sink_ = std::move(sink); }
 
+  /// Points the ingestor at a metrics registry (owned by the caller,
+  /// outliving the ingestor's use). Ingest then counts query entries,
+  /// malformed entries, and analysis-corpus deliveries into the shard
+  /// and analysis stages — the same counters for the serial path and
+  /// for every pipeline shard, which is what makes the merged telemetry
+  /// digest identical across serial and parallel runs. Counting only;
+  /// no clock reads on this path.
+  void set_telemetry(obs::RunTelemetry* telemetry) { telemetry_ = telemetry; }
+
   const CorpusStats& stats() const { return stats_; }
 
  private:
@@ -122,6 +135,8 @@ class LogIngestor {
   std::unordered_set<uint64_t> seen_hashes_;
   /// Reused URL-decode scratch for ProcessLine/ProcessLog.
   std::string decode_buf_;
+  /// Optional metrics registry; not owned.
+  obs::RunTelemetry* telemetry_ = nullptr;
 };
 
 }  // namespace sparqlog::corpus

@@ -1,0 +1,31 @@
+#ifndef SPARQLOG_OBS_ALLOC_HOOKS_H_
+#define SPARQLOG_OBS_ALLOC_HOOKS_H_
+
+// Replacement global operator new/delete feeding the counters in
+// obs/alloc_tracker.h. Include this header from exactly ONE translation
+// unit per binary that wants allocation telemetry (the replacement
+// definitions are deliberately non-inline, as the standard requires);
+// binaries that skip it run the default allocator and read zeros.
+
+#include <cstdlib>
+#include <new>
+
+#include "obs/alloc_tracker.h"
+
+void* operator new(std::size_t n) {
+  sparqlog::obs::alloc_internal::g_alloc_bytes.fetch_add(
+      n, std::memory_order_relaxed);
+  sparqlog::obs::alloc_internal::g_alloc_count.fetch_add(
+      1, std::memory_order_relaxed);
+  sparqlog::obs::alloc_internal::t_alloc_bytes += n;
+  sparqlog::obs::alloc_internal::t_alloc_count += 1;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#endif  // SPARQLOG_OBS_ALLOC_HOOKS_H_

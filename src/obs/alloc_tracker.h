@@ -1,0 +1,73 @@
+#ifndef SPARQLOG_OBS_ALLOC_TRACKER_H_
+#define SPARQLOG_OBS_ALLOC_TRACKER_H_
+
+// Allocation counters readable from anywhere in the library. The
+// counters only move when a binary installs the replacement operator
+// new/delete from obs/alloc_hooks.h (benches and parallel_runner do);
+// everywhere else they read zero and allocation telemetry is simply
+// absent. Promoted from bench/alloc_tracker.h so the telemetry registry
+// can report allocations/stage with the same counters the hot-path
+// benches gate on.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace sparqlog::obs {
+
+namespace alloc_internal {
+inline std::atomic<uint64_t> g_alloc_bytes{0};
+inline std::atomic<uint64_t> g_alloc_count{0};
+// Thread-local shadow counters: a worker can attribute allocations to
+// its own stage without any cross-thread noise (the global atomics mix
+// every thread together).
+inline thread_local uint64_t t_alloc_bytes = 0;
+inline thread_local uint64_t t_alloc_count = 0;
+}  // namespace alloc_internal
+
+/// Process-wide totals (all threads).
+inline uint64_t AllocatedBytes() {
+  return alloc_internal::g_alloc_bytes.load(std::memory_order_relaxed);
+}
+inline uint64_t AllocationCount() {
+  return alloc_internal::g_alloc_count.load(std::memory_order_relaxed);
+}
+
+/// Calling thread's totals — deltas around a stage give exact per-stage,
+/// per-worker attribution with no atomics read anywhere hot.
+inline uint64_t ThreadAllocatedBytes() {
+  return alloc_internal::t_alloc_bytes;
+}
+inline uint64_t ThreadAllocationCount() {
+  return alloc_internal::t_alloc_count;
+}
+
+/// One timed + allocation-counted section of a bench run.
+struct PhaseResult {
+  std::string name;
+  double seconds = 0;
+  uint64_t bytes_allocated = 0;
+  uint64_t allocations = 0;
+};
+
+/// Times `fn` and charges it with the allocations it performed.
+template <typename Fn>
+PhaseResult RunPhase(std::string name, Fn&& fn) {
+  PhaseResult r;
+  r.name = std::move(name);
+  uint64_t bytes0 = AllocatedBytes();
+  uint64_t count0 = AllocationCount();
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  r.bytes_allocated = AllocatedBytes() - bytes0;
+  r.allocations = AllocationCount() - count0;
+  return r;
+}
+
+}  // namespace sparqlog::obs
+
+#endif  // SPARQLOG_OBS_ALLOC_TRACKER_H_

@@ -1,0 +1,130 @@
+#ifndef SPARQLOG_OBS_JSON_WRITER_H_
+#define SPARQLOG_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace sparqlog::obs {
+
+/// Minimal streaming JSON writer — the single implementation behind the
+/// BENCH_*.json emitters and the telemetry exporters: tracks nesting and
+/// emits commas and two-space indentation, so callers state keys and
+/// values only. (Promoted from bench/bench_common.h so library code can
+/// emit machine-readable telemetry without depending on bench/.)
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& Key(std::string_view k) {
+    NextItem();
+    Escaped(k);
+    out_ << ": ";
+    have_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Value(std::string_view v) {
+    Prefix();
+    Escaped(v);
+    return *this;
+  }
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(uint64_t v) {
+    Prefix();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& Value(int v) {
+    Prefix();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& Value(double v) {
+    Prefix();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& Value(bool v) {
+    Prefix();
+    out_ << (v ? "true" : "false");
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& KV(std::string_view k, T v) {
+    Key(k);
+    return Value(v);
+  }
+
+  void Finish() { out_ << "\n"; }
+
+ private:
+  JsonWriter& Open(char c) {
+    Prefix();
+    out_ << c;
+    frames_.push_back(true);
+    return *this;
+  }
+  JsonWriter& Close(char c) {
+    bool empty = frames_.back();
+    frames_.pop_back();
+    if (!empty) Newline();
+    out_ << c;
+    return *this;
+  }
+  void NextItem() {
+    if (frames_.empty()) return;
+    if (!frames_.back()) out_ << ',';
+    frames_.back() = false;
+    Newline();
+  }
+  void Prefix() {
+    if (have_key_) {
+      have_key_ = false;
+      return;
+    }
+    NextItem();
+  }
+  void Newline() {
+    out_ << '\n';
+    for (size_t i = 0; i < frames_.size(); ++i) out_ << "  ";
+  }
+  void Escaped(std::string_view s) {
+    out_ << '"';
+    for (char c : s) {
+      unsigned char u = static_cast<unsigned char>(c);
+      if (c == '"' || c == '\\') {
+        out_ << '\\' << c;
+      } else if (c == '\n') {
+        out_ << "\\n";
+      } else if (c == '\t') {
+        out_ << "\\t";
+      } else if (c == '\r') {
+        out_ << "\\r";
+      } else if (u < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+        out_ << buf;
+      } else {
+        out_ << c;
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  std::vector<bool> frames_;  // true = frame has no children yet
+  bool have_key_ = false;
+};
+
+}  // namespace sparqlog::obs
+
+#endif  // SPARQLOG_OBS_JSON_WRITER_H_

@@ -1,0 +1,67 @@
+#include "obs/trace.h"
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+
+namespace sparqlog::obs {
+
+TraceRing::TraceRing(size_t capacity) { events_.resize(capacity); }
+
+std::vector<TraceEvent> TraceRing::Drain() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // Oldest event: next_ when wrapped, slot 0 otherwise.
+  size_t start = size_ == events_.size() ? next_ : 0;
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(events_[(start + i) % events_.size()]);
+  }
+  return out;
+}
+
+void WriteChromeTrace(std::ostream& out, const TraceData& trace) {
+  JsonWriter json(out);
+  json.BeginObject();
+  json.KV("displayTimeUnit", "ms");
+  uint64_t dropped = 0;
+  json.Key("traceEvents").BeginArray();
+  for (size_t tid = 0; tid < trace.tracks.size(); ++tid) {
+    const TraceTrack& track = trace.tracks[tid];
+    dropped += track.dropped;
+    json.BeginObject();
+    json.KV("ph", "M");
+    json.KV("name", "thread_name");
+    json.KV("pid", 1);
+    json.KV("tid", static_cast<uint64_t>(tid));
+    json.Key("args").BeginObject();
+    json.KV("name", track.name);
+    json.EndObject();
+    json.EndObject();
+    for (const TraceEvent& e : track.events) {
+      uint64_t begin = e.begin_ns >= trace.origin_ns
+                           ? e.begin_ns - trace.origin_ns
+                           : 0;
+      uint64_t dur = e.end_ns >= e.begin_ns ? e.end_ns - e.begin_ns : 0;
+      json.BeginObject();
+      json.KV("ph", "X");
+      json.KV("name", StageName(e.stage));
+      json.KV("cat", "pipeline");
+      json.KV("pid", 1);
+      json.KV("tid", static_cast<uint64_t>(tid));
+      json.KV("ts", static_cast<double>(begin) / 1000.0);
+      json.KV("dur", static_cast<double>(dur) / 1000.0);
+      json.Key("args").BeginObject();
+      json.KV("chunk", e.chunk);
+      json.EndObject();
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  json.Key("otherData").BeginObject();
+  json.KV("wall_ns", trace.wall_ns);
+  json.KV("dropped_spans", dropped);
+  json.EndObject();
+  json.EndObject();
+  json.Finish();
+}
+
+}  // namespace sparqlog::obs

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/alloc_tracker.h"
 #include "pipeline/merge.h"
 #include "sparql/parser.h"
 
@@ -37,11 +38,46 @@ ParallelLogPipeline::ParallelLogPipeline(PipelineOptions options)
   if (threads_ < 1) threads_ = 1;
 }
 
+namespace {
+
+/// Chunk with a stable id so trace spans from different stages can be
+/// correlated ("which chunk was parsing while shard 3 stalled?").
+struct NumberedChunk {
+  uint64_t id = 0;
+  std::vector<std::string> lines;
+};
+
+/// Routed batch: the entries of one chunk bound for one shard.
+struct ShardBatch {
+  uint64_t chunk = 0;
+  std::vector<corpus::ParsedLine> entries;
+};
+
+}  // namespace
+
 PipelineResult ParallelLogPipeline::Run(LineSource& source) {
   const size_t num_shards = shards();
   const size_t chunk_size = options_.chunk_size > 0 ? options_.chunk_size : 1;
   const size_t capacity =
       options_.queue_capacity > 0 ? options_.queue_capacity : 1;
+  // Telemetry: worker w owns slot w of `telem` (and ring w when
+  // tracing), mutates it lock-free, and the run merges the slots once
+  // after the joins. Slot 0 = reader, 1..T = parse workers,
+  // 1+T..T+S = shard consumers.
+  const bool collect = options_.telemetry.enabled();
+  const bool tracing = collect && options_.telemetry.trace;
+  const size_t telem_count = 1 + static_cast<size_t>(threads_) + num_shards;
+  std::vector<obs::RunTelemetry> telem(collect ? telem_count : 0);
+  std::vector<obs::TraceRing> rings;
+  if (tracing) {
+    rings.reserve(telem_count);
+    for (size_t i = 0; i < telem_count; ++i) {
+      rings.emplace_back(options_.telemetry.trace_capacity);
+    }
+  }
+  const uint64_t run_start = obs::NowNsIf(collect);
+  const uint64_t alloc_bytes0 = collect ? obs::AllocatedBytes() : 0;
+  const uint64_t alloc_count0 = collect ? obs::AllocationCount() : 0;
 
   ShardOptions shard_options;
   shard_options.dataset = options_.dataset;
@@ -54,13 +90,12 @@ PipelineResult ParallelLogPipeline::Run(LineSource& source) {
     shards.push_back(std::make_unique<Shard>(shard_options));
   }
 
-  using Chunk = std::vector<std::string>;
   using Batch = std::vector<corpus::ParsedLine>;
-  BoundedQueue<Chunk> chunk_queue(capacity);
-  std::vector<std::unique_ptr<BoundedQueue<Batch>>> shard_queues;
+  BoundedQueue<NumberedChunk> chunk_queue(capacity);
+  std::vector<std::unique_ptr<BoundedQueue<ShardBatch>>> shard_queues;
   shard_queues.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
-    shard_queues.push_back(std::make_unique<BoundedQueue<Batch>>(capacity));
+    shard_queues.push_back(std::make_unique<BoundedQueue<ShardBatch>>(capacity));
   }
 
   std::atomic<uint64_t> lines_consumed{0};
@@ -70,10 +105,36 @@ PipelineResult ParallelLogPipeline::Run(LineSource& source) {
   shard_threads.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     shard_threads.emplace_back([&, i] {
-      while (std::optional<Batch> batch = shard_queues[i]->Pop()) {
-        for (const corpus::ParsedLine& entry : *batch) {
+      obs::RunTelemetry* rt =
+          collect ? &telem[1 + static_cast<size_t>(threads_) + i] : nullptr;
+      obs::TraceRing* ring =
+          tracing ? &rings[1 + static_cast<size_t>(threads_) + i] : nullptr;
+      // Shard-local dedup/analysis counters (items, malformed, unique)
+      // land in this worker's registry slot via the ingestor hook.
+      if (rt) shards[i]->set_telemetry(rt);
+      const uint64_t tb0 = rt ? obs::ThreadAllocatedBytes() : 0;
+      const uint64_t tc0 = rt ? obs::ThreadAllocationCount() : 0;
+      while (std::optional<ShardBatch> batch = shard_queues[i]->Pop()) {
+        uint64_t t0 = obs::NowNsIf(rt != nullptr);
+        for (const corpus::ParsedLine& entry : batch->entries) {
           shards[i]->Consume(entry);
         }
+        if constexpr (obs::kTelemetryEnabled) {
+          if (rt) {
+            uint64_t t1 = obs::NowNs();
+            obs::StageMetrics& m = rt->stage(obs::kStageShard);
+            ++m.chunks;
+            m.chunk_ns.Record(t1 - t0);
+            if (ring) {
+              ring->Record(obs::kStageShard, batch->chunk, t0, t1);
+            }
+          }
+        }
+      }
+      if (rt) {
+        obs::StageMetrics& m = rt->stage(obs::kStageShard);
+        m.alloc_bytes += obs::ThreadAllocatedBytes() - tb0;
+        m.allocs += obs::ThreadAllocationCount() - tc0;
       }
     });
   }
@@ -83,26 +144,58 @@ PipelineResult ParallelLogPipeline::Run(LineSource& source) {
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(threads_));
   for (int w = 0; w < threads_; ++w) {
-    workers.emplace_back([&] {
+    workers.emplace_back([&, w] {
+      obs::RunTelemetry* rt =
+          collect ? &telem[1 + static_cast<size_t>(w)] : nullptr;
+      obs::TraceRing* ring = tracing ? &rings[1 + static_cast<size_t>(w)] : nullptr;
+      if (rt) rt->shard_queries.resize(num_shards, 0);
+      const uint64_t tb0 = rt ? obs::ThreadAllocatedBytes() : 0;
+      const uint64_t tc0 = rt ? obs::ThreadAllocationCount() : 0;
       sparql::Parser parser(options_.parser_options);
       uint64_t local_lines = 0;
       std::vector<Batch> buckets(num_shards);
       std::string decode_buf;  // per-worker URL-decode scratch
-      while (std::optional<Chunk> chunk = chunk_queue.Pop()) {
-        local_lines += chunk->size();
+      while (std::optional<NumberedChunk> chunk = chunk_queue.Pop()) {
+        uint64_t t0 = obs::NowNsIf(rt != nullptr);
+        local_lines += chunk->lines.size();
+        uint64_t routed = 0, malformed = 0;
         for (Batch& b : buckets) b.clear();
-        for (const std::string& line : *chunk) {
+        for (const std::string& line : chunk->lines) {
           corpus::ParsedLine parsed =
               corpus::ParseLogLine(parser, line, decode_buf);
           if (!parsed.is_query) continue;  // noise: dropped, not routed
           size_t idx = ShardIndexFor(parsed, num_shards);
+          if constexpr (obs::kTelemetryEnabled) {
+            if (rt) {
+              ++routed;
+              if (!parsed.valid) ++malformed;
+              ++rt->shard_queries[idx];
+            }
+          }
           buckets[idx].push_back(std::move(parsed));
+        }
+        if constexpr (obs::kTelemetryEnabled) {
+          if (rt) {
+            uint64_t t1 = obs::NowNs();
+            obs::StageMetrics& m = rt->stage(obs::kStageParse);
+            ++m.chunks;
+            m.items_in += chunk->lines.size();
+            m.items_out += routed;
+            m.malformed += malformed;
+            m.chunk_ns.Record(t1 - t0);
+            if (ring) ring->Record(obs::kStageParse, chunk->id, t0, t1);
+          }
         }
         for (size_t i = 0; i < num_shards; ++i) {
           if (buckets[i].empty()) continue;
-          shard_queues[i]->Push(std::move(buckets[i]));
+          shard_queues[i]->Push(ShardBatch{chunk->id, std::move(buckets[i])});
           buckets[i] = Batch();
         }
+      }
+      if (rt) {
+        obs::StageMetrics& m = rt->stage(obs::kStageParse);
+        m.alloc_bytes += obs::ThreadAllocatedBytes() - tb0;
+        m.allocs += obs::ThreadAllocationCount() - tc0;
       }
       lines_consumed.fetch_add(local_lines, std::memory_order_relaxed);
     });
@@ -110,10 +203,37 @@ PipelineResult ParallelLogPipeline::Run(LineSource& source) {
 
   // Reader (this thread): stream chunks in; Push blocks when the
   // parsers fall behind, bounding memory.
-  Chunk chunk;
-  while (source.NextChunk(chunk_size, chunk)) {
-    chunk_queue.Push(std::move(chunk));
-    chunk = Chunk();
+  {
+    obs::RunTelemetry* rt = collect ? &telem[0] : nullptr;
+    obs::TraceRing* ring = tracing ? &rings[0] : nullptr;
+    const uint64_t tb0 = rt ? obs::ThreadAllocatedBytes() : 0;
+    const uint64_t tc0 = rt ? obs::ThreadAllocationCount() : 0;
+    NumberedChunk chunk;
+    uint64_t next_id = 0;
+    for (;;) {
+      uint64_t t0 = obs::NowNsIf(rt != nullptr);
+      bool more = source.NextChunk(chunk_size, chunk.lines);
+      if constexpr (obs::kTelemetryEnabled) {
+        if (rt && more) {
+          uint64_t t1 = obs::NowNs();
+          obs::StageMetrics& m = rt->stage(obs::kStageReader);
+          ++m.chunks;
+          m.items_in += chunk.lines.size();
+          m.items_out += chunk.lines.size();
+          m.chunk_ns.Record(t1 - t0);
+          if (ring) ring->Record(obs::kStageReader, next_id, t0, t1);
+        }
+      }
+      if (!more) break;
+      chunk.id = next_id++;
+      chunk_queue.Push(std::move(chunk));
+      chunk = NumberedChunk();
+    }
+    if (rt) {
+      obs::StageMetrics& m = rt->stage(obs::kStageReader);
+      m.alloc_bytes += obs::ThreadAllocatedBytes() - tb0;
+      m.allocs += obs::ThreadAllocationCount() - tc0;
+    }
   }
   chunk_queue.Close();
   for (std::thread& t : workers) t.join();
@@ -122,6 +242,40 @@ PipelineResult ParallelLogPipeline::Run(LineSource& source) {
 
   PipelineResult result = MergeShards(shards);
   result.lines = lines_consumed.load(std::memory_order_relaxed);
+
+  if (collect) {
+    obs::RunTelemetry merged;
+    merged.shard_queries.resize(num_shards, 0);
+    for (const obs::RunTelemetry& t : telem) merged.Merge(t);
+    merged.chunk_queue = chunk_queue.Stats();
+    for (const auto& q : shard_queues) merged.shard_queues.Merge(q->Stats());
+    merged.wall_ns = obs::NowNs() - run_start;
+    merged.workers = telem_count;
+    merged.run_alloc_bytes = obs::AllocatedBytes() - alloc_bytes0;
+    merged.run_allocs = obs::AllocationCount() - alloc_count0;
+    result.telemetry = std::move(merged);
+    if (tracing) {
+      obs::TraceData trace;
+      trace.origin_ns = run_start;
+      trace.wall_ns = result.telemetry->wall_ns;
+      trace.tracks.reserve(telem_count);
+      for (size_t i = 0; i < telem_count; ++i) {
+        obs::TraceTrack track;
+        if (i == 0) {
+          track.name = "reader";
+        } else if (i <= static_cast<size_t>(threads_)) {
+          track.name = "parse-" + std::to_string(i - 1);
+        } else {
+          track.name =
+              "shard-" + std::to_string(i - 1 - static_cast<size_t>(threads_));
+        }
+        track.events = rings[i].Drain();
+        track.dropped = rings[i].dropped();
+        trace.tracks.push_back(std::move(track));
+      }
+      result.trace = std::move(trace);
+    }
+  }
   return result;
 }
 

@@ -13,6 +13,9 @@
 
 #include "corpus/ingest.h"
 #include "corpus/report.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pipeline/shard.h"
 
 namespace sparqlog::pipeline {
@@ -21,31 +24,58 @@ namespace sparqlog::pipeline {
 /// queue is full — this is the pipeline's backpressure: a fast reader
 /// cannot run ahead of slow parsers by more than `capacity` chunks, so
 /// memory stays bounded no matter how large the log is.
+///
+/// The queue keeps its own occupancy counters (obs::QueueCounters) under
+/// the mutex it already holds: push-blocks, pop-waits, their durations,
+/// and the high-water depth. The uncontended path never reads the clock
+/// — wait time is only measured when a caller actually blocks — and with
+/// SPARQLOG_NO_TELEMETRY the clock reads compile out entirely.
 template <typename T>
 class BoundedQueue {
  public:
   explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
 
   /// Blocks until there is room. Returns false iff the queue was closed
-  /// (the item is dropped).
+  /// (the item is dropped; `rejected_pushes` counts it).
   bool Push(T item) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return items_.size() < capacity_ || closed_; });
-    if (closed_) return false;
+    if (items_.size() >= capacity_ && !closed_) {
+      ++stats_.push_blocks;
+      uint64_t t0 = obs::NowNsIf(true);
+      not_full_.wait(lock,
+                     [this] { return items_.size() < capacity_ || closed_; });
+      if constexpr (obs::kTelemetryEnabled) {
+        stats_.push_block_ns += obs::NowNs() - t0;
+      }
+    }
+    if (closed_) {
+      ++stats_.rejected_pushes;
+      return false;
+    }
     items_.push_back(std::move(item));
+    ++stats_.pushes;
+    if (items_.size() > stats_.max_depth) stats_.max_depth = items_.size();
     not_empty_.notify_one();
     return true;
   }
 
   /// Blocks until an item is available. Returns nullopt once the queue
-  /// is closed *and* drained.
+  /// is closed *and* drained — items pushed before Close stay poppable,
+  /// in FIFO order.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty() && !closed_) {
+      ++stats_.pop_waits;
+      uint64_t t0 = obs::NowNsIf(true);
+      not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+      if constexpr (obs::kTelemetryEnabled) {
+        stats_.pop_wait_ns += obs::NowNs() - t0;
+      }
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    ++stats_.pops;
     not_full_.notify_one();
     return item;
   }
@@ -58,12 +88,21 @@ class BoundedQueue {
     not_full_.notify_all();
   }
 
+  /// Snapshot of the occupancy counters. Consistent (taken under the
+  /// queue mutex); call after the producing/consuming threads joined
+  /// for final totals.
+  obs::QueueCounters Stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable not_full_, not_empty_;
   std::deque<T> items_;
   size_t capacity_;
   bool closed_ = false;
+  obs::QueueCounters stats_;
 };
 
 /// Streaming source of raw log lines, consumed chunk by chunk so a log
@@ -116,6 +155,8 @@ struct PipelineOptions {
   /// Analyze the valid corpus instead of the unique corpus.
   bool use_valid_corpus = false;
   sparql::ParserOptions parser_options;
+  /// Metrics registry + span tracing switches (both default off).
+  obs::TelemetryOptions telemetry;
 };
 
 /// Merged output of a pipeline run — the same numbers the serial
@@ -125,6 +166,10 @@ struct PipelineResult {
   corpus::CorpusAnalyzer analysis;
   /// Raw lines consumed, non-query noise included.
   uint64_t lines = 0;
+  /// Merged per-worker metrics; engaged iff telemetry was requested.
+  std::optional<obs::RunTelemetry> telemetry;
+  /// Per-worker span tracks; engaged iff tracing was requested.
+  std::optional<obs::TraceData> trace;
 };
 
 /// Multi-threaded sharded corpus pipeline:

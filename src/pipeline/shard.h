@@ -37,6 +37,13 @@ class Shard {
   /// driven by a single consumer thread.
   void Consume(const corpus::ParsedLine& entry) { ingestor_.Ingest(entry); }
 
+  /// Routes the shard's dedup/analysis counters into `telemetry` (the
+  /// consumer thread's private registry instance; caller keeps it alive
+  /// for the shard's lifetime).
+  void set_telemetry(obs::RunTelemetry* telemetry) {
+    ingestor_.set_telemetry(telemetry);
+  }
+
   const corpus::CorpusStats& stats() const { return ingestor_.stats(); }
   const corpus::CorpusAnalyzer& analyzer() const { return analyzer_; }
 

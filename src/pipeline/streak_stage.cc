@@ -4,6 +4,9 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/alloc_tracker.h"
+#include "obs/clock.h"
+
 namespace sparqlog::pipeline {
 
 namespace {
@@ -51,10 +54,29 @@ StreakStageResult StreakStage::Run(
   // dynamically; every chunk is independent given its warmup overlap.
   const size_t worker_count =
       std::min<size_t>(static_cast<size_t>(threads_), num_chunks);
+  const bool collect = options_.telemetry.enabled();
+  const bool tracing = collect && options_.telemetry.trace;
+  const uint64_t run_start = obs::NowNsIf(collect);
+  const uint64_t alloc_bytes0 = collect ? obs::AllocatedBytes() : 0;
+  const uint64_t alloc_count0 = collect ? obs::AllocationCount() : 0;
   std::vector<ChunkEdges> edges(num_chunks);
   std::vector<streaks::PrefilterStats> worker_stats(worker_count);
+  // Per-worker registry instances and span rings; slot w belongs to
+  // streak worker w, the last slot to the serial stitch pass.
+  std::vector<obs::RunTelemetry> telem(collect ? worker_count + 1 : 0);
+  std::vector<obs::TraceRing> rings;
+  if (tracing) {
+    rings.reserve(worker_count + 1);
+    for (size_t i = 0; i <= worker_count; ++i) {
+      rings.emplace_back(options_.telemetry.trace_capacity);
+    }
+  }
   std::atomic<size_t> next_chunk{0};
   auto worker = [&](size_t worker_index) {
+    obs::RunTelemetry* rt = collect ? &telem[worker_index] : nullptr;
+    obs::TraceRing* ring = tracing ? &rings[worker_index] : nullptr;
+    const uint64_t tb0 = rt ? obs::ThreadAllocatedBytes() : 0;
+    const uint64_t tc0 = rt ? obs::ThreadAllocationCount() : 0;
     // One window per worker: Reset() between chunks keeps the recycled
     // text buffers and the Levenshtein scratch across the whole run.
     streaks::SimilarityWindow win(options_.streak);
@@ -65,6 +87,7 @@ StreakStageResult StreakStage::Run(
       const size_t start = c * chunk_size;
       const size_t end = std::min(n, start + chunk_size);
       const size_t warm = start > window ? start - window : 0;
+      uint64_t t0 = obs::NowNsIf(rt != nullptr);
       win.Reset();
       for (size_t j = warm; j < start; ++j) {
         win.Add(queries[j], gaps);  // state only; edges discarded
@@ -77,6 +100,22 @@ StreakStageResult StreakStage::Run(
         out.gaps.insert(out.gaps.end(), gaps.begin(), gaps.end());
         out.offsets.push_back(static_cast<uint32_t>(out.gaps.size()));
       }
+      if constexpr (obs::kTelemetryEnabled) {
+        if (rt) {
+          uint64_t t1 = obs::NowNs();
+          obs::StageMetrics& m = rt->stage(obs::kStageStreak);
+          ++m.chunks;
+          m.items_in += end - start;  // warmup re-scans are not items
+          m.items_out += end - start;
+          m.chunk_ns.Record(t1 - t0);
+          if (ring) ring->Record(obs::kStageStreak, c, t0, t1);
+        }
+      }
+    }
+    if (rt) {
+      obs::StageMetrics& m = rt->stage(obs::kStageStreak);
+      m.alloc_bytes += obs::ThreadAllocatedBytes() - tb0;
+      m.allocs += obs::ThreadAllocationCount() - tc0;
     }
     worker_stats[worker_index] = win.stats();
   };
@@ -98,15 +137,63 @@ StreakStageResult StreakStage::Run(
   // ---- Serial stitch: fold the edges, in log order, into streak
   // lengths. Chains crossing a chunk boundary resolve here because the
   // tracker's window carries over; per-chunk partials Merge exactly.
-  streaks::StreakChainTracker tracker(window);
-  for (const ChunkEdges& chunk : edges) {
-    for (size_t j = 0; j + 1 < chunk.offsets.size(); ++j) {
-      tracker.Add(chunk.gaps.data() + chunk.offsets[j],
-                  chunk.offsets[j + 1] - chunk.offsets[j]);
+  {
+    obs::RunTelemetry* rt = collect ? &telem[worker_count] : nullptr;
+    obs::TraceRing* ring = tracing ? &rings[worker_count] : nullptr;
+    streaks::StreakChainTracker tracker(window);
+    for (size_t c = 0; c < edges.size(); ++c) {
+      const ChunkEdges& chunk = edges[c];
+      uint64_t t0 = obs::NowNsIf(rt != nullptr);
+      for (size_t j = 0; j + 1 < chunk.offsets.size(); ++j) {
+        tracker.Add(chunk.gaps.data() + chunk.offsets[j],
+                    chunk.offsets[j + 1] - chunk.offsets[j]);
+      }
+      result.report.Merge(tracker.DrainFinalized());
+      if constexpr (obs::kTelemetryEnabled) {
+        if (rt) {
+          uint64_t t1 = obs::NowNs();
+          obs::StageMetrics& m = rt->stage(obs::kStageStitch);
+          ++m.chunks;
+          m.items_in += chunk.offsets.size() - 1;
+          m.items_out += chunk.offsets.size() - 1;
+          m.chunk_ns.Record(t1 - t0);
+          if (ring) ring->Record(obs::kStageStitch, c, t0, t1);
+        }
+      }
     }
-    result.report.Merge(tracker.DrainFinalized());
+    result.report.Merge(tracker.Finish());
   }
-  result.report.Merge(tracker.Finish());
+
+  if (collect) {
+    obs::RunTelemetry merged;
+    for (const obs::RunTelemetry& t : telem) merged.Merge(t);
+    merged.prefilter_pairs = result.prefilter.pairs;
+    merged.prefilter_exact_hash = result.prefilter.exact_hash_hits;
+    merged.prefilter_length = result.prefilter.length_rejects;
+    merged.prefilter_charmap = result.prefilter.charmap_rejects;
+    merged.prefilter_histogram = result.prefilter.histogram_rejects;
+    merged.prefilter_dp = result.prefilter.levenshtein_calls;
+    merged.wall_ns = obs::NowNs() - run_start;
+    merged.workers = worker_count + 1;
+    merged.run_alloc_bytes = obs::AllocatedBytes() - alloc_bytes0;
+    merged.run_allocs = obs::AllocationCount() - alloc_count0;
+    result.telemetry = std::move(merged);
+    if (tracing) {
+      obs::TraceData trace;
+      trace.origin_ns = run_start;
+      trace.wall_ns = result.telemetry->wall_ns;
+      trace.tracks.reserve(worker_count + 1);
+      for (size_t i = 0; i <= worker_count; ++i) {
+        obs::TraceTrack track;
+        track.name = i < worker_count ? "streak-" + std::to_string(i)
+                                      : "stitch";
+        track.events = rings[i].Drain();
+        track.dropped = rings[i].dropped();
+        trace.tracks.push_back(std::move(track));
+      }
+      result.trace = std::move(trace);
+    }
+  }
   return result;
 }
 

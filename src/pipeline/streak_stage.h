@@ -3,9 +3,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "streaks/streaks.h"
 
 namespace sparqlog::pipeline {
@@ -17,6 +20,8 @@ struct StreakStageOptions {
   /// Queries per chunk. 0 derives one chunk per worker (clamped so a
   /// chunk is never smaller than the warmup overlap is wide).
   size_t chunk_size = 0;
+  /// Metrics registry + span tracing switches (both default off).
+  obs::TelemetryOptions telemetry;
 };
 
 /// Output of one sharded streak run.
@@ -27,6 +32,10 @@ struct StreakStageResult {
   streaks::PrefilterStats prefilter;
   size_t chunks = 0;
   int threads = 0;
+  /// Merged per-worker metrics; engaged iff telemetry was requested.
+  std::optional<obs::RunTelemetry> telemetry;
+  /// Per-worker span tracks; engaged iff tracing was requested.
+  std::optional<obs::TraceData> trace;
 };
 
 /// Parallel streak detection over an ordered query log (Section 8).
