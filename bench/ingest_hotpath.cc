@@ -12,6 +12,7 @@
 //    materialized Serialize() string (hash-sink vs string-sink).
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <string_view>
@@ -23,6 +24,7 @@
 #include "corpus/generator.h"
 #include "corpus/ingest.h"
 #include "corpus/profile.h"
+#include "pipeline/chunk_source.h"
 #include "sparql/lexer.h"
 #include "sparql/parser.h"
 #include "sparql/serializer.h"
@@ -113,6 +115,48 @@ int main() {
     reference = ingestor.stats();
   }));
 
+  // Phase 5: the URL-decode / query-extraction layer alone — the
+  // vectorized FindEscape fast path plus PercentDecodeTo's span copies.
+  uint64_t extracted = 0;
+  phases.push_back(RunPhase("url_decode", [&] {
+    for (const std::string& line : lines) {
+      if (ExtractQueryText(line, scratch).has_value()) ++extracted;
+    }
+  }));
+
+  // Phase 6: full-file mmap ingest — zero-copy newline slicing straight
+  // into ParseLogLine + dedup (the parallel pipeline's per-worker loop
+  // minus the threads). The temp file is written off the clock.
+  corpus::CorpusStats mmap_stats;
+  uint64_t mmap_bytes = 0;
+  const std::string mmap_path =
+      (std::filesystem::temp_directory_path() / "sparqlog_bench_ingest.log")
+          .string();
+  {
+    std::ofstream out(mmap_path, std::ios::binary | std::ios::trunc);
+    for (const std::string& line : lines) out << line << '\n';
+  }
+  phases.push_back(RunPhase("mmap_ingest", [&] {
+    auto source = pipeline::MmapChunkSource::Open(mmap_path);
+    if (!source.ok()) return;
+    mmap_bytes = source.value()->size_bytes();
+    std::unordered_set<uint64_t> seen_mmap;
+    pipeline::LineChunk chunk;
+    while (source.value()->NextChunk(512, chunk)) {
+      for (std::string_view line : chunk.lines) {
+        corpus::ParsedLine parsed = corpus::ParseLogLine(parser, line, scratch);
+        if (!parsed.is_query) continue;
+        ++mmap_stats.total;
+        if (!parsed.valid) continue;
+        ++mmap_stats.valid;
+        if (seen_mmap.insert(parsed.canonical_hash).second) {
+          ++mmap_stats.unique;
+        }
+      }
+    }
+  }));
+  std::filesystem::remove(mmap_path);
+
   // Hash-sink vs string-sink identity over every valid query (off the
   // clock: Serialize() deliberately materializes the canonical string).
   for (const std::string& line : lines) {
@@ -136,16 +180,27 @@ int main() {
                 static_cast<double>(p.bytes_allocated) / lines.size(),
                 static_cast<double>(p.allocations) / lines.size());
   }
-  std::printf("\nTotal %llu, Valid %llu, Unique %llu (tokens %llu, parsed %llu)\n",
+  double mmap_seconds = phases.back().seconds;
+  double mmap_mb_per_sec =
+      mmap_seconds > 0 ? static_cast<double>(mmap_bytes) / (1e6 * mmap_seconds)
+                       : 0;
+  std::printf("\nmmap ingest: %llu bytes at %.1f MB/s\n",
+              static_cast<unsigned long long>(mmap_bytes), mmap_mb_per_sec);
+  std::printf("Total %llu, Valid %llu, Unique %llu (tokens %llu, parsed %llu, "
+              "extracted %llu)\n",
               static_cast<unsigned long long>(reference.total),
               static_cast<unsigned long long>(reference.valid),
               static_cast<unsigned long long>(reference.unique),
               static_cast<unsigned long long>(tokens_seen),
-              static_cast<unsigned long long>(parsed_ok));
+              static_cast<unsigned long long>(parsed_ok),
+              static_cast<unsigned long long>(extracted));
 
   bool stats_match = hot_stats.total == reference.total &&
                      hot_stats.valid == reference.valid &&
                      hot_stats.unique == reference.unique;
+  bool mmap_match = mmap_stats.total == reference.total &&
+                    mmap_stats.valid == reference.valid &&
+                    mmap_stats.unique == reference.unique;
 
   {
     std::ofstream out(json_path);
@@ -175,6 +230,11 @@ int main() {
     json.KV("queries", hash_checked);
     json.KV("mismatches", hash_mismatches);
     json.EndObject();
+    json.Key("mmap").BeginObject();
+    json.KV("bytes", mmap_bytes);
+    json.KV("mb_per_sec", mmap_mb_per_sec);
+    json.KV("stats_match", mmap_match);
+    json.EndObject();
     json.KV("stats_match", stats_match);
     json.EndObject();
     json.Finish();
@@ -190,6 +250,18 @@ int main() {
                  static_cast<unsigned long long>(hot_stats.valid),
                  static_cast<unsigned long long>(reference.valid),
                  static_cast<unsigned long long>(hot_stats.unique),
+                 static_cast<unsigned long long>(reference.unique));
+    return 1;
+  }
+  if (!mmap_match) {
+    std::fprintf(stderr,
+                 "FAIL: mmap ingest stats diverged from LogIngestor "
+                 "(total %llu/%llu valid %llu/%llu unique %llu/%llu)\n",
+                 static_cast<unsigned long long>(mmap_stats.total),
+                 static_cast<unsigned long long>(reference.total),
+                 static_cast<unsigned long long>(mmap_stats.valid),
+                 static_cast<unsigned long long>(reference.valid),
+                 static_cast<unsigned long long>(mmap_stats.unique),
                  static_cast<unsigned long long>(reference.unique));
     return 1;
   }

@@ -10,7 +10,14 @@
 //   --threads <n>             parse worker threads (default: hardware)
 //   --shards <n>              dedup/analysis shards (default: threads)
 //   --chunk-size <n>          lines per work chunk (default 512)
-//   --verify                  compare against the serial path
+//   --mmap / --no-mmap        read a logfile through the zero-copy mmap
+//                             chunk source (default) or the line-by-line
+//                             stream source; mmap falls back to stream
+//                             with a warning if the file cannot be mapped
+//   --verify                  compare against the serial path; with a
+//                             logfile, also re-run the pipeline through
+//                             the other ingest source (stream vs mmap)
+//                             and require identical statistics digests
 //   --streaks                 run the sharded Section 8 streak stage
 //                             instead of the corpus pipeline (a logfile
 //                             is read as one query per line; --generate
@@ -280,6 +287,7 @@ int main(int argc, char** argv) {
   bool streaks_mode = false;
   bool analysis_bench = false;
   bool chunk_size_set = false;
+  bool use_mmap = true;
   TelemetryOutputs outputs;
   pipeline::PipelineOptions options;
   for (int i = 1; i < argc; ++i) {
@@ -330,6 +338,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--chunk-size") {
       options.chunk_size = std::stoull(next("--chunk-size"));
       chunk_size_set = true;
+    } else if (arg == "--mmap") {
+      use_mmap = true;
+    } else if (arg == "--no-mmap") {
+      use_mmap = false;
     } else if (arg == "--verify") {
       verify = true;
     } else if (arg == "--streaks") {
@@ -420,16 +432,35 @@ int main(int argc, char** argv) {
   if (verify) options.telemetry.metrics = true;
   pipeline::ParallelLogPipeline pl(options);
   pipeline::PipelineResult result;
+  bool used_mmap = false;
+  uint64_t input_bytes = 0;
   auto start = std::chrono::steady_clock::now();
   if (!logfile.empty()) {
-    std::ifstream in(logfile);
-    if (!in) {
-      std::cerr << "cannot open " << logfile << "\n";
-      return 2;
+    std::unique_ptr<pipeline::MmapChunkSource> mapped;
+    if (use_mmap) {
+      auto opened = pipeline::MmapChunkSource::Open(logfile);
+      if (opened.ok()) {
+        mapped = std::move(opened.value());
+      } else {
+        std::cerr << "mmap failed (" << opened.status().ToString()
+                  << "); falling back to stream source\n";
+      }
     }
-    pipeline::IstreamLineSource file_source(in);
-    result = pl.Run(file_source);
+    if (mapped != nullptr) {
+      used_mmap = true;
+      input_bytes = mapped->size_bytes();
+      result = pl.Run(*mapped);
+    } else {
+      std::ifstream in(logfile);
+      if (!in) {
+        std::cerr << "cannot open " << logfile << "\n";
+        return 2;
+      }
+      pipeline::IstreamLineSource file_source(in);
+      result = pl.Run(file_source);
+    }
   } else {
+    for (const std::string& line : lines) input_bytes += line.size();
     result = pl.Run(lines);
   }
   double elapsed = Seconds(start);
@@ -437,7 +468,10 @@ int main(int argc, char** argv) {
   std::cout << "Parallel pipeline over " << source << " ("
             << util::WithThousands(static_cast<long long>(result.lines))
             << " lines, " << pl.threads() << " threads, " << pl.shards()
-            << " shards, chunk size " << options.chunk_size << ")\n\n";
+            << " shards, chunk size " << options.chunk_size << ", "
+            << (logfile.empty() ? "in-memory"
+                                : (used_mmap ? "mmap" : "stream"))
+            << " source)\n\n";
 
   util::Table table({"Stage", "Queries", "Share"});
   table.AddRow({"Total", util::WithThousands(result.stats.total), ""});
@@ -456,11 +490,64 @@ int main(int argc, char** argv) {
   std::cout << "Throughput: "
             << util::WithThousands(static_cast<long long>(
                    elapsed > 0 ? result.stats.total / elapsed : 0))
-            << " queries/sec (" << elapsed << " s)\n";
+            << " queries/sec, "
+            << util::WithThousands(static_cast<long long>(
+                   elapsed > 0 ? result.lines / elapsed : 0))
+            << " lines/sec";
+  if (input_bytes > 0 && elapsed > 0) {
+    char mb_buf[32];
+    std::snprintf(mb_buf, sizeof(mb_buf), "%.1f",
+                  static_cast<double>(input_bytes) / (1e6 * elapsed));
+    std::cout << ", " << mb_buf << " MB/s";
+  }
+  std::cout << " (" << elapsed << " s)\n";
 
   if (!ExportTelemetry(outputs, result.telemetry, result.trace)) return 2;
 
-  // ---- Optional serial verification ----
+  // ---- Optional verification: cross-source, then serial ----
+  if (verify && !logfile.empty()) {
+    // Re-run through the ingest source NOT used above; the two sources
+    // must be indistinguishable down to the full statistics digest.
+    pipeline::PipelineResult other;
+    bool ran_other = false;
+    if (used_mmap) {
+      std::ifstream in(logfile);
+      if (in) {
+        pipeline::IstreamLineSource file_source(in);
+        other = pl.Run(file_source);
+        ran_other = true;
+      }
+    } else {
+      auto opened = pipeline::MmapChunkSource::Open(logfile);
+      if (opened.ok()) {
+        other = pl.Run(*opened.value());
+        ran_other = true;
+      } else {
+        std::cerr << "cross-source verify: mmap unavailable ("
+                  << opened.status().ToString() << ")\n";
+      }
+    }
+    if (ran_other) {
+      bool ok = other.lines == result.lines &&
+                other.stats.total == result.stats.total &&
+                other.stats.valid == result.stats.valid &&
+                other.stats.unique == result.stats.unique &&
+                pipeline::StatisticsDigest(other.analysis) ==
+                    pipeline::StatisticsDigest(result.analysis);
+      std::cout << "\nCross-source (" << (used_mmap ? "stream" : "mmap")
+                << " re-run): statistics " << (ok ? "MATCH" : "DIFFER")
+                << "\n";
+      if (!ok) {
+        std::cerr << "mmap/stream source divergence: lines " << result.lines
+                  << " vs " << other.lines << ", total "
+                  << result.stats.total << " vs " << other.stats.total
+                  << ", valid " << result.stats.valid << " vs "
+                  << other.stats.valid << ", unique " << result.stats.unique
+                  << " vs " << other.stats.unique << "\n";
+        return 1;
+      }
+    }
+  }
   if (verify) {
     corpus::LogIngestor ingestor;
     corpus::CorpusAnalyzer serial;

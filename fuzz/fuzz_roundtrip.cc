@@ -8,7 +8,13 @@
 // rounds on fuzzed refinement-session logs, and (5) replays fuzzed
 // queries through the pre-change vs allocation-lean structural-analysis
 // paths (shape/girth/treewidth/GHW, the bench oracle) plus
-// serial-vs-parallel StatsReport digests over analysis-heavy logs.
+// serial-vs-parallel StatsReport digests over analysis-heavy logs, and
+// (6) replays the vectorized-scan differential (naive vs scalar vs SIMD
+// at every start offset, PercentDecode, full-lexer determinism) on
+// fuzzed queries, mutated log lines, and raw byte soup pinned around
+// the 16-byte vector width, plus mmap-vs-stream-vs-vector source
+// equivalence rounds on fuzzed files (CRLF, missing trailing newline,
+// tiny slice budgets).
 // Any violation is greedily shrunk to a minimal reproducer, printed as
 // a ready-to-paste unit test, appended to --out, and fails the run.
 //
@@ -16,10 +22,12 @@
 //   fuzz_roundtrip [--seed N] [--queries N] [--lines N]
 //                  [--pipeline-rounds N] [--pipeline-lines N]
 //                  [--streak-rounds N] [--streak-queries N]
-//                  [--analysis-rounds N] [--analysis-queries N] [--out PATH]
+//                  [--analysis-rounds N] [--analysis-queries N]
+//                  [--scan-inputs N] [--source-rounds N] [--out PATH]
 // Environment overrides (for CI): SPARQLOG_FUZZ_SEED, SPARQLOG_FUZZ_QUERIES,
 // SPARQLOG_FUZZ_LINES, SPARQLOG_FUZZ_PIPELINE_ROUNDS,
-// SPARQLOG_FUZZ_STREAK_ROUNDS, SPARQLOG_FUZZ_ANALYSIS_ROUNDS.
+// SPARQLOG_FUZZ_STREAK_ROUNDS, SPARQLOG_FUZZ_ANALYSIS_ROUNDS,
+// SPARQLOG_FUZZ_SCAN_INPUTS, SPARQLOG_FUZZ_SOURCE_ROUNDS.
 
 #include <cstdint>
 #include <cstdio>
@@ -55,6 +63,8 @@ struct Config {
   long streak_queries = 400;
   long analysis_rounds = 4;
   long analysis_queries = 300;
+  long scan_inputs = 384;
+  long source_rounds = 4;
   std::string out_path = "fuzz_reproducers.txt";
 };
 
@@ -75,6 +85,10 @@ Config ParseArgs(int argc, char** argv) {
       EnvOrDefault("SPARQLOG_FUZZ_STREAK_ROUNDS", config.streak_rounds);
   config.analysis_rounds =
       EnvOrDefault("SPARQLOG_FUZZ_ANALYSIS_ROUNDS", config.analysis_rounds);
+  config.scan_inputs =
+      EnvOrDefault("SPARQLOG_FUZZ_SCAN_INPUTS", config.scan_inputs);
+  config.source_rounds =
+      EnvOrDefault("SPARQLOG_FUZZ_SOURCE_ROUNDS", config.source_rounds);
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* flag) {
       return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
@@ -97,6 +111,10 @@ Config ParseArgs(int argc, char** argv) {
       config.analysis_rounds = std::atol(argv[++i]);
     } else if (arg("--analysis-queries")) {
       config.analysis_queries = std::atol(argv[++i]);
+    } else if (arg("--scan-inputs")) {
+      config.scan_inputs = std::atol(argv[++i]);
+    } else if (arg("--source-rounds")) {
+      config.source_rounds = std::atol(argv[++i]);
     } else if (arg("--out")) {
       config.out_path = argv[++i];
     }
@@ -414,6 +432,107 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "  analysis rounds: %ld x %ld queries checked (%ld total)\n",
                  config.analysis_rounds, config.analysis_queries, checked);
+  }
+
+  // Phase 6: vectorized-scan differential + source equivalence. Scan
+  // inputs mix fuzzed queries, mutated log lines, and raw byte soup
+  // biased toward the scan primitives' stop bytes ('%', '+', quotes,
+  // backslash, newlines, high bytes), with lengths pinned around the
+  // 16-byte vector width so register tails and boundary loads are hit.
+  {
+    sparqlog::util::Rng rng(config.seed ^ 0x51A45CA7D1FFULL);
+    sparqlog::testing::QueryFuzzOptions fuzz_options;
+    fuzz_options.seed = config.seed + 4;
+    sparqlog::testing::QueryFuzzer fuzzer(fuzz_options);
+    sparqlog::testing::LogMutatorOptions mutator_options;
+    mutator_options.seed = config.seed + 4;
+    sparqlog::testing::LogLineMutator mutator(mutator_options);
+
+    static constexpr char kSoup[] = {
+        '%',    '%',    '+',    '+',    '"',    '"',    '\'',   '\\',
+        '\\',   '\n',   '\r',   '\t',   ' ',    '#',    '<',    '>',
+        '?',    '$',    '_',    '-',    '.',    ':',    '@',    '^',
+        'a',    'b',    'z',    'A',    'Z',    '0',    '9',    'f',
+        'F',    '\x00', '\x7f', '\x80', '\xc3', '\xff'};
+    auto soup = [&rng](size_t len) {
+      std::string s;
+      s.reserve(len);
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(kSoup[rng.Below(sizeof(kSoup))]);
+      }
+      return s;
+    };
+
+    std::vector<std::string> pool = {"SELECT * WHERE { ?s ?p ?o }"};
+    long checked = 0;
+    for (long i = 0; i < config.scan_inputs; ++i) {
+      std::string input;
+      switch (i % 4) {
+        case 0:
+          input = sparqlog::sparql::Serialize(fuzzer.Next());
+          break;
+        case 1:
+          input = mutator.NextLine(pool[rng.Below(pool.size())]);
+          break;
+        case 2: {
+          // Lengths straddling the vector width stress the tails.
+          static constexpr size_t kEdges[] = {0, 1, 15, 16, 17, 31, 32, 33};
+          input = soup(kEdges[rng.Below(8)]);
+          break;
+        }
+        default:
+          input = soup(rng.Below(160));
+          break;
+      }
+      // The check is quadratic in input length (every start offset);
+      // cap it so multi-KB fuzzed queries stay cheap.
+      if (input.size() > 512) input.resize(512);
+      ++checked;
+      if (auto v = sparqlog::testing::CheckScanEquivalence(input)) {
+        ++violations;
+        std::string invariant = v->invariant;
+        Report(config, *v, "scan_input", static_cast<int>(i),
+               [invariant](const std::string& candidate) {
+                 auto cv = sparqlog::testing::CheckScanEquivalence(candidate);
+                 return cv.has_value() && cv->invariant == invariant;
+               });
+      }
+      if (pool.size() < 64 && !input.empty()) pool.push_back(input);
+    }
+
+    for (long round = 0; round < config.source_rounds; ++round) {
+      std::vector<std::string> lines;
+      const size_t n = 50 + rng.Below(350);
+      lines.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        switch (rng.Below(4)) {
+          case 0:
+            lines.push_back("");  // empty lines stress the framing
+            break;
+          case 1:
+            lines.push_back(soup(rng.Below(48)));
+            break;
+          default:
+            lines.push_back(mutator.NextLine(pool[rng.Below(pool.size())]));
+            break;
+        }
+      }
+      sparqlog::testing::SourceEquivalenceConfig source_config =
+          sparqlog::testing::RandomSourceConfig(rng);
+      if (auto v = sparqlog::testing::CheckSourceEquivalence(lines,
+                                                             source_config)) {
+        ++violations;
+        std::fprintf(stderr, "VIOLATION [%s] %s (source round %ld)\n",
+                     v->invariant.c_str(), v->detail.c_str(), round);
+        std::ofstream out(config.out_path, std::ios::app);
+        out << "// [" << v->invariant << "] " << v->detail
+            << " (source round " << round << ", seed " << config.seed
+            << ")\n";
+      }
+    }
+    std::fprintf(stderr,
+                 "  scan inputs: %ld checked, source rounds: %ld checked\n",
+                 checked, config.source_rounds);
   }
 
   if (violations > 0) {

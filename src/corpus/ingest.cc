@@ -3,6 +3,7 @@
 #include "obs/metrics.h"
 #include "sparql/serializer.h"
 #include "util/fnv.h"
+#include "util/simd_scan.h"
 #include "util/strings.h"
 
 namespace sparqlog::corpus {
@@ -22,8 +23,7 @@ std::optional<std::string_view> ExtractQueryText(std::string_view line,
   // Fast path: no '%'/'+' escapes means the value IS the query text —
   // parse the slice in place, no decode copy at all. Otherwise decode
   // into the caller's scratch buffer (reused across lines).
-  if (value.find('%') == std::string_view::npos &&
-      value.find('+') == std::string_view::npos) {
+  if (util::scan::FindEscape(value, 0) == value.size()) {
     return value;
   }
   decode_buf.clear();

@@ -55,6 +55,7 @@ void StageMetrics::Merge(const StageMetrics& other) {
   items_out += other.items_out;
   malformed += other.malformed;
   chunks += other.chunks;
+  bytes_in += other.bytes_in;
   alloc_bytes += other.alloc_bytes;
   allocs += other.allocs;
   chunk_ns.Merge(other.chunk_ns);
@@ -119,6 +120,7 @@ uint64_t TelemetryDigest(const RunTelemetry& t) {
     mix(s.items_in);
     mix(s.items_out);
     mix(s.malformed);
+    mix(s.bytes_in);
   }
   mix(t.shard_queries.size());
   for (uint64_t c : t.shard_queries) mix(c);

@@ -124,6 +124,11 @@ struct StageMetrics {
   uint64_t items_out = 0;   // items surviving the stage
   uint64_t malformed = 0;   // query entries that failed to parse
   uint64_t chunks = 0;      // work units processed
+  /// Payload bytes entering the stage (line bytes, newlines excluded).
+  /// Deterministic for a given input — independent of chunk size and
+  /// scheduling — so it participates in TelemetryDigest. Feeds the
+  /// MB/s ingest-throughput and lines-per-chunk derived metrics.
+  uint64_t bytes_in = 0;
   uint64_t alloc_bytes = 0;
   uint64_t allocs = 0;
   LatencyHistogram chunk_ns;

@@ -27,6 +27,25 @@ std::string Ratio(double v) {
   return buf;
 }
 
+/// Stage throughput in MB/s: payload bytes over busy (in-stage) time.
+std::string MbPerSec(uint64_t bytes, uint64_t busy_ns) {
+  if (bytes == 0 || busy_ns == 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f",
+                static_cast<double>(bytes) * 1e3 /
+                    static_cast<double>(busy_ns));
+  return buf;
+}
+
+/// Mean items per chunk, "-" when the stage processed no chunks.
+std::string PerChunk(uint64_t items, uint64_t chunks) {
+  if (chunks == 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f",
+                static_cast<double>(items) / static_cast<double>(chunks));
+  return buf;
+}
+
 void AppendQueueJson(JsonWriter& json, const QueueCounters& q) {
   json.BeginObject();
   json.KV("pushes", q.pushes);
@@ -53,8 +72,8 @@ void PrintSummary(std::ostream& out, const RunTelemetry& t) {
   out << "Telemetry (" << t.workers << " workers, wall "
       << Ms(static_cast<double>(t.wall_ns)) << " ms)\n\n";
 
-  util::Table stages({"Stage", "Chunks", "In", "Out", "Malformed",
-                      "Mean ms", "p99 ms", "Busy"});
+  util::Table stages({"Stage", "Chunks", "In", "Out", "Malformed", "MB/s",
+                      "In/chunk", "Mean ms", "p99 ms", "Busy"});
   for (int s = 0; s < kStageCount; ++s) {
     const StageMetrics& m = t.stage(s);
     if (m.items_in == 0 && m.chunks == 0 && m.chunk_ns.count() == 0) continue;
@@ -63,7 +82,9 @@ void PrintSummary(std::ostream& out, const RunTelemetry& t) {
                                 : 0.0;
     stages.AddRow({StageName(s), std::to_string(m.chunks),
                    std::to_string(m.items_in), std::to_string(m.items_out),
-                   std::to_string(m.malformed), Ms(m.chunk_ns.MeanNs()),
+                   std::to_string(m.malformed),
+                   MbPerSec(m.bytes_in, m.chunk_ns.total_ns()),
+                   PerChunk(m.items_in, m.chunks), Ms(m.chunk_ns.MeanNs()),
                    Ms(static_cast<double>(m.chunk_ns.PercentileNs(0.99))),
                    Pct(busy)});
   }
@@ -123,6 +144,16 @@ void AppendTelemetryJson(JsonWriter& json, const RunTelemetry& t) {
     json.KV("items_out", m.items_out);
     json.KV("malformed", m.malformed);
     json.KV("chunks", m.chunks);
+    json.KV("bytes_in", m.bytes_in);
+    json.KV("lines_per_chunk",
+            m.chunks > 0 ? static_cast<double>(m.items_in) /
+                               static_cast<double>(m.chunks)
+                         : 0.0);
+    json.KV("mb_per_sec",
+            m.chunk_ns.total_ns() > 0
+                ? static_cast<double>(m.bytes_in) * 1e3 /
+                      static_cast<double>(m.chunk_ns.total_ns())
+                : 0.0);
     json.KV("alloc_bytes", m.alloc_bytes);
     json.KV("allocs", m.allocs);
     json.Key("latency").BeginObject();
@@ -184,6 +215,7 @@ std::string PrometheusText(const RunTelemetry& t) {
     Counter(out, "sparqlog_stage_items_out_total", labels, m.items_out);
     Counter(out, "sparqlog_stage_malformed_total", labels, m.malformed);
     Counter(out, "sparqlog_stage_chunks_total", labels, m.chunks);
+    Counter(out, "sparqlog_stage_bytes_in_total", labels, m.bytes_in);
     // Cumulative le-histogram of chunk latency, seconds.
     out += "# TYPE sparqlog_stage_chunk_seconds histogram\n";
     uint64_t cumulative = 0;

@@ -1,0 +1,138 @@
+#include "pipeline/chunk_source.h"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "pipeline/pipeline.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SPARQLOG_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define SPARQLOG_HAVE_MMAP 0
+#endif
+
+namespace sparqlog::pipeline {
+
+using util::Result;
+using util::Status;
+
+MmapChunkSource::MmapChunkSource(const char* data, size_t size, bool mapped,
+                                 std::string fallback, Options options)
+    : data_(data),
+      size_(size),
+      mapped_(mapped),
+      fallback_(std::move(fallback)),
+      options_(options) {
+  if (!mapped_) data_ = fallback_.data();
+}
+
+MmapChunkSource::~MmapChunkSource() {
+#if SPARQLOG_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+}
+
+Result<std::unique_ptr<MmapChunkSource>> MmapChunkSource::Open(
+    const std::string& path, Options options) {
+#if SPARQLOG_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("mmap source: cannot open '" + path + "'");
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal("mmap source: fstat failed for '" + path + "'");
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument("mmap source: '" + path +
+                                   "' is not a regular file");
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  const char* data = nullptr;
+  if (size > 0) {
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      ::close(fd);
+      return Status::Internal("mmap source: mmap failed for '" + path + "'");
+    }
+#if defined(MADV_SEQUENTIAL)
+    ::madvise(map, size, MADV_SEQUENTIAL);
+#endif
+    data = static_cast<const char*>(map);
+  }
+  ::close(fd);  // the mapping outlives the descriptor
+  return std::unique_ptr<MmapChunkSource>(
+      new MmapChunkSource(data, size, /*mapped=*/true, std::string(), options));
+#else
+  // No mmap: one bulk read into a single buffer. Views keep the same
+  // semantics; the per-line allocation is still gone.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("mmap source: cannot open '" + path + "'");
+  }
+  std::string buffer((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  return std::unique_ptr<MmapChunkSource>(
+      new MmapChunkSource(nullptr, buffer.size(), /*mapped=*/false,
+                          std::move(buffer), options));
+#endif
+}
+
+bool MmapChunkSource::NextChunk(size_t max_lines, LineChunk& out) {
+  out.Clear();
+  const size_t slice_bytes = options_.slice_bytes;
+  const size_t slice_start = pos_;
+  while (pos_ < size_ && out.lines.size() < max_lines) {
+    if (slice_bytes > 0 && !out.lines.empty() &&
+        pos_ - slice_start >= slice_bytes) {
+      break;
+    }
+    const char* start = data_ + pos_;
+    const void* nl = std::memchr(start, '\n', size_ - pos_);
+    size_t len;
+    if (nl != nullptr) {
+      len = static_cast<size_t>(static_cast<const char*>(nl) - start);
+      pos_ += len + 1;
+    } else {
+      // Final line without a trailing newline.
+      len = size_ - pos_;
+      pos_ = size_;
+    }
+    if (len > 0 && start[len - 1] == '\r') --len;  // CRLF
+    out.lines.emplace_back(start, len);
+    out.bytes += len;
+  }
+  return !out.lines.empty();
+}
+
+bool LineSourceAdapter::NextChunk(size_t max_lines, LineChunk& out) {
+  out.Clear();
+  if (!source_.NextChunk(max_lines, out.owned)) return false;
+  out.lines.reserve(out.owned.size());
+  for (const std::string& line : out.owned) {
+    out.lines.emplace_back(line);
+    out.bytes += line.size();
+  }
+  return true;
+}
+
+bool VectorChunkSource::NextChunk(size_t max_lines, LineChunk& out) {
+  out.Clear();
+  while (next_ < lines_.size() && out.lines.size() < max_lines) {
+    const std::string& line = lines_[next_++];
+    out.lines.emplace_back(line);
+    out.bytes += line.size();
+  }
+  return !out.lines.empty();
+}
+
+}  // namespace sparqlog::pipeline

@@ -1,0 +1,131 @@
+#ifndef SPARQLOG_PIPELINE_CHUNK_SOURCE_H_
+#define SPARQLOG_PIPELINE_CHUNK_SOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sparqlog::pipeline {
+
+class LineSource;
+
+/// One unit of reader output: a batch of lines as string_views, plus
+/// whatever storage those views need when the source cannot hand out
+/// stable memory of its own.
+///
+/// Lifetime contract: the views in `lines` stay valid while (a) the
+/// chunk itself is alive — `owned` moves with it, and moving a
+/// std::vector never relocates its elements — and (b) the producing
+/// ChunkSource is alive, for sources whose views point at long-lived
+/// backing memory (an mmap'ed file, a caller's vector). Workers must
+/// therefore finish with a chunk before the pipeline run returns;
+/// nothing may squirrel a view away past Run().
+struct LineChunk {
+  std::vector<std::string_view> lines;
+  /// Backing storage for `lines` when the source must copy (stream
+  /// input). Zero-copy sources leave it empty.
+  std::vector<std::string> owned;
+  /// Payload bytes: the sum of line lengths, excluding newline bytes —
+  /// deterministic across mmap/stream/vector sources for the same
+  /// logical lines (feeds the ingest-throughput telemetry).
+  uint64_t bytes = 0;
+
+  void Clear() {
+    lines.clear();
+    owned.clear();
+    bytes = 0;
+  }
+};
+
+/// Streaming source of log-line chunks. The zero-copy generalization of
+/// LineSource: implementations that own stable memory hand out views
+/// into it and never build per-line strings.
+class ChunkSource {
+ public:
+  virtual ~ChunkSource() = default;
+
+  /// Replaces `out` with up to `max_lines` lines. Returns false when
+  /// the source is exhausted and `out` is empty.
+  virtual bool NextChunk(size_t max_lines, LineChunk& out) = 0;
+};
+
+/// Memory-maps a log file and slices it at newline boundaries; every
+/// line is a view straight into the mapping (no per-line allocation, no
+/// byte copied). Line semantics match std::getline plus CRLF handling:
+/// a trailing '\r' is stripped from every line, a file ending in '\n'
+/// yields no final empty line, and a final unterminated line is
+/// yielded as-is.
+class MmapChunkSource : public ChunkSource {
+ public:
+  struct Options {
+    /// Soft chunk budget in bytes: NextChunk stops early once a chunk
+    /// holds at least this much payload (it always emits at least one
+    /// line, so a line longer than the budget comes out whole).
+    /// 0 means lines-only chunking (max_lines is the only bound).
+    size_t slice_bytes = 0;
+  };
+
+  /// Maps `path` read-only (MADV_SEQUENTIAL). On platforms without
+  /// mmap the file is read into one heap buffer instead — same view
+  /// semantics, one copy total rather than one per line.
+  static util::Result<std::unique_ptr<MmapChunkSource>> Open(
+      const std::string& path, Options options);
+  static util::Result<std::unique_ptr<MmapChunkSource>> Open(
+      const std::string& path) {
+    return Open(path, Options());
+  }
+
+  ~MmapChunkSource() override;
+  MmapChunkSource(const MmapChunkSource&) = delete;
+  MmapChunkSource& operator=(const MmapChunkSource&) = delete;
+
+  bool NextChunk(size_t max_lines, LineChunk& out) override;
+
+  /// Total mapped (or buffered) file size in bytes.
+  size_t size_bytes() const { return size_; }
+
+ private:
+  MmapChunkSource(const char* data, size_t size, bool mapped,
+                  std::string fallback, Options options);
+
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  size_t pos_ = 0;
+  bool mapped_ = false;
+  std::string fallback_;  ///< engaged only on non-mmap platforms
+  Options options_;
+};
+
+/// Adapts a legacy LineSource: lines land in the chunk's `owned`
+/// storage and the views point at them. Keeps stream/pipe inputs
+/// working against the ChunkSource pipeline core.
+class LineSourceAdapter : public ChunkSource {
+ public:
+  explicit LineSourceAdapter(LineSource& source) : source_(source) {}
+  bool NextChunk(size_t max_lines, LineChunk& out) override;
+
+ private:
+  LineSource& source_;
+};
+
+/// Serves an in-memory log zero-copy: views point at the caller's
+/// strings, which must outlive the pipeline run.
+class VectorChunkSource : public ChunkSource {
+ public:
+  explicit VectorChunkSource(const std::vector<std::string>& lines)
+      : lines_(lines) {}
+  bool NextChunk(size_t max_lines, LineChunk& out) override;
+
+ private:
+  const std::vector<std::string>& lines_;
+  size_t next_ = 0;
+};
+
+}  // namespace sparqlog::pipeline
+
+#endif  // SPARQLOG_PIPELINE_CHUNK_SOURCE_H_

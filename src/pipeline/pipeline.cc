@@ -16,6 +16,8 @@ bool IstreamLineSource::NextChunk(size_t max_lines,
   out.clear();
   std::string line;
   while (out.size() < max_lines && std::getline(in_, line)) {
+    // CRLF parity with MmapChunkSource: same bytes, same lines.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     out.push_back(std::move(line));
   }
   return !out.empty();
@@ -44,7 +46,7 @@ namespace {
 /// correlated ("which chunk was parsing while shard 3 stalled?").
 struct NumberedChunk {
   uint64_t id = 0;
-  std::vector<std::string> lines;
+  LineChunk data;
 };
 
 /// Routed batch: the entries of one chunk bound for one shard.
@@ -55,7 +57,7 @@ struct ShardBatch {
 
 }  // namespace
 
-PipelineResult ParallelLogPipeline::Run(LineSource& source) {
+PipelineResult ParallelLogPipeline::Run(ChunkSource& source) {
   const size_t num_shards = shards();
   const size_t chunk_size = options_.chunk_size > 0 ? options_.chunk_size : 1;
   const size_t capacity =
@@ -157,10 +159,10 @@ PipelineResult ParallelLogPipeline::Run(LineSource& source) {
       std::string decode_buf;  // per-worker URL-decode scratch
       while (std::optional<NumberedChunk> chunk = chunk_queue.Pop()) {
         uint64_t t0 = obs::NowNsIf(rt != nullptr);
-        local_lines += chunk->lines.size();
+        local_lines += chunk->data.lines.size();
         uint64_t routed = 0, malformed = 0;
         for (Batch& b : buckets) b.clear();
-        for (const std::string& line : chunk->lines) {
+        for (std::string_view line : chunk->data.lines) {
           corpus::ParsedLine parsed =
               corpus::ParseLogLine(parser, line, decode_buf);
           if (!parsed.is_query) continue;  // noise: dropped, not routed
@@ -179,7 +181,8 @@ PipelineResult ParallelLogPipeline::Run(LineSource& source) {
             uint64_t t1 = obs::NowNs();
             obs::StageMetrics& m = rt->stage(obs::kStageParse);
             ++m.chunks;
-            m.items_in += chunk->lines.size();
+            m.items_in += chunk->data.lines.size();
+            m.bytes_in += chunk->data.bytes;
             m.items_out += routed;
             m.malformed += malformed;
             m.chunk_ns.Record(t1 - t0);
@@ -212,14 +215,15 @@ PipelineResult ParallelLogPipeline::Run(LineSource& source) {
     uint64_t next_id = 0;
     for (;;) {
       uint64_t t0 = obs::NowNsIf(rt != nullptr);
-      bool more = source.NextChunk(chunk_size, chunk.lines);
+      bool more = source.NextChunk(chunk_size, chunk.data);
       if constexpr (obs::kTelemetryEnabled) {
         if (rt && more) {
           uint64_t t1 = obs::NowNs();
           obs::StageMetrics& m = rt->stage(obs::kStageReader);
           ++m.chunks;
-          m.items_in += chunk.lines.size();
-          m.items_out += chunk.lines.size();
+          m.items_in += chunk.data.lines.size();
+          m.items_out += chunk.data.lines.size();
+          m.bytes_in += chunk.data.bytes;
           m.chunk_ns.Record(t1 - t0);
           if (ring) ring->Record(obs::kStageReader, next_id, t0, t1);
         }
@@ -279,9 +283,14 @@ PipelineResult ParallelLogPipeline::Run(LineSource& source) {
   return result;
 }
 
+PipelineResult ParallelLogPipeline::Run(LineSource& source) {
+  LineSourceAdapter adapter(source);
+  return Run(static_cast<ChunkSource&>(adapter));
+}
+
 PipelineResult ParallelLogPipeline::Run(const std::vector<std::string>& lines) {
-  VectorLineSource source(lines);
-  return Run(source);
+  VectorChunkSource source(lines);
+  return Run(static_cast<ChunkSource&>(source));
 }
 
 }  // namespace sparqlog::pipeline

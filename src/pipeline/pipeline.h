@@ -16,6 +16,7 @@
 #include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "pipeline/chunk_source.h"
 #include "pipeline/shard.h"
 
 namespace sparqlog::pipeline {
@@ -116,7 +117,10 @@ class LineSource {
   virtual bool NextChunk(size_t max_lines, std::vector<std::string>& out) = 0;
 };
 
-/// Streams lines from an istream (file, pipe, socket).
+/// Streams lines from an istream (file, pipe, socket). Line semantics
+/// match MmapChunkSource: std::getline splitting plus CRLF handling (a
+/// trailing '\r' is stripped), so both sources yield identical lines —
+/// and identical digests — for the same bytes.
 class IstreamLineSource : public LineSource {
  public:
   explicit IstreamLineSource(std::istream& in) : in_(in) {}
@@ -187,9 +191,16 @@ class ParallelLogPipeline {
   explicit ParallelLogPipeline(PipelineOptions options = {});
 
   /// Streams `source` through the pipeline and merges shard results.
+  /// This is the core entry point: workers consume string_view lines
+  /// straight out of the chunks (zero-copy for mmap/vector sources).
+  PipelineResult Run(ChunkSource& source);
+
+  /// Legacy line sources run through a LineSourceAdapter (lines are
+  /// owned by each chunk; still one copy total per line).
   PipelineResult Run(LineSource& source);
 
-  /// Convenience overload for in-memory logs.
+  /// Convenience overload for in-memory logs; zero-copy views of
+  /// `lines`, which must outlive the call.
   PipelineResult Run(const std::vector<std::string>& lines);
 
   /// The resolved worker count.

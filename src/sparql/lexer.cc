@@ -1,12 +1,21 @@
 #include "sparql/lexer.h"
 
-#include <cctype>
+#include <cstring>
 #include <string>
+
+#include "util/ascii.h"
+#include "util/simd_scan.h"
 
 namespace sparqlog::sparql {
 
+using util::AsciiClassOf;
+using util::IsAsciiDigit;
+using util::IsAsciiXdigit;
+using util::IsNameStartChar;
 using util::Result;
 using util::Status;
+
+namespace scan = util::scan;
 
 const char* TokenTypeName(TokenType t) {
   switch (t) {
@@ -53,30 +62,6 @@ const char* TokenTypeName(TokenType t) {
 
 namespace {
 
-bool IsNameStartChar(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
-         static_cast<unsigned char>(c) >= 0x80;
-}
-
-bool IsNameChar(char c) {
-  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
-         c == '-';
-}
-
-// Characters legal inside an IRIREF (everything except control chars and
-// <>"{}|^`\ and space).
-bool IsIriChar(char c) {
-  unsigned char u = static_cast<unsigned char>(c);
-  if (u <= 0x20) return false;
-  switch (c) {
-    case '<': case '>': case '"': case '{': case '}':
-    case '|': case '^': case '`': case '\\':
-      return false;
-    default:
-      return true;
-  }
-}
-
 Status ErrorAt(std::string_view what, size_t line, size_t col) {
   std::string msg;
   msg.reserve(what.size() + 48);
@@ -122,16 +107,37 @@ Status Lexer::Error(std::string_view what) const {
   return ErrorAt(what, token_line_, token_col_);
 }
 
+/// Bulk line/column bookkeeping: account for every newline inside
+/// input_[pos_, end) as if it had been consumed by Advance().
+void Lexer::CountNewlines(size_t begin, size_t end) {
+  const char* base = input_.data();
+  const char* p = base + begin;
+  const char* limit = base + end;
+  while (p < limit) {
+    const char* nl = static_cast<const char*>(
+        std::memchr(p, '\n', static_cast<size_t>(limit - p)));
+    if (nl == nullptr) break;
+    ++line_;
+    p = nl + 1;
+    line_start_ = static_cast<size_t>(p - base);
+  }
+}
+
 void Lexer::SkipWhitespaceAndComments() {
-  while (!AtEnd()) {
-    char c = Peek();
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      Advance();
-    } else if (c == '#') {
-      while (!AtEnd() && Peek() != '\n') Advance();
-    } else {
-      break;
+  while (pos_ < input_.size()) {
+    const size_t end = scan::WhitespaceRun(input_, pos_);
+    if (end != pos_) {
+      CountNewlines(pos_, end);
+      pos_ = end;
     }
+    if (pos_ < input_.size() && input_[pos_] == '#') {
+      // Skip to (not past) the newline; the next whitespace pass
+      // consumes it and keeps the line count exact.
+      const size_t nl = input_.find('\n', pos_);
+      pos_ = nl == std::string_view::npos ? input_.size() : nl;
+      continue;
+    }
+    break;
   }
 }
 
@@ -197,13 +203,13 @@ Result<Token> Lexer::Next() {
       // Default-namespace prefixed name, e.g. ":local".
       return LexIdentOrPName();
     case '.':
-      if (std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      if (IsAsciiDigit(Peek(1))) {
         return LexNumber();
       }
       Advance();
       return Make(TokenType::kDot);
     default:
-      if (std::isdigit(static_cast<unsigned char>(c))) return LexNumber();
+      if (IsAsciiDigit(c)) return LexNumber();
       if (IsNameStartChar(c)) return LexIdentOrPName();
       std::string what("unexpected character '");
       what.push_back(c);
@@ -214,8 +220,7 @@ Result<Token> Lexer::Next() {
 
 Result<Token> Lexer::LexIriOrComparison() {
   // Decide IRIREF vs '<' / '<=': scan ahead for a '>' over legal IRI chars.
-  size_t look = pos_ + 1;
-  while (look < input_.size() && IsIriChar(input_[look])) ++look;
+  const size_t look = scan::IriRun(input_, pos_ + 1);
   if (look < input_.size() && input_[look] == '>') {
     // IRI chars exclude newlines, so the jump cannot cross a line.
     std::string_view iri = input_.substr(pos_ + 1, look - pos_ - 1);
@@ -243,50 +248,42 @@ Result<Token> Lexer::LexString(char quote) {
     return Make(TokenType::kString, std::string_view());
   }
 
-  // Fast path: scan for the closing quote; if no escape intervenes the
-  // value is the raw slice and nothing is copied.
+  // Fast path: vector-scan for the closing quote; if no escape
+  // intervenes the value is the raw slice and nothing is copied.
   const size_t content_start = pos_;
   size_t i = content_start;
   bool clean = true;
   size_t content_end = std::string_view::npos;
   while (i < input_.size()) {
-    char c = input_[i];
+    i = scan::FindStringStop(input_, i, quote, long_quote);
+    if (i >= input_.size()) break;
+    const char c = input_[i];
     if (c == '\\') {
       clean = false;
       break;
     }
     if (long_quote) {
-      if (c == quote && i + 2 < input_.size() &&
-          input_[i + 1] == quote && input_[i + 2] == quote) {
+      if (i + 2 < input_.size() && input_[i + 1] == quote &&
+          input_[i + 2] == quote) {
         content_end = i;
         break;
       }
+      ++i;  // lone or doubled quote inside a long string
     } else {
       if (c == '\n') {
         clean = false;  // slow loop reports the error position
         break;
       }
-      if (c == quote) {
-        content_end = i;
-        break;
-      }
+      content_end = i;
+      break;
     }
-    ++i;
   }
   if (clean && content_end != std::string_view::npos) {
     std::string_view value =
         input_.substr(content_start, content_end - content_start);
     // Long strings may span lines; keep the line/column bookkeeping
     // exact without per-character Advance().
-    for (char ch : value) {
-      if (ch == '\n') {
-        ++line_;
-      }
-    }
-    size_t last_nl = value.rfind('\n');
-    if (last_nl != std::string_view::npos) {
-      line_start_ = content_start + last_nl + 1;
-    }
+    CountNewlines(content_start, content_end);
     pos_ = content_end + (long_quote ? 3 : 1);
     return Make(TokenType::kString, value);
   }
@@ -350,18 +347,16 @@ Result<Token> Lexer::LexNumber() {
   bool has_dot = false, has_exp = false;
   while (!AtEnd()) {
     char c = Peek();
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      Advance();
-    } else if (c == '.' && !has_dot && !has_exp &&
-               std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+    if (IsAsciiDigit(c)) {
+      pos_ = scan::DigitRun(input_, pos_);  // digits never contain '\n'
+    } else if (c == '.' && !has_dot && !has_exp && IsAsciiDigit(Peek(1))) {
       has_dot = true;
       Advance();
     } else if ((c == 'e' || c == 'E') && !has_exp) {
       char next = Peek(1);
       char next2 = Peek(2);
-      bool exp_ok = std::isdigit(static_cast<unsigned char>(next)) ||
-                    ((next == '+' || next == '-') &&
-                     std::isdigit(static_cast<unsigned char>(next2)));
+      bool exp_ok = IsAsciiDigit(next) ||
+                    ((next == '+' || next == '-') && IsAsciiDigit(next2));
       if (!exp_ok) break;
       has_exp = true;
       Advance();
@@ -378,19 +373,12 @@ Result<Token> Lexer::LexNumber() {
 
 Result<Token> Lexer::LexVar() {
   Advance();  // '?' or '$'
-  if (!IsNameChar(Peek()) ||
-      (!IsNameStartChar(Peek()) &&
-       !std::isdigit(static_cast<unsigned char>(Peek())))) {
+  if ((AsciiClassOf(Peek()) & util::kAsciiVarChar) == 0) {
     // A bare '?' is the zero-or-one path modifier.
     return Make(TokenType::kQuestion);
   }
   const size_t start = pos_;
-  while (!AtEnd() && (IsNameChar(Peek()) ||
-                      std::isdigit(static_cast<unsigned char>(Peek())))) {
-    if (Peek() == '-') break;  // '-' not allowed in variable names
-    Advance();
-  }
-  if (pos_ == start) return Make(TokenType::kQuestion);
+  pos_ = scan::VarRun(input_, pos_);  // var chars never contain '\n'
   return Make(TokenType::kVar, Slice(start));
 }
 
@@ -399,9 +387,7 @@ Result<Token> Lexer::LexBlankOrName() {
     Advance();  // '_'
     Advance();  // ':'
     const size_t start = pos_;
-    while (!AtEnd() && (IsNameChar(Peek()) || Peek() == '.')) {
-      Advance();
-    }
+    pos_ = scan::BlankLabelRun(input_, pos_);
     // A trailing '.' belongs to the triple, not the label.
     while (pos_ > start && input_[pos_ - 1] == '.') {
       --pos_;
@@ -416,7 +402,7 @@ Result<Token> Lexer::LexBlankOrName() {
 
 Result<Token> Lexer::LexIdentOrPName() {
   const size_t start = pos_;
-  while (!AtEnd() && IsNameChar(Peek())) Advance();
+  pos_ = scan::NameRun(input_, pos_);
   if (Peek() != ':') {
     if (pos_ == start) {
       return Error("bad name");
@@ -432,20 +418,19 @@ Result<Token> Lexer::LexIdentOrPName() {
   bool materialized = false;
   while (!AtEnd()) {
     char c = Peek();
-    if (IsNameChar(c) || c == ':' || c == '.') {
-      if (materialized) owned.push_back(c);
-      Advance();
-    } else if (c == '%' &&
-               std::isxdigit(static_cast<unsigned char>(Peek(1))) &&
-               std::isxdigit(static_cast<unsigned char>(Peek(2)))) {
+    if ((AsciiClassOf(c) & util::kAsciiPnLocal) != 0) {
+      const size_t run_start = pos_;
+      pos_ = scan::PnLocalRun(input_, pos_);  // class excludes '\n'
+      if (materialized) {
+        owned.append(input_.substr(run_start, pos_ - run_start));
+      }
+    } else if (c == '%' && IsAsciiXdigit(Peek(1)) && IsAsciiXdigit(Peek(2))) {
       if (materialized) {
         owned.push_back(c);
         owned.push_back(Peek(1));
         owned.push_back(Peek(2));
       }
-      Advance();
-      Advance();
-      Advance();
+      pos_ += 3;  // '%' and two hex digits; none can be '\n'
     } else if (c == '\\' && Peek(1) != '\0') {
       if (!materialized) {
         materialized = true;
@@ -471,10 +456,7 @@ Result<Token> Lexer::LexIdentOrPName() {
 Result<Token> Lexer::LexLangTag() {
   Advance();  // '@'
   const size_t start = pos_;
-  while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
-                      Peek() == '-')) {
-    Advance();
-  }
+  pos_ = scan::LangTagRun(input_, pos_);
   if (pos_ == start) {
     return Error("empty language tag");
   }

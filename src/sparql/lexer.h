@@ -71,6 +71,10 @@ class Lexer {
     return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
   }
   char Advance();
+  /// Accounts for every newline in input_[begin, end) — the bulk
+  /// equivalent of Advance()'s line/column bookkeeping, used after a
+  /// vector scan jumped the cursor over multiple lines at once.
+  void CountNewlines(size_t begin, size_t end);
   /// Input slice [begin, pos_).
   std::string_view Slice(size_t begin) const {
     return input_.substr(begin, pos_ - begin);

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <bit>
-#include <cctype>
 #include <cmath>
 #include <iterator>
 #include <utility>
 
+#include "util/ascii.h"
 #include "util/fnv.h"
 
 namespace sparqlog::streaks {
@@ -44,9 +44,9 @@ std::string_view StripPrologueView(std::string_view query) {
     if (i + keyword.size() > query.size()) continue;
     if (i > 0) {
       // Keyword boundary check: not inside an IRI or a longer word.
-      unsigned char prev = static_cast<unsigned char>(query[i - 1]);
-      if (std::isalnum(prev) || prev == ':' || prev == '/' || prev == '#' ||
-          prev == '_') {
+      char prev = query[i - 1];
+      if (util::IsAsciiAlnum(prev) || prev == ':' || prev == '/' ||
+          prev == '#' || prev == '_') {
         continue;
       }
     }
@@ -59,8 +59,7 @@ std::string_view StripPrologueView(std::string_view query) {
     }
     if (!match) continue;
     if (i + keyword.size() < query.size() &&
-        std::isalnum(
-            static_cast<unsigned char>(query[i + keyword.size()]))) {
+        util::IsAsciiAlnum(query[i + keyword.size()])) {
       continue;
     }
     return query.substr(i);

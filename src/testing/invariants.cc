@@ -1,5 +1,8 @@
 #include "testing/invariants.h"
 
+#include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <utility>
 
 #include "corpus/ingest.h"
@@ -7,12 +10,17 @@
 #include "graph/canonical.h"
 #include "graph/shapes.h"
 #include "obs/metrics.h"
+#include "pipeline/chunk_source.h"
 #include "pipeline/merge.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/streak_stage.h"
+#include "sparql/lexer.h"
 #include "sparql/serializer.h"
 #include "streaks/streaks.h"
 #include "testing/reference_analysis.h"
+#include "util/ascii.h"
+#include "util/simd_scan.h"
+#include "util/strings.h"
 #include "width/hypertree.h"
 #include "width/treewidth.h"
 
@@ -348,6 +356,318 @@ std::optional<Violation> CheckStreakEquivalence(
   // operator== said unequal but no named field differs: a field was
   // added to StreakReport without extending this diagnosis.
   return mismatch("operator==", 0, 1);
+}
+
+namespace {
+
+namespace scan = util::scan;
+
+/// Byte-at-a-time references, deliberately written without the class
+/// table's ScanClassScalar or any word tricks, so they can catch bugs
+/// in both the SWAR scalar kernels and the table itself.
+size_t NaiveClassRun(std::string_view s, size_t pos, uint16_t mask) {
+  while (pos < s.size() && (util::AsciiClassOf(s[pos]) & mask) != 0) ++pos;
+  return pos;
+}
+
+size_t NaiveFindStringStop(std::string_view s, size_t pos, char quote,
+                           bool long_quote) {
+  for (; pos < s.size(); ++pos) {
+    const char c = s[pos];
+    if (c == quote || c == '\\' || (!long_quote && c == '\n')) return pos;
+  }
+  return s.size();
+}
+
+size_t NaiveFindEscape(std::string_view s, size_t pos) {
+  for (; pos < s.size(); ++pos) {
+    if (s[pos] == '%' || s[pos] == '+') return pos;
+  }
+  return s.size();
+}
+
+std::string NaivePercentDecode(std::string_view s) {
+  auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex(s[i + 1]), lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i] == '+' ? ' ' : s[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<Violation> CheckScanEquivalence(std::string_view input) {
+  auto fail = [&input](const std::string& what, size_t pos, size_t a,
+                       size_t b) {
+    return Violate("scan-differential",
+                   what + " diverges at start offset " + std::to_string(pos) +
+                       ": " + std::to_string(a) + " vs " + std::to_string(b),
+                   input);
+  };
+
+  struct RunPrimitive {
+    const char* name;
+    size_t (*scalar)(std::string_view, size_t);
+    size_t (*simd)(std::string_view, size_t);
+    uint16_t mask;
+  };
+  static constexpr RunPrimitive kRuns[] = {
+      {"NameRun", scan::ScalarNameRun, scan::SimdNameRun,
+       util::kAsciiNameChar},
+      {"VarRun", scan::ScalarVarRun, scan::SimdVarRun, util::kAsciiVarChar},
+      {"PnLocalRun", scan::ScalarPnLocalRun, scan::SimdPnLocalRun,
+       util::kAsciiPnLocal},
+      {"BlankLabelRun", scan::ScalarBlankLabelRun, scan::SimdBlankLabelRun,
+       util::kAsciiBlankLabel},
+      {"LangTagRun", scan::ScalarLangTagRun, scan::SimdLangTagRun,
+       util::kAsciiLangTag},
+      {"WhitespaceRun", scan::ScalarWhitespaceRun, scan::SimdWhitespaceRun,
+       util::kAsciiSpace},
+      {"IriRun", scan::ScalarIriRun, scan::SimdIriRun, util::kAsciiIriChar},
+      {"DigitRun", scan::ScalarDigitRun, scan::SimdDigitRun,
+       util::kAsciiDigit},
+  };
+
+  for (size_t pos = 0; pos <= input.size(); ++pos) {
+    for (const RunPrimitive& p : kRuns) {
+      const size_t naive = NaiveClassRun(input, pos, p.mask);
+      const size_t scalar = p.scalar(input, pos);
+      if (scalar != naive) {
+        return fail(std::string(p.name) + " scalar-vs-naive", pos, scalar,
+                    naive);
+      }
+      const size_t simd = p.simd(input, pos);
+      if (simd != scalar) {
+        return fail(std::string(p.name) + " simd-vs-scalar", pos, simd,
+                    scalar);
+      }
+    }
+    for (const char quote : {'"', '\''}) {
+      for (const bool long_quote : {false, true}) {
+        const std::string what = std::string("FindStringStop(") + quote +
+                                 (long_quote ? ",long)" : ",short)");
+        const size_t naive = NaiveFindStringStop(input, pos, quote, long_quote);
+        const size_t scalar =
+            scan::ScalarFindStringStop(input, pos, quote, long_quote);
+        if (scalar != naive) {
+          return fail(what + " scalar-vs-naive", pos, scalar, naive);
+        }
+        const size_t simd =
+            scan::SimdFindStringStop(input, pos, quote, long_quote);
+        if (simd != scalar) {
+          return fail(what + " simd-vs-scalar", pos, simd, scalar);
+        }
+      }
+    }
+    {
+      const size_t naive = NaiveFindEscape(input, pos);
+      const size_t scalar = scan::ScalarFindEscape(input, pos);
+      if (scalar != naive) {
+        return fail("FindEscape scalar-vs-naive", pos, scalar, naive);
+      }
+      const size_t simd = scan::SimdFindEscape(input, pos);
+      if (simd != scalar) {
+        return fail("FindEscape simd-vs-scalar", pos, simd, scalar);
+      }
+    }
+  }
+
+  const std::string expect = NaivePercentDecode(input);
+  const std::string got = util::PercentDecode(input);
+  if (got != expect) {
+    size_t i = 0;
+    while (i < expect.size() && i < got.size() && expect[i] == got[i]) ++i;
+    return Violate("scan-percent-decode",
+                   "PercentDecode diverges from the byte-at-a-time reference "
+                   "at output byte " +
+                       std::to_string(i),
+                   input);
+  }
+
+  // Drive the full lexer over the raw bytes twice — mostly for the
+  // sanitizer legs, where any out-of-bounds vector load in the lexed
+  // fast paths trips ASan regardless of token agreement.
+  util::Result<sparql::TokenStream> t1 = sparql::Lexer::Tokenize(input);
+  util::Result<sparql::TokenStream> t2 = sparql::Lexer::Tokenize(input);
+  if (t1.ok() != t2.ok()) {
+    return Violate("scan-lexer-determinism",
+                   "Tokenize status differs between identical runs", input);
+  }
+  if (t1.ok()) {
+    const sparql::TokenStream& a = t1.value();
+    const sparql::TokenStream& b = t2.value();
+    if (a.size() != b.size()) {
+      return Violate("scan-lexer-determinism", "token count differs", input);
+    }
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].type != b[i].type || a[i].value != b[i].value ||
+          a[i].pos != b[i].pos || a[i].line != b[i].line ||
+          a[i].col != b[i].col) {
+        return Violate("scan-lexer-determinism",
+                       "token " + std::to_string(i) + " differs", input);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+SourceEquivalenceConfig RandomSourceConfig(util::Rng& rng) {
+  SourceEquivalenceConfig config;
+  config.pipeline = RandomEquivalenceConfig(rng);
+  // Budgets below typical line length force single-line slices; large
+  // ones exercise multi-line chunks against the max_lines bound.
+  const size_t budgets[] = {0, 1, 16, 64, 256, 4096};
+  config.slice_bytes = budgets[rng.Below(6)];
+  config.crlf = rng.Chance(0.3);
+  config.trailing_newline = rng.Chance(0.8);
+  return config;
+}
+
+std::optional<Violation> CheckSourceEquivalence(
+    const std::vector<std::string>& lines,
+    const SourceEquivalenceConfig& config) {
+  // Strip framing bytes so the file parses back to exactly these lines.
+  std::vector<std::string> sanitized;
+  sanitized.reserve(lines.size());
+  for (const std::string& line : lines) {
+    std::string clean;
+    clean.reserve(line.size());
+    for (char c : line) {
+      if (c != '\n' && c != '\r') clean.push_back(c);
+    }
+    sanitized.push_back(std::move(clean));
+  }
+  // A final empty line is only representable with a terminator.
+  bool trailing = config.trailing_newline;
+  if (!sanitized.empty() && sanitized.back().empty()) trailing = true;
+
+  auto describe = [&config, trailing] {
+    return "threads=" + std::to_string(config.pipeline.threads) +
+           " chunk=" + std::to_string(config.pipeline.chunk_size) +
+           " shards=" + std::to_string(config.pipeline.shards) +
+           " slice=" + std::to_string(config.slice_bytes) +
+           (config.crlf ? " crlf" : " lf") +
+           (trailing ? " trailing-nl" : " no-trailing-nl");
+  };
+
+  // Unique temp path: pid-distinct via ASLR'd static address, plus a
+  // process-local counter (fuzz legs and tests run concurrently).
+  static std::atomic<uint64_t> counter{0};
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("sparqlog_source_eq_" +
+       std::to_string(reinterpret_cast<uintptr_t>(&counter) & 0xFFFFFF) +
+       "_" + std::to_string(counter.fetch_add(1)) + ".log");
+  struct FileGuard {
+    std::filesystem::path p;
+    ~FileGuard() {
+      std::error_code ec;
+      std::filesystem::remove(p, ec);
+    }
+  } guard{path};
+
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Violate("source-io", "cannot create temp file " + path.string(),
+                     "");
+    }
+    const char* sep = config.crlf ? "\r\n" : "\n";
+    for (size_t i = 0; i < sanitized.size(); ++i) {
+      out << sanitized[i];
+      if (i + 1 < sanitized.size() || trailing) out << sep;
+    }
+  }
+
+  pipeline::PipelineOptions options;
+  options.threads = config.pipeline.threads;
+  options.chunk_size = config.pipeline.chunk_size;
+  options.queue_capacity = config.pipeline.queue_capacity;
+  options.shards = config.pipeline.shards;
+  options.use_valid_corpus = config.pipeline.use_valid_corpus;
+  options.telemetry.metrics = true;
+  pipeline::ParallelLogPipeline pipe(options);
+
+  pipeline::PipelineResult mem = pipe.Run(sanitized);
+
+  util::Result<std::unique_ptr<pipeline::MmapChunkSource>> mapped =
+      pipeline::MmapChunkSource::Open(
+          path.string(),
+          pipeline::MmapChunkSource::Options{config.slice_bytes});
+  if (!mapped.ok()) {
+    return Violate("source-io",
+                   "mmap open failed: " + mapped.status().message(), "");
+  }
+  pipeline::PipelineResult mm = pipe.Run(*mapped.value());
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Violate("source-io", "cannot reopen temp file " + path.string(),
+                   "");
+  }
+  pipeline::IstreamLineSource stream_source(in);
+  pipeline::PipelineResult st =
+      pipe.Run(static_cast<pipeline::LineSource&>(stream_source));
+
+  auto compare = [&](const pipeline::PipelineResult& a,
+                     const pipeline::PipelineResult& b, const char* an,
+                     const char* bn) -> std::optional<Violation> {
+    const std::string pair = std::string(an) + " vs " + bn;
+    if (a.lines != b.lines) {
+      return Violate("source-equivalence",
+                     pair + " line counts diverge (" + describe() + "): " +
+                         std::to_string(a.lines) + " vs " +
+                         std::to_string(b.lines),
+                     "");
+    }
+    if (a.stats.total != b.stats.total || a.stats.valid != b.stats.valid ||
+        a.stats.unique != b.stats.unique) {
+      return Violate("source-equivalence",
+                     pair + " Total/Valid/Unique diverge (" + describe() + ")",
+                     "");
+    }
+    if (pipeline::StatisticsDigest(a.analysis) !=
+        pipeline::StatisticsDigest(b.analysis)) {
+      return Violate("source-equivalence",
+                     pair + " StatisticsDigest diverges (" + describe() + ")",
+                     "");
+    }
+    if constexpr (obs::kTelemetryEnabled) {
+      if (a.telemetry.has_value() != b.telemetry.has_value() ||
+          (a.telemetry.has_value() &&
+           obs::TelemetryDigest(*a.telemetry) !=
+               obs::TelemetryDigest(*b.telemetry))) {
+        return Violate("source-equivalence",
+                       pair + " TelemetryDigest diverges (" + describe() + ")",
+                       "");
+      }
+    }
+    return std::nullopt;
+  };
+  if (auto v = compare(mem, mm, "vector", "mmap")) return v;
+  if (auto v = compare(mem, st, "vector", "stream")) return v;
+  if (mem.lines != sanitized.size()) {
+    return Violate("source-equivalence",
+                   "pipeline consumed " + std::to_string(mem.lines) + " of " +
+                       std::to_string(sanitized.size()) + " lines (" +
+                       describe() + ")",
+                   "");
+  }
+  return std::nullopt;
 }
 
 std::optional<Violation> CheckAnalysisEquivalence(

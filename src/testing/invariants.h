@@ -92,6 +92,44 @@ std::optional<Violation> CheckStreakEquivalence(
     const std::vector<std::string>& queries,
     const StreakEquivalenceConfig& config);
 
+/// Differentially verifies the vectorized ingest scan layer on one
+/// input:
+///  * every Scalar* scan primitive (util/simd_scan.h) against a naive
+///    byte-at-a-time reference, at every start offset — catches SWAR
+///    bugs even in SPARQLOG_NO_SIMD builds;
+///  * every Simd* primitive against its Scalar* twin, at every start
+///    offset — the vector-vs-scalar lexer differential;
+///  * util::PercentDecode against a byte-at-a-time reference decoder;
+///  * Lexer::Tokenize determinism across two runs on the input.
+std::optional<Violation> CheckScanEquivalence(std::string_view input);
+
+/// One configuration for the mmap/stream/vector source equivalence
+/// check: the pipeline config plus the file framing to exercise.
+struct SourceEquivalenceConfig {
+  EquivalenceConfig pipeline;
+  /// MmapChunkSource slice budget (0 = lines-only chunking).
+  size_t slice_bytes = 0;
+  /// Write CRLF line endings (both file sources must strip the '\r').
+  bool crlf = false;
+  /// End the file with a line terminator (getline drops the would-be
+  /// final empty line; both sources must agree).
+  bool trailing_newline = true;
+};
+
+/// Samples slice budgets (including ones smaller than a line), CRLF,
+/// and missing-trailing-newline framings.
+SourceEquivalenceConfig RandomSourceConfig(util::Rng& rng);
+
+/// Writes `lines` to a temporary file and pipelines it three ways —
+/// in-memory vector, MmapChunkSource, IstreamLineSource — under
+/// `config`, comparing Total/Valid/Unique, line counts, the full
+/// StatisticsDigest, and the TelemetryDigest across all three. Bytes
+/// that the line framing would consume ('\n', '\r') are stripped from
+/// the lines first so the file round-trips exactly.
+std::optional<Violation> CheckSourceEquivalence(
+    const std::vector<std::string>& lines,
+    const SourceEquivalenceConfig& config);
+
 /// Replays one query's structural analysis through the pre-change
 /// implementations (testing/reference_analysis: NodeKey-string interning,
 /// std::set graphs, restart kernelization, set-based det-k-decomp) and

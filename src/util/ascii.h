@@ -1,0 +1,118 @@
+#ifndef SPARQLOG_UTIL_ASCII_H_
+#define SPARQLOG_UTIL_ASCII_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace sparqlog::util {
+
+/// Static ASCII character classes, replacing the locale-dependent
+/// `std::isspace`/`std::isalnum`/... calls on the ingest hot path.
+/// The table pins C-locale ASCII semantics no matter what locale the
+/// host process runs under, costs one L1-resident load per query
+/// (`__ctype_b_loc()` behind `std::isalpha` is a TLS lookup per call),
+/// and doubles as the ground truth the SIMD scan kernels
+/// (util/simd_scan.h) are differentially tested against.
+///
+/// The grammar-specific classes mirror the lexer's historical
+/// predicates exactly, including their treatment of bytes >= 0x80
+/// (legal in names — log queries carry raw UTF-8 — and inside IRIs).
+enum AsciiClass : uint16_t {
+  kAsciiSpace = 1u << 0,       ///< ' ' \t \n \v \f \r
+  kAsciiDigit = 1u << 1,       ///< 0-9
+  kAsciiAlpha = 1u << 2,       ///< a-z A-Z
+  kAsciiXdigit = 1u << 3,      ///< 0-9 a-f A-F
+  kAsciiNameStart = 1u << 4,   ///< alpha | '_' | >= 0x80
+  kAsciiNameChar = 1u << 5,    ///< NameStart | digit | '-'
+  kAsciiVarChar = 1u << 6,     ///< NameStart | digit ('-' ends a variable)
+  kAsciiPnLocal = 1u << 7,     ///< NameChar | ':' | '.' (pname local part)
+  kAsciiIriChar = 1u << 8,     ///< legal inside IRIREF (see below)
+  kAsciiLangTag = 1u << 9,     ///< alnum | '-' (after '@')
+  kAsciiBlankLabel = 1u << 10, ///< NameChar | '.' (blank node label body)
+  kAsciiUrlEscape = 1u << 11,  ///< '%' | '+' (URL-decode stop set)
+};
+
+namespace ascii_internal {
+
+constexpr std::array<uint16_t, 256> BuildClassTable() {
+  std::array<uint16_t, 256> t{};
+  for (int i = 0; i < 256; ++i) {
+    const char c = static_cast<char>(i);
+    uint16_t bits = 0;
+    const bool digit = c >= '0' && c <= '9';
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool high = i >= 0x80;
+    const bool name_start = alpha || c == '_' || high;
+    const bool name_char = name_start || digit || c == '-';
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' ||
+        c == '\r') {
+      bits |= kAsciiSpace;
+    }
+    if (digit) bits |= kAsciiDigit;
+    if (alpha) bits |= kAsciiAlpha;
+    if (digit || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')) {
+      bits |= kAsciiXdigit;
+    }
+    if (name_start) bits |= kAsciiNameStart;
+    if (name_char) bits |= kAsciiNameChar;
+    if (name_start || digit) bits |= kAsciiVarChar;
+    if (name_char || c == ':' || c == '.') bits |= kAsciiPnLocal;
+    // IRIREF bodies: everything except control bytes/space (<= 0x20)
+    // and <>"{}|^`\ — 0x7F and bytes >= 0x80 are deliberately legal,
+    // matching the lexer's historical IsIriChar.
+    if (i > 0x20 && c != '<' && c != '>' && c != '"' && c != '{' &&
+        c != '}' && c != '|' && c != '^' && c != '`' && c != '\\') {
+      bits |= kAsciiIriChar;
+    }
+    if (alpha || digit || c == '-') bits |= kAsciiLangTag;
+    if (name_char || c == '.') bits |= kAsciiBlankLabel;
+    if (c == '%' || c == '+') bits |= kAsciiUrlEscape;
+    t[static_cast<size_t>(i)] = bits;
+  }
+  return t;
+}
+
+inline constexpr std::array<uint16_t, 256> kClassTable = BuildClassTable();
+
+}  // namespace ascii_internal
+
+inline constexpr uint16_t AsciiClassOf(char c) {
+  return ascii_internal::kClassTable[static_cast<unsigned char>(c)];
+}
+
+inline constexpr bool IsAsciiSpace(char c) {
+  return (AsciiClassOf(c) & kAsciiSpace) != 0;
+}
+inline constexpr bool IsAsciiDigit(char c) {
+  return (AsciiClassOf(c) & kAsciiDigit) != 0;
+}
+inline constexpr bool IsAsciiAlpha(char c) {
+  return (AsciiClassOf(c) & kAsciiAlpha) != 0;
+}
+inline constexpr bool IsAsciiAlnum(char c) {
+  return (AsciiClassOf(c) & (kAsciiAlpha | kAsciiDigit)) != 0;
+}
+inline constexpr bool IsAsciiXdigit(char c) {
+  return (AsciiClassOf(c) & kAsciiXdigit) != 0;
+}
+inline constexpr bool IsNameStartChar(char c) {
+  return (AsciiClassOf(c) & kAsciiNameStart) != 0;
+}
+inline constexpr bool IsNameChar(char c) {
+  return (AsciiClassOf(c) & kAsciiNameChar) != 0;
+}
+inline constexpr bool IsIriChar(char c) {
+  return (AsciiClassOf(c) & kAsciiIriChar) != 0;
+}
+
+/// First index >= pos whose class bits do not intersect `mask` (or
+/// s.size()). The scalar reference the SIMD kernels must match.
+inline size_t ScanClassScalar(std::string_view s, size_t pos, uint16_t mask) {
+  while (pos < s.size() && (AsciiClassOf(s[pos]) & mask) != 0) ++pos;
+  return pos;
+}
+
+}  // namespace sparqlog::util
+
+#endif  // SPARQLOG_UTIL_ASCII_H_

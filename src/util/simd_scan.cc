@@ -1,0 +1,315 @@
+#include "util/simd_scan.h"
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+#if SPARQLOG_SIMD_SSE2
+#include <emmintrin.h>
+#endif
+
+namespace sparqlog::util::scan {
+
+// ---------------------------------------------------------------------------
+// Scalar reference variants: table scans plus a SWAR stop-byte search.
+// ---------------------------------------------------------------------------
+
+size_t ScalarNameRun(std::string_view s, size_t pos) {
+  return ScanClassScalar(s, pos, kAsciiNameChar);
+}
+size_t ScalarVarRun(std::string_view s, size_t pos) {
+  return ScanClassScalar(s, pos, kAsciiVarChar);
+}
+size_t ScalarPnLocalRun(std::string_view s, size_t pos) {
+  return ScanClassScalar(s, pos, kAsciiPnLocal);
+}
+size_t ScalarBlankLabelRun(std::string_view s, size_t pos) {
+  return ScanClassScalar(s, pos, kAsciiBlankLabel);
+}
+size_t ScalarLangTagRun(std::string_view s, size_t pos) {
+  return ScanClassScalar(s, pos, kAsciiLangTag);
+}
+size_t ScalarWhitespaceRun(std::string_view s, size_t pos) {
+  return ScanClassScalar(s, pos, kAsciiSpace);
+}
+size_t ScalarIriRun(std::string_view s, size_t pos) {
+  return ScanClassScalar(s, pos, kAsciiIriChar);
+}
+size_t ScalarDigitRun(std::string_view s, size_t pos) {
+  return ScanClassScalar(s, pos, kAsciiDigit);
+}
+
+namespace {
+
+constexpr uint64_t kSwarOnes = 0x0101010101010101ULL;
+constexpr uint64_t kSwarHighs = 0x8080808080808080ULL;
+
+/// High bit of byte i set iff byte i of `word` equals the byte
+/// replicated through `pattern`. False positives can only appear at
+/// positions above a true match (borrow propagation), so the *lowest*
+/// set bit is always a true match on little-endian loads.
+inline uint64_t SwarMatch(uint64_t word, uint64_t pattern) {
+  uint64_t x = word ^ pattern;
+  return (x - kSwarOnes) & ~x & kSwarHighs;
+}
+
+inline uint64_t Broadcast(char c) {
+  return kSwarOnes * static_cast<uint8_t>(c);
+}
+
+constexpr bool kLittleEndian = std::endian::native == std::endian::little;
+
+}  // namespace
+
+size_t ScalarFindStringStop(std::string_view s, size_t pos, char quote,
+                            bool long_quote) {
+  const size_t n = s.size();
+  if constexpr (kLittleEndian) {
+    const uint64_t q = Broadcast(quote);
+    const uint64_t bs = Broadcast('\\');
+    const uint64_t nl = Broadcast('\n');
+    while (pos + 8 <= n) {
+      uint64_t w;
+      std::memcpy(&w, s.data() + pos, 8);
+      uint64_t m = SwarMatch(w, q) | SwarMatch(w, bs);
+      if (!long_quote) m |= SwarMatch(w, nl);
+      if (m != 0) return pos + static_cast<size_t>(std::countr_zero(m)) / 8;
+      pos += 8;
+    }
+  }
+  while (pos < n) {
+    const char c = s[pos];
+    if (c == quote || c == '\\' || (!long_quote && c == '\n')) return pos;
+    ++pos;
+  }
+  return n;
+}
+
+size_t ScalarFindEscape(std::string_view s, size_t pos) {
+  const size_t n = s.size();
+  if constexpr (kLittleEndian) {
+    const uint64_t pct = Broadcast('%');
+    const uint64_t plus = Broadcast('+');
+    while (pos + 8 <= n) {
+      uint64_t w;
+      std::memcpy(&w, s.data() + pos, 8);
+      const uint64_t m = SwarMatch(w, pct) | SwarMatch(w, plus);
+      if (m != 0) return pos + static_cast<size_t>(std::countr_zero(m)) / 8;
+      pos += 8;
+    }
+  }
+  while (pos < n && s[pos] != '%' && s[pos] != '+') ++pos;
+  return pos;
+}
+
+// ---------------------------------------------------------------------------
+// SSE2 variants: 16 bytes per step, classified with arithmetic range
+// and equality checks (no in-register table needed). Every kernel
+// finishes its sub-16-byte tail through the scalar reference, so the
+// two variants agree byte for byte by construction everywhere but the
+// vector body — which the differential fuzz phase pins.
+// ---------------------------------------------------------------------------
+
+#if SPARQLOG_SIMD_SSE2
+
+namespace {
+
+inline __m128i Load16(std::string_view s, size_t pos) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(s.data() + pos));
+}
+
+inline __m128i Eq(__m128i v, char c) {
+  return _mm_cmpeq_epi8(v, _mm_set1_epi8(c));
+}
+
+/// Bytes of `x` (as unsigned) <= k. `x` may come from a wrapping sub.
+inline __m128i LeU8(__m128i x, char k) {
+  return _mm_cmpeq_epi8(_mm_subs_epu8(x, _mm_set1_epi8(k)),
+                        _mm_setzero_si128());
+}
+
+inline __m128i AlphaMask(__m128i v) {
+  const __m128i lower = _mm_or_si128(v, _mm_set1_epi8(0x20));
+  return LeU8(_mm_sub_epi8(lower, _mm_set1_epi8('a')), 25);
+}
+
+inline __m128i DigitMask(__m128i v) {
+  return LeU8(_mm_sub_epi8(v, _mm_set1_epi8('0')), 9);
+}
+
+/// Bytes >= 0x80 (sign bit set).
+inline __m128i HighMask(__m128i v) {
+  return _mm_cmplt_epi8(v, _mm_setzero_si128());
+}
+
+inline __m128i VarCharMask(__m128i v) {
+  return _mm_or_si128(
+      _mm_or_si128(AlphaMask(v), DigitMask(v)),
+      _mm_or_si128(Eq(v, '_'), HighMask(v)));
+}
+
+inline __m128i NameCharMask(__m128i v) {
+  return _mm_or_si128(VarCharMask(v), Eq(v, '-'));
+}
+
+inline __m128i WhitespaceMask(__m128i v) {
+  return _mm_or_si128(Eq(v, ' '),
+                      LeU8(_mm_sub_epi8(v, _mm_set1_epi8(0x09)), 4));
+}
+
+/// Bytes NOT legal inside an IRIREF: <= 0x20 or one of <>"{}|^`\ .
+inline __m128i IriStopMask(__m128i v) {
+  __m128i stop = LeU8(v, 0x20);
+  stop = _mm_or_si128(stop, Eq(v, '<'));
+  stop = _mm_or_si128(stop, Eq(v, '>'));
+  stop = _mm_or_si128(stop, Eq(v, '"'));
+  stop = _mm_or_si128(stop, Eq(v, '{'));
+  stop = _mm_or_si128(stop, Eq(v, '}'));
+  stop = _mm_or_si128(stop, Eq(v, '|'));
+  stop = _mm_or_si128(stop, Eq(v, '^'));
+  stop = _mm_or_si128(stop, Eq(v, '`'));
+  stop = _mm_or_si128(stop, Eq(v, '\\'));
+  return stop;
+}
+
+/// First index past the run of bytes matching `mask_fn`, tail via the
+/// scalar reference.
+template <typename MaskFn, typename Tail>
+inline size_t RunScan(std::string_view s, size_t pos, MaskFn mask_fn,
+                      Tail tail) {
+  const size_t n = s.size();
+  while (pos + 16 <= n) {
+    const int m = _mm_movemask_epi8(mask_fn(Load16(s, pos)));
+    if (m != 0xFFFF) {
+      return pos + static_cast<size_t>(
+                       std::countr_one(static_cast<uint32_t>(m)));
+    }
+    pos += 16;
+  }
+  return tail(s, pos);
+}
+
+/// First index of a byte matching `stop_fn`, tail via the scalar
+/// reference.
+template <typename StopFn, typename Tail>
+inline size_t StopScan(std::string_view s, size_t pos, StopFn stop_fn,
+                       Tail tail) {
+  const size_t n = s.size();
+  while (pos + 16 <= n) {
+    const int m = _mm_movemask_epi8(stop_fn(Load16(s, pos)));
+    if (m != 0) {
+      return pos + static_cast<size_t>(
+                       std::countr_zero(static_cast<uint32_t>(m)));
+    }
+    pos += 16;
+  }
+  return tail(s, pos);
+}
+
+}  // namespace
+
+size_t SimdNameRun(std::string_view s, size_t pos) {
+  return RunScan(s, pos, NameCharMask, ScalarNameRun);
+}
+
+size_t SimdVarRun(std::string_view s, size_t pos) {
+  return RunScan(s, pos, VarCharMask, ScalarVarRun);
+}
+
+size_t SimdPnLocalRun(std::string_view s, size_t pos) {
+  return RunScan(
+      s, pos,
+      [](__m128i v) {
+        return _mm_or_si128(NameCharMask(v),
+                            _mm_or_si128(Eq(v, ':'), Eq(v, '.')));
+      },
+      ScalarPnLocalRun);
+}
+
+size_t SimdBlankLabelRun(std::string_view s, size_t pos) {
+  return RunScan(
+      s, pos,
+      [](__m128i v) { return _mm_or_si128(NameCharMask(v), Eq(v, '.')); },
+      ScalarBlankLabelRun);
+}
+
+size_t SimdLangTagRun(std::string_view s, size_t pos) {
+  return RunScan(
+      s, pos,
+      [](__m128i v) {
+        return _mm_or_si128(_mm_or_si128(AlphaMask(v), DigitMask(v)),
+                            Eq(v, '-'));
+      },
+      ScalarLangTagRun);
+}
+
+size_t SimdWhitespaceRun(std::string_view s, size_t pos) {
+  return RunScan(s, pos, WhitespaceMask, ScalarWhitespaceRun);
+}
+
+size_t SimdIriRun(std::string_view s, size_t pos) {
+  return StopScan(s, pos, IriStopMask, ScalarIriRun);
+}
+
+size_t SimdDigitRun(std::string_view s, size_t pos) {
+  return RunScan(s, pos, DigitMask, ScalarDigitRun);
+}
+
+size_t SimdFindStringStop(std::string_view s, size_t pos, char quote,
+                          bool long_quote) {
+  return StopScan(
+      s, pos,
+      [quote, long_quote](__m128i v) {
+        __m128i stop = _mm_or_si128(Eq(v, quote), Eq(v, '\\'));
+        if (!long_quote) stop = _mm_or_si128(stop, Eq(v, '\n'));
+        return stop;
+      },
+      [quote, long_quote](std::string_view str, size_t p) {
+        return ScalarFindStringStop(str, p, quote, long_quote);
+      });
+}
+
+size_t SimdFindEscape(std::string_view s, size_t pos) {
+  return StopScan(
+      s, pos,
+      [](__m128i v) { return _mm_or_si128(Eq(v, '%'), Eq(v, '+')); },
+      ScalarFindEscape);
+}
+
+#else  // !SPARQLOG_SIMD_SSE2: the vector entry points are the scalars.
+
+size_t SimdNameRun(std::string_view s, size_t pos) {
+  return ScalarNameRun(s, pos);
+}
+size_t SimdVarRun(std::string_view s, size_t pos) {
+  return ScalarVarRun(s, pos);
+}
+size_t SimdPnLocalRun(std::string_view s, size_t pos) {
+  return ScalarPnLocalRun(s, pos);
+}
+size_t SimdBlankLabelRun(std::string_view s, size_t pos) {
+  return ScalarBlankLabelRun(s, pos);
+}
+size_t SimdLangTagRun(std::string_view s, size_t pos) {
+  return ScalarLangTagRun(s, pos);
+}
+size_t SimdWhitespaceRun(std::string_view s, size_t pos) {
+  return ScalarWhitespaceRun(s, pos);
+}
+size_t SimdIriRun(std::string_view s, size_t pos) {
+  return ScalarIriRun(s, pos);
+}
+size_t SimdDigitRun(std::string_view s, size_t pos) {
+  return ScalarDigitRun(s, pos);
+}
+size_t SimdFindStringStop(std::string_view s, size_t pos, char quote,
+                          bool long_quote) {
+  return ScalarFindStringStop(s, pos, quote, long_quote);
+}
+size_t SimdFindEscape(std::string_view s, size_t pos) {
+  return ScalarFindEscape(s, pos);
+}
+
+#endif  // SPARQLOG_SIMD_SSE2
+
+}  // namespace sparqlog::util::scan

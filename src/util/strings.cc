@@ -1,8 +1,10 @@
 #include "util/strings.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
+
+#include "util/ascii.h"
+#include "util/simd_scan.h"
 
 namespace sparqlog::util {
 
@@ -40,8 +42,8 @@ bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix) {
 
 std::string_view StripWhitespace(std::string_view s) {
   size_t b = 0, e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  while (b < e && IsAsciiSpace(s[b])) ++b;
+  while (e > b && IsAsciiSpace(s[e - 1])) --e;
   return s.substr(b, e - b);
 }
 
@@ -83,16 +85,24 @@ int HexValue(char c) {
 
 void PercentDecodeTo(std::string_view s, std::string& out) {
   out.reserve(out.size() + s.size());
-  for (size_t i = 0; i < s.size(); ++i) {
+  size_t i = 0;
+  while (i < s.size()) {
+    // Bulk-copy the span up to the next '%' or '+'; only escapes drop
+    // to byte-at-a-time handling.
+    const size_t esc = scan::FindEscape(s, i);
+    if (esc > i) out.append(s.data() + i, esc - i);
+    if (esc >= s.size()) return;
+    i = esc;
     if (s[i] == '%' && i + 2 < s.size()) {
       int hi = HexValue(s[i + 1]), lo = HexValue(s[i + 2]);
       if (hi >= 0 && lo >= 0) {
         out.push_back(static_cast<char>(hi * 16 + lo));
-        i += 2;
+        i += 3;
         continue;
       }
     }
     out.push_back(s[i] == '+' ? ' ' : s[i]);
+    ++i;
   }
 }
 

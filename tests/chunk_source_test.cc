@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pipeline/chunk_source.h"
+#include "pipeline/pipeline.h"
+#include "testing/invariants.h"
+
+namespace sparqlog::pipeline {
+namespace {
+
+/// Writes `bytes` verbatim to a fresh temp file and returns its path.
+std::filesystem::path WriteTemp(const std::string& bytes) {
+  static int counter = 0;
+  std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("sparqlog_chunk_test_" + std::to_string(::getpid()) + "_" +
+       std::to_string(counter++) + ".log");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  return path;
+}
+
+struct Drained {
+  std::vector<std::string> lines;
+  std::vector<size_t> chunk_sizes;
+  uint64_t bytes = 0;
+};
+
+/// Pulls every chunk out of `source` with the given max_lines bound.
+Drained Drain(ChunkSource& source, size_t max_lines) {
+  Drained d;
+  LineChunk chunk;
+  while (source.NextChunk(max_lines, chunk)) {
+    EXPECT_FALSE(chunk.lines.empty());
+    EXPECT_LE(chunk.lines.size(), max_lines);
+    d.chunk_sizes.push_back(chunk.lines.size());
+    d.bytes += chunk.bytes;
+    for (std::string_view line : chunk.lines) d.lines.emplace_back(line);
+  }
+  return d;
+}
+
+Drained DrainFile(const std::string& bytes, size_t max_lines,
+                  size_t slice_bytes = 0) {
+  const std::filesystem::path path = WriteTemp(bytes);
+  auto source = MmapChunkSource::Open(path.string(),
+                                      MmapChunkSource::Options{slice_bytes});
+  EXPECT_TRUE(source.ok()) << source.status().ToString();
+  Drained d = Drain(*source.value(), max_lines);
+  std::filesystem::remove(path);
+  return d;
+}
+
+TEST(MmapChunkSourceTest, SlicesAtNewlines) {
+  Drained d = DrainFile("alpha\nbeta\ngamma\n", 64);
+  EXPECT_EQ(d.lines, (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  EXPECT_EQ(d.bytes, 14u);  // payload only, newlines excluded
+}
+
+TEST(MmapChunkSourceTest, StripsCarriageReturns) {
+  Drained d = DrainFile("a\r\nbb\r\nccc\r\n", 64);
+  EXPECT_EQ(d.lines, (std::vector<std::string>{"a", "bb", "ccc"}));
+  EXPECT_EQ(d.bytes, 6u);
+}
+
+TEST(MmapChunkSourceTest, PreservesEmptyLines) {
+  Drained d = DrainFile("\n\nx\n\n", 64);
+  EXPECT_EQ(d.lines, (std::vector<std::string>{"", "", "x", ""}));
+}
+
+TEST(MmapChunkSourceTest, EmitsFinalUnterminatedLine) {
+  Drained d = DrainFile("one\ntwo", 64);
+  EXPECT_EQ(d.lines, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(MmapChunkSourceTest, NoPhantomLineAfterTrailingNewline) {
+  // getline parity: "x\n" is one line, not one line plus an empty one.
+  Drained d = DrainFile("x\n", 64);
+  EXPECT_EQ(d.lines, (std::vector<std::string>{"x"}));
+}
+
+TEST(MmapChunkSourceTest, EmptyFileYieldsNoChunks) {
+  Drained d = DrainFile("", 64);
+  EXPECT_TRUE(d.lines.empty());
+  EXPECT_EQ(d.bytes, 0u);
+}
+
+TEST(MmapChunkSourceTest, MaxLinesBoundsEachChunk) {
+  Drained d = DrainFile("a\nb\nc\nd\ne\n", 2);
+  EXPECT_EQ(d.lines, (std::vector<std::string>{"a", "b", "c", "d", "e"}));
+  EXPECT_EQ(d.chunk_sizes, (std::vector<size_t>{2, 2, 1}));
+}
+
+TEST(MmapChunkSourceTest, SliceBudgetSplitsChunks) {
+  // Budget of 4 payload bytes: "aa" + "bb" fill a chunk, then the next.
+  Drained d = DrainFile("aa\nbb\ncc\ndd\n", 64, /*slice_bytes=*/4);
+  EXPECT_EQ(d.lines, (std::vector<std::string>{"aa", "bb", "cc", "dd"}));
+  EXPECT_EQ(d.chunk_sizes, (std::vector<size_t>{2, 2}));
+}
+
+TEST(MmapChunkSourceTest, LineLongerThanSliceBudgetComesOutWhole) {
+  const std::string big(64, 'z');
+  Drained d = DrainFile(big + "\nshort\n", 64, /*slice_bytes=*/8);
+  ASSERT_EQ(d.lines.size(), 2u);
+  EXPECT_EQ(d.lines[0], big);
+  EXPECT_EQ(d.lines[1], "short");
+  // The long line never splits: a chunk holds whole lines only.
+  EXPECT_EQ(d.chunk_sizes, (std::vector<size_t>{1, 1}));
+}
+
+TEST(MmapChunkSourceTest, LineSpansSliceBoundaryIntact) {
+  // With a 5-byte budget the reader's cursor lands mid-line; the line
+  // must still come out whole in the next chunk.
+  Drained d = DrainFile("abc\ndefghij\nkl\n", 64, /*slice_bytes=*/5);
+  EXPECT_EQ(d.lines, (std::vector<std::string>{"abc", "defghij", "kl"}));
+}
+
+TEST(MmapChunkSourceTest, ViewsPointIntoTheMapping) {
+  const std::filesystem::path path = WriteTemp("stable\nmemory\n");
+  auto source = MmapChunkSource::Open(path.string());
+  ASSERT_TRUE(source.ok());
+  LineChunk chunk;
+  ASSERT_TRUE(source.value()->NextChunk(64, chunk));
+  ASSERT_EQ(chunk.lines.size(), 2u);
+  // Zero-copy: no owned storage, views are 7 bytes apart in one buffer.
+  EXPECT_TRUE(chunk.owned.empty());
+  EXPECT_EQ(chunk.lines[1].data() - chunk.lines[0].data(), 7);
+  std::filesystem::remove(path);
+}
+
+TEST(MmapChunkSourceTest, MissingFileIsAnError) {
+  auto source = MmapChunkSource::Open("/nonexistent/sparqlog/nope.log");
+  EXPECT_FALSE(source.ok());
+}
+
+TEST(VectorChunkSourceTest, ViewsAliasCallerStrings) {
+  const std::vector<std::string> lines = {"one", "two", "three"};
+  VectorChunkSource source(lines);
+  Drained d = Drain(source, 2);
+  EXPECT_EQ(d.lines, lines);
+  EXPECT_EQ(d.chunk_sizes, (std::vector<size_t>{2, 1}));
+  VectorChunkSource again(lines);
+  LineChunk chunk;
+  ASSERT_TRUE(again.NextChunk(1, chunk));
+  EXPECT_EQ(chunk.lines[0].data(), lines[0].data());
+}
+
+TEST(LineSourceAdapterTest, CopiesStreamLinesIntoOwnedStorage) {
+  std::istringstream in("first\r\nsecond\nthird");
+  IstreamLineSource stream(in);
+  LineSourceAdapter adapter(stream);
+  Drained d = Drain(adapter, 64);
+  EXPECT_EQ(d.lines, (std::vector<std::string>{"first", "second", "third"}));
+  EXPECT_EQ(d.bytes, 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Source equivalence: vector == mmap == stream, full digest
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> SampleLog() {
+  std::vector<std::string> log;
+  for (int i = 0; i < 40; ++i) {
+    log.push_back("q" + std::to_string(i % 7) +
+                  "\tSELECT ?x WHERE { ?x <p:p" + std::to_string(i % 5) +
+                  "> ?y }");
+    if (i % 9 == 0) log.push_back("");
+    if (i % 11 == 0) log.push_back("not a query at all");
+  }
+  return log;
+}
+
+TEST(SourceEquivalenceTest, AllFramingsAgree) {
+  for (const bool crlf : {false, true}) {
+    for (const bool trailing : {true, false}) {
+      for (const size_t slice : {size_t{0}, size_t{7}, size_t{256}}) {
+        testing::SourceEquivalenceConfig config;
+        config.pipeline.threads = 2;
+        config.pipeline.chunk_size = 8;
+        config.slice_bytes = slice;
+        config.crlf = crlf;
+        config.trailing_newline = trailing;
+        auto v = testing::CheckSourceEquivalence(SampleLog(), config);
+        EXPECT_FALSE(v.has_value())
+            << (v ? v->invariant + ": " + v->detail : "");
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sparqlog::pipeline

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <clocale>
+#include <string>
+
+#include "testing/invariants.h"
+#include "util/ascii.h"
+#include "util/simd_scan.h"
+#include "util/strings.h"
+
+namespace sparqlog::util {
+namespace {
+
+namespace scan = sparqlog::util::scan;
+
+// ---------------------------------------------------------------------------
+// ASCII class table vs the C locale's <cctype>
+// ---------------------------------------------------------------------------
+
+// The table exists to replace std::isspace/isalnum/isxdigit calls whose
+// results depend on the global locale. Pin the table to the "C" locale
+// semantics over all 256 byte values.
+TEST(AsciiTableTest, MatchesCLocaleCtypeForAll256Bytes) {
+  const char* prev = std::setlocale(LC_ALL, nullptr);
+  std::string saved = prev != nullptr ? prev : "C";
+  ASSERT_NE(std::setlocale(LC_ALL, "C"), nullptr);
+  for (int b = 0; b < 256; ++b) {
+    const char c = static_cast<char>(b);
+    const unsigned char u = static_cast<unsigned char>(b);
+    EXPECT_EQ(IsAsciiSpace(c), std::isspace(u) != 0) << "byte " << b;
+    EXPECT_EQ(IsAsciiDigit(c), std::isdigit(u) != 0) << "byte " << b;
+    EXPECT_EQ(IsAsciiAlpha(c), std::isalpha(u) != 0) << "byte " << b;
+    EXPECT_EQ(IsAsciiAlnum(c), std::isalnum(u) != 0) << "byte " << b;
+    EXPECT_EQ(IsAsciiXdigit(c), std::isxdigit(u) != 0) << "byte " << b;
+  }
+  std::setlocale(LC_ALL, saved.c_str());
+}
+
+TEST(AsciiTableTest, LexerClassesMatchHandWrittenPredicates) {
+  for (int b = 0; b < 256; ++b) {
+    const char c = static_cast<char>(b);
+    const unsigned char u = static_cast<unsigned char>(b);
+    // The lexer's historical identifier predicates, byte for byte.
+    const bool name_start = std::isalpha(u) != 0 || c == '_' || u >= 0x80;
+    const bool name_char = name_start || std::isdigit(u) != 0 || c == '-';
+    EXPECT_EQ(IsNameStartChar(c), name_start) << "byte " << b;
+    EXPECT_EQ(IsNameChar(c), name_char) << "byte " << b;
+    const bool iri_char = u > 0x20 && c != '<' && c != '>' && c != '"' &&
+                          c != '{' && c != '}' && c != '|' && c != '^' &&
+                          c != '`' && c != '\\';
+    EXPECT_EQ(IsIriChar(c), iri_char) << "byte " << b;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar vs SIMD at the vector boundaries
+// ---------------------------------------------------------------------------
+
+// A stop byte at positions straddling the 16-byte register width: both
+// implementations must agree at every start offset (CheckScanEquivalence
+// sweeps all primitives, all offsets, plus PercentDecode and the lexer).
+TEST(SimdScanTest, StopBytesAtVectorBoundaries) {
+  for (const char stop : {' ', '.', '%', '+', '"', '\'', '\\', '\n', '<'}) {
+    for (const size_t pos : {0u, 1u, 14u, 15u, 16u, 17u, 30u, 31u, 32u, 33u}) {
+      std::string input(40, 'a');
+      input[pos] = stop;
+      auto v = testing::CheckScanEquivalence(input);
+      EXPECT_FALSE(v.has_value())
+          << "stop '" << static_cast<int>(stop) << "' at " << pos << ": "
+          << (v ? v->detail : "");
+    }
+  }
+}
+
+// Runs ending exactly at 15/16/17 bytes, and inputs shorter than one
+// register, exercise the masked tails.
+TEST(SimdScanTest, RunLengthsAroundRegisterWidth) {
+  for (const size_t len : {0u, 1u, 7u, 15u, 16u, 17u, 31u, 32u, 33u, 47u}) {
+    std::string ident(len, 'x');
+    EXPECT_EQ(scan::NameRun(ident, 0), len) << "len " << len;
+    EXPECT_EQ(scan::SimdNameRun(ident, 0), scan::ScalarNameRun(ident, 0));
+    std::string ws(len, ' ');
+    EXPECT_EQ(scan::WhitespaceRun(ws, 0), len) << "len " << len;
+    auto v = testing::CheckScanEquivalence(ident + "?" + ws);
+    EXPECT_FALSE(v.has_value()) << (v ? v->detail : "");
+  }
+}
+
+TEST(SimdScanTest, HighBytesCountAsIdentifierChars) {
+  std::string input = "pr\xC3\xA9" "fix rest";
+  EXPECT_EQ(scan::NameRun(input, 0), 7u);  // stops at the space
+  auto v = testing::CheckScanEquivalence(input);
+  EXPECT_FALSE(v.has_value()) << (v ? v->detail : "");
+}
+
+TEST(SimdScanTest, FindStringStopRespectsLongQuoteMode) {
+  const std::string body = std::string(20, 'b') + "\nmore\"end";
+  // Short strings stop at the newline; long strings sail past it.
+  EXPECT_EQ(scan::FindStringStop(body, 0, '"', /*long_quote=*/false), 20u);
+  EXPECT_EQ(scan::FindStringStop(body, 0, '"', /*long_quote=*/true), 25u);
+  // The escape byte stops both modes.
+  const std::string esc = std::string(17, 'c') + "\\\"";
+  EXPECT_EQ(scan::FindStringStop(esc, 0, '"', false), 17u);
+  EXPECT_EQ(scan::FindStringStop(esc, 0, '"', true), 17u);
+  // A quote of the other kind is not a stop.
+  EXPECT_EQ(scan::FindStringStop("abc'def\"x", 0, '"', true), 7u);
+}
+
+TEST(SimdScanTest, FindEscapeAtVectorEdges) {
+  for (const char esc : {'%', '+'}) {
+    for (const size_t pos : {0u, 15u, 16u, 17u, 32u}) {
+      std::string input(40, 'u');
+      input[pos] = esc;
+      EXPECT_EQ(scan::FindEscape(input, 0), pos) << esc << " at " << pos;
+      EXPECT_EQ(scan::ScalarFindEscape(input, 0), pos);
+    }
+  }
+  EXPECT_EQ(scan::FindEscape("clean", 0), 5u);
+  EXPECT_EQ(scan::FindEscape("", 0), 0u);
+}
+
+// UrlDecode's fast path memcpy's the clean span found by FindEscape;
+// the observable behavior must stay byte-identical to the slow path.
+TEST(SimdScanTest, UrlDecodeCleanAndEscapedSpans) {
+  EXPECT_EQ(PercentDecode("no-escapes-here"), "no-escapes-here");
+  EXPECT_EQ(PercentDecode("a%20b+c"), "a b c");
+  EXPECT_EQ(PercentDecode("%zz%2"), "%zz%2");  // malformed escapes pass through
+  std::string long_clean(100, 'q');
+  EXPECT_EQ(PercentDecode(long_clean + "%41"), long_clean + "A");
+  auto v = testing::CheckScanEquivalence(long_clean + "%41+%zz%");
+  EXPECT_FALSE(v.has_value()) << (v ? v->detail : "");
+}
+
+}  // namespace
+}  // namespace sparqlog::util
