@@ -48,6 +48,7 @@
 namespace {
 
 using sparqlog::testing::CheckLogLine;
+using sparqlog::testing::CheckLogLineScratch;
 using sparqlog::testing::CheckQuery;
 using sparqlog::testing::CheckQueryText;
 using sparqlog::testing::CheckSerialParallelEquivalence;
@@ -250,6 +251,11 @@ int main(int argc, char** argv) {
     for (int i = 0; i < 56; ++i) {
       pool.push_back(sparqlog::sparql::Serialize(fuzzer.Next()));
     }
+    // One scratch for the whole phase: thousands of sequential
+    // ParseLogLine calls reuse the same arena/token/pname state, with a
+    // deliberately infrequent Reset so epoch recycling is exercised too.
+    // Under ASan/UBSan this is the arena-reuse soak test.
+    sparqlog::corpus::ParseScratch scratch;
     for (long i = 0; i < config.lines; ++i) {
       if (i > 0 && i % 97 == 0) {
         // Refresh only fuzzer-generated slots; the handwritten escape
@@ -268,6 +274,20 @@ int main(int argc, char** argv) {
         Report(config, *v, "log_line", static_cast<int>(i),
                [&parser, invariant](const std::string& candidate) {
                  auto cv = CheckLogLine(parser, candidate);
+                 return cv.has_value() && cv->invariant == invariant;
+               });
+      }
+      if (i % 701 == 0) scratch.Reset();
+      if (auto v = CheckLogLineScratch(parser, line, scratch)) {
+        ++violations;
+        std::string invariant = v->invariant;
+        Report(config, *v, "log_line_scratch", static_cast<int>(i),
+               [&parser, invariant](const std::string& candidate) {
+                 // Fresh scratch per candidate: the shrink predicate
+                 // must be deterministic, not a function of how many
+                 // candidates ran before it.
+                 sparqlog::corpus::ParseScratch fresh;
+                 auto cv = CheckLogLineScratch(parser, candidate, fresh);
                  return cv.has_value() && cv->invariant == invariant;
                });
       }

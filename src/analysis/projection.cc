@@ -52,7 +52,7 @@ ProjectionUse ClassifyProjection(const Query& q) {
       q.where.CollectInScopeVariables(in_scope);
       std::set<std::string> selected;
       for (const sparql::SelectItem& item : q.select_items) {
-        selected.insert(item.var.value);
+        selected.insert(std::string(item.var.value));
       }
       // Projection iff some in-scope variable is not selected.
       for (const std::string& v : in_scope) {

@@ -186,12 +186,12 @@ PathExpr SyntheticLogGenerator::GeneratePath() {
     return atom;
   };
   auto alt_of = [&](int k) {
-    std::vector<PathExpr> links;
+    sparql::AstVector<PathExpr> links;
     for (int i = 0; i < k; ++i) links.push_back(link());
     return PathExpr::Nary(PathKind::kAlt, std::move(links));
   };
   auto seq_of = [&](int k) {
-    std::vector<PathExpr> links;
+    sparql::AstVector<PathExpr> links;
     for (int i = 0; i < k; ++i) links.push_back(link());
     return PathExpr::Nary(PathKind::kSeq, std::move(links));
   };
@@ -249,7 +249,7 @@ PathExpr SyntheticLogGenerator::GeneratePath() {
     case 6: return alt_of(2 + static_cast<int>(rng_.Below(5)));
     case 7: return plus(link());
     case 8: {
-      std::vector<PathExpr> parts;
+      sparql::AstVector<PathExpr> parts;
       int kk = 1 + static_cast<int>(rng_.Below(5));
       for (int i = 0; i < kk; ++i) parts.push_back(opt(link()));
       if (kk == 1) return parts[0];
@@ -258,7 +258,7 @@ PathExpr SyntheticLogGenerator::GeneratePath() {
     case 9:
       return PathExpr::Nary(PathKind::kSeq, {link(), alt_of(2)});
     case 10: {
-      std::vector<PathExpr> parts{link()};
+      sparql::AstVector<PathExpr> parts{link()};
       int kk = 1 + static_cast<int>(rng_.Below(3));
       for (int i = 0; i < kk; ++i) parts.push_back(opt(link()));
       return PathExpr::Nary(PathKind::kSeq, std::move(parts));
@@ -272,7 +272,7 @@ PathExpr SyntheticLogGenerator::GeneratePath() {
     case 13:
       return PathExpr::Nary(PathKind::kSeq, {link(), link(), star(link())});
     case 14: {
-      std::vector<PathExpr> members;
+      sparql::AstVector<PathExpr> members;
       for (int i = 0; i < 2; ++i) {
         members.push_back(PathExpr::Link(profile_.ns + "prop/p" +
                                          std::to_string(rng_.Below(40))));
@@ -309,7 +309,7 @@ Query SyntheticLogGenerator::GenerateQueryOfForm(QueryForm form) {
     q.describe_targets.push_back(Term::Iri(FreshIri("resource")));
     if (!rng_.Chance(profile_.describe_nobody_rate)) {
       q.has_body = true;
-      std::vector<Pattern> children;
+      sparql::AstVector<Pattern> children;
       for (const TriplePattern& t : GenerateTriples(1)) {
         children.push_back(Pattern::Triple(t));
       }
@@ -340,7 +340,7 @@ Query SyntheticLogGenerator::GenerateQueryOfForm(QueryForm form) {
                                            triples[idx].object);
   }
 
-  std::vector<Pattern> children;
+  sparql::AstVector<Pattern> children;
   std::set<std::string> body_vars;
   for (const TriplePattern& t : triples) t.CollectVariables(body_vars);
 
@@ -380,7 +380,7 @@ Query SyntheticLogGenerator::GenerateQueryOfForm(QueryForm form) {
   if (union_standalone) {
     // Replace the body by a two-branch union; each branch holds one of
     // the generated triples (or a fresh one).
-    std::vector<Pattern> left, right;
+    sparql::AstVector<Pattern> left, right;
     if (triples.empty()) {
       for (const TriplePattern& t : GenerateTriples(1)) {
         left.push_back(Pattern::Triple(t));
@@ -405,7 +405,7 @@ Query SyntheticLogGenerator::GenerateQueryOfForm(QueryForm form) {
     }
   }
   if (use_optional) {
-    std::vector<Pattern> opt_children;
+    sparql::AstVector<Pattern> opt_children;
     for (size_t i = optional_from; i < triples.size(); ++i) {
       opt_children.push_back(Pattern::Triple(triples[i]));
     }
@@ -419,7 +419,7 @@ Query SyntheticLogGenerator::GenerateQueryOfForm(QueryForm form) {
           Term::Var("wd_violation"),
           Term::Iri(profile_.ns + "prop/p0"), Term::Var("wd_other"));
       opt_children.push_back(Pattern::Triple(extra));
-      std::vector<Pattern> second_opt;
+      sparql::AstVector<Pattern> second_opt;
       second_opt.push_back(Pattern::Triple(TriplePattern::Make(
           Term::Var("wd_violation"), Term::Iri(profile_.ns + "prop/p1"),
           Term::Var("wd_third"))));
@@ -434,7 +434,7 @@ Query SyntheticLogGenerator::GenerateQueryOfForm(QueryForm form) {
   }
   // Union alongside the base triples ({A, U} style).
   if (use_union && !union_standalone) {
-    std::vector<Pattern> left, right;
+    sparql::AstVector<Pattern> left, right;
     for (const TriplePattern& t : GenerateTriples(1)) {
       left.push_back(Pattern::Triple(t));
     }
@@ -481,7 +481,7 @@ Query SyntheticLogGenerator::GenerateQueryOfForm(QueryForm form) {
 
   // MINUS / BIND / VALUES / SERVICE / subquery.
   if (rng_.Chance(profile_.minus_rate)) {
-    std::vector<Pattern> body;
+    sparql::AstVector<Pattern> body;
     for (const TriplePattern& t : GenerateTriples(1)) {
       body.push_back(Pattern::Triple(t));
     }
@@ -490,7 +490,7 @@ Query SyntheticLogGenerator::GenerateQueryOfForm(QueryForm form) {
   if (rng_.Chance(profile_.not_exists_rate) && !body_vars.empty()) {
     Expr ne;
     ne.kind = ExprKind::kNotExists;
-    std::vector<Pattern> body;
+    sparql::AstVector<Pattern> body;
     for (const TriplePattern& t : GenerateTriples(1)) {
       body.push_back(Pattern::Triple(t));
     }
@@ -516,7 +516,7 @@ Query SyntheticLogGenerator::GenerateQueryOfForm(QueryForm form) {
     Pattern service;
     service.kind = PatternKind::kService;
     service.graph = Term::Iri("http://wikiba.se/ontology#label");
-    std::vector<Pattern> body;
+    sparql::AstVector<Pattern> body;
     for (const TriplePattern& t : GenerateTriples(1)) {
       body.push_back(Pattern::Triple(t));
     }
@@ -530,7 +530,7 @@ Query SyntheticLogGenerator::GenerateQueryOfForm(QueryForm form) {
     item.var = Term::Var("sq");
     sub->select_items.push_back(item);
     sub->has_body = true;
-    std::vector<Pattern> body;
+    sparql::AstVector<Pattern> body;
     body.push_back(Pattern::Triple(TriplePattern::Make(
         Term::Var("sq"), Term::Iri(profile_.ns + "prop/p0"),
         Term::Var("sqo"))));

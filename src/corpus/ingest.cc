@@ -59,11 +59,32 @@ ParsedLine ParseLogLine(sparql::Parser& parser, const std::string& line) {
   return ParseLogLine(parser, std::string_view(line), decode_buf);
 }
 
+ParsedLine ParseLogLine(const sparql::Parser& parser, std::string_view line,
+                        ParseScratch& scratch) {
+  ParsedLine out;
+  std::optional<std::string_view> text =
+      ExtractQueryText(line, scratch.decode_buf);
+  if (!text.has_value()) return out;  // non-query noise
+  out.is_query = true;
+  util::Result<sparql::Query> parsed = parser.Parse(*text, scratch.parser);
+  if (!parsed.ok()) {
+    out.line_hash = HashBytes(line);
+    return out;
+  }
+  out.valid = true;
+  out.canonical_hash = sparql::CanonicalHash(parsed.value());
+  out.query = std::move(parsed).value();
+  return out;
+}
+
 LogIngestor::LogIngestor(sparql::ParserOptions parser_options)
     : parser_(std::move(parser_options)) {}
 
 bool LogIngestor::ProcessLine(const std::string& line) {
-  ParsedLine parsed = ParseLogLine(parser_, std::string_view(line), decode_buf_);
+  // The previous line's Query (if any) died with the last Ingest call —
+  // sinks run synchronously — so its arena storage can be reclaimed.
+  scratch_.Reset();
+  ParsedLine parsed = ParseLogLine(parser_, std::string_view(line), scratch_);
   Ingest(parsed);
   return parsed.is_query;
 }

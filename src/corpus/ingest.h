@@ -85,6 +85,29 @@ ParsedLine ParseLogLine(sparql::Parser& parser, std::string_view line,
 /// escaped line); hot loops should hoist the buffer.
 ParsedLine ParseLogLine(sparql::Parser& parser, const std::string& line);
 
+/// Reusable per-worker ingest scratch: the parser's arena/token/pname
+/// scratch plus the URL-decode buffer. One warm ParseScratch takes the
+/// whole clean-decode-parse-hash path to zero heap allocations per
+/// line. `Reset()` invalidates every Query previously parsed through
+/// the scratch (they live on its arena) — reset only once downstream
+/// consumers are done with them. The pname cache deliberately survives
+/// Reset (cross-line hits are its purpose).
+struct ParseScratch {
+  sparql::ParserScratch parser;
+  std::string decode_buf;
+
+  void Reset() { parser.Reset(); }
+};
+
+/// Arena-pooled variant of ParseLogLine: the returned line's `query`
+/// (when valid) lives on `scratch.parser.arena` until `scratch.Reset()`.
+/// Multiple lines may be parsed into one scratch before resetting (the
+/// pipeline accumulates a whole chunk); copying a Query detaches it
+/// onto the heap. Byte-identical outputs to the heap overload — the
+/// fuzz harness enforces this.
+ParsedLine ParseLogLine(const sparql::Parser& parser, std::string_view line,
+                        ParseScratch& scratch);
+
 /// Callback invoked for every query that survives a pipeline stage.
 using QuerySink = std::function<void(const sparql::Query&)>;
 
@@ -133,8 +156,12 @@ class LogIngestor {
   QuerySink valid_sink_;
   /// Hashes of canonical serializations seen so far.
   std::unordered_set<uint64_t> seen_hashes_;
-  /// Reused URL-decode scratch for ProcessLine/ProcessLog.
-  std::string decode_buf_;
+  /// Reused parse scratch for ProcessLine/ProcessLog: arena-pooled AST
+  /// storage, recycled token buffer, pname cache, URL-decode buffer.
+  /// Reset at each ProcessLine entry — safe because Ingest calls its
+  /// sinks synchronously, so nothing references the previous line's
+  /// Query by then.
+  ParseScratch scratch_;
   /// Optional metrics registry; not owned.
   obs::RunTelemetry* telemetry_ = nullptr;
 };

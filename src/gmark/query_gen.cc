@@ -73,7 +73,7 @@ sparql::Query BuildSparql(const Schema& schema,
       q.select_items.push_back(item);
     }
   }
-  std::vector<Pattern> children;
+  sparql::AstVector<Pattern> children;
   children.reserve(triples.size());
   for (const TriplePattern& t : triples) {
     children.push_back(Pattern::Triple(t));
@@ -260,7 +260,7 @@ std::optional<store::BgpQuery> CompileForEngine(
     store::BgpPattern bp;
     auto position = [&](const Term& t) -> std::optional<int64_t> {
       if (t.is_variable()) {
-        auto it = var_ids.find(t.value);
+        auto it = var_ids.find(std::string(t.value));
         if (it != var_ids.end()) return it->second;
         int64_t id = out.AddVar();
         var_ids.emplace(t.value, id);

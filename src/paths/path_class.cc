@@ -17,7 +17,7 @@ bool IsAtom(const PathExpr& p) {
   return false;
 }
 
-bool AllAtoms(const std::vector<PathExpr>& children) {
+bool AllAtoms(const sparql::AstVector<PathExpr>& children) {
   for (const PathExpr& c : children) {
     if (!IsAtom(c)) return false;
   }

@@ -1,5 +1,6 @@
 #include "pipeline/chunk_source.h"
 
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <utility>
@@ -44,12 +45,15 @@ Result<std::unique_ptr<MmapChunkSource>> MmapChunkSource::Open(
 #if SPARQLOG_HAVE_MMAP
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
-    return Status::NotFound("mmap source: cannot open '" + path + "'");
+    return Status::NotFound("mmap source: cannot open '" + path +
+                            "': " + std::strerror(errno));
   }
   struct stat st;
   if (::fstat(fd, &st) != 0) {
+    const int err = errno;
     ::close(fd);
-    return Status::Internal("mmap source: fstat failed for '" + path + "'");
+    return Status::Internal("mmap source: fstat failed for '" + path +
+                            "': " + std::strerror(err));
   }
   if (!S_ISREG(st.st_mode)) {
     ::close(fd);
@@ -58,11 +62,15 @@ Result<std::unique_ptr<MmapChunkSource>> MmapChunkSource::Open(
   }
   const size_t size = static_cast<size_t>(st.st_size);
   const char* data = nullptr;
+  // An empty file is a valid (zero-line) source: mmap(len=0) is EINVAL
+  // on Linux, so it must be skipped, not treated as a failure.
   if (size > 0) {
     void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
     if (map == MAP_FAILED) {
+      const int err = errno;
       ::close(fd);
-      return Status::Internal("mmap source: mmap failed for '" + path + "'");
+      return Status::Internal("mmap source: mmap failed for '" + path +
+                              "': " + std::strerror(err));
     }
 #if defined(MADV_SEQUENTIAL)
     ::madvise(map, size, MADV_SEQUENTIAL);

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -52,7 +53,44 @@ struct NumberedChunk {
 /// Routed batch: the entries of one chunk bound for one shard.
 struct ShardBatch {
   uint64_t chunk = 0;
+  /// Keeps the chunk's parse scratch (whose arena owns every Query in
+  /// `entries`) alive until the last shard is done consuming. The
+  /// shared_ptr's deleter resets the scratch and returns it to the
+  /// worker pool. Declared before `entries` deliberately: members are
+  /// destroyed in reverse declaration order, and the entries' Query
+  /// destructors call deallocate on the scratch's arena — the arena
+  /// must still exist (and must not be reset) while they run.
+  std::shared_ptr<corpus::ParseScratch> keepalive;
   std::vector<corpus::ParsedLine> entries;
+};
+
+/// Mutex-guarded free list of parse scratches. Workers take one per
+/// chunk; the ShardBatch keepalive returns it (reset) once every shard
+/// has consumed the chunk's entries. Steady state: a handful of warm
+/// scratches cycling with zero heap traffic.
+class ScratchPool {
+ public:
+  std::shared_ptr<corpus::ParseScratch> Acquire() {
+    std::unique_ptr<corpus::ParseScratch> s;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        s = std::move(free_.back());
+        free_.pop_back();
+      }
+    }
+    if (!s) s = std::make_unique<corpus::ParseScratch>();
+    return std::shared_ptr<corpus::ParseScratch>(
+        s.release(), [this](corpus::ParseScratch* p) {
+          p->Reset();
+          std::lock_guard<std::mutex> lock(mu_);
+          free_.emplace_back(p);
+        });
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<corpus::ParseScratch>> free_;
 };
 
 }  // namespace
@@ -93,6 +131,9 @@ PipelineResult ParallelLogPipeline::Run(ChunkSource& source) {
   }
 
   using Batch = std::vector<corpus::ParsedLine>;
+  // Shared scratch pool: declared before the queues/threads so it
+  // outlives every in-flight ShardBatch keepalive.
+  ScratchPool scratch_pool;
   BoundedQueue<NumberedChunk> chunk_queue(capacity);
   std::vector<std::unique_ptr<BoundedQueue<ShardBatch>>> shard_queues;
   shard_queues.reserve(num_shards);
@@ -156,15 +197,19 @@ PipelineResult ParallelLogPipeline::Run(ChunkSource& source) {
       sparql::Parser parser(options_.parser_options);
       uint64_t local_lines = 0;
       std::vector<Batch> buckets(num_shards);
-      std::string decode_buf;  // per-worker URL-decode scratch
       while (std::optional<NumberedChunk> chunk = chunk_queue.Pop()) {
         uint64_t t0 = obs::NowNsIf(rt != nullptr);
         local_lines += chunk->data.lines.size();
         uint64_t routed = 0, malformed = 0;
         for (Batch& b : buckets) b.clear();
+        // One scratch per chunk: every line's AST lands on its arena,
+        // and the ShardBatch keepalives below return it (reset) to the
+        // pool once the last shard finishes with this chunk.
+        std::shared_ptr<corpus::ParseScratch> scratch =
+            scratch_pool.Acquire();
         for (std::string_view line : chunk->data.lines) {
           corpus::ParsedLine parsed =
-              corpus::ParseLogLine(parser, line, decode_buf);
+              corpus::ParseLogLine(parser, line, *scratch);
           if (!parsed.is_query) continue;  // noise: dropped, not routed
           size_t idx = ShardIndexFor(parsed, num_shards);
           if constexpr (obs::kTelemetryEnabled) {
@@ -191,7 +236,8 @@ PipelineResult ParallelLogPipeline::Run(ChunkSource& source) {
         }
         for (size_t i = 0; i < num_shards; ++i) {
           if (buckets[i].empty()) continue;
-          shard_queues[i]->Push(ShardBatch{chunk->id, std::move(buckets[i])});
+          shard_queues[i]->Push(
+              ShardBatch{chunk->id, scratch, std::move(buckets[i])});
           buckets[i] = Batch();
         }
       }

@@ -4,34 +4,34 @@
 
 namespace sparqlog::rdf {
 
-Term Term::Iri(std::string v) {
-  Term t;
+Term Term::Iri(std::string_view v, std::pmr::memory_resource* mr) {
+  Term t(mr);
   t.kind = TermKind::kIri;
-  t.value = std::move(v);
+  t.value = v;
   return t;
 }
 
-Term Term::Literal(std::string lexical, std::string datatype,
-                   std::string lang) {
-  Term t;
+Term Term::Literal(std::string_view lexical, std::string_view datatype,
+                   std::string_view lang, std::pmr::memory_resource* mr) {
+  Term t(mr);
   t.kind = TermKind::kLiteral;
-  t.value = std::move(lexical);
-  t.datatype = std::move(datatype);
-  t.lang = std::move(lang);
+  t.value = lexical;
+  t.datatype = datatype;
+  t.lang = lang;
   return t;
 }
 
-Term Term::Blank(std::string label) {
-  Term t;
+Term Term::Blank(std::string_view label, std::pmr::memory_resource* mr) {
+  Term t(mr);
   t.kind = TermKind::kBlank;
-  t.value = std::move(label);
+  t.value = label;
   return t;
 }
 
-Term Term::Var(std::string name) {
-  Term t;
+Term Term::Var(std::string_view name, std::pmr::memory_resource* mr) {
+  Term t(mr);
   t.kind = TermKind::kVariable;
-  t.value = std::move(name);
+  t.value = name;
   return t;
 }
 
@@ -41,7 +41,7 @@ bool Term::operator<(const Term& o) const {
 }
 
 namespace {
-std::string EscapeLiteral(const std::string& s) {
+std::string EscapeLiteral(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 2);
   for (char c : s) {
@@ -60,21 +60,30 @@ std::string EscapeLiteral(const std::string& s) {
 
 std::string Term::ToString() const {
   switch (kind) {
-    case TermKind::kIri:
-      return "<" + value + ">";
+    case TermKind::kIri: {
+      std::string out;
+      out.reserve(value.size() + 2);
+      out.push_back('<');
+      out.append(value);
+      out.push_back('>');
+      return out;
+    }
     case TermKind::kLiteral: {
       std::string out = "\"" + EscapeLiteral(value) + "\"";
       if (!lang.empty()) {
-        out += "@" + lang;
+        out.push_back('@');
+        out.append(lang);
       } else if (!datatype.empty()) {
-        out += "^^<" + datatype + ">";
+        out.append("^^<");
+        out.append(datatype);
+        out.push_back('>');
       }
       return out;
     }
     case TermKind::kBlank:
-      return "_:" + value;
+      return "_:" + std::string(value);
     case TermKind::kVariable:
-      return "?" + value;
+      return "?" + std::string(value);
   }
   return "";
 }

@@ -1,9 +1,19 @@
 #ifndef SPARQLOG_RDF_TERM_H_
 #define SPARQLOG_RDF_TERM_H_
 
+#include <memory_resource>
 #include <string>
+#include <string_view>
 
 namespace sparqlog::rdf {
+
+/// Storage type for term payloads. Polymorphic-allocator strings let the
+/// parser place every payload in an epoch-reset arena (zero heap
+/// allocations on the hot path) while plain `Term t;` keeps working on
+/// the default heap resource. Copy construction always lands on the
+/// default resource (`select_on_container_copy_construction`), so
+/// copying an arena-built term detaches it from the arena.
+using TermString = std::pmr::string;
 
 /// The kind of an RDF/SPARQL term.
 ///
@@ -17,22 +27,35 @@ enum class TermKind {
 };
 
 /// A single RDF/SPARQL term. Value type; cheap to copy for typical
-/// query-sized strings.
+/// query-sized strings. Construct with a memory_resource to place the
+/// payload strings in an arena; the default constructor uses the heap.
 struct Term {
   TermKind kind = TermKind::kIri;
   /// IRI string, literal lexical form, blank node label, or variable name
   /// (without the leading '?').
-  std::string value;
+  TermString value;
   /// For literals only: datatype IRI ("" if none).
-  std::string datatype;
+  TermString datatype;
   /// For literals only: language tag ("" if none).
-  std::string lang;
+  TermString lang;
 
-  static Term Iri(std::string v);
-  static Term Literal(std::string lexical, std::string datatype = "",
-                      std::string lang = "");
-  static Term Blank(std::string label);
-  static Term Var(std::string name);
+  Term() = default;
+  explicit Term(std::pmr::memory_resource* mr)
+      : value(mr), datatype(mr), lang(mr) {}
+
+  static Term Iri(std::string_view v,
+                  std::pmr::memory_resource* mr =
+                      std::pmr::get_default_resource());
+  static Term Literal(std::string_view lexical, std::string_view datatype = {},
+                      std::string_view lang = {},
+                      std::pmr::memory_resource* mr =
+                          std::pmr::get_default_resource());
+  static Term Blank(std::string_view label,
+                    std::pmr::memory_resource* mr =
+                        std::pmr::get_default_resource());
+  static Term Var(std::string_view name,
+                  std::pmr::memory_resource* mr =
+                      std::pmr::get_default_resource());
 
   bool is_iri() const { return kind == TermKind::kIri; }
   bool is_literal() const { return kind == TermKind::kLiteral; }

@@ -2,26 +2,42 @@
 
 namespace sparqlog::sparql {
 
+namespace {
+// Factories build their result on the same memory_resource as their
+// arguments, so arena-built sub-trees compose into arena-built parents
+// (moves stay pointer steals; nothing silently deep-copies to the heap).
+// pmr containers keep their allocator even when moved-from, so reading
+// it off any argument member is always safe.
+std::pmr::memory_resource* ResOf(const AstString& s) {
+  return s.get_allocator().resource();
+}
+std::pmr::memory_resource* ResOf(const Term& t) { return ResOf(t.value); }
+template <typename T>
+std::pmr::memory_resource* ResOf(const AstVector<T>& v) {
+  return v.get_allocator().resource();
+}
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // PathExpr
 // ---------------------------------------------------------------------------
 
-PathExpr PathExpr::Link(std::string iri) {
-  PathExpr p;
+PathExpr PathExpr::Link(std::string_view iri, std::pmr::memory_resource* mr) {
+  PathExpr p(mr);
   p.kind = PathKind::kLink;
-  p.iri = std::move(iri);
+  p.iri = iri;
   return p;
 }
 
 PathExpr PathExpr::Unary(PathKind k, PathExpr child) {
-  PathExpr p;
+  PathExpr p(ResOf(child.iri));
   p.kind = k;
   p.children.push_back(std::move(child));
   return p;
 }
 
-PathExpr PathExpr::Nary(PathKind k, std::vector<PathExpr> children) {
-  PathExpr p;
+PathExpr PathExpr::Nary(PathKind k, AstVector<PathExpr> children) {
+  PathExpr p(ResOf(children));
   p.kind = k;
   p.children = std::move(children);
   return p;
@@ -63,7 +79,7 @@ std::string PathChildString(const PathExpr& parent, const PathExpr& child) {
 std::string PathExpr::ToString() const {
   switch (kind) {
     case PathKind::kLink:
-      return "<" + iri + ">";
+      return "<" + std::string(iri) + ">";
     case PathKind::kInverse:
       return "^" + PathChildString(*this, children[0]);
     case PathKind::kNegated: {
@@ -98,29 +114,53 @@ std::string PathExpr::ToString() const {
 // Expr
 // ---------------------------------------------------------------------------
 
+Expr::Expr(const Expr& o)
+    : kind(o.kind),
+      term(o.term),
+      op(o.op),
+      distinct(o.distinct),
+      star(o.star),
+      separator(o.separator),
+      args(o.args),
+      pattern(o.pattern ? std::make_shared<Pattern>(*o.pattern) : nullptr) {}
+
+Expr& Expr::operator=(const Expr& o) {
+  if (this != &o) {
+    kind = o.kind;
+    term = o.term;
+    op = o.op;
+    distinct = o.distinct;
+    star = o.star;
+    separator = o.separator;
+    args = o.args;
+    pattern = o.pattern ? std::make_shared<Pattern>(*o.pattern) : nullptr;
+  }
+  return *this;
+}
+
 Expr Expr::MakeTerm(Term t) {
-  Expr e;
+  Expr e(ResOf(t));
   e.kind = ExprKind::kTerm;
   e.term = std::move(t);
   return e;
 }
 
-Expr Expr::MakeVar(const std::string& name) {
-  return MakeTerm(Term::Var(name));
+Expr Expr::MakeVar(std::string_view name, std::pmr::memory_resource* mr) {
+  return MakeTerm(Term::Var(name, mr));
 }
 
-Expr Expr::Call(std::string name, std::vector<Expr> args) {
-  Expr e;
+Expr Expr::Call(std::string_view name, AstVector<Expr> args) {
+  Expr e(ResOf(args));
   e.kind = ExprKind::kFunction;
-  e.op = std::move(name);
+  e.op = name;
   e.args = std::move(args);
   return e;
 }
 
-Expr Expr::Binary(ExprKind k, std::string op, Expr lhs, Expr rhs) {
-  Expr e;
+Expr Expr::Binary(ExprKind k, std::string_view op, Expr lhs, Expr rhs) {
+  Expr e(ResOf(lhs.args));
   e.kind = k;
-  e.op = std::move(op);
+  e.op = op;
   e.args.push_back(std::move(lhs));
   e.args.push_back(std::move(rhs));
   return e;
@@ -128,7 +168,7 @@ Expr Expr::Binary(ExprKind k, std::string op, Expr lhs, Expr rhs) {
 
 void Expr::CollectVariables(std::set<std::string>& out) const {
   if (kind == ExprKind::kTerm) {
-    if (term.is_variable()) out.insert(term.value);
+    if (term.is_variable()) out.insert(std::string(term.value));
     return;
   }
   for (const Expr& a : args) a.CollectVariables(out);
@@ -140,7 +180,7 @@ void Expr::CollectVariables(std::set<std::string>& out) const {
 // ---------------------------------------------------------------------------
 
 TriplePattern TriplePattern::Make(Term s, Term p, Term o) {
-  TriplePattern tp;
+  TriplePattern tp(ResOf(s));
   tp.subject = std::move(s);
   tp.predicate = std::move(p);
   tp.object = std::move(o);
@@ -148,7 +188,7 @@ TriplePattern TriplePattern::Make(Term s, Term p, Term o) {
 }
 
 TriplePattern TriplePattern::MakePath(Term s, PathExpr path, Term o) {
-  TriplePattern tp;
+  TriplePattern tp(ResOf(s));
   tp.subject = std::move(s);
   tp.has_path = true;
   tp.path = std::move(path);
@@ -157,59 +197,89 @@ TriplePattern TriplePattern::MakePath(Term s, PathExpr path, Term o) {
 }
 
 void TriplePattern::CollectVariables(std::set<std::string>& out) const {
-  if (subject.is_variable()) out.insert(subject.value);
-  if (!has_path && predicate.is_variable()) out.insert(predicate.value);
-  if (object.is_variable()) out.insert(object.value);
+  if (subject.is_variable()) out.insert(std::string(subject.value));
+  if (!has_path && predicate.is_variable()) {
+    out.insert(std::string(predicate.value));
+  }
+  if (object.is_variable()) out.insert(std::string(object.value));
 }
 
 // ---------------------------------------------------------------------------
 // Pattern
 // ---------------------------------------------------------------------------
 
-Pattern Pattern::Group(std::vector<Pattern> children) {
-  Pattern p;
+Pattern::Pattern(const Pattern& o)
+    : kind(o.kind),
+      triple(o.triple),
+      children(o.children),
+      expr(o.expr),
+      var(o.var),
+      graph(o.graph),
+      silent(o.silent),
+      values_vars(o.values_vars),
+      values_rows(o.values_rows),
+      subquery(o.subquery ? std::make_shared<Query>(*o.subquery) : nullptr) {}
+
+Pattern& Pattern::operator=(const Pattern& o) {
+  if (this != &o) {
+    kind = o.kind;
+    triple = o.triple;
+    children = o.children;
+    expr = o.expr;
+    var = o.var;
+    graph = o.graph;
+    silent = o.silent;
+    values_vars = o.values_vars;
+    values_rows = o.values_rows;
+    subquery = o.subquery ? std::make_shared<Query>(*o.subquery) : nullptr;
+  }
+  return *this;
+}
+
+Pattern Pattern::Group(AstVector<Pattern> children) {
+  Pattern p(ResOf(children));
   p.kind = PatternKind::kGroup;
   p.children = std::move(children);
   return p;
 }
 
 Pattern Pattern::Triple(TriplePattern tp) {
-  Pattern p;
+  Pattern p(ResOf(tp.subject));
   p.kind = PatternKind::kTriple;
   p.triple = std::move(tp);
   return p;
 }
 
 Pattern Pattern::Filter(Expr e) {
-  Pattern p;
+  Pattern p(ResOf(e.args));
   p.kind = PatternKind::kFilter;
   p.expr = std::move(e);
   return p;
 }
 
-Pattern Pattern::Union(std::vector<Pattern> branches) {
-  Pattern p;
+Pattern Pattern::Union(AstVector<Pattern> branches) {
+  Pattern p(ResOf(branches));
   p.kind = PatternKind::kUnion;
   p.children = std::move(branches);
   return p;
 }
 
 Pattern Pattern::Optional(Pattern body) {
-  Pattern p;
+  Pattern p(ResOf(body.children));
   p.kind = PatternKind::kOptional;
   p.children.push_back(std::move(body));
   return p;
 }
 
 Pattern Pattern::Minus(Pattern body) {
-  Pattern p;
+  Pattern p(ResOf(body.children));
   p.kind = PatternKind::kMinus;
   p.children.push_back(std::move(body));
   return p;
 }
 
 Pattern Pattern::Graph(Term iv, Pattern body) {
-  Pattern p;
+  Pattern p(ResOf(iv));
   p.kind = PatternKind::kGraph;
   p.graph = std::move(iv);
   p.children.push_back(std::move(body));
@@ -226,16 +296,16 @@ void Pattern::CollectVariables(std::set<std::string>& out) const {
       return;
     case PatternKind::kBind:
       expr.CollectVariables(out);
-      if (var.is_variable()) out.insert(var.value);
+      if (var.is_variable()) out.insert(std::string(var.value));
       return;
     case PatternKind::kValues:
       for (const Term& v : values_vars) {
-        if (v.is_variable()) out.insert(v.value);
+        if (v.is_variable()) out.insert(std::string(v.value));
       }
       return;
     case PatternKind::kGraph:
     case PatternKind::kService:
-      if (graph.is_variable()) out.insert(graph.value);
+      if (graph.is_variable()) out.insert(std::string(graph.value));
       break;
     case PatternKind::kSubSelect:
       if (subquery && subquery->has_body) {
@@ -267,18 +337,18 @@ void Pattern::CollectInScopeVariables(std::set<std::string>& out) const {
     case PatternKind::kFilter:
       return;  // FILTER does not bind variables.
     case PatternKind::kBind:
-      if (var.is_variable()) out.insert(var.value);
+      if (var.is_variable()) out.insert(std::string(var.value));
       return;
     case PatternKind::kValues:
       for (const Term& v : values_vars) {
-        if (v.is_variable()) out.insert(v.value);
+        if (v.is_variable()) out.insert(std::string(v.value));
       }
       return;
     case PatternKind::kMinus:
       return;  // MINUS does not expose bindings.
     case PatternKind::kGraph:
     case PatternKind::kService:
-      if (graph.is_variable()) out.insert(graph.value);
+      if (graph.is_variable()) out.insert(std::string(graph.value));
       break;
     case PatternKind::kSubSelect:
       if (subquery) {
@@ -286,7 +356,7 @@ void Pattern::CollectInScopeVariables(std::set<std::string>& out) const {
           subquery->where.CollectInScopeVariables(out);
         } else {
           for (const SelectItem& item : subquery->select_items) {
-            out.insert(item.var.value);
+            out.insert(std::string(item.var.value));
           }
         }
       }

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "rdf/term.h"
@@ -13,6 +15,24 @@
 namespace sparqlog::sparql {
 
 using rdf::Term;
+
+/// AST node storage types. Every string and child vector in the AST is
+/// allocator-aware: the parser's hot path constructs whole queries on an
+/// epoch-reset arena (`util::ArenaResource`, zero heap allocations once
+/// warm), while default-constructed nodes — tests, the query generator,
+/// the fuzzer — land on the heap exactly as before.
+///
+/// Memory discipline (see DESIGN.md "Parser memory discipline"):
+///  * Nodes composed into one tree must share one memory_resource; the
+///    `explicit X(memory_resource*)` constructors plus the factory
+///    functions (which inherit the resource of their arguments) keep
+///    this true by construction.
+///  * Moves steal storage and keep the source's resource.
+///  * Copies always land on the default (heap) resource — copying an
+///    arena-built AST yields an independent, arena-free deep copy.
+using AstString = std::pmr::string;
+template <typename T>
+using AstVector = std::pmr::vector<T>;
 
 // ---------------------------------------------------------------------------
 // Property paths (SPARQL 1.1). A property path is a regular expression over
@@ -34,14 +54,19 @@ enum class PathKind {
 struct PathExpr {
   PathKind kind = PathKind::kLink;
   /// IRI for kLink nodes.
-  std::string iri;
+  AstString iri;
   /// Sub-expressions: 1 for unary kinds, >= 2 for kSeq/kAlt, and the
   /// (kLink/kInverse) members of a kNegated set.
-  std::vector<PathExpr> children;
+  AstVector<PathExpr> children;
 
-  static PathExpr Link(std::string iri);
+  PathExpr() = default;
+  explicit PathExpr(std::pmr::memory_resource* mr) : iri(mr), children(mr) {}
+
+  static PathExpr Link(std::string_view iri,
+                       std::pmr::memory_resource* mr =
+                           std::pmr::get_default_resource());
   static PathExpr Unary(PathKind k, PathExpr child);
-  static PathExpr Nary(PathKind k, std::vector<PathExpr> children);
+  static PathExpr Nary(PathKind k, AstVector<PathExpr> children);
 
   /// True iff the path is a bare IRI (then the triple pattern it occurs in
   /// is an ordinary triple).
@@ -83,22 +108,36 @@ struct Expr {
   Term term;
   /// Operator symbol (kCompare/kArith) or (upper-cased) function or
   /// aggregate name (kFunction/kAggregate).
-  std::string op;
+  AstString op;
   /// DISTINCT inside an aggregate, e.g. COUNT(DISTINCT ?x).
   bool distinct = false;
   /// COUNT(*).
   bool star = false;
   /// SEPARATOR for GROUP_CONCAT ("" if absent).
-  std::string separator;
-  std::vector<Expr> args;
+  AstString separator;
+  AstVector<Expr> args;
   /// Pattern argument of kExists/kNotExists. shared_ptr keeps Expr
-  /// copyable despite the recursive type.
+  /// copyable despite the recursive type; the copy path deep-copies it
+  /// so no two Exprs ever share a payload.
   std::shared_ptr<Pattern> pattern;
 
+  Expr() = default;
+  explicit Expr(std::pmr::memory_resource* mr)
+      : term(mr), op(mr), separator(mr), args(mr) {}
+  /// Deep copy: clones the EXISTS pattern payload instead of aliasing
+  /// it, so mutating a copied expression never edits the original.
+  Expr(const Expr& o);
+  Expr& operator=(const Expr& o);
+  Expr(Expr&&) noexcept = default;
+  Expr& operator=(Expr&&) = default;
+  ~Expr() = default;
+
   static Expr MakeTerm(Term t);
-  static Expr MakeVar(const std::string& name);
-  static Expr Call(std::string name, std::vector<Expr> args);
-  static Expr Binary(ExprKind k, std::string op, Expr lhs, Expr rhs);
+  static Expr MakeVar(std::string_view name,
+                      std::pmr::memory_resource* mr =
+                          std::pmr::get_default_resource());
+  static Expr Call(std::string_view name, AstVector<Expr> args);
+  static Expr Binary(ExprKind k, std::string_view op, Expr lhs, Expr rhs);
 
   bool is_variable() const {
     return kind == ExprKind::kTerm && term.is_variable();
@@ -121,6 +160,10 @@ struct TriplePattern {
   Term predicate;
   PathExpr path;  ///< Valid iff has_path.
   Term object;
+
+  TriplePattern() = default;
+  explicit TriplePattern(std::pmr::memory_resource* mr)
+      : subject(mr), predicate(mr), path(mr), object(mr) {}
 
   static TriplePattern Make(Term s, Term p, Term o);
   static TriplePattern MakePath(Term s, PathExpr path, Term o);
@@ -159,7 +202,7 @@ struct Pattern {
   TriplePattern triple;
   /// Children: group members, union branches, or the single body of
   /// optional/minus/graph/service.
-  std::vector<Pattern> children;
+  AstVector<Pattern> children;
   /// kFilter constraint or kBind source expression.
   Expr expr;
   /// kBind target variable.
@@ -168,15 +211,34 @@ struct Pattern {
   Term graph;
   bool silent = false;  ///< SERVICE SILENT.
   /// kValues payload.
-  std::vector<Term> values_vars;
-  std::vector<std::vector<std::optional<Term>>> values_rows;
-  /// kSubSelect payload; shared_ptr keeps Pattern copyable.
+  AstVector<Term> values_vars;
+  AstVector<AstVector<std::optional<Term>>> values_rows;
+  /// kSubSelect payload; shared_ptr keeps Pattern copyable. The copy
+  /// path deep-copies it so no two Patterns ever share a subquery.
   std::shared_ptr<Query> subquery;
 
-  static Pattern Group(std::vector<Pattern> children);
+  Pattern() = default;
+  explicit Pattern(std::pmr::memory_resource* mr)
+      : triple(mr),
+        children(mr),
+        expr(mr),
+        var(mr),
+        graph(mr),
+        values_vars(mr),
+        values_rows(mr) {}
+  /// Deep copy: clones the subquery payload instead of aliasing it, so
+  /// mutating a copied pattern (e.g. the AST shrinker) never edits the
+  /// original.
+  Pattern(const Pattern& o);
+  Pattern& operator=(const Pattern& o);
+  Pattern(Pattern&&) noexcept = default;
+  Pattern& operator=(Pattern&&) = default;
+  ~Pattern() = default;
+
+  static Pattern Group(AstVector<Pattern> children);
   static Pattern Triple(TriplePattern tp);
   static Pattern Filter(Expr e);
-  static Pattern Union(std::vector<Pattern> branches);
+  static Pattern Union(AstVector<Pattern> branches);
   static Pattern Optional(Pattern body);
   static Pattern Minus(Pattern body);
   static Pattern Graph(Term iv, Pattern body);
@@ -206,24 +268,36 @@ enum class QueryForm { kSelect, kAsk, kConstruct, kDescribe };
 struct OrderCondition {
   bool descending = false;
   Expr expr;
+
+  OrderCondition() = default;
+  explicit OrderCondition(std::pmr::memory_resource* mr) : expr(mr) {}
 };
 
 /// One SELECT projection item: a plain variable or `(expr AS ?var)`.
 struct SelectItem {
   Term var;
   std::optional<Expr> expr;
+
+  SelectItem() = default;
+  explicit SelectItem(std::pmr::memory_resource* mr) : var(mr) {}
 };
 
 /// One GROUP BY condition: an expression, optionally bound `AS ?var`.
 struct GroupCondition {
   Expr expr;
   std::optional<Term> as_var;
+
+  GroupCondition() = default;
+  explicit GroupCondition(std::pmr::memory_resource* mr) : expr(mr) {}
 };
 
 /// One FROM / FROM NAMED dataset clause.
 struct DatasetClause {
   bool named = false;
-  std::string iri;
+  AstString iri;
+
+  DatasetClause() = default;
+  explicit DatasetClause(std::pmr::memory_resource* mr) : iri(mr) {}
 };
 
 /// A parsed SPARQL query: (query-type, pattern, solution-modifier) as in
@@ -232,19 +306,19 @@ struct Query {
   QueryForm form = QueryForm::kSelect;
 
   // Prologue.
-  std::string base;
-  std::vector<std::pair<std::string, std::string>> prefixes;
+  AstString base;
+  AstVector<std::pair<AstString, AstString>> prefixes;
 
   // Projection (Select) / template (Construct) / targets (Describe).
   bool distinct = false;
   bool reduced = false;
   bool select_star = false;
-  std::vector<SelectItem> select_items;
-  std::vector<TriplePattern> construct_template;
-  std::vector<Term> describe_targets;  ///< empty with describe_all for `*`.
+  AstVector<SelectItem> select_items;
+  AstVector<TriplePattern> construct_template;
+  AstVector<Term> describe_targets;  ///< empty with describe_all for `*`.
   bool describe_all = false;
 
-  std::vector<DatasetClause> dataset;
+  AstVector<DatasetClause> dataset;
 
   /// Whether the query has a WHERE clause (Describe queries may not; the
   /// paper: 4.47% of the corpus has no body).
@@ -252,14 +326,27 @@ struct Query {
   Pattern where;  ///< Root group; valid iff has_body.
 
   // Solution modifiers.
-  std::vector<GroupCondition> group_by;
-  std::vector<Expr> having;
-  std::vector<OrderCondition> order_by;
+  AstVector<GroupCondition> group_by;
+  AstVector<Expr> having;
+  AstVector<OrderCondition> order_by;
   std::optional<uint64_t> limit;
   std::optional<uint64_t> offset;
 
   /// Trailing VALUES clause, if any.
   std::optional<Pattern> trailing_values;
+
+  Query() = default;
+  explicit Query(std::pmr::memory_resource* mr)
+      : base(mr),
+        prefixes(mr),
+        select_items(mr),
+        construct_template(mr),
+        describe_targets(mr),
+        dataset(mr),
+        where(mr),
+        group_by(mr),
+        having(mr),
+        order_by(mr) {}
 
   /// All variables appearing in the body.
   std::set<std::string> BodyVariables() const;

@@ -464,14 +464,31 @@ Result<Token> Lexer::LexLangTag() {
 }
 
 Result<TokenStream> Lexer::Tokenize(std::string_view input) {
-  Lexer lexer(input);
   TokenStream out;
+  Status s = TokenizeInto(input, out);
+  if (!s.ok()) return s;
+  return out;
+}
+
+Status Lexer::TokenizeInto(std::string_view input, TokenStream& out) {
+  Lexer lexer(input);
+  // Recycle the previous run's side buffer: clearing a deque keeps its
+  // block map, so repeated escaped-string inputs stop allocating.
+  lexer.owned_ = std::move(out.owned_);
+  if (lexer.owned_) lexer.owned_->clear();
+  out.tokens_.clear();
   // ~6 bytes/token on typical query text; one growth step at most for
   // the common case instead of log2(n) doublings.
-  out.tokens_.reserve(input.size() / 6 + 2);
+  if (out.tokens_.capacity() < input.size() / 6 + 2) {
+    out.tokens_.reserve(input.size() / 6 + 2);
+  }
   for (;;) {
     Result<Token> tok = lexer.Next();
-    if (!tok.ok()) return tok.status();
+    if (!tok.ok()) {
+      out.tokens_.clear();
+      out.owned_ = std::move(lexer.owned_);  // keep storage for next call
+      return tok.status();
+    }
     bool eof = tok.value().Is(TokenType::kEof);
     out.tokens_.push_back(tok.value());
     if (eof) break;
@@ -479,7 +496,7 @@ Result<TokenStream> Lexer::Tokenize(std::string_view input) {
   // Moving a deque transfers its buffers, so token views into `owned_`
   // stay valid inside the returned stream.
   out.owned_ = std::move(lexer.owned_);
-  return out;
+  return Status::OK();
 }
 
 }  // namespace sparqlog::sparql

@@ -64,6 +64,12 @@ class Lexer {
   /// the stream's own side buffer.
   static util::Result<TokenStream> Tokenize(std::string_view input);
 
+  /// Allocation-reusing variant of Tokenize: refills `out` in place,
+  /// recycling its token vector capacity and side-buffer storage from a
+  /// previous run. On error `out` is left empty. All views previously
+  /// handed out by `out` are invalidated either way.
+  static util::Status TokenizeInto(std::string_view input, TokenStream& out);
+
  private:
   void SkipWhitespaceAndComments();
   bool AtEnd() const { return pos_ >= input_.size(); }

@@ -1,6 +1,7 @@
 #include "sparql/parser.h"
 
 #include <charconv>
+#include <memory>
 
 #include "sparql/lexer.h"
 #include "util/strings.h"
@@ -25,15 +26,23 @@ constexpr char kXsdBoolean[] = "http://www.w3.org/2001/XMLSchema#boolean";
 
 /// The stateful single-pass parser over a token stream. Token values
 /// are views into the input text / token stream, both of which outlive
-/// the parse; the parser materializes them into owned strings exactly
-/// once, at AST-construction sites.
+/// the parse; the parser materializes them exactly once, at
+/// AST-construction sites, onto `mr_` — the caller's arena on the
+/// scratch path, the default heap resource otherwise. Every node is
+/// constructed with `mr_` from birth, so moves between nodes stay
+/// pointer steals and nothing silently re-copies.
 class Impl {
  public:
-  Impl(const TokenStream& tokens, const ParserOptions& options)
-      : tokens_(tokens.tokens()), options_(options) {}
+  Impl(const TokenStream& tokens, const ParserOptions& options,
+       std::pmr::memory_resource* mr, util::StringInterner* pname_cache)
+      : tokens_(tokens.tokens()),
+        options_(options),
+        mr_(mr),
+        pname_cache_(pname_cache),
+        local_prefixes_(mr) {}
 
   Result<Query> ParseQueryUnit() {
-    Query q;
+    Query q(mr_);
     if (auto s = ParsePrologue(q); !s.ok()) return s;
     const Token& t = Cur();
     if (!t.Is(TokenType::kIdent)) {
@@ -124,6 +133,8 @@ class Impl {
            IsKeyword("ASC") || IsKeyword("DESC");
   }
 
+  /// "genN" stays within SSO for any realistic counter, so the returned
+  /// string never heap-allocates.
   std::string FreshBlank() { return "gen" + std::to_string(blank_counter_++); }
 
   /// Integer-token value -> uint64_t (the lexer guarantees digits only,
@@ -149,16 +160,18 @@ class Impl {
         if (!Is(TokenType::kPName)) {
           return Err("expected prefix name after PREFIX");
         }
-        std::string pname(Cur().value);
+        std::string_view pname = Cur().value;
         Bump();
         if (pname.empty() || pname.back() != ':') {
-          return Err("bad prefix declaration '" + pname + "'");
+          return Err("bad prefix declaration '" + std::string(pname) + "'");
         }
-        pname.pop_back();
+        pname.remove_suffix(1);
         if (!Is(TokenType::kIriRef)) {
           return Err("expected IRI in PREFIX declaration");
         }
-        prefixes_[pname] = Cur().value;
+        // Token values outlive the parse, so the lookup table can hold
+        // views; a later re-declaration wins (reverse lookup order).
+        local_prefixes_.emplace_back(pname, Cur().value);
         q.prefixes.emplace_back(pname, Cur().value);
         Bump();
       } else {
@@ -167,31 +180,50 @@ class Impl {
     }
   }
 
-  Result<std::string> ExpandPName(std::string_view pname) const {
+  Result<AstString> ExpandPName(std::string_view pname) const {
+    // Cross-line cache: sound only when this query declares no local
+    // prefixes (then the expansion depends solely on the parser
+    // options, which are fixed per scratch).
+    const bool cacheable = pname_cache_ != nullptr && local_prefixes_.empty();
+    if (cacheable) {
+      if (const std::string_view* hit = pname_cache_->Find(pname)) {
+        return AstString(*hit, mr_);
+      }
+    }
     size_t colon = pname.find(':');
     std::string_view prefix = pname.substr(0, colon);
     std::string_view local = pname.substr(colon + 1);
-    const std::string* base = nullptr;
-    if (auto it = prefixes_.find(prefix); it != prefixes_.end()) {
-      base = &it->second;
-    } else if (auto dit = options_.default_prefixes.find(prefix);
-               dit != options_.default_prefixes.end()) {
-      base = &dit->second;
+    std::string_view base;
+    bool found = false;
+    for (auto it = local_prefixes_.rbegin(); it != local_prefixes_.rend();
+         ++it) {
+      if (it->first == prefix) {
+        base = it->second;
+        found = true;
+        break;
+      }
     }
-    if (base != nullptr) {
-      std::string full;
-      full.reserve(base->size() + local.size());
-      full.append(*base).append(local);
-      return full;
+    if (!found) {
+      if (auto dit = options_.default_prefixes.find(prefix);
+          dit != options_.default_prefixes.end()) {
+        base = dit->second;
+        found = true;
+      }
     }
-    if (options_.allow_unknown_prefixes) {
-      std::string placeholder("urn:prefix:");
-      placeholder.append(pname);
-      return placeholder;
+    AstString full(mr_);
+    if (found) {
+      full.reserve(base.size() + local.size());
+      full.append(base).append(local);
+    } else if (options_.allow_unknown_prefixes) {
+      full.reserve(11 + pname.size());
+      full.append("urn:prefix:").append(pname);
+    } else {
+      std::string msg("undeclared prefix '");
+      msg.append(prefix).append(":'");
+      return Status::InvalidArgument(std::move(msg));
     }
-    std::string msg("undeclared prefix '");
-    msg.append(prefix).append(":'");
-    return Status::InvalidArgument(std::move(msg));
+    if (cacheable) pname_cache_->Insert(pname, full);
+    return full;
   }
 
   // --- Query forms ----------------------------------------------------------
@@ -218,8 +250,8 @@ class Impl {
     bool any = false;
     for (;;) {
       if (Is(TokenType::kVar)) {
-        SelectItem item;
-        item.var = Term::Var(Cur().str());
+        SelectItem item(mr_);
+        item.var = Term::Var(Cur().value, mr_);
         Bump();
         q.select_items.push_back(std::move(item));
         any = true;
@@ -229,8 +261,8 @@ class Impl {
         if (!e.ok()) return e.status();
         if (!AcceptKeyword("AS")) return Err("expected AS in SELECT (... )");
         if (!Is(TokenType::kVar)) return Err("expected variable after AS");
-        SelectItem item;
-        item.var = Term::Var(Cur().str());
+        SelectItem item(mr_);
+        item.var = Term::Var(Cur().value, mr_);
         item.expr = std::move(e).value();
         Bump();
         if (auto s = Expect(TokenType::kRParen, "SELECT item"); !s.ok()) {
@@ -282,11 +314,14 @@ class Impl {
     if (auto s = Expect(TokenType::kRBrace, "CONSTRUCT WHERE"); !s.ok()) {
       return s;
     }
-    // The template doubles as the pattern.
-    std::vector<Pattern> children;
+    // The template doubles as the pattern. Copy-assign into
+    // mr_-constructed triples: the copies stay on the parse resource.
+    AstVector<Pattern> children(mr_);
     children.reserve(q.construct_template.size());
     for (const TriplePattern& tp : q.construct_template) {
-      children.push_back(Pattern::Triple(tp));
+      TriplePattern copy(mr_);
+      copy = tp;
+      children.push_back(Pattern::Triple(std::move(copy)));
     }
     q.has_body = true;
     q.where = Pattern::Group(std::move(children));
@@ -302,7 +337,7 @@ class Impl {
       bool any = false;
       for (;;) {
         if (Is(TokenType::kVar)) {
-          q.describe_targets.push_back(Term::Var(Cur().str()));
+          q.describe_targets.push_back(Term::Var(Cur().value, mr_));
           Bump();
           any = true;
         } else if (Is(TokenType::kIriRef) || Is(TokenType::kPName)) {
@@ -325,7 +360,7 @@ class Impl {
 
   Status ParseDatasetClauses(Query& q) {
     while (AcceptKeyword("FROM")) {
-      DatasetClause dc;
+      DatasetClause dc(mr_);
       dc.named = AcceptKeyword("NAMED");
       Result<Term> iri = ParseIri();
       if (!iri.ok()) return iri.status();
@@ -351,9 +386,9 @@ class Impl {
       if (!AcceptKeyword("BY")) return Err("expected BY after GROUP");
       bool any = false;
       for (;;) {
-        GroupCondition gc;
+        GroupCondition gc(mr_);
         if (Is(TokenType::kVar)) {
-          gc.expr = Expr::MakeVar(Cur().str());
+          gc.expr = Expr::MakeVar(Cur().value, mr_);
           Bump();
         } else if (Is(TokenType::kLParen)) {
           Bump();
@@ -362,7 +397,7 @@ class Impl {
           gc.expr = std::move(e).value();
           if (AcceptKeyword("AS")) {
             if (!Is(TokenType::kVar)) return Err("expected variable after AS");
-            gc.as_var = Term::Var(Cur().str());
+            gc.as_var = Term::Var(Cur().value, mr_);
             Bump();
           }
           if (auto s = Expect(TokenType::kRParen, "GROUP BY"); !s.ok()) {
@@ -401,7 +436,7 @@ class Impl {
       if (!AcceptKeyword("BY")) return Err("expected BY after ORDER");
       bool any = false;
       for (;;) {
-        OrderCondition oc;
+        OrderCondition oc(mr_);
         if (AcceptKeyword("ASC") || AcceptKeyword("DESC")) {
           oc.descending = EqualsIgnoreCase(tokens_[idx_ - 1].value, "DESC");
           if (!Is(TokenType::kLParen)) return Err("expected ( after ASC/DESC");
@@ -413,7 +448,7 @@ class Impl {
             return s;
           }
         } else if (Is(TokenType::kVar)) {
-          oc.expr = Expr::MakeVar(Cur().str());
+          oc.expr = Expr::MakeVar(Cur().value, mr_);
           Bump();
         } else if (Is(TokenType::kLParen) ||
                    (Is(TokenType::kIdent) && !AtModifierKeyword() &&
@@ -458,7 +493,7 @@ class Impl {
       if (auto s = Expect(TokenType::kRBrace, "subquery"); !s.ok()) return s;
       return sub;
     }
-    std::vector<Pattern> children;
+    AstVector<Pattern> children(mr_);
     if (auto s = ParseTriplesBlock(children); !s.ok()) return s;
     while (!Is(TokenType::kRBrace)) {
       if (Is(TokenType::kEof)) return Err("unterminated group graph pattern");
@@ -492,7 +527,7 @@ class Impl {
         if (!iv.ok()) return iv.status();
         Result<Pattern> body = ParseGroupGraphPattern();
         if (!body.ok()) return body;
-        Pattern p;
+        Pattern p(mr_);
         p.kind = PatternKind::kService;
         p.graph = std::move(iv).value();
         p.silent = silent;
@@ -505,10 +540,10 @@ class Impl {
         if (!e.ok()) return e.status();
         if (!AcceptKeyword("AS")) return Err("expected AS in BIND");
         if (!Is(TokenType::kVar)) return Err("expected variable in BIND");
-        Pattern p;
+        Pattern p(mr_);
         p.kind = PatternKind::kBind;
         p.expr = std::move(e).value();
-        p.var = Term::Var(Cur().str());
+        p.var = Term::Var(Cur().value, mr_);
         Bump();
         if (auto s = Expect(TokenType::kRParen, "BIND"); !s.ok()) return s;
         children.push_back(std::move(p));
@@ -535,7 +570,7 @@ class Impl {
     Result<Pattern> first = ParseGroupGraphPattern();
     if (!first.ok()) return first;
     if (!IsKeyword("UNION")) return first;
-    std::vector<Pattern> branches;
+    AstVector<Pattern> branches(mr_);
     branches.push_back(std::move(first).value());
     while (AcceptKeyword("UNION")) {
       Result<Pattern> next = ParseGroupGraphPattern();
@@ -546,7 +581,11 @@ class Impl {
   }
 
   Result<Pattern> ParseSubSelect() {
-    auto sub = std::make_shared<Query>();
+    // allocate_shared keeps the control block and the subquery on the
+    // parse resource: the scratch path stays heap-free, the heap path
+    // is unchanged (the default resource is operator new).
+    auto sub = std::allocate_shared<Query>(
+        std::pmr::polymorphic_allocator<Query>(mr_), mr_);
     // Inherit the outer prologue; subqueries cannot re-declare prefixes.
     if (auto s = ParseSelectClause(*sub); !s.ok()) return s;
     if (auto s = ParseWhereClause(*sub); !s.ok()) return s;
@@ -557,7 +596,7 @@ class Impl {
       sub->trailing_values = std::move(values).value();
     }
     sub->form = QueryForm::kSelect;
-    Pattern p;
+    Pattern p(mr_);
     p.kind = PatternKind::kSubSelect;
     p.subquery = std::move(sub);
     return p;
@@ -565,16 +604,16 @@ class Impl {
 
   Result<Pattern> ParseInlineData() {
     Bump();  // VALUES
-    Pattern p;
+    Pattern p(mr_);
     p.kind = PatternKind::kValues;
     bool multi = false;
     if (Is(TokenType::kVar)) {
-      p.values_vars.push_back(Term::Var(Cur().str()));
+      p.values_vars.push_back(Term::Var(Cur().value, mr_));
       Bump();
     } else if (Accept(TokenType::kLParen)) {
       multi = true;
       while (Is(TokenType::kVar)) {
-        p.values_vars.push_back(Term::Var(Cur().str()));
+        p.values_vars.push_back(Term::Var(Cur().value, mr_));
         Bump();
       }
       if (auto s = Expect(TokenType::kRParen, "VALUES vars"); !s.ok()) {
@@ -586,7 +625,7 @@ class Impl {
     if (auto s = Expect(TokenType::kLBrace, "VALUES data"); !s.ok()) return s;
     while (!Is(TokenType::kRBrace)) {
       if (Is(TokenType::kEof)) return Err("unterminated VALUES block");
-      std::vector<std::optional<Term>> row;
+      AstVector<std::optional<Term>> row(mr_);
       if (multi) {
         if (auto s = Expect(TokenType::kLParen, "VALUES row"); !s.ok()) {
           return s;
@@ -640,7 +679,7 @@ class Impl {
     }
   }
 
-  Status ParseTriplesBlock(std::vector<Pattern>& out) {
+  Status ParseTriplesBlock(AstVector<Pattern>& out) {
     while (StartsTriple()) {
       if (auto s = ParseTriplesSameSubject(out); !s.ok()) return s;
       if (!Accept(TokenType::kDot)) break;
@@ -648,8 +687,8 @@ class Impl {
     return Status::OK();
   }
 
-  Status ParseTriplesTemplate(std::vector<TriplePattern>& out) {
-    std::vector<Pattern> tmp;
+  Status ParseTriplesTemplate(AstVector<TriplePattern>& out) {
+    AstVector<Pattern> tmp(mr_);
     if (auto s = ParseTriplesBlock(tmp); !s.ok()) return s;
     for (Pattern& p : tmp) {
       if (p.kind == PatternKind::kTriple) {
@@ -662,7 +701,7 @@ class Impl {
     return Status::OK();
   }
 
-  Status ParseTriplesSameSubject(std::vector<Pattern>& out) {
+  Status ParseTriplesSameSubject(AstVector<Pattern>& out) {
     Result<Term> subject = ParseVarOrTermOrNode(out);
     if (!subject.ok()) return subject.status();
     // A bare blank-node property list `[ ... ]` may omit the property list.
@@ -689,33 +728,37 @@ class Impl {
     }
   }
 
-  Status ParsePropertyList(const Term& subject, std::vector<Pattern>& out) {
+  Status ParsePropertyList(const Term& subject, AstVector<Pattern>& out) {
     for (;;) {
       // Verb: variable or property path (a bare IRI is a trivial path).
       bool is_var_verb = Is(TokenType::kVar);
-      Term var_verb;
-      PathExpr path;
+      Term var_verb(mr_);
+      PathExpr path(mr_);
       if (is_var_verb) {
-        var_verb = Term::Var(Cur().str());
+        var_verb = Term::Var(Cur().value, mr_);
         Bump();
       } else {
         Result<PathExpr> p = ParsePath();
         if (!p.ok()) return p.status();
         path = std::move(p).value();
       }
-      // Object list.
+      // Object list. The subject and verb are shared across the list,
+      // so copy-assign them into mr_-constructed triples (keeps the
+      // copies on the parse resource).
       for (;;) {
         Result<Term> object = ParseVarOrTermOrNode(out);
         if (!object.ok()) return object.status();
-        TriplePattern tp;
+        TriplePattern tp(mr_);
+        tp.subject = subject;
         if (is_var_verb) {
-          tp = TriplePattern::Make(subject, var_verb, object.value());
+          tp.predicate = var_verb;
         } else if (path.IsSimpleLink()) {
-          tp = TriplePattern::Make(subject, Term::Iri(path.iri),
-                                   object.value());
+          tp.predicate = Term::Iri(path.iri, mr_);
         } else {
-          tp = TriplePattern::MakePath(subject, path, object.value());
+          tp.has_path = true;
+          tp.path = path;
         }
+        tp.object = std::move(object).value();
         out.push_back(Pattern::Triple(std::move(tp)));
         if (!Accept(TokenType::kComma)) break;
       }
@@ -730,16 +773,16 @@ class Impl {
   /// Parses a subject/object position: a variable, a graph term, a
   /// blank-node property list, or an RDF collection. Emits auxiliary
   /// triples for the latter two into `out`.
-  Result<Term> ParseVarOrTermOrNode(std::vector<Pattern>& out) {
+  Result<Term> ParseVarOrTermOrNode(AstVector<Pattern>& out) {
     last_node_had_props_ = false;
     if (Is(TokenType::kVar)) {
-      Term t = Term::Var(Cur().str());
+      Term t = Term::Var(Cur().value, mr_);
       Bump();
       return t;
     }
     if (Is(TokenType::kLBracket)) {
       Bump();
-      Term blank = Term::Blank(FreshBlank());
+      Term blank = Term::Blank(FreshBlank(), mr_);
       if (Accept(TokenType::kRBracket)) {
         return blank;  // ANON
       }
@@ -754,8 +797,8 @@ class Impl {
     if (Is(TokenType::kLParen)) {
       // RDF collection: ( e1 e2 ... ) desugars to a first/rest list.
       Bump();
-      if (Accept(TokenType::kRParen)) return Term::Iri(kRdfNil);
-      std::vector<Term> elements;
+      if (Accept(TokenType::kRParen)) return Term::Iri(kRdfNil, mr_);
+      AstVector<Term> elements(mr_);
       while (!Is(TokenType::kRParen)) {
         if (Is(TokenType::kEof)) return Err("unterminated collection");
         Result<Term> e = ParseVarOrTermOrNode(out);
@@ -763,16 +806,22 @@ class Impl {
         elements.push_back(std::move(e).value());
       }
       Bump();  // ')'
-      Term head = Term::Blank(FreshBlank());
-      Term cur = head;
+      Term head = Term::Blank(FreshBlank(), mr_);
+      Term cur = head;  // blank labels are SSO-small; copying is free
       for (size_t i = 0; i < elements.size(); ++i) {
-        out.push_back(Pattern::Triple(
-            TriplePattern::Make(cur, Term::Iri(kRdfFirst), elements[i])));
-        Term next = (i + 1 == elements.size()) ? Term::Iri(kRdfNil)
-                                               : Term::Blank(FreshBlank());
-        out.push_back(Pattern::Triple(
-            TriplePattern::Make(cur, Term::Iri(kRdfRest), next)));
-        cur = next;
+        TriplePattern first(mr_);
+        first.subject = cur;
+        first.predicate = Term::Iri(kRdfFirst, mr_);
+        first.object = std::move(elements[i]);
+        out.push_back(Pattern::Triple(std::move(first)));
+        Term next = (i + 1 == elements.size()) ? Term::Iri(kRdfNil, mr_)
+                                               : Term::Blank(FreshBlank(), mr_);
+        TriplePattern rest(mr_);
+        rest.subject = cur;
+        rest.predicate = Term::Iri(kRdfRest, mr_);
+        rest.object = next;
+        out.push_back(Pattern::Triple(std::move(rest)));
+        cur = std::move(next);
       }
       last_node_had_props_ = true;
       return head;
@@ -786,7 +835,7 @@ class Impl {
       case TokenType::kPName:
         return ParseIri();
       case TokenType::kBlankLabel: {
-        Term t = Term::Blank(Cur().str());
+        Term t = Term::Blank(Cur().value, mr_);
         Bump();
         return t;
       }
@@ -801,7 +850,9 @@ class Impl {
       case TokenType::kIdent:
         if (EqualsIgnoreCase(Cur().value, "true") ||
             EqualsIgnoreCase(Cur().value, "false")) {
-          Term t = Term::Literal(util::AsciiLower(Cur().value), kXsdBoolean);
+          Term t =
+              Term::Literal(util::AsciiLower(Cur().value), kXsdBoolean, {},
+                            mr_);
           Bump();
           return t;
         }
@@ -817,19 +868,21 @@ class Impl {
   }
 
   Result<Term> ParseRdfLiteral() {
-    std::string lexical(Cur().value);
+    // Token storage outlives the parse; views suffice until the Term
+    // factory copies onto mr_.
+    std::string_view lexical = Cur().value;
     Bump();
     if (Is(TokenType::kLangTag)) {
-      Term t = Term::Literal(std::move(lexical), "", Cur().str());
+      Term t = Term::Literal(lexical, {}, Cur().value, mr_);
       Bump();
       return t;
     }
     if (Accept(TokenType::kCaretCaret)) {
       Result<Term> dt = ParseIri();
       if (!dt.ok()) return dt;
-      return Term::Literal(std::move(lexical), dt.value().value);
+      return Term::Literal(lexical, dt.value().value, {}, mr_);
     }
-    return Term::Literal(std::move(lexical));
+    return Term::Literal(lexical, {}, {}, mr_);
   }
 
   Result<Term> ParseNumericLiteral() {
@@ -847,31 +900,35 @@ class Impl {
       default:
         return Err("expected numeric literal");
     }
-    std::string lexical;
-    lexical.reserve(Cur().value.size() + 1);
-    if (negative) lexical.push_back('-');
-    lexical.append(Cur().value);
-    Term t = Term::Literal(std::move(lexical), datatype);
+    Term t(mr_);
+    t.kind = rdf::TermKind::kLiteral;
+    t.value.reserve(Cur().value.size() + 1);
+    if (negative) t.value.push_back('-');
+    t.value.append(Cur().value);
+    t.datatype = datatype;
     Bump();
     return t;
   }
 
   Result<Term> ParseIri() {
     if (Is(TokenType::kIriRef)) {
-      std::string iri(Cur().value);
-      Bump();
       // Resolve against BASE if relative; a pragmatic check suffices here.
-      return Term::Iri(std::move(iri));
+      Term t = Term::Iri(Cur().value, mr_);
+      Bump();
+      return t;
     }
     if (Is(TokenType::kPName)) {
-      Result<std::string> full = ExpandPName(Cur().value);
+      Result<AstString> full = ExpandPName(Cur().value);
       if (!full.ok()) return full.status();
       Bump();
-      return Term::Iri(std::move(full).value());
+      Term t(mr_);
+      t.kind = rdf::TermKind::kIri;
+      t.value = std::move(full).value();
+      return t;
     }
     if (IsKeyword("a")) {
       Bump();
-      return Term::Iri(kRdfType);
+      return Term::Iri(kRdfType, mr_);
     }
     return Err(std::string("expected IRI, found ") +
                TokenTypeName(Cur().type));
@@ -879,7 +936,7 @@ class Impl {
 
   Result<Term> ParseVarOrIri() {
     if (Is(TokenType::kVar)) {
-      Term t = Term::Var(Cur().str());
+      Term t = Term::Var(Cur().value, mr_);
       Bump();
       return t;
     }
@@ -894,7 +951,7 @@ class Impl {
     Result<PathExpr> first = ParsePathSequence();
     if (!first.ok()) return first;
     if (!Is(TokenType::kPipe)) return first;
-    std::vector<PathExpr> children;
+    AstVector<PathExpr> children(mr_);
     children.push_back(std::move(first).value());
     while (Accept(TokenType::kPipe)) {
       Result<PathExpr> next = ParsePathSequence();
@@ -908,7 +965,7 @@ class Impl {
     Result<PathExpr> first = ParsePathEltOrInverse();
     if (!first.ok()) return first;
     if (!Is(TokenType::kSlash)) return first;
-    std::vector<PathExpr> children;
+    AstVector<PathExpr> children(mr_);
     children.push_back(std::move(first).value());
     while (Accept(TokenType::kSlash)) {
       Result<PathExpr> next = ParsePathEltOrInverse();
@@ -957,16 +1014,16 @@ class Impl {
     }
     Result<Term> iri = ParseIri();
     if (!iri.ok()) return iri.status();
-    return PathExpr::Link(iri.value().value);
+    return PathExpr::Link(iri.value().value, mr_);
   }
 
   Result<PathExpr> ParsePathNegatedPropertySet() {
-    std::vector<PathExpr> members;
+    AstVector<PathExpr> members(mr_);
     auto parse_one = [&]() -> Status {
       bool inverse = Accept(TokenType::kCaret);
       Result<Term> iri = ParseIri();
       if (!iri.ok()) return iri.status();
-      PathExpr link = PathExpr::Link(iri.value().value);
+      PathExpr link = PathExpr::Link(iri.value().value, mr_);
       members.push_back(inverse ? PathExpr::Unary(PathKind::kInverse,
                                                   std::move(link))
                                 : std::move(link));
@@ -1011,7 +1068,7 @@ class Impl {
     Result<Expr> first = ParseAndExpression();
     if (!first.ok()) return first;
     if (!Is(TokenType::kOrOr)) return first;
-    Expr e;
+    Expr e(mr_);
     e.kind = ExprKind::kOr;
     e.args.push_back(std::move(first).value());
     while (Accept(TokenType::kOrOr)) {
@@ -1026,7 +1083,7 @@ class Impl {
     Result<Expr> first = ParseRelationalExpression();
     if (!first.ok()) return first;
     if (!Is(TokenType::kAndAnd)) return first;
-    Expr e;
+    Expr e(mr_);
     e.kind = ExprKind::kAnd;
     e.args.push_back(std::move(first).value());
     while (Accept(TokenType::kAndAnd)) {
@@ -1063,7 +1120,7 @@ class Impl {
       negated = true;
     }
     if (AcceptKeyword("IN")) {
-      Expr e;
+      Expr e(mr_);
       e.kind = negated ? ExprKind::kNotIn : ExprKind::kIn;
       e.args.push_back(std::move(lhs).value());
       if (auto s = Expect(TokenType::kLParen, "IN list"); !s.ok()) return s;
@@ -1127,7 +1184,7 @@ class Impl {
     if (Accept(TokenType::kBang)) {
       Result<Expr> inner = ParseUnaryExpression();
       if (!inner.ok()) return inner;
-      Expr e;
+      Expr e(mr_);
       e.kind = ExprKind::kNot;
       e.args.push_back(std::move(inner).value());
       return e;
@@ -1135,7 +1192,7 @@ class Impl {
     if (Accept(TokenType::kMinus)) {
       Result<Expr> inner = ParseUnaryExpression();
       if (!inner.ok()) return inner;
-      Expr e;
+      Expr e(mr_);
       e.kind = ExprKind::kUnaryMinus;
       e.args.push_back(std::move(inner).value());
       return e;
@@ -1143,7 +1200,7 @@ class Impl {
     if (Accept(TokenType::kPlus)) {
       Result<Expr> inner = ParseUnaryExpression();
       if (!inner.ok()) return inner;
-      Expr e;
+      Expr e(mr_);
       e.kind = ExprKind::kUnaryPlus;
       e.args.push_back(std::move(inner).value());
       return e;
@@ -1171,7 +1228,7 @@ class Impl {
       return e;
     }
     if (Is(TokenType::kVar)) {
-      Expr e = Expr::MakeVar(Cur().str());
+      Expr e = Expr::MakeVar(Cur().value, mr_);
       Bump();
       return e;
     }
@@ -1192,15 +1249,17 @@ class Impl {
       if (EqualsIgnoreCase(name, "true") || EqualsIgnoreCase(name, "false")) {
         Bump();
         return Expr::MakeTerm(
-            Term::Literal(util::AsciiLower(name), kXsdBoolean));
+            Term::Literal(util::AsciiLower(name), kXsdBoolean, {}, mr_));
       }
       if (EqualsIgnoreCase(name, "EXISTS")) {
         Bump();
         Result<Pattern> p = ParseGroupGraphPattern();
         if (!p.ok()) return p.status();
-        Expr e;
+        Expr e(mr_);
         e.kind = ExprKind::kExists;
-        e.pattern = std::make_shared<Pattern>(std::move(p).value());
+        e.pattern = std::allocate_shared<Pattern>(
+            std::pmr::polymorphic_allocator<Pattern>(mr_),
+            std::move(p).value());
         return e;
       }
       if (EqualsIgnoreCase(name, "NOT") &&
@@ -1209,9 +1268,11 @@ class Impl {
         Bump();
         Result<Pattern> p = ParseGroupGraphPattern();
         if (!p.ok()) return p.status();
-        Expr e;
+        Expr e(mr_);
         e.kind = ExprKind::kNotExists;
-        e.pattern = std::make_shared<Pattern>(std::move(p).value());
+        e.pattern = std::allocate_shared<Pattern>(
+            std::pmr::polymorphic_allocator<Pattern>(mr_),
+            std::move(p).value());
         return e;
       }
       if (IsAggregateName(name)) return ParseAggregate();
@@ -1225,7 +1286,7 @@ class Impl {
       if (!iri.ok()) return iri.status();
       if (Is(TokenType::kLParen)) {
         // Extension function call: <iri>(args).
-        Result<std::vector<Expr>> args = ParseArgList();
+        Result<AstVector<Expr>> args = ParseArgList();
         if (!args.ok()) return args.status();
         return Expr::Call(iri.value().value, std::move(args).value());
       }
@@ -1236,8 +1297,9 @@ class Impl {
   }
 
   Result<Expr> ParseAggregate() {
-    Expr e;
+    Expr e(mr_);
     e.kind = ExprKind::kAggregate;
+    // Aggregate names fit SSO, so the upper-cased temporary is free.
     e.op = util::AsciiUpper(Cur().value);
     Bump();
     if (auto s = Expect(TokenType::kLParen, "aggregate"); !s.ok()) return s;
@@ -1267,16 +1329,16 @@ class Impl {
   Result<Expr> ParseFunctionCall() {
     std::string name = util::AsciiUpper(Cur().value);
     Bump();
-    Result<std::vector<Expr>> args = ParseArgList();
+    Result<AstVector<Expr>> args = ParseArgList();
     if (!args.ok()) return args.status();
-    return Expr::Call(std::move(name), std::move(args).value());
+    return Expr::Call(name, std::move(args).value());
   }
 
-  Result<std::vector<Expr>> ParseArgList() {
+  Result<AstVector<Expr>> ParseArgList() {
     if (auto s = Expect(TokenType::kLParen, "argument list"); !s.ok()) {
       return s;
     }
-    std::vector<Expr> args;
+    AstVector<Expr> args(mr_);
     AcceptKeyword("DISTINCT");  // tolerated in e.g. custom aggregates
     if (!Is(TokenType::kRParen)) {
       for (;;) {
@@ -1295,7 +1357,12 @@ class Impl {
   const std::vector<Token>& tokens_;
   size_t idx_ = 0;
   const ParserOptions& options_;
-  ParserOptions::PrefixMap prefixes_;
+  std::pmr::memory_resource* mr_;
+  util::StringInterner* pname_cache_;
+  /// PREFIX declarations of this query, as views into token storage.
+  /// A handful per query at most, so a reverse linear scan beats a map
+  /// (and lives on the parse resource, not the heap).
+  AstVector<std::pair<std::string_view, std::string_view>> local_prefixes_;
   int blank_counter_ = 0;
   bool last_node_had_props_ = false;
 };
@@ -1340,7 +1407,19 @@ Result<Query> Parser::Parse(std::string_view text) const {
   // alive for the whole parse; the AST copies what it keeps.
   Result<TokenStream> tokens = Lexer::Tokenize(text);
   if (!tokens.ok()) return tokens.status();
-  Impl impl(tokens.value(), options_);
+  Impl impl(tokens.value(), options_, std::pmr::get_default_resource(),
+            nullptr);
+  return impl.ParseQueryUnit();
+}
+
+Result<Query> Parser::Parse(std::string_view text,
+                            ParserScratch& scratch) const {
+  Status s = Lexer::TokenizeInto(text, scratch.tokens);
+  if (!s.ok()) return s;
+  // The AST copies every token value it keeps onto the arena, so the
+  // token buffer can be clobbered by the next parse on this scratch
+  // while earlier Queries stay valid (until scratch.Reset()).
+  Impl impl(scratch.tokens, options_, &scratch.arena, &scratch.pnames);
   return impl.ParseQueryUnit();
 }
 

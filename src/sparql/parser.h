@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "sparql/ast.h"
+#include "sparql/lexer.h"
 #include "sparql/token.h"
+#include "util/arena.h"
 #include "util/result.h"
 
 namespace sparqlog::sparql {
@@ -32,6 +34,29 @@ struct ParserOptions {
   static PrefixMap DefaultPrefixes();
 };
 
+/// Reusable per-worker parse state: the arena that owns all AST node
+/// storage, the recycled token buffer, and the prefixed-name expansion
+/// cache. One warm scratch makes `Parser::Parse(text, scratch)` run
+/// with zero heap allocations on typical log lines.
+///
+/// Lifetime contract (see DESIGN.md "Parser memory discipline"): every
+/// `Query` returned by a scratch-parse lives on `arena` and dies at
+/// `Reset()`. Reset is explicit — a pipeline worker parses a whole
+/// chunk into one scratch, hands the batches downstream, and resets
+/// once nothing references the chunk's ASTs. The pname cache is *not*
+/// reset (its cross-line hits are the point); it flushes itself on its
+/// own storage budget. A scratch must only be used with parsers whose
+/// options are identical, or cached expansions could leak between
+/// configurations.
+struct ParserScratch {
+  util::ArenaResource arena;
+  TokenStream tokens;
+  util::StringInterner pnames;
+
+  /// Invalidates every Query previously parsed into this scratch.
+  void Reset() { arena.Reset(); }
+};
+
 /// Recursive-descent parser for SPARQL 1.1 queries.
 ///
 /// Covers the query subset of the SPARQL 1.1 grammar: the four query
@@ -45,9 +70,18 @@ class Parser {
  public:
   explicit Parser(ParserOptions options = ParserOptions());
 
-  /// Parses a complete query. Returns InvalidArgument on syntax errors,
-  /// Unsupported for SPARQL Update requests.
+  /// Parses a complete query onto the default heap resource. Returns
+  /// InvalidArgument on syntax errors, Unsupported for SPARQL Update
+  /// requests. This path stays the allocation-per-node reference
+  /// implementation (the fuzz harness diffs it against the scratch
+  /// path below).
   util::Result<Query> Parse(std::string_view text) const;
+
+  /// Arena-pooled parse: the returned Query's entire node storage lives
+  /// on `scratch.arena` and is valid until `scratch.Reset()`. Copying
+  /// the Query (plain copy construction) detaches it onto the heap.
+  util::Result<Query> Parse(std::string_view text,
+                            ParserScratch& scratch) const;
 
   /// True iff `text` parses (the paper's "Valid" criterion, standing in
   /// for Apache Jena 3.0.1).

@@ -23,7 +23,7 @@ int PathPrec(PathKind k) {
 /// with a name the expression grammar routes elsewhere. Everything else
 /// — extension IRIs, but also colon-free relative IRIs like `<abc>` or
 /// the empty `<>` (fuzzer-found) — uses the `<iri>(args)` form.
-bool BareFunctionName(const std::string& op) {
+bool BareFunctionName(std::string_view op) {
   if (op.empty()) return false;
   char first = op[0];
   if (!((first >= 'A' && first <= 'Z') || first == '_')) return false;

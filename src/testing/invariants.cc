@@ -145,6 +145,29 @@ std::optional<Violation> CheckLogLine(sparql::Parser& parser,
   return std::nullopt;
 }
 
+std::optional<Violation> CheckLogLineScratch(sparql::Parser& parser,
+                                             std::string_view line,
+                                             corpus::ParseScratch& scratch) {
+  corpus::ParsedLine arena = corpus::ParseLogLine(parser, line, scratch);
+  corpus::ParsedLine heap = corpus::ParseLogLine(parser, std::string(line));
+  if (std::string diff = DiffParsedLines(arena, heap); !diff.empty()) {
+    return Violate("logline-scratch-agreement",
+                   "arena-scratch and heap overloads disagree: " + diff, line);
+  }
+  if (arena.query.has_value()) {
+    // Detach semantics: a plain copy of an arena-resident Query must be
+    // an independent heap AST that still serializes identically.
+    sparql::Query detached = *arena.query;
+    if (sparql::Serialize(detached) != sparql::Serialize(*heap.query)) {
+      return Violate("logline-scratch-detach",
+                     "copying the arena-built Query changed its "
+                     "canonical serialization",
+                     line);
+    }
+  }
+  return std::nullopt;
+}
+
 EquivalenceConfig RandomEquivalenceConfig(util::Rng& rng) {
   EquivalenceConfig config;
   config.threads = static_cast<int>(1 + rng.Below(5));

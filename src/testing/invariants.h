@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "corpus/analysis_scratch.h"
+#include "corpus/ingest.h"
 #include "sparql/ast.h"
 #include "sparql/parser.h"
 #include "util/rng.h"
@@ -47,6 +48,17 @@ std::optional<Violation> CheckQueryText(const sparql::Parser& parser,
 ///  * malformed entries: line_hash equals the FNV of the raw line.
 std::optional<Violation> CheckLogLine(sparql::Parser& parser,
                                       std::string_view line);
+
+/// Arena-path variant of CheckLogLine: parses `line` through the
+/// ParseScratch overload — reusing `scratch` across calls is the point,
+/// the caller owns the Reset cadence — and diffs every field plus the
+/// canonical serialization against the heap overload (the
+/// allocation-per-node differential oracle). Also checks detach
+/// semantics: plain-copying the arena-built Query must yield an
+/// independent heap AST with an identical serialization.
+std::optional<Violation> CheckLogLineScratch(sparql::Parser& parser,
+                                             std::string_view line,
+                                             corpus::ParseScratch& scratch);
 
 /// One randomized pipeline configuration for the serial-vs-parallel
 /// equivalence check.

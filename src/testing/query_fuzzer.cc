@@ -52,7 +52,7 @@ constexpr const char* kBuiltins[] = {
 constexpr const char* kCompareOps[] = {"=", "!=", "<", ">", "<=", ">="};
 constexpr const char* kArithOps[] = {"+", "-", "*", "/"};
 
-bool NeedsLiteralEscape(const std::string& body) {
+bool NeedsLiteralEscape(std::string_view body) {
   return body.find_first_of(termgen::EscapedLiteralChars()) !=
          std::string::npos;
 }
@@ -128,7 +128,7 @@ PathExpr QueryFuzzer::GenPath(int depth) {
       return PathExpr::Unary(kind, GenPath(depth - 1));
     case PathKind::kNegated: {
       // Members are links or inverted links, per the grammar.
-      std::vector<PathExpr> members;
+      sparql::AstVector<PathExpr> members;
       size_t n = 1 + rng_.Below(3);
       for (size_t i = 0; i < n; ++i) {
         PathExpr member = PathExpr::Link(termgen::IriString(rng_));
@@ -142,7 +142,7 @@ PathExpr QueryFuzzer::GenPath(int depth) {
     case PathKind::kSeq:
     case PathKind::kAlt: {
       // N-ary nodes need >= 2 children to survive a reparse.
-      std::vector<PathExpr> children;
+      sparql::AstVector<PathExpr> children;
       size_t n = 2 + rng_.Below(2);
       for (size_t i = 0; i < n; ++i) children.push_back(GenPath(depth - 1));
       return PathExpr::Nary(kind, std::move(children));
@@ -296,7 +296,7 @@ Pattern QueryFuzzer::GenValues() {
   cell_options.allow_variables = false;  // data block values are ground
   cell_options.allow_blanks = false;
   for (size_t r = 0; r < rows; ++r) {
-    std::vector<std::optional<Term>> row;
+    sparql::AstVector<std::optional<Term>> row;
     for (size_t c = 0; c < vars; ++c) {
       if (rng_.Chance(0.2)) {
         row.push_back(std::nullopt);  // UNDEF
@@ -368,7 +368,7 @@ Pattern QueryFuzzer::GenGroupChild(int depth) {
     case 9:
     case 10: {
       ++coverage_.patterns[static_cast<size_t>(PatternKind::kUnion)];
-      std::vector<Pattern> branches;
+      sparql::AstVector<Pattern> branches;
       size_t n = 2 + rng_.Below(2);
       for (size_t i = 0; i < n; ++i) branches.push_back(GenGroup(depth - 1));
       return Pattern::Union(std::move(branches));
@@ -400,7 +400,7 @@ Pattern QueryFuzzer::GenGroupChild(int depth) {
 
 Pattern QueryFuzzer::GenGroup(int depth) {
   ++coverage_.patterns[static_cast<size_t>(PatternKind::kGroup)];
-  std::vector<Pattern> children;
+  sparql::AstVector<Pattern> children;
   size_t n = rng_.Below(4);  // empty groups are legal
   if (depth <= 0 && n == 0) n = 1;
   for (size_t i = 0; i < n; ++i) {
@@ -409,14 +409,14 @@ Pattern QueryFuzzer::GenGroup(int depth) {
   return Pattern::Group(std::move(children));
 }
 
-std::vector<Pattern> QueryFuzzer::GenBaseTriples() {
+sparql::AstVector<Pattern> QueryFuzzer::GenBaseTriples() {
   if (!skeletons_.empty() &&
       rng_.Chance(options_.gmark_skeleton_probability)) {
     const gmark::GeneratedQuery& skeleton =
         skeletons_[rng_.Below(skeletons_.size())];
     ++coverage_.gmark_skeletons;
     ++coverage_.shapes[static_cast<size_t>(skeleton.shape)];
-    std::vector<Pattern> children = skeleton.sparql.where.children;
+    sparql::AstVector<Pattern> children = skeleton.sparql.where.children;
     for (Pattern& child : children) {
       if (child.kind == PatternKind::kTriple) {
         ++coverage_.patterns[static_cast<size_t>(PatternKind::kTriple)];
@@ -433,7 +433,7 @@ std::vector<Pattern> QueryFuzzer::GenBaseTriples() {
     }
     return children;
   }
-  std::vector<Pattern> children;
+  sparql::AstVector<Pattern> children;
   size_t n = 1 + rng_.Below(3);
   for (size_t i = 0; i < n; ++i) children.push_back(GenTriple());
   return children;
@@ -500,7 +500,7 @@ Query QueryFuzzer::Next() {
   // requires WHERE for SELECT/ASK/CONSTRUCT).
   bool body = q.form != QueryForm::kDescribe || rng_.Chance(0.7);
   if (body) {
-    std::vector<Pattern> children = GenBaseTriples();
+    sparql::AstVector<Pattern> children = GenBaseTriples();
     // Decorations beyond the BGP.
     size_t extra = rng_.Below(3);
     for (size_t i = 0; i < extra; ++i) {

@@ -79,7 +79,7 @@ class QueryFuzzer {
   rdf::Term GenVarOrIri();
   void GenSolutionModifiers(sparql::Query& q);
   /// Root WHERE children: a gmark skeleton BGP or free-form triples.
-  std::vector<sparql::Pattern> GenBaseTriples();
+  sparql::AstVector<sparql::Pattern> GenBaseTriples();
 
   QueryFuzzOptions options_;
   util::Rng rng_;

@@ -216,11 +216,12 @@ class UnionFind {
 
 std::string NodeKey(const Term& t) {
   switch (t.kind) {
-    case rdf::TermKind::kVariable: return "?" + t.value;
-    case rdf::TermKind::kBlank: return "_" + t.value;
-    case rdf::TermKind::kIri: return "<" + t.value;
+    case rdf::TermKind::kVariable: return "?" + std::string(t.value);
+    case rdf::TermKind::kBlank: return "_" + std::string(t.value);
+    case rdf::TermKind::kIri: return "<" + std::string(t.value);
     case rdf::TermKind::kLiteral:
-      return "\"" + t.value + "^" + t.datatype + "@" + t.lang;
+      return "\"" + std::string(t.value) + "^" + std::string(t.datatype) +
+             "@" + std::string(t.lang);
   }
   return "";
 }

@@ -83,45 +83,14 @@ ShrinkOutcome ShrinkText(std::string_view failing, const FailPredicate& fails,
 namespace {
 
 // --- Deep copies -----------------------------------------------------------
-// Pattern/Expr hold shared_ptr members (subqueries, EXISTS bodies); a
-// plain copy aliases them, which would let an in-place mutation leak
-// into a saved "undo" snapshot. The shrinker therefore deep-clones the
-// input once and snapshots with these.
+// Pattern/Expr hold shared_ptr members (subqueries, EXISTS bodies); their
+// copy constructors deep-clone those payloads (see sparql/ast.h), so a
+// plain copy is already a full snapshot with no shared state. These
+// helpers keep the shrinker's snapshot call sites explicit about that.
 
-Query DeepCopy(const Query& q);
-Expr DeepCopy(const Expr& e);
-
-Pattern DeepCopy(const Pattern& p) {
-  Pattern out = p;
-  out.children.clear();
-  for (const Pattern& c : p.children) out.children.push_back(DeepCopy(c));
-  out.expr = DeepCopy(p.expr);
-  if (p.subquery) out.subquery = std::make_shared<Query>(DeepCopy(*p.subquery));
-  return out;
-}
-
-Expr DeepCopy(const Expr& e) {
-  Expr out = e;
-  out.args.clear();
-  for (const Expr& a : e.args) out.args.push_back(DeepCopy(a));
-  if (e.pattern) out.pattern = std::make_shared<Pattern>(DeepCopy(*e.pattern));
-  return out;
-}
-
-Query DeepCopy(const Query& q) {
-  Query out = q;
-  out.where = DeepCopy(q.where);
-  for (auto& item : out.select_items) {
-    if (item.expr.has_value()) item.expr = DeepCopy(*item.expr);
-  }
-  for (auto& gc : out.group_by) gc.expr = DeepCopy(gc.expr);
-  for (auto& h : out.having) h = DeepCopy(h);
-  for (auto& oc : out.order_by) oc.expr = DeepCopy(oc.expr);
-  if (q.trailing_values.has_value()) {
-    out.trailing_values = DeepCopy(*q.trailing_values);
-  }
-  return out;
-}
+Pattern DeepCopy(const Pattern& p) { return p; }
+Expr DeepCopy(const Expr& e) { return e; }
+Query DeepCopy(const Query& q) { return q; }
 
 // --- The shrinker ----------------------------------------------------------
 
@@ -193,7 +162,7 @@ class AstShrinker {
   /// slots that must stay non-empty (variable names, blank labels,
   /// language tags) so the reducer cannot fabricate an unrelated
   /// serializer-closure failure out of `?` or `_:`.
-  bool MinimizeString(std::string& s, size_t min_len = 0) {
+  bool MinimizeString(sparql::AstString& s, size_t min_len = 0) {
     bool changed = false;
     size_t i = 0;
     while (i < s.size() && Budget()) {

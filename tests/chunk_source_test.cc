@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -138,6 +140,27 @@ TEST(MmapChunkSourceTest, MissingFileIsAnError) {
   EXPECT_FALSE(source.ok());
 }
 
+TEST(MmapChunkSourceTest, MissingFileErrorCarriesErrno) {
+  auto source = MmapChunkSource::Open("/nonexistent/sparqlog/nope.log");
+  ASSERT_FALSE(source.ok());
+  // The OS reason must survive into the message — "cannot open" alone
+  // hides ENOENT vs EACCES vs EMFILE from the operator.
+  EXPECT_NE(source.status().message().find(std::strerror(ENOENT)),
+            std::string::npos)
+      << source.status().ToString();
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST(MmapChunkSourceTest, DirectoryIsInvalidArgument) {
+  auto source =
+      MmapChunkSource::Open(std::filesystem::temp_directory_path().string());
+  ASSERT_FALSE(source.ok());
+  EXPECT_NE(source.status().message().find("not a regular file"),
+            std::string::npos)
+      << source.status().ToString();
+}
+#endif
+
 TEST(VectorChunkSourceTest, ViewsAliasCallerStrings) {
   const std::vector<std::string> lines = {"one", "two", "three"};
   VectorChunkSource source(lines);
@@ -190,6 +213,36 @@ TEST(SourceEquivalenceTest, AllFramingsAgree) {
             << (v ? v->invariant + ": " + v->detail : "");
       }
     }
+  }
+}
+
+// Degenerate file framings: an empty file and a file of blank CRLF
+// lines must produce identical (and sane) digests through the vector,
+// mmap, and stream sources — the mmap path in particular must treat a
+// zero-byte file as a valid zero-line source, not an mmap failure.
+TEST(SourceEquivalenceTest, EmptyFileAllSourcesAgree) {
+  for (const size_t slice : {size_t{0}, size_t{7}}) {
+    testing::SourceEquivalenceConfig config;
+    config.pipeline.threads = 2;
+    config.pipeline.chunk_size = 8;
+    config.slice_bytes = slice;
+    config.trailing_newline = false;  // truly zero bytes on disk
+    auto v = testing::CheckSourceEquivalence({}, config);
+    EXPECT_FALSE(v.has_value()) << (v ? v->invariant + ": " + v->detail : "");
+  }
+}
+
+TEST(SourceEquivalenceTest, CrlfOnlyFileAllSourcesAgree) {
+  // Three blank lines, CRLF-terminated: the file is "\r\n\r\n\r\n".
+  const std::vector<std::string> blanks(3, "");
+  for (const bool trailing : {true, false}) {
+    testing::SourceEquivalenceConfig config;
+    config.pipeline.threads = 2;
+    config.pipeline.chunk_size = 2;
+    config.crlf = true;
+    config.trailing_newline = trailing;
+    auto v = testing::CheckSourceEquivalence(blanks, config);
+    EXPECT_FALSE(v.has_value()) << (v ? v->invariant + ": " + v->detail : "");
   }
 }
 

@@ -123,5 +123,47 @@ TEST(IngestHashTest, ParseLogLineScratchOverloadMatches) {
   }
 }
 
+// One ParseScratch carried across well over a thousand sequential
+// ParseLogLine calls, with resets only every few hundred lines: arena
+// reuse, token-buffer reuse, and pname-interner epochs must never leak
+// state between lines. Every result is diffed against the fresh-heap
+// overload, which allocates per node and cannot alias anything.
+TEST(IngestHashTest, ParseScratchSurvivesThousandsOfSequentialLines) {
+  sparql::Parser parser;
+  corpus::ParseScratch scratch;
+
+  corpus::GeneratorOptions options;
+  options.seed = 20260808;
+  auto profiles = corpus::PaperProfiles();
+  corpus::SyntheticLogGenerator gen(profiles[0], options);
+  std::vector<std::string> pool;
+  for (int i = 0; i < 37; ++i) {
+    pool.push_back("query=" + util::PercentEncode(Serialize(gen.GenerateQuery())));
+  }
+  pool.push_back("query=NOT%20SPARQL");
+  pool.push_back("noise line");
+  pool.push_back("query=");
+
+  constexpr int kLines = 1500;
+  for (int i = 0; i < kLines; ++i) {
+    if (i % 400 == 0) scratch.Reset();
+    const std::string& line = pool[static_cast<size_t>(i) % pool.size()];
+    corpus::ParsedLine arena =
+        corpus::ParseLogLine(parser, std::string_view(line), scratch);
+    corpus::ParsedLine heap = corpus::ParseLogLine(parser, line);
+    ASSERT_EQ(arena.is_query, heap.is_query) << "line " << i << ": " << line;
+    ASSERT_EQ(arena.valid, heap.valid) << "line " << i << ": " << line;
+    ASSERT_EQ(arena.canonical_hash, heap.canonical_hash)
+        << "line " << i << ": " << line;
+    ASSERT_EQ(arena.line_hash, heap.line_hash) << "line " << i << ": " << line;
+    ASSERT_EQ(arena.query.has_value(), heap.query.has_value())
+        << "line " << i << ": " << line;
+    if (arena.query.has_value()) {
+      ASSERT_EQ(Serialize(*arena.query), Serialize(*heap.query))
+          << "line " << i << ": " << line;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sparqlog

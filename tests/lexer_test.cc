@@ -257,6 +257,55 @@ TEST(LexerTest, ErrorsReportLineAndColumn) {
       << r.status().ToString();
 }
 
+// --- Bulk-scan path positions (PR 7 regression) ----------------------------
+// The vectorized scanners (whitespace runs, comments, long strings,
+// IRIs) jump the cursor many bytes at a time and recover line/column
+// bookkeeping via CountNewlines afterwards. These pin the error
+// position immediately after each fast path.
+
+void ExpectErrorAt(const std::string& input, size_t line, size_t col) {
+  auto r = Lexer::Tokenize(input);
+  ASSERT_FALSE(r.ok()) << input;
+  const std::string& msg = r.status().message();
+  EXPECT_NE(msg.find("line " + std::to_string(line) + ","),
+            std::string::npos)
+      << msg << "\ninput: " << input;
+  EXPECT_NE(msg.find("column " + std::to_string(col)), std::string::npos)
+      << msg << "\ninput: " << input;
+}
+
+TEST(LexerTest, ErrorPositionAfterUnescapedMultilineLongString) {
+  // No escapes, so the long string takes the bulk scan over two
+  // newlines; the stray byte sits at line 3, after `ef''' `.
+  ExpectErrorAt("'''ab\ncd\nef''' ~", 3, 7);
+}
+
+TEST(LexerTest, ErrorPositionAfterCommentLines) {
+  // Each comment is consumed by the scan-to-newline fast path.
+  ExpectErrorAt("# one\n# two\n# three\n~", 4, 1);
+}
+
+TEST(LexerTest, ErrorPositionAfterBulkWhitespaceRun) {
+  // A whitespace run longer than a vector register, crossing two
+  // newlines: the run is skipped in bulk and the line counter must be
+  // re-derived from the skipped span.
+  ExpectErrorAt("?x" + std::string(70, ' ') + "\n\n    ~", 3, 5);
+}
+
+TEST(LexerTest, ErrorPositionAfterLongIri) {
+  // 51-byte IRI consumed by the bulk IRI scan; '~' follows a space.
+  ExpectErrorAt("<http://e/" + std::string(40, 'a') + "> ~", 1, 53);
+}
+
+TEST(LexerTest, ErrorPositionInsideLongStringThatNeverCloses) {
+  // An unterminated long string: the error must point at the opening
+  // quote's position, not wherever the bulk scan stopped.
+  auto r = Lexer::Tokenize("?x\n  '''never closed\nstill open");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().ToString();
+}
+
 TEST(LexerTest, UnescapedValuesAreViewsIntoTheInput) {
   static constexpr std::string_view kInput =
       "SELECT ?x <http://e/> \"plain\" ex:loc%20al 42.5";

@@ -445,5 +445,67 @@ TEST(ParserTest, EmptyGroupIsValid) {
   EXPECT_TRUE(q.where.children.empty());
 }
 
+// ---------------------------------------------------------------------------
+// Deep-copy semantics of the shared_ptr AST payloads
+// ---------------------------------------------------------------------------
+
+// Regression: Expr/Pattern hold their recursive payloads (EXISTS
+// pattern, subquery) behind shared_ptr to stay copyable. The copy path
+// must clone the payload, not alias it — an aliasing copy lets a
+// mutation of the copy (the shrinker does this constantly) silently
+// rewrite the original.
+
+TEST(ParserTest, CopiedExistsPatternIsIndependent) {
+  Query q = MustParse(
+      "SELECT * WHERE { ?x <p> ?y FILTER EXISTS { ?x <q> ?y } }");
+  const std::string before = Serialize(q);
+
+  Query copy = q;
+  // Find the FILTER child and gut its EXISTS payload.
+  ASSERT_TRUE(copy.has_body);
+  Pattern* filter = nullptr;
+  for (Pattern& child : copy.where.children) {
+    if (child.kind == PatternKind::kFilter) filter = &child;
+  }
+  ASSERT_NE(filter, nullptr);
+  ASSERT_EQ(filter->expr.kind, ExprKind::kExists);
+  ASSERT_NE(filter->expr.pattern, nullptr);
+  ASSERT_NE(filter->expr.pattern, q.where.children.back().expr.pattern)
+      << "copy aliases the original EXISTS payload";
+  filter->expr.pattern->children.clear();
+
+  EXPECT_EQ(Serialize(q), before)
+      << "mutating the copy's EXISTS pattern changed the original";
+  EXPECT_NE(Serialize(copy), before);
+}
+
+TEST(ParserTest, CopiedSubqueryIsIndependent) {
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x <p> ?y { SELECT ?y WHERE { ?y <q> ?z } "
+      "LIMIT 3 } }");
+  const std::string before = Serialize(q);
+
+  Query copy = q;
+  ASSERT_TRUE(copy.has_body);
+  Pattern* sub = nullptr;
+  for (Pattern& child : copy.where.children) {
+    if (child.kind == PatternKind::kSubSelect) sub = &child;
+  }
+  ASSERT_NE(sub, nullptr);
+  ASSERT_NE(sub->subquery, nullptr);
+  for (const Pattern& child : q.where.children) {
+    if (child.kind == PatternKind::kSubSelect) {
+      ASSERT_NE(sub->subquery, child.subquery)
+          << "copy aliases the original subquery payload";
+    }
+  }
+  sub->subquery->limit = 99;
+  sub->subquery->where.children.clear();
+
+  EXPECT_EQ(Serialize(q), before)
+      << "mutating the copy's subquery changed the original";
+  EXPECT_NE(Serialize(copy), before);
+}
+
 }  // namespace
 }  // namespace sparqlog::sparql
