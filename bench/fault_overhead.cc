@@ -1,0 +1,182 @@
+// Fault-containment overhead gate: runs the same synthetic corpus
+// through the parallel pipeline with containment off (the
+// pre-containment fast path: no try/catch scope, no quarantine
+// bookkeeping), with containment on, and with containment plus
+// generous analysis step budgets armed (large enough that nothing is
+// abandoned, so the budget charging itself is what's being priced).
+// Configurations are interleaved round-robin keeping the best
+// (minimum) wall time of each so OS noise cancels instead of biasing
+// one arm. Fails (non-zero exit) if
+//
+//   * the Table 1 counters differ between any two configurations on
+//     this fault-free input (containment must never change results),
+//   * a containment run quarantines or abandons anything (the input is
+//     fault-free and the budgets are generous; either bucket being
+//     non-empty means the machinery misfired), or
+//   * best-of containment time exceeds best-of off time by more than
+//     SPARQLOG_FAULTS_MAX_OVERHEAD (fraction, default 0.02).
+//
+// Knobs: SPARQLOG_BENCH_ENTRIES (per-dataset corpus floor),
+// SPARQLOG_BENCH_ROUNDS (interleaved rounds, default 5),
+// SPARQLOG_BENCH_JSON (artifact path, default BENCH_faults.json).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "pipeline/pipeline.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sparqlog;
+
+struct Arm {
+  const char* name;
+  bool containment = false;
+  bool budgets = false;
+  double best_s = 1e300;
+  corpus::CorpusStats stats;
+  uint64_t lines = 0;
+};
+
+double RunOnce(const std::vector<std::string>& lines, Arm& arm) {
+  pipeline::PipelineOptions options;
+  options.fault_containment = arm.containment;
+  if (arm.budgets) {
+    // Generous enough that no synthetic query comes near exhaustion:
+    // the arm prices the per-kernel Charge() calls, not abandonment.
+    options.analysis_limits.ghw_steps = 1u << 30;
+    options.analysis_limits.treewidth_steps = 1u << 30;
+    options.analysis_limits.girth_steps = 1u << 30;
+  }
+  pipeline::ParallelLogPipeline pl(options);
+  auto start = std::chrono::steady_clock::now();
+  pipeline::PipelineResult result = pl.Run(lines);
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  arm.stats = result.stats;
+  arm.lines = result.lines;
+  if (elapsed < arm.best_s) arm.best_s = elapsed;
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  uint64_t entries_per_dataset = bench::EnvCount("SPARQLOG_BENCH_ENTRIES", 4000);
+  uint64_t rounds = bench::EnvCount("SPARQLOG_BENCH_ROUNDS", 5);
+  double max_overhead = 0.02;
+  if (const char* env = std::getenv("SPARQLOG_FAULTS_MAX_OVERHEAD")) {
+    double v = std::atof(env);
+    if (v > 0) max_overhead = v;
+  }
+
+  std::cout << "Generating corpus (" << entries_per_dataset
+            << " entries/dataset x 13 datasets)...\n";
+  std::vector<std::string> lines;
+  {
+    auto profiles = corpus::PaperProfiles();
+    uint64_t seed = 2017;
+    for (const auto& profile : profiles) {
+      corpus::GeneratorOptions options;
+      options.scale = 0;
+      options.min_entries = entries_per_dataset;
+      options.seed = seed++;
+      corpus::SyntheticLogGenerator gen(profile, options);
+      auto log = gen.GenerateLog();
+      lines.insert(lines.end(), log.begin(), log.end());
+    }
+  }
+  std::cout << util::WithThousands(static_cast<long long>(lines.size()))
+            << " log lines, best of " << rounds << " interleaved rounds\n\n";
+
+  Arm arms[3] = {{"off", false, false},
+                 {"containment", true, false},
+                 {"containment+budgets", true, true}};
+
+  // Warm-up round (page cache, allocator arenas), discarded.
+  for (Arm& arm : arms) RunOnce(lines, arm);
+  for (Arm& arm : arms) arm.best_s = 1e300;
+  for (uint64_t r = 0; r < rounds; ++r) {
+    for (Arm& arm : arms) RunOnce(lines, arm);
+  }
+
+  util::Table table({"Config", "Best (s)", "Queries/sec", "Overhead"});
+  char buf[64];
+  for (const Arm& arm : arms) {
+    double overhead = arm.best_s / arms[0].best_s - 1.0;
+    std::string overhead_str = "baseline";
+    if (&arm != &arms[0]) {
+      std::snprintf(buf, sizeof(buf), "%+.2f%%", 100.0 * overhead);
+      overhead_str = buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%.3f", arm.best_s);
+    table.AddRow({arm.name, buf,
+                  util::WithThousands(static_cast<long long>(
+                      arm.stats.total / arm.best_s)),
+                  overhead_str});
+  }
+  table.Print(std::cout);
+
+  bool ok = true;
+  // Containment must not change the answers on a fault-free input.
+  for (int i = 1; i < 3; ++i) {
+    if (arms[i].stats.total != arms[0].stats.total ||
+        arms[i].stats.valid != arms[0].stats.valid ||
+        arms[i].stats.unique != arms[0].stats.unique ||
+        arms[i].stats.malformed != arms[0].stats.malformed ||
+        arms[i].lines != arms[0].lines) {
+      std::cerr << "FAIL: " << arms[i].name
+                << " changed pipeline results vs off\n";
+      ok = false;
+    }
+    if (arms[i].stats.quarantined != 0 || arms[i].stats.abandoned != 0) {
+      std::cerr << "FAIL: " << arms[i].name << " quarantined "
+                << arms[i].stats.quarantined << " / abandoned "
+                << arms[i].stats.abandoned << " on a fault-free input\n";
+      ok = false;
+    }
+  }
+  double containment_overhead = arms[1].best_s / arms[0].best_s - 1.0;
+  if (containment_overhead > max_overhead) {
+    std::cerr << "FAIL: containment overhead "
+              << 100.0 * containment_overhead << "% exceeds budget "
+              << 100.0 * max_overhead << "%\n";
+    ok = false;
+  } else {
+    std::cout << "\ncontainment overhead " << 100.0 * containment_overhead
+              << "% within budget " << 100.0 * max_overhead << "%\n";
+  }
+
+  std::ofstream json_out(bench::BenchJsonPath("BENCH_faults.json"));
+  bench::JsonWriter json(json_out);
+  json.BeginObject();
+  json.KV("bench", "fault_overhead");
+  json.KV("lines", arms[0].lines);
+  json.KV("rounds", rounds);
+  json.KV("max_overhead", max_overhead);
+  json.Key("configs");
+  json.BeginArray();
+  for (const Arm& arm : arms) {
+    json.BeginObject();
+    json.KV("name", arm.name);
+    json.KV("best_seconds", arm.best_s);
+    json.KV("queries_per_second", arm.stats.total / arm.best_s);
+    json.KV("overhead", arm.best_s / arms[0].best_s - 1.0);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.KV("ok", ok);
+  json.EndObject();
+  json.Finish();
+
+  return ok ? 0 : 1;
+}

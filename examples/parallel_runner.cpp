@@ -37,6 +37,20 @@
 //   --trace[=PATH]            record per-worker spans and write Chrome
 //                             trace-event JSON (default trace.json,
 //                             load via chrome://tracing)
+//   --budget <steps>          per-query step budget for each structural
+//                             analysis kernel (ghw, treewidth, girth);
+//                             exhausted queries land in the Abandoned
+//                             bucket instead of stalling the run
+//   --journal[=PATH]          crash-safe run journal (default
+//                             run.journal): checkpoint shard state each
+//                             segment; rerunning with the same journal
+//                             resumes from the watermark. Requires a
+//                             resumable source (mmap or in-memory)
+//   --max-segments <n>        with --journal: stop after n segments
+//                             even if input remains (simulates a kill
+//                             at a checkpoint boundary)
+//   --segment-chunks <n>      with --journal: reader chunks per segment
+//                             (checkpoint cadence, default 64)
 
 #include <chrono>
 #include <fstream>
@@ -54,6 +68,7 @@
 #include "obs/alloc_hooks.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "pipeline/journal.h"
 #include "pipeline/merge.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/streak_stage.h"
@@ -290,6 +305,7 @@ int main(int argc, char** argv) {
   bool use_mmap = true;
   TelemetryOutputs outputs;
   pipeline::PipelineOptions options;
+  pipeline::JournalOptions journal;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&](const char* flag) -> std::string {
@@ -338,6 +354,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--chunk-size") {
       options.chunk_size = std::stoull(next("--chunk-size"));
       chunk_size_set = true;
+    } else if (arg == "--budget") {
+      uint64_t steps = std::stoull(next("--budget"));
+      options.analysis_limits.ghw_steps = steps;
+      options.analysis_limits.treewidth_steps = steps;
+      options.analysis_limits.girth_steps = steps;
+    } else if (path_flag("--journal", "run.journal", journal.path)) {
+      // handled
+    } else if (arg == "--max-segments") {
+      journal.max_segments = std::stoull(next("--max-segments"));
+    } else if (arg == "--segment-chunks") {
+      journal.chunks_per_segment = std::stoull(next("--segment-chunks"));
     } else if (arg == "--mmap") {
       use_mmap = true;
     } else if (arg == "--no-mmap") {
@@ -432,24 +459,49 @@ int main(int argc, char** argv) {
   if (verify) options.telemetry.metrics = true;
   pipeline::ParallelLogPipeline pl(options);
   pipeline::PipelineResult result;
+  std::optional<pipeline::JournalRunResult> journaled;
   bool used_mmap = false;
   uint64_t input_bytes = 0;
+  // With --journal the source is consumed in checkpointed segments; the
+  // journal layer rejects non-resumable sources, so a logfile always
+  // goes through MmapChunkSource (use_mmap=false keeps the buffered
+  // fallback resumable) and never the stream source.
+  auto run_journaled = [&](pipeline::ChunkSource& src) -> bool {
+    auto jr = pipeline::RunWithJournal(options, src, journal);
+    if (!jr.ok()) {
+      std::cerr << "journal run failed: " << jr.status().ToString() << "\n";
+      return false;
+    }
+    journaled = std::move(jr.value());
+    result = std::move(journaled->result);
+    return true;
+  };
   auto start = std::chrono::steady_clock::now();
   if (!logfile.empty()) {
     std::unique_ptr<pipeline::MmapChunkSource> mapped;
-    if (use_mmap) {
-      auto opened = pipeline::MmapChunkSource::Open(logfile);
+    if (use_mmap || !journal.path.empty()) {
+      pipeline::MmapChunkSource::Options mopts;
+      mopts.use_mmap = use_mmap;
+      auto opened = pipeline::MmapChunkSource::Open(logfile, mopts);
       if (opened.ok()) {
         mapped = std::move(opened.value());
+      } else if (!journal.path.empty()) {
+        std::cerr << "cannot open " << logfile << " for a journaled run ("
+                  << opened.status().ToString() << ")\n";
+        return 2;
       } else {
         std::cerr << "mmap failed (" << opened.status().ToString()
                   << "); falling back to stream source\n";
       }
     }
     if (mapped != nullptr) {
-      used_mmap = true;
+      used_mmap = use_mmap;
       input_bytes = mapped->size_bytes();
-      result = pl.Run(*mapped);
+      if (!journal.path.empty()) {
+        if (!run_journaled(*mapped)) return 2;
+      } else {
+        result = pl.Run(*mapped);
+      }
     } else {
       std::ifstream in(logfile);
       if (!in) {
@@ -461,7 +513,12 @@ int main(int argc, char** argv) {
     }
   } else {
     for (const std::string& line : lines) input_bytes += line.size();
-    result = pl.Run(lines);
+    if (!journal.path.empty()) {
+      pipeline::VectorChunkSource vec(lines);
+      if (!run_journaled(vec)) return 2;
+    } else {
+      result = pl.Run(lines);
+    }
   }
   double elapsed = Seconds(start);
 
@@ -479,7 +536,45 @@ int main(int argc, char** argv) {
                 util::Percent(result.stats.valid, result.stats.total)});
   table.AddRow({"Unique", util::WithThousands(result.stats.unique),
                 util::Percent(result.stats.unique, result.stats.valid)});
+  table.AddRow({"Malformed", util::WithThousands(result.stats.malformed),
+                util::Percent(result.stats.malformed, result.stats.total)});
+  if (result.stats.abandoned > 0) {
+    table.AddRow({"Abandoned", util::WithThousands(result.stats.abandoned),
+                  util::Percent(result.stats.abandoned, result.stats.total)});
+  }
+  if (result.stats.quarantined > 0) {
+    table.AddRow({"Quarantined",
+                  util::WithThousands(result.stats.quarantined),
+                  util::Percent(result.stats.quarantined,
+                                result.stats.total)});
+  }
   table.Print(std::cout);
+
+  if (journaled.has_value()) {
+    std::cout << "\nJournal " << journal.path << ": "
+              << journaled->segments << " segment"
+              << (journaled->segments == 1 ? "" : "s") << " this run"
+              << (journaled->resumed ? ", resumed from checkpoint" : "")
+              << (journaled->complete ? ", input complete"
+                                      : ", input remaining") << "\n";
+  }
+  if (!result.source_status.ok()) {
+    std::cerr << "source failed mid-run ("
+              << result.source_status.ToString()
+              << "); counters cover the lines read before the failure\n";
+  }
+  if (result.quarantine.count > 0) {
+    std::cout << "\nQuarantined " << result.quarantine.count
+              << " line(s); first reproducers:\n";
+    size_t shown = 0;
+    for (const auto& sample : result.quarantine.samples) {
+      if (++shown > 3) break;
+      std::cout << "  chunk " << sample.chunk << " line "
+                << sample.line_index << " (" << sample.reason
+                << "): " << sample.line.substr(0, 96)
+                << (sample.line.size() > 96 ? "..." : "") << "\n";
+    }
+  }
 
   const corpus::KeywordCounts& kw = result.analysis.keywords();
   std::cout << "\nForms: Select "
@@ -505,6 +600,12 @@ int main(int argc, char** argv) {
   if (!ExportTelemetry(outputs, result.telemetry, result.trace)) return 2;
 
   // ---- Optional verification: cross-source, then serial ----
+  if (verify && journaled.has_value() && !journaled->complete) {
+    std::cout << "\nSkipping verification: the journaled run stopped "
+                 "before exhausting the input (rerun with the same "
+                 "--journal to finish, then verify)\n";
+    verify = false;
+  }
   if (verify && !logfile.empty()) {
     // Re-run through the ingest source NOT used above; the two sources
     // must be indistinguishable down to the full statistics digest.
@@ -547,6 +648,12 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+  }
+  if (verify && options.analysis_limits.any()) {
+    std::cout << "\nSkipping serial verification: --budget moves "
+                 "exhausted queries to Abandoned, which the unbudgeted "
+                 "serial path cannot reproduce\n";
+    verify = false;
   }
   if (verify) {
     corpus::LogIngestor ingestor;

@@ -14,7 +14,12 @@
 // fuzzed queries, mutated log lines, and raw byte soup pinned around
 // the 16-byte vector width, plus mmap-vs-stream-vs-vector source
 // equivalence rounds on fuzzed files (CRLF, missing trailing newline,
-// tiny slice budgets).
+// tiny slice budgets), and (7) replays seeded fault plans — truncated
+// sources, transient/persistent read errors, injected allocation
+// failures, deterministic poison lines — through the fault-containment
+// pipeline, checking that nothing escapes, accounting conservation
+// holds, quarantine reporting agrees with the counters, and
+// deterministic plans replay bit-identically.
 // Any violation is greedily shrunk to a minimal reproducer, printed as
 // a ready-to-paste unit test, appended to --out, and fails the run.
 //
@@ -23,11 +28,13 @@
 //                  [--pipeline-rounds N] [--pipeline-lines N]
 //                  [--streak-rounds N] [--streak-queries N]
 //                  [--analysis-rounds N] [--analysis-queries N]
-//                  [--scan-inputs N] [--source-rounds N] [--out PATH]
+//                  [--scan-inputs N] [--source-rounds N]
+//                  [--fault-rounds N] [--fault-lines N] [--out PATH]
 // Environment overrides (for CI): SPARQLOG_FUZZ_SEED, SPARQLOG_FUZZ_QUERIES,
 // SPARQLOG_FUZZ_LINES, SPARQLOG_FUZZ_PIPELINE_ROUNDS,
 // SPARQLOG_FUZZ_STREAK_ROUNDS, SPARQLOG_FUZZ_ANALYSIS_ROUNDS,
-// SPARQLOG_FUZZ_SCAN_INPUTS, SPARQLOG_FUZZ_SOURCE_ROUNDS.
+// SPARQLOG_FUZZ_SCAN_INPUTS, SPARQLOG_FUZZ_SOURCE_ROUNDS,
+// SPARQLOG_FUZZ_FAULT_ROUNDS.
 
 #include <cstdint>
 #include <cstdio>
@@ -37,8 +44,13 @@
 #include <string>
 #include <vector>
 
+// Install the counting/fault-injecting allocator: phase 7's
+// allocation-failure plans need operator new to consult the injection
+// countdown (obs/alloc_tracker.h). Exactly one TU per binary.
+#include "obs/alloc_hooks.h"
 #include "sparql/parser.h"
 #include "sparql/serializer.h"
+#include "testing/fault_injection.h"
 #include "testing/invariants.h"
 #include "testing/log_mutator.h"
 #include "testing/query_fuzzer.h"
@@ -66,6 +78,8 @@ struct Config {
   long analysis_queries = 300;
   long scan_inputs = 384;
   long source_rounds = 4;
+  long fault_rounds = 1000;
+  long fault_lines = 120;
   std::string out_path = "fuzz_reproducers.txt";
 };
 
@@ -90,6 +104,8 @@ Config ParseArgs(int argc, char** argv) {
       EnvOrDefault("SPARQLOG_FUZZ_SCAN_INPUTS", config.scan_inputs);
   config.source_rounds =
       EnvOrDefault("SPARQLOG_FUZZ_SOURCE_ROUNDS", config.source_rounds);
+  config.fault_rounds =
+      EnvOrDefault("SPARQLOG_FUZZ_FAULT_ROUNDS", config.fault_rounds);
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* flag) {
       return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
@@ -116,6 +132,10 @@ Config ParseArgs(int argc, char** argv) {
       config.scan_inputs = std::atol(argv[++i]);
     } else if (arg("--source-rounds")) {
       config.source_rounds = std::atol(argv[++i]);
+    } else if (arg("--fault-rounds")) {
+      config.fault_rounds = std::atol(argv[++i]);
+    } else if (arg("--fault-lines")) {
+      config.fault_lines = std::atol(argv[++i]);
     } else if (arg("--out")) {
       config.out_path = argv[++i];
     }
@@ -553,6 +573,55 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "  scan inputs: %ld checked, source rounds: %ld checked\n",
                  checked, config.source_rounds);
+  }
+
+  // Phase 7: seeded fault-injection replay. Each round builds a small
+  // mutated log, samples one FaultPlan (source truncation, transient/
+  // persistent read errors, allocation failure, poison lines — or the
+  // fault-free control) and one pipeline shape, and checks the
+  // containment contract: no escape, conservation, quarantine agreement,
+  // honest source_status, and bit-identical replay for deterministic
+  // plans. A violation report carries the plan description — the plan is
+  // a pure function of the phase seed and round, so it replays exactly.
+  {
+    sparqlog::util::Rng rng(config.seed ^ 0xFA177C0A17ED5ULL);
+    sparqlog::testing::QueryFuzzOptions fuzz_options;
+    fuzz_options.seed = config.seed + 7;
+    sparqlog::testing::QueryFuzzer fuzzer(fuzz_options);
+    sparqlog::testing::LogMutatorOptions mutator_options;
+    mutator_options.seed = config.seed + 7;
+    sparqlog::testing::LogLineMutator mutator(mutator_options);
+    std::vector<std::string> texts;
+    for (int i = 0; i < 32; ++i) {
+      texts.push_back(sparqlog::sparql::Serialize(fuzzer.Next()));
+    }
+    long fault_plans = 0;
+    for (long round = 0; round < config.fault_rounds; ++round) {
+      std::vector<std::string> log;
+      log.reserve(static_cast<size_t>(config.fault_lines));
+      for (long i = 0; i < config.fault_lines; ++i) {
+        log.push_back(mutator.NextLine(texts[rng.Below(texts.size())]));
+      }
+      sparqlog::testing::FaultPlan plan =
+          sparqlog::testing::RandomFaultPlan(rng);
+      if (plan.any()) ++fault_plans;
+      sparqlog::testing::EquivalenceConfig equiv =
+          sparqlog::testing::RandomEquivalenceConfig(rng);
+      if (auto v = sparqlog::testing::CheckFaultContainment(log, plan,
+                                                            equiv)) {
+        ++violations;
+        std::fprintf(stderr, "VIOLATION [%s] %s (fault round %ld, %s)\n",
+                     v->invariant.c_str(), v->detail.c_str(), round,
+                     plan.Describe().c_str());
+        std::ofstream out(config.out_path, std::ios::app);
+        out << "// [" << v->invariant << "] " << v->detail
+            << " (fault round " << round << ", seed " << config.seed << ", "
+            << plan.Describe() << ")\n";
+      }
+    }
+    std::fprintf(stderr,
+                 "  fault rounds: %ld x %ld lines checked (%ld with faults)\n",
+                 config.fault_rounds, config.fault_lines, fault_plans);
   }
 
   if (violations > 0) {

@@ -1,8 +1,14 @@
 #include "corpus/ingest.h"
 
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <vector>
+
 #include "obs/metrics.h"
 #include "sparql/serializer.h"
 #include "util/fnv.h"
+#include "util/serde.h"
 #include "util/simd_scan.h"
 #include "util/strings.h"
 
@@ -80,6 +86,73 @@ ParsedLine ParseLogLine(const sparql::Parser& parser, std::string_view line,
 LogIngestor::LogIngestor(sparql::ParserOptions parser_options)
     : parser_(std::move(parser_options)) {}
 
+void LogIngestor::set_unique_sink(QuerySink sink) {
+  if (!sink) {
+    unique_gate_ = nullptr;
+    return;
+  }
+  unique_gate_ = [sink = std::move(sink)](const sparql::Query& q) {
+    sink(q);
+    return util::Status::OK();
+  };
+}
+
+void LogIngestor::set_valid_sink(QuerySink sink) {
+  if (!sink) {
+    valid_gate_ = nullptr;
+    return;
+  }
+  valid_gate_ = [sink = std::move(sink)](const sparql::Query& q) {
+    sink(q);
+    return util::Status::OK();
+  };
+}
+
+namespace {
+
+void PutHashSet(std::ostream& out, const std::unordered_set<uint64_t>& set) {
+  std::vector<uint64_t> sorted(set.begin(), set.end());
+  std::sort(sorted.begin(), sorted.end());
+  util::serde::PutU64(out, sorted.size());
+  for (uint64_t h : sorted) util::serde::PutU64(out, h);
+}
+
+bool GetHashSet(std::istream& in, std::unordered_set<uint64_t>& set) {
+  uint64_t count;
+  if (!util::serde::GetU64(in, count)) return false;
+  set.clear();
+  set.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t h;
+    if (!util::serde::GetU64(in, h)) return false;
+    set.insert(h);
+  }
+  return true;
+}
+
+}  // namespace
+
+void LogIngestor::SaveState(std::ostream& out) const {
+  util::serde::PutU64(out, stats_.total);
+  util::serde::PutU64(out, stats_.valid);
+  util::serde::PutU64(out, stats_.unique);
+  util::serde::PutU64(out, stats_.malformed);
+  util::serde::PutU64(out, stats_.abandoned);
+  util::serde::PutU64(out, stats_.quarantined);
+  PutHashSet(out, seen_hashes_);
+  PutHashSet(out, seen_abandoned_);
+}
+
+bool LogIngestor::LoadState(std::istream& in) {
+  return util::serde::GetU64(in, stats_.total) &&
+         util::serde::GetU64(in, stats_.valid) &&
+         util::serde::GetU64(in, stats_.unique) &&
+         util::serde::GetU64(in, stats_.malformed) &&
+         util::serde::GetU64(in, stats_.abandoned) &&
+         util::serde::GetU64(in, stats_.quarantined) &&
+         GetHashSet(in, seen_hashes_) && GetHashSet(in, seen_abandoned_);
+}
+
 bool LogIngestor::ProcessLine(const std::string& line) {
   // The previous line's Query (if any) died with the last Ingest call —
   // sinks run synchronously — so its arena storage can be reclaimed.
@@ -102,30 +175,74 @@ void LogIngestor::Ingest(const ParsedLine& parsed) {
       ++shard_metrics->items_in;
     }
   }
+  if (parsed.quarantined) {
+    ++stats_.quarantined;
+    if constexpr (obs::kTelemetryEnabled) {
+      if (shard_metrics) ++shard_metrics->quarantined;
+    }
+    return;
+  }
   if (!parsed.valid) {
+    ++stats_.malformed;
     if constexpr (obs::kTelemetryEnabled) {
       if (shard_metrics) ++shard_metrics->malformed;
     }
     return;
   }
+  const sparql::Query& q = *parsed.query;
+  // Valid-corpus gate runs per occurrence: the budget verdict depends
+  // only on the canonical query, so duplicates repeat the same verdict.
+  if (valid_gate_) {
+    if constexpr (obs::kTelemetryEnabled) {
+      if (telemetry_) ++telemetry_->stage(obs::kStageAnalysis).items_in;
+    }
+    util::Status st = valid_gate_(q);
+    if (!st.ok()) {
+      ++stats_.abandoned;
+      seen_abandoned_.insert(parsed.canonical_hash);
+      if constexpr (obs::kTelemetryEnabled) {
+        if (shard_metrics) ++shard_metrics->abandoned;
+      }
+      return;
+    }
+  }
+  // Unique-mode bucketing: the first occurrence's gate verdict decides
+  // the bucket for the whole duplicate class (all duplicates of one
+  // canonical hash route to the same shard, so this is deterministic).
+  if (seen_abandoned_.count(parsed.canonical_hash) > 0) {
+    ++stats_.abandoned;
+    if constexpr (obs::kTelemetryEnabled) {
+      if (shard_metrics) ++shard_metrics->abandoned;
+    }
+    return;
+  }
+  if (seen_hashes_.count(parsed.canonical_hash) > 0) {
+    ++stats_.valid;
+    if constexpr (obs::kTelemetryEnabled) {
+      if (shard_metrics) ++shard_metrics->items_out;
+    }
+    return;
+  }
+  // First occurrence: the unique gate may still abandon it.
+  if (unique_gate_) {
+    if constexpr (obs::kTelemetryEnabled) {
+      if (telemetry_) ++telemetry_->stage(obs::kStageAnalysis).items_in;
+    }
+    util::Status st = unique_gate_(q);
+    if (!st.ok()) {
+      ++stats_.abandoned;
+      seen_abandoned_.insert(parsed.canonical_hash);
+      if constexpr (obs::kTelemetryEnabled) {
+        if (shard_metrics) ++shard_metrics->abandoned;
+      }
+      return;
+    }
+  }
+  seen_hashes_.insert(parsed.canonical_hash);
   ++stats_.valid;
+  ++stats_.unique;
   if constexpr (obs::kTelemetryEnabled) {
     if (shard_metrics) ++shard_metrics->items_out;
-  }
-  const sparql::Query& q = *parsed.query;
-  if (valid_sink_) {
-    if constexpr (obs::kTelemetryEnabled) {
-      if (telemetry_) ++telemetry_->stage(obs::kStageAnalysis).items_in;
-    }
-    valid_sink_(q);
-  }
-  if (!seen_hashes_.insert(parsed.canonical_hash).second) return;
-  ++stats_.unique;
-  if (unique_sink_) {
-    if constexpr (obs::kTelemetryEnabled) {
-      if (telemetry_) ++telemetry_->stage(obs::kStageAnalysis).items_in;
-    }
-    unique_sink_(q);
   }
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -11,6 +12,7 @@
 
 #include "sparql/ast.h"
 #include "sparql/parser.h"
+#include "util/status.h"
 
 namespace sparqlog::obs {
 struct RunTelemetry;
@@ -19,11 +21,25 @@ struct RunTelemetry;
 namespace sparqlog::corpus {
 
 /// The Table 1 pipeline counters: Total (query entries after cleaning),
-/// Valid (parseable), Unique (valid after duplicate elimination).
+/// Valid (parseable and fully analyzed), Unique (valid after duplicate
+/// elimination) — plus the failure-model buckets. Every query entry
+/// lands in exactly one of valid / malformed / abandoned / quarantined
+/// (the conservation invariant `Conserved()`; see DESIGN.md "Failure
+/// model").
 struct CorpusStats {
   uint64_t total = 0;
   uint64_t valid = 0;
   uint64_t unique = 0;
+  /// Query entries whose text did not parse (Total-but-not-Valid).
+  uint64_t malformed = 0;
+  /// Parseable entries whose structural analysis exhausted its step
+  /// budget (Status::kTimeout from the analyzer). Always 0 with the
+  /// default unlimited budgets.
+  uint64_t abandoned = 0;
+  /// Lines whose processing threw inside a pipeline worker (bad_alloc,
+  /// injected faults); isolated by the containment layer so the run
+  /// continues. Always 0 on a fault-free run.
+  uint64_t quarantined = 0;
 
   /// Adds another partition's counters. Exact when the partitions saw
   /// disjoint slices of the canonical-hash space (see pipeline/shard.h).
@@ -31,6 +47,15 @@ struct CorpusStats {
     total += other.total;
     valid += other.valid;
     unique += other.unique;
+    malformed += other.malformed;
+    abandoned += other.abandoned;
+    quarantined += other.quarantined;
+  }
+
+  /// The accounting-conservation invariant: the four outcome buckets
+  /// partition the query entries.
+  bool Conserved() const {
+    return total == valid + malformed + abandoned + quarantined;
   }
 };
 
@@ -49,8 +74,13 @@ struct ParsedLine {
   /// Equal hashes identify duplicates (same canonical AST).
   uint64_t canonical_hash = 0;
   /// FNV-1a of the raw line, for deterministic routing of entries that
-  /// have no canonical form; only set for malformed query entries.
+  /// have no canonical form; only set for malformed and quarantined
+  /// query entries.
   uint64_t line_hash = 0;
+  /// The line's processing threw inside a pipeline worker and was
+  /// isolated by the containment layer. Counts toward Total and the
+  /// quarantined bucket; `valid` is false and `query` disengaged.
+  bool quarantined = false;
   /// The AST; engaged iff `valid`.
   std::optional<sparql::Query> query;
 };
@@ -111,6 +141,15 @@ ParsedLine ParseLogLine(const sparql::Parser& parser, std::string_view line,
 /// Callback invoked for every query that survives a pipeline stage.
 using QuerySink = std::function<void(const sparql::Query&)>;
 
+/// Gate consuming a query that would enter the analysis corpus. OK
+/// means the query was fully analyzed (it counts as valid/unique);
+/// Status::kTimeout means the analysis exhausted its step budget and
+/// the query moves to the abandoned bucket instead. The verdict must be
+/// deterministic per canonical query — budgets are step counts, so
+/// equal queries always land in the same bucket regardless of
+/// scheduling.
+using QueryGate = std::function<util::Status(const sparql::Query&)>;
+
 /// Log ingestion: cleaning, validation, and duplicate elimination
 /// (Section 2 of the paper; Jena is replaced by our parser).
 class LogIngestor {
@@ -132,11 +171,18 @@ class LogIngestor {
 
   /// Registers a sink receiving every *unique* valid query (at its first
   /// occurrence) — this is the paper's primary analysis corpus.
-  void set_unique_sink(QuerySink sink) { unique_sink_ = std::move(sink); }
+  void set_unique_sink(QuerySink sink);
 
   /// Registers a sink receiving every *valid* query, duplicates
   /// included (the appendix corpus).
-  void set_valid_sink(QuerySink sink) { valid_sink_ = std::move(sink); }
+  void set_valid_sink(QuerySink sink);
+
+  /// Gate variants of the sinks: the consumer may veto the delivery
+  /// with Status::kTimeout (analysis budget exhausted), moving the
+  /// query — and, in unique mode, all its later duplicates — into the
+  /// abandoned bucket. A plain sink is a gate that always returns OK.
+  void set_unique_gate(QueryGate gate) { unique_gate_ = std::move(gate); }
+  void set_valid_gate(QueryGate gate) { valid_gate_ = std::move(gate); }
 
   /// Points the ingestor at a metrics registry (owned by the caller,
   /// outliving the ingestor's use). Ingest then counts query entries,
@@ -149,13 +195,28 @@ class LogIngestor {
 
   const CorpusStats& stats() const { return stats_; }
 
+  /// Serializes the dedup/accounting state (counters plus both seen-hash
+  /// sets, sorted so the blob is deterministic) for the crash-safe run
+  /// journal. The registered gates/sinks are NOT part of the state; a
+  /// restored ingestor must be wired to an analyzer restored from the
+  /// same checkpoint.
+  void SaveState(std::ostream& out) const;
+  /// Restores state written by SaveState. Returns false (leaving the
+  /// ingestor unspecified) on a truncated/corrupt blob.
+  bool LoadState(std::istream& in);
+
  private:
   sparql::Parser parser_;
   CorpusStats stats_;
-  QuerySink unique_sink_;
-  QuerySink valid_sink_;
+  QueryGate unique_gate_;
+  QueryGate valid_gate_;
   /// Hashes of canonical serializations seen so far.
   std::unordered_set<uint64_t> seen_hashes_;
+  /// Canonical hashes whose first occurrence exhausted the analysis
+  /// budget: later duplicates go straight to the abandoned bucket (the
+  /// budget verdict is per-canonical-query, so re-running the analysis
+  /// would burn the same steps for the same answer).
+  std::unordered_set<uint64_t> seen_abandoned_;
   /// Reused parse scratch for ProcessLine/ProcessLog: arena-pooled AST
   /// storage, recycled token buffer, pname cache, URL-decode buffer.
   /// Reset at each ProcessLine entry — safe because Ingest calls its

@@ -1,10 +1,13 @@
 #include "corpus/report.h"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 
 #include "graph/canonical.h"
 #include "graph/shapes.h"
 #include "paths/ctract.h"
+#include "util/serde.h"
 #include "width/hypertree.h"
 #include "width/treewidth.h"
 
@@ -141,7 +144,30 @@ void CorpusAnalyzer::MergeFrom(const CorpusAnalyzer& other) {
 }
 
 void CorpusAnalyzer::AddQuery(const Query& q, const std::string& dataset) {
+  // Unlimited budgets never time out, so the status is always OK.
+  (void)AddQueryBudgeted(q, dataset, AnalysisLimits());
+}
+
+util::Status CorpusAnalyzer::AddQueryBudgeted(const Query& q,
+                                              const std::string& dataset,
+                                              const AnalysisLimits& limits) {
+  // ---- Phase 1: compute. Everything that can exhaust a budget runs
+  // here, into locals; no aggregate is touched until every kernel
+  // finished. A kTimeout return therefore leaves the analyzer exactly
+  // as it was — the conservation invariant's "abandoned queries
+  // contribute to no statistic".
   QueryFeatures f = ExtractFeatures(q);
+  bool select_ask = f.form == QueryForm::kSelect || f.form == QueryForm::kAsk;
+  bool classify = select_ask && q.has_body;
+  FragmentClass fc;
+  ShapeOutcome outcome;
+  if (classify) {
+    fc = ClassifyFragment(q);
+    util::Status st = ComputeShapes(q, fc, limits, outcome);
+    if (!st.ok()) return st;
+  }
+
+  // ---- Phase 2: commit. Pure counter increments from here on. ----
 
   // ---- Keywords (Table 2) ----
   ++keywords_.total;
@@ -181,8 +207,6 @@ void CorpusAnalyzer::AddQuery(const Query& q, const std::string& dataset) {
   ts.triple_sum += static_cast<uint64_t>(f.num_triples);
   ts.max_triples =
       std::max<uint64_t>(ts.max_triples, static_cast<uint64_t>(f.num_triples));
-  bool select_ask =
-      f.form == QueryForm::kSelect || f.form == QueryForm::kAsk;
   if (select_ask) {
     ++ts.select_ask;
     ts.histogram.Add(f.num_triples);
@@ -208,9 +232,8 @@ void CorpusAnalyzer::AddQuery(const Query& q, const std::string& dataset) {
   }
 
   // ---- Fragments (Section 5.2, Figure 5) ----
-  if (!select_ask || !q.has_body) return;
+  if (!classify) return util::Status::OK();
   ++fragments_.select_ask;
-  FragmentClass fc = ClassifyFragment(q);
   if (fc.aof) ++fragments_.aof;
   if (fc.cq) {
     ++fragments_.cq;
@@ -232,14 +255,18 @@ void CorpusAnalyzer::AddQuery(const Query& q, const std::string& dataset) {
   }
 
   // ---- Shapes and widths (Table 4, Section 6) ----
-  AnalyzeShapes(q, fc);
+  CommitShapes(fc, outcome);
 
   // ---- Property paths (Table 5) ----
   AnalyzePaths(q.where);
+  return util::Status::OK();
 }
 
-void CorpusAnalyzer::AnalyzeShapes(const Query& q, const FragmentClass& fc) {
-  if (!(fc.cq || fc.cqf || fc.cqof)) return;
+util::Status CorpusAnalyzer::ComputeShapes(const Query& q,
+                                           const FragmentClass& fc,
+                                           const AnalysisLimits& limits,
+                                           ShapeOutcome& out) {
+  if (!(fc.cq || fc.cqf || fc.cqof)) return util::Status::OK();
 
   // All structural analysis runs on the analyzer's recycled scratch:
   // one interner/union-find/graph buffer set per analyzer (one analyzer
@@ -255,42 +282,71 @@ void CorpusAnalyzer::AnalyzeShapes(const Query& q, const FragmentClass& fc) {
       graph::BuildCanonicalHypergraph(s.triples, s.filters,
                                       graph::CanonicalOptions(), s.canonical,
                                       s.hypergraph);
-      width::GhwResult ghw =
-          width::GeneralizedHypertreeWidth(s.hypergraph, s.ghw);
-      ++hypergraphs_.total;
-      switch (ghw.width) {
-        case 0:
-        case 1: ++hypergraphs_.ghw1; break;
-        case 2: ++hypergraphs_.ghw2; break;
-        case 3: ++hypergraphs_.ghw3; break;
-        default: ++hypergraphs_.ghw_more; break;
+      util::StepBudget ghw_budget(limits.ghw_steps);
+      out.ghw = width::GeneralizedHypertreeWidth(
+          s.hypergraph, s.ghw, /*max_k=*/4,
+          limits.ghw_steps != 0 ? &ghw_budget : nullptr);
+      if (out.ghw.abandoned) {
+        return util::Status::Timeout("ghw step budget exhausted");
       }
-      if (ghw.decomposition_nodes > 10) {
-        ++hypergraphs_.decompositions_gt10_nodes;
-      }
-      if (ghw.decomposition_nodes > 100) {
-        ++hypergraphs_.decompositions_gt100_nodes;
-      }
+      out.has_hypergraph = true;
     }
-    return;
+    return util::Status::OK();
   }
 
   graph::BuildCanonicalGraph(s.triples, s.filters, graph::CanonicalOptions(),
                              s.canonical, s.graph);
   const graph::CanonicalGraph& cg = s.graph;
-  if (!cg.valid) return;
-  graph::ShapeClass shape = graph::ClassifyShape(cg.graph, s.shape);
-  width::TreewidthResult tw = width::Treewidth(cg.graph, s.treewidth);
+  if (!cg.valid) return util::Status::OK();
+  util::StepBudget girth_budget(limits.girth_steps);
+  out.shape = graph::ClassifyShape(
+      cg.graph, s.shape, limits.girth_steps != 0 ? &girth_budget : nullptr);
+  if (out.shape.abandoned) {
+    return util::Status::Timeout("girth step budget exhausted");
+  }
+  util::StepBudget tw_budget(limits.treewidth_steps);
+  out.tw = width::Treewidth(
+      cg.graph, s.treewidth,
+      limits.treewidth_steps != 0 ? &tw_budget : nullptr);
+  if (out.tw.abandoned) {
+    return util::Status::Timeout("treewidth step budget exhausted");
+  }
+  if (out.shape.single_edge) {
+    for (const rdf::Term* t : cg.node_terms) {
+      if (t->is_constant()) out.single_edge_has_constant = true;
+    }
+  }
+  out.has_graph = true;
+  return util::Status::OK();
+}
 
+void CorpusAnalyzer::CommitShapes(const FragmentClass& fc,
+                                  const ShapeOutcome& outcome) {
+  if (outcome.has_hypergraph) {
+    ++hypergraphs_.total;
+    switch (outcome.ghw.width) {
+      case 0:
+      case 1: ++hypergraphs_.ghw1; break;
+      case 2: ++hypergraphs_.ghw2; break;
+      case 3: ++hypergraphs_.ghw3; break;
+      default: ++hypergraphs_.ghw_more; break;
+    }
+    if (outcome.ghw.decomposition_nodes > 10) {
+      ++hypergraphs_.decompositions_gt10_nodes;
+    }
+    if (outcome.ghw.decomposition_nodes > 100) {
+      ++hypergraphs_.decompositions_gt100_nodes;
+    }
+    return;
+  }
+  if (!outcome.has_graph) return;
+
+  const graph::ShapeClass& shape = outcome.shape;
   auto record = [&](ShapeCounts& sc) {
     ++sc.total;
     if (shape.single_edge) {
       ++sc.single_edge;
-      bool has_constant = false;
-      for (const rdf::Term* t : cg.node_terms) {
-        if (t->is_constant()) has_constant = true;
-      }
-      if (has_constant) ++sc.single_edge_with_constants;
+      if (outcome.single_edge_has_constant) ++sc.single_edge_with_constants;
     }
     if (shape.chain) ++sc.chain;
     if (shape.chain_set) ++sc.chain_set;
@@ -300,9 +356,9 @@ void CorpusAnalyzer::AnalyzeShapes(const Query& q, const FragmentClass& fc) {
     if (shape.cycle) ++sc.cycle;
     if (shape.flower) ++sc.flower;
     if (shape.flower_set) ++sc.flower_set;
-    if (tw.width <= 2) {
+    if (outcome.tw.width <= 2) {
       ++sc.treewidth_le2;
-    } else if (tw.width == 3) {
+    } else if (outcome.tw.width == 3) {
       ++sc.treewidth_3;
     } else {
       ++sc.treewidth_gt3;
@@ -312,6 +368,271 @@ void CorpusAnalyzer::AnalyzeShapes(const Query& q, const FragmentClass& fc) {
   if (fc.cq) record(cq_shapes_);
   if (fc.cqf) record(cqf_shapes_);
   if (fc.cqof) record(cqof_shapes_);
+}
+
+// ---- SaveState/LoadState (crash-safe run journal) ----
+// Field order mirrors MergeFrom: every aggregate, in declaration order.
+// Maps are dumped in their (ordered) iteration order, histograms as
+// max_direct + direct counts + overflow, so identical analyzer states
+// serialize to identical bytes.
+
+namespace {
+
+void PutHistogram(std::ostream& out, const util::BucketHistogram& h) {
+  util::serde::PutU64(out, static_cast<uint64_t>(h.max_direct()));
+  for (int i = 0; i <= h.max_direct(); ++i) util::serde::PutU64(out, h.Count(i));
+  util::serde::PutU64(out, h.Overflow());
+}
+
+// Rebuilds additively via Add(bucket, count): `h` must be freshly
+// constructed (all-zero) with the same layout as the saved histogram.
+bool GetHistogram(std::istream& in, util::BucketHistogram& h) {
+  uint64_t max_direct;
+  if (!util::serde::GetU64(in, max_direct)) return false;
+  if (max_direct != static_cast<uint64_t>(h.max_direct())) return false;
+  for (int i = 0; i <= h.max_direct(); ++i) {
+    uint64_t c;
+    if (!util::serde::GetU64(in, c)) return false;
+    h.Add(i, c);
+  }
+  uint64_t overflow;
+  if (!util::serde::GetU64(in, overflow)) return false;
+  h.Add(h.max_direct() + 1, overflow);
+  return true;
+}
+
+void PutShapeCounts(std::ostream& out, const ShapeCounts& sc) {
+  util::serde::PutU64(out, sc.total);
+  util::serde::PutU64(out, sc.single_edge);
+  util::serde::PutU64(out, sc.chain);
+  util::serde::PutU64(out, sc.chain_set);
+  util::serde::PutU64(out, sc.star);
+  util::serde::PutU64(out, sc.tree);
+  util::serde::PutU64(out, sc.forest);
+  util::serde::PutU64(out, sc.cycle);
+  util::serde::PutU64(out, sc.flower);
+  util::serde::PutU64(out, sc.flower_set);
+  util::serde::PutU64(out, sc.treewidth_le2);
+  util::serde::PutU64(out, sc.treewidth_3);
+  util::serde::PutU64(out, sc.treewidth_gt3);
+  util::serde::PutU64(out, sc.single_edge_with_constants);
+  util::serde::PutU64(out, sc.girth.size());
+  for (const auto& [g, n] : sc.girth) {
+    util::serde::PutI64(out, g);
+    util::serde::PutU64(out, n);
+  }
+}
+
+bool GetShapeCounts(std::istream& in, ShapeCounts& sc) {
+  if (!(util::serde::GetU64(in, sc.total) &&
+        util::serde::GetU64(in, sc.single_edge) &&
+        util::serde::GetU64(in, sc.chain) &&
+        util::serde::GetU64(in, sc.chain_set) &&
+        util::serde::GetU64(in, sc.star) &&
+        util::serde::GetU64(in, sc.tree) &&
+        util::serde::GetU64(in, sc.forest) &&
+        util::serde::GetU64(in, sc.cycle) &&
+        util::serde::GetU64(in, sc.flower) &&
+        util::serde::GetU64(in, sc.flower_set) &&
+        util::serde::GetU64(in, sc.treewidth_le2) &&
+        util::serde::GetU64(in, sc.treewidth_3) &&
+        util::serde::GetU64(in, sc.treewidth_gt3) &&
+        util::serde::GetU64(in, sc.single_edge_with_constants))) {
+    return false;
+  }
+  uint64_t girth_entries;
+  if (!util::serde::GetU64(in, girth_entries)) return false;
+  sc.girth.clear();
+  for (uint64_t i = 0; i < girth_entries; ++i) {
+    int64_t g;
+    uint64_t n;
+    if (!util::serde::GetI64(in, g) || !util::serde::GetU64(in, n)) {
+      return false;
+    }
+    sc.girth[static_cast<int>(g)] = n;
+  }
+  return true;
+}
+
+}  // namespace
+
+void CorpusAnalyzer::SaveState(std::ostream& out) const {
+  using util::serde::PutU64;
+
+  const KeywordCounts& k = keywords_;
+  PutU64(out, k.total);
+  PutU64(out, k.select);
+  PutU64(out, k.ask);
+  PutU64(out, k.describe);
+  PutU64(out, k.construct);
+  PutU64(out, k.distinct);
+  PutU64(out, k.limit);
+  PutU64(out, k.offset);
+  PutU64(out, k.order_by);
+  PutU64(out, k.reduced);
+  PutU64(out, k.filter);
+  PutU64(out, k.conj);
+  PutU64(out, k.union_);
+  PutU64(out, k.optional);
+  PutU64(out, k.graph);
+  PutU64(out, k.not_exists);
+  PutU64(out, k.minus);
+  PutU64(out, k.exists);
+  PutU64(out, k.count);
+  PutU64(out, k.max);
+  PutU64(out, k.min);
+  PutU64(out, k.avg);
+  PutU64(out, k.sum);
+  PutU64(out, k.group_by);
+  PutU64(out, k.having);
+  PutU64(out, k.service);
+  PutU64(out, k.bind);
+  PutU64(out, k.values);
+
+  for (uint64_t c : opsets_.exact) PutU64(out, c);
+  PutU64(out, opsets_.other);
+  PutU64(out, opsets_.total);
+
+  PutU64(out, projection_.total);
+  PutU64(out, projection_.with_projection);
+  PutU64(out, projection_.select_with_projection);
+  PutU64(out, projection_.ask_with_projection);
+  PutU64(out, projection_.indeterminate);
+  PutU64(out, projection_.with_subqueries);
+
+  PutU64(out, fragments_.select_ask);
+  PutU64(out, fragments_.aof);
+  PutU64(out, fragments_.cq);
+  PutU64(out, fragments_.cpf);
+  PutU64(out, fragments_.cqf);
+  PutU64(out, fragments_.well_designed);
+  PutU64(out, fragments_.cqof);
+  PutU64(out, fragments_.wide_interface);
+  PutHistogram(out, fragments_.cq_sizes);
+  PutHistogram(out, fragments_.cqf_sizes);
+  PutHistogram(out, fragments_.cqof_sizes);
+
+  PutShapeCounts(out, cq_shapes_);
+  PutShapeCounts(out, cqf_shapes_);
+  PutShapeCounts(out, cqof_shapes_);
+
+  PutU64(out, hypergraphs_.total);
+  PutU64(out, hypergraphs_.ghw1);
+  PutU64(out, hypergraphs_.ghw2);
+  PutU64(out, hypergraphs_.ghw3);
+  PutU64(out, hypergraphs_.ghw_more);
+  PutU64(out, hypergraphs_.decompositions_gt10_nodes);
+  PutU64(out, hypergraphs_.decompositions_gt100_nodes);
+
+  PutU64(out, paths_.total_paths);
+  PutU64(out, paths_.trivial_negated);
+  PutU64(out, paths_.trivial_inverse);
+  PutU64(out, paths_.navigational);
+  PutU64(out, paths_.with_inverse);
+  PutU64(out, paths_.not_ctract);
+  PutU64(out, paths_.by_type.size());
+  for (const auto& [type, n] : paths_.by_type) {
+    PutU64(out, static_cast<uint64_t>(type));
+    PutU64(out, n);
+  }
+
+  PutU64(out, per_dataset_.size());
+  for (const auto& [dataset, ts] : per_dataset_) {
+    util::serde::PutString(out, dataset);
+    PutHistogram(out, ts.histogram);
+    PutU64(out, ts.select_ask);
+    PutU64(out, ts.all_queries);
+    PutU64(out, ts.triple_sum);
+    PutU64(out, ts.max_triples);
+  }
+}
+
+bool CorpusAnalyzer::LoadState(std::istream& in) {
+  using util::serde::GetU64;
+
+  KeywordCounts& k = keywords_;
+  if (!(GetU64(in, k.total) && GetU64(in, k.select) && GetU64(in, k.ask) &&
+        GetU64(in, k.describe) && GetU64(in, k.construct) &&
+        GetU64(in, k.distinct) && GetU64(in, k.limit) &&
+        GetU64(in, k.offset) && GetU64(in, k.order_by) &&
+        GetU64(in, k.reduced) && GetU64(in, k.filter) && GetU64(in, k.conj) &&
+        GetU64(in, k.union_) && GetU64(in, k.optional) &&
+        GetU64(in, k.graph) && GetU64(in, k.not_exists) &&
+        GetU64(in, k.minus) && GetU64(in, k.exists) && GetU64(in, k.count) &&
+        GetU64(in, k.max) && GetU64(in, k.min) && GetU64(in, k.avg) &&
+        GetU64(in, k.sum) && GetU64(in, k.group_by) &&
+        GetU64(in, k.having) && GetU64(in, k.service) && GetU64(in, k.bind) &&
+        GetU64(in, k.values))) {
+    return false;
+  }
+
+  for (uint64_t& c : opsets_.exact) {
+    if (!GetU64(in, c)) return false;
+  }
+  if (!(GetU64(in, opsets_.other) && GetU64(in, opsets_.total))) return false;
+
+  if (!(GetU64(in, projection_.total) &&
+        GetU64(in, projection_.with_projection) &&
+        GetU64(in, projection_.select_with_projection) &&
+        GetU64(in, projection_.ask_with_projection) &&
+        GetU64(in, projection_.indeterminate) &&
+        GetU64(in, projection_.with_subqueries))) {
+    return false;
+  }
+
+  if (!(GetU64(in, fragments_.select_ask) && GetU64(in, fragments_.aof) &&
+        GetU64(in, fragments_.cq) && GetU64(in, fragments_.cpf) &&
+        GetU64(in, fragments_.cqf) && GetU64(in, fragments_.well_designed) &&
+        GetU64(in, fragments_.cqof) &&
+        GetU64(in, fragments_.wide_interface) &&
+        GetHistogram(in, fragments_.cq_sizes) &&
+        GetHistogram(in, fragments_.cqf_sizes) &&
+        GetHistogram(in, fragments_.cqof_sizes))) {
+    return false;
+  }
+
+  if (!(GetShapeCounts(in, cq_shapes_) && GetShapeCounts(in, cqf_shapes_) &&
+        GetShapeCounts(in, cqof_shapes_))) {
+    return false;
+  }
+
+  if (!(GetU64(in, hypergraphs_.total) && GetU64(in, hypergraphs_.ghw1) &&
+        GetU64(in, hypergraphs_.ghw2) && GetU64(in, hypergraphs_.ghw3) &&
+        GetU64(in, hypergraphs_.ghw_more) &&
+        GetU64(in, hypergraphs_.decompositions_gt10_nodes) &&
+        GetU64(in, hypergraphs_.decompositions_gt100_nodes))) {
+    return false;
+  }
+
+  if (!(GetU64(in, paths_.total_paths) && GetU64(in, paths_.trivial_negated) &&
+        GetU64(in, paths_.trivial_inverse) &&
+        GetU64(in, paths_.navigational) && GetU64(in, paths_.with_inverse) &&
+        GetU64(in, paths_.not_ctract))) {
+    return false;
+  }
+  uint64_t path_types;
+  if (!GetU64(in, path_types)) return false;
+  paths_.by_type.clear();
+  for (uint64_t i = 0; i < path_types; ++i) {
+    uint64_t type, n;
+    if (!GetU64(in, type) || !GetU64(in, n)) return false;
+    paths_.by_type[static_cast<paths::PathType>(type)] = n;
+  }
+
+  uint64_t datasets;
+  if (!GetU64(in, datasets)) return false;
+  per_dataset_.clear();
+  std::string dataset;
+  for (uint64_t i = 0; i < datasets; ++i) {
+    if (!util::serde::GetString(in, dataset)) return false;
+    TripleStats& ts = per_dataset_[dataset];
+    if (!(GetHistogram(in, ts.histogram) && GetU64(in, ts.select_ask) &&
+          GetU64(in, ts.all_queries) && GetU64(in, ts.triple_sum) &&
+          GetU64(in, ts.max_triples))) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void CorpusAnalyzer::AnalyzePaths(const Pattern& p) {

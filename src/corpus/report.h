@@ -2,6 +2,7 @@
 #define SPARQLOG_CORPUS_REPORT_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 
@@ -9,11 +10,34 @@
 #include "analysis/operator_set.h"
 #include "corpus/analysis_scratch.h"
 #include "fragments/fragment.h"
+#include "graph/shapes.h"
 #include "paths/path_class.h"
 #include "sparql/ast.h"
 #include "util/histogram.h"
+#include "util/status.h"
+#include "width/hypertree.h"
+#include "width/treewidth.h"
 
 namespace sparqlog::corpus {
+
+/// Per-kernel step budgets for one query's structural analysis
+/// (0 = unlimited, the default — identical behaviour to the unbudgeted
+/// analyzer). Each query gets a fresh budget per kernel, so the
+/// complete/abandon verdict depends only on the canonical query and the
+/// limits — never on scheduling — which keeps merged digests
+/// bit-reproducible (see DESIGN.md "Failure model").
+struct AnalysisLimits {
+  /// det-k-decomp separator search (TrySeparators + CheckSeparator calls).
+  uint64_t ghw_steps = 0;
+  /// Treewidth branch-and-bound (Search nodes).
+  uint64_t treewidth_steps = 0;
+  /// Girth all-pairs BFS (node expansions).
+  uint64_t girth_steps = 0;
+
+  bool any() const {
+    return ghw_steps != 0 || treewidth_steps != 0 || girth_steps != 0;
+  }
+};
 
 /// Keyword counters (Table 2 / Table 7).
 struct KeywordCounts {
@@ -133,6 +157,16 @@ class CorpusAnalyzer {
   /// per-dataset statistics (Figure 1).
   void AddQuery(const sparql::Query& q, const std::string& dataset = "all");
 
+  /// Budgeted variant: runs the expensive kernels (GHW, treewidth,
+  /// girth) under `limits`. Compute-then-commit — if any kernel
+  /// exhausts its budget, Status::kTimeout is returned and NO aggregate
+  /// is touched, so the caller can move the query to the abandoned
+  /// bucket without half-counted statistics. With default (unlimited)
+  /// limits this is exactly AddQuery and always returns OK.
+  util::Status AddQueryBudgeted(const sparql::Query& q,
+                                const std::string& dataset,
+                                const AnalysisLimits& limits);
+
   /// Folds another analyzer's aggregates into this one. When each query
   /// was analyzed by exactly one analyzer (the pipeline's shard
   /// invariant), the merged state is identical to analyzing all queries
@@ -154,9 +188,33 @@ class CorpusAnalyzer {
     return per_dataset_;
   }
 
+  /// Serializes every aggregate (the exact state MergeFrom/digests see)
+  /// for the crash-safe run journal. Deterministic: maps iterate in key
+  /// order, histograms dump their fixed bucket layout.
+  void SaveState(std::ostream& out) const;
+  /// Restores state written by SaveState into a freshly-constructed
+  /// analyzer (histograms are rebuilt additively, so pre-existing
+  /// counts would corrupt them). Returns false on a truncated/corrupt
+  /// or layout-mismatched blob.
+  bool LoadState(std::istream& in);
+
  private:
-  void AnalyzeShapes(const sparql::Query& q,
-                     const fragments::FragmentClass& fc);
+  /// Kernel results of one query's phase-1 (compute) pass, committed to
+  /// the aggregates only if no budget was exhausted.
+  struct ShapeOutcome {
+    bool has_hypergraph = false;
+    width::GhwResult ghw;
+    bool has_graph = false;
+    graph::ShapeClass shape;
+    width::TreewidthResult tw;
+    bool single_edge_has_constant = false;
+  };
+
+  util::Status ComputeShapes(const sparql::Query& q,
+                             const fragments::FragmentClass& fc,
+                             const AnalysisLimits& limits, ShapeOutcome& out);
+  void CommitShapes(const fragments::FragmentClass& fc,
+                    const ShapeOutcome& outcome);
   void AnalyzePaths(const sparql::Pattern& p);
 
   KeywordCounts keywords_;

@@ -159,7 +159,7 @@ bool Graph::IsAcyclic(bool ignore_self_loops) const {
   return num_proper_edges() == num_nodes_ - components;
 }
 
-int Graph::Girth(GirthScratch& s) const {
+int Graph::Girth(GirthScratch& s, util::StepBudget* budget) const {
   if (!self_loops_.empty()) return 1;
   int best = 0;
   int n = num_nodes_;
@@ -175,6 +175,7 @@ int Graph::Girth(GirthScratch& s) const {
     s.dist[static_cast<size_t>(start)] = 0;
     s.queue[tail++] = start;
     while (head < tail) {
+      if (budget != nullptr && !budget->Charge()) return -1;
       int v = s.queue[head++];
       for (int w : Neighbors(v)) {
         if (s.dist[static_cast<size_t>(w)] < 0) {

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/budget.h"
+
 namespace sparqlog::graph {
 
 /// Read-only view over one node's neighbor list, iterated in ascending
@@ -136,7 +138,11 @@ class Graph {
   /// Length of the shortest cycle; 0 if acyclic. A self-loop is a cycle
   /// of length 1. Runs BFS from every node: O(V * E). The scratch
   /// overload performs no heap allocation after warmup.
-  int Girth(GirthScratch& scratch) const;
+  ///
+  /// `budget` (optional) charges one step per BFS node expansion; on
+  /// exhaustion the search stops and -1 is returned (abandoned — the
+  /// caller must not interpret it as a girth).
+  int Girth(GirthScratch& scratch, util::StepBudget* budget = nullptr) const;
   int Girth() const;
 
  private:

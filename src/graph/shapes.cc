@@ -328,7 +328,8 @@ int BridgeFind(ShapeScratch& s, int x) {
 
 }  // namespace
 
-ShapeClass ClassifyShape(const Graph& g, ShapeScratch& s) {
+ShapeClass ClassifyShape(const Graph& g, ShapeScratch& s,
+                         util::StepBudget* girth_budget) {
   ShapeClass out;
   const int n = g.num_nodes();
   if (n == 0) {
@@ -399,7 +400,11 @@ ShapeClass ClassifyShape(const Graph& g, ShapeScratch& s) {
   // A forest has no cycle by definition, so the all-pairs girth BFS —
   // the costliest piece on the (dominant) tree-like queries — only runs
   // on cyclic graphs.
-  out.girth = acyclic ? 0 : g.Girth(s.girth);
+  out.girth = acyclic ? 0 : g.Girth(s.girth, girth_budget);
+  if (out.girth < 0) {
+    out.girth = 0;
+    out.abandoned = true;
+  }
 
   out.forest = acyclic;
   out.tree = acyclic && connected;  // n > 0 here

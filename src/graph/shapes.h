@@ -24,6 +24,9 @@ struct ShapeClass {
   bool flower = false;       ///< Definition 6.1
   bool flower_set = false;   ///< every component a flower
   int girth = 0;             ///< shortest cycle length; 0 if acyclic
+  /// True if the girth BFS ran out of its step budget; `girth` is then
+  /// 0 and the query belongs in the abandoned bucket.
+  bool abandoned = false;
 };
 
 /// Recycled working state for ClassifyShape: a CSR adjacency snapshot,
@@ -70,7 +73,11 @@ struct ShapeScratch {
 /// edges) report all tree-like flags true except single_edge/chain/star.
 /// The scratch overload performs no heap allocation after warmup; the
 /// plain overload allocates a scratch per call (tests, examples).
-ShapeClass ClassifyShape(const Graph& g, ShapeScratch& scratch);
+///
+/// `girth_budget` (optional) bounds the all-pairs girth BFS — the only
+/// super-linear step; on exhaustion the result is marked `abandoned`.
+ShapeClass ClassifyShape(const Graph& g, ShapeScratch& scratch,
+                         util::StepBudget* girth_budget = nullptr);
 ShapeClass ClassifyShape(const Graph& g);
 
 /// True iff `g` (connected, with designated endpoints) is a petal: two

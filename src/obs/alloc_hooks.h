@@ -13,6 +13,10 @@
 #include "obs/alloc_tracker.h"
 
 void* operator new(std::size_t n) {
+  // Fault injection (obs/alloc_tracker.h): one relaxed load when
+  // disarmed, a thread-local check when armed. Throws before malloc so
+  // an injected failure looks exactly like real memory exhaustion.
+  if (sparqlog::obs::ShouldInjectAllocFailure()) throw std::bad_alloc();
   sparqlog::obs::alloc_internal::g_alloc_bytes.fetch_add(
       n, std::memory_order_relaxed);
   sparqlog::obs::alloc_internal::g_alloc_count.fetch_add(

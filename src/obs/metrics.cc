@@ -54,6 +54,8 @@ void StageMetrics::Merge(const StageMetrics& other) {
   items_in += other.items_in;
   items_out += other.items_out;
   malformed += other.malformed;
+  abandoned += other.abandoned;
+  quarantined += other.quarantined;
   chunks += other.chunks;
   bytes_in += other.bytes_in;
   alloc_bytes += other.alloc_bytes;
@@ -77,6 +79,7 @@ void RunTelemetry::Merge(const RunTelemetry& other) {
   prefilter_charmap += other.prefilter_charmap;
   prefilter_histogram += other.prefilter_histogram;
   prefilter_dp += other.prefilter_dp;
+  prefilter_abandoned += other.prefilter_abandoned;
   wall_ns = std::max(wall_ns, other.wall_ns);
   workers += other.workers;
   run_alloc_bytes += other.run_alloc_bytes;
@@ -116,10 +119,15 @@ uint64_t TelemetryDigest(const RunTelemetry& t) {
     for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
     h.Update(std::string_view(bytes, sizeof(bytes)));
   };
+  // abandoned participates: step budgets are per-canonical-query, so
+  // the verdict is scheduling-independent. quarantined does NOT — alloc
+  // faults land wherever the allocation counter happens to be, so two
+  // runs of the same fault plan may quarantine different lines.
   for (const StageMetrics& s : t.stages) {
     mix(s.items_in);
     mix(s.items_out);
     mix(s.malformed);
+    mix(s.abandoned);
     mix(s.bytes_in);
   }
   mix(t.shard_queries.size());

@@ -123,6 +123,8 @@ struct StageMetrics {
   uint64_t items_in = 0;    // items entering the stage (lines, entries)
   uint64_t items_out = 0;   // items surviving the stage
   uint64_t malformed = 0;   // query entries that failed to parse
+  uint64_t abandoned = 0;   // entries whose analysis budget ran out
+  uint64_t quarantined = 0;  // entries isolated by fault containment
   uint64_t chunks = 0;      // work units processed
   /// Payload bytes entering the stage (line bytes, newlines excluded).
   /// Deterministic for a given input — independent of chunk size and
@@ -155,6 +157,9 @@ struct RunTelemetry {
   uint64_t prefilter_charmap = 0;
   uint64_t prefilter_histogram = 0;
   uint64_t prefilter_dp = 0;
+  /// Similarity pairs abandoned because the Levenshtein step budget ran
+  /// out (streaks::PrefilterStats::abandoned_pairs).
+  uint64_t prefilter_abandoned = 0;
   /// Run envelope. wall_ns merges by max (parallel partitions share the
   /// wall clock), workers by sum.
   uint64_t wall_ns = 0;

@@ -72,8 +72,9 @@ void PrintSummary(std::ostream& out, const RunTelemetry& t) {
   out << "Telemetry (" << t.workers << " workers, wall "
       << Ms(static_cast<double>(t.wall_ns)) << " ms)\n\n";
 
-  util::Table stages({"Stage", "Chunks", "In", "Out", "Malformed", "MB/s",
-                      "In/chunk", "Mean ms", "p99 ms", "Busy"});
+  util::Table stages({"Stage", "Chunks", "In", "Out", "Malformed", "Abandoned",
+                      "Quarantined", "MB/s", "In/chunk", "Mean ms", "p99 ms",
+                      "Busy"});
   for (int s = 0; s < kStageCount; ++s) {
     const StageMetrics& m = t.stage(s);
     if (m.items_in == 0 && m.chunks == 0 && m.chunk_ns.count() == 0) continue;
@@ -82,7 +83,8 @@ void PrintSummary(std::ostream& out, const RunTelemetry& t) {
                                 : 0.0;
     stages.AddRow({StageName(s), std::to_string(m.chunks),
                    std::to_string(m.items_in), std::to_string(m.items_out),
-                   std::to_string(m.malformed),
+                   std::to_string(m.malformed), std::to_string(m.abandoned),
+                   std::to_string(m.quarantined),
                    MbPerSec(m.bytes_in, m.chunk_ns.total_ns()),
                    PerChunk(m.items_in, m.chunks), Ms(m.chunk_ns.MeanNs()),
                    Ms(static_cast<double>(m.chunk_ns.PercentileNs(0.99))),
@@ -143,6 +145,8 @@ void AppendTelemetryJson(JsonWriter& json, const RunTelemetry& t) {
     json.KV("items_in", m.items_in);
     json.KV("items_out", m.items_out);
     json.KV("malformed", m.malformed);
+    json.KV("abandoned", m.abandoned);
+    json.KV("quarantined", m.quarantined);
     json.KV("chunks", m.chunks);
     json.KV("bytes_in", m.bytes_in);
     json.KV("lines_per_chunk",
@@ -187,6 +191,7 @@ void AppendTelemetryJson(JsonWriter& json, const RunTelemetry& t) {
   json.KV("charmap_rejects", t.prefilter_charmap);
   json.KV("histogram_rejects", t.prefilter_histogram);
   json.KV("levenshtein_calls", t.prefilter_dp);
+  json.KV("abandoned_pairs", t.prefilter_abandoned);
   json.EndObject();
 
   json.Key("allocations").BeginObject();
@@ -214,6 +219,8 @@ std::string PrometheusText(const RunTelemetry& t) {
     Counter(out, "sparqlog_stage_items_in_total", labels, m.items_in);
     Counter(out, "sparqlog_stage_items_out_total", labels, m.items_out);
     Counter(out, "sparqlog_stage_malformed_total", labels, m.malformed);
+    Counter(out, "sparqlog_stage_abandoned_total", labels, m.abandoned);
+    Counter(out, "sparqlog_stage_quarantined_total", labels, m.quarantined);
     Counter(out, "sparqlog_stage_chunks_total", labels, m.chunks);
     Counter(out, "sparqlog_stage_bytes_in_total", labels, m.bytes_in);
     // Cumulative le-histogram of chunk latency, seconds.

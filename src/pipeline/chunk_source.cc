@@ -40,10 +40,48 @@ MmapChunkSource::~MmapChunkSource() {
 #endif
 }
 
+#if SPARQLOG_HAVE_MMAP
+namespace {
+
+/// open(2) with EINTR retry — a signal between open and the retry loop
+/// must not fail the whole run.
+int OpenRetryEintr(const char* path) {
+  for (;;) {
+    int fd = ::open(path, O_RDONLY);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+/// Reads the whole file into `buffer`, retrying EINTR and continuing
+/// after short reads (both are normal on pipes-turned-regular-files and
+/// under signal-heavy test harnesses). Returns false on a real error
+/// with errno set.
+bool ReadAllRetryEintr(int fd, size_t size, std::string& buffer) {
+  buffer.resize(size);
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::read(fd, buffer.data() + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) {
+      // File shrank underneath us; serve what exists.
+      buffer.resize(done);
+      return true;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+#endif
+
 Result<std::unique_ptr<MmapChunkSource>> MmapChunkSource::Open(
     const std::string& path, Options options) {
 #if SPARQLOG_HAVE_MMAP
-  int fd = ::open(path.c_str(), O_RDONLY);
+  int fd = OpenRetryEintr(path.c_str());
   if (fd < 0) {
     return Status::NotFound("mmap source: cannot open '" + path +
                             "': " + std::strerror(errno));
@@ -61,6 +99,29 @@ Result<std::unique_ptr<MmapChunkSource>> MmapChunkSource::Open(
                                    "' is not a regular file");
   }
   const size_t size = static_cast<size_t>(st.st_size);
+  if (!options.use_mmap) {
+    // Buffered-read path: same view semantics as the mapping, one copy
+    // total. This is also the code the fault tests drive.
+    std::string buffer;
+    if (!ReadAllRetryEintr(fd, size, buffer)) {
+      const int err = errno;
+      ::close(fd);
+      return Status::Internal("mmap source: read failed for '" + path +
+                              "': " + std::strerror(err));
+    }
+    if (::close(fd) != 0) {
+      // A failing close can mean lost writeback errors on some
+      // filesystems; for a read-only descriptor it still signals a
+      // kernel-level problem worth surfacing instead of swallowing.
+      return Status::Internal("mmap source: close failed for '" + path +
+                              "': " + std::strerror(errno));
+    }
+    // buffer.size() must be read before std::move(buffer): argument
+    // evaluation order is unspecified, and gcc moves first.
+    const size_t buffered = buffer.size();
+    return std::unique_ptr<MmapChunkSource>(new MmapChunkSource(
+        nullptr, buffered, /*mapped=*/false, std::move(buffer), options));
+  }
   const char* data = nullptr;
   // An empty file is a valid (zero-line) source: mmap(len=0) is EINVAL
   // on Linux, so it must be skipped, not treated as a failure.
@@ -77,7 +138,12 @@ Result<std::unique_ptr<MmapChunkSource>> MmapChunkSource::Open(
 #endif
     data = static_cast<const char*>(map);
   }
-  ::close(fd);  // the mapping outlives the descriptor
+  if (::close(fd) != 0) {  // the mapping outlives the descriptor
+    const int err = errno;
+    if (data != nullptr) ::munmap(const_cast<char*>(data), size);
+    return Status::Internal("mmap source: close failed for '" + path +
+                            "': " + std::strerror(err));
+  }
   return std::unique_ptr<MmapChunkSource>(
       new MmapChunkSource(data, size, /*mapped=*/true, std::string(), options));
 #else
@@ -89,9 +155,9 @@ Result<std::unique_ptr<MmapChunkSource>> MmapChunkSource::Open(
   }
   std::string buffer((std::istreambuf_iterator<char>(in)),
                      std::istreambuf_iterator<char>());
-  return std::unique_ptr<MmapChunkSource>(
-      new MmapChunkSource(nullptr, buffer.size(), /*mapped=*/false,
-                          std::move(buffer), options));
+  const size_t buffered = buffer.size();  // before the unsequenced move
+  return std::unique_ptr<MmapChunkSource>(new MmapChunkSource(
+      nullptr, buffered, /*mapped=*/false, std::move(buffer), options));
 #endif
 }
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -13,6 +14,23 @@
 namespace sparqlog::pipeline {
 
 class LineSource;
+
+/// A chunk read failed in a way that may succeed on retry (short read,
+/// EINTR, injected transient fault). The pipeline reader retries a
+/// bounded number of times before treating the error as persistent.
+class TransientChunkError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A chunk read failed persistently (I/O error, truncated mapping).
+/// The pipeline reader stops consuming the source, surfaces the error
+/// as PipelineResult::source_status, and finishes the lines it already
+/// has — a partial result with honest accounting, not a crash.
+class ChunkSourceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// One unit of reader output: a batch of lines as string_views, plus
 /// whatever storage those views need when the source cannot hand out
@@ -50,8 +68,20 @@ class ChunkSource {
   virtual ~ChunkSource() = default;
 
   /// Replaces `out` with up to `max_lines` lines. Returns false when
-  /// the source is exhausted and `out` is empty.
+  /// the source is exhausted and `out` is empty. May throw
+  /// TransientChunkError / ChunkSourceError; the pipeline reader
+  /// contains both (see PipelineOptions::fault_containment).
   virtual bool NextChunk(size_t max_lines, LineChunk& out) = 0;
+
+  /// Resume support (the crash-safe run journal, pipeline/journal.h).
+  /// `offset()` is an opaque cursor naming the next unread line —
+  /// a byte offset for file sources, an index for in-memory ones —
+  /// valid only for the same source contents. `SeekTo` repositions to a
+  /// previously observed cursor. Sources without resume support keep
+  /// the defaults (journaling them is rejected up front).
+  virtual bool SupportsResume() const { return false; }
+  virtual uint64_t offset() const { return 0; }
+  virtual bool SeekTo(uint64_t /*offset*/) { return false; }
 };
 
 /// Memory-maps a log file and slices it at newline boundaries; every
@@ -68,11 +98,16 @@ class MmapChunkSource : public ChunkSource {
     /// line, so a line longer than the budget comes out whole).
     /// 0 means lines-only chunking (max_lines is the only bound).
     size_t slice_bytes = 0;
+    /// false forces the buffered-read fallback even where mmap is
+    /// available — identical chunk semantics, exercised by the fault
+    /// tests so the EINTR/short-read handling stays covered.
+    bool use_mmap = true;
   };
 
   /// Maps `path` read-only (MADV_SEQUENTIAL). On platforms without
-  /// mmap the file is read into one heap buffer instead — same view
-  /// semantics, one copy total rather than one per line.
+  /// mmap (or with Options::use_mmap false) the file is read into one
+  /// heap buffer instead — same view semantics, one copy total rather
+  /// than one per line; the read loop retries EINTR/short reads.
   static util::Result<std::unique_ptr<MmapChunkSource>> Open(
       const std::string& path, Options options);
   static util::Result<std::unique_ptr<MmapChunkSource>> Open(
@@ -88,6 +123,15 @@ class MmapChunkSource : public ChunkSource {
 
   /// Total mapped (or buffered) file size in bytes.
   size_t size_bytes() const { return size_; }
+
+  /// Resume cursor: the byte offset of the next unread line.
+  bool SupportsResume() const override { return true; }
+  uint64_t offset() const override { return pos_; }
+  bool SeekTo(uint64_t offset) override {
+    if (offset > size_) return false;
+    pos_ = static_cast<size_t>(offset);
+    return true;
+  }
 
  private:
   MmapChunkSource(const char* data, size_t size, bool mapped,
@@ -120,6 +164,15 @@ class VectorChunkSource : public ChunkSource {
   explicit VectorChunkSource(const std::vector<std::string>& lines)
       : lines_(lines) {}
   bool NextChunk(size_t max_lines, LineChunk& out) override;
+
+  /// Resume cursor: the index of the next unread line.
+  bool SupportsResume() const override { return true; }
+  uint64_t offset() const override { return next_; }
+  bool SeekTo(uint64_t offset) override {
+    if (offset > lines_.size()) return false;
+    next_ = static_cast<size_t>(offset);
+    return true;
+  }
 
  private:
   const std::vector<std::string>& lines_;

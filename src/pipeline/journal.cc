@@ -1,0 +1,232 @@
+#include "pipeline/journal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "pipeline/merge.h"
+#include "util/fnv.h"
+#include "util/serde.h"
+
+namespace sparqlog::pipeline {
+
+namespace {
+
+constexpr uint64_t kJournalMagic = 0x314C4E524A515330ULL;  // "0SQJRNL1"
+constexpr uint64_t kJournalVersion = 1;
+
+/// Everything that changes the meaning or layout of the checkpointed
+/// shard state. A journal written under one fingerprint must not be
+/// resumed under another: a different shard count re-routes duplicate
+/// classes, different limits re-bucket abandoned queries.
+uint64_t OptionsFingerprint(const PipelineOptions& o, size_t num_shards) {
+  util::Fnv1a h;
+  auto mix = [&h](uint64_t v) {
+    char bytes[8];
+    for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+    h.Update(std::string_view(bytes, sizeof(bytes)));
+  };
+  h.Update(o.dataset);
+  mix(o.dataset.size());
+  mix(o.use_valid_corpus ? 1 : 0);
+  mix(o.analysis_limits.ghw_steps);
+  mix(o.analysis_limits.treewidth_steps);
+  mix(o.analysis_limits.girth_steps);
+  mix(num_shards);
+  return h.digest();
+}
+
+/// Caps the inner source at `max_chunks` reads so the journal can
+/// checkpoint between segments. Exceptions pass through untouched (the
+/// pipeline reader's containment sees them as usual).
+class BoundedChunkSource : public ChunkSource {
+ public:
+  BoundedChunkSource(ChunkSource& inner, size_t max_chunks)
+      : inner_(inner), max_chunks_(max_chunks) {}
+
+  bool NextChunk(size_t max_lines, LineChunk& out) override {
+    if (served_ >= max_chunks_) return false;
+    if (!inner_.NextChunk(max_lines, out)) {
+      exhausted_ = true;
+      return false;
+    }
+    ++served_;
+    return true;
+  }
+
+  /// The inner source itself ran out (as opposed to the segment cap).
+  bool exhausted() const { return exhausted_; }
+
+ private:
+  ChunkSource& inner_;
+  size_t max_chunks_;
+  size_t served_ = 0;
+  bool exhausted_ = false;
+};
+
+bool WriteCheckpoint(const JournalOptions& jopts, uint64_t fingerprint,
+                     uint64_t offset, uint64_t lines_total,
+                     const std::vector<std::unique_ptr<Shard>>& shards) {
+  const std::string tmp = jopts.path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    util::serde::PutU64(out, kJournalMagic);
+    util::serde::PutU64(out, kJournalVersion);
+    util::serde::PutU64(out, fingerprint);
+    util::serde::PutU64(out, shards.size());
+    util::serde::PutU64(out, offset);
+    util::serde::PutU64(out, lines_total);
+    for (const auto& shard : shards) shard->SaveState(out);
+    // Trailing integrity check: the digest of the merged analyzer
+    // state. A truncated or bit-flipped checkpoint fails to reproduce
+    // it on load.
+    PipelineResult merged = MergeShards(shards);
+    std::vector<uint64_t> digest = StatisticsDigest(merged.analysis);
+    util::serde::PutU64(out, digest.size());
+    for (uint64_t w : digest) util::serde::PutU64(out, w);
+    out.flush();
+    if (!out) return false;
+  }
+  // Atomic publish: rename replaces the previous checkpoint in one
+  // step, so every moment in time has a complete checkpoint on disk.
+  return std::rename(tmp.c_str(), jopts.path.c_str()) == 0;
+}
+
+/// Returns true and fills the outputs iff `path` holds a compatible,
+/// intact checkpoint. `shards` must arrive freshly constructed.
+bool LoadCheckpoint(const std::string& path, uint64_t fingerprint,
+                    uint64_t& offset, uint64_t& lines_total,
+                    std::vector<std::unique_ptr<Shard>>& shards) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  uint64_t magic, version, fp, shard_count;
+  if (!(util::serde::GetU64(in, magic) && util::serde::GetU64(in, version) &&
+        util::serde::GetU64(in, fp) && util::serde::GetU64(in, shard_count))) {
+    return false;
+  }
+  if (magic != kJournalMagic || version != kJournalVersion ||
+      fp != fingerprint || shard_count != shards.size()) {
+    return false;
+  }
+  if (!(util::serde::GetU64(in, offset) &&
+        util::serde::GetU64(in, lines_total))) {
+    return false;
+  }
+  for (auto& shard : shards) {
+    if (!shard->LoadState(in)) return false;
+  }
+  uint64_t digest_words;
+  if (!util::serde::GetU64(in, digest_words)) return false;
+  std::vector<uint64_t> stored(digest_words);
+  for (uint64_t& w : stored) {
+    if (!util::serde::GetU64(in, w)) return false;
+  }
+  PipelineResult merged = MergeShards(shards);
+  return StatisticsDigest(merged.analysis) == stored;
+}
+
+void MergeQuarantine(QuarantineReport& into, QuarantineReport&& from) {
+  into.count += from.count;
+  for (QuarantineSample& s : from.samples) {
+    into.samples.push_back(std::move(s));
+  }
+  std::sort(into.samples.begin(), into.samples.end(),
+            [](const QuarantineSample& a, const QuarantineSample& b) {
+              return a.chunk != b.chunk ? a.chunk < b.chunk
+                                        : a.line_index < b.line_index;
+            });
+  if (into.samples.size() > QuarantineReport::kMaxSamples) {
+    into.samples.resize(QuarantineReport::kMaxSamples);
+  }
+}
+
+}  // namespace
+
+util::Result<JournalRunResult> RunWithJournal(const PipelineOptions& options,
+                                              ChunkSource& source,
+                                              const JournalOptions& jopts) {
+  if (jopts.path.empty()) {
+    return util::Status::InvalidArgument("journal: path must be set");
+  }
+  if (!source.SupportsResume()) {
+    return util::Status::Unsupported(
+        "journal: chunk source does not support resume "
+        "(offset/SeekTo); use MmapChunkSource or VectorChunkSource");
+  }
+  const size_t chunks_per_segment =
+      jopts.chunks_per_segment > 0 ? jopts.chunks_per_segment : 1;
+
+  ParallelLogPipeline pipeline(options);
+  const uint64_t fingerprint = OptionsFingerprint(options, pipeline.shards());
+
+  std::vector<std::unique_ptr<Shard>> shards = pipeline.MakeShards();
+  JournalRunResult out;
+  uint64_t lines_total = 0;
+
+  // Resume if a checkpoint exists. A present-but-unusable journal is a
+  // hard error: silently restarting from zero would double-count the
+  // prefix the journal already covers if the caller later merges runs.
+  {
+    std::ifstream probe(jopts.path, std::ios::binary);
+    if (probe.good()) {
+      probe.close();
+      uint64_t offset = 0;
+      if (!LoadCheckpoint(jopts.path, fingerprint, offset, lines_total,
+                          shards)) {
+        return util::Status::InvalidArgument(
+            "journal: existing checkpoint at '" + jopts.path +
+            "' is corrupt or was written by an incompatible configuration");
+      }
+      if (!source.SeekTo(offset)) {
+        return util::Status::OutOfRange(
+            "journal: checkpoint watermark is beyond the source (journal "
+            "from a different input?)");
+      }
+      out.resumed = true;
+    }
+  }
+
+  QuarantineReport all_quarantine;
+  std::optional<obs::RunTelemetry> all_telemetry;
+  PipelineResult last;
+  for (;;) {
+    if (jopts.max_segments > 0 && out.segments >= jopts.max_segments) break;
+    BoundedChunkSource segment(source, chunks_per_segment);
+    PipelineResult r = pipeline.Run(segment, shards);
+    ++out.segments;
+    lines_total += r.lines;
+    MergeQuarantine(all_quarantine, std::move(r.quarantine));
+    if (r.telemetry.has_value()) {
+      if (!all_telemetry.has_value()) all_telemetry.emplace();
+      all_telemetry->Merge(*r.telemetry);
+    }
+    const bool source_failed = !r.source_status.ok();
+    const bool exhausted = segment.exhausted();
+    last = std::move(r);
+    if (!WriteCheckpoint(jopts, fingerprint, source.offset(), lines_total,
+                         shards)) {
+      return util::Status::Internal("journal: cannot write checkpoint to '" +
+                                    jopts.path + "'");
+    }
+    if (source_failed) break;
+    if (exhausted) {
+      out.complete = true;
+      break;
+    }
+  }
+
+  // `last` already merges the shards' cumulative state (stats and
+  // analysis span every segment, this run's and any resumed prefix);
+  // only the per-segment fields need the accumulated values.
+  out.result = std::move(last);
+  out.result.lines = lines_total;
+  out.result.quarantine = std::move(all_quarantine);
+  out.result.telemetry = std::move(all_telemetry);
+  return out;
+}
+
+}  // namespace sparqlog::pipeline

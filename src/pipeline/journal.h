@@ -1,0 +1,61 @@
+#ifndef SPARQLOG_PIPELINE_JOURNAL_H_
+#define SPARQLOG_PIPELINE_JOURNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "pipeline/chunk_source.h"
+#include "pipeline/pipeline.h"
+#include "util/result.h"
+
+namespace sparqlog::pipeline {
+
+/// Crash-safe run journal: the source is consumed in segments of
+/// `chunks_per_segment` reader chunks, and after each segment a
+/// checkpoint — the source's resume cursor plus every shard's complete
+/// dedup/analysis state — is written to `path` (temp file + rename, so
+/// a kill mid-write leaves the previous checkpoint intact). A rerun
+/// against the same journal restores the shards, seeks the source to
+/// the watermark, and continues; the final StatisticsDigest is
+/// bit-identical to an uninterrupted run because the shard state at the
+/// watermark IS the uninterrupted run's state at that point.
+struct JournalOptions {
+  /// Checkpoint file. Written after every segment; "<path>.tmp" is used
+  /// as the rename staging file.
+  std::string path;
+  /// Reader chunks per segment (checkpoint cadence). Smaller segments
+  /// lose less work on a crash and cost more checkpoint I/O.
+  size_t chunks_per_segment = 64;
+  /// Stop after this many segments even if input remains (0 = run to
+  /// completion). The kill-then-resume tests use this to end a run at a
+  /// checkpoint boundary deterministically.
+  uint64_t max_segments = 0;
+};
+
+struct JournalRunResult {
+  PipelineResult result;
+  /// Segments processed by THIS invocation (not counting checkpointed
+  /// work restored from the journal).
+  uint64_t segments = 0;
+  /// State was restored from an existing checkpoint.
+  bool resumed = false;
+  /// The source was exhausted — the result covers the whole input. False
+  /// when the run stopped early (max_segments reached, or a persistent
+  /// source error; see result.source_status).
+  bool complete = false;
+};
+
+/// Runs `options`' pipeline over `source` with journaling as described
+/// above. The source must support resume (MmapChunkSource,
+/// VectorChunkSource). Fails without touching the source if the
+/// journal file exists but was written by an incompatible configuration
+/// (different shard count, dataset, corpus mode, or analysis limits —
+/// checked via a fingerprint) or is corrupt.
+util::Result<JournalRunResult> RunWithJournal(const PipelineOptions& options,
+                                              ChunkSource& source,
+                                              const JournalOptions& journal);
+
+}  // namespace sparqlog::pipeline
+
+#endif  // SPARQLOG_PIPELINE_JOURNAL_H_

@@ -1,6 +1,8 @@
 #include "pipeline/pipeline.h"
 
+#include <algorithm>
 #include <atomic>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -93,10 +95,81 @@ class ScratchPool {
   std::vector<std::unique_ptr<corpus::ParseScratch>> free_;
 };
 
+/// Shared collector for quarantined lines. The mutex is only ever
+/// touched on the exception path — a fault-free run never locks it.
+/// Samples are kept in (chunk, line_index) order and capped, so the
+/// report is deterministic regardless of which worker hit which fault
+/// first.
+class QuarantineCollector {
+ public:
+  void Record(uint64_t chunk, uint64_t line_index, std::string_view line,
+              const char* reason) noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++report_.count;
+    // Capturing the sample allocates; under genuine memory exhaustion
+    // the capture may fail, in which case the sample is dropped but the
+    // count (and the stats' quarantined bucket) stays correct.
+    try {
+      QuarantineSample sample;
+      sample.chunk = chunk;
+      sample.line_index = line_index;
+      sample.line.assign(line.data(), line.size());
+      sample.reason = reason;
+      report_.samples.push_back(std::move(sample));
+      std::sort(report_.samples.begin(), report_.samples.end(),
+                [](const QuarantineSample& a, const QuarantineSample& b) {
+                  return a.chunk != b.chunk ? a.chunk < b.chunk
+                                            : a.line_index < b.line_index;
+                });
+      if (report_.samples.size() > QuarantineReport::kMaxSamples) {
+        report_.samples.resize(QuarantineReport::kMaxSamples);
+      }
+    } catch (...) {
+    }
+  }
+
+  QuarantineReport Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(report_);
+  }
+
+ private:
+  std::mutex mu_;
+  QuarantineReport report_;
+};
+
+/// Bounded retries for TransientChunkError before the reader gives up
+/// and treats the failure as persistent.
+constexpr int kMaxTransientRetries = 3;
+
 }  // namespace
 
 PipelineResult ParallelLogPipeline::Run(ChunkSource& source) {
-  const size_t num_shards = shards();
+  std::vector<std::unique_ptr<Shard>> local_shards;
+  return Run(source, local_shards);
+}
+
+std::vector<std::unique_ptr<Shard>> ParallelLogPipeline::MakeShards() const {
+  ShardOptions shard_options;
+  shard_options.dataset = options_.dataset;
+  shard_options.use_valid_corpus = options_.use_valid_corpus;
+  shard_options.parser_options = options_.parser_options;
+  shard_options.analysis_limits = options_.analysis_limits;
+  std::vector<std::unique_ptr<Shard>> out;
+  const size_t n = shards();
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::make_unique<Shard>(shard_options));
+  }
+  return out;
+}
+
+PipelineResult ParallelLogPipeline::Run(
+    ChunkSource& source, std::vector<std::unique_ptr<Shard>>& shards) {
+  // Caller-owned shards (journal resume) pin the shard count: routing is
+  // hash % num_shards, so continuing with a different count would split
+  // duplicate classes across shards.
+  const size_t num_shards = shards.empty() ? this->shards() : shards.size();
   const size_t chunk_size = options_.chunk_size > 0 ? options_.chunk_size : 1;
   const size_t capacity =
       options_.queue_capacity > 0 ? options_.queue_capacity : 1;
@@ -119,15 +192,8 @@ PipelineResult ParallelLogPipeline::Run(ChunkSource& source) {
   const uint64_t alloc_bytes0 = collect ? obs::AllocatedBytes() : 0;
   const uint64_t alloc_count0 = collect ? obs::AllocationCount() : 0;
 
-  ShardOptions shard_options;
-  shard_options.dataset = options_.dataset;
-  shard_options.use_valid_corpus = options_.use_valid_corpus;
-  shard_options.parser_options = options_.parser_options;
-
-  std::vector<std::unique_ptr<Shard>> shards;
-  shards.reserve(num_shards);
-  for (size_t i = 0; i < num_shards; ++i) {
-    shards.push_back(std::make_unique<Shard>(shard_options));
+  if (shards.empty()) {
+    shards = MakeShards();
   }
 
   using Batch = std::vector<corpus::ParsedLine>;
@@ -142,6 +208,8 @@ PipelineResult ParallelLogPipeline::Run(ChunkSource& source) {
   }
 
   std::atomic<uint64_t> lines_consumed{0};
+  QuarantineCollector quarantine;
+  const bool contain = options_.fault_containment;
 
   // Shard consumers: single reader per shard, so Shard needs no locks.
   std::vector<std::thread> shard_threads;
@@ -200,29 +268,86 @@ PipelineResult ParallelLogPipeline::Run(ChunkSource& source) {
       while (std::optional<NumberedChunk> chunk = chunk_queue.Pop()) {
         uint64_t t0 = obs::NowNsIf(rt != nullptr);
         local_lines += chunk->data.lines.size();
-        uint64_t routed = 0, malformed = 0;
         for (Batch& b : buckets) b.clear();
         // One scratch per chunk: every line's AST lands on its arena,
         // and the ShardBatch keepalives below return it (reset) to the
         // pool once the last shard finishes with this chunk.
         std::shared_ptr<corpus::ParseScratch> scratch =
             scratch_pool.Acquire();
-        for (std::string_view line : chunk->data.lines) {
-          corpus::ParsedLine parsed =
-              corpus::ParseLogLine(parser, line, *scratch);
-          if (!parsed.is_query) continue;  // noise: dropped, not routed
-          size_t idx = ShardIndexFor(parsed, num_shards);
-          if constexpr (obs::kTelemetryEnabled) {
-            if (rt) {
-              ++routed;
-              if (!parsed.valid) ++malformed;
-              ++rt->shard_queries[idx];
+        bool chunk_ok = true;
+        if (contain) {
+          // Containment scope: a throw anywhere in the chunk's parse
+          // loop (bad_alloc included — injected alloc failures are only
+          // eligible inside the AllocFaultScope) falls through to the
+          // recovery pass below instead of killing the run.
+          try {
+            obs::AllocFaultScope fault_scope;
+            for (std::string_view line : chunk->data.lines) {
+              if (options_.parse_fault_hook) options_.parse_fault_hook(line);
+              corpus::ParsedLine parsed =
+                  corpus::ParseLogLine(parser, line, *scratch);
+              if (!parsed.is_query) continue;  // noise: dropped, not routed
+              buckets[ShardIndexFor(parsed, num_shards)].push_back(
+                  std::move(parsed));
             }
+          } catch (...) {
+            chunk_ok = false;
           }
-          buckets[idx].push_back(std::move(parsed));
+        } else {
+          for (std::string_view line : chunk->data.lines) {
+            if (options_.parse_fault_hook) options_.parse_fault_hook(line);
+            corpus::ParsedLine parsed =
+                corpus::ParseLogLine(parser, line, *scratch);
+            if (!parsed.is_query) continue;
+            buckets[ShardIndexFor(parsed, num_shards)].push_back(
+                std::move(parsed));
+          }
+        }
+        if (!chunk_ok) {
+          // Recovery: the fast pass left arena-backed entries behind, so
+          // drop them (before the scratch — their Query destructors touch
+          // its arena) and reprocess every line on the heap path with a
+          // per-line guard. Lines that still throw are quarantined: they
+          // count toward Total in the quarantined bucket and are sampled
+          // for offline reproduction. One-shot faults (an injected or
+          // transient bad_alloc) parse cleanly here and lose nothing.
+          for (Batch& b : buckets) b.clear();
+          scratch.reset();
+          for (size_t j = 0; j < chunk->data.lines.size(); ++j) {
+            std::string_view line = chunk->data.lines[j];
+            corpus::ParsedLine parsed;
+            try {
+              if (options_.parse_fault_hook) options_.parse_fault_hook(line);
+              std::string decode_buf;
+              parsed = corpus::ParseLogLine(parser, line, decode_buf);
+            } catch (const std::exception& e) {
+              parsed = corpus::ParsedLine();
+              parsed.is_query = true;
+              parsed.quarantined = true;
+              parsed.line_hash = corpus::HashBytes(line);
+              quarantine.Record(chunk->id, j, line, e.what());
+            } catch (...) {
+              parsed = corpus::ParsedLine();
+              parsed.is_query = true;
+              parsed.quarantined = true;
+              parsed.line_hash = corpus::HashBytes(line);
+              quarantine.Record(chunk->id, j, line, "unknown exception");
+            }
+            if (!parsed.is_query) continue;
+            buckets[ShardIndexFor(parsed, num_shards)].push_back(
+                std::move(parsed));
+          }
         }
         if constexpr (obs::kTelemetryEnabled) {
           if (rt) {
+            uint64_t routed = 0, malformed = 0;
+            for (size_t i = 0; i < num_shards; ++i) {
+              routed += buckets[i].size();
+              rt->shard_queries[i] += buckets[i].size();
+              for (const corpus::ParsedLine& e : buckets[i]) {
+                if (!e.valid && !e.quarantined) ++malformed;
+              }
+            }
             uint64_t t1 = obs::NowNs();
             obs::StageMetrics& m = rt->stage(obs::kStageParse);
             ++m.chunks;
@@ -252,6 +377,7 @@ PipelineResult ParallelLogPipeline::Run(ChunkSource& source) {
 
   // Reader (this thread): stream chunks in; Push blocks when the
   // parsers fall behind, bounding memory.
+  util::Status source_status;
   {
     obs::RunTelemetry* rt = collect ? &telem[0] : nullptr;
     obs::TraceRing* ring = tracing ? &rings[0] : nullptr;
@@ -259,9 +385,33 @@ PipelineResult ParallelLogPipeline::Run(ChunkSource& source) {
     const uint64_t tc0 = rt ? obs::ThreadAllocationCount() : 0;
     NumberedChunk chunk;
     uint64_t next_id = 0;
+    int transient_retries = 0;
     for (;;) {
       uint64_t t0 = obs::NowNsIf(rt != nullptr);
-      bool more = source.NextChunk(chunk_size, chunk.data);
+      bool more;
+      if (contain) {
+        // Transient source errors (short read, EINTR, injected faults)
+        // retry a bounded number of times; persistent errors stop the
+        // input early, with the failure surfaced as source_status and
+        // every line read so far still fully accounted.
+        try {
+          more = source.NextChunk(chunk_size, chunk.data);
+          transient_retries = 0;
+        } catch (const TransientChunkError& e) {
+          if (++transient_retries <= kMaxTransientRetries) continue;
+          source_status = util::Status::Internal(
+              std::string("chunk source failed after ") +
+              std::to_string(kMaxTransientRetries) +
+              " retries: " + e.what());
+          break;
+        } catch (const std::exception& e) {
+          source_status = util::Status::Internal(
+              std::string("chunk source error: ") + e.what());
+          break;
+        }
+      } else {
+        more = source.NextChunk(chunk_size, chunk.data);
+      }
       if constexpr (obs::kTelemetryEnabled) {
         if (rt && more) {
           uint64_t t1 = obs::NowNs();
@@ -292,6 +442,8 @@ PipelineResult ParallelLogPipeline::Run(ChunkSource& source) {
 
   PipelineResult result = MergeShards(shards);
   result.lines = lines_consumed.load(std::memory_order_relaxed);
+  result.quarantine = quarantine.Take();
+  result.source_status = std::move(source_status);
 
   if (collect) {
     obs::RunTelemetry merged;

@@ -5,10 +5,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <istream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "corpus/ingest.h"
@@ -18,6 +21,7 @@
 #include "obs/trace.h"
 #include "pipeline/chunk_source.h"
 #include "pipeline/shard.h"
+#include "util/status.h"
 
 namespace sparqlog::pipeline {
 
@@ -161,6 +165,41 @@ struct PipelineOptions {
   sparql::ParserOptions parser_options;
   /// Metrics registry + span tracing switches (both default off).
   obs::TelemetryOptions telemetry;
+  /// Worker/reader fault containment. When on (the default), an
+  /// exception thrown while processing a line — bad_alloc included —
+  /// quarantines that line (it still counts toward Total, in the
+  /// quarantined bucket) and the run continues; chunk-source errors are
+  /// retried (transient) or end the input early with
+  /// PipelineResult::source_status set (persistent). When off,
+  /// exceptions propagate — the pre-containment behaviour, kept for the
+  /// overhead bench and for debugging.
+  bool fault_containment = true;
+  /// Per-query step budgets for the structural-analysis kernels
+  /// (0 = unlimited). Exhaustion moves the query to the abandoned
+  /// bucket; see corpus::AnalysisLimits.
+  corpus::AnalysisLimits analysis_limits;
+  /// Testing-only hook, called with every raw line before it is parsed
+  /// (on the worker thread, inside the containment scope). A throwing
+  /// hook is how the fault tests inject deterministic worker faults.
+  std::function<void(std::string_view)> parse_fault_hook;
+};
+
+/// One quarantined line, captured for offline reproduction.
+struct QuarantineSample {
+  uint64_t chunk = 0;       ///< chunk id (reader sequence number)
+  uint64_t line_index = 0;  ///< index within the chunk
+  std::string line;         ///< the raw line that failed
+  std::string reason;       ///< what() of the exception, if any
+};
+
+/// Aggregated quarantine outcome of a run. `count` equals the stats'
+/// quarantined bucket; `samples` holds the first kMaxSamples failing
+/// lines in deterministic (chunk, line_index) order so a failing run
+/// always reports the same reproducers.
+struct QuarantineReport {
+  static constexpr size_t kMaxSamples = 16;
+  uint64_t count = 0;
+  std::vector<QuarantineSample> samples;
 };
 
 /// Merged output of a pipeline run — the same numbers the serial
@@ -170,6 +209,11 @@ struct PipelineResult {
   corpus::CorpusAnalyzer analysis;
   /// Raw lines consumed, non-query noise included.
   uint64_t lines = 0;
+  /// Quarantined-line report; empty on a fault-free run.
+  QuarantineReport quarantine;
+  /// OK unless the chunk source failed persistently mid-run, in which
+  /// case the counters cover only the lines read before the failure.
+  util::Status source_status;
   /// Merged per-worker metrics; engaged iff telemetry was requested.
   std::optional<obs::RunTelemetry> telemetry;
   /// Per-worker span tracks; engaged iff tracing was requested.
@@ -195,6 +239,15 @@ class ParallelLogPipeline {
   /// straight out of the chunks (zero-copy for mmap/vector sources).
   PipelineResult Run(ChunkSource& source);
 
+  /// Same, over caller-owned shards. Empty `shards` is populated with
+  /// shards() fresh instances; non-empty (a previous call's, or shards
+  /// restored from a run journal) continue accumulating — dedup sets
+  /// and counters persist across calls, so feeding a source in segments
+  /// yields exactly the single-call result. The returned result merges
+  /// the shards' cumulative state.
+  PipelineResult Run(ChunkSource& source,
+                     std::vector<std::unique_ptr<Shard>>& shards);
+
   /// Legacy line sources run through a LineSourceAdapter (lines are
   /// owned by each chunk; still one copy total per line).
   PipelineResult Run(LineSource& source);
@@ -211,6 +264,12 @@ class ParallelLogPipeline {
     return options_.shards > 0 ? options_.shards
                                : static_cast<size_t>(threads_);
   }
+
+  /// Fresh shards configured exactly as Run would create them; the run
+  /// journal builds these before restoring checkpointed state into them.
+  std::vector<std::unique_ptr<Shard>> MakeShards() const;
+
+  const PipelineOptions& options() const { return options_; }
 
  private:
   PipelineOptions options_;

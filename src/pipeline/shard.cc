@@ -4,16 +4,29 @@ namespace sparqlog::pipeline {
 
 Shard::Shard(const ShardOptions& options)
     : ingestor_(options.parser_options) {
-  // The analyzer consumes whichever corpus the run targets. Capturing
-  // `this` is safe: Shard is pinned (non-copyable, non-movable).
-  auto sink = [this, dataset = options.dataset](const sparql::Query& q) {
-    analyzer_.AddQuery(q, dataset);
+  // The analyzer consumes whichever corpus the run targets, as a gate:
+  // the budgeted analyzer may return kTimeout, moving the query to the
+  // abandoned bucket (with unlimited limits the gate always passes and
+  // the behaviour is identical to the old plain sink). Capturing `this`
+  // is safe: Shard is pinned (non-copyable, non-movable).
+  auto gate = [this, dataset = options.dataset,
+               limits = options.analysis_limits](const sparql::Query& q) {
+    return analyzer_.AddQueryBudgeted(q, dataset, limits);
   };
   if (options.use_valid_corpus) {
-    ingestor_.set_valid_sink(std::move(sink));
+    ingestor_.set_valid_gate(std::move(gate));
   } else {
-    ingestor_.set_unique_sink(std::move(sink));
+    ingestor_.set_unique_gate(std::move(gate));
   }
+}
+
+void Shard::SaveState(std::ostream& out) const {
+  ingestor_.SaveState(out);
+  analyzer_.SaveState(out);
+}
+
+bool Shard::LoadState(std::istream& in) {
+  return ingestor_.LoadState(in) && analyzer_.LoadState(in);
 }
 
 size_t ShardIndexFor(const corpus::ParsedLine& entry, size_t num_shards) {

@@ -2,6 +2,7 @@
 #define SPARQLOG_PIPELINE_SHARD_H_
 
 #include <cstddef>
+#include <iosfwd>
 #include <string>
 
 #include "corpus/ingest.h"
@@ -18,6 +19,10 @@ struct ShardOptions {
   /// tables) instead of the unique corpus.
   bool use_valid_corpus = false;
   sparql::ParserOptions parser_options;
+  /// Per-query step budgets for the analysis kernels (0 = unlimited).
+  /// Exhaustion moves the query — and its duplicates — into the
+  /// abandoned bucket instead of the statistics.
+  corpus::AnalysisLimits analysis_limits;
 };
 
 /// One worker shard: a LogIngestor (Table 1 accounting + duplicate
@@ -46,6 +51,13 @@ class Shard {
 
   const corpus::CorpusStats& stats() const { return ingestor_.stats(); }
   const corpus::CorpusAnalyzer& analyzer() const { return analyzer_; }
+
+  /// Serializes the shard's complete accounting + analysis state for
+  /// the crash-safe run journal (ingestor blob, then analyzer blob).
+  void SaveState(std::ostream& out) const;
+  /// Restores state written by SaveState into a freshly-constructed
+  /// shard (same ShardOptions). Returns false on a corrupt blob.
+  bool LoadState(std::istream& in);
 
  private:
   corpus::LogIngestor ingestor_;

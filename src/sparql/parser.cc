@@ -125,6 +125,31 @@ class Impl {
                                    std::move(msg));
   }
 
+  /// Depth accounting for the mutually recursive productions. Each
+  /// recursion entry point (group graph patterns, path groups,
+  /// parenthesized expressions) holds one of these for its frame;
+  /// `ok()` is false once the combined nesting exceeds the configured
+  /// cap, turning pathological inputs into a parse error before the
+  /// C++ stack is at risk.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Impl* impl) : impl_(impl) { ++impl_->depth_; }
+    ~DepthGuard() { --impl_->depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    bool ok() const {
+      return impl_->depth_ <= impl_->options_.max_recursion_depth;
+    }
+
+   private:
+    Impl* impl_;
+  };
+
+  Status DepthErr() const {
+    return Err("query nesting exceeds the maximum depth of " +
+               std::to_string(options_.max_recursion_depth));
+  }
+
   /// Keywords that terminate a GROUP BY / HAVING / ORDER BY condition
   /// list; they must not be mistaken for function calls.
   bool AtModifierKeyword() const {
@@ -482,6 +507,8 @@ class Impl {
   // --- Group graph patterns -------------------------------------------------
 
   Result<Pattern> ParseGroupGraphPattern() {
+    DepthGuard depth(this);
+    if (!depth.ok()) return DepthErr();
     if (auto s = Expect(TokenType::kLBrace, "group graph pattern"); !s.ok()) {
       return s;
     }
@@ -774,6 +801,10 @@ class Impl {
   /// blank-node property list, or an RDF collection. Emits auxiliary
   /// triples for the latter two into `out`.
   Result<Term> ParseVarOrTermOrNode(AstVector<Pattern>& out) {
+    // Blank-node property lists and collections nest through here
+    // ("[[[[..." / "((((..."), so this is a recursion entry point too.
+    DepthGuard depth(this);
+    if (!depth.ok()) return DepthErr();
     last_node_had_props_ = false;
     if (Is(TokenType::kVar)) {
       Term t = Term::Var(Cur().value, mr_);
@@ -1001,6 +1032,8 @@ class Impl {
   }
 
   Result<PathExpr> ParsePathPrimary() {
+    DepthGuard depth(this);
+    if (!depth.ok()) return DepthErr();
     if (Accept(TokenType::kBang)) {
       return ParsePathNegatedPropertySet();
     }
@@ -1217,6 +1250,8 @@ class Impl {
   }
 
   Result<Expr> ParsePrimaryExpression() {
+    DepthGuard depth(this);
+    if (!depth.ok()) return DepthErr();
     if (Is(TokenType::kLParen)) {
       Bump();
       Result<Expr> e = ParseExpression();
@@ -1365,6 +1400,9 @@ class Impl {
   AstVector<std::pair<std::string_view, std::string_view>> local_prefixes_;
   int blank_counter_ = 0;
   bool last_node_had_props_ = false;
+  /// Current nesting depth across the recursive productions (see
+  /// DepthGuard / ParserOptions::max_recursion_depth).
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -30,6 +30,16 @@ struct ParserOptions {
   /// placeholder IRI `urn:prefix:foo:bar` instead of failing the parse.
   bool allow_unknown_prefixes = false;
 
+  /// Maximum nesting depth of the recursive-descent grammar (group
+  /// graph patterns, property-path groups, parenthesized/EXISTS
+  /// expressions combined). A log line like "ASK {{{{...}}}}" otherwise
+  /// recurses once per brace and overruns the C++ stack — a crash no
+  /// try/catch can contain. Exceeding the cap is a parse error
+  /// (kInvalidArgument), so the line lands in the malformed bucket like
+  /// any other unparseable entry. Generous for real queries: the
+  /// corpus' deepest observed nesting is far below 100.
+  int max_recursion_depth = 128;
+
   /// The built-in default prefix set (rdf, rdfs, owl, xsd, foaf, dc, ...).
   static PrefixMap DefaultPrefixes();
 };

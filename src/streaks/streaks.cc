@@ -113,6 +113,7 @@ void PrefilterStats::Merge(const PrefilterStats& other) {
   charmap_rejects += other.charmap_rejects;
   histogram_rejects += other.histogram_rejects;
   levenshtein_calls += other.levenshtein_calls;
+  abandoned_pairs += other.abandoned_pairs;
 }
 
 // ---------------------------------------------------------------------------
@@ -151,8 +152,18 @@ bool SimilarityWindow::Similar(const Slot& prev, const Slot& cand) {
     return false;
   }
   ++stats_.levenshtein_calls;
-  return util::MyersBoundedLevenshtein(prev.text, cand.text, budget,
-                                       scratch_) <= budget;
+  if (options_.levenshtein_step_budget == 0) {
+    return util::MyersBoundedLevenshtein(prev.text, cand.text, budget,
+                                         scratch_) <= budget;
+  }
+  util::StepBudget steps(options_.levenshtein_step_budget);
+  size_t dist = util::MyersBoundedLevenshtein(prev.text, cand.text, budget,
+                                              scratch_, &steps);
+  if (steps.exhausted()) {
+    ++stats_.abandoned_pairs;
+    return false;
+  }
+  return dist <= budget;
 }
 
 void SimilarityWindow::Add(std::string_view raw_query,

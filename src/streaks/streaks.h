@@ -21,6 +21,12 @@ struct StreakOptions {
   /// Strip namespace prefixes (everything before the first
   /// SELECT/ASK/CONSTRUCT/DESCRIBE) before comparing, as the paper does.
   bool strip_prologue = true;
+  /// Per-pair step budget for the Levenshtein DP (one step per 64-row
+  /// block column; 0 = unlimited). A pair whose DP exhausts the budget
+  /// is treated as dissimilar — deterministically, since the step count
+  /// depends only on the two texts — and counted in
+  /// PrefilterStats::abandoned_pairs.
+  uint64_t levenshtein_step_budget = 0;
 };
 
 /// Aggregated results of a streak detection run.
@@ -92,6 +98,10 @@ struct PrefilterStats {
   uint64_t charmap_rejects = 0;
   uint64_t histogram_rejects = 0;
   uint64_t levenshtein_calls = 0;
+  /// DP calls cut short by StreakOptions::levenshtein_step_budget (the
+  /// pair is then treated as dissimilar). Always 0 with the default
+  /// unlimited budget.
+  uint64_t abandoned_pairs = 0;
 
   void Merge(const PrefilterStats& other);
 };

@@ -34,7 +34,7 @@ inline int MyersStep(uint64_t peq, uint64_t last, uint64_t& vp,
 /// score is at least score - (columns remaining), so once that exceeds
 /// the budget the distance cannot come back under it.
 size_t MyersSingleWord(std::string_view p, std::string_view t,
-                       size_t max_dist) {
+                       size_t max_dist, StepBudget* budget = nullptr) {
   uint64_t peq[256] = {0};
   for (size_t i = 0; i < p.size(); ++i) {
     peq[static_cast<unsigned char>(p[i])] |= 1ULL << i;
@@ -43,6 +43,7 @@ size_t MyersSingleWord(std::string_view p, std::string_view t,
   uint64_t last = 1ULL << (p.size() - 1);
   size_t score = p.size();
   for (size_t j = 0; j < t.size(); ++j) {
+    if (budget != nullptr && !budget->Charge()) return max_dist + 1;
     score = static_cast<size_t>(
         static_cast<long long>(score) +
         MyersStep(peq[static_cast<unsigned char>(t[j])], last, vp, vn));
@@ -79,7 +80,8 @@ inline int MyersBlockStep(uint64_t peq, uint64_t& vp, uint64_t& vn,
 /// Block-based Myers for patterns longer than 64 bytes. Exact distance
 /// with the same lower-bound cutoff as the single-word version.
 size_t MyersBlocked(std::string_view p, std::string_view t, size_t max_dist,
-                    LevenshteinScratch& scratch) {
+                    LevenshteinScratch& scratch,
+                    StepBudget* budget = nullptr) {
   const size_t blocks = (p.size() + 63) / 64;
   scratch.peq.assign(blocks * 256, 0);
   for (size_t i = 0; i < p.size(); ++i) {
@@ -91,6 +93,7 @@ size_t MyersBlocked(std::string_view p, std::string_view t, size_t max_dist,
   uint64_t last = 1ULL << ((p.size() - 1) % 64);
   size_t score = p.size();
   for (size_t j = 0; j < t.size(); ++j) {
+    if (budget != nullptr && !budget->Charge(blocks)) return max_dist + 1;
     const uint64_t* peq =
         scratch.peq.data() + static_cast<unsigned char>(t[j]) * blocks;
     int carry = 1;  // row 0 of the imaginary boundary grows by one per column
@@ -124,13 +127,14 @@ size_t MyersBlocked(std::string_view p, std::string_view t, size_t max_dist,
 }
 
 size_t MyersDispatch(std::string_view a, std::string_view b, size_t max_dist,
-                     LevenshteinScratch& scratch) {
+                     LevenshteinScratch& scratch,
+                     StepBudget* budget = nullptr) {
   if (a.size() < b.size()) std::swap(a, b);
   // b is the (possibly empty) pattern; a is the text.
   if (a.size() - b.size() > max_dist) return max_dist + 1;
   if (b.empty()) return a.size();
-  size_t d = b.size() <= 64 ? MyersSingleWord(b, a, max_dist)
-                            : MyersBlocked(b, a, max_dist, scratch);
+  size_t d = b.size() <= 64 ? MyersSingleWord(b, a, max_dist, budget)
+                            : MyersBlocked(b, a, max_dist, scratch, budget);
   return d <= max_dist ? d : max_dist + 1;
 }
 
@@ -222,6 +226,12 @@ size_t MyersBoundedLevenshtein(std::string_view a, std::string_view b,
                                size_t max_dist,
                                LevenshteinScratch& scratch) {
   return MyersDispatch(a, b, max_dist, scratch);
+}
+
+size_t MyersBoundedLevenshtein(std::string_view a, std::string_view b,
+                               size_t max_dist, LevenshteinScratch& scratch,
+                               StepBudget* budget) {
+  return MyersDispatch(a, b, max_dist, scratch, budget);
 }
 
 bool SimilarByLevenshtein(std::string_view a, std::string_view b,

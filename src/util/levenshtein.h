@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/budget.h"
+
 namespace sparqlog::util {
 
 /// Reusable scratch space for the allocation-free distance variants.
@@ -59,6 +61,16 @@ size_t BoundedLevenshtein(std::string_view a, std::string_view b,
 /// one per column, so once it exceeds `max_dist` the tail is skipped.
 size_t MyersBoundedLevenshtein(std::string_view a, std::string_view b,
                                size_t max_dist, LevenshteinScratch& scratch);
+
+/// Budgeted variant: charges `budget` one step per 64-row block column
+/// (so total charge is ceil(m/64) * n for inputs that run to the end).
+/// On exhaustion the DP stops and `max_dist + 1` is returned; the caller
+/// distinguishes "too far" from "abandoned" via `budget->exhausted()`.
+/// The step count depends only on the two strings and `max_dist`, so
+/// the abandon decision is deterministic per pair.
+size_t MyersBoundedLevenshtein(std::string_view a, std::string_view b,
+                               size_t max_dist, LevenshteinScratch& scratch,
+                               StepBudget* budget);
 
 /// Normalized similarity test used by the paper's streak analysis:
 /// true iff Levenshtein(a, b) / max(|a|, |b|) <= `threshold`

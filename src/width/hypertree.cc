@@ -79,15 +79,22 @@ struct MaskPairHash {
 /// the connector, recurse on the remaining connected pieces.
 class BitDetKDecomp {
  public:
-  BitDetKDecomp(const std::vector<uint64_t>& edge_masks, int k)
-      : edges_(edge_masks), m_(static_cast<int>(edge_masks.size())), k_(k) {}
+  BitDetKDecomp(const std::vector<uint64_t>& edge_masks, int k,
+                util::StepBudget* budget)
+      : edges_(edge_masks),
+        m_(static_cast<int>(edge_masks.size())),
+        k_(k),
+        budget_(budget) {}
 
   std::optional<int> Decompose(uint64_t edge_ids, uint64_t connector) {
+    if (budget_ != nullptr && budget_->exhausted()) return std::nullopt;
     auto key = std::make_pair(edge_ids, connector);
     auto it = memo_.find(key);
     if (it != memo_.end()) return it->second;
     std::optional<int> result = DecomposeUncached(edge_ids, connector);
-    memo_.emplace(key, result);
+    // A result computed under an exhausted budget reflects a truncated
+    // search; memoizing it would poison later (or resumed) lookups.
+    if (budget_ == nullptr || !budget_->exhausted()) memo_.emplace(key, result);
     return result;
   }
 
@@ -121,6 +128,7 @@ class BitDetKDecomp {
                                    uint64_t comp_vertices,
                                    uint64_t candidates, int start, int depth,
                                    uint64_t bag) {
+    if (budget_ != nullptr && !budget_->Charge()) return std::nullopt;
     if (depth > 0) {
       std::optional<int> nodes =
           CheckSeparator(edge_ids, connector, comp_vertices, bag);
@@ -144,6 +152,7 @@ class BitDetKDecomp {
 
   std::optional<int> CheckSeparator(uint64_t edge_ids, uint64_t connector,
                                     uint64_t comp_vertices, uint64_t bag) {
+    if (budget_ != nullptr && !budget_->Charge()) return std::nullopt;
     // The bag must cover the connector.
     if ((connector & ~bag) != 0) return std::nullopt;
     // Progress condition: the bag must cover at least one component
@@ -200,6 +209,7 @@ class BitDetKDecomp {
   const std::vector<uint64_t>& edges_;
   int m_;
   int k_;
+  util::StepBudget* budget_;
   std::unordered_map<std::pair<uint64_t, uint64_t>, std::optional<int>,
                      MaskPairHash>
       memo_;
@@ -213,16 +223,20 @@ class BitDetKDecomp {
 
 class SetDetKDecomp {
  public:
-  SetDetKDecomp(const std::vector<std::set<int>>& edges, int k)
-      : edges_(edges), k_(k) {}
+  SetDetKDecomp(const std::vector<std::set<int>>& edges, int k,
+                util::StepBudget* budget)
+      : edges_(edges), k_(k), budget_(budget) {}
 
   std::optional<int> Decompose(const std::vector<int>& edge_ids,
                                const std::set<int>& connector) {
+    if (budget_ != nullptr && budget_->exhausted()) return std::nullopt;
     auto key = std::make_pair(edge_ids, connector);
     auto it = memo_.find(key);
     if (it != memo_.end()) return it->second;
     std::optional<int> result = DecomposeUncached(edge_ids, connector);
-    memo_.emplace(std::move(key), result);
+    if (budget_ == nullptr || !budget_->exhausted()) {
+      memo_.emplace(std::move(key), result);
+    }
     return result;
   }
 
@@ -262,6 +276,7 @@ class SetDetKDecomp {
                                    const std::set<int>& comp_vertices,
                                    const std::vector<int>& candidates,
                                    size_t start, std::vector<int>& chosen) {
+    if (budget_ != nullptr && !budget_->Charge()) return std::nullopt;
     if (!chosen.empty()) {
       std::optional<int> nodes =
           CheckSeparator(edge_ids, connector, comp_vertices, chosen);
@@ -282,6 +297,7 @@ class SetDetKDecomp {
                                     const std::set<int>& connector,
                                     const std::set<int>& comp_vertices,
                                     const std::vector<int>& separator) {
+    if (budget_ != nullptr && !budget_->Charge()) return std::nullopt;
     std::set<int> bag;
     for (int e : separator) {
       const auto& edge = edges_[static_cast<size_t>(e)];
@@ -341,11 +357,13 @@ class SetDetKDecomp {
 
   const std::vector<std::set<int>>& edges_;
   int k_;
+  util::StepBudget* budget_;
   std::map<std::pair<std::vector<int>, std::set<int>>, std::optional<int>>
       memo_;
 };
 
-GhwResult GenericGhw(const Hypergraph& hg, int max_k) {
+GhwResult GenericGhw(const Hypergraph& hg, int max_k,
+                     util::StepBudget* budget) {
   GhwResult result;
   if (hg.IsAlphaAcyclic()) {
     result.width = 1;
@@ -362,27 +380,29 @@ GhwResult GenericGhw(const Hypergraph& hg, int max_k) {
     all_edges[static_cast<size_t>(e)] = e;
   }
   for (int k = 2; k <= max_k; ++k) {
-    SetDetKDecomp solver(edges, k);
+    SetDetKDecomp solver(edges, k, budget);
     std::optional<int> nodes = solver.Decompose(all_edges, {});
     if (nodes.has_value()) {
       result.width = k;
       result.decomposition_nodes = *nodes;
       return result;
     }
+    if (budget != nullptr && budget->exhausted()) break;
   }
   result.width = max_k + 1;
   result.exact = false;
+  result.abandoned = budget != nullptr && budget->exhausted();
   return result;
 }
 
 }  // namespace
 
 GhwResult GeneralizedHypertreeWidth(const Hypergraph& hg, GhwScratch& scratch,
-                                    int max_k) {
+                                    int max_k, util::StepBudget* budget) {
   GhwResult result;
   int m = hg.num_edges();
   if (m == 0) return result;
-  if (hg.num_nodes() > 64 || m > 64) return GenericGhw(hg, max_k);
+  if (hg.num_nodes() > 64 || m > 64) return GenericGhw(hg, max_k, budget);
 
   scratch.edge_masks.assign(static_cast<size_t>(m), 0);
   for (int e = 0; e < m; ++e) {
@@ -400,22 +420,25 @@ GhwResult GeneralizedHypertreeWidth(const Hypergraph& hg, GhwScratch& scratch,
 
   uint64_t all_edges = m == 64 ? ~0ULL : ((1ULL << m) - 1);
   for (int k = 2; k <= max_k; ++k) {
-    BitDetKDecomp solver(scratch.edge_masks, k);
+    BitDetKDecomp solver(scratch.edge_masks, k, budget);
     std::optional<int> nodes = solver.Decompose(all_edges, 0);
     if (nodes.has_value()) {
       result.width = k;
       result.decomposition_nodes = *nodes;
       return result;
     }
+    if (budget != nullptr && budget->exhausted()) break;
   }
   result.width = max_k + 1;
   result.exact = false;
+  result.abandoned = budget != nullptr && budget->exhausted();
   return result;
 }
 
-GhwResult GeneralizedHypertreeWidth(const Hypergraph& hg, int max_k) {
+GhwResult GeneralizedHypertreeWidth(const Hypergraph& hg, int max_k,
+                                    util::StepBudget* budget) {
   GhwScratch scratch;
-  return GeneralizedHypertreeWidth(hg, scratch, max_k);
+  return GeneralizedHypertreeWidth(hg, scratch, max_k, budget);
 }
 
 }  // namespace sparqlog::width

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/hypergraph.h"
+#include "util/budget.h"
 
 namespace sparqlog::width {
 
@@ -19,6 +20,10 @@ struct GhwResult {
   int decomposition_nodes = 0;
   /// False if the search was truncated (never for query-sized inputs).
   bool exact = true;
+  /// True if a step budget ran out mid-search; `width` is then only the
+  /// trivial max_k + 1 bound and the query belongs in the abandoned
+  /// bucket, not in any width class.
+  bool abandoned = false;
 };
 
 /// Recycled working state for the bitset GHW path (hypergraphs of
@@ -36,10 +41,18 @@ struct GhwScratch {
 /// nodes and <= 64 edges run entirely on vertex/edge bitsets (masked
 /// GYO, mask-pruned separator covers, mask-keyed memo); the scratch
 /// overload reuses the mask buffers across queries.
+///
+/// `budget` (optional) bounds the separator search: one step per
+/// TrySeparators/CheckSeparator call. On exhaustion the search unwinds
+/// without memoizing partial answers and the result is marked
+/// `abandoned` — deterministically for a given hypergraph and limit,
+/// since the enumeration order is fixed.
 GhwResult GeneralizedHypertreeWidth(const graph::Hypergraph& hg,
-                                    GhwScratch& scratch, int max_k = 4);
+                                    GhwScratch& scratch, int max_k = 4,
+                                    util::StepBudget* budget = nullptr);
 GhwResult GeneralizedHypertreeWidth(const graph::Hypergraph& hg,
-                                    int max_k = 4);
+                                    int max_k = 4,
+                                    util::StepBudget* budget = nullptr);
 
 }  // namespace sparqlog::width
 

@@ -139,8 +139,9 @@ class EliminationSolver {
  public:
   /// Borrows `adj` (the kernel masks in the caller's scratch); mutation
   /// happens on per-step local copies only.
-  explicit EliminationSolver(const std::vector<uint64_t>& adj)
-      : n_(static_cast<int>(adj.size())), adj_(adj) {}
+  explicit EliminationSolver(const std::vector<uint64_t>& adj,
+                             util::StepBudget* budget = nullptr)
+      : n_(static_cast<int>(adj.size())), adj_(adj), budget_(budget) {}
 
   int Solve() {
     uint64_t all = n_ == 64 ? ~0ULL : ((1ULL << n_) - 1);
@@ -149,6 +150,8 @@ class EliminationSolver {
     Search(adj_, all, 0);
     return best_;
   }
+
+  bool aborted() const { return budget_ != nullptr && budget_->exhausted(); }
 
  private:
   int MinFillUpperBound() {
@@ -192,6 +195,7 @@ class EliminationSolver {
 
   void Search(const std::vector<uint64_t>& adj, uint64_t alive,
               int width_so_far) {
+    if (budget_ != nullptr && !budget_->Charge()) return;
     if (alive == 0) {
       best_ = std::min(best_, width_so_far);
       return;
@@ -220,6 +224,7 @@ class EliminationSolver {
 
   int n_;
   const std::vector<uint64_t>& adj_;
+  util::StepBudget* budget_;
   int best_ = 0;
   std::unordered_map<uint64_t, int> memo_;
 };
@@ -266,7 +271,8 @@ bool TreewidthAtMost2(const Graph& g) {
   return TreewidthAtMost2(g, scratch);
 }
 
-TreewidthResult Treewidth(const Graph& g, TreewidthScratch& s) {
+TreewidthResult Treewidth(const Graph& g, TreewidthScratch& s,
+                          util::StepBudget* budget) {
   TreewidthResult result;
   int n = g.num_nodes();
   if (n == 0 || g.num_proper_edges() == 0) {
@@ -308,8 +314,12 @@ TreewidthResult Treewidth(const Graph& g, TreewidthScratch& s) {
             1ULL << s.remap[static_cast<size_t>(w)];
       }
     }
-    EliminationSolver solver(s.kernel_masks);
+    EliminationSolver solver(s.kernel_masks, budget);
     result.width = solver.Solve();
+    if (solver.aborted()) {
+      result.exact = false;
+      result.abandoned = true;
+    }
     return result;
   }
 
@@ -347,8 +357,12 @@ TreewidthResult Treewidth(const Graph& g, TreewidthScratch& s) {
           1ULL << s.remap[static_cast<size_t>(w)];
     }
   }
-  EliminationSolver solver(s.kernel_masks);
+  EliminationSolver solver(s.kernel_masks, budget);
   result.width = solver.Solve();
+  if (solver.aborted()) {
+    result.exact = false;
+    result.abandoned = true;
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/budget.h"
 
 namespace sparqlog::width {
 
@@ -15,6 +16,10 @@ struct TreewidthResult {
   /// solver's limits and a heuristic upper bound is reported. Does not
   /// happen for query-sized graphs.
   bool exact = true;
+  /// True if a step budget ran out during the branch-and-bound search;
+  /// `width` then holds the min-fill upper bound reached so far and the
+  /// query belongs in the abandoned bucket.
+  bool abandoned = false;
 };
 
 /// Recycled working state for Treewidth/TreewidthAtMost2. Graphs of
@@ -41,7 +46,13 @@ struct TreewidthScratch {
 ///     >= 2, min degree >= 3) is solved exactly by branch-and-bound over
 ///     elimination orderings with memoization, min-fill upper bound and
 ///     degeneracy lower bound (QuickBB-style).
-TreewidthResult Treewidth(const graph::Graph& g, TreewidthScratch& scratch);
+///
+/// `budget` (optional) bounds the branch-and-bound search (one step per
+/// Search node); the linear reduction phases are never charged. On
+/// exhaustion the result is marked `abandoned` — deterministically for
+/// a given graph and limit, since the elimination order is fixed.
+TreewidthResult Treewidth(const graph::Graph& g, TreewidthScratch& scratch,
+                          util::StepBudget* budget = nullptr);
 TreewidthResult Treewidth(const graph::Graph& g);
 
 /// Decides treewidth <= 2 via the series-parallel reduction alone

@@ -135,6 +135,38 @@ TEST(MmapChunkSourceTest, ViewsPointIntoTheMapping) {
   std::filesystem::remove(path);
 }
 
+TEST(MmapChunkSourceTest, BufferedFallbackMatchesMmap) {
+  // Options::use_mmap=false forces the read(2) fallback; it must serve
+  // the exact lines, chunking, sizes, and resume cursors of the mapped
+  // path. (Regression: the fallback once passed buffer.size() and
+  // std::move(buffer) in one argument list — unspecified evaluation
+  // order let gcc move first, so the source reported size 0 and served
+  // an empty file.)
+  const std::string bytes = "alpha\r\nbeta\n\nlast-no-newline";
+  const std::filesystem::path path = WriteTemp(bytes);
+  MmapChunkSource::Options buffered_opts;
+  buffered_opts.use_mmap = false;
+  auto mapped = MmapChunkSource::Open(path.string());
+  auto buffered = MmapChunkSource::Open(path.string(), buffered_opts);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_TRUE(buffered.ok()) << buffered.status().ToString();
+  EXPECT_EQ(buffered.value()->size_bytes(), bytes.size());
+  EXPECT_EQ(buffered.value()->size_bytes(), mapped.value()->size_bytes());
+  Drained dm = Drain(*mapped.value(), 2);
+  Drained db = Drain(*buffered.value(), 2);
+  EXPECT_EQ(db.lines, dm.lines);
+  EXPECT_EQ(db.chunk_sizes, dm.chunk_sizes);
+  EXPECT_EQ(db.bytes, dm.bytes);
+  // Resume cursors agree too (the journal runs over either form).
+  EXPECT_TRUE(buffered.value()->SupportsResume());
+  ASSERT_TRUE(buffered.value()->SeekTo(7));  // start of "beta"
+  LineChunk chunk;
+  ASSERT_TRUE(buffered.value()->NextChunk(1, chunk));
+  ASSERT_EQ(chunk.lines.size(), 1u);
+  EXPECT_EQ(chunk.lines[0], "beta");
+  std::filesystem::remove(path);
+}
+
 TEST(MmapChunkSourceTest, MissingFileIsAnError) {
   auto source = MmapChunkSource::Open("/nonexistent/sparqlog/nope.log");
   EXPECT_FALSE(source.ok());

@@ -71,13 +71,22 @@ TEST(IntegrationTest, LogToReportPipeline) {
                                              analyzer.cqf_shapes().total);
 }
 
-/// Figure 3's qualitative claim, scaled down: cycle workloads are slower
-/// than chain workloads, and the relational engine degrades more (with
-/// timeouts on cycles).
+/// Figure 3's qualitative claim, scaled down and asserted on a
+/// deterministic cost proxy. Wall-clock comparisons flake under
+/// sanitizers (the old form compared elapsed_ns and timeout counts), so
+/// the engine gap is measured in wasted work per answer: materialized
+/// intermediate tuples divided by result count. Chains are productive
+/// for the relational engine (nearly every materialized tuple extends
+/// into an answer); cycles materialize the same open-path intermediates
+/// only for the closing edge to discard almost all of them, so the
+/// per-answer cost is orders of magnitude worse — while the graph
+/// engine's pipelined search materializes nothing on either shape. All
+/// counts are a pure function of the seeded graph and workload,
+/// independent of machine speed.
 TEST(IntegrationTest, ChainVsCycleEngineGap) {
   store::TripleStore store;
   gmark::GraphGenOptions gopts;
-  gopts.num_nodes = 8000;
+  gopts.num_nodes = 1000;
   gopts.seed = 3;
   gmark::GenerateGraph(gmark::Schema::Bib(), gopts, store);
 
@@ -91,38 +100,52 @@ TEST(IntegrationTest, ChainVsCycleEngineGap) {
   store::GraphEngine bg(store);
   store::RelationalEngine pg(store);
 
+  struct WorkloadCost {
+    uint64_t tuples = 0;
+    uint64_t results = 0;
+    int timeouts = 0;
+  };
+  // The deadline is a safety net, not part of the assertion: a timed-out
+  // evaluation reports partial tuple counts, so it is generous enough
+  // that even sanitizer builds finish every query.
   auto run = [&](const store::Engine& engine,
                  const std::vector<gmark::GeneratedQuery>& workload) {
-    double total_ns = 0;
-    int timeouts = 0;
+    WorkloadCost cost;
     for (const auto& q : workload) {
       auto bgp = gmark::CompileForEngine(q, store, gmark::Schema::Bib());
       if (!bgp.has_value()) continue;
       store::EvalStats stats =
-          engine.Evaluate(*bgp, store::EvalMode::kAsk, 200ms);
-      total_ns += stats.elapsed_ns;
-      if (stats.timed_out) ++timeouts;
+          engine.Evaluate(*bgp, store::EvalMode::kAsk, 120s);
+      cost.tuples += stats.intermediate_tuples;
+      cost.results += stats.num_results;
+      if (stats.timed_out) ++cost.timeouts;
     }
-    return std::make_pair(total_ns, timeouts);
+    return cost;
   };
 
   auto chains = gmark::GenerateWorkload(gmark::Schema::Bib(), chain_opts);
   auto cycles = gmark::GenerateWorkload(gmark::Schema::Bib(), cycle_opts);
-  auto [bg_chain_ns, bg_chain_to] = run(bg, chains);
-  auto [bg_cycle_ns, bg_cycle_to] = run(bg, cycles);
-  auto [pg_chain_ns, pg_chain_to] = run(pg, chains);
-  auto [pg_cycle_ns, pg_cycle_to] = run(pg, cycles);
+  WorkloadCost bg_chain = run(bg, chains);
+  WorkloadCost bg_cycle = run(bg, cycles);
+  WorkloadCost pg_chain = run(pg, chains);
+  WorkloadCost pg_cycle = run(pg, cycles);
 
-  // Cycles cost at least as much as chains on the relational engine,
-  // by a visible margin.
-  EXPECT_GT(pg_cycle_ns, pg_chain_ns);
-  // The graph engine handles both without timeouts.
-  EXPECT_EQ(bg_chain_to, 0);
-  EXPECT_EQ(bg_cycle_to, 0);
-  (void)bg_chain_ns;
-  (void)bg_cycle_ns;
-  (void)pg_chain_to;
-  (void)pg_cycle_to;
+  ASSERT_EQ(bg_chain.timeouts + bg_cycle.timeouts + pg_chain.timeouts +
+                pg_cycle.timeouts,
+            0)
+      << "an engine hit the safety-net deadline; counts are partial";
+  // Wasted work per answer (tuples / results, compared by integer
+  // cross-multiplication): cycles cost the relational engine at least
+  // 20x more materialization per answer than chains. The observed gap
+  // at this scale is ~90x, so 20x flags a real regression, not noise.
+  EXPECT_GT(pg_cycle.tuples * (pg_chain.results + 1),
+            20 * pg_chain.tuples * (pg_cycle.results + 1))
+      << "cycle waste " << pg_cycle.tuples << "/" << pg_cycle.results
+      << " vs chain waste " << pg_chain.tuples << "/" << pg_chain.results;
+  // The graph engine answers both workloads without materializing any
+  // intermediate relation.
+  EXPECT_EQ(bg_chain.tuples, 0u);
+  EXPECT_EQ(bg_cycle.tuples, 0u);
 }
 
 /// Streak analysis over a generated day-log with planted sessions.

@@ -507,5 +507,64 @@ TEST(ParserTest, CopiedSubqueryIsIndependent) {
   EXPECT_NE(Serialize(copy), before);
 }
 
+// ---------------------------------------------------------------------------
+// Recursion depth cap
+// ---------------------------------------------------------------------------
+
+std::string Nested(const char* open, const char* body, const char* close,
+                   int depth) {
+  std::string s = "ASK ";
+  for (int i = 0; i < depth; ++i) s += open;
+  s += body;
+  for (int i = 0; i < depth; ++i) s += close;
+  return s;
+}
+
+TEST(ParserTest, RecursionCapRejectsDeepGroupNesting) {
+  Parser parser;
+  // Well beyond the default cap: each '{' is one recursion frame. The
+  // pre-cap parser overran the C++ stack here (a crash containment
+  // cannot catch); now it is an ordinary parse error.
+  auto deep = parser.Parse(Nested("{", "?s ?p ?o", "}", 100000));
+  ASSERT_FALSE(deep.ok());
+  EXPECT_EQ(deep.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(deep.status().message().find("maximum depth"), std::string::npos);
+}
+
+TEST(ParserTest, RecursionCapRejectsDeepExpressionAndNodeNesting) {
+  Parser parser;
+  // Parenthesized expressions recurse through ParsePrimaryExpression.
+  std::string expr = "ASK { ?s ?p ?o FILTER(";
+  for (int i = 0; i < 100000; ++i) expr += "(";
+  expr += "1";
+  auto deep_expr = parser.Parse(expr);
+  ASSERT_FALSE(deep_expr.ok());
+  EXPECT_EQ(deep_expr.status().code(), util::StatusCode::kInvalidArgument);
+
+  // Blank-node property lists recurse through ParseVarOrTermOrNode.
+  std::string bnodes = "ASK { ";
+  for (int i = 0; i < 100000; ++i) bnodes += "[ <p:p> ";
+  auto deep_bnode = parser.Parse(bnodes);
+  ASSERT_FALSE(deep_bnode.ok());
+  EXPECT_EQ(deep_bnode.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ParserTest, RecursionCapLeavesRealisticNestingAlone) {
+  Parser parser;
+  // Deeply nested but within the default cap of 128: parses fine.
+  auto ok = parser.Parse(Nested("{", "?s ?p ?o", "}", 100));
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+
+  // The cap is configurable; a tight cap rejects what the default allows.
+  ParserOptions tight;
+  tight.max_recursion_depth = 4;
+  Parser tight_parser(tight);
+  auto rejected = tight_parser.Parse(Nested("{", "?s ?p ?o", "}", 10));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), util::StatusCode::kInvalidArgument);
+  auto accepted = tight_parser.Parse("ASK { { ?s ?p ?o } }");
+  EXPECT_TRUE(accepted.ok()) << accepted.status().ToString();
+}
+
 }  // namespace
 }  // namespace sparqlog::sparql
