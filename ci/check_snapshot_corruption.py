@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Snapshot corruption matrix for the journaled pipeline.
+
+Creates a two-generation checkpoint with parallel_runner, then damages
+every retained file (current generation, previous generation, manifest)
+in several ways (byte flips at several offsets, truncation) and asserts
+the documented recovery contract:
+
+  * damaged CURRENT generation  -> the resume recovers via the previous
+    generation, finishes, and passes --verify (digest equality);
+  * damaged PREVIOUS generation -> invisible: the resume restores the
+    current generation, finishes, and passes --verify;
+  * damaged manifest            -> hard, reasoned failure (non-zero
+    exit; never a silent restart);
+  * BOTH generations damaged    -> hard, reasoned failure.
+
+Usage: check_snapshot_corruption.py [path-to-parallel_runner]
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+
+RUNNER = sys.argv[1] if len(sys.argv) > 1 else "./build/parallel_runner"
+BASE = "corrupt_matrix.ckpt"
+COMMON = [
+    RUNNER, "--generate", "all", "--entries", "400",
+    "--threads", "4", "--shards", "3", "--chunk-size", "64",
+    "--segment-chunks", "8", f"--journal={BASE}",
+]
+
+failures = []
+
+
+def gen_path(n: int) -> str:
+    return f"{BASE}.g{n}"
+
+
+def retained():
+    return [BASE, gen_path(1), gen_path(2)]
+
+
+def cleanup():
+    # Generation numbers are monotonic and never reused, so repeated
+    # local runs leave arbitrary .g<N> files behind — glob, don't guess.
+    import glob
+
+    for p in glob.glob(BASE + "*"):
+        os.remove(p)
+
+
+def run(args, label):
+    proc = subprocess.run(args, capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def flip_byte(path: str, fraction: float):
+    size = os.path.getsize(path)
+    offset = min(size - 1, int(size * fraction))
+    with open(path, "r+b") as f:
+        f.seek(offset)
+        b = f.read(1)
+        f.seek(offset)
+        f.write(bytes([b[0] ^ 0x40]))
+
+
+def truncate(path: str, fraction: float):
+    size = os.path.getsize(path)
+    with open(path, "r+b") as f:
+        f.truncate(min(size - 1, int(size * fraction)))
+
+
+def check(ok: bool, label: str, output: str):
+    if ok:
+        print(f"  ok: {label}")
+    else:
+        failures.append(label)
+        print(f"  FAIL: {label}\n----\n{output}\n----")
+
+
+def snapshot_files():
+    for path in retained():
+        shutil.copyfile(path, path + ".bak")
+
+
+def restore_files():
+    for path in [gen_path(3), gen_path(4)]:
+        if os.path.exists(path):
+            os.remove(path)
+    for path in retained():
+        shutil.copyfile(path + ".bak", path)
+
+
+def main() -> int:
+    cleanup()
+
+    # Two checkpointed segments: generations 1 and 2 retained, input
+    # remaining for the resume to re-read.
+    rc, out = run(COMMON + ["--max-segments", "2"], "setup")
+    if rc != 0 or "input remaining" not in out:
+        print(f"setup run failed (rc={rc})\n{out}")
+        return 1
+    for path in retained():
+        if not os.path.exists(path):
+            print(f"setup did not leave {path}")
+            return 1
+    snapshot_files()
+
+    damages = [
+        ("flip@25%", lambda p: flip_byte(p, 0.25)),
+        ("flip@50%", lambda p: flip_byte(p, 0.50)),
+        ("flip@99%", lambda p: flip_byte(p, 0.99)),
+        ("truncate@50%", lambda p: truncate(p, 0.50)),
+    ]
+
+    for dmg_name, damage in damages:
+        # Current generation: must fall back and stay exact.
+        restore_files()
+        damage(gen_path(2))
+        rc, out = run(COMMON + ["--verify"], "current")
+        check(
+            rc == 0
+            and "recovered from previous generation" in out
+            and "resumed from checkpoint" in out
+            and "input complete" in out,
+            f"current generation {dmg_name} -> recovered exactly",
+            out,
+        )
+
+        # Previous generation: must be invisible.
+        restore_files()
+        damage(gen_path(1))
+        rc, out = run(COMMON + ["--verify"], "previous")
+        check(
+            rc == 0
+            and "recovered from previous generation" not in out
+            and "resumed from checkpoint" in out
+            and "input complete" in out,
+            f"previous generation {dmg_name} -> invisible",
+            out,
+        )
+
+        # Manifest: hard error with a reason.
+        restore_files()
+        damage(BASE)
+        rc, out = run(COMMON + ["--verify"], "manifest")
+        check(
+            rc != 0 and "journal" in out,
+            f"manifest {dmg_name} -> hard reasoned error",
+            out,
+        )
+
+        # Both generations: hard error, never a silent restart.
+        restore_files()
+        damage(gen_path(1))
+        damage(gen_path(2))
+        rc, out = run(COMMON + ["--verify"], "both")
+        check(
+            rc != 0 and "corrupt" in out,
+            f"both generations {dmg_name} -> hard reasoned error",
+            out,
+        )
+
+    # Control: undamaged resume completes and verifies.
+    restore_files()
+    rc, out = run(COMMON + ["--verify"], "control")
+    check(
+        rc == 0
+        and "resumed from checkpoint" in out
+        and "input complete" in out,
+        "undamaged resume -> exact completion",
+        out,
+    )
+
+    cleanup()
+    if failures:
+        print(f"\n{len(failures)} corruption-matrix failure(s)")
+        return 1
+    print("\nsnapshot corruption matrix: all cases held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

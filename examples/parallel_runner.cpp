@@ -50,6 +50,8 @@
 //                             even if input remains (simulates a kill
 //                             at a checkpoint boundary)
 //   --segment-chunks <n>      with --journal: reader chunks per segment
+//   --snapshot-mmap           with --journal: load checkpoint snapshots
+//                             mmap-backed instead of streamed
 //                             (checkpoint cadence, default 64)
 
 #include <chrono>
@@ -359,6 +361,8 @@ int main(int argc, char** argv) {
       options.analysis_limits.ghw_steps = steps;
       options.analysis_limits.treewidth_steps = steps;
       options.analysis_limits.girth_steps = steps;
+    } else if (arg == "--snapshot-mmap") {
+      journal.mmap_load = true;
     } else if (path_flag("--journal", "run.journal", journal.path)) {
       // handled
     } else if (arg == "--max-segments") {
@@ -556,7 +560,12 @@ int main(int argc, char** argv) {
               << (journaled->segments == 1 ? "" : "s") << " this run"
               << (journaled->resumed ? ", resumed from checkpoint" : "")
               << (journaled->complete ? ", input complete"
-                                      : ", input remaining") << "\n";
+                                      : ", input remaining")
+              << ", snapshot generation " << journaled->generation << "\n";
+    if (journaled->recovered_previous_generation) {
+      std::cout << "  recovered from previous generation ("
+                << journaled->recovery_reason << ")\n";
+    }
   }
   if (!result.source_status.ok()) {
     std::cerr << "source failed mid-run ("

@@ -29,12 +29,13 @@
 //                  [--streak-rounds N] [--streak-queries N]
 //                  [--analysis-rounds N] [--analysis-queries N]
 //                  [--scan-inputs N] [--source-rounds N]
-//                  [--fault-rounds N] [--fault-lines N] [--out PATH]
+//                  [--fault-rounds N] [--fault-lines N]
+//                  [--snapshot-rounds N] [--snapshot-lines N] [--out PATH]
 // Environment overrides (for CI): SPARQLOG_FUZZ_SEED, SPARQLOG_FUZZ_QUERIES,
 // SPARQLOG_FUZZ_LINES, SPARQLOG_FUZZ_PIPELINE_ROUNDS,
 // SPARQLOG_FUZZ_STREAK_ROUNDS, SPARQLOG_FUZZ_ANALYSIS_ROUNDS,
 // SPARQLOG_FUZZ_SCAN_INPUTS, SPARQLOG_FUZZ_SOURCE_ROUNDS,
-// SPARQLOG_FUZZ_FAULT_ROUNDS.
+// SPARQLOG_FUZZ_FAULT_ROUNDS, SPARQLOG_FUZZ_SNAPSHOT_ROUNDS.
 
 #include <cstdint>
 #include <cstdio>
@@ -51,6 +52,7 @@
 #include "sparql/parser.h"
 #include "sparql/serializer.h"
 #include "testing/fault_injection.h"
+#include "testing/snapshot_faults.h"
 #include "testing/invariants.h"
 #include "testing/log_mutator.h"
 #include "testing/query_fuzzer.h"
@@ -80,6 +82,8 @@ struct Config {
   long source_rounds = 4;
   long fault_rounds = 1000;
   long fault_lines = 120;
+  long snapshot_rounds = 60;
+  long snapshot_lines = 96;
   std::string out_path = "fuzz_reproducers.txt";
 };
 
@@ -106,6 +110,8 @@ Config ParseArgs(int argc, char** argv) {
       EnvOrDefault("SPARQLOG_FUZZ_SOURCE_ROUNDS", config.source_rounds);
   config.fault_rounds =
       EnvOrDefault("SPARQLOG_FUZZ_FAULT_ROUNDS", config.fault_rounds);
+  config.snapshot_rounds =
+      EnvOrDefault("SPARQLOG_FUZZ_SNAPSHOT_ROUNDS", config.snapshot_rounds);
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* flag) {
       return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
@@ -136,6 +142,10 @@ Config ParseArgs(int argc, char** argv) {
       config.fault_rounds = std::atol(argv[++i]);
     } else if (arg("--fault-lines")) {
       config.fault_lines = std::atol(argv[++i]);
+    } else if (arg("--snapshot-rounds")) {
+      config.snapshot_rounds = std::atol(argv[++i]);
+    } else if (arg("--snapshot-lines")) {
+      config.snapshot_lines = std::atol(argv[++i]);
     } else if (arg("--out")) {
       config.out_path = argv[++i];
     }
@@ -622,6 +632,59 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "  fault rounds: %ld x %ld lines checked (%ld with faults)\n",
                  config.fault_rounds, config.fault_lines, fault_plans);
+  }
+
+  // Phase 8: storage-fault durability replay. Each round builds a small
+  // mutated log and samples one StorageFaultPlan — a bit flip, file
+  // truncation, torn publish, or fsync/rename failure against a
+  // snapshot generation or the journal manifest (or the fault-free
+  // control) — then checks the durability contract: every damaged byte
+  // is detected, a damaged current generation falls back to the
+  // previous one, damage never makes the finished run's digest diverge
+  // from an uninterrupted run, and failed publishes surface loudly
+  // while the prior checkpoint stays resumable.
+  {
+    sparqlog::util::Rng rng(config.seed ^ 0x5D15CF0857A6EULL);
+    sparqlog::testing::QueryFuzzOptions fuzz_options;
+    fuzz_options.seed = config.seed + 8;
+    sparqlog::testing::QueryFuzzer fuzzer(fuzz_options);
+    sparqlog::testing::LogMutatorOptions mutator_options;
+    mutator_options.seed = config.seed + 8;
+    sparqlog::testing::LogLineMutator mutator(mutator_options);
+    std::vector<std::string> texts;
+    for (int i = 0; i < 24; ++i) {
+      texts.push_back(sparqlog::sparql::Serialize(fuzzer.Next()));
+    }
+    long storage_faults = 0;
+    for (long round = 0; round < config.snapshot_rounds; ++round) {
+      std::vector<std::string> log;
+      log.reserve(static_cast<size_t>(config.snapshot_lines));
+      for (long i = 0; i < config.snapshot_lines; ++i) {
+        log.push_back(mutator.NextLine(texts[rng.Below(texts.size())]));
+      }
+      sparqlog::testing::StorageFaultPlan plan =
+          sparqlog::testing::RandomStorageFaultPlan(rng);
+      if (plan.kind != sparqlog::testing::StorageFaultPlan::Kind::kNone) {
+        ++storage_faults;
+      }
+      sparqlog::testing::EquivalenceConfig equiv =
+          sparqlog::testing::RandomEquivalenceConfig(rng);
+      if (auto v = sparqlog::testing::CheckSnapshotDurability(log, plan,
+                                                              equiv)) {
+        ++violations;
+        std::fprintf(stderr, "VIOLATION [%s] %s (snapshot round %ld, %s)\n",
+                     v->invariant.c_str(), v->detail.c_str(), round,
+                     plan.Describe().c_str());
+        std::ofstream out(config.out_path, std::ios::app);
+        out << "// [" << v->invariant << "] " << v->detail
+            << " (snapshot round " << round << ", seed " << config.seed
+            << ", " << plan.Describe() << ")\n";
+      }
+    }
+    std::fprintf(
+        stderr,
+        "  snapshot rounds: %ld x %ld lines checked (%ld with faults)\n",
+        config.snapshot_rounds, config.snapshot_lines, storage_faults);
   }
 
   if (violations > 0) {

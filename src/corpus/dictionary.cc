@@ -1,0 +1,41 @@
+#include "corpus/dictionary.h"
+
+#include "util/vbyte.h"
+
+namespace sparqlog::corpus {
+
+uint64_t TermDictionary::Intern(std::string_view term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  uint64_t id = terms_.size();
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+void TermDictionary::EncodeTo(std::string& out) const {
+  util::vbyte::PutVarint(out, terms_.size());
+  for (const std::string& term : terms_) {
+    util::vbyte::PutLenPrefixed(out, term);
+  }
+}
+
+bool TermDictionary::DecodeFrom(std::string_view& in) {
+  terms_.clear();
+  index_.clear();
+  uint64_t count;
+  // Every term costs at least one framing byte, so counts beyond the
+  // remaining payload are corrupt (and this bounds the reserve).
+  if (!util::vbyte::GetVarint(in, count) || count > in.size()) return false;
+  terms_.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view term;
+    if (!util::vbyte::GetLenPrefixed(in, term, 1ULL << 20)) return false;
+    if (index_.count(term) != 0) return false;  // duplicate term: corrupt
+    terms_.emplace_back(term);
+    index_.emplace(terms_.back(), i);
+  }
+  return true;
+}
+
+}  // namespace sparqlog::corpus

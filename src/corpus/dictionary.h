@@ -1,0 +1,52 @@
+#ifndef SPARQLOG_CORPUS_DICTIONARY_H_
+#define SPARQLOG_CORPUS_DICTIONARY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sparqlog::corpus {
+
+/// Corpus-wide term dictionary: a bidirectional string <-> dense-id
+/// map, generalizing the per-subsystem interning pattern (the parser's
+/// TermInterner, the streak stage's StringInterner) to state that
+/// crosses process lifetimes. Snapshots store every string exactly once
+/// in the dictionary section and refer to it by varint id from the
+/// per-shard sections — today that's per-dataset table keys; the
+/// out-of-core corpus store (ROADMAP) will put IRI/literal terms here.
+///
+/// Ids are dense, 0-based, and assigned in first-Intern order, so
+/// interning the same terms in the same order yields the same ids —
+/// which keeps checkpoint bytes deterministic (shards serialize in
+/// index order, their maps in key order).
+class TermDictionary {
+ public:
+  /// Returns the id for `term`, interning it if new.
+  uint64_t Intern(std::string_view term);
+
+  /// Id -> term, or nullptr if `id` was never assigned (a corrupt or
+  /// mismatched reference — callers treat this as a load failure).
+  const std::string* term(uint64_t id) const {
+    return id < terms_.size() ? &terms_[id] : nullptr;
+  }
+
+  uint64_t size() const { return terms_.size(); }
+
+  /// Appends the dictionary as a snapshot section payload: varint
+  /// count, then length-prefixed terms in id order.
+  void EncodeTo(std::string& out) const;
+
+  /// Replaces the contents with a decoded payload; false on truncation
+  /// or malformed framing (contents are then unspecified).
+  bool DecodeFrom(std::string_view& in);
+
+ private:
+  std::vector<std::string> terms_;
+  std::map<std::string, uint64_t, std::less<>> index_;
+};
+
+}  // namespace sparqlog::corpus
+
+#endif  // SPARQLOG_CORPUS_DICTIONARY_H_

@@ -1,14 +1,12 @@
 #include "corpus/ingest.h"
 
 #include <algorithm>
-#include <istream>
-#include <ostream>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "sparql/serializer.h"
 #include "util/fnv.h"
-#include "util/serde.h"
+#include "util/vbyte.h"
 #include "util/simd_scan.h"
 #include "util/strings.h"
 
@@ -110,46 +108,44 @@ void LogIngestor::set_valid_sink(QuerySink sink) {
 
 namespace {
 
-void PutHashSet(std::ostream& out, const std::unordered_set<uint64_t>& set) {
+// Hash sets travel sorted and gap-encoded (util/vbyte.h): sorting makes
+// the blob deterministic for a given state, and the deltas shave the
+// shared high bits off neighboring 64-bit hashes.
+void PutHashSet(std::string& out, const std::unordered_set<uint64_t>& set) {
   std::vector<uint64_t> sorted(set.begin(), set.end());
   std::sort(sorted.begin(), sorted.end());
-  util::serde::PutU64(out, sorted.size());
-  for (uint64_t h : sorted) util::serde::PutU64(out, h);
+  util::vbyte::PutDeltaSorted(out, sorted);
 }
 
-bool GetHashSet(std::istream& in, std::unordered_set<uint64_t>& set) {
-  uint64_t count;
-  if (!util::serde::GetU64(in, count)) return false;
+bool GetHashSet(std::string_view& in, std::unordered_set<uint64_t>& set) {
+  std::vector<uint64_t> sorted;
+  if (!util::vbyte::GetDeltaSorted(in, sorted)) return false;
   set.clear();
-  set.reserve(static_cast<size_t>(count));
-  for (uint64_t i = 0; i < count; ++i) {
-    uint64_t h;
-    if (!util::serde::GetU64(in, h)) return false;
-    set.insert(h);
-  }
+  set.reserve(sorted.size());
+  set.insert(sorted.begin(), sorted.end());
   return true;
 }
 
 }  // namespace
 
-void LogIngestor::SaveState(std::ostream& out) const {
-  util::serde::PutU64(out, stats_.total);
-  util::serde::PutU64(out, stats_.valid);
-  util::serde::PutU64(out, stats_.unique);
-  util::serde::PutU64(out, stats_.malformed);
-  util::serde::PutU64(out, stats_.abandoned);
-  util::serde::PutU64(out, stats_.quarantined);
+void LogIngestor::SaveState(std::string& out) const {
+  util::vbyte::PutVarint(out, stats_.total);
+  util::vbyte::PutVarint(out, stats_.valid);
+  util::vbyte::PutVarint(out, stats_.unique);
+  util::vbyte::PutVarint(out, stats_.malformed);
+  util::vbyte::PutVarint(out, stats_.abandoned);
+  util::vbyte::PutVarint(out, stats_.quarantined);
   PutHashSet(out, seen_hashes_);
   PutHashSet(out, seen_abandoned_);
 }
 
-bool LogIngestor::LoadState(std::istream& in) {
-  return util::serde::GetU64(in, stats_.total) &&
-         util::serde::GetU64(in, stats_.valid) &&
-         util::serde::GetU64(in, stats_.unique) &&
-         util::serde::GetU64(in, stats_.malformed) &&
-         util::serde::GetU64(in, stats_.abandoned) &&
-         util::serde::GetU64(in, stats_.quarantined) &&
+bool LogIngestor::LoadState(std::string_view& in) {
+  return util::vbyte::GetVarint(in, stats_.total) &&
+         util::vbyte::GetVarint(in, stats_.valid) &&
+         util::vbyte::GetVarint(in, stats_.unique) &&
+         util::vbyte::GetVarint(in, stats_.malformed) &&
+         util::vbyte::GetVarint(in, stats_.abandoned) &&
+         util::vbyte::GetVarint(in, stats_.quarantined) &&
          GetHashSet(in, seen_hashes_) && GetHashSet(in, seen_abandoned_);
 }
 

@@ -195,15 +195,17 @@ class LogIngestor {
 
   const CorpusStats& stats() const { return stats_; }
 
-  /// Serializes the dedup/accounting state (counters plus both seen-hash
-  /// sets, sorted so the blob is deterministic) for the crash-safe run
-  /// journal. The registered gates/sinks are NOT part of the state; a
-  /// restored ingestor must be wired to an analyzer restored from the
-  /// same checkpoint.
-  void SaveState(std::ostream& out) const;
-  /// Restores state written by SaveState. Returns false (leaving the
-  /// ingestor unspecified) on a truncated/corrupt blob.
-  bool LoadState(std::istream& in);
+  /// Appends the dedup/accounting state (varint counters plus both
+  /// seen-hash sets, sorted and gap-encoded so the blob is compact and
+  /// deterministic) for the snapshot subsystem (util/snapshot_io.h).
+  /// The registered gates/sinks are NOT part of the state; a restored
+  /// ingestor must be wired to an analyzer restored from the same
+  /// checkpoint.
+  void SaveState(std::string& out) const;
+  /// Restores state written by SaveState, consuming the bytes read.
+  /// Returns false (leaving the ingestor unspecified) on a
+  /// truncated/corrupt blob.
+  bool LoadState(std::string_view& in);
 
  private:
   sparql::Parser parser_;

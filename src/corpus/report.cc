@@ -1,13 +1,11 @@
 #include "corpus/report.h"
 
 #include <algorithm>
-#include <istream>
-#include <ostream>
 
 #include "graph/canonical.h"
 #include "graph/shapes.h"
 #include "paths/ctract.h"
-#include "util/serde.h"
+#include "util/vbyte.h"
 #include "width/hypertree.h"
 #include "width/treewidth.h"
 
@@ -370,83 +368,87 @@ void CorpusAnalyzer::CommitShapes(const FragmentClass& fc,
   if (fc.cqof) record(cqof_shapes_);
 }
 
-// ---- SaveState/LoadState (crash-safe run journal) ----
+// ---- SaveState/LoadState (snapshot subsystem) ----
 // Field order mirrors MergeFrom: every aggregate, in declaration order.
 // Maps are dumped in their (ordered) iteration order, histograms as
 // max_direct + direct counts + overflow, so identical analyzer states
-// serialize to identical bytes.
+// serialize to identical bytes. Everything is vbyte-encoded
+// (util/vbyte.h) — counter-dominated state compresses to roughly a
+// byte per small field — and dataset names travel as dictionary ids.
 
 namespace {
 
-void PutHistogram(std::ostream& out, const util::BucketHistogram& h) {
-  util::serde::PutU64(out, static_cast<uint64_t>(h.max_direct()));
-  for (int i = 0; i <= h.max_direct(); ++i) util::serde::PutU64(out, h.Count(i));
-  util::serde::PutU64(out, h.Overflow());
+void PutHistogram(std::string& out, const util::BucketHistogram& h) {
+  util::vbyte::PutVarint(out, static_cast<uint64_t>(h.max_direct()));
+  for (int i = 0; i <= h.max_direct(); ++i) {
+    util::vbyte::PutVarint(out, h.Count(i));
+  }
+  util::vbyte::PutVarint(out, h.Overflow());
 }
 
 // Rebuilds additively via Add(bucket, count): `h` must be freshly
 // constructed (all-zero) with the same layout as the saved histogram.
-bool GetHistogram(std::istream& in, util::BucketHistogram& h) {
+bool GetHistogram(std::string_view& in, util::BucketHistogram& h) {
   uint64_t max_direct;
-  if (!util::serde::GetU64(in, max_direct)) return false;
+  if (!util::vbyte::GetVarint(in, max_direct)) return false;
   if (max_direct != static_cast<uint64_t>(h.max_direct())) return false;
   for (int i = 0; i <= h.max_direct(); ++i) {
     uint64_t c;
-    if (!util::serde::GetU64(in, c)) return false;
+    if (!util::vbyte::GetVarint(in, c)) return false;
     h.Add(i, c);
   }
   uint64_t overflow;
-  if (!util::serde::GetU64(in, overflow)) return false;
+  if (!util::vbyte::GetVarint(in, overflow)) return false;
   h.Add(h.max_direct() + 1, overflow);
   return true;
 }
 
-void PutShapeCounts(std::ostream& out, const ShapeCounts& sc) {
-  util::serde::PutU64(out, sc.total);
-  util::serde::PutU64(out, sc.single_edge);
-  util::serde::PutU64(out, sc.chain);
-  util::serde::PutU64(out, sc.chain_set);
-  util::serde::PutU64(out, sc.star);
-  util::serde::PutU64(out, sc.tree);
-  util::serde::PutU64(out, sc.forest);
-  util::serde::PutU64(out, sc.cycle);
-  util::serde::PutU64(out, sc.flower);
-  util::serde::PutU64(out, sc.flower_set);
-  util::serde::PutU64(out, sc.treewidth_le2);
-  util::serde::PutU64(out, sc.treewidth_3);
-  util::serde::PutU64(out, sc.treewidth_gt3);
-  util::serde::PutU64(out, sc.single_edge_with_constants);
-  util::serde::PutU64(out, sc.girth.size());
+void PutShapeCounts(std::string& out, const ShapeCounts& sc) {
+  util::vbyte::PutVarint(out, sc.total);
+  util::vbyte::PutVarint(out, sc.single_edge);
+  util::vbyte::PutVarint(out, sc.chain);
+  util::vbyte::PutVarint(out, sc.chain_set);
+  util::vbyte::PutVarint(out, sc.star);
+  util::vbyte::PutVarint(out, sc.tree);
+  util::vbyte::PutVarint(out, sc.forest);
+  util::vbyte::PutVarint(out, sc.cycle);
+  util::vbyte::PutVarint(out, sc.flower);
+  util::vbyte::PutVarint(out, sc.flower_set);
+  util::vbyte::PutVarint(out, sc.treewidth_le2);
+  util::vbyte::PutVarint(out, sc.treewidth_3);
+  util::vbyte::PutVarint(out, sc.treewidth_gt3);
+  util::vbyte::PutVarint(out, sc.single_edge_with_constants);
+  util::vbyte::PutVarint(out, sc.girth.size());
   for (const auto& [g, n] : sc.girth) {
-    util::serde::PutI64(out, g);
-    util::serde::PutU64(out, n);
+    util::vbyte::PutZigzag(out, g);
+    util::vbyte::PutVarint(out, n);
   }
 }
 
-bool GetShapeCounts(std::istream& in, ShapeCounts& sc) {
-  if (!(util::serde::GetU64(in, sc.total) &&
-        util::serde::GetU64(in, sc.single_edge) &&
-        util::serde::GetU64(in, sc.chain) &&
-        util::serde::GetU64(in, sc.chain_set) &&
-        util::serde::GetU64(in, sc.star) &&
-        util::serde::GetU64(in, sc.tree) &&
-        util::serde::GetU64(in, sc.forest) &&
-        util::serde::GetU64(in, sc.cycle) &&
-        util::serde::GetU64(in, sc.flower) &&
-        util::serde::GetU64(in, sc.flower_set) &&
-        util::serde::GetU64(in, sc.treewidth_le2) &&
-        util::serde::GetU64(in, sc.treewidth_3) &&
-        util::serde::GetU64(in, sc.treewidth_gt3) &&
-        util::serde::GetU64(in, sc.single_edge_with_constants))) {
+bool GetShapeCounts(std::string_view& in, ShapeCounts& sc) {
+  if (!(util::vbyte::GetVarint(in, sc.total) &&
+        util::vbyte::GetVarint(in, sc.single_edge) &&
+        util::vbyte::GetVarint(in, sc.chain) &&
+        util::vbyte::GetVarint(in, sc.chain_set) &&
+        util::vbyte::GetVarint(in, sc.star) &&
+        util::vbyte::GetVarint(in, sc.tree) &&
+        util::vbyte::GetVarint(in, sc.forest) &&
+        util::vbyte::GetVarint(in, sc.cycle) &&
+        util::vbyte::GetVarint(in, sc.flower) &&
+        util::vbyte::GetVarint(in, sc.flower_set) &&
+        util::vbyte::GetVarint(in, sc.treewidth_le2) &&
+        util::vbyte::GetVarint(in, sc.treewidth_3) &&
+        util::vbyte::GetVarint(in, sc.treewidth_gt3) &&
+        util::vbyte::GetVarint(in, sc.single_edge_with_constants))) {
     return false;
   }
   uint64_t girth_entries;
-  if (!util::serde::GetU64(in, girth_entries)) return false;
+  if (!util::vbyte::GetVarint(in, girth_entries)) return false;
   sc.girth.clear();
   for (uint64_t i = 0; i < girth_entries; ++i) {
     int64_t g;
     uint64_t n;
-    if (!util::serde::GetI64(in, g) || !util::serde::GetU64(in, n)) {
+    if (!util::vbyte::GetZigzag(in, g) || !util::vbyte::GetVarint(in, n)) {
       return false;
     }
     sc.girth[static_cast<int>(g)] = n;
@@ -456,8 +458,8 @@ bool GetShapeCounts(std::istream& in, ShapeCounts& sc) {
 
 }  // namespace
 
-void CorpusAnalyzer::SaveState(std::ostream& out) const {
-  using util::serde::PutU64;
+void CorpusAnalyzer::SaveState(std::string& out, TermDictionary& dict) const {
+  auto PutU64 = [](std::string& o, uint64_t v) { util::vbyte::PutVarint(o, v); };
 
   const KeywordCounts& k = keywords_;
   PutU64(out, k.total);
@@ -538,7 +540,7 @@ void CorpusAnalyzer::SaveState(std::ostream& out) const {
 
   PutU64(out, per_dataset_.size());
   for (const auto& [dataset, ts] : per_dataset_) {
-    util::serde::PutString(out, dataset);
+    PutU64(out, dict.Intern(dataset));
     PutHistogram(out, ts.histogram);
     PutU64(out, ts.select_ask);
     PutU64(out, ts.all_queries);
@@ -547,8 +549,11 @@ void CorpusAnalyzer::SaveState(std::ostream& out) const {
   }
 }
 
-bool CorpusAnalyzer::LoadState(std::istream& in) {
-  using util::serde::GetU64;
+bool CorpusAnalyzer::LoadState(std::string_view& in,
+                               const TermDictionary& dict) {
+  auto GetU64 = [](std::string_view& i, uint64_t& v) {
+    return util::vbyte::GetVarint(i, v);
+  };
 
   KeywordCounts& k = keywords_;
   if (!(GetU64(in, k.total) && GetU64(in, k.select) && GetU64(in, k.ask) &&
@@ -622,10 +627,12 @@ bool CorpusAnalyzer::LoadState(std::istream& in) {
   uint64_t datasets;
   if (!GetU64(in, datasets)) return false;
   per_dataset_.clear();
-  std::string dataset;
   for (uint64_t i = 0; i < datasets; ++i) {
-    if (!util::serde::GetString(in, dataset)) return false;
-    TripleStats& ts = per_dataset_[dataset];
+    uint64_t dataset_id;
+    if (!GetU64(in, dataset_id)) return false;
+    const std::string* dataset = dict.term(dataset_id);
+    if (dataset == nullptr) return false;  // id not in this snapshot's dictionary
+    TripleStats& ts = per_dataset_[*dataset];
     if (!(GetHistogram(in, ts.histogram) && GetU64(in, ts.select_ask) &&
           GetU64(in, ts.all_queries) && GetU64(in, ts.triple_sum) &&
           GetU64(in, ts.max_triples))) {

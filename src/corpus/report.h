@@ -2,13 +2,14 @@
 #define SPARQLOG_CORPUS_REPORT_H_
 
 #include <cstdint>
-#include <iosfwd>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "analysis/features.h"
 #include "analysis/operator_set.h"
 #include "corpus/analysis_scratch.h"
+#include "corpus/dictionary.h"
 #include "fragments/fragment.h"
 #include "graph/shapes.h"
 #include "paths/path_class.h"
@@ -188,15 +189,18 @@ class CorpusAnalyzer {
     return per_dataset_;
   }
 
-  /// Serializes every aggregate (the exact state MergeFrom/digests see)
-  /// for the crash-safe run journal. Deterministic: maps iterate in key
-  /// order, histograms dump their fixed bucket layout.
-  void SaveState(std::ostream& out) const;
+  /// Appends every aggregate (the exact state MergeFrom/digests see) as
+  /// a vbyte stream for the snapshot subsystem. Deterministic: maps
+  /// iterate in key order, histograms dump their fixed bucket layout.
+  /// Dataset names are interned into `dict` and stored as varint ids —
+  /// the dictionary travels once per snapshot, not once per shard.
+  void SaveState(std::string& out, TermDictionary& dict) const;
   /// Restores state written by SaveState into a freshly-constructed
   /// analyzer (histograms are rebuilt additively, so pre-existing
-  /// counts would corrupt them). Returns false on a truncated/corrupt
-  /// or layout-mismatched blob.
-  bool LoadState(std::istream& in);
+  /// counts would corrupt them), consuming the bytes read and resolving
+  /// dataset ids through `dict`. Returns false on a truncated/corrupt
+  /// or layout-mismatched blob, including ids absent from `dict`.
+  bool LoadState(std::string_view& in, const TermDictionary& dict);
 
  private:
   /// Kernel results of one query's phase-1 (compute) pass, committed to

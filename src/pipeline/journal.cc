@@ -1,22 +1,31 @@
 #include "pipeline/journal.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <fstream>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "corpus/dictionary.h"
 #include "pipeline/merge.h"
 #include "util/fnv.h"
-#include "util/serde.h"
+#include "util/snapshot_io.h"
+#include "util/vbyte.h"
 
 namespace sparqlog::pipeline {
 
 namespace {
 
-constexpr uint64_t kJournalMagic = 0x314C4E524A515330ULL;  // "0SQJRNL1"
-constexpr uint64_t kJournalVersion = 1;
+namespace snap = util::snapshot;
+
+/// Journal-level schema version inside the snapshot container (the
+/// container has its own format version). Bump when the meta layout or
+/// the shard blob encoding changes incompatibly.
+constexpr uint64_t kJournalVersion = 2;
+
+/// Snapshot section ids. Per-shard state lives at kShardSectionBase + i.
+constexpr uint64_t kMetaSection = 1;
+constexpr uint64_t kDictionarySection = 2;
+constexpr uint64_t kShardSectionBase = 16;
 
 /// Everything that changes the meaning or layout of the checkpointed
 /// shard state. A journal written under one fingerprint must not be
@@ -60,6 +69,9 @@ class BoundedChunkSource : public ChunkSource {
   /// The inner source itself ran out (as opposed to the segment cap).
   bool exhausted() const { return exhausted_; }
 
+  /// Chunks actually handed out by this segment.
+  size_t served() const { return served_; }
+
  private:
   ChunkSource& inner_;
   size_t max_chunks_;
@@ -67,69 +79,132 @@ class BoundedChunkSource : public ChunkSource {
   bool exhausted_ = false;
 };
 
-bool WriteCheckpoint(const JournalOptions& jopts, uint64_t fingerprint,
-                     uint64_t offset, uint64_t lines_total,
-                     const std::vector<std::unique_ptr<Shard>>& shards) {
-  const std::string tmp = jopts.path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    util::serde::PutU64(out, kJournalMagic);
-    util::serde::PutU64(out, kJournalVersion);
-    util::serde::PutU64(out, fingerprint);
-    util::serde::PutU64(out, shards.size());
-    util::serde::PutU64(out, offset);
-    util::serde::PutU64(out, lines_total);
-    for (const auto& shard : shards) shard->SaveState(out);
-    // Trailing integrity check: the digest of the merged analyzer
-    // state. A truncated or bit-flipped checkpoint fails to reproduce
-    // it on load.
-    PipelineResult merged = MergeShards(shards);
-    std::vector<uint64_t> digest = StatisticsDigest(merged.analysis);
-    util::serde::PutU64(out, digest.size());
-    for (uint64_t w : digest) util::serde::PutU64(out, w);
-    out.flush();
-    if (!out) return false;
-  }
-  // Atomic publish: rename replaces the previous checkpoint in one
-  // step, so every moment in time has a complete checkpoint on disk.
-  return std::rename(tmp.c_str(), jopts.path.c_str()) == 0;
-}
+util::Status WriteCheckpoint(snap::SnapshotStore& store, uint64_t fingerprint,
+                             uint64_t offset, uint64_t lines_total,
+                             const std::vector<std::unique_ptr<Shard>>& shards,
+                             uint64_t& generation_out) {
+  snap::SnapshotWriter writer;
+  corpus::TermDictionary dict;
 
-/// Returns true and fills the outputs iff `path` holds a compatible,
-/// intact checkpoint. `shards` must arrive freshly constructed.
-bool LoadCheckpoint(const std::string& path, uint64_t fingerprint,
-                    uint64_t& offset, uint64_t& lines_total,
-                    std::vector<std::unique_ptr<Shard>>& shards) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  uint64_t magic, version, fp, shard_count;
-  if (!(util::serde::GetU64(in, magic) && util::serde::GetU64(in, version) &&
-        util::serde::GetU64(in, fp) && util::serde::GetU64(in, shard_count))) {
-    return false;
+  // Shards first: SaveState populates the dictionary, which must be
+  // complete before its own section is encoded. (Sections load by id,
+  // so file order does not matter.)
+  for (size_t i = 0; i < shards.size(); ++i) {
+    std::string blob;
+    shards[i]->SaveState(blob, dict);
+    writer.AddSection(kShardSectionBase + i, std::move(blob));
   }
-  if (magic != kJournalMagic || version != kJournalVersion ||
-      fp != fingerprint || shard_count != shards.size()) {
-    return false;
-  }
-  if (!(util::serde::GetU64(in, offset) &&
-        util::serde::GetU64(in, lines_total))) {
-    return false;
-  }
-  for (auto& shard : shards) {
-    if (!shard->LoadState(in)) return false;
-  }
-  uint64_t digest_words;
-  if (!util::serde::GetU64(in, digest_words)) return false;
-  std::vector<uint64_t> stored(digest_words);
-  for (uint64_t& w : stored) {
-    if (!util::serde::GetU64(in, w)) return false;
-  }
+
+  std::string dict_blob;
+  dict.EncodeTo(dict_blob);
+  writer.AddSection(kDictionarySection, std::move(dict_blob));
+
+  std::string meta;
+  util::vbyte::PutVarint(meta, kJournalVersion);
+  util::vbyte::PutVarint(meta, fingerprint);
+  util::vbyte::PutVarint(meta, shards.size());
+  util::vbyte::PutVarint(meta, offset);
+  util::vbyte::PutVarint(meta, lines_total);
+  // Semantic integrity check on top of the container CRCs: the digest
+  // of the merged analyzer state must reproduce on load.
   PipelineResult merged = MergeShards(shards);
-  return StatisticsDigest(merged.analysis) == stored;
+  std::vector<uint64_t> digest = StatisticsDigest(merged.analysis);
+  util::vbyte::PutVarint(meta, digest.size());
+  for (uint64_t w : digest) util::vbyte::PutVarint(meta, w);
+  writer.AddSection(kMetaSection, std::move(meta));
+
+  auto gen = store.Save(writer);
+  if (!gen.ok()) return gen.status();
+  generation_out = gen.value();
+  return util::Status::OK();
 }
 
-void MergeQuarantine(QuarantineReport& into, QuarantineReport&& from) {
+/// Restores one loaded (container-verified) snapshot into freshly
+/// constructed shards. Returns OK, kUnsupported for "written by an
+/// incompatible configuration or schema" (not recoverable by falling
+/// back — the previous generation shares the configuration), or
+/// kInvalidArgument for content that doesn't hang together (treated as
+/// corruption; the caller may fall back).
+util::Status RestoreCheckpoint(const snap::Snapshot& snapshot,
+                               uint64_t fingerprint, uint64_t& offset,
+                               uint64_t& lines_total,
+                               std::vector<std::unique_ptr<Shard>>& shards) {
+  const std::string_view* meta = snapshot.section(kMetaSection);
+  if (meta == nullptr) {
+    return util::Status::InvalidArgument("checkpoint has no meta section");
+  }
+  std::string_view cursor = *meta;
+  uint64_t version, fp, shard_count, digest_words;
+  if (!(util::vbyte::GetVarint(cursor, version) &&
+        util::vbyte::GetVarint(cursor, fp) &&
+        util::vbyte::GetVarint(cursor, shard_count) &&
+        util::vbyte::GetVarint(cursor, offset) &&
+        util::vbyte::GetVarint(cursor, lines_total) &&
+        util::vbyte::GetVarint(cursor, digest_words))) {
+    return util::Status::InvalidArgument("checkpoint meta section truncated");
+  }
+  if (version != kJournalVersion) {
+    return util::Status::Unsupported(
+        "checkpoint schema version " + std::to_string(version) +
+        " (this build reads " + std::to_string(kJournalVersion) + ")");
+  }
+  if (fp != fingerprint) {
+    return util::Status::Unsupported(
+        "checkpoint was written by an incompatible configuration "
+        "(options fingerprint mismatch)");
+  }
+  if (shard_count != shards.size()) {
+    return util::Status::Unsupported(
+        "checkpoint has " + std::to_string(shard_count) +
+        " shards, this run has " + std::to_string(shards.size()));
+  }
+  std::vector<uint64_t> stored(static_cast<size_t>(digest_words));
+  for (uint64_t& w : stored) {
+    if (!util::vbyte::GetVarint(cursor, w)) {
+      return util::Status::InvalidArgument("checkpoint digest truncated");
+    }
+  }
+  if (!cursor.empty()) {
+    return util::Status::InvalidArgument(
+        "checkpoint meta section has trailing bytes");
+  }
+
+  const std::string_view* dict_blob = snapshot.section(kDictionarySection);
+  if (dict_blob == nullptr) {
+    return util::Status::InvalidArgument(
+        "checkpoint has no dictionary section");
+  }
+  corpus::TermDictionary dict;
+  std::string_view dict_cursor = *dict_blob;
+  if (!dict.DecodeFrom(dict_cursor) || !dict_cursor.empty()) {
+    return util::Status::InvalidArgument(
+        "checkpoint dictionary section is malformed");
+  }
+
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const std::string_view* blob = snapshot.section(kShardSectionBase + i);
+    if (blob == nullptr) {
+      return util::Status::InvalidArgument("checkpoint is missing shard " +
+                                           std::to_string(i));
+    }
+    std::string_view shard_cursor = *blob;
+    if (!shards[i]->LoadState(shard_cursor, dict) || !shard_cursor.empty()) {
+      return util::Status::InvalidArgument("checkpoint shard " +
+                                           std::to_string(i) +
+                                           " state is malformed");
+    }
+  }
+
+  PipelineResult merged = MergeShards(shards);
+  if (StatisticsDigest(merged.analysis) != stored) {
+    return util::Status::InvalidArgument(
+        "checkpoint statistics digest does not reproduce from shard state");
+  }
+  return util::Status::OK();
+}
+
+void MergeQuarantine(QuarantineReport& into, QuarantineReport&& from,
+                     size_t max_samples) {
   into.count += from.count;
   for (QuarantineSample& s : from.samples) {
     into.samples.push_back(std::move(s));
@@ -139,8 +214,8 @@ void MergeQuarantine(QuarantineReport& into, QuarantineReport&& from) {
               return a.chunk != b.chunk ? a.chunk < b.chunk
                                         : a.line_index < b.line_index;
             });
-  if (into.samples.size() > QuarantineReport::kMaxSamples) {
-    into.samples.resize(QuarantineReport::kMaxSamples);
+  if (into.samples.size() > max_samples) {
+    into.samples.resize(max_samples);
   }
 }
 
@@ -159,47 +234,102 @@ util::Result<JournalRunResult> RunWithJournal(const PipelineOptions& options,
   }
   const size_t chunks_per_segment =
       jopts.chunks_per_segment > 0 ? jopts.chunks_per_segment : 1;
+  const snap::LoadMode load_mode =
+      jopts.mmap_load ? snap::LoadMode::kMmap : snap::LoadMode::kStream;
 
   ParallelLogPipeline pipeline(options);
   const uint64_t fingerprint = OptionsFingerprint(options, pipeline.shards());
+  snap::SnapshotStore store(jopts.path);
 
   std::vector<std::unique_ptr<Shard>> shards = pipeline.MakeShards();
   JournalRunResult out;
   uint64_t lines_total = 0;
 
-  // Resume if a checkpoint exists. A present-but-unusable journal is a
-  // hard error: silently restarting from zero would double-count the
-  // prefix the journal already covers if the caller later merges runs.
-  {
-    std::ifstream probe(jopts.path, std::ios::binary);
-    if (probe.good()) {
-      probe.close();
+  // Resume if a checkpoint manifest exists. A present-but-unusable
+  // journal is a hard error: silently restarting from zero would
+  // double-count the prefix the journal already covers if the caller
+  // later merges runs. A damaged newest generation is NOT unusable —
+  // the previous generation restores an earlier watermark and the lost
+  // segment is simply re-read from the source.
+  auto manifest = store.ReadManifest();
+  if (!manifest.ok() &&
+      manifest.status().code() != util::StatusCode::kNotFound) {
+    return util::Status::InvalidArgument(
+        "journal: existing checkpoint at '" + jopts.path +
+        "' is corrupt or was written by an incompatible configuration (" +
+        manifest.status().message() + ")");
+  }
+  if (manifest.ok()) {
+    std::vector<uint64_t> generations{manifest.value().current};
+    if (manifest.value().previous != 0) {
+      generations.push_back(manifest.value().previous);
+    }
+    std::string reasons;
+    bool restored = false;
+    for (uint64_t gen : generations) {
+      auto note = [&reasons, gen](const std::string& msg) {
+        if (!reasons.empty()) reasons += "; ";
+        reasons += "generation " + std::to_string(gen) + ": " + msg;
+      };
+      auto snapshot = store.LoadGeneration(gen, load_mode);
+      if (!snapshot.ok()) {
+        note(snapshot.status().message());
+        continue;
+      }
       uint64_t offset = 0;
-      if (!LoadCheckpoint(jopts.path, fingerprint, offset, lines_total,
-                          shards)) {
+      std::vector<std::unique_ptr<Shard>> fresh = pipeline.MakeShards();
+      util::Status st = RestoreCheckpoint(snapshot.value(), fingerprint,
+                                          offset, lines_total, fresh);
+      if (st.code() == util::StatusCode::kUnsupported) {
+        // Incompatibility is a property of the whole journal, not of
+        // one damaged file; falling back cannot fix it.
         return util::Status::InvalidArgument(
             "journal: existing checkpoint at '" + jopts.path +
-            "' is corrupt or was written by an incompatible configuration");
+            "' was written by an incompatible configuration (" +
+            st.message() + ")");
+      }
+      if (!st.ok()) {
+        note(st.message());
+        continue;
       }
       if (!source.SeekTo(offset)) {
         return util::Status::OutOfRange(
             "journal: checkpoint watermark is beyond the source (journal "
             "from a different input?)");
       }
+      shards = std::move(fresh);
       out.resumed = true;
+      out.generation = gen;
+      if (gen != manifest.value().current) {
+        out.recovered_previous_generation = true;
+        out.recovery_reason = reasons;
+      }
+      restored = true;
+      break;
+    }
+    if (!restored) {
+      return util::Status::InvalidArgument(
+          "journal: existing checkpoint at '" + jopts.path +
+          "' is corrupt or was written by an incompatible configuration (" +
+          reasons + ")");
     }
   }
 
   QuarantineReport all_quarantine;
   std::optional<obs::RunTelemetry> all_telemetry;
   PipelineResult last;
+  uint64_t chunk_base = 0;  // chunk ordinals restart per segment; re-base so
+                            // merged quarantine samples order globally
   for (;;) {
     if (jopts.max_segments > 0 && out.segments >= jopts.max_segments) break;
     BoundedChunkSource segment(source, chunks_per_segment);
     PipelineResult r = pipeline.Run(segment, shards);
     ++out.segments;
     lines_total += r.lines;
-    MergeQuarantine(all_quarantine, std::move(r.quarantine));
+    for (QuarantineSample& s : r.quarantine.samples) s.chunk += chunk_base;
+    chunk_base += segment.served();
+    MergeQuarantine(all_quarantine, std::move(r.quarantine),
+                    options.quarantine_max_samples);
     if (r.telemetry.has_value()) {
       if (!all_telemetry.has_value()) all_telemetry.emplace();
       all_telemetry->Merge(*r.telemetry);
@@ -207,10 +337,11 @@ util::Result<JournalRunResult> RunWithJournal(const PipelineOptions& options,
     const bool source_failed = !r.source_status.ok();
     const bool exhausted = segment.exhausted();
     last = std::move(r);
-    if (!WriteCheckpoint(jopts, fingerprint, source.offset(), lines_total,
-                         shards)) {
+    util::Status st = WriteCheckpoint(store, fingerprint, source.offset(),
+                                      lines_total, shards, out.generation);
+    if (!st.ok()) {
       return util::Status::Internal("journal: cannot write checkpoint to '" +
-                                    jopts.path + "'");
+                                    jopts.path + "': " + st.message());
     }
     if (source_failed) break;
     if (exhausted) {

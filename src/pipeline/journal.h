@@ -14,15 +14,26 @@ namespace sparqlog::pipeline {
 /// Crash-safe run journal: the source is consumed in segments of
 /// `chunks_per_segment` reader chunks, and after each segment a
 /// checkpoint — the source's resume cursor plus every shard's complete
-/// dedup/analysis state — is written to `path` (temp file + rename, so
-/// a kill mid-write leaves the previous checkpoint intact). A rerun
-/// against the same journal restores the shards, seeks the source to
-/// the watermark, and continues; the final StatisticsDigest is
-/// bit-identical to an uninterrupted run because the shard state at the
-/// watermark IS the uninterrupted run's state at that point.
+/// dedup/analysis state — is published as a snapshot generation
+/// (util/snapshot_io.h): a versioned, per-section-CRC32C file written
+/// via write-fsync-rename, with `path` as the manifest tracking the two
+/// most recent generations. A rerun against the same journal restores
+/// the newest intact generation, seeks the source to its watermark, and
+/// continues; the final StatisticsDigest is bit-identical to an
+/// uninterrupted run because the shard state at the watermark IS the
+/// uninterrupted run's state at that point.
+///
+/// Damage handling: a corrupt newest generation (torn write, bit flip,
+/// truncation — all CRC-detected) falls back to the previous
+/// generation, re-reading the lost segment from the source; the result
+/// is still exact. Only when no retained generation is usable — or the
+/// checkpoint was written by an incompatible configuration or format
+/// version — is the run refused, with a reason string (never a silent
+/// restart: that would double-count the journal's prefix if the caller
+/// later merges runs).
 struct JournalOptions {
-  /// Checkpoint file. Written after every segment; "<path>.tmp" is used
-  /// as the rename staging file.
+  /// Snapshot manifest path. Generations live at "<path>.g<N>"; each
+  /// file is staged at "<name>.tmp" and renamed into place.
   std::string path;
   /// Reader chunks per segment (checkpoint cadence). Smaller segments
   /// lose less work on a crash and cost more checkpoint I/O.
@@ -31,6 +42,9 @@ struct JournalOptions {
   /// completion). The kill-then-resume tests use this to end a run at a
   /// checkpoint boundary deterministically.
   uint64_t max_segments = 0;
+  /// Load checkpoint snapshots mmap-backed instead of streamed. Same
+  /// verification either way; mmap avoids a copy of large shard state.
+  bool mmap_load = false;
 };
 
 struct JournalRunResult {
@@ -44,14 +58,22 @@ struct JournalRunResult {
   /// when the run stopped early (max_segments reached, or a persistent
   /// source error; see result.source_status).
   bool complete = false;
+  /// Newest snapshot generation written by this run (or restored from,
+  /// if this run wrote none). 0 = no checkpoint exists.
+  uint64_t generation = 0;
+  /// The newest generation was damaged and the run fell back to the
+  /// previous one; `recovery_reason` says what was wrong with it.
+  bool recovered_previous_generation = false;
+  std::string recovery_reason;
 };
 
 /// Runs `options`' pipeline over `source` with journaling as described
 /// above. The source must support resume (MmapChunkSource,
 /// VectorChunkSource). Fails without touching the source if the
-/// journal file exists but was written by an incompatible configuration
-/// (different shard count, dataset, corpus mode, or analysis limits —
-/// checked via a fingerprint) or is corrupt.
+/// journal manifest exists but no retained generation is intact, or the
+/// checkpoint was written by an incompatible configuration (different
+/// shard count, dataset, corpus mode, or analysis limits — checked via
+/// a fingerprint) or format version.
 util::Result<JournalRunResult> RunWithJournal(const PipelineOptions& options,
                                               ChunkSource& source,
                                               const JournalOptions& journal);

@@ -102,6 +102,9 @@ class ScratchPool {
 /// first.
 class QuarantineCollector {
  public:
+  explicit QuarantineCollector(size_t max_samples)
+      : max_samples_(max_samples) {}
+
   void Record(uint64_t chunk, uint64_t line_index, std::string_view line,
               const char* reason) noexcept {
     std::lock_guard<std::mutex> lock(mu_);
@@ -121,8 +124,8 @@ class QuarantineCollector {
                   return a.chunk != b.chunk ? a.chunk < b.chunk
                                             : a.line_index < b.line_index;
                 });
-      if (report_.samples.size() > QuarantineReport::kMaxSamples) {
-        report_.samples.resize(QuarantineReport::kMaxSamples);
+      if (report_.samples.size() > max_samples_) {
+        report_.samples.resize(max_samples_);
       }
     } catch (...) {
     }
@@ -135,6 +138,7 @@ class QuarantineCollector {
 
  private:
   std::mutex mu_;
+  const size_t max_samples_;
   QuarantineReport report_;
 };
 
@@ -208,7 +212,7 @@ PipelineResult ParallelLogPipeline::Run(
   }
 
   std::atomic<uint64_t> lines_consumed{0};
-  QuarantineCollector quarantine;
+  QuarantineCollector quarantine(options_.quarantine_max_samples);
   const bool contain = options_.fault_containment;
 
   // Shard consumers: single reader per shard, so Shard needs no locks.

@@ -146,6 +146,25 @@ class VectorLineSource : public LineSource {
   size_t next_ = 0;
 };
 
+/// One quarantined line, captured for offline reproduction.
+struct QuarantineSample {
+  uint64_t chunk = 0;       ///< chunk id (reader sequence number)
+  uint64_t line_index = 0;  ///< index within the chunk
+  std::string line;         ///< the raw line that failed
+  std::string reason;       ///< what() of the exception, if any
+};
+
+/// Aggregated quarantine outcome of a run. `count` equals the stats'
+/// quarantined bucket; `samples` holds the first
+/// PipelineOptions::quarantine_max_samples failing lines in
+/// deterministic (chunk, line_index) order so a failing run always
+/// reports the same reproducers.
+struct QuarantineReport {
+  static constexpr size_t kDefaultMaxSamples = 16;
+  uint64_t count = 0;
+  std::vector<QuarantineSample> samples;
+};
+
 struct PipelineOptions {
   /// Parse worker threads. 0 means hardware concurrency.
   int threads = 0;
@@ -182,24 +201,12 @@ struct PipelineOptions {
   /// (on the worker thread, inside the containment scope). A throwing
   /// hook is how the fault tests inject deterministic worker faults.
   std::function<void(std::string_view)> parse_fault_hook;
-};
-
-/// One quarantined line, captured for offline reproduction.
-struct QuarantineSample {
-  uint64_t chunk = 0;       ///< chunk id (reader sequence number)
-  uint64_t line_index = 0;  ///< index within the chunk
-  std::string line;         ///< the raw line that failed
-  std::string reason;       ///< what() of the exception, if any
-};
-
-/// Aggregated quarantine outcome of a run. `count` equals the stats'
-/// quarantined bucket; `samples` holds the first kMaxSamples failing
-/// lines in deterministic (chunk, line_index) order so a failing run
-/// always reports the same reproducers.
-struct QuarantineReport {
-  static constexpr size_t kMaxSamples = 16;
-  uint64_t count = 0;
-  std::vector<QuarantineSample> samples;
+  /// Cap on quarantined-line samples kept in the QuarantineReport (the
+  /// count is always exact; this bounds only the retained reproducers).
+  /// The cap is applied after the deterministic (chunk, line_index)
+  /// sort, so any value yields the same samples across thread/shard
+  /// counts and across journal segment merges.
+  size_t quarantine_max_samples = QuarantineReport::kDefaultMaxSamples;
 };
 
 /// Merged output of a pipeline run — the same numbers the serial

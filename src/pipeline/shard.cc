@@ -20,13 +20,14 @@ Shard::Shard(const ShardOptions& options)
   }
 }
 
-void Shard::SaveState(std::ostream& out) const {
+void Shard::SaveState(std::string& out, corpus::TermDictionary& dict) const {
   ingestor_.SaveState(out);
-  analyzer_.SaveState(out);
+  analyzer_.SaveState(out, dict);
 }
 
-bool Shard::LoadState(std::istream& in) {
-  return ingestor_.LoadState(in) && analyzer_.LoadState(in);
+bool Shard::LoadState(std::string_view& in,
+                      const corpus::TermDictionary& dict) {
+  return ingestor_.LoadState(in) && analyzer_.LoadState(in, dict);
 }
 
 size_t ShardIndexFor(const corpus::ParsedLine& entry, size_t num_shards) {

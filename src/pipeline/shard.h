@@ -2,8 +2,8 @@
 #define SPARQLOG_PIPELINE_SHARD_H_
 
 #include <cstddef>
-#include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "corpus/ingest.h"
 #include "corpus/report.h"
@@ -52,12 +52,14 @@ class Shard {
   const corpus::CorpusStats& stats() const { return ingestor_.stats(); }
   const corpus::CorpusAnalyzer& analyzer() const { return analyzer_; }
 
-  /// Serializes the shard's complete accounting + analysis state for
-  /// the crash-safe run journal (ingestor blob, then analyzer blob).
-  void SaveState(std::ostream& out) const;
+  /// Appends the shard's complete accounting + analysis state (ingestor
+  /// blob, then analyzer blob) as one snapshot-section payload; strings
+  /// are interned into the snapshot-wide `dict`.
+  void SaveState(std::string& out, corpus::TermDictionary& dict) const;
   /// Restores state written by SaveState into a freshly-constructed
-  /// shard (same ShardOptions). Returns false on a corrupt blob.
-  bool LoadState(std::istream& in);
+  /// shard (same ShardOptions), consuming the bytes read. Returns false
+  /// on a corrupt blob.
+  bool LoadState(std::string_view& in, const corpus::TermDictionary& dict);
 
  private:
   corpus::LogIngestor ingestor_;

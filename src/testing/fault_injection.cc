@@ -107,6 +107,9 @@ pipeline::PipelineOptions FaultPipelineOptions(const EquivalenceConfig& config,
   options.shards = config.shards;
   options.use_valid_corpus = config.use_valid_corpus;
   options.fault_containment = true;
+  // Fuzz the sample cap too (it's a PipelineOptions knob): derived from
+  // the plan seed, so the determinism replay below sees the same value.
+  options.quarantine_max_samples = 1 + plan.seed % 24;
   if (plan.poison_modulus != 0) {
     options.parse_fault_hook = [modulus = plan.poison_modulus,
                                 residue = plan.poison_residue](
@@ -168,8 +171,7 @@ std::optional<Violation> CheckFaultContainment(
                        std::to_string(stats.quarantined) + " (" + describe() +
                        ")");
   }
-  if (result.quarantine.samples.size() >
-          pipeline::QuarantineReport::kMaxSamples ||
+  if (result.quarantine.samples.size() > 1 + plan.seed % 24 ||
       result.quarantine.samples.size() > result.quarantine.count) {
     return Violate("fault-quarantine-samples",
                    "sample list over bound (" + describe() + ")");

@@ -22,6 +22,7 @@
 #include "testing/fault_injection.h"
 #include "util/budget.h"
 #include "util/rng.h"
+#include "util/snapshot_io.h"
 #include "util/status.h"
 
 namespace sparqlog {
@@ -383,6 +384,29 @@ std::filesystem::path JournalPath(const char* tag) {
           std::to_string(::getpid()) + ".bin");
 }
 
+/// A journal is now a manifest plus generation files; remove them all.
+void RemoveJournal(const std::filesystem::path& path) {
+  util::snapshot::SnapshotStore(path.string()).Remove();
+}
+
+/// Flips one bit in `path` at `offset` (from the start; negative =
+/// from the end).
+void FlipByte(const std::filesystem::path& path, long long offset) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<long long>(f.tellg());
+  if (offset < 0) offset += size;
+  ASSERT_GE(offset, 0);
+  ASSERT_LT(offset, size);
+  char b = 0;
+  f.seekg(offset);
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x40);
+  f.seekp(offset);
+  f.write(&b, 1);
+}
+
 std::vector<std::string> JournalTestLog() {
   std::vector<std::string> log;
   for (int i = 0; i < 400; ++i) {
@@ -420,7 +444,7 @@ TEST(JournalTest, KillThenResumeIsBitIdentical) {
   pipeline::PipelineResult expect = reference.Run(log);
 
   const std::filesystem::path path = JournalPath("resume");
-  std::filesystem::remove(path);
+  RemoveJournal(path);
   pipeline::JournalOptions jopts;
   jopts.path = path.string();
   jopts.chunks_per_segment = 4;
@@ -452,7 +476,7 @@ TEST(JournalTest, KillThenResumeIsBitIdentical) {
     EXPECT_EQ(pipeline::StatisticsDigest(got.analysis),
               pipeline::StatisticsDigest(expect.analysis));
   }
-  std::filesystem::remove(path);
+  RemoveJournal(path);
 }
 
 TEST(JournalTest, UninterruptedJournalRunMatchesPlainRun) {
@@ -464,7 +488,7 @@ TEST(JournalTest, UninterruptedJournalRunMatchesPlainRun) {
   pipeline::PipelineResult expect = reference.Run(log);
 
   const std::filesystem::path path = JournalPath("full");
-  std::filesystem::remove(path);
+  RemoveJournal(path);
   pipeline::JournalOptions jopts;
   jopts.path = path.string();
   jopts.chunks_per_segment = 3;
@@ -476,13 +500,13 @@ TEST(JournalTest, UninterruptedJournalRunMatchesPlainRun) {
   EXPECT_EQ(r.value().result.lines, expect.lines);
   EXPECT_EQ(pipeline::StatisticsDigest(r.value().result.analysis),
             pipeline::StatisticsDigest(expect.analysis));
-  std::filesystem::remove(path);
+  RemoveJournal(path);
 }
 
 TEST(JournalTest, IncompatibleCheckpointIsRejected) {
   const std::vector<std::string> log = JournalTestLog();
   const std::filesystem::path path = JournalPath("fingerprint");
-  std::filesystem::remove(path);
+  RemoveJournal(path);
 
   pipeline::PipelineOptions options;
   options.threads = 1;
@@ -507,13 +531,16 @@ TEST(JournalTest, IncompatibleCheckpointIsRejected) {
     ASSERT_FALSE(r.ok());
     EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
   }
-  std::filesystem::remove(path);
+  RemoveJournal(path);
 }
 
-TEST(JournalTest, CorruptCheckpointIsRejected) {
+TEST(JournalTest, CorruptSoleGenerationIsRejected) {
+  // With only one generation retained there is nothing to fall back to:
+  // any corruption of it must be a hard error with a reason, never a
+  // silent restart from zero.
   const std::vector<std::string> log = JournalTestLog();
   const std::filesystem::path path = JournalPath("corrupt");
-  std::filesystem::remove(path);
+  RemoveJournal(path);
   pipeline::PipelineOptions options;
   options.threads = 1;
   pipeline::JournalOptions jopts;
@@ -524,30 +551,297 @@ TEST(JournalTest, CorruptCheckpointIsRejected) {
     pipeline::VectorChunkSource source(log);
     auto r = pipeline::RunWithJournal(options, source, jopts);
     ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().generation, 1u);
   }
-  // Flip one byte inside the trailing digest words — the integrity
-  // check must notice the stored digest no longer matches the state.
-  {
-    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
-    ASSERT_TRUE(f.good());
-    f.seekg(0, std::ios::end);
-    const auto size = static_cast<long long>(f.tellg());
-    ASSERT_GT(size, 64);
-    char b = 0;
-    f.seekg(size - 4);
-    f.read(&b, 1);
-    b = static_cast<char>(b ^ 0x40);
-    f.seekp(size - 4);
-    f.write(&b, 1);
-  }
+  util::snapshot::SnapshotStore store(path.string());
+  FlipByte(store.GenerationPath(1), -4);
   {
     pipeline::VectorChunkSource source(log);
     pipeline::JournalOptions resume = jopts;
     resume.max_segments = 0;
     auto r = pipeline::RunWithJournal(options, source, resume);
     ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("corrupt"), std::string::npos)
+        << r.status().ToString();
   }
-  std::filesystem::remove(path);
+  RemoveJournal(path);
+}
+
+TEST(JournalTest, CorruptCurrentGenerationFallsBackToPrevious) {
+  // Damage the newest generation after two checkpoints: the resume must
+  // restore the previous one, re-read the lost segment, and still end
+  // bit-identical to an uninterrupted run.
+  const std::vector<std::string> log = JournalTestLog();
+  pipeline::PipelineOptions options;
+  options.threads = 2;
+  options.shards = 2;
+  options.chunk_size = 16;
+
+  pipeline::ParallelLogPipeline reference(options);
+  pipeline::PipelineResult expect = reference.Run(log);
+
+  const std::filesystem::path path = JournalPath("fallback");
+  RemoveJournal(path);
+  pipeline::JournalOptions jopts;
+  jopts.path = path.string();
+  jopts.chunks_per_segment = 3;
+  {
+    pipeline::VectorChunkSource source(log);
+    pipeline::JournalOptions first = jopts;
+    first.max_segments = 2;
+    auto r = pipeline::RunWithJournal(options, source, first);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_FALSE(r.value().complete);
+    EXPECT_EQ(r.value().generation, 2u);
+  }
+  util::snapshot::SnapshotStore store(path.string());
+  FlipByte(store.GenerationPath(2), 100);
+  {
+    pipeline::VectorChunkSource source(log);
+    auto r = pipeline::RunWithJournal(options, source, jopts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(r.value().resumed);
+    EXPECT_TRUE(r.value().complete);
+    EXPECT_TRUE(r.value().recovered_previous_generation);
+    EXPECT_NE(r.value().recovery_reason.find("generation 2"),
+              std::string::npos)
+        << r.value().recovery_reason;
+    EXPECT_EQ(r.value().result.lines, expect.lines);
+    EXPECT_TRUE(r.value().result.stats.Conserved());
+    EXPECT_EQ(pipeline::StatisticsDigest(r.value().result.analysis),
+              pipeline::StatisticsDigest(expect.analysis));
+  }
+  RemoveJournal(path);
+}
+
+TEST(JournalTest, CorruptBothGenerationsIsRejected) {
+  const std::vector<std::string> log = JournalTestLog();
+  pipeline::PipelineOptions options;
+  options.threads = 1;
+  options.chunk_size = 16;
+  const std::filesystem::path path = JournalPath("bothbad");
+  RemoveJournal(path);
+  pipeline::JournalOptions jopts;
+  jopts.path = path.string();
+  jopts.chunks_per_segment = 3;
+  {
+    pipeline::VectorChunkSource source(log);
+    pipeline::JournalOptions first = jopts;
+    first.max_segments = 2;
+    auto r = pipeline::RunWithJournal(options, source, first);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  util::snapshot::SnapshotStore store(path.string());
+  FlipByte(store.GenerationPath(1), 50);
+  FlipByte(store.GenerationPath(2), 50);
+  {
+    pipeline::VectorChunkSource source(log);
+    auto r = pipeline::RunWithJournal(options, source, jopts);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+    // The reason string covers both failed generations.
+    EXPECT_NE(r.status().message().find("generation 2"), std::string::npos);
+    EXPECT_NE(r.status().message().find("generation 1"), std::string::npos);
+  }
+  RemoveJournal(path);
+}
+
+TEST(JournalTest, CorruptManifestIsRejected) {
+  const std::vector<std::string> log = JournalTestLog();
+  pipeline::PipelineOptions options;
+  options.threads = 1;
+  const std::filesystem::path path = JournalPath("manifest");
+  RemoveJournal(path);
+  pipeline::JournalOptions jopts;
+  jopts.path = path.string();
+  jopts.chunks_per_segment = 2;
+  jopts.max_segments = 1;
+  {
+    pipeline::VectorChunkSource source(log);
+    auto r = pipeline::RunWithJournal(options, source, jopts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  FlipByte(path, 20);
+  {
+    pipeline::VectorChunkSource source(log);
+    auto r = pipeline::RunWithJournal(options, source, jopts);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+  }
+  RemoveJournal(path);
+}
+
+TEST(JournalTest, FsyncFailureSurfacesErrorAndPreservesCheckpoint) {
+  // An fsync error while publishing the second checkpoint must fail the
+  // run with a reason (not limp on with an unsynced file), and the
+  // first checkpoint must remain fully usable for the retry.
+  const std::vector<std::string> log = JournalTestLog();
+  pipeline::PipelineOptions options;
+  options.threads = 2;
+  options.chunk_size = 16;
+
+  pipeline::ParallelLogPipeline reference(options);
+  pipeline::PipelineResult expect = reference.Run(log);
+
+  const std::filesystem::path path = JournalPath("fsyncfail");
+  RemoveJournal(path);
+  pipeline::JournalOptions jopts;
+  jopts.path = path.string();
+  jopts.chunks_per_segment = 3;
+  {
+    pipeline::VectorChunkSource source(log);
+    pipeline::JournalOptions first = jopts;
+    first.max_segments = 1;
+    auto r = pipeline::RunWithJournal(options, source, first);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  {
+    util::snapshot::IoFaultHooks hooks;
+    hooks.fail_fsync = [](const std::string&) { return true; };
+    util::snapshot::SetIoFaultHooksForTest(&hooks);
+    pipeline::VectorChunkSource source(log);
+    auto r = pipeline::RunWithJournal(options, source, jopts);
+    util::snapshot::SetIoFaultHooksForTest(nullptr);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), util::StatusCode::kInternal);
+    EXPECT_NE(r.status().message().find("fsync"), std::string::npos)
+        << r.status().ToString();
+  }
+  // Retry with the fault cleared: resumes from generation 1 and
+  // finishes, matching the uninterrupted run exactly.
+  {
+    pipeline::VectorChunkSource source(log);
+    auto r = pipeline::RunWithJournal(options, source, jopts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(r.value().resumed);
+    EXPECT_TRUE(r.value().complete);
+    EXPECT_EQ(pipeline::StatisticsDigest(r.value().result.analysis),
+              pipeline::StatisticsDigest(expect.analysis));
+  }
+  RemoveJournal(path);
+}
+
+TEST(JournalTest, MmapLoadedCheckpointMatchesStreamed) {
+  const std::vector<std::string> log = JournalTestLog();
+  pipeline::PipelineOptions options;
+  options.threads = 2;
+  options.chunk_size = 16;
+
+  pipeline::ParallelLogPipeline reference(options);
+  pipeline::PipelineResult expect = reference.Run(log);
+
+  const std::filesystem::path path = JournalPath("mmapload");
+  RemoveJournal(path);
+  pipeline::JournalOptions jopts;
+  jopts.path = path.string();
+  jopts.chunks_per_segment = 4;
+  {
+    pipeline::VectorChunkSource source(log);
+    pipeline::JournalOptions first = jopts;
+    first.max_segments = 1;
+    auto r = pipeline::RunWithJournal(options, source, first);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  {
+    pipeline::VectorChunkSource source(log);
+    pipeline::JournalOptions resume = jopts;
+    resume.mmap_load = true;
+    auto r = pipeline::RunWithJournal(options, source, resume);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(r.value().resumed);
+    EXPECT_TRUE(r.value().complete);
+    EXPECT_EQ(pipeline::StatisticsDigest(r.value().result.analysis),
+              pipeline::StatisticsDigest(expect.analysis));
+  }
+  RemoveJournal(path);
+}
+
+// ---------------------------------------------------------------------------
+// Quarantine sample cap (PipelineOptions::quarantine_max_samples)
+// ---------------------------------------------------------------------------
+
+TEST(QuarantineCapTest, CapIsHonoredAndDeterministic) {
+  // 30 poisoned lines; a cap of 3 must keep the count exact (30) while
+  // retaining exactly the first 3 samples in (chunk, line_index) order,
+  // for ANY thread/shard configuration.
+  std::vector<std::string> log;
+  for (int i = 0; i < 30; ++i) {
+    log.push_back("query=POISON " + std::to_string(i));
+    log.push_back("query=ASK { ?s <p:" + std::to_string(i) + "> ?o }");
+  }
+
+  auto run = [&log](int threads, size_t shards) {
+    pipeline::PipelineOptions options;
+    options.threads = threads;
+    options.shards = shards;
+    options.chunk_size = 8;
+    options.quarantine_max_samples = 3;
+    options.parse_fault_hook = [](std::string_view line) {
+      if (line.find("POISON") != std::string_view::npos) {
+        throw std::runtime_error("poisoned");
+      }
+    };
+    pipeline::ParallelLogPipeline pipe(options);
+    return pipe.Run(log);
+  };
+
+  pipeline::PipelineResult first = run(1, 1);
+  EXPECT_EQ(first.quarantine.count, 30u);
+  ASSERT_EQ(first.quarantine.samples.size(), 3u);
+  EXPECT_TRUE(first.stats.Conserved());
+  for (auto [threads, shards] : {std::pair<int, size_t>{2, 3},
+                                 std::pair<int, size_t>{4, 1},
+                                 std::pair<int, size_t>{3, 2}}) {
+    pipeline::PipelineResult r = run(threads, shards);
+    EXPECT_EQ(r.quarantine.count, first.quarantine.count);
+    ASSERT_EQ(r.quarantine.samples.size(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(r.quarantine.samples[i].chunk,
+                first.quarantine.samples[i].chunk);
+      EXPECT_EQ(r.quarantine.samples[i].line_index,
+                first.quarantine.samples[i].line_index);
+      EXPECT_EQ(r.quarantine.samples[i].line, first.quarantine.samples[i].line);
+    }
+  }
+}
+
+TEST(QuarantineCapTest, CapSurvivesJournalSegmentMerge) {
+  // The per-segment reports merge across checkpoints; the merged report
+  // must honor the same cap with the same deterministic prefix.
+  std::vector<std::string> log;
+  for (int i = 0; i < 20; ++i) {
+    log.push_back("query=POISON " + std::to_string(i));
+    log.push_back("query=ASK { ?s <p:" + std::to_string(i) + "> ?o }");
+  }
+  pipeline::PipelineOptions options;
+  options.threads = 2;
+  options.chunk_size = 4;
+  options.quarantine_max_samples = 5;
+  options.parse_fault_hook = [](std::string_view line) {
+    if (line.find("POISON") != std::string_view::npos) {
+      throw std::runtime_error("poisoned");
+    }
+  };
+
+  const std::filesystem::path path = JournalPath("quarcap");
+  RemoveJournal(path);
+  pipeline::JournalOptions jopts;
+  jopts.path = path.string();
+  jopts.chunks_per_segment = 2;  // several segments, several merges
+  pipeline::VectorChunkSource source(log);
+  auto r = pipeline::RunWithJournal(options, source, jopts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().complete);
+  EXPECT_EQ(r.value().result.quarantine.count, 20u);
+  ASSERT_EQ(r.value().result.quarantine.samples.size(), 5u);
+  for (size_t i = 1; i < 5; ++i) {
+    const auto& a = r.value().result.quarantine.samples[i - 1];
+    const auto& b = r.value().result.quarantine.samples[i];
+    EXPECT_TRUE(a.chunk < b.chunk ||
+                (a.chunk == b.chunk && a.line_index < b.line_index));
+  }
+  RemoveJournal(path);
 }
 
 TEST(JournalTest, NonResumableSourceIsRejectedUpFront) {
@@ -592,7 +886,7 @@ TEST(JournalTest, BudgetedAbandonmentSurvivesResume) {
   ASSERT_EQ(expect.stats.abandoned, 40u);
 
   const std::filesystem::path path = JournalPath("abandoned");
-  std::filesystem::remove(path);
+  RemoveJournal(path);
   pipeline::JournalOptions jopts;
   jopts.path = path.string();
   jopts.chunks_per_segment = 2;
@@ -613,7 +907,7 @@ TEST(JournalTest, BudgetedAbandonmentSurvivesResume) {
     EXPECT_EQ(pipeline::StatisticsDigest(r.value().result.analysis),
               pipeline::StatisticsDigest(expect.analysis));
   }
-  std::filesystem::remove(path);
+  RemoveJournal(path);
 }
 
 }  // namespace
